@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Core Ctx List Printf

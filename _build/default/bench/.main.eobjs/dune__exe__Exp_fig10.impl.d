@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Core Ctx List Printf

@@ -1,0 +1,1 @@
+bench/exp_fig3.ml: Core Ctx List Printf

@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Core Ctx Format List Printf String

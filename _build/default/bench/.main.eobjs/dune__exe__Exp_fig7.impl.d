@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Core Ctx Exp_fig5 List Printf

@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Core Ctx Hashtbl List Option Printf String

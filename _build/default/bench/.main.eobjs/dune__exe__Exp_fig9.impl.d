@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Core Ctx List Option Printf String

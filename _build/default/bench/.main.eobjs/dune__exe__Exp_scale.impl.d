@@ -1,0 +1,1 @@
+bench/exp_scale.ml: Core Ctx List Printf Sys

@@ -1,0 +1,1 @@
+bench/exp_tab1.ml: Core Ctx List Printf

@@ -1,0 +1,1 @@
+bench/microbench.ml: Analyze Bechamel Benchmark Core Hashtbl Instance List Measure Printf Staged Test Time Toolkit

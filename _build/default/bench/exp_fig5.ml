@@ -1,0 +1,111 @@
+(* Figure 5 (a-c): measured SWAP-circuit error rates for the three
+   schedulers on the three devices, via Bell-state tomography; and
+   (d): program durations on Poughkeepsie.
+
+   XtalkSched runs at the paper's omega = 0.5; its decisions are
+   deployed through barrier-style orderings so all nine tomography
+   basis circuits share one optimization solve. *)
+
+type row = {
+  endpoints : int * int;
+  path_length : int;
+  serial_error : float;
+  par_error : float;
+  xtalk_error : float;
+  serial_duration : float;
+  par_duration : float;
+  xtalk_duration : float;
+}
+
+let measure_pair (ctx : Ctx.t) device ~xtalk ~rng (src, dst) =
+  let bench = Core.Swap_circuits.build device ~src ~dst in
+  let base = bench.Core.Swap_circuits.circuit in
+  let trials_per_basis = Ctx.tomography_trials ctx.Ctx.quality in
+  let tomo schedule =
+    (Core.Tomography.bell_state device ~rng ~trials_per_basis ~schedule ~circuit:base
+       ~pair:bench.Core.Swap_circuits.bell)
+      .Core.Tomography.error
+  in
+  let serial_schedule c = Core.Serial_sched.schedule device c in
+  let par_schedule c = Core.Par_sched.schedule device c in
+  let xtalk_schedule, _stats = Ctx.deployed_xtalk_scheduler ~omega:0.5 device ~xtalk base in
+  let duration schedule = Core.Evaluate.duration (schedule (Core.Circuit.measure_all base)) in
+  {
+    endpoints = (src, dst);
+    path_length = bench.Core.Swap_circuits.path_length;
+    serial_error = tomo serial_schedule;
+    par_error = tomo par_schedule;
+    xtalk_error = tomo xtalk_schedule;
+    serial_duration = duration serial_schedule;
+    par_duration = duration par_schedule;
+    xtalk_duration = duration xtalk_schedule;
+  }
+
+let device_rows (ctx : Ctx.t) (device, xtalk) =
+  let rng = Ctx.rng_for ("fig5-" ^ Core.Device.name device) in
+  let endpoints = Ctx.swap_endpoints device ~xtalk in
+  List.map (measure_pair ctx device ~xtalk ~rng) endpoints
+
+let print_device device rows =
+  Printf.printf "\n%s (%d crosstalk-prone SWAP circuits)\n" (Core.Device.name device)
+    (List.length rows);
+  let table =
+    Core.Tablefmt.create
+      [ "qubit pair"; "len"; "SerialSched"; "ParSched"; "XtalkSched w=0.5"; "xtalk vs par" ]
+  in
+  List.iter
+    (fun r ->
+      Core.Tablefmt.add_row table
+        [
+          Printf.sprintf "%d,%d" (fst r.endpoints) (snd r.endpoints);
+          string_of_int r.path_length;
+          Core.Tablefmt.fl ~decimals:3 r.serial_error;
+          Core.Tablefmt.fl ~decimals:3 r.par_error;
+          Core.Tablefmt.fl ~decimals:3 r.xtalk_error;
+          Printf.sprintf "%.2fx" (r.par_error /. max 1e-6 r.xtalk_error);
+        ])
+    rows;
+  Core.Tablefmt.print table
+
+let run (ctx : Ctx.t) =
+  Core.Tablefmt.section "Figure 5(a-c): SWAP circuit error rates (tomography)";
+  let all_rows =
+    List.map
+      (fun ((device, _) as entry) ->
+        let rows = device_rows ctx entry in
+        print_device device rows;
+        (device, rows))
+      ctx.Ctx.devices
+  in
+  let flat = List.concat_map snd all_rows in
+  let vs_par = List.map (fun r -> (r.par_error, max 1e-6 r.xtalk_error)) flat in
+  let vs_serial = List.map (fun r -> (r.serial_error, max 1e-6 r.xtalk_error)) flat in
+  let gp, mp = Core.Stats.ratio_summary vs_par in
+  let gs, ms = Core.Stats.ratio_summary vs_serial in
+  Printf.printf
+    "\nXtalkSched vs ParSched: geomean %.2fx, max %.2fx (paper: geomean 2x, up to 5.6x)\n" gp mp;
+  Printf.printf "XtalkSched vs SerialSched: geomean %.2fx, max %.2fx (paper: up to 9.2x)\n" gs ms;
+  (* (d) program durations on Poughkeepsie. *)
+  Core.Tablefmt.section "Figure 5(d): program durations, Poughkeepsie (ns)";
+  (match all_rows with
+  | (device, rows) :: _ when Core.Device.name device = "IBMQ Poughkeepsie" ->
+    let table =
+      Core.Tablefmt.create [ "qubit pair"; "SerialSched"; "ParSched"; "XtalkSched"; "xtalk/par" ]
+    in
+    List.iter
+      (fun r ->
+        Core.Tablefmt.add_row table
+          [
+            Printf.sprintf "%d,%d" (fst r.endpoints) (snd r.endpoints);
+            Printf.sprintf "%.0f" r.serial_duration;
+            Printf.sprintf "%.0f" r.par_duration;
+            Printf.sprintf "%.0f" r.xtalk_duration;
+            Printf.sprintf "%.2fx" (r.xtalk_duration /. max 1.0 r.par_duration);
+          ])
+      rows;
+    Core.Tablefmt.print table;
+    let ratios = List.map (fun r -> r.xtalk_duration /. max 1.0 r.par_duration) rows in
+    Printf.printf "duration overhead vs ParSched: mean %.2fx, worst %.2fx (paper: 1.16x / 1.7x)\n"
+      (Core.Stats.mean ratios) (Core.Stats.maximum ratios)
+  | _ -> ());
+  all_rows

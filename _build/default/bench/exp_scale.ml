@@ -1,0 +1,49 @@
+(* Section 9.4 scalability study: XtalkSched compile time on
+   quantum-supremacy-style random circuits, 6-18 qubits, 100-1000
+   gates.  The paper reports < 2 minutes for 18 qubits / 500 gates and
+   < 15 minutes for 1000 gates; with the cluster decomposition our
+   solver should stay well inside both. *)
+
+let instances (ctx : Ctx.t) =
+  match ctx.Ctx.quality with
+  | Ctx.Quick -> [ (6, 100); (10, 250); (14, 500); (18, 500); (18, 1000) ]
+  | Ctx.Full -> [ (6, 100); (8, 150); (10, 250); (12, 350); (14, 500); (16, 750); (18, 1000) ]
+
+let compile_row table device xtalk rng (nqubits, target_gates) =
+  let bench = Core.Supremacy.build device ~rng ~nqubits ~target_gates in
+  let t0 = Sys.time () in
+  let _, stats =
+    Core.Xtalk_sched.schedule ~omega:0.5 ~node_budget:200_000 ~device ~xtalk
+      bench.Core.Supremacy.circuit
+  in
+  let elapsed = Sys.time () -. t0 in
+  Core.Tablefmt.add_row table
+    [
+      Core.Device.name device;
+      string_of_int nqubits;
+      string_of_int (Core.Circuit.length bench.Core.Supremacy.circuit);
+      string_of_int stats.Core.Xtalk_sched.pairs;
+      string_of_int stats.Core.Xtalk_sched.clusters;
+      string_of_int stats.Core.Xtalk_sched.nodes;
+      Printf.sprintf "%.2f" elapsed;
+    ]
+
+let run (ctx : Ctx.t) =
+  Core.Tablefmt.section "Section 9.4: scheduler scalability (supremacy circuits)";
+  let device, xtalk = Ctx.poughkeepsie ctx in
+  let rng = Ctx.rng_for "scale" in
+  let table =
+    Core.Tablefmt.create
+      [ "device"; "qubits"; "gates"; "interfering pairs"; "clusters"; "nodes"; "compile time (s)" ]
+  in
+  List.iter (compile_row table device xtalk rng) (instances ctx);
+  (* Beyond the paper: a synthetic 36-qubit grid with random crosstalk
+     (ground truth used directly; characterizing a 6x6 grid is the
+     expensive part on real hardware, not the compile). *)
+  let big = Core.Presets.grid ~rows:6 ~cols:6 () in
+  let big_xtalk = Core.Device.ground_truth big in
+  List.iter
+    (compile_row table big big_xtalk rng)
+    [ (24, 600); (36, 1000) ];
+  Core.Tablefmt.print table;
+  Printf.printf "\npaper (with Z3): < 2 min at 18 qubits/500 gates, < 15 min at 1000 gates\n"

@@ -1,0 +1,55 @@
+(* Experiment harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md section 4 for the index), plus
+   Bechamel microbenchmarks of the underlying kernels.
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments, quick settings
+     dune exec bench/main.exe -- --full       # paper-scale trial counts (slow)
+     dune exec bench/main.exe -- --only fig5  # one experiment
+     dune exec bench/main.exe -- --list       # available experiment ids
+     dune exec bench/main.exe -- --no-bechamel *)
+
+let experiments =
+  [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "tab1"; "scale"; "ablation" ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--list" args then begin
+    List.iter print_endline experiments;
+    exit 0
+  end;
+  let quality = if List.mem "--full" args then Ctx.Full else Ctx.Quick in
+  let only =
+    let rec find = function
+      | "--only" :: id :: _ -> Some id
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let want id = match only with None -> true | Some o -> o = id in
+  (match only with
+  | Some id when not (List.mem id experiments) ->
+    Printf.eprintf "unknown experiment %s; use --list\n" id;
+    exit 1
+  | _ -> ());
+  Printf.printf
+    "Crosstalk mitigation on NISQ computers (ASPLOS 2020) - reproduction harness\n";
+  Printf.printf "quality: %s\n" (match quality with Ctx.Quick -> "quick" | Ctx.Full -> "full");
+  let t0 = Sys.time () in
+  Printf.printf "characterizing the three devices (1-hop + bin-packing policy)...\n%!";
+  let ctx = Ctx.create quality in
+  Printf.printf "characterization done in %.1f s (CPU)\n%!" (Sys.time () -. t0);
+  if want "fig3" then Exp_fig3.run ctx;
+  if want "fig4" then Exp_fig4.run ctx;
+  let fig5_results = if want "fig5" then Some (Exp_fig5.run ctx) else None in
+  if want "fig6" then Exp_fig6.run ctx;
+  if want "fig7" then Exp_fig7.run ctx fig5_results;
+  if want "fig8" then Exp_fig8.run ctx;
+  if want "fig9" then Exp_fig9.run ctx;
+  if want "fig10" then Exp_fig10.run ctx;
+  if want "tab1" then Exp_tab1.run ctx;
+  if want "scale" then Exp_scale.run ctx;
+  if want "ablation" then Exp_ablation.run ctx;
+  if only = None && not (List.mem "--no-bechamel" args) then Microbench.run ();
+  Printf.printf "\ntotal harness CPU time: %.1f s\n" (Sys.time () -. t0)

@@ -1,0 +1,1 @@
+bin/common.ml: Arg Cmdliner Core Printf Term

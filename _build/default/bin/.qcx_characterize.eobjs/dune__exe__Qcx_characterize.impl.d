@@ -1,0 +1,1 @@
+bin/qcx_characterize.ml: Arg Cmd Cmdliner Common Core List Printf Term

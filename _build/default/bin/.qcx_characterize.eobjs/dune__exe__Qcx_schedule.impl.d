@@ -1,0 +1,1 @@
+bin/qcx_schedule.ml: Arg Cmd Cmdliner Common Core Format Printf Term

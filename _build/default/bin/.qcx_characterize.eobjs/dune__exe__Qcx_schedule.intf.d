@@ -1,0 +1,1 @@
+bin/qcx_schedule.mli:

@@ -1,0 +1,1 @@
+bin/qcx_simulate.ml: Arg Cmd Cmdliner Common Core List Printf String Term

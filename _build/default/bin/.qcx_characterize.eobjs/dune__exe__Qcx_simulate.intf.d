@@ -1,0 +1,1 @@
+bin/qcx_simulate.mli:

@@ -1,0 +1,27 @@
+(* Shared cmdliner fragments for the CLI tools. *)
+
+open Cmdliner
+
+let device_term =
+  let doc = "Target device: poughkeepsie | johannesburg | boeblingen." in
+  let arg = Arg.(value & opt string "poughkeepsie" & info [ "d"; "device" ] ~docv:"NAME" ~doc) in
+  let parse name =
+    match Core.Presets.by_name name with
+    | Some d -> d
+    | None ->
+      Printf.eprintf "unknown device %s\n" name;
+      exit 2
+  in
+  Term.(const parse $ arg)
+
+let seed_term =
+  let doc = "Random seed (experiments are deterministic per seed)." in
+  Arg.(value & opt int 2020 & info [ "seed" ] ~docv:"N" ~doc)
+
+let threshold_term =
+  let doc = "Conditional/independent ratio above which a pair is high-crosstalk." in
+  Arg.(value & opt float 3.0 & info [ "threshold" ] ~docv:"R" ~doc)
+
+let characterize device ~rng ~params =
+  let plan = Core.Policy.plan ~rng device Core.Policy.One_hop_binpacked in
+  (Core.Policy.characterize ~params ~rng device plan).Core.Policy.xtalk

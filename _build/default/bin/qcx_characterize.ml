@@ -1,0 +1,71 @@
+(* CLI: run crosstalk characterization on a simulated device.
+
+     dune exec bin/qcx_characterize.exe -- --device poughkeepsie --policy binpacked
+
+   Prints the plan (experiments, machine-time estimate under the
+   paper's cost model) and the measured high-crosstalk pairs. *)
+
+open Cmdliner
+
+let output_term =
+  let doc = "Write the characterized conditional rates to FILE (JSON)." in
+  Cmdliner.Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let policy_term =
+  let doc = "Characterization policy: all-pairs | one-hop | binpacked | high-only." in
+  Arg.(value & opt string "binpacked" & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+
+let run device seed threshold policy_name output =
+  let rng = Core.Rng.create seed in
+  let policy =
+    match policy_name with
+    | "all-pairs" -> Core.Policy.All_pairs
+    | "one-hop" -> Core.Policy.One_hop
+    | "binpacked" -> Core.Policy.One_hop_binpacked
+    | "high-only" ->
+      (* Re-measure the pairs a first 1-hop pass flags. *)
+      let first = Core.Policy.plan ~rng device Core.Policy.One_hop_binpacked in
+      let outcome = Core.Policy.characterize ~rng device first in
+      Core.Policy.High_crosstalk_only
+        (Core.Policy.high_pairs_of_outcome ~threshold device outcome)
+    | other ->
+      Printf.eprintf "unknown policy %s\n" other;
+      exit 2
+  in
+  let plan = Core.Policy.plan ~rng device policy in
+  Printf.printf "device: %s\n" (Core.Device.name device);
+  Printf.printf "policy: %s\n" (Core.Policy.policy_name policy);
+  Printf.printf "experiments: %d\n" (Core.Policy.experiment_count plan);
+  Printf.printf "machine time at paper settings: %.2f hours\n" (Core.Policy.estimated_hours plan);
+  let outcome = Core.Policy.characterize ~rng device plan in
+  let flagged = Core.Policy.high_pairs_of_outcome ~threshold device outcome in
+  Printf.printf "\nhigh-crosstalk pairs (ratio > %.1fx):\n" threshold;
+  let cal = Core.Device.calibration device in
+  List.iter
+    (fun ((e1 : int * int), (e2 : int * int)) ->
+      let cond target spectator =
+        Core.Crosstalk.conditional_or_independent outcome.Core.Policy.xtalk cal ~target
+          ~spectator
+      in
+      Printf.printf "  CX%d,%d | CX%d,%d   E(g1|g2)=%.4f E(g2|g1)=%.4f\n" (fst e1) (snd e1)
+        (fst e2) (snd e2) (cond e1 e2) (cond e2 e1))
+    flagged;
+  Printf.printf "\n%d conditional rates measured in total\n"
+    (List.length outcome.Core.Policy.measurements);
+  match output with
+  | None -> ()
+  | Some path -> (
+    match Core.Store.save_crosstalk ~path outcome.Core.Policy.xtalk with
+    | Ok () -> Printf.printf "wrote %s\n" path
+    | Error e ->
+      Printf.eprintf "failed to write %s: %s\n" path e;
+      exit 1)
+
+let cmd =
+  let info = Cmd.info "qcx_characterize" ~doc:"Characterize crosstalk on a simulated IBMQ device" in
+  Cmd.v info
+    Term.(
+      const run $ Common.device_term $ Common.seed_term $ Common.threshold_term $ policy_term
+      $ output_term)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,97 @@
+(* CLI: compile a workload with one of the three schedulers and show
+   the result.
+
+     dune exec bin/qcx_schedule.exe -- --src 0 --dst 13 --scheduler xtalk --omega 0.5
+
+   The crosstalk data comes from a quick characterization pass (the
+   honest pipeline), or from the device's ground truth with
+   --oracle-xtalk (for experimentation). *)
+
+open Cmdliner
+
+let scheduler_term =
+  let doc = "Scheduler: par | serial | xtalk." in
+  Arg.(value & opt string "xtalk" & info [ "s"; "scheduler" ] ~docv:"ALGO" ~doc)
+
+let omega_term =
+  let doc = "Crosstalk weight factor (xtalk scheduler only)." in
+  Arg.(value & opt float 0.5 & info [ "omega" ] ~docv:"W" ~doc)
+
+let src_term = Arg.(value & opt int 0 & info [ "src" ] ~docv:"QUBIT" ~doc:"SWAP path source.")
+let dst_term = Arg.(value & opt int 13 & info [ "dst" ] ~docv:"QUBIT" ~doc:"SWAP path target.")
+
+let xtalk_file_term =
+  let doc = "Load characterized conditional rates from FILE (JSON, as written by qcx_characterize --output) instead of characterizing." in
+  Arg.(value & opt (some string) None & info [ "xtalk" ] ~docv:"FILE" ~doc)
+
+let oracle_term =
+  let doc = "Use ground-truth crosstalk instead of running characterization." in
+  Arg.(value & flag & info [ "oracle-xtalk" ] ~doc)
+
+let emit_qasm_term =
+  let doc = "Print the barrier-enforced OpenQASM output." in
+  Arg.(value & flag & info [ "qasm" ] ~doc)
+
+let run device seed src dst scheduler omega oracle xtalk_file emit_qasm =
+  let rng = Core.Rng.create seed in
+  let bench = Core.Swap_circuits.build device ~src ~dst in
+  let circuit = Core.Circuit.measure_all bench.Core.Swap_circuits.circuit in
+  let xtalk =
+    match xtalk_file with
+    | Some path -> (
+      match Core.Store.load_crosstalk ~path with
+      | Ok x ->
+        Printf.printf "loaded crosstalk data from %s\n" path;
+        x
+      | Error e ->
+        Printf.eprintf "failed to load %s: %s\n" path e;
+        exit 1)
+    | None ->
+      if oracle then Core.Device.ground_truth device
+      else begin
+        Printf.printf "characterizing (1-hop + bin-packing)...\n%!";
+        Common.characterize device ~rng ~params:Core.Rb.default_params
+      end
+  in
+  let sched_kind =
+    match scheduler with
+    | "par" -> Core.Par_sched
+    | "serial" -> Core.Serial_sched
+    | "xtalk" -> Core.Xtalk_sched omega
+    | other ->
+      Printf.eprintf "unknown scheduler %s\n" other;
+      exit 2
+  in
+  let sched, stats = Core.Pipeline.compile ~scheduler:sched_kind device ~xtalk circuit in
+  Printf.printf "device: %s\n" (Core.Device.name device);
+  Printf.printf "workload: SWAP path %d -> %d (%d gates, %d CNOTs)\n" src dst
+    (Core.Circuit.length (Core.Schedule.circuit sched))
+    (Core.Circuit.two_qubit_count (Core.Schedule.circuit sched));
+  Printf.printf "scheduler: %s\n" (Core.scheduler_name sched_kind);
+  (match stats with
+  | Some s ->
+    Printf.printf "solver: %d interfering pairs, %d nodes, optimal=%b, %.3f s\n"
+      s.Core.Xtalk_sched.pairs s.Core.Xtalk_sched.nodes s.Core.Xtalk_sched.optimal
+      s.Core.Xtalk_sched.solve_seconds
+  | None -> ());
+  Printf.printf "program duration: %.0f ns\n" (Core.Evaluate.duration sched);
+  let oracle_view = Core.Evaluate.oracle device sched in
+  Printf.printf "oracle expected error: %.4f\n" oracle_view.Core.Evaluate.error;
+  Format.printf "%a@?" Core.Schedule.pp_timeline sched;
+  if emit_qasm then begin
+    let dag = Core.Dag.of_circuit (Core.Schedule.circuit sched) in
+    let instances =
+      Core.Encoding.interfering_instances ~device ~xtalk ~threshold:3.0 ~dag
+    in
+    let serialized = Core.Barriers.serialized_pairs sched ~pairs:instances in
+    print_string (Core.Qasm.of_circuit (Core.Barriers.insert sched ~serialized))
+  end
+
+let cmd =
+  let info = Cmd.info "qcx_schedule" ~doc:"Compile a SWAP workload with a chosen scheduler" in
+  Cmd.v info
+    Term.(
+      const run $ Common.device_term $ Common.seed_term $ src_term $ dst_term $ scheduler_term
+      $ omega_term $ oracle_term $ xtalk_file_term $ emit_qasm_term)
+
+let () = exit (Cmd.eval cmd)

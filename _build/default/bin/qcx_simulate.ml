@@ -1,0 +1,82 @@
+(* CLI: run a workload end to end — characterize, compile with all
+   three schedulers, execute on the noisy simulator, report errors.
+
+     dune exec bin/qcx_simulate.exe -- --workload swap --src 0 --dst 13
+     dune exec bin/qcx_simulate.exe -- --workload hidden-shift --redundancy 1 *)
+
+open Cmdliner
+
+let workload_term =
+  let doc = "Workload: swap | hidden-shift." in
+  Arg.(value & opt string "swap" & info [ "w"; "workload" ] ~docv:"KIND" ~doc)
+
+let src_term = Arg.(value & opt int 0 & info [ "src" ] ~docv:"QUBIT" ~doc:"SWAP source.")
+let dst_term = Arg.(value & opt int 13 & info [ "dst" ] ~docv:"QUBIT" ~doc:"SWAP target.")
+
+let redundancy_term =
+  Arg.(value & opt int 0 & info [ "redundancy" ] ~docv:"K" ~doc:"Hidden-shift CNOT redundancy.")
+
+let trials_term =
+  Arg.(value & opt int 2048 & info [ "trials" ] ~docv:"N" ~doc:"Execution trials.")
+
+let run device seed workload src dst redundancy trials =
+  let rng = Core.Rng.create seed in
+  Printf.printf "device: %s\n%!" (Core.Device.name device);
+  Printf.printf "characterizing (1-hop + bin-packing)...\n%!";
+  let xtalk = Common.characterize device ~rng ~params:Core.Rb.default_params in
+  let schedulers = [ Core.Serial_sched; Core.Par_sched; Core.Xtalk_sched 0.5 ] in
+  match workload with
+  | "swap" ->
+    let bench = Core.Swap_circuits.build device ~src ~dst in
+    Printf.printf "workload: SWAP path %d -> %d, Bell pair on (%d, %d)\n" src dst
+      (fst bench.Core.Swap_circuits.bell)
+      (snd bench.Core.Swap_circuits.bell);
+    List.iter
+      (fun kind ->
+        let schedule c = fst (Core.Pipeline.compile ~scheduler:kind device ~xtalk c) in
+        let r =
+          Core.Tomography.bell_state device ~rng ~trials_per_basis:(trials / 9) ~schedule
+            ~circuit:bench.Core.Swap_circuits.circuit ~pair:bench.Core.Swap_circuits.bell
+        in
+        Printf.printf "  %-18s tomography error %.3f\n%!" (Core.scheduler_name kind)
+          r.Core.Tomography.error)
+      schedulers
+  | "hidden-shift" ->
+    let region =
+      match Core.Presets.qaoa_regions device with
+      | r :: _ -> r
+      | [] ->
+        Printf.eprintf "no benchmark region for this device\n";
+        exit 2
+    in
+    let hs =
+      Core.Hidden_shift.build device ~region ~shift:[ true; false; true; true ] ~redundancy
+    in
+    Printf.printf "workload: hidden shift on [%s], redundancy %d\n"
+      (String.concat ";" (List.map string_of_int region))
+      redundancy;
+    List.iter
+      (fun kind ->
+        let sched, _ =
+          Core.Pipeline.compile ~scheduler:kind device ~xtalk hs.Core.Hidden_shift.circuit
+        in
+        let counts = Core.Pipeline.execute device sched ~rng ~trials in
+        let err =
+          Core.Hidden_shift.error_rate hs
+            ~counts_get:(Core.Exec.counts_get counts)
+            ~total:(Core.Exec.counts_total counts)
+        in
+        Printf.printf "  %-18s error rate %.3f\n%!" (Core.scheduler_name kind) err)
+      schedulers
+  | other ->
+    Printf.eprintf "unknown workload %s\n" other;
+    exit 2
+
+let cmd =
+  let info = Cmd.info "qcx_simulate" ~doc:"End-to-end noisy execution of a workload" in
+  Cmd.v info
+    Term.(
+      const run $ Common.device_term $ Common.seed_term $ workload_term $ src_term $ dst_term
+      $ redundancy_term $ trials_term)
+
+let () = exit (Cmd.eval cmd)

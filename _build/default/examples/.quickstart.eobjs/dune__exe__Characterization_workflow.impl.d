@@ -1,0 +1,1 @@
+examples/characterization_workflow.ml: Core List Printf

@@ -1,0 +1,1 @@
+examples/qaoa_sweep.ml: Core List Printf String

@@ -1,0 +1,1 @@
+examples/swap_mitigation.ml: Core List Printf String

@@ -1,0 +1,41 @@
+(* The operational characterization workflow of Section 5: a full
+   1-hop pass once, then cheap daily re-measurement of only the
+   high-crosstalk pairs (Optimization 3), with the paper's cost model
+   showing the machine time saved.
+
+     dune exec examples/characterization_workflow.exe *)
+
+let () =
+  let device = Core.Presets.poughkeepsie () in
+  let rng = Core.Rng.create 17 in
+  Printf.printf "== day 0: full 1-hop characterization ==\n%!";
+  let full_plan = Core.Policy.plan ~rng device Core.Policy.One_hop_binpacked in
+  let outcome = Core.Policy.characterize ~rng device full_plan in
+  let flagged = Core.Policy.high_pairs_of_outcome device outcome in
+  Printf.printf "experiments: %d (%.1f h at paper settings)\n"
+    (Core.Policy.experiment_count full_plan)
+    (Core.Policy.estimated_hours full_plan);
+  Printf.printf "high-crosstalk pairs: %d\n\n" (List.length flagged);
+  let daily_plan = Core.Policy.plan ~rng device (Core.Policy.High_crosstalk_only flagged) in
+  Printf.printf "== daily plan: high-crosstalk pairs only ==\n";
+  Printf.printf "experiments: %d (%.0f minutes at paper settings, %.0fx cheaper than all-pairs)\n"
+    (Core.Policy.experiment_count daily_plan)
+    (Core.Policy.estimated_hours daily_plan *. 60.0)
+    (float_of_int
+       (Core.Policy.experiment_count (Core.Policy.plan ~rng device Core.Policy.All_pairs))
+    /. float_of_int (Core.Policy.experiment_count daily_plan));
+  for day = 1 to 3 do
+    let today = Core.Drift.on_day device ~day in
+    let today_outcome = Core.Policy.characterize ~rng today daily_plan in
+    let cal = Core.Device.calibration today in
+    Printf.printf "\n== day %d ==\n" day;
+    List.iter
+      (fun ((e1 : int * int), (e2 : int * int)) ->
+        Printf.printf "  E(CX%d,%d | CX%d,%d) = %.4f\n" (fst e1) (snd e1) (fst e2) (snd e2)
+          (Core.Crosstalk.conditional_or_independent today_outcome.Core.Policy.xtalk cal
+             ~target:e1 ~spectator:e2))
+      flagged
+  done;
+  Printf.printf
+    "\nconditional rates drift day to day, but the pair set is stable —\n\
+     which is exactly why Optimization 3 is sound (Sections 5.2, Figure 4).\n"

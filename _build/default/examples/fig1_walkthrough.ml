@@ -1,0 +1,41 @@
+(* The paper's Figure 1, end to end: a 6-qubit machine where CNOT 0,1
+   and CNOT 2,3 interfere and qubit 2 has low coherence.
+
+   (c) the default right-aligned parallel schedule suffers crosstalk;
+   (d) naive serialization trades it for decoherence on qubit 2;
+   (e) the desired schedule avoids both — XtalkSched finds it.
+
+     dune exec examples/fig1_walkthrough.exe *)
+
+let () =
+  let device = Core.Presets.example_6q () in
+  let xtalk = Core.Device.ground_truth device in
+  Printf.printf "machine: %s — high crosstalk between CNOT 0,1 and CNOT 2,3;\n"
+    (Core.Device.name device);
+  Printf.printf "qubit 2 coherence: %.1f us (device average ~70 us)\n\n"
+    (Core.Calibration.coherence_limit (Core.Device.calibration device) 2 /. 1000.0);
+  (* The program IR of Figure 1(b): g0 = H, then the two interfering
+     CNOTs, a dependent CNOT, and readout. *)
+  let c = Core.Circuit.create 6 in
+  let c = Core.Circuit.h c 0 in
+  let c = Core.Circuit.cnot c ~control:0 ~target:1 in
+  let c = Core.Circuit.cnot c ~control:2 ~target:3 in
+  let c = Core.Circuit.cnot c ~control:1 ~target:2 in
+  let c = Core.Circuit.cnot c ~control:4 ~target:5 in
+  let c = Core.Circuit.measure_all c in
+  let show name sched =
+    let b = Core.Evaluate.oracle device sched in
+    Printf.printf "--- %s: duration %.0f ns, expected error %.3f ---\n" name
+      (Core.Evaluate.duration sched) b.Core.Evaluate.error;
+    Format.printf "%a@." Core.Schedule.pp_timeline sched
+  in
+  show "(c) ParSched (IBM default: parallel, right-aligned)"
+    (Core.Par_sched.schedule device c);
+  show "(d) SerialSched (naive serialization)" (Core.Serial_sched.schedule device c);
+  let desired, stats = Core.Xtalk_sched.schedule ~omega:0.5 ~device ~xtalk c in
+  show "(e) XtalkSched (the desired schedule)" desired;
+  Printf.printf
+    "XtalkSched serialized the interfering pair (%d instance%s) and kept everything else\n\
+     parallel — avoiding the crosstalk without paying SerialSched's decoherence.\n"
+    stats.Core.Xtalk_sched.pairs
+    (if stats.Core.Xtalk_sched.pairs = 1 then "" else "s")

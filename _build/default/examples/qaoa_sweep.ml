@@ -1,0 +1,29 @@
+(* Sweep the crosstalk weight factor omega for a QAOA instance on a
+   crosstalk-prone region (the Figure 8 experiment for one region),
+   printing the cross entropy achieved at each omega.
+
+     dune exec examples/qaoa_sweep.exe *)
+
+let () =
+  let device = Core.Presets.poughkeepsie () in
+  let rng = Core.Rng.create 13 in
+  Printf.printf "characterizing %s...\n%!" (Core.Device.name device);
+  let xtalk = Core.Pipeline.characterize device ~rng in
+  let region = [ 15; 10; 11; 12 ] in
+  let qaoa = Core.Qaoa.build device ~rng:(Core.Rng.create 1) ~region in
+  let circuit = qaoa.Core.Qaoa.circuit in
+  let ideal_state, _ = Core.Exec.run_ideal circuit in
+  let ideal = Core.State.probabilities ideal_state in
+  let ideal_entropy = Core.Cross_entropy.entropy ideal in
+  Printf.printf "QAOA on region [%s]: %d gates, %d CNOTs, ideal cross entropy %.3f nats\n"
+    (String.concat ";" (List.map string_of_int region))
+    (Core.Qaoa.gate_count qaoa) (Core.Qaoa.two_qubit_count qaoa) ideal_entropy;
+  Printf.printf "\n%-8s %-14s %s\n" "omega" "cross entropy" "loss vs ideal";
+  List.iter
+    (fun omega ->
+      let sched, _ = Core.Xtalk_sched.schedule ~omega ~device ~xtalk circuit in
+      let measured = Core.Exec.run_distribution device sched ~rng ~trajectories:512 in
+      let ce = Core.Cross_entropy.against_ideal ~ideal ~measured in
+      Printf.printf "%-8.2f %-14.3f %+.3f\n" omega ce
+        (Core.Cross_entropy.loss ~ideal_entropy ce))
+    [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.5; 0.7; 1.0 ]

@@ -1,0 +1,1 @@
+lib/benchmarks/hidden_shift.ml: Array List Qcx_circuit Qcx_device String

@@ -1,0 +1,1 @@
+lib/benchmarks/hidden_shift.mli: Qcx_circuit Qcx_device

@@ -1,0 +1,1 @@
+lib/benchmarks/qaoa.ml: Array Float List Qcx_circuit Qcx_device Qcx_util

@@ -1,0 +1,1 @@
+lib/benchmarks/qaoa.mli: Qcx_circuit Qcx_device Qcx_util

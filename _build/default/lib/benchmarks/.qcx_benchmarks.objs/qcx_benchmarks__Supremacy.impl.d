@@ -1,0 +1,1 @@
+lib/benchmarks/supremacy.ml: Array Float Hashtbl List Qcx_circuit Qcx_device Qcx_util Queue

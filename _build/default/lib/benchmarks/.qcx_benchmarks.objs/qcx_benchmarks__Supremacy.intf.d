@@ -1,0 +1,1 @@
+lib/benchmarks/supremacy.mli: Qcx_circuit Qcx_device Qcx_util

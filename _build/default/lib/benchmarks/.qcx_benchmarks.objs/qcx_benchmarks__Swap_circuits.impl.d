@@ -1,0 +1,1 @@
+lib/benchmarks/swap_circuits.ml: List Qcx_circuit Qcx_device Qcx_scheduler

@@ -1,0 +1,1 @@
+lib/benchmarks/swap_circuits.mli: Qcx_circuit Qcx_device

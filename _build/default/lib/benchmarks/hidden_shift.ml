@@ -1,0 +1,74 @@
+module Circuit = Qcx_circuit.Circuit
+module Device = Qcx_device.Device
+module Topology = Qcx_device.Topology
+
+type t = {
+  circuit : Circuit.t;
+  region : int list;
+  shift : bool list;
+  expected : string;
+}
+
+let check_line device region =
+  if List.length region <> 4 then invalid_arg "Hidden_shift.build: region must have 4 qubits";
+  let topo = Device.topology device in
+  let rec ok = function
+    | a :: (b :: _ as rest) -> Topology.has_edge topo (a, b) && ok rest
+    | [ _ ] | [] -> true
+  in
+  if not (ok region) then invalid_arg "Hidden_shift.build: region is not a line on the device"
+
+(* CZ with [2 * redundancy + 1] CNOT copies inside the H conjugation:
+   consecutive CNOT pairs cancel logically but still occupy the
+   schedule, raising crosstalk susceptibility (Sec. 9.3). *)
+let cz_with_redundancy c ~redundancy a b =
+  let c = Circuit.h c b in
+  let c = ref c in
+  for _ = 0 to 2 * redundancy do
+    c := Circuit.cnot !c ~control:a ~target:b
+  done;
+  Circuit.h !c b
+
+let build device ~region ~shift ~redundancy =
+  check_line device region;
+  if List.length shift <> 4 then invalid_arg "Hidden_shift.build: shift must have 4 bits";
+  if redundancy < 0 then invalid_arg "Hidden_shift.build: negative redundancy";
+  let q = Array.of_list region in
+  let h_all c = Array.fold_left (fun acc qubit -> Circuit.h acc qubit) c q in
+  let x_shift c =
+    List.fold_left2
+      (fun acc qubit bit -> if bit then Circuit.x acc qubit else acc)
+      c region shift
+  in
+  let oracle c =
+    (* Phase oracle of the bent function x0 x1 + x2 x3: two CZ gates
+       on the outer line edges, running in parallel. *)
+    let c = cz_with_redundancy c ~redundancy q.(0) q.(1) in
+    cz_with_redundancy c ~redundancy q.(2) q.(3)
+  in
+  let c = Circuit.create (Device.nqubits device) in
+  let c = h_all c in
+  let c = x_shift c in
+  let c = oracle c in
+  let c = x_shift c in
+  let c = h_all c in
+  let c = oracle c in
+  let c = h_all c in
+  let c = Circuit.measure_all c in
+  (* Expected readout: the shift, expressed over sorted measured
+     qubits (the bitstring convention of [Qcx_noise.Exec]). *)
+  let shift_of_qubit =
+    List.combine region shift
+  in
+  let measured = List.sort compare region in
+  let expected =
+    String.concat ""
+      (List.map
+         (fun qb -> if List.assoc qb shift_of_qubit then "1" else "0")
+         measured)
+  in
+  { circuit = c; region; shift; expected }
+
+let error_rate t ~counts_get ~total =
+  if total <= 0 then invalid_arg "Hidden_shift.error_rate: no trials";
+  1.0 -. (float_of_int (counts_get t.expected) /. float_of_int total)

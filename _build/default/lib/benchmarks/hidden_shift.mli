@@ -1,0 +1,34 @@
+(** Hidden Shift benchmark (Section 9.3, Figure 9).
+
+    The 4-qubit hidden-shift circuit for the bent function
+    f(x) = x0 x1 + x2 x3: Hadamards, shifted oracle (X on the shift
+    bits around CZ gates), Hadamards, dual oracle, Hadamards.  The
+    output is deterministically the shift string, so the error rate is
+    the fraction of trials that read anything else.
+
+    Each oracle layer contains two CZ gates on the outer edges of the
+    line — two parallel two-qubit operations per layer, two layers, as
+    the paper describes.  CZ is emitted as H-CNOT-H, keeping the
+    circuit Clifford.  [redundancy] replaces each oracle CNOT with
+    [2k+1] copies: the extra pairs are logical identities but widen
+    the crosstalk exposure window — the paper's susceptibility knob
+    (Figure 9b uses one level, i.e. three CNOTs in place of one). *)
+
+type t = {
+  circuit : Qcx_circuit.Circuit.t;  (** measurements included *)
+  region : int list;
+  shift : bool list;  (** per region qubit *)
+  expected : string;  (** expected readout over sorted measured qubits *)
+}
+
+val build :
+  Qcx_device.Device.t ->
+  region:int list ->
+  shift:bool list ->
+  redundancy:int ->
+  t
+(** [region]: a 4-qubit line; [shift]: 4 booleans; [redundancy]: 0 for
+    the plain benchmark, 1 for the redundant-CNOT variant. *)
+
+val error_rate : t -> counts_get:(string -> int) -> total:int -> float
+(** Fraction of trials that did not produce [expected]. *)

@@ -1,0 +1,53 @@
+module Circuit = Qcx_circuit.Circuit
+module Device = Qcx_device.Device
+module Topology = Qcx_device.Topology
+module Rng = Qcx_util.Rng
+
+type t = { circuit : Circuit.t; region : int list }
+
+let check_line device region =
+  if List.length region <> 4 then invalid_arg "Qaoa.build: region must have 4 qubits";
+  let topo = Device.topology device in
+  let rec ok = function
+    | a :: (b :: _ as rest) -> Topology.has_edge topo (a, b) && ok rest
+    | [ _ ] | [] -> true
+  in
+  if not (ok region) then invalid_arg "Qaoa.build: region is not a line on the device"
+
+let build device ~rng ~region =
+  check_line device region;
+  let q = Array.of_list region in
+  (* Small Ry amplitudes keep the ideal output distribution
+     structured (entropy well below the uniform 2.77 nats), matching
+     the paper's instances where the ideal cross entropy sits near
+     1.4; Rz phases draw from the full circle. *)
+  let ry_angle () = Rng.float rng 0.7 in
+  let rz_angle () = Rng.float rng (2.0 *. Float.pi) in
+  let rotations c =
+    Array.fold_left
+      (fun acc qubit -> Circuit.rz (Circuit.ry acc (ry_angle ()) qubit) (rz_angle ()) qubit)
+      c q
+  in
+  let entangle c =
+    (* Outer CNOTs first - they are logically independent and run in
+       parallel; the middle CNOT depends on both. *)
+    let c = Circuit.cnot c ~control:q.(0) ~target:q.(1) in
+    let c = Circuit.cnot c ~control:q.(2) ~target:q.(3) in
+    Circuit.cnot c ~control:q.(1) ~target:q.(2)
+  in
+  let c = Circuit.create (Device.nqubits device) in
+  let c = rotations c in
+  let c = entangle c in
+  let c = rotations c in
+  let c = entangle c in
+  let c = rotations c in
+  let c = entangle c in
+  let c = rotations c in
+  (* 4 rotation layers x 8 + 3 entangling layers x 3 = 41 unitaries,
+     plus readout: 43 operations on 4 qubits, 9 CNOTs - the paper's
+     instance size (Sec. 8.3) up to measurement accounting. *)
+  let c = Circuit.measure_all c in
+  { circuit = c; region }
+
+let gate_count t = Circuit.length t.circuit
+let two_qubit_count t = Circuit.two_qubit_count t.circuit

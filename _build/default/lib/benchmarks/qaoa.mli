@@ -1,0 +1,21 @@
+(** QAOA benchmark circuits (Section 9.2, Figure 8): the
+    hardware-efficient ansatz of Moll et al. on a 4-qubit line region.
+
+    Three entangling layers of three CNOTs each (nine two-qubit gates)
+    interleaved with per-qubit Ry/Rz rotation layers — 43 gates total,
+    as in the paper.  The first two CNOTs of each entangling layer act
+    on the outer edges of the line and therefore run in parallel,
+    which is exactly where the evaluated regions have crosstalk. *)
+
+type t = {
+  circuit : Qcx_circuit.Circuit.t;  (** measurements included *)
+  region : int list;  (** the 4 hardware qubits, in line order *)
+}
+
+val build : Qcx_device.Device.t -> rng:Qcx_util.Rng.t -> region:int list -> t
+(** [region] must be a 4-qubit line on the device (each consecutive
+    pair an edge).  Rotation angles draw from [rng] — fix the seed to
+    fix the instance. *)
+
+val gate_count : t -> int
+val two_qubit_count : t -> int

@@ -1,0 +1,79 @@
+module Circuit = Qcx_circuit.Circuit
+module Device = Qcx_device.Device
+module Topology = Qcx_device.Topology
+module Rng = Qcx_util.Rng
+
+type t = { circuit : Circuit.t; qubits : int list }
+
+let connected_region topo nqubits =
+  let visited = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  Hashtbl.replace visited 0 ();
+  let region = ref [] in
+  let count = ref 0 in
+  while (not (Queue.is_empty queue)) && !count < nqubits do
+    let q = Queue.pop queue in
+    region := q :: !region;
+    incr count;
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem visited v) then begin
+          Hashtbl.replace visited v ();
+          Queue.add v queue
+        end)
+      (Topology.neighbors topo q)
+  done;
+  if !count < nqubits then invalid_arg "Supremacy: device component smaller than nqubits";
+  List.sort compare !region
+
+(* Partition the subgraph's edges into matchings (greedy edge
+   coloring); CNOT layers cycle through them. *)
+let matchings edges =
+  let remaining = ref edges in
+  let out = ref [] in
+  while !remaining <> [] do
+    let used = Hashtbl.create 8 in
+    let layer, rest =
+      List.partition
+        (fun (a, b) ->
+          if Hashtbl.mem used a || Hashtbl.mem used b then false
+          else begin
+            Hashtbl.replace used a ();
+            Hashtbl.replace used b ();
+            true
+          end)
+        !remaining
+    in
+    out := layer :: !out;
+    remaining := rest
+  done;
+  List.rev !out
+
+let build device ~rng ~nqubits ~target_gates =
+  let topo = Device.topology device in
+  if nqubits > Topology.nqubits topo then invalid_arg "Supremacy.build: device too small";
+  let region = connected_region topo nqubits in
+  let in_region q = List.mem q region in
+  let edges = List.filter (fun (a, b) -> in_region a && in_region b) (Topology.edges topo) in
+  let cnot_layers = Array.of_list (matchings edges) in
+  if Array.length cnot_layers = 0 then invalid_arg "Supremacy.build: region has no edges";
+  let single c q =
+    match Rng.int rng 3 with
+    | 0 -> Circuit.rx c (Float.pi /. 2.0) q
+    | 1 -> Circuit.ry c (Float.pi /. 2.0) q
+    | _ -> Circuit.t_gate c q
+  in
+  let c = ref (Circuit.create (Device.nqubits device)) in
+  (* Initial Hadamard layer, as in Boixo et al. *)
+  List.iter (fun q -> c := Circuit.h !c q) region;
+  let layer = ref 0 in
+  while Circuit.length !c < target_gates do
+    List.iter (fun q -> c := single !c q) region;
+    List.iter
+      (fun (a, b) -> c := Circuit.cnot !c ~control:a ~target:b)
+      cnot_layers.(!layer mod Array.length cnot_layers);
+    incr layer
+  done;
+  c := Circuit.measure_all !c;
+  { circuit = !c; qubits = region }

@@ -1,0 +1,24 @@
+(** Quantum-supremacy-style random circuits (Section 9.4's scalability
+    study).
+
+    Layers of random single-qubit gates (from sqrt(X), sqrt(Y), T)
+    interleaved with CNOT layers that cycle through a partition of the
+    device subgraph's edges into matchings, following the structure of
+    Boixo et al.  The instances are used only to stress the
+    scheduler's compile time (6-18 qubits, 100-1000 gates); they are
+    never simulated. *)
+
+type t = {
+  circuit : Qcx_circuit.Circuit.t;  (** measurements included *)
+  qubits : int list;  (** hardware qubits used *)
+}
+
+val build :
+  Qcx_device.Device.t ->
+  rng:Qcx_util.Rng.t ->
+  nqubits:int ->
+  target_gates:int ->
+  t
+(** Selects a connected [nqubits]-qubit region (BFS from qubit 0) and
+    emits layers until at least [target_gates] gates.  Raises
+    [Invalid_argument] when the device is smaller than [nqubits]. *)

@@ -1,0 +1,58 @@
+(** The SWAP-circuit benchmark of Sections 8.3/9.1 (Figures 5-7).
+
+    A CNOT between two distant qubits is implemented by moving both
+    endpoints toward the middle of the shortest path with SWAP chains
+    (each SWAP = three CNOTs).  The circuit starts with a Hadamard on
+    the source (the paper's U2), so the final middle CNOT leaves a
+    Bell pair whose quality is read out with state tomography. *)
+
+type t = {
+  circuit : Qcx_circuit.Circuit.t;
+      (** SWAPs decomposed to CNOTs; no measurements — the tomography
+          driver appends basis rotations and readout *)
+  bell : int * int;  (** hardware qubits carrying the Bell pair *)
+  src : int;
+  dst : int;
+  path_length : int;  (** hops between [src] and [dst] *)
+}
+
+val build : Qcx_device.Device.t -> src:int -> dst:int -> t
+
+val build_aware :
+  Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  ?threshold:float ->
+  ?penalty:float ->
+  src:int ->
+  dst:int ->
+  unit ->
+  t
+(** Like {!build} but routed with {!Qcx_scheduler.Routing.crosstalk_aware_path},
+    trading a bounded detour for avoiding high-crosstalk edges — the
+    routing-side mitigation the `ablation` bench compares against (and
+    combines with) XtalkSched. *)
+
+val swap_count : t -> int
+(** Number of logical SWAPs (CNOT count / 3, rounded down, minus the
+    final entangling CNOT). *)
+
+val is_crosstalk_prone :
+  Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  ?threshold:float ->
+  t ->
+  bool
+(** Whether the circuit contains at least one pair of
+    potentially-overlapping CNOT instances whose edges are flagged
+    high-crosstalk — the selection criterion for the paper's 46
+    evaluation circuits. *)
+
+val crosstalk_free_paths :
+  Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  ?threshold:float ->
+  length:int ->
+  unit ->
+  (int * int) list
+(** Endpoint pairs at the given hop distance whose SWAP circuits are
+    NOT crosstalk-prone — the ideal-baseline population of Figure 7. *)

@@ -1,0 +1,1 @@
+lib/characterization/binpack.ml: List Qcx_device Qcx_util

@@ -1,0 +1,1 @@
+lib/characterization/binpack.mli: Qcx_device Qcx_util

@@ -1,0 +1,1 @@
+lib/characterization/clifford1.mli: Qcx_stabilizer Qcx_util

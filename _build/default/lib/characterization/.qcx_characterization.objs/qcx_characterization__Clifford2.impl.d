@@ -1,0 +1,1 @@
+lib/characterization/clifford2.ml: Array Hashtbl Lazy List Qcx_stabilizer Qcx_util Queue

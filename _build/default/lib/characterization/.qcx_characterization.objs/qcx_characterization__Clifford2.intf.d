@@ -1,0 +1,1 @@
+lib/characterization/clifford2.mli: Qcx_stabilizer Qcx_util

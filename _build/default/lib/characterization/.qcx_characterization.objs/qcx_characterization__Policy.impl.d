@@ -1,0 +1,1 @@
+lib/characterization/policy.ml: Binpack Hashtbl List Qcx_device Qcx_util Rb

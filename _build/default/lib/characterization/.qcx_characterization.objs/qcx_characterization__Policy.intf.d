@@ -1,0 +1,1 @@
+lib/characterization/policy.mli: Binpack Qcx_device Qcx_util Rb

@@ -1,0 +1,1 @@
+lib/characterization/rb.ml: Array Clifford1 Clifford2 List Option Qcx_circuit Qcx_device Qcx_noise Qcx_scheduler Qcx_stabilizer Qcx_util String

@@ -1,0 +1,1 @@
+lib/characterization/rb.mli: Qcx_device Qcx_util

@@ -1,0 +1,30 @@
+module Topology = Qcx_device.Topology
+module Rng = Qcx_util.Rng
+
+type pair = Topology.edge * Topology.edge
+
+let compatible topo ~min_separation (a1, a2) (b1, b2) =
+  let far x y = Topology.gate_distance topo x y >= min_separation in
+  far a1 b1 && far a1 b2 && far a2 b1 && far a2 b2
+
+let first_fit topo ~min_separation pairs =
+  List.fold_left
+    (fun bins pair ->
+      let rec place = function
+        | [] -> [ [ pair ] ]
+        | bin :: rest ->
+          if List.for_all (compatible topo ~min_separation pair) bin then (pair :: bin) :: rest
+          else bin :: place rest
+      in
+      place bins)
+    [] pairs
+
+let pack topo ~rng ~min_separation ~attempts pairs =
+  if attempts <= 0 then invalid_arg "Binpack.pack: attempts must be positive";
+  let best = ref (first_fit topo ~min_separation pairs) in
+  for _ = 2 to attempts do
+    let shuffled = Rng.shuffle_list rng pairs in
+    let candidate = first_fit topo ~min_separation shuffled in
+    if List.length candidate < List.length !best then best := candidate
+  done;
+  !best

@@ -1,0 +1,26 @@
+(** Randomized first-fit bin packing of SRB experiments —
+    characterization Optimization 2 (Section 5.2).
+
+    Two SRB gate pairs can share one experiment when every gate of one
+    is at least [min_separation] hops from every gate of the other (the
+    paper uses 2, justified by the 1-hop locality of crosstalk).  The
+    heuristic iterates over the gate pairs, placing each in the first
+    compatible bin; the pair order is shuffled across [attempts]
+    restarts and the best (fewest-bin) packing wins. *)
+
+type pair = Qcx_device.Topology.edge * Qcx_device.Topology.edge
+
+val compatible :
+  Qcx_device.Topology.t -> min_separation:int -> pair -> pair -> bool
+(** All four cross-gate distances at least [min_separation] (gates
+    within a pair are exempt — they are the experiment). *)
+
+val pack :
+  Qcx_device.Topology.t ->
+  rng:Qcx_util.Rng.t ->
+  min_separation:int ->
+  attempts:int ->
+  pair list ->
+  pair list list
+(** Partition into bins (experiments).  Every input pair appears in
+    exactly one bin; pairs within a bin are mutually compatible. *)

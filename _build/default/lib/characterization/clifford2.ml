@@ -1,0 +1,144 @@
+module Tableau = Qcx_stabilizer.Tableau
+module Rng = Qcx_util.Rng
+
+type gate = H of int | S of int | Sdg of int | Cx of int * int
+
+type word = gate list
+
+let size = 11520
+
+let apply_gate t = function
+  | H q -> Tableau.h t q
+  | S q -> Tableau.s t q
+  | Sdg q -> Tableau.sdg t q
+  | Cx (c, tg) -> Tableau.cnot t ~control:c ~target:tg
+
+let apply_word t w = List.iter (apply_gate t) w
+
+let invert_gate = function
+  | H q -> H q
+  | S q -> Sdg q
+  | Sdg q -> S q
+  | Cx (c, t) -> Cx (c, t)
+
+let invert_word w = List.rev_map invert_gate w
+
+let naive_inverse words = List.concat_map invert_word (List.rev words)
+
+let one_qubit_generators = [ H 0; H 1; S 0; S 1; Sdg 0; Sdg 1 ]
+let cx_generators = [ Cx (0, 1); Cx (1, 0) ]
+
+(* The full table: key -> (index, word building that element from the
+   identity).  Built by closing under 1q generators, then seeding the
+   next layer with one CNOT, and so on. *)
+let build_table () =
+  let table : (string, word) Hashtbl.t = Hashtbl.create (2 * size) in
+  let words = ref [] in
+  let identity = Tableau.create 2 in
+  Hashtbl.add table (Tableau.key identity) [];
+  words := [ [] ];
+  let apply_new base_tab base_word g =
+    let t = Tableau.copy base_tab in
+    apply_gate t g;
+    let k = Tableau.key t in
+    if Hashtbl.mem table k then None
+    else begin
+      let w = base_word @ [ g ] in
+      Hashtbl.add table k w;
+      words := w :: !words;
+      Some w
+    end
+  in
+  let replay w =
+    let t = Tableau.create 2 in
+    apply_word t w;
+    t
+  in
+  let close_1q frontier =
+    let queue = Queue.create () in
+    List.iter (fun w -> Queue.add w queue) frontier;
+    let added = ref [] in
+    while not (Queue.is_empty queue) do
+      let w = Queue.pop queue in
+      let t = replay w in
+      List.iter
+        (fun g ->
+          match apply_new t w g with
+          | Some w' ->
+            Queue.add w' queue;
+            added := w' :: !added
+          | None -> ())
+        one_qubit_generators
+    done;
+    !added
+  in
+  let layer0 = close_1q [ [] ] in
+  let next_layer layer =
+    let seeds =
+      List.concat_map
+        (fun w ->
+          let t = replay w in
+          List.filter_map (fun g -> apply_new t w g) cx_generators)
+        ([] :: layer)
+    in
+    seeds @ close_1q seeds
+  in
+  let layer1 = next_layer ([] :: layer0) in
+  let layer2 = next_layer layer1 in
+  let _layer3 = next_layer layer2 in
+  assert (Hashtbl.length table = size);
+  Array.of_list (List.rev !words)
+
+let words_cache = lazy (build_table ())
+
+let table_words () = Lazy.force words_cache
+
+(* key -> index lookup for inversion *)
+let index_cache =
+  lazy
+    (let words = table_words () in
+     let idx = Hashtbl.create (2 * size) in
+     Array.iteri
+       (fun i w ->
+         let t = Tableau.create 2 in
+         apply_word t w;
+         Hashtbl.add idx (Tableau.key t) i)
+       words;
+     idx)
+
+let sample rng =
+  let words = table_words () in
+  words.(Rng.int rng (Array.length words))
+
+let cnot_count w =
+  List.length (List.filter (function Cx _ -> true | H _ | S _ | Sdg _ -> false) w)
+
+let average_cnots () =
+  let words = table_words () in
+  let total = Array.fold_left (fun acc w -> acc + cnot_count w) 0 words in
+  float_of_int total /. float_of_int (Array.length words)
+
+let inverse_word t =
+  if Tableau.nqubits t <> 2 then invalid_arg "Clifford2.inverse_word: need a 2-qubit tableau";
+  (* Find the index of the element U that t represents, then search
+     for the element V with V . U = I by checking U's word inverted —
+     the inverted word is a valid circuit for U^{-1}; return the
+     *representative* word of that element so gate counts stay
+     canonical. *)
+  let words = table_words () in
+  let idx = Lazy.force index_cache in
+  let inv_naive = invert_word (match Hashtbl.find_opt idx (Tableau.key t) with
+    | Some i -> words.(i)
+    | None ->
+      (* t may carry sign differences from Pauli frames that keep it a
+         valid Clifford; fall back to synthesizing via its own word:
+         replay the inverse of the raw tableau is not available, so
+         reject. *)
+      invalid_arg "Clifford2.inverse_word: tableau is not in the group table")
+  in
+  (* Canonicalize: look up the representative of the inverse element. *)
+  let ti = Tableau.create 2 in
+  apply_word ti inv_naive;
+  match Hashtbl.find_opt idx (Tableau.key ti) with
+  | Some i -> words.(i)
+  | None -> inv_naive

@@ -1,0 +1,275 @@
+module Rng = Qcx_util.Rng
+module Fit = Qcx_util.Fit
+module Stats = Qcx_util.Stats
+module Circuit = Qcx_circuit.Circuit
+module Gate = Qcx_circuit.Gate
+module Device = Qcx_device.Device
+module Topology = Qcx_device.Topology
+module Tableau = Qcx_stabilizer.Tableau
+module Exec = Qcx_noise.Exec
+
+type params = { lengths : int list; seeds : int; trials : int }
+
+let default_params = { lengths = [ 1; 2; 4; 8; 16; 32 ]; seeds = 6; trials = 192 }
+let paper_params = { lengths = [ 1; 2; 4; 6; 10; 16; 24; 32; 40 ]; seeds = 100; trials = 1024 }
+
+type fit = {
+  edge : Topology.edge;
+  alpha : float;
+  epc : float;
+  error_rate : float;
+  points : (float * float) list;
+}
+
+let check_edges device edges =
+  let topo = Device.topology device in
+  List.iter
+    (fun e ->
+      if not (Topology.has_edge topo e) then invalid_arg "Rb: not a device edge")
+    edges;
+  let qubits = List.concat_map (fun (a, b) -> [ a; b ]) edges in
+  if List.length (List.sort_uniq compare qubits) <> List.length qubits then
+    invalid_arg "Rb: benchmarked gates must be disjoint"
+
+let append_word circuit (a, b) word =
+  List.fold_left
+    (fun c g ->
+      match g with
+      | Clifford2.H 0 -> Circuit.h c a
+      | Clifford2.H _ -> Circuit.h c b
+      | Clifford2.S 0 -> Circuit.s c a
+      | Clifford2.S _ -> Circuit.s c b
+      | Clifford2.Sdg 0 -> Circuit.sdg c a
+      | Clifford2.Sdg _ -> Circuit.sdg c b
+      | Clifford2.Cx (0, _) -> Circuit.cnot c ~control:a ~target:b
+      | Clifford2.Cx (_, _) -> Circuit.cnot c ~control:b ~target:a)
+    circuit word
+
+(* One random RB circuit of length m over all benchmarked edges.
+   Returns the circuit and the total CNOT count charged to each edge
+   (sequence plus inverse, for the per-CNOT conversion). *)
+let sequence_circuit device rng ~m edges =
+  let nq = Device.nqubits device in
+  let all_qubits = List.concat_map (fun (a, b) -> [ a; b ]) edges in
+  let trackers = List.map (fun _ -> Tableau.create 2) edges in
+  let cnots = Array.make (List.length edges) 0 in
+  let circuit = ref (Circuit.create nq) in
+  for _ = 1 to m do
+    List.iteri
+      (fun i ((edge, tracker) : Topology.edge * Tableau.t) ->
+        let word = Clifford2.sample rng in
+        Clifford2.apply_word tracker word;
+        cnots.(i) <- cnots.(i) + Clifford2.cnot_count word;
+        circuit := append_word !circuit edge word)
+      (List.combine edges trackers);
+    circuit := Circuit.barrier !circuit all_qubits
+  done;
+  (* Exact single-Clifford recovery per pair. *)
+  List.iteri
+    (fun i (edge, tracker) ->
+      let inv = Clifford2.inverse_word tracker in
+      cnots.(i) <- cnots.(i) + Clifford2.cnot_count inv;
+      circuit := append_word !circuit edge inv)
+    (List.combine edges trackers);
+  circuit := Circuit.barrier !circuit all_qubits;
+  List.iter (fun q -> circuit := Circuit.measure !circuit q) all_qubits;
+  (!circuit, cnots)
+
+let survival_of_counts counts ~measured ~edge:(a, b) =
+  let ia = ref (-1) and ib = ref (-1) in
+  List.iteri
+    (fun i q ->
+      if q = a then ia := i;
+      if q = b then ib := i)
+    measured;
+  let good = ref 0 and total = ref 0 in
+  List.iter
+    (fun (bits, n) ->
+      total := !total + n;
+      if bits.[!ia] = '0' && bits.[!ib] = '0' then good := !good + n)
+    (Exec.counts_bindings counts);
+  float_of_int !good /. float_of_int (max 1 !total)
+
+let run device ~rng ~params edges =
+  check_edges device edges;
+  if edges = [] then invalid_arg "Rb.run: no edges";
+  let nedges = List.length edges in
+  (* survival.(edge index) : per length, list over seeds *)
+  let samples = Array.make nedges [] in
+  let cnot_totals = Array.make nedges 0 in
+  let clifford_totals = ref 0 in
+  List.iter
+    (fun m ->
+      let per_edge = Array.make nedges [] in
+      for _ = 1 to params.seeds do
+        let circuit, cnots = sequence_circuit device rng ~m edges in
+        clifford_totals := !clifford_totals + m + 1;
+        Array.iteri (fun i c -> cnot_totals.(i) <- cnot_totals.(i) + c) cnots;
+        let sched = Qcx_scheduler.Par_sched.schedule device circuit in
+        let counts = Exec.run device sched ~rng ~trials:params.trials ~backend:Exec.Stabilizer in
+        let measured = Exec.measured_qubits circuit in
+        List.iteri
+          (fun i edge ->
+            per_edge.(i) <- survival_of_counts counts ~measured ~edge :: per_edge.(i))
+          edges
+      done;
+      Array.iteri
+        (fun i vals -> samples.(i) <- (float_of_int m, Stats.mean vals) :: samples.(i))
+        per_edge)
+    params.lengths;
+  List.mapi
+    (fun i edge ->
+      let points = List.rev samples.(i) in
+      (* Pin the asymptote at the depolarized 2-qubit survival (1/4):
+         far more stable than the free fit when crosstalk makes the
+         curve collapse within a few Cliffords. *)
+      let decay = Fit.exp_decay_fixed_b ~b:0.25 points in
+      let alpha = Stats.clamp ~lo:0.0 ~hi:1.0 decay.Fit.alpha in
+      let epc = Fit.epc_of_alpha ~nqubits:2 alpha in
+      let avg_cnots = float_of_int cnot_totals.(i) /. float_of_int (max 1 !clifford_totals) in
+      let avg_cnots = if avg_cnots <= 0.0 then 1.5 else avg_cnots in
+      let error_rate = Fit.cnot_error_of_epc ~cnots_per_clifford:avg_cnots epc in
+      { edge; alpha; epc; error_rate; points })
+    edges
+
+type interleaved = { standard : fit; interleaved : fit; gate_error : float }
+
+(* Like [sequence_circuit] for one edge, with the target CNOT optionally
+   interleaved after every random Clifford. *)
+let interleaved_sequence device rng ~m ~interleave edge =
+  let nq = Device.nqubits device in
+  let a, b = edge in
+  let tracker = Tableau.create 2 in
+  let circuit = ref (Circuit.create nq) in
+  for _ = 1 to m do
+    let word = Clifford2.sample rng in
+    Clifford2.apply_word tracker word;
+    circuit := append_word !circuit edge word;
+    if interleave then begin
+      Tableau.cnot tracker ~control:0 ~target:1;
+      circuit := Circuit.cnot !circuit ~control:a ~target:b
+    end;
+    circuit := Circuit.barrier !circuit [ a; b ]
+  done;
+  let inv = Clifford2.inverse_word tracker in
+  circuit := append_word !circuit edge inv;
+  circuit := Circuit.measure (Circuit.measure !circuit a) b;
+  !circuit
+
+let interleaved_fit device ~rng ~params ~interleave edge =
+  let samples = ref [] in
+  List.iter
+    (fun m ->
+      let vals = ref [] in
+      for _ = 1 to params.seeds do
+        let circuit = interleaved_sequence device rng ~m ~interleave edge in
+        let sched = Qcx_scheduler.Par_sched.schedule device circuit in
+        let counts = Exec.run device sched ~rng ~trials:params.trials ~backend:Exec.Stabilizer in
+        let measured = Exec.measured_qubits circuit in
+        vals := survival_of_counts counts ~measured ~edge :: !vals
+      done;
+      samples := (float_of_int m, Stats.mean !vals) :: !samples)
+    params.lengths;
+  let points = List.rev !samples in
+  let decay = Fit.exp_decay_fixed_b ~b:0.25 points in
+  let alpha = Stats.clamp ~lo:1e-6 ~hi:1.0 decay.Fit.alpha in
+  let epc = Fit.epc_of_alpha ~nqubits:2 alpha in
+  { edge = Topology.normalize edge; alpha; epc; error_rate = epc /. 1.5; points }
+
+let interleaved device ~rng ~params edge =
+  check_edges device [ edge ];
+  let standard = interleaved_fit device ~rng ~params ~interleave:false edge in
+  let inter = interleaved_fit device ~rng ~params ~interleave:true edge in
+  let ratio = Stats.clamp ~lo:0.0 ~hi:1.0 (inter.alpha /. max 1e-9 standard.alpha) in
+  let gate_error = 0.75 *. (1.0 -. ratio) in
+  { standard; interleaved = inter; gate_error }
+
+type fit1 = {
+  qubit : int;
+  alpha1 : float;
+  epc1 : float;
+  gate_error : float;
+  points1 : (float * float) list;
+}
+
+let run_single device ~rng ~params qubits =
+  if qubits = [] then invalid_arg "Rb.run_single: no qubits";
+  if List.length (List.sort_uniq compare qubits) <> List.length qubits then
+    invalid_arg "Rb.run_single: duplicate qubits";
+  let nq = Device.nqubits device in
+  List.iter (fun q -> if q < 0 || q >= nq then invalid_arg "Rb.run_single: qubit out of range") qubits;
+  let nqubits = List.length qubits in
+  let samples = Array.make nqubits [] in
+  let gate_totals = Array.make nqubits 0 in
+  let clifford_totals = ref 0 in
+  List.iter
+    (fun m ->
+      let per_qubit = Array.make nqubits [] in
+      for _ = 1 to params.seeds do
+        (* one circuit driving every listed qubit with its own sequence *)
+        let trackers = List.map (fun _ -> Tableau.create 1) qubits in
+        let circuit = ref (Circuit.create nq) in
+        let append_word q w =
+          List.iter
+            (fun g ->
+              match g with
+              | Clifford1.H -> circuit := Circuit.h !circuit q
+              | Clifford1.S -> circuit := Circuit.s !circuit q
+              | Clifford1.Sdg -> circuit := Circuit.sdg !circuit q)
+            w
+        in
+        for _ = 1 to m do
+          List.iteri
+            (fun i (q, tracker) ->
+              let word = Clifford1.sample rng in
+              Clifford1.apply_word tracker ~qubit:0 word;
+              gate_totals.(i) <- gate_totals.(i) + List.length word;
+              append_word q word)
+            (List.combine qubits trackers);
+          circuit := Circuit.barrier !circuit qubits
+        done;
+        clifford_totals := !clifford_totals + m + 1;
+        List.iteri
+          (fun i (q, tracker) ->
+            let inv = Clifford1.inverse_word tracker in
+            gate_totals.(i) <- gate_totals.(i) + List.length inv;
+            append_word q inv)
+          (List.combine qubits trackers);
+        List.iter (fun q -> circuit := Circuit.measure !circuit q) qubits;
+        let sched = Qcx_scheduler.Par_sched.schedule device !circuit in
+        let counts = Exec.run device sched ~rng ~trials:params.trials ~backend:Exec.Stabilizer in
+        let measured = Exec.measured_qubits !circuit in
+        List.iteri
+          (fun i q ->
+            let pos = Option.get (List.find_index (fun x -> x = q) measured) in
+            let good = ref 0 and total = ref 0 in
+            List.iter
+              (fun (bits, n) ->
+                total := !total + n;
+                if bits.[pos] = '0' then good := !good + n)
+              (Exec.counts_bindings counts);
+            per_qubit.(i) <-
+              (float_of_int !good /. float_of_int (max 1 !total)) :: per_qubit.(i))
+          qubits
+      done;
+      List.iteri
+        (fun i _ -> samples.(i) <- (float_of_int m, Stats.mean per_qubit.(i)) :: samples.(i))
+        qubits)
+    params.lengths;
+  List.mapi
+    (fun i qubit ->
+      let points1 = List.rev samples.(i) in
+      let decay = Fit.exp_decay_fixed_b ~b:0.5 points1 in
+      let alpha1 = Stats.clamp ~lo:0.0 ~hi:1.0 decay.Fit.alpha in
+      let epc1 = Fit.epc_of_alpha ~nqubits:1 alpha1 in
+      let avg_gates = float_of_int gate_totals.(i) /. float_of_int (max 1 !clifford_totals) in
+      let gate_error = if avg_gates <= 0.0 then epc1 else epc1 /. avg_gates in
+      { qubit; alpha1; epc1; gate_error; points1 })
+    qubits
+
+let independent device ~rng ~params edge =
+  match run device ~rng ~params [ edge ] with
+  | [ fit ] -> fit
+  | _ -> assert false
+
+let experiment_executions params = List.length params.lengths * params.seeds * params.trials

@@ -1,0 +1,1 @@
+lib/circuit/dag.ml: Array Bytes Char Circuit Gate List

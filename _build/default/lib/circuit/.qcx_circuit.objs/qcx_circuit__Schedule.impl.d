@@ -1,0 +1,1 @@
+lib/circuit/schedule.ml: Array Bytes Circuit Dag Float Format Gate List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/schedule.mli: Circuit Format Gate

@@ -1,0 +1,70 @@
+(** A quantum circuit: an ordered list of gates over [nqubits] qubits.
+
+    Gates carry unique ids (their index in program order), which the
+    DAG, schedules and the SMT encoding all key on. *)
+
+type t
+
+val create : int -> t
+(** [create nqubits] is the empty circuit. *)
+
+val nqubits : t -> int
+
+val add : t -> Gate.kind -> int list -> t
+(** [add t kind qubits] appends a gate and returns the extended
+    circuit.  Raises [Invalid_argument] if the gate fails
+    [Gate.validate]. *)
+
+val h : t -> int -> t
+val x : t -> int -> t
+val y : t -> int -> t
+val z : t -> int -> t
+val s : t -> int -> t
+val sdg : t -> int -> t
+val t_gate : t -> int -> t
+val tdg : t -> int -> t
+val rx : t -> float -> int -> t
+val ry : t -> float -> int -> t
+val rz : t -> float -> int -> t
+val u2 : t -> float -> float -> int -> t
+val cnot : t -> control:int -> target:int -> t
+val swap : t -> int -> int -> t
+val barrier : t -> int list -> t
+val measure : t -> int -> t
+val measure_all : t -> t
+(** Append a measurement on every qubit that carries at least one
+    unitary gate. *)
+
+val gates : t -> Gate.t list
+(** Program order. *)
+
+val gate : t -> int -> Gate.t
+(** Lookup by id.  Raises [Invalid_argument] on unknown ids. *)
+
+val length : t -> int
+(** Number of gates (including barriers and measurements). *)
+
+val two_qubit_count : t -> int
+val unitary_count : t -> int
+
+val used_qubits : t -> int list
+(** Sorted qubits touched by at least one non-barrier gate. *)
+
+val append : t -> t -> t
+(** [append a b] concatenates [b] after [a] (same [nqubits]);
+    ids of [b]'s gates are re-assigned. *)
+
+val map_qubits : t -> (int -> int) -> nqubits:int -> t
+(** Relabel qubits (e.g. place a logical circuit onto hardware
+    qubits).  The mapping must be injective on the used qubits. *)
+
+val decompose_swaps : t -> t
+(** Replace each logical [Swap p q] by its hardware implementation
+    [cx p q; cx q p; cx p q] (footnote 3 of the paper).  Ids are
+    re-assigned. *)
+
+val depth : t -> int
+(** Dependency-graph depth counting unitary gates (barriers and
+    measures excluded). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+type kind =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | U2 of float * float
+  | Cnot
+  | Swap
+  | Barrier
+  | Measure
+
+type t = { id : int; kind : kind; qubits : int list }
+
+let is_two_qubit g = match g.kind with Cnot | Swap -> true | _ -> false
+
+let is_single_qubit g =
+  match g.kind with
+  | H | X | Y | Z | S | Sdg | T | Tdg | Rx _ | Ry _ | Rz _ | U2 _ -> true
+  | Cnot | Swap | Barrier | Measure -> false
+
+let is_barrier g = g.kind = Barrier
+let is_measure g = g.kind = Measure
+let is_unitary g = not (is_barrier g) && not (is_measure g)
+
+let kind_name = function
+  | H -> "h"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | Rx _ -> "rx"
+  | Ry _ -> "ry"
+  | Rz _ -> "rz"
+  | U2 _ -> "u2"
+  | Cnot -> "cx"
+  | Swap -> "swap"
+  | Barrier -> "barrier"
+  | Measure -> "measure"
+
+let equal_kind a b =
+  match (a, b) with
+  | Rx x, Rx y | Ry x, Ry y | Rz x, Rz y -> Float.equal x y
+  | U2 (a1, a2), U2 (b1, b2) -> Float.equal a1 b1 && Float.equal a2 b2
+  | H, H | X, X | Y, Y | Z, Z | S, S | Sdg, Sdg | T, T | Tdg, Tdg
+  | Cnot, Cnot | Swap, Swap | Barrier, Barrier | Measure, Measure ->
+    true
+  | ( ( H | X | Y | Z | S | Sdg | T | Tdg | Rx _ | Ry _ | Rz _ | U2 _ | Cnot | Swap | Barrier
+      | Measure ),
+      _ ) ->
+    false
+
+let param_string = function
+  | Rx theta | Ry theta | Rz theta -> Printf.sprintf "(%g)" theta
+  | U2 (phi, lam) -> Printf.sprintf "(%g,%g)" phi lam
+  | H | X | Y | Z | S | Sdg | T | Tdg | Cnot | Swap | Barrier | Measure -> ""
+
+let to_string g =
+  let operands = String.concat ", " (List.map (Printf.sprintf "q[%d]") g.qubits) in
+  Printf.sprintf "%s%s %s" (kind_name g.kind) (param_string g.kind) operands
+
+let pp fmt g = Format.pp_print_string fmt (to_string g)
+
+let validate ~nqubits g =
+  let arity_ok =
+    match g.kind with
+    | Cnot | Swap -> List.length g.qubits = 2
+    | Barrier -> g.qubits <> []
+    | Measure -> List.length g.qubits = 1
+    | H | X | Y | Z | S | Sdg | T | Tdg | Rx _ | Ry _ | Rz _ | U2 _ -> List.length g.qubits = 1
+  in
+  if not arity_ok then Error (Printf.sprintf "bad operand count for %s" (kind_name g.kind))
+  else if List.exists (fun q -> q < 0 || q >= nqubits) g.qubits then
+    Error (Printf.sprintf "qubit out of range in %s" (to_string g))
+  else
+    let sorted = List.sort_uniq compare g.qubits in
+    if List.length sorted <> List.length g.qubits then Error "duplicate operand qubits"
+    else Ok ()

@@ -1,0 +1,56 @@
+(** Gate-level instruction set.
+
+    Mirrors the subset of OpenQASM that the paper's tool operates on:
+    IBM single-qubit basis gates, CNOT, logical SWAP (decomposed to
+    three CNOTs before scheduling), barriers (the only control
+    instruction available at the circuit-level ISA, used to enforce
+    orderings) and readout. *)
+
+type kind =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | U2 of float * float
+  | Cnot
+  | Swap
+  | Barrier
+  | Measure
+
+type t = {
+  id : int;  (** unique within a circuit; assigned by [Circuit.add] *)
+  kind : kind;
+  qubits : int list;  (** operands; for [Cnot] this is [control; target] *)
+}
+
+val is_two_qubit : t -> bool
+(** [Cnot] or [Swap]. *)
+
+val is_single_qubit : t -> bool
+(** A unitary on one qubit (not barrier/measure). *)
+
+val is_barrier : t -> bool
+val is_measure : t -> bool
+
+val is_unitary : t -> bool
+(** Anything except barriers and measurements. *)
+
+val kind_name : kind -> string
+(** Lower-case mnemonic ("h", "cx", "swap", ...). *)
+
+val equal_kind : kind -> kind -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** E.g. ["cx q[5], q[10]"]. *)
+
+val validate : nqubits:int -> t -> (unit, string) result
+(** Check operand arity and qubit ranges for the gate kind. *)

@@ -1,0 +1,52 @@
+(** A timed schedule: a start time and duration (nanoseconds) for each
+    gate of a circuit.
+
+    Produced by the schedulers in [Qcx_scheduler]; consumed by the
+    noise executor (which needs to know which gates overlap in time)
+    and by the evaluation harness (durations, qubit lifetimes). *)
+
+type t
+
+val make : Circuit.t -> starts:float array -> durations:float array -> t
+(** Arrays are indexed by gate id and must cover the whole circuit.
+    Barriers must have zero duration. *)
+
+val circuit : t -> Circuit.t
+
+val start : t -> int -> float
+val duration : t -> int -> float
+val finish : t -> int -> float
+(** [start + duration]. *)
+
+val makespan : t -> float
+(** Latest finish time (0 for an empty circuit). *)
+
+val overlaps : t -> int -> int -> bool
+(** Strict overlap in time of two gates' intervals (touching
+    endpoints do not count as overlap). *)
+
+val gates_by_start : t -> Gate.t list
+(** Gates sorted by start time (ties broken by id). *)
+
+val qubit_lifetime : t -> int -> (float * float) option
+(** [qubit_lifetime t q] is [Some (first_start, last_finish)] over the
+    non-barrier gates touching [q], or [None] if the qubit is unused.
+    This matches the paper's lifetime definition (constraint 9):
+    decoherence on a qubit begins at its first gate. *)
+
+val validate : t -> (unit, string) result
+(** Checks that (a) data dependencies are respected, (b) no two
+    non-barrier gates occupy the same qubit at overlapping times, and
+    (c) all measurement operations start simultaneously when any are
+    present (the IBMQ hardware constraint). *)
+
+val shift_to_zero : t -> t
+(** Translate all start times so the earliest is 0. *)
+
+val right_align : t -> t
+(** Translate every gate as late as its dependents allow, with the
+    final measurement layer kept fixed — the IBM hardware behaviour of
+    Figure 1(c).  Preserves all orderings. *)
+
+val pp_timeline : Format.formatter -> t -> unit
+(** ASCII timeline (one row per qubit), used by the Fig. 6 harness. *)

@@ -1,0 +1,1 @@
+lib/densitymatrix/density.ml: Array List Option Qcx_linalg

@@ -1,0 +1,1 @@
+lib/densitymatrix/density.mli: Qcx_linalg

@@ -1,0 +1,250 @@
+module Cplx = Qcx_linalg.Cplx
+module Mat = Qcx_linalg.Mat
+module Gates = Qcx_linalg.Gates
+
+type t = { n : int; mutable rho : Mat.t }
+
+let create n =
+  if n <= 0 || n > 8 then invalid_arg "Density.create: need 1 <= n <= 8";
+  let dim = 1 lsl n in
+  let rho = Mat.create dim dim in
+  Mat.set rho 0 0 Cplx.one;
+  { n; rho }
+
+let nqubits t = t.n
+let dim t = 1 lsl t.n
+let copy t = { n = t.n; rho = Mat.init (dim t) (dim t) (Mat.get t.rho) }
+
+let of_pure amps =
+  let d = Array.length amps in
+  let n = ref 0 in
+  while 1 lsl !n < d do
+    incr n
+  done;
+  if 1 lsl !n <> d then invalid_arg "Density.of_pure: length not a power of two";
+  let norm = Array.fold_left (fun acc z -> acc +. Cplx.norm2 z) 0.0 amps in
+  if norm <= 0.0 then invalid_arg "Density.of_pure: zero vector";
+  let scale = 1.0 /. norm in
+  {
+    n = !n;
+    rho =
+      Mat.init d d (fun i j -> Cplx.scale scale (Cplx.mul amps.(i) (Cplx.conj amps.(j))));
+  }
+
+let check_qubit t q = if q < 0 || q >= t.n then invalid_arg "Density: qubit out of range"
+
+(* rho <- (U on qubit q) rho *)
+let left_mul1 t u q =
+  let d = dim t in
+  let bit = 1 lsl q in
+  let u00 = Mat.get u 0 0 and u01 = Mat.get u 0 1 in
+  let u10 = Mat.get u 1 0 and u11 = Mat.get u 1 1 in
+  for col = 0 to d - 1 do
+    for r = 0 to d - 1 do
+      if r land bit = 0 then begin
+        let r1 = r lor bit in
+        let a = Mat.get t.rho r col and b = Mat.get t.rho r1 col in
+        Mat.set t.rho r col (Cplx.add (Cplx.mul u00 a) (Cplx.mul u01 b));
+        Mat.set t.rho r1 col (Cplx.add (Cplx.mul u10 a) (Cplx.mul u11 b))
+      end
+    done
+  done
+
+(* rho <- rho (U on qubit q)^dagger *)
+let right_mul1_dag t u q =
+  let d = dim t in
+  let bit = 1 lsl q in
+  (* (rho U+)_{r,c} = sum_k rho_{r,k} conj(U_{c,k}) *)
+  let u00 = Cplx.conj (Mat.get u 0 0) and u01 = Cplx.conj (Mat.get u 0 1) in
+  let u10 = Cplx.conj (Mat.get u 1 0) and u11 = Cplx.conj (Mat.get u 1 1) in
+  for r = 0 to d - 1 do
+    for c = 0 to d - 1 do
+      if c land bit = 0 then begin
+        let c1 = c lor bit in
+        let a = Mat.get t.rho r c and b = Mat.get t.rho r c1 in
+        Mat.set t.rho r c (Cplx.add (Cplx.mul a u00) (Cplx.mul b u01));
+        Mat.set t.rho r c1 (Cplx.add (Cplx.mul a u10) (Cplx.mul b u11))
+      end
+    done
+  done
+
+let apply_unitary1 t u q =
+  check_qubit t q;
+  if Mat.rows u <> 2 || Mat.cols u <> 2 then invalid_arg "Density.apply_unitary1: need 2x2";
+  left_mul1 t u q;
+  right_mul1_dag t u q
+
+(* Two-qubit version via explicit 4-index gather. *)
+let apply_unitary2 t u q0 q1 =
+  check_qubit t q0;
+  check_qubit t q1;
+  if q0 = q1 then invalid_arg "Density.apply_unitary2: qubits must differ";
+  if Mat.rows u <> 4 || Mat.cols u <> 4 then invalid_arg "Density.apply_unitary2: need 4x4";
+  let d = dim t in
+  let b0 = 1 lsl q0 and b1 = 1 lsl q1 in
+  let expand base k =
+    let k0 = k land 1 and k1 = (k lsr 1) land 1 in
+    base lor (k0 * b0) lor (k1 * b1)
+  in
+  (* left multiply *)
+  for col = 0 to d - 1 do
+    for base = 0 to d - 1 do
+      if base land b0 = 0 && base land b1 = 0 then begin
+        let v = Array.init 4 (fun k -> Mat.get t.rho (expand base k) col) in
+        for row = 0 to 3 do
+          let acc = ref Cplx.zero in
+          for k = 0 to 3 do
+            acc := Cplx.add !acc (Cplx.mul (Mat.get u row k) v.(k))
+          done;
+          Mat.set t.rho (expand base row) col !acc
+        done
+      end
+    done
+  done;
+  (* right multiply by U+ *)
+  for r = 0 to d - 1 do
+    for base = 0 to d - 1 do
+      if base land b0 = 0 && base land b1 = 0 then begin
+        let v = Array.init 4 (fun k -> Mat.get t.rho r (expand base k)) in
+        for c = 0 to 3 do
+          let acc = ref Cplx.zero in
+          for k = 0 to 3 do
+            acc := Cplx.add !acc (Cplx.mul v.(k) (Cplx.conj (Mat.get u c k)))
+          done;
+          Mat.set t.rho r (expand base c) !acc
+        done
+      end
+    done
+  done
+
+let h t q = apply_unitary1 t Gates.h q
+let x t q = apply_unitary1 t Gates.x q
+let s t q = apply_unitary1 t Gates.s q
+let sdg t q = apply_unitary1 t Gates.sdg q
+
+let cnot t ~control ~target =
+  (* matrix convention: control = low bit (q0) *)
+  apply_unitary2 t (Gates.cnot ~control:0 ~target:1) control target
+
+let apply_kraus1 t kraus q =
+  check_qubit t q;
+  (* completeness: sum K+ K = I *)
+  let total =
+    List.fold_left (fun acc k -> Mat.add acc (Mat.mul (Mat.adjoint k) k)) (Mat.create 2 2) kraus
+  in
+  if not (Mat.approx_equal ~tol:1e-6 total (Mat.identity 2)) then
+    invalid_arg "Density.apply_kraus1: Kraus operators not complete";
+  let original = copy t in
+  let d = dim t in
+  t.rho <- Mat.create d d;
+  List.iter
+    (fun k ->
+      let branch = copy original in
+      left_mul1 branch k q;
+      right_mul1_dag branch k q;
+      t.rho <- Mat.add t.rho branch.rho)
+    kraus
+
+let mix t branches =
+  (* branches: (probability, transform) applied to copies of t *)
+  let original = copy t in
+  let d = dim t in
+  t.rho <- Mat.create d d;
+  List.iter
+    (fun (p, transform) ->
+      let branch = copy original in
+      transform branch;
+      t.rho <- Mat.add t.rho (Mat.scale (Cplx.re p) branch.rho))
+    branches
+
+let depolarizing1 t ~p q =
+  check_qubit t q;
+  if p < 0.0 || p > 1.0 then invalid_arg "Density.depolarizing1: p out of range";
+  mix t
+    [
+      (1.0 -. p, fun _ -> ());
+      (p /. 3.0, fun b -> apply_unitary1 b Gates.x q);
+      (p /. 3.0, fun b -> apply_unitary1 b Gates.y q);
+      (p /. 3.0, fun b -> apply_unitary1 b Gates.z q);
+    ]
+
+let depolarizing2 t ~p q0 q1 =
+  check_qubit t q0;
+  check_qubit t q1;
+  if p < 0.0 || p > 1.0 then invalid_arg "Density.depolarizing2: p out of range";
+  let paulis = [| None; Some Gates.x; Some Gates.y; Some Gates.z |] in
+  let branches = ref [ (1.0 -. p, fun _ -> ()) ] in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      if a <> 0 || b <> 0 then
+        branches :=
+          ( p /. 15.0,
+            fun br ->
+              Option.iter (fun m -> apply_unitary1 br m q0) paulis.(a);
+              Option.iter (fun m -> apply_unitary1 br m q1) paulis.(b) )
+          :: !branches
+    done
+  done;
+  mix t !branches
+
+let pauli_twirl_idle t ~px ~py ~pz q =
+  check_qubit t q;
+  let pid = 1.0 -. px -. py -. pz in
+  if pid < -1e-9 then invalid_arg "Density.pauli_twirl_idle: probabilities exceed 1";
+  mix t
+    [
+      (max 0.0 pid, fun _ -> ());
+      (px, fun b -> apply_unitary1 b Gates.x q);
+      (py, fun b -> apply_unitary1 b Gates.y q);
+      (pz, fun b -> apply_unitary1 b Gates.z q);
+    ]
+
+let amplitude_damping t ~gamma q =
+  if gamma < 0.0 || gamma > 1.0 then invalid_arg "Density.amplitude_damping: gamma out of range";
+  let k0 =
+    Mat.of_arrays
+      [| [| Cplx.one; Cplx.zero |]; [| Cplx.zero; Cplx.re (sqrt (1.0 -. gamma)) |] |]
+  in
+  let k1 =
+    Mat.of_arrays [| [| Cplx.zero; Cplx.re (sqrt gamma) |]; [| Cplx.zero; Cplx.zero |] |]
+  in
+  apply_kraus1 t [ k0; k1 ] q
+
+let phase_damping t ~lambda q =
+  if lambda < 0.0 || lambda > 1.0 then invalid_arg "Density.phase_damping: lambda out of range";
+  let k0 =
+    Mat.of_arrays
+      [| [| Cplx.one; Cplx.zero |]; [| Cplx.zero; Cplx.re (sqrt (1.0 -. lambda)) |] |]
+  in
+  let k1 =
+    Mat.of_arrays [| [| Cplx.zero; Cplx.zero |]; [| Cplx.zero; Cplx.re (sqrt lambda) |] |]
+  in
+  apply_kraus1 t [ k0; k1 ] q
+
+let bitflip_readout t ~flip q =
+  check_qubit t q;
+  mix t [ (1.0 -. flip, fun _ -> ()); (flip, fun b -> apply_unitary1 b Gates.x q) ]
+
+let probability t k =
+  if k < 0 || k >= dim t then invalid_arg "Density.probability: index out of range";
+  (Mat.get t.rho k k).Cplx.re
+
+let probabilities t = Array.init (dim t) (probability t)
+
+let trace t = (Mat.trace t.rho).Cplx.re
+
+let purity t = (Mat.trace (Mat.mul t.rho t.rho)).Cplx.re
+
+let fidelity_pure t psi =
+  if Array.length psi <> dim t then invalid_arg "Density.fidelity_pure: dimension mismatch";
+  (* <psi| rho |psi> *)
+  let v = Mat.apply t.rho psi in
+  let acc = ref Cplx.zero in
+  Array.iteri (fun i x -> acc := Cplx.add !acc (Cplx.mul (Cplx.conj psi.(i)) x)) v;
+  !acc.Cplx.re
+
+let expectation t o =
+  if Mat.rows o <> dim t then invalid_arg "Density.expectation: dimension mismatch";
+  (Mat.trace (Mat.mul t.rho o)).Cplx.re
+
+let to_mat t = Mat.init (dim t) (dim t) (Mat.get t.rho)

@@ -1,0 +1,1 @@
+lib/device/calibration.ml: Array List Map Printf Qcx_util Topology

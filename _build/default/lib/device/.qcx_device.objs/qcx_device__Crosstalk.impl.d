@@ -1,0 +1,1 @@
+lib/device/crosstalk.ml: Calibration List Map Topology

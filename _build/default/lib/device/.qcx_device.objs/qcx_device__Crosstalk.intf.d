@@ -1,0 +1,1 @@
+lib/device/crosstalk.mli: Calibration Topology

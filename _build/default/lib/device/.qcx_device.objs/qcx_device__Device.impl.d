@@ -1,0 +1,1 @@
+lib/device/device.ml: Calibration Crosstalk List Printf Topology

@@ -1,0 +1,1 @@
+lib/device/drift.ml: Calibration Crosstalk Device Fun Hashtbl List Qcx_util Topology

@@ -1,0 +1,1 @@
+lib/device/drift.mli: Device

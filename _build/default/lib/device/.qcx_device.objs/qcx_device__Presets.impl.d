@@ -1,0 +1,1 @@
+lib/device/presets.ml: Array Calibration Crosstalk Device Fun List Printf Qcx_util String Topology

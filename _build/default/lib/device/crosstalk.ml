@@ -1,0 +1,59 @@
+module PairMap = Map.Make (struct
+  type t = Topology.edge * Topology.edge
+
+  let compare = compare
+end)
+
+type t = float PairMap.t
+
+let empty = PairMap.empty
+
+let key ~target ~spectator = (Topology.normalize target, Topology.normalize spectator)
+
+let set t ~target ~spectator rate =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Crosstalk.set: rate out of [0,1]";
+  PairMap.add (key ~target ~spectator) rate t
+
+let set_symmetric t e1 e2 r1 r2 =
+  let t = set t ~target:e1 ~spectator:e2 r1 in
+  set t ~target:e2 ~spectator:e1 r2
+
+let conditional t ~target ~spectator = PairMap.find_opt (key ~target ~spectator) t
+
+let conditional_or_independent t cal ~target ~spectator =
+  match conditional t ~target ~spectator with
+  | Some r -> r
+  | None -> (Calibration.gate cal target).Calibration.cnot_error
+
+let entries t = List.map (fun ((tg, sp), r) -> (tg, sp, r)) (PairMap.bindings t)
+
+let unordered (a, b) = if a <= b then (a, b) else (b, a)
+
+let interacting_pairs t =
+  List.sort_uniq compare (List.map (fun ((tg, sp), _) -> unordered (tg, sp)) (PairMap.bindings t))
+
+let high_crosstalk_pairs t cal ~threshold =
+  let flagged =
+    List.filter_map
+      (fun ((target, spectator), rate) ->
+        match Calibration.gate_opt cal target with
+        | Some g when rate > threshold *. g.Calibration.cnot_error ->
+          Some (unordered (target, spectator))
+        | Some _ | None -> None)
+      (PairMap.bindings t)
+  in
+  List.sort_uniq compare flagged
+
+let max_ratio t cal =
+  PairMap.fold
+    (fun (target, _) rate acc ->
+      match Calibration.gate_opt cal target with
+      | Some g when g.Calibration.cnot_error > 0.0 -> max acc (rate /. g.Calibration.cnot_error)
+      | Some _ | None -> acc)
+    t 0.0
+
+let restrict t keep =
+  let keep = List.map unordered keep in
+  PairMap.filter (fun (tg, sp) _ -> List.mem (unordered (tg, sp)) keep) t
+
+let merge older newer = PairMap.union (fun _ _ newest -> Some newest) older newer

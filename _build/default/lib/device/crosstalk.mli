@@ -1,0 +1,55 @@
+(** Conditional (crosstalk) error rates for simultaneously driven
+    CNOT pairs.
+
+    A value [E(target|spectator)] is the error rate of the CNOT on
+    edge [target] when the CNOT on edge [spectator] runs at the same
+    time.  The same type serves two roles:
+
+    - the device's hidden {e ground truth}, consumed only by the noise
+      engine when executing circuits (the "physics"); and
+    - the {e characterized} data estimated by SRB experiments, which is
+      what the scheduler is allowed to use.
+
+    Keeping the two in the same representation lets tests compare the
+    characterization output against truth directly. *)
+
+type t
+
+val empty : t
+
+val set : t -> target:Topology.edge -> spectator:Topology.edge -> float -> t
+(** Record [E(target|spectator)].  Edges are normalized. *)
+
+val set_symmetric : t -> Topology.edge -> Topology.edge -> float -> float -> t
+(** [set_symmetric t e1 e2 r1 r2] records [E(e1|e2) = r1] and
+    [E(e2|e1) = r2]. *)
+
+val conditional : t -> target:Topology.edge -> spectator:Topology.edge -> float option
+
+val conditional_or_independent :
+  t -> Calibration.t -> target:Topology.edge -> spectator:Topology.edge -> float
+(** Falls back to the independent rate when no conditional entry
+    exists (i.e. the pair has no significant crosstalk). *)
+
+val entries : t -> (Topology.edge * Topology.edge * float) list
+(** All ordered (target, spectator, rate) entries. *)
+
+val interacting_pairs : t -> (Topology.edge * Topology.edge) list
+(** Unordered pairs with at least one conditional entry. *)
+
+val high_crosstalk_pairs :
+  t -> Calibration.t -> threshold:float -> (Topology.edge * Topology.edge) list
+(** Unordered pairs where some direction satisfies
+    [E(gi|gj) > threshold * E(gi)] — the paper flags pairs at
+    threshold 3 in Figure 3. *)
+
+val max_ratio : t -> Calibration.t -> float
+(** Worst conditional/independent ratio over all entries (the paper
+    reports up to 11x). *)
+
+val restrict : t -> (Topology.edge * Topology.edge) list -> t
+(** Keep only entries whose unordered pair appears in the list. *)
+
+val merge : t -> t -> t
+(** Right-biased union — used when refreshing only high-crosstalk
+    pairs (Optimization 3) on top of an older full characterization. *)

@@ -1,0 +1,33 @@
+type t = {
+  name : string;
+  topology : Topology.t;
+  calibration : Calibration.t;
+  ground_truth : Crosstalk.t;
+}
+
+let create ~name ~topology ~calibration ~ground_truth =
+  if Calibration.nqubits calibration <> Topology.nqubits topology then
+    invalid_arg "Device.create: calibration / topology qubit count mismatch";
+  List.iter
+    (fun e ->
+      match Calibration.gate_opt calibration e with
+      | Some _ -> ()
+      | None ->
+        let a, b = e in
+        invalid_arg (Printf.sprintf "Device.create: edge (%d,%d) lacks calibration" a b))
+    (Topology.edges topology);
+  { name; topology; calibration; ground_truth }
+
+let name t = t.name
+let topology t = t.topology
+let calibration t = t.calibration
+let ground_truth t = t.ground_truth
+let nqubits t = Topology.nqubits t.topology
+let with_calibration t calibration = { t with calibration }
+let with_ground_truth t ground_truth = { t with ground_truth }
+
+let cnot_duration t e = (Calibration.gate t.calibration e).Calibration.cnot_duration
+let cnot_error t e = (Calibration.gate t.calibration e).Calibration.cnot_error
+
+let true_high_crosstalk_pairs t ~threshold =
+  Crosstalk.high_crosstalk_pairs t.ground_truth t.calibration ~threshold

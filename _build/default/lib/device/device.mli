@@ -1,0 +1,40 @@
+(** A complete device model: coupling graph, daily calibration data,
+    and the hidden ground-truth crosstalk.
+
+    The ground truth plays the role of the physical hardware: only the
+    noise engine ([Qcx_noise.Exec]) may consult it.  Compiler-side code
+    (characterization, scheduling) must work from calibration data and
+    from crosstalk estimates it measures itself — that separation is
+    the point of the paper's pipeline and is preserved here. *)
+
+type t
+
+val create :
+  name:string ->
+  topology:Topology.t ->
+  calibration:Calibration.t ->
+  ground_truth:Crosstalk.t ->
+  t
+
+val name : t -> string
+val topology : t -> Topology.t
+val calibration : t -> Calibration.t
+
+val ground_truth : t -> Crosstalk.t
+(** The hardware's true conditional error rates.  Reserved for the
+    noise engine and for test oracles; production compiler code paths
+    must not read it. *)
+
+val nqubits : t -> int
+
+val with_calibration : t -> Calibration.t -> t
+val with_ground_truth : t -> Crosstalk.t -> t
+
+val cnot_duration : t -> Topology.edge -> float
+val cnot_error : t -> Topology.edge -> float
+(** Independent error rate from calibration. *)
+
+val true_high_crosstalk_pairs :
+  t -> threshold:float -> (Topology.edge * Topology.edge) list
+(** Oracle view of high-crosstalk pairs (for tests and for seeding the
+    "periodically characterized" baseline of Optimization 3). *)

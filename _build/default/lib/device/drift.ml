@@ -1,0 +1,56 @@
+module Rng = Qcx_util.Rng
+module Stats = Qcx_util.Stats
+
+let seed_of device ~day = Hashtbl.hash (Device.name device, day, "drift")
+
+let lognormal rng ~sigma = exp (Rng.gaussian rng ~mu:0.0 ~sigma)
+
+let on_day device ~day =
+  if day = 0 then device
+  else begin
+    let rng = Rng.create (seed_of device ~day) in
+    let cal = Device.calibration device in
+    let topology = Device.topology device in
+    (* Perturb per-qubit data. *)
+    let cal =
+      List.fold_left
+        (fun acc q ->
+          let qc = Calibration.qubit acc q in
+          let f () = Stats.clamp ~lo:0.85 ~hi:1.15 (lognormal rng ~sigma:0.07) in
+          Calibration.with_qubit acc q
+            {
+              qc with
+              Calibration.t1 = qc.Calibration.t1 *. f ();
+              t2 = qc.Calibration.t2 *. f ();
+              readout_error = Stats.clamp ~lo:0.005 ~hi:0.2 (qc.Calibration.readout_error *. f ());
+            })
+        cal
+        (List.init (Calibration.nqubits cal) Fun.id)
+    in
+    (* Perturb independent CNOT errors. *)
+    let cal =
+      List.fold_left
+        (fun acc e ->
+          let g = Calibration.gate acc e in
+          let f = Stats.clamp ~lo:0.75 ~hi:1.25 (lognormal rng ~sigma:0.12) in
+          Calibration.with_gate acc e
+            {
+              g with
+              Calibration.cnot_error = Stats.clamp ~lo:0.002 ~hi:0.08 (g.Calibration.cnot_error *. f);
+            })
+        cal (Topology.edges topology)
+    in
+    (* Perturb conditional rates with a wider spread: the observed
+       day-to-day range of E(gi|gj) reaches 2-3x (Fig. 4). *)
+    let gt =
+      List.fold_left
+        (fun acc (target, spectator, rate) ->
+          let f = Stats.clamp ~lo:0.55 ~hi:1.8 (lognormal rng ~sigma:0.25) in
+          Crosstalk.set acc ~target ~spectator (Stats.clamp ~lo:0.0 ~hi:0.6 (rate *. f)))
+        Crosstalk.empty
+        (Crosstalk.entries (Device.ground_truth device))
+    in
+    Device.with_ground_truth (Device.with_calibration device cal) gt
+  end
+
+let series device ~days = List.init days (fun day -> on_day device ~day)

@@ -1,0 +1,21 @@
+(** Day-to-day drift of device noise.
+
+    The paper observes (Figure 4) that conditional error rates vary up
+    to 2–3x across days while the *set* of high-crosstalk pairs stays
+    stable — which is what justifies characterization Optimization 3
+    (daily re-measurement of high-crosstalk pairs only).  This module
+    produces the device "as it looks on day [d]": a deterministic
+    perturbation of calibration values and ground-truth conditional
+    rates keyed on (device name, day). *)
+
+val on_day : Device.t -> day:int -> Device.t
+(** [on_day device ~day] perturbs, multiplicatively and
+    deterministically:
+    - conditional crosstalk rates by a lognormal factor (sigma such
+      that the observed day-to-day spread reaches 2–3x),
+    - independent CNOT error rates by up to about +/-25%,
+    - T1/T2 and readout errors by up to about +/-15%.
+    [day = 0] returns the device unchanged. *)
+
+val series : Device.t -> days:int -> Device.t list
+(** [series device ~days] is [on_day] for days [0 .. days-1]. *)

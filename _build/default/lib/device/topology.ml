@@ -1,0 +1,107 @@
+type edge = int * int
+
+type t = {
+  nqubits : int;
+  edges : edge list;
+  adj : int list array;
+  dist : int array array;  (** all-pairs hop distances *)
+}
+
+let normalize (a, b) = if a <= b then (a, b) else (b, a)
+
+let bfs_distances adj nqubits src =
+  let dist = Array.make nqubits max_int in
+  dist.(src) <- 0;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  dist
+
+let create ~nqubits ~edges =
+  if nqubits <= 0 then invalid_arg "Topology.create: nqubits must be positive";
+  let normalized = List.map normalize edges in
+  let sorted = List.sort_uniq compare normalized in
+  if List.length sorted <> List.length normalized then
+    invalid_arg "Topology.create: duplicate edges";
+  List.iter
+    (fun (a, b) ->
+      if a = b then invalid_arg "Topology.create: self loop";
+      if a < 0 || b >= nqubits then invalid_arg "Topology.create: endpoint out of range")
+    sorted;
+  let adj = Array.make nqubits [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    sorted;
+  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  let dist = Array.init nqubits (bfs_distances adj nqubits) in
+  { nqubits; edges = sorted; adj; dist }
+
+let nqubits t = t.nqubits
+let edges t = t.edges
+let has_edge t e = List.mem (normalize e) t.edges
+
+let check_qubit t q =
+  if q < 0 || q >= t.nqubits then invalid_arg "Topology: qubit out of range"
+
+let neighbors t q =
+  check_qubit t q;
+  t.adj.(q)
+
+let degree t q = List.length (neighbors t q)
+
+let qubit_distance t a b =
+  check_qubit t a;
+  check_qubit t b;
+  t.dist.(a).(b)
+
+let shortest_path t src dst =
+  check_qubit t src;
+  check_qubit t dst;
+  if t.dist.(src).(dst) = max_int then []
+  else begin
+    (* Walk from dst back to src following decreasing distance-to-src.
+       Ties pick the highest-numbered qubit — on the IBMQ 20-qubit
+       layouts this matches the paths the paper's examples take
+       (e.g. 0 -> 13 through 5, 10, 11, 12 on Poughkeepsie, Fig. 6). *)
+    let rec walk cur acc =
+      if cur = src then cur :: acc
+      else
+        let candidates =
+          List.filter (fun v -> t.dist.(src).(v) = t.dist.(src).(cur) - 1) t.adj.(cur)
+        in
+        let next = List.fold_left max (List.hd candidates) candidates in
+        walk next (cur :: acc)
+    in
+    walk dst []
+  end
+
+let gate_distance t (a1, a2) (b1, b2) =
+  let d p q = qubit_distance t p q in
+  min (min (d a1 b1) (d a1 b2)) (min (d a2 b1) (d a2 b2))
+
+let parallel_gate_pairs t =
+  let rec pairs = function
+    | [] -> []
+    | e :: rest ->
+      List.filter_map
+        (fun e' ->
+          let (a, b), (c, d) = (e, e') in
+          if a = c || a = d || b = c || b = d then None else Some (e, e'))
+        rest
+      @ pairs rest
+  in
+  pairs t.edges
+
+let one_hop_gate_pairs t =
+  List.filter (fun (e1, e2) -> gate_distance t e1 e2 = 1) (parallel_gate_pairs t)

@@ -1,0 +1,47 @@
+(** Device coupling graph.
+
+    Nodes are physical qubits; edges are the qubit pairs on which the
+    hardware implements CNOT gates.  Also provides the hop distances
+    between gates (edges) that drive the paper's characterization
+    optimizations: crosstalk is significant only between gates at
+    1-hop separation, and SRB experiments for gate pairs at >= 2 hops
+    can run in parallel. *)
+
+type edge = int * int
+(** Normalized: smaller qubit first.  Use {!normalize}. *)
+
+type t
+
+val create : nqubits:int -> edges:(int * int) list -> t
+(** Raises [Invalid_argument] on out-of-range endpoints, self loops or
+    duplicate edges. *)
+
+val nqubits : t -> int
+val edges : t -> edge list
+(** Sorted, normalized. *)
+
+val normalize : int * int -> edge
+val has_edge : t -> int * int -> bool
+val neighbors : t -> int -> int list
+val degree : t -> int -> int
+
+val qubit_distance : t -> int -> int -> int
+(** BFS hop distance; [max_int] when disconnected. *)
+
+val shortest_path : t -> int -> int -> int list
+(** Qubit sequence from source to destination inclusive; [] when
+    disconnected.  Deterministic (lowest-qubit tie break). *)
+
+val gate_distance : t -> edge -> edge -> int
+(** Distance between two gates: the minimum qubit distance over their
+    endpoint pairs.  Gates sharing a qubit have distance 0; adjacent
+    gates (as in the paper's "separated by 1 hop") have distance 1. *)
+
+val parallel_gate_pairs : t -> (edge * edge) list
+(** All unordered pairs of CNOT gates that can be driven in parallel,
+    i.e. that do not share a qubit.  This is the paper's all-pairs SRB
+    candidate set (221 pairs on IBMQ Poughkeepsie). *)
+
+val one_hop_gate_pairs : t -> (edge * edge) list
+(** The subset of {!parallel_gate_pairs} at gate distance exactly 1 —
+    characterization Optimization 1. *)

@@ -1,0 +1,1 @@
+lib/linalg/gates.ml: Array Cplx Float Mat Printf

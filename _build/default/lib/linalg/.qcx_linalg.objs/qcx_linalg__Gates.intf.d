@@ -1,0 +1,1 @@
+lib/linalg/gates.mli: Cplx Mat

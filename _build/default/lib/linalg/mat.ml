@@ -1,0 +1,137 @@
+type t = { rows : int; cols : int; data : Cplx.t array }
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) Cplx.zero }
+
+let init rows cols f =
+  { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+let of_arrays arr =
+  let rows = Array.length arr in
+  if rows = 0 then invalid_arg "Mat.of_arrays: empty";
+  let cols = Array.length arr.(0) in
+  Array.iter (fun row -> if Array.length row <> cols then invalid_arg "Mat.of_arrays: ragged") arr;
+  init rows cols (fun i j -> arr.(i).(j))
+
+let identity n = init n n (fun i j -> if i = j then Cplx.one else Cplx.zero)
+let rows m = m.rows
+let cols m = m.cols
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Mat.get: out of bounds";
+  m.data.((i * m.cols) + j)
+
+let set m i j v =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Mat.set: out of bounds";
+  m.data.((i * m.cols) + j) <- v
+
+let lift2 name f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg (name ^ ": shape mismatch");
+  { a with data = Array.init (Array.length a.data) (fun k -> f a.data.(k) b.data.(k)) }
+
+let add a b = lift2 "Mat.add" Cplx.add a b
+let sub a b = lift2 "Mat.sub" Cplx.sub a b
+let scale s m = { m with data = Array.map (Cplx.mul s) m.data }
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: shape mismatch";
+  let out = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> Cplx.zero then
+        for j = 0 to b.cols - 1 do
+          out.data.((i * b.cols) + j) <-
+            Cplx.add out.data.((i * b.cols) + j) (Cplx.mul aik b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  out
+
+let adjoint m = init m.cols m.rows (fun i j -> Cplx.conj (get m j i))
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let kron a b =
+  init (a.rows * b.rows) (a.cols * b.cols) (fun i j ->
+      Cplx.mul (get a (i / b.rows) (j / b.cols)) (get b (i mod b.rows) (j mod b.cols)))
+
+let trace m =
+  if m.rows <> m.cols then invalid_arg "Mat.trace: not square";
+  let acc = ref Cplx.zero in
+  for k = 0 to m.rows - 1 do
+    acc := Cplx.add !acc (get m k k)
+  done;
+  !acc
+
+let apply m v =
+  if m.cols <> Array.length v then invalid_arg "Mat.apply: shape mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref Cplx.zero in
+      for j = 0 to m.cols - 1 do
+        acc := Cplx.add !acc (Cplx.mul (get m i j) v.(j))
+      done;
+      !acc)
+
+let approx_equal ?(tol = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  && Array.for_all2 (fun x y -> Cplx.approx_equal ~tol x y) a.data b.data
+
+let is_unitary ?(tol = 1e-9) m =
+  m.rows = m.cols && approx_equal ~tol (mul m (adjoint m)) (identity m.rows)
+
+let solve a b =
+  if a.rows <> a.cols then invalid_arg "Mat.solve: not square";
+  let n = a.rows in
+  if Array.length b <> n then invalid_arg "Mat.solve: shape mismatch";
+  let m = Array.init n (fun i -> Array.init n (get a i)) in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    (* partial pivot *)
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Cplx.abs m.(r).(col) > Cplx.abs m.(!pivot).(col) then pivot := r
+    done;
+    if Cplx.abs m.(!pivot).(col) < 1e-12 then failwith "Mat.solve: singular matrix";
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let tb = x.(col) in
+      x.(col) <- x.(!pivot);
+      x.(!pivot) <- tb
+    end;
+    let inv = Cplx.div Cplx.one m.(col).(col) in
+    for r = col + 1 to n - 1 do
+      let factor = Cplx.mul m.(r).(col) inv in
+      if factor <> Cplx.zero then begin
+        for c = col to n - 1 do
+          m.(r).(c) <- Cplx.sub m.(r).(c) (Cplx.mul factor m.(col).(c))
+        done;
+        x.(r) <- Cplx.sub x.(r) (Cplx.mul factor x.(col))
+      end
+    done
+  done;
+  for row = n - 1 downto 0 do
+    let acc = ref x.(row) in
+    for c = row + 1 to n - 1 do
+      acc := Cplx.sub !acc (Cplx.mul m.(row).(c) x.(c))
+    done;
+    x.(row) <- Cplx.div !acc m.(row).(row)
+  done;
+  x
+
+let real_solve a b =
+  let n = Array.length b in
+  let ac = init n n (fun i j -> Cplx.re a.(i).(j)) in
+  let bc = Array.map Cplx.re b in
+  Array.map (fun z -> z.Cplx.re) (solve ac bc)
+
+let to_string m =
+  let buf = Buffer.create 128 in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      Buffer.add_string buf (Cplx.to_string (get m i j));
+      if j < m.cols - 1 then Buffer.add_string buf "  "
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

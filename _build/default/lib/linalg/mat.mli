@@ -1,0 +1,50 @@
+(** Dense complex matrices.
+
+    Sized for the small objects this project manipulates — gate
+    unitaries (2x2, 4x4), density matrices of tomographed subsystems,
+    readout confusion matrices — not for the full statevector (see
+    [Qcx_statevector.State] for that). *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val init : int -> int -> (int -> int -> Cplx.t) -> t
+val of_arrays : Cplx.t array array -> t
+
+val identity : int -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> Cplx.t
+val set : t -> int -> int -> Cplx.t -> unit
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Cplx.t -> t -> t
+val mul : t -> t -> t
+val adjoint : t -> t
+(** Conjugate transpose. *)
+
+val transpose : t -> t
+val kron : t -> t -> t
+(** Kronecker (tensor) product. *)
+
+val trace : t -> Cplx.t
+
+val apply : t -> Cplx.t array -> Cplx.t array
+(** Matrix-vector product. *)
+
+val is_unitary : ?tol:float -> t -> bool
+(** [true] when [m * adjoint m] is the identity within [tol]. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+
+val solve : t -> Cplx.t array -> Cplx.t array
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting.  Raises [Failure] when [a] is singular. *)
+
+val real_solve : float array array -> float array -> float array
+(** Real-valued variant of {!solve} for confusion-matrix inversion. *)
+
+val to_string : t -> string

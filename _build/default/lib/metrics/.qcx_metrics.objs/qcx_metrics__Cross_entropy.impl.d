@@ -1,0 +1,1 @@
+lib/metrics/cross_entropy.ml: Array List String

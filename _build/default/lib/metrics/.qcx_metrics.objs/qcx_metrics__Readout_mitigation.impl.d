@@ -1,0 +1,1 @@
+lib/metrics/readout_mitigation.ml: Array List Option Qcx_device Qcx_linalg String

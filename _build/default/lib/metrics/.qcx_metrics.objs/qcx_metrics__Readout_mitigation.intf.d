@@ -1,0 +1,1 @@
+lib/metrics/readout_mitigation.mli: Qcx_device

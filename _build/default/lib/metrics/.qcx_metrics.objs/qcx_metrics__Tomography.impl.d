@@ -1,0 +1,1 @@
+lib/metrics/tomography.ml: Hashtbl List Option Printf Qcx_circuit Qcx_device Qcx_noise Qcx_util Readout_mitigation String

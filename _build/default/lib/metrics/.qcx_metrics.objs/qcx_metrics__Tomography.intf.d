@@ -1,0 +1,1 @@
+lib/metrics/tomography.mli: Qcx_circuit Qcx_device Qcx_util

@@ -1,0 +1,30 @@
+let entropy p =
+  Array.fold_left (fun acc x -> if x > 0.0 then acc -. (x *. log x) else acc) 0.0 p
+
+let index_of_bits bits =
+  (* leftmost char = lowest-indexed measured qubit = bit 0 *)
+  let n = String.length bits in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if bits.[i] = '1' then k := !k lor (1 lsl i)
+  done;
+  !k
+
+let against_ideal ~ideal ~measured =
+  let dim = Array.length ideal in
+  let probs = Array.make dim 0.0 in
+  List.iter
+    (fun (bits, p) ->
+      let idx = index_of_bits bits in
+      if idx >= dim then invalid_arg "Cross_entropy.against_ideal: dimension mismatch";
+      probs.(idx) <- probs.(idx) +. p)
+    measured;
+  (* Laplace smoothing on the measured distribution. *)
+  let alpha = 1e-4 in
+  let z = Array.fold_left ( +. ) 0.0 probs +. (alpha *. float_of_int dim) in
+  let smoothed = Array.map (fun p -> (p +. alpha) /. z) probs in
+  let acc = ref 0.0 in
+  Array.iteri (fun i pi -> if pi > 0.0 then acc := !acc -. (pi *. log smoothed.(i))) ideal;
+  !acc
+
+let loss ~ideal_entropy ce = ce -. ideal_entropy

@@ -1,0 +1,25 @@
+(** Cross entropy between a measured distribution and the ideal
+    noise-free distribution (the QAOA metric of Section 9.2).
+
+    [ce = - sum_x p_ideal(x) ln p_measured(x)] — equal to the ideal
+    distribution's Shannon entropy when the measurement is perfect,
+    and growing as noise flattens the output (lower is better,
+    Figure 8).  Measured probabilities are Laplace-smoothed so empty
+    bins do not blow up the logarithm. *)
+
+val entropy : float array -> float
+(** Shannon entropy (nats) of a probability vector — the "Theoretical
+    Ideal (Noise Free)" line of Figure 8. *)
+
+val against_ideal :
+  ideal:float array ->
+  measured:(string * float) list ->
+  float
+(** [ideal] is indexed by basis-state integer; measured bitstrings use
+    the leftmost character as the lowest-indexed measured qubit
+    (the [Qcx_noise.Exec] convention).  Both must cover the same
+    number of qubits. *)
+
+val loss : ideal_entropy:float -> float -> float
+(** [ce - ideal_entropy]: the "loss in cross entropy" the paper
+    reports improvement factors on. *)

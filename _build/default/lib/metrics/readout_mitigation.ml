@@ -1,0 +1,57 @@
+module Mat = Qcx_linalg.Mat
+module Device = Qcx_device.Device
+module Calibration = Qcx_device.Calibration
+
+let confusion1 ~flip = [| [| 1.0 -. flip; flip |]; [| flip; 1.0 -. flip |] |]
+
+(* Probability that true bitstring [t] is read as [o] under independent
+   per-qubit flips. *)
+let transition flips ~truth ~observed =
+  List.fold_left
+    (fun acc (i, flip) ->
+      let same = truth.[i] = observed.[i] in
+      acc *. (if same then 1.0 -. flip else flip))
+    1.0
+    (List.mapi (fun i f -> (i, f)) flips)
+
+let all_strings n =
+  List.init (1 lsl n) (fun k ->
+      String.init n (fun i -> if (k lsr (n - 1 - i)) land 1 = 1 then '1' else '0'))
+
+let mitigate ~flips ~counts =
+  let n = List.length flips in
+  if n > 12 then invalid_arg "Readout_mitigation.mitigate: too many qubits";
+  List.iter
+    (fun (s, _) ->
+      if String.length s <> n then invalid_arg "Readout_mitigation.mitigate: bitstring length")
+    counts;
+  let strings = all_strings n in
+  let total = float_of_int (max 1 (List.fold_left (fun acc (_, c) -> acc + c) 0 counts)) in
+  let observed =
+    Array.of_list
+      (List.map
+         (fun s ->
+           float_of_int (Option.value ~default:0 (List.assoc_opt s counts)) /. total)
+         strings)
+  in
+  (* Solve M p = observed where M.(o).(t) = P(read o | truth t). *)
+  let dim = 1 lsl n in
+  let strings_arr = Array.of_list strings in
+  let m =
+    Array.init dim (fun o ->
+        Array.init dim (fun t ->
+            transition flips ~truth:strings_arr.(t) ~observed:strings_arr.(o)))
+  in
+  let corrected = Mat.real_solve m observed in
+  (* Clip negatives and renormalize. *)
+  let clipped = Array.map (fun p -> max 0.0 p) corrected in
+  let z = Array.fold_left ( +. ) 0.0 clipped in
+  let z = if z <= 0.0 then 1.0 else z in
+  List.mapi (fun i s -> (s, clipped.(i) /. z)) strings
+
+let mitigate_for_device device ~measured ~counts =
+  let cal = Device.calibration device in
+  let flips =
+    List.map (fun q -> (Calibration.qubit cal q).Calibration.readout_error) measured
+  in
+  mitigate ~flips ~counts

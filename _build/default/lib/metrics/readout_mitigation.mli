@@ -1,0 +1,27 @@
+(** Tensored readout-error mitigation (Section 8.4's "readout error
+    mitigation [25] is used in all cases").
+
+    Each qubit's readout is modelled by a 2x2 confusion matrix; the
+    observed distribution over a small set of measured qubits is
+    multiplied by the inverse of the tensor product of those matrices.
+    Negative corrected probabilities (a known artifact of linear
+    inversion) are clipped and the vector renormalized. *)
+
+val confusion1 : flip:float -> float array array
+(** Symmetric single-qubit confusion matrix [ [1-f, f], [f, 1-f] ]. *)
+
+val mitigate :
+  flips:float list ->
+  counts:(string * int) list ->
+  (string * float) list
+(** [mitigate ~flips ~counts] corrects a distribution over bitstrings
+    (one character per measured qubit, in the same order as [flips]).
+    Returns a normalized probability list covering all 2^n strings. *)
+
+val mitigate_for_device :
+  Qcx_device.Device.t ->
+  measured:int list ->
+  counts:(string * int) list ->
+  (string * float) list
+(** Convenience wrapper: per-qubit flip probabilities from the
+    device's calibration. *)

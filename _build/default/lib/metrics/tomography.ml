@@ -1,0 +1,81 @@
+module Circuit = Qcx_circuit.Circuit
+module Schedule = Qcx_circuit.Schedule
+module Device = Qcx_device.Device
+module Calibration = Qcx_device.Calibration
+module Exec = Qcx_noise.Exec
+module Rng = Qcx_util.Rng
+
+type result = {
+  fidelity : float;
+  error : float;
+  expectations : ((char * char) * float) list;
+}
+
+let bases = [ 'Z'; 'X'; 'Y' ]
+
+let rotate_into_basis c basis q =
+  match basis with
+  | 'Z' -> c
+  | 'X' -> Circuit.h c q
+  | 'Y' -> Circuit.h (Circuit.sdg c q) q
+  | _ -> invalid_arg "Tomography: unknown basis"
+
+(* Marginal distribution over the two pair qubits, readout-mitigated. *)
+let marginal device counts ~measured ~pair:(a, b) =
+  let ia = ref (-1) and ib = ref (-1) in
+  List.iteri
+    (fun i q ->
+      if q = a then ia := i;
+      if q = b then ib := i)
+    measured;
+  if !ia < 0 || !ib < 0 then invalid_arg "Tomography: pair not measured";
+  let tally = Hashtbl.create 4 in
+  List.iter
+    (fun (bits, n) ->
+      let key = Printf.sprintf "%c%c" bits.[!ia] bits.[!ib] in
+      Hashtbl.replace tally key (n + Option.value ~default:0 (Hashtbl.find_opt tally key)))
+    (Exec.counts_bindings counts);
+  let counts2 = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally [] in
+  let cal = Device.calibration device in
+  let flips =
+    [
+      (Calibration.qubit cal a).Calibration.readout_error;
+      (Calibration.qubit cal b).Calibration.readout_error;
+    ]
+  in
+  Readout_mitigation.mitigate ~flips ~counts:counts2
+
+let expectation dist =
+  (* <P (x) Q> = sum over outcomes of (-1)^(b1 + b2) p *)
+  List.fold_left
+    (fun acc (bits, p) ->
+      let sign = if bits.[0] = bits.[1] then 1.0 else -1.0 in
+      acc +. (sign *. p))
+    0.0 dist
+
+let fidelity_phi_plus expectations =
+  let get key = Option.value ~default:0.0 (List.assoc_opt key expectations) in
+  (1.0 +. get ('X', 'X') -. get ('Y', 'Y') +. get ('Z', 'Z')) /. 4.0
+
+let bell_state device ~rng ~trials_per_basis ~schedule ~circuit ~pair =
+  let a, b = pair in
+  let expectations =
+    List.concat_map
+      (fun ba ->
+        List.map
+          (fun bb ->
+            let c = rotate_into_basis circuit ba a in
+            let c = rotate_into_basis c bb b in
+            let c = Circuit.measure_all c in
+            let sched = schedule c in
+            let counts =
+              Exec.run device sched ~rng ~trials:trials_per_basis ~backend:Exec.Stabilizer
+            in
+            let measured = Exec.measured_qubits c in
+            let dist = marginal device counts ~measured ~pair in
+            ((ba, bb), expectation dist))
+          bases)
+      bases
+  in
+  let fidelity = Qcx_util.Stats.clamp ~lo:0.0 ~hi:1.0 (fidelity_phi_plus expectations) in
+  { fidelity; error = 1.0 -. fidelity; expectations }

@@ -1,0 +1,35 @@
+(** Two-qubit state tomography (the Figure 5/7 measurement protocol:
+    9 basis pairs x 1024 trials, with readout mitigation).
+
+    For each of the nine Pauli basis pairs {X,Y,Z}^2, the input
+    circuit is extended with basis-change rotations on the target
+    qubits and measurements on every used qubit, scheduled by the
+    caller-supplied scheduler (so tomography quality reflects the
+    scheduler under test), executed on the noisy device, and the
+    two-qubit marginal is readout-mitigated.  The fidelity against
+    the ideal |Phi+> Bell state follows by linear inversion from the
+    measured expectations ([F = (1 + <XX> - <YY> + <ZZ>) / 4]); the
+    reported error is [1 - F]. *)
+
+type result = {
+  fidelity : float;
+  error : float;  (** 1 - fidelity; the Figure 5 "measured error rate" *)
+  expectations : ((char * char) * float) list;
+      (** the nine measured two-qubit Pauli expectation values *)
+}
+
+val bell_state :
+  Qcx_device.Device.t ->
+  rng:Qcx_util.Rng.t ->
+  trials_per_basis:int ->
+  schedule:(Qcx_circuit.Circuit.t -> Qcx_circuit.Schedule.t) ->
+  circuit:Qcx_circuit.Circuit.t ->
+  pair:int * int ->
+  result
+(** [circuit] must be measurement-free and leave (ideally) a |Phi+>
+    Bell pair on [pair].  Uses the stabilizer backend — the input
+    circuit must be Clifford (true for all SWAP-path circuits). *)
+
+val fidelity_phi_plus : ((char * char) * float) list -> float
+(** [ (1 + <XX> - <YY> + <ZZ>) / 4 ] from a 9-basis expectation list;
+    exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/noise/channel.ml: Qcx_util

@@ -1,0 +1,1 @@
+lib/noise/channel.mli: Qcx_util

@@ -1,0 +1,1 @@
+lib/noise/exec.ml: Array Channel Hashtbl List Option Printf Qcx_circuit Qcx_device Qcx_linalg Qcx_stabilizer Qcx_statevector Qcx_util String

@@ -1,0 +1,1 @@
+lib/noise/exec.mli: Qcx_circuit Qcx_device Qcx_statevector Qcx_util

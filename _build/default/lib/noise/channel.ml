@@ -1,0 +1,43 @@
+module Rng = Qcx_util.Rng
+
+type pauli = [ `X | `Y | `Z ]
+
+let depol_param_of_error_rate ~nqubits error =
+  if error < 0.0 then invalid_arg "Channel.depol_param_of_error_rate: negative error";
+  let d = float_of_int (1 lsl nqubits) in
+  min 1.0 (d /. (d -. 1.0) *. error)
+
+let pauli_of_int = function 0 -> `X | 1 -> `Y | _ -> `Z
+
+let sample_depolarizing1 rng ~p =
+  if Rng.bernoulli rng p then Some (pauli_of_int (Rng.int rng 3)) else None
+
+let sample_depolarizing2 rng ~p =
+  if not (Rng.bernoulli rng p) then None
+  else begin
+    (* Uniform over the 15 non-identity pairs: encode 1..15 in base 4. *)
+    let code = 1 + Rng.int rng 15 in
+    let lo = code land 3 and hi = code lsr 2 in
+    let decode = function 0 -> None | 1 -> Some `X | 2 -> Some `Y | _ -> Some `Z in
+    Some (decode lo, decode hi)
+  end
+
+type idle = { px : float; py : float; pz : float }
+
+let idle_channel ~t1 ~t2 ~duration =
+  if duration < 0.0 then invalid_arg "Channel.idle_channel: negative duration";
+  if t1 <= 0.0 || t2 <= 0.0 then invalid_arg "Channel.idle_channel: non-positive T1/T2";
+  let p_relax = 1.0 -. exp (-.duration /. t1) in
+  let p_dephase = 1.0 -. exp (-.duration /. t2) in
+  let px = p_relax /. 4.0 in
+  let pz = max 0.0 ((p_dephase /. 2.0) -. (p_relax /. 4.0)) in
+  { px; py = px; pz }
+
+let sample_idle rng { px; py; pz } =
+  let u = Rng.unit_float rng in
+  if u < px then Some `X
+  else if u < px +. py then Some `Y
+  else if u < px +. py +. pz then Some `Z
+  else None
+
+let idle_error_probability { px; py; pz } = px +. py +. pz

@@ -1,0 +1,35 @@
+(** Stochastic (Pauli-twirled) noise channels.
+
+    All channels are expressed as probabilistic Pauli insertions so
+    that they apply identically to the stabilizer and statevector
+    backends (a single Monte-Carlo trajectory picture). *)
+
+type pauli = [ `X | `Y | `Z ]
+
+val depol_param_of_error_rate : nqubits:int -> float -> float
+(** Convert an RB-style gate error rate into the depolarizing
+    probability to inject so that randomized benchmarking measures the
+    given rate back.  RB reports [(d-1)/d * (1 - alpha)] per gate with
+    [alpha = 1 - p]; hence [p = d/(d-1) * error]. *)
+
+val sample_depolarizing1 : Qcx_util.Rng.t -> p:float -> pauli option
+(** With probability [p], a uniformly random single-qubit Pauli
+    error. *)
+
+val sample_depolarizing2 : Qcx_util.Rng.t -> p:float -> (pauli option * pauli option) option
+(** With probability [p], one of the 15 non-identity two-qubit Pauli
+    errors, uniformly.  [None] means no error; the inner options give
+    the per-qubit components (never both [None]). *)
+
+type idle = { px : float; py : float; pz : float }
+(** Pauli-twirled relaxation/dephasing over an idle window. *)
+
+val idle_channel : t1:float -> t2:float -> duration:float -> idle
+(** Twirled amplitude+phase damping for an idle of [duration] ns:
+    [px = py = (1 - e^{-t/T1})/4],
+    [pz = (1 - e^{-t/T2})/2 - (1 - e^{-t/T1})/4] (clamped at 0). *)
+
+val sample_idle : Qcx_util.Rng.t -> idle -> pauli option
+
+val idle_error_probability : idle -> float
+(** Total probability that the idle channel applies any Pauli. *)

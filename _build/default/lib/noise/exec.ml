@@ -1,0 +1,328 @@
+module Rng = Qcx_util.Rng
+module Circuit = Qcx_circuit.Circuit
+module Gate = Qcx_circuit.Gate
+module Schedule = Qcx_circuit.Schedule
+module Device = Qcx_device.Device
+module Calibration = Qcx_device.Calibration
+module Crosstalk = Qcx_device.Crosstalk
+module Tableau = Qcx_stabilizer.Tableau
+module State = Qcx_statevector.State
+module Gates = Qcx_linalg.Gates
+
+type backend = Stabilizer | Statevector
+
+type counts = { table : (string, int) Hashtbl.t; mutable total : int }
+
+let counts_total c = c.total
+let counts_get c k = Option.value ~default:0 (Hashtbl.find_opt c.table k)
+
+let counts_bindings c =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) c.table [])
+
+let distribution c =
+  let n = float_of_int (max 1 c.total) in
+  List.map (fun (k, v) -> (k, float_of_int v /. n)) (counts_bindings c)
+
+let measured_qubits circuit =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun g -> if Gate.is_measure g then g.Gate.qubits else [])
+       (Circuit.gates circuit))
+
+let edge_of_cnot g =
+  match g.Gate.qubits with
+  | [ a; b ] -> Qcx_device.Topology.normalize (a, b)
+  | _ -> invalid_arg "Exec: malformed 2-qubit gate"
+
+let effective_cnot_error device sched id =
+  let circuit = Schedule.circuit sched in
+  let g = Circuit.gate circuit id in
+  if not (Gate.is_two_qubit g) then invalid_arg "Exec.effective_cnot_error: not a CNOT";
+  let target = edge_of_cnot g in
+  let independent = Device.cnot_error device target in
+  let gt = Device.ground_truth device in
+  (* Crosstalk accumulates while the spectator's drive is actually on:
+     the conditional excess is weighted by the overlapped fraction of
+     the target gate.  The worst overlapping partner dominates;
+     simultaneous triplets do not compound further (the paper's
+     observation behind eq. 6). *)
+  let t_start = Schedule.start sched id and t_finish = Schedule.finish sched id in
+  let duration = max 1.0 (t_finish -. t_start) in
+  let excess =
+    List.fold_left
+      (fun acc other ->
+        if other.Gate.id <> id && Gate.is_two_qubit other && Schedule.overlaps sched id other.Gate.id
+        then
+          let spectator = edge_of_cnot other in
+          match Crosstalk.conditional gt ~target ~spectator with
+          | Some conditional ->
+            let o_start = max t_start (Schedule.start sched other.Gate.id) in
+            let o_finish = min t_finish (Schedule.finish sched other.Gate.id) in
+            let fraction = max 0.0 (o_finish -. o_start) /. duration in
+            max acc (fraction *. max 0.0 (conditional -. independent))
+          | None -> acc
+        else acc)
+      0.0 (Circuit.gates circuit)
+  in
+  min 0.75 (independent +. excess)
+
+(* A trajectory-level simulator interface over the two backends. *)
+type sim =
+  | Tab of Tableau.t
+  | Vec of State.t
+
+let apply_pauli sim p q =
+  match sim with Tab t -> Tableau.apply_pauli t p q | Vec v -> State.apply_pauli v p q
+
+let apply_gate sim kind qubits =
+  match (sim, kind, qubits) with
+  | Tab t, Gate.H, [ q ] -> Tableau.h t q
+  | Tab t, Gate.X, [ q ] -> Tableau.x t q
+  | Tab t, Gate.Y, [ q ] -> Tableau.y t q
+  | Tab t, Gate.Z, [ q ] -> Tableau.z t q
+  | Tab t, Gate.S, [ q ] -> Tableau.s t q
+  | Tab t, Gate.Sdg, [ q ] -> Tableau.sdg t q
+  | Tab t, Gate.Cnot, [ c; tg ] -> Tableau.cnot t ~control:c ~target:tg
+  | Tab t, Gate.Swap, [ a; b ] -> Tableau.swap t a b
+  | Tab _, (Gate.T | Gate.Tdg | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.U2 _), _ ->
+    invalid_arg
+      (Printf.sprintf "Exec: non-Clifford gate %s on stabilizer backend" (Gate.kind_name kind))
+  | Vec v, Gate.H, [ q ] -> State.h v q
+  | Vec v, Gate.X, [ q ] -> State.x v q
+  | Vec v, Gate.Y, [ q ] -> State.y v q
+  | Vec v, Gate.Z, [ q ] -> State.z v q
+  | Vec v, Gate.S, [ q ] -> State.s v q
+  | Vec v, Gate.Sdg, [ q ] -> State.sdg v q
+  | Vec v, Gate.T, [ q ] -> State.apply1 v Gates.t q
+  | Vec v, Gate.Tdg, [ q ] -> State.apply1 v Gates.tdg q
+  | Vec v, Gate.Rx theta, [ q ] -> State.apply1 v (Gates.rx theta) q
+  | Vec v, Gate.Ry theta, [ q ] -> State.apply1 v (Gates.ry theta) q
+  | Vec v, Gate.Rz theta, [ q ] -> State.apply1 v (Gates.rz theta) q
+  | Vec v, Gate.U2 (phi, lam), [ q ] -> State.apply1 v (Gates.u2 phi lam) q
+  | Vec v, Gate.Cnot, [ c; tg ] -> State.cnot v ~control:c ~target:tg
+  | Vec v, Gate.Swap, [ a; b ] ->
+    State.cnot v ~control:a ~target:b;
+    State.cnot v ~control:b ~target:a;
+    State.cnot v ~control:a ~target:b
+  | _, (Gate.Barrier | Gate.Measure), _ -> ()
+  | _ -> invalid_arg "Exec: malformed gate operands"
+
+let measure_sim sim rng q =
+  match sim with Tab t -> Tableau.measure t rng q | Vec v -> State.measure v rng q
+
+(* Precomputed per-gate noise plan, shared across trials. *)
+type gate_plan = {
+  gate : Gate.t;
+  compact_qubits : int list;
+  start : float;
+  error_p : float;  (** depolarizing parameter to inject after the gate *)
+  idles : (int * int * Channel.idle) list;
+      (** (hardware qubit, compact qubit, channel) for the gap before this gate *)
+}
+
+let build_plans device sched =
+  let circuit = Schedule.circuit sched in
+  let cal = Device.calibration device in
+  let used = Circuit.used_qubits circuit in
+  let compact = Hashtbl.create 16 in
+  List.iteri (fun i q -> Hashtbl.add compact q i) used;
+  let cq q = Hashtbl.find compact q in
+  let last_end = Hashtbl.create 16 in
+  (* Decoherence starts at a qubit's first gate: no idle before it. *)
+  let plans =
+    List.filter_map
+      (fun g ->
+        if Gate.is_barrier g then None
+        else begin
+          let id = g.Gate.id in
+          let start = Schedule.start sched id in
+          let idles =
+            List.filter_map
+              (fun q ->
+                match Hashtbl.find_opt last_end q with
+                | Some t0 when start > t0 +. 1e-9 ->
+                  let qc = Calibration.qubit cal q in
+                  Some
+                    ( q,
+                      cq q,
+                      Channel.idle_channel ~t1:qc.Calibration.t1 ~t2:qc.Calibration.t2
+                        ~duration:(start -. t0) )
+                | Some _ | None -> None)
+              g.Gate.qubits
+          in
+          List.iter (fun q -> Hashtbl.replace last_end q (Schedule.finish sched id)) g.Gate.qubits;
+          let error_p =
+            if Gate.is_two_qubit g then
+              Channel.depol_param_of_error_rate ~nqubits:2 (effective_cnot_error device sched id)
+            else if Gate.is_single_qubit g then
+              let q = List.hd g.Gate.qubits in
+              Channel.depol_param_of_error_rate ~nqubits:1
+                (Calibration.qubit cal q).Calibration.single_qubit_error
+            else 0.0
+          in
+          Some { gate = g; compact_qubits = List.map cq g.Gate.qubits; start; error_p; idles }
+        end)
+      (Schedule.gates_by_start sched)
+  in
+  (used, plans)
+
+let run device sched ~rng ~trials ~backend =
+  let circuit = Schedule.circuit sched in
+  (match Schedule.validate sched with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Exec.run: invalid schedule: " ^ msg));
+  let used, plans = build_plans device sched in
+  let nused = List.length used in
+  let cal = Device.calibration device in
+  let measured = measured_qubits circuit in
+  let counts = { table = Hashtbl.create 64; total = 0 } in
+  for _ = 1 to trials do
+    let sim =
+      match backend with
+      | Stabilizer -> Tab (Tableau.create (max nused 1))
+      | Statevector -> Vec (State.create (max nused 1))
+    in
+    let bits = Hashtbl.create 8 in
+    List.iter
+      (fun plan ->
+        List.iter
+          (fun (_, cqubit, idle) ->
+            match Channel.sample_idle rng idle with
+            | Some p -> apply_pauli sim p cqubit
+            | None -> ())
+          plan.idles;
+        if Gate.is_measure plan.gate then begin
+          let hw = List.hd plan.gate.Gate.qubits in
+          let cqubit = List.hd plan.compact_qubits in
+          let bit = measure_sim sim rng cqubit in
+          let ro = (Calibration.qubit cal hw).Calibration.readout_error in
+          let bit = if Rng.bernoulli rng ro then not bit else bit in
+          Hashtbl.replace bits hw bit
+        end
+        else begin
+          apply_gate sim plan.gate.Gate.kind plan.compact_qubits;
+          if plan.error_p > 0.0 then
+            match plan.compact_qubits with
+            | [ q ] -> (
+              match Channel.sample_depolarizing1 rng ~p:plan.error_p with
+              | Some p -> apply_pauli sim p q
+              | None -> ())
+            | [ a; b ] -> (
+              match Channel.sample_depolarizing2 rng ~p:plan.error_p with
+              | Some (pa, pb) ->
+                Option.iter (fun p -> apply_pauli sim p a) pa;
+                Option.iter (fun p -> apply_pauli sim p b) pb
+              | None -> ())
+            | _ -> ()
+        end)
+      plans;
+    let bitstring =
+      String.concat ""
+        (List.map
+           (fun q ->
+             match Hashtbl.find_opt bits q with
+             | Some true -> "1"
+             | Some false -> "0"
+             | None -> "?")
+           measured)
+    in
+    Hashtbl.replace counts.table bitstring (1 + counts_get counts bitstring);
+    counts.total <- counts.total + 1
+  done;
+  counts
+
+let run_distribution device sched ~rng ~trajectories =
+  let circuit = Schedule.circuit sched in
+  (match Schedule.validate sched with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Exec.run_distribution: invalid schedule: " ^ msg));
+  let used, plans = build_plans device sched in
+  let nused = List.length used in
+  let cal = Device.calibration device in
+  let measured = measured_qubits circuit in
+  let nmeas = List.length measured in
+  if nmeas > 12 then invalid_arg "Exec.run_distribution: too many measured qubits";
+  let compact_of_hw =
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun i q -> Hashtbl.replace tbl q i) used;
+    tbl
+  in
+  let meas_compact = List.map (Hashtbl.find compact_of_hw) measured in
+  let dim = 1 lsl nmeas in
+  let acc = Array.make dim 0.0 in
+  for _ = 1 to trajectories do
+    let sim = Vec (State.create (max nused 1)) in
+    List.iter
+      (fun plan ->
+        List.iter
+          (fun (_, cqubit, idle) ->
+            match Channel.sample_idle rng idle with
+            | Some p -> apply_pauli sim p cqubit
+            | None -> ())
+          plan.idles;
+        if not (Gate.is_measure plan.gate) then begin
+          apply_gate sim plan.gate.Gate.kind plan.compact_qubits;
+          if plan.error_p > 0.0 then
+            match plan.compact_qubits with
+            | [ q ] -> (
+              match Channel.sample_depolarizing1 rng ~p:plan.error_p with
+              | Some p -> apply_pauli sim p q
+              | None -> ())
+            | [ a; b ] -> (
+              match Channel.sample_depolarizing2 rng ~p:plan.error_p with
+              | Some (pa, pb) ->
+                Option.iter (fun p -> apply_pauli sim p a) pa;
+                Option.iter (fun p -> apply_pauli sim p b) pb
+              | None -> ())
+            | _ -> ()
+        end)
+      plans;
+    let state = match sim with Vec v -> v | Tab _ -> assert false in
+    (* Marginalize |amp|^2 onto the measured qubits. *)
+    let full = State.probabilities state in
+    Array.iteri
+      (fun k p ->
+        if p > 0.0 then begin
+          let idx = ref 0 in
+          List.iteri
+            (fun i cq -> if (k lsr cq) land 1 = 1 then idx := !idx lor (1 lsl i))
+            meas_compact;
+          acc.(!idx) <- acc.(!idx) +. p
+        end)
+      full
+  done;
+  let scale = 1.0 /. float_of_int (max 1 trajectories) in
+  let clean = Array.map (fun p -> p *. scale) acc in
+  (* Apply readout confusion analytically: independent per-qubit
+     flips. *)
+  let flips =
+    List.map (fun q -> (Calibration.qubit cal q).Calibration.readout_error) measured
+  in
+  let confused = Array.make dim 0.0 in
+  for truth = 0 to dim - 1 do
+    if clean.(truth) > 0.0 then
+      for observed = 0 to dim - 1 do
+        let p = ref clean.(truth) in
+        List.iteri
+          (fun i flip ->
+            let same = (truth lsr i) land 1 = (observed lsr i) land 1 in
+            p := !p *. (if same then 1.0 -. flip else flip))
+          flips;
+        confused.(observed) <- confused.(observed) +. !p
+      done
+  done;
+  List.init dim (fun k ->
+      ( String.init nmeas (fun i -> if (k lsr i) land 1 = 1 then '1' else '0'),
+        confused.(k) ))
+
+let run_ideal circuit =
+  let used = Circuit.used_qubits circuit in
+  let compact = Hashtbl.create 16 in
+  List.iteri (fun i q -> Hashtbl.add compact q i) used;
+  let state = State.create (max (List.length used) 1) in
+  List.iter
+    (fun g ->
+      if Gate.is_unitary g then
+        apply_gate (Vec state) g.Gate.kind (List.map (Hashtbl.find compact) g.Gate.qubits))
+    (Circuit.gates circuit);
+  (state, used)

@@ -1,0 +1,75 @@
+(** Schedule-aware Monte-Carlo execution — the stand-in for running a
+    compiled program on the IBMQ hardware.
+
+    A trajectory walks the schedule in time order and injects:
+    - a depolarizing Pauli error after every gate, with the CNOT error
+      probability raised to the device's hidden conditional rate when
+      the CNOT overlaps in time with a crosstalking neighbour gate
+      (the worst overlapping partner dominates — the paper's eq. 6
+      observation that simultaneous triplets do not compound);
+    - Pauli-twirled T1/T2 idle errors over every gap in a qubit's
+      schedule between its first gate and its readout — reproducing
+      the paper's lifetime decoherence model, including the rule that
+      decoherence on a qubit only starts at its first gate;
+    - readout bit flips at measurement.
+
+    This is the only module (together with test oracles) that reads
+    [Device.ground_truth]. *)
+
+type backend =
+  | Stabilizer  (** fast, Clifford-only *)
+  | Statevector  (** any gate, up to ~20 qubits *)
+
+type counts
+(** Multiset of measured bitstrings. *)
+
+val counts_total : counts -> int
+val counts_get : counts -> string -> int
+val counts_bindings : counts -> (string * int) list
+(** Bitstrings are ordered with the lowest measured hardware qubit as
+    the leftmost character. *)
+
+val distribution : counts -> (string * float) list
+(** Normalized frequencies. *)
+
+val measured_qubits : Qcx_circuit.Circuit.t -> int list
+(** Sorted hardware qubits with measurement operations. *)
+
+val effective_cnot_error :
+  Qcx_device.Device.t -> Qcx_circuit.Schedule.t -> int -> float
+(** The true error probability the hardware applies to the given CNOT
+    gate id under this schedule: independent rate plus the conditional
+    excess of every overlapping crosstalk partner.  Exposed for tests
+    and for the optimality oracle. *)
+
+val run :
+  Qcx_device.Device.t ->
+  Qcx_circuit.Schedule.t ->
+  rng:Qcx_util.Rng.t ->
+  trials:int ->
+  backend:backend ->
+  counts
+(** Execute [trials] trajectories and tally measured bitstrings.
+    Unmeasured circuits produce empty-string counts.  The simulation
+    runs on the compacted set of used qubits, so 2-5 qubit programs on
+    a 20-qubit device stay cheap.  Raises [Invalid_argument] if the
+    stabilizer backend meets a non-Clifford gate. *)
+
+val run_distribution :
+  Qcx_device.Device.t ->
+  Qcx_circuit.Schedule.t ->
+  rng:Qcx_util.Rng.t ->
+  trajectories:int ->
+  (string * float) list
+(** Statevector-only variant of {!run} that averages each Monte-Carlo
+    trajectory's {e exact} output distribution over the measured
+    qubits (applying the per-qubit readout confusion analytically)
+    instead of sampling one bitstring per trial.  Far lower variance
+    per unit work — used for the cross-entropy experiments.  Requires
+    at most 12 measured qubits. *)
+
+val run_ideal : Qcx_circuit.Circuit.t -> Qcx_statevector.State.t * int list
+(** Noise-free statevector execution (measurements skipped); returns
+    the state over the compacted qubits and the compaction map
+    (hardware qubit of each simulated index).  Used for ideal
+    distributions in cross-entropy scoring and tomography baselines. *)

@@ -1,0 +1,1 @@
+lib/persist/json.ml: Buffer Char Float List Printf String

@@ -1,0 +1,1 @@
+lib/persist/store.ml: Array Fun Json List Qcx_device Result

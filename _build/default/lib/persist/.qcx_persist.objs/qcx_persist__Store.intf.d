@@ -1,0 +1,1 @@
+lib/persist/store.mli: Json Qcx_device

@@ -1,0 +1,248 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+(* ---- emission ---- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number_to_string x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let to_string ?(indent = true) t =
+  let buf = Buffer.create 256 in
+  let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let nl () = if indent then Buffer.add_char buf '\n' in
+  let rec emit depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Number x -> Buffer.add_string buf (number_to_string x)
+    | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | Array [] -> Buffer.add_string buf "[]"
+    | Array items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (depth + 1);
+          emit (depth + 1) item)
+        items;
+      nl ();
+      pad depth;
+      Buffer.add_char buf ']'
+    | Object [] -> Buffer.add_string buf "{}"
+    | Object fields ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            nl ()
+          end;
+          pad (depth + 1);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape key);
+          Buffer.add_string buf "\": ";
+          emit (depth + 1) value)
+        fields;
+      nl ();
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  emit 0 t;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+exception Bad of string
+
+let of_string text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let error msg = raise (Bad (Printf.sprintf "%s at position %d" msg !pos)) in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> error (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= len && String.sub text !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else error ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> error "unterminated string"
+      | Some '"' ->
+        advance ();
+        Buffer.contents buf
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 'b' -> Buffer.add_char buf '\b'
+        | Some 'f' -> Buffer.add_char buf '\012'
+        | Some 'u' ->
+          if !pos + 4 >= len then error "truncated unicode escape";
+          let hex = String.sub text (!pos + 1) 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+          | Some _ -> Buffer.add_char buf '?'
+          | None -> error "bad unicode escape");
+          pos := !pos + 4
+        | _ -> error "bad escape");
+        advance ();
+        loop ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_number_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while (match peek () with Some c when is_number_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let s = String.sub text start (!pos - start) in
+    match float_of_string_opt s with
+    | Some x -> Number x
+    | None -> error ("bad number " ^ s)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Object []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((key, value) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, value) :: acc)
+          | _ -> error "expected ',' or '}'"
+        in
+        Object (fields [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Array []
+      end
+      else begin
+        let rec items acc =
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (value :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (value :: acc)
+          | _ -> error "expected ',' or ']'"
+        in
+        Array (items [])
+      end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then Error (Printf.sprintf "trailing garbage at position %d" !pos)
+    else Ok v
+  with Bad msg -> Error msg
+
+(* ---- accessors ---- *)
+
+let member key = function Object fields -> List.assoc_opt key fields | _ -> None
+
+let to_float = function Number x -> Ok x | _ -> Error "expected number"
+
+let to_int = function
+  | Number x when Float.is_integer x -> Ok (int_of_float x)
+  | Number _ -> Error "expected integer"
+  | _ -> Error "expected number"
+
+let to_str = function String s -> Ok s | _ -> Error "expected string"
+let to_list = function Array items -> Ok items | _ -> Error "expected array"
+
+let find key conv doc =
+  match member key doc with
+  | Some v -> conv v
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let find_float key doc = find key to_float doc
+let find_str key doc = find key to_str doc
+let find_list key doc = find key to_list doc

@@ -1,0 +1,34 @@
+(** Minimal JSON reader/writer (no external dependencies).
+
+    Covers the subset the persistence layer needs: objects, arrays,
+    strings with the standard escapes, numbers (read as floats),
+    booleans and null.  Emission is deterministic (object fields in
+    insertion order) so stored files diff cleanly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** [indent] pretty-prints with two-space indentation (default true). *)
+
+val of_string : string -> (t, string) result
+(** Parse; errors carry a character position. *)
+
+val member : string -> t -> t option
+(** Object field lookup. *)
+
+val to_float : t -> (float, string) result
+val to_int : t -> (int, string) result
+val to_str : t -> (string, string) result
+val to_list : t -> (t list, string) result
+
+val find_float : string -> t -> (float, string) result
+(** [member] + [to_float] with a helpful error. *)
+
+val find_str : string -> t -> (string, string) result
+val find_list : string -> t -> (t list, string) result

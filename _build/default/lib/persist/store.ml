@@ -1,0 +1,197 @@
+module Crosstalk = Qcx_device.Crosstalk
+module Calibration = Qcx_device.Calibration
+module Topology = Qcx_device.Topology
+module Device = Qcx_device.Device
+
+let ( let* ) = Result.bind
+
+let edge_to_json (a, b) = Json.Array [ Json.Number (float_of_int a); Json.Number (float_of_int b) ]
+
+let edge_of_json = function
+  | Json.Array [ a; b ] ->
+    let* a = Json.to_int a in
+    let* b = Json.to_int b in
+    Ok (Topology.normalize (a, b))
+  | _ -> Error "expected [a, b] edge"
+
+let crosstalk_to_json xtalk =
+  Json.Object
+    [
+      ("format", Json.String "qcx-crosstalk-v1");
+      ( "entries",
+        Json.Array
+          (List.map
+             (fun (target, spectator, rate) ->
+               Json.Object
+                 [
+                   ("target", edge_to_json target);
+                   ("spectator", edge_to_json spectator);
+                   ("rate", Json.Number rate);
+                 ])
+             (Crosstalk.entries xtalk)) );
+    ]
+
+let crosstalk_of_json doc =
+  let* fmt = Json.find_str "format" doc in
+  if fmt <> "qcx-crosstalk-v1" then Error ("unknown format " ^ fmt)
+  else
+    let* entries = Json.find_list "entries" doc in
+    List.fold_left
+      (fun acc entry ->
+        let* xtalk = acc in
+        let* target =
+          match Json.member "target" entry with
+          | Some e -> edge_of_json e
+          | None -> Error "missing target"
+        in
+        let* spectator =
+          match Json.member "spectator" entry with
+          | Some e -> edge_of_json e
+          | None -> Error "missing spectator"
+        in
+        let* rate = Json.find_float "rate" entry in
+        Ok (Crosstalk.set xtalk ~target ~spectator rate))
+      (Ok Crosstalk.empty) entries
+
+let qubit_to_json (q : Calibration.qubit_cal) =
+  Json.Object
+    [
+      ("t1", Json.Number q.Calibration.t1);
+      ("t2", Json.Number q.Calibration.t2);
+      ("readout_error", Json.Number q.Calibration.readout_error);
+      ("single_qubit_error", Json.Number q.Calibration.single_qubit_error);
+      ("single_qubit_duration", Json.Number q.Calibration.single_qubit_duration);
+      ("readout_duration", Json.Number q.Calibration.readout_duration);
+    ]
+
+let qubit_of_json doc =
+  let* t1 = Json.find_float "t1" doc in
+  let* t2 = Json.find_float "t2" doc in
+  let* readout_error = Json.find_float "readout_error" doc in
+  let* single_qubit_error = Json.find_float "single_qubit_error" doc in
+  let* single_qubit_duration = Json.find_float "single_qubit_duration" doc in
+  let* readout_duration = Json.find_float "readout_duration" doc in
+  Ok
+    {
+      Calibration.t1;
+      t2;
+      readout_error;
+      single_qubit_error;
+      single_qubit_duration;
+      readout_duration;
+    }
+
+let calibration_to_json cal ~edges =
+  Json.Object
+    [
+      ("format", Json.String "qcx-calibration-v1");
+      ( "qubits",
+        Json.Array
+          (List.init (Calibration.nqubits cal) (fun q -> qubit_to_json (Calibration.qubit cal q)))
+      );
+      ( "gates",
+        Json.Array
+          (List.map
+             (fun e ->
+               let g = Calibration.gate cal e in
+               Json.Object
+                 [
+                   ("edge", edge_to_json e);
+                   ("cnot_error", Json.Number g.Calibration.cnot_error);
+                   ("cnot_duration", Json.Number g.Calibration.cnot_duration);
+                 ])
+             edges) );
+    ]
+
+let calibration_of_json doc =
+  let* fmt = Json.find_str "format" doc in
+  if fmt <> "qcx-calibration-v1" then Error ("unknown format " ^ fmt)
+  else
+    let* qubit_docs = Json.find_list "qubits" doc in
+    let* qubits =
+      List.fold_left
+        (fun acc qdoc ->
+          let* tl = acc in
+          let* q = qubit_of_json qdoc in
+          Ok (q :: tl))
+        (Ok []) qubit_docs
+    in
+    let qubits = Array.of_list (List.rev qubits) in
+    let* gate_docs = Json.find_list "gates" doc in
+    let* gates =
+      List.fold_left
+        (fun acc gdoc ->
+          let* tl = acc in
+          let* edge =
+            match Json.member "edge" gdoc with
+            | Some e -> edge_of_json e
+            | None -> Error "missing edge"
+          in
+          let* cnot_error = Json.find_float "cnot_error" gdoc in
+          let* cnot_duration = Json.find_float "cnot_duration" gdoc in
+          Ok ((edge, { Calibration.cnot_error; cnot_duration }) :: tl))
+        (Ok []) gate_docs
+    in
+    Ok (Calibration.create ~qubits ~gates)
+
+let device_snapshot_to_json device =
+  let topo = Device.topology device in
+  Json.Object
+    [
+      ("format", Json.String "qcx-device-v1");
+      ("name", Json.String (Device.name device));
+      ("nqubits", Json.Number (float_of_int (Topology.nqubits topo)));
+      ("edges", Json.Array (List.map edge_to_json (Topology.edges topo)));
+      ( "calibration",
+        calibration_to_json (Device.calibration device) ~edges:(Topology.edges topo) );
+    ]
+
+let device_snapshot_of_json doc =
+  let* fmt = Json.find_str "format" doc in
+  if fmt <> "qcx-device-v1" then Error ("unknown format " ^ fmt)
+  else
+    let* name = Json.find_str "name" doc in
+    let* nq =
+      match Json.member "nqubits" doc with Some v -> Json.to_int v | None -> Error "missing nqubits"
+    in
+    let* edge_docs = Json.find_list "edges" doc in
+    let* edges =
+      List.fold_left
+        (fun acc e ->
+          let* tl = acc in
+          let* edge = edge_of_json e in
+          Ok (edge :: tl))
+        (Ok []) edge_docs
+    in
+    let topo = Topology.create ~nqubits:nq ~edges:(List.rev edges) in
+    let* cal =
+      match Json.member "calibration" doc with
+      | Some c -> calibration_of_json c
+      | None -> Error "missing calibration"
+    in
+    Ok (name, topo, cal)
+
+let save ~path doc =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string doc);
+        output_char oc '\n');
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let load ~path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Json.of_string (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg
+
+let save_crosstalk ~path xtalk = save ~path (crosstalk_to_json xtalk)
+
+let load_crosstalk ~path =
+  let* doc = load ~path in
+  crosstalk_of_json doc

@@ -1,0 +1,31 @@
+(** Persistence of characterization and calibration data.
+
+    The operational loop the paper implies — characterize in the
+    morning, let every compile job of the day consume the data —
+    needs the data on disk.  Formats are plain JSON; see the CLI tools
+    ([qcx_characterize --output], [qcx_schedule --xtalk]). *)
+
+val crosstalk_to_json : Qcx_device.Crosstalk.t -> Json.t
+(** Ordered (target, spectator, rate) entries. *)
+
+val crosstalk_of_json : Json.t -> (Qcx_device.Crosstalk.t, string) result
+
+val calibration_to_json : Qcx_device.Calibration.t -> edges:Qcx_device.Topology.edge list -> Json.t
+(** Snapshot of per-qubit and per-edge calibration values. *)
+
+val calibration_of_json : Json.t -> (Qcx_device.Calibration.t, string) result
+
+val device_snapshot_to_json : Qcx_device.Device.t -> Json.t
+(** Full compiler-visible device state: name, coupling map,
+    calibration, and (optionally present) characterized crosstalk is
+    stored separately — the hidden ground truth is deliberately NOT
+    serialized. *)
+
+val device_snapshot_of_json :
+  Json.t -> (string * Qcx_device.Topology.t * Qcx_device.Calibration.t, string) result
+
+val save : path:string -> Json.t -> (unit, string) result
+val load : path:string -> (Json.t, string) result
+
+val save_crosstalk : path:string -> Qcx_device.Crosstalk.t -> (unit, string) result
+val load_crosstalk : path:string -> (Qcx_device.Crosstalk.t, string) result

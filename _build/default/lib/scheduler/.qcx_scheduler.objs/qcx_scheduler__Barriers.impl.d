@@ -1,0 +1,1 @@
+lib/scheduler/barriers.ml: Hashtbl List Option Qcx_circuit

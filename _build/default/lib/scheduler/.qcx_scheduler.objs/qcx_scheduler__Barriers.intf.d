@@ -1,0 +1,1 @@
+lib/scheduler/barriers.mli: Qcx_circuit

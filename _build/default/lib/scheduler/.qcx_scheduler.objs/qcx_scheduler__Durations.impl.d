@@ -1,0 +1,1 @@
+lib/scheduler/durations.ml: Array List Qcx_circuit Qcx_device

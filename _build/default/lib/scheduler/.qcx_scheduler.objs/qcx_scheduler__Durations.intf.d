@@ -1,0 +1,1 @@
+lib/scheduler/durations.mli: Qcx_circuit Qcx_device

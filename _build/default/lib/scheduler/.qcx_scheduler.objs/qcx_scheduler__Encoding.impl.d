@@ -1,0 +1,1 @@
+lib/scheduler/encoding.ml: Array Hashtbl List Option Printf Qcx_circuit Qcx_device Qcx_smt

@@ -1,0 +1,1 @@
+lib/scheduler/encoding.mli: Qcx_circuit Qcx_device Qcx_smt

@@ -1,0 +1,1 @@
+lib/scheduler/evaluate.ml: Fun List Qcx_circuit Qcx_device Qcx_noise

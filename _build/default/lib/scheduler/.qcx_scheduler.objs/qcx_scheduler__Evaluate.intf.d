@@ -1,0 +1,1 @@
+lib/scheduler/evaluate.mli: Qcx_circuit Qcx_device

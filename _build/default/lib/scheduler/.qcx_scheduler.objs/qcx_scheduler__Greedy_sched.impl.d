@@ -1,0 +1,1 @@
+lib/scheduler/greedy_sched.ml: Encoding List Par_sched Qcx_circuit

@@ -1,0 +1,1 @@
+lib/scheduler/greedy_sched.mli: Qcx_circuit Qcx_device

@@ -1,0 +1,1 @@
+lib/scheduler/layout.ml: List Qcx_circuit Qcx_device

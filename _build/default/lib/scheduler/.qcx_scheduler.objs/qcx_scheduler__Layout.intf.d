@@ -1,0 +1,1 @@
+lib/scheduler/layout.mli: Qcx_circuit Qcx_device

@@ -1,0 +1,1 @@
+lib/scheduler/par_sched.ml: Array Durations List Qcx_circuit

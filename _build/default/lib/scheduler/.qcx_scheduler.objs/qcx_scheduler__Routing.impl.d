@@ -1,0 +1,1 @@
+lib/scheduler/routing.ml: Array Fun List Qcx_circuit Qcx_device

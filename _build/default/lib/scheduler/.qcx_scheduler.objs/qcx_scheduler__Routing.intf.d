@@ -1,0 +1,1 @@
+lib/scheduler/routing.mli: Qcx_circuit Qcx_device

@@ -1,0 +1,1 @@
+lib/scheduler/serial_sched.ml: Array Durations List Qcx_circuit

@@ -1,0 +1,1 @@
+lib/scheduler/serial_sched.mli: Qcx_circuit Qcx_device

@@ -1,0 +1,1 @@
+lib/scheduler/xtalk_sched.ml: Array Durations Encoding Evaluate Hashtbl List Option Par_sched Qcx_circuit Qcx_smt Serial_sched Sys

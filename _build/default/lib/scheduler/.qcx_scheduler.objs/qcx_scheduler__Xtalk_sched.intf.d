@@ -1,0 +1,1 @@
+lib/scheduler/xtalk_sched.mli: Qcx_circuit Qcx_device

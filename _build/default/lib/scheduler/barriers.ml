@@ -1,0 +1,40 @@
+module Circuit = Qcx_circuit.Circuit
+module Gate = Qcx_circuit.Gate
+module Schedule = Qcx_circuit.Schedule
+
+let serialized_pairs sched ~pairs =
+  List.filter_map
+    (fun (a, b) ->
+      if Schedule.overlaps sched a b then None
+      else if Schedule.start sched a <= Schedule.start sched b then Some (a, b)
+      else Some (b, a))
+    pairs
+
+let insert sched ~serialized =
+  let circuit = Schedule.circuit sched in
+  let order = Schedule.gates_by_start sched in
+  let barrier_before =
+    (* later gate id -> qubits to synchronize *)
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (early, late) ->
+        let qubits =
+          List.sort_uniq compare
+            ((Circuit.gate circuit early).Gate.qubits @ (Circuit.gate circuit late).Gate.qubits)
+        in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt tbl late) in
+        Hashtbl.replace tbl late (List.sort_uniq compare (qubits @ existing)))
+      serialized;
+    tbl
+  in
+  List.fold_left
+    (fun acc g ->
+      let acc =
+        match Hashtbl.find_opt barrier_before g.Gate.id with
+        | Some qubits -> Circuit.barrier acc qubits
+        | None -> acc
+      in
+      if Gate.is_barrier g then acc (* original barriers are re-derived *)
+      else Circuit.add acc g.Gate.kind g.Gate.qubits)
+    (Circuit.create (Circuit.nqubits circuit))
+    order

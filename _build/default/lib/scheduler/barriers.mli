@@ -1,0 +1,23 @@
+(** Post-processing: express a computed schedule as a circuit with
+    barrier instructions (the paper's Section 6 final step).
+
+    The circuit-level ISA cannot state start times, only orderings, so
+    the orderings XtalkSched chose between logically-independent gates
+    are enforced by inserting barriers.  The emitted circuit lists
+    gates in start-time order with a barrier ahead of the later gate
+    of every serialized interfering pair. *)
+
+val insert :
+  Qcx_circuit.Schedule.t ->
+  serialized:(int * int) list ->
+  Qcx_circuit.Circuit.t
+(** [insert sched ~serialized] rebuilds the circuit in schedule order
+    and adds one barrier (over the union of the two gates' qubits)
+    before the later gate of each pair in [serialized] (pairs are gate
+    ids of the schedule's circuit).  Replaying the result with
+    ParSched reproduces the serializations. *)
+
+val serialized_pairs :
+  Qcx_circuit.Schedule.t -> pairs:(int * int) list -> (int * int) list
+(** The subset of [pairs] that the schedule runs without time overlap,
+    ordered (earlier gate first). *)

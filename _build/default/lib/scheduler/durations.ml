@@ -1,0 +1,23 @@
+module Circuit = Qcx_circuit.Circuit
+module Gate = Qcx_circuit.Gate
+module Device = Qcx_device.Device
+module Calibration = Qcx_device.Calibration
+
+let assign device circuit =
+  let cal = Device.calibration device in
+  let out = Array.make (Circuit.length circuit) 0.0 in
+  List.iter
+    (fun g ->
+      let d =
+        match (g.Gate.kind, g.Gate.qubits) with
+        | Gate.Barrier, _ -> 0.0
+        | Gate.Measure, [ q ] -> (Calibration.qubit cal q).Calibration.readout_duration
+        | Gate.Cnot, [ a; b ] -> (Calibration.gate cal (a, b)).Calibration.cnot_duration
+        | Gate.Swap, _ ->
+          invalid_arg "Durations.assign: decompose SWAP gates before scheduling"
+        | _, [ q ] -> (Calibration.qubit cal q).Calibration.single_qubit_duration
+        | _ -> invalid_arg "Durations.assign: malformed gate"
+      in
+      out.(g.Gate.id) <- d)
+    (Circuit.gates circuit);
+  out

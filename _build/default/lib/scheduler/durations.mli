@@ -1,0 +1,9 @@
+(** Gate durations from calibration data.
+
+    CNOT durations are per-edge calibration values; single-qubit gates
+    and readout use the per-qubit values; barriers take zero time.
+    Logical SWAP gates must be decomposed to CNOTs first. *)
+
+val assign : Qcx_device.Device.t -> Qcx_circuit.Circuit.t -> float array
+(** Indexed by gate id, in nanoseconds.  Raises [Invalid_argument] on
+    a CNOT over a non-edge or an undecomposed SWAP. *)

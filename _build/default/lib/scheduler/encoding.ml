@@ -1,0 +1,191 @@
+module Circuit = Qcx_circuit.Circuit
+module Gate = Qcx_circuit.Gate
+module Dag = Qcx_circuit.Dag
+module Device = Qcx_device.Device
+module Calibration = Qcx_device.Calibration
+module Crosstalk = Qcx_device.Crosstalk
+module Topology = Qcx_device.Topology
+module Solver = Qcx_smt.Solver
+
+type pair = { gate1 : int; gate2 : int; o : int; before : int; after : int }
+
+type t = {
+  solver : Solver.t;
+  tau : int array;
+  readout : int;
+  pairs : pair list;
+}
+
+let edge_of g =
+  match g.Gate.qubits with
+  | [ a; b ] -> Topology.normalize (a, b)
+  | _ -> invalid_arg "Encoding: malformed CNOT"
+
+let interfering_instances ~device ~xtalk ~threshold ~dag =
+  let cal = Device.calibration device in
+  let flagged = Crosstalk.high_crosstalk_pairs xtalk cal ~threshold in
+  let unordered (a, b) = if a <= b then (a, b) else (b, a) in
+  let is_flagged e1 e2 = List.mem (unordered (e1, e2)) (List.map unordered flagged) in
+  let cnots =
+    List.filter (fun g -> g.Gate.kind = Gate.Cnot) (Circuit.gates (Dag.circuit dag))
+  in
+  let rec pairs = function
+    | [] -> []
+    | g :: rest ->
+      List.filter_map
+        (fun g' ->
+          let e = edge_of g and e' = edge_of g' in
+          if
+            e <> e'
+            && Dag.can_overlap dag g.Gate.id g'.Gate.id
+            && is_flagged e e'
+          then Some (g.Gate.id, g'.Gate.id)
+          else None)
+        rest
+      @ pairs rest
+  in
+  pairs cnots
+
+(* Clamp an error rate into a range where -log(1 - eps) is finite and
+   the conditional is never below the independent rate (keeps the
+   empty-overlap scenario the cheapest, which the solver's lower bound
+   relies on). *)
+let cost_of_error ~omega eps = omega *. -.log (1.0 -. min eps 0.9)
+
+let conditional_rate xtalk cal ~target ~spectator =
+  let independent = (Calibration.gate cal target).Calibration.cnot_error in
+  max independent (Crosstalk.conditional_or_independent xtalk cal ~target ~spectator)
+
+let rec powerset = function
+  | [] -> [ [] ]
+  | x :: rest ->
+    let sub = powerset rest in
+    sub @ List.map (fun s -> x :: s) sub
+
+let build ?instances ~device ~xtalk ~omega ~threshold ~dag ~durations () =
+  if omega < 0.0 || omega > 1.0 then invalid_arg "Encoding.build: omega out of [0,1]";
+  let circuit = Dag.circuit dag in
+  let cal = Device.calibration device in
+  let solver = Solver.create () in
+  let tau =
+    Array.init (Circuit.length circuit) (fun id ->
+        Solver.new_num solver (Printf.sprintf "tau_%d" id))
+  in
+  let readout = Solver.new_num solver "R" in
+  Solver.add_sink solver readout;
+  (* Infinitesimal makespan term: breaks objective ties toward the
+     most parallel schedule, so omega = 0 coincides with ParSched
+     exactly (Table 1) instead of merely matching its objective
+     value. *)
+  let origin = Solver.new_num solver "origin" in
+  Solver.add_span_cost solver ~weight:1e-9 ~last:readout ~first:origin;
+  (* Data dependency constraints (eq. 1). *)
+  List.iter
+    (fun g ->
+      let id = g.Gate.id in
+      List.iter
+        (fun p -> Solver.add_diff solver ~dst:tau.(id) ~src:tau.(p) ~weight:durations.(p) ())
+        (Dag.preds dag id))
+    (Circuit.gates circuit);
+  (* Readout synchronization and R as the global sink: R equals every
+     measure start, and R bounds every gate's finish so the ALAP pass
+     cannot push anything past the readout layer. *)
+  List.iter
+    (fun g ->
+      let id = g.Gate.id in
+      if Gate.is_measure g then begin
+        Solver.add_diff solver ~dst:readout ~src:tau.(id) ~weight:0.0 ();
+        Solver.add_diff solver ~dst:tau.(id) ~src:readout ~weight:0.0 ()
+      end
+      else Solver.add_diff solver ~dst:readout ~src:tau.(id) ~weight:durations.(id) ())
+    (Circuit.gates circuit);
+  (* Interfering pairs: booleans, exactly-one structure, guarded
+     serialization / containment edges. *)
+  let instances =
+    match instances with
+    | Some given -> given
+    | None -> interfering_instances ~device ~xtalk ~threshold ~dag
+  in
+  let pairs =
+    List.map
+      (fun (i, j) ->
+        let nm suffix = Printf.sprintf "%s_%d_%d" suffix i j in
+        let o = Solver.new_bool solver (nm "o") in
+        let before = Solver.new_bool solver (nm "b") in
+        let after = Solver.new_bool solver (nm "a") in
+        let lit var value = { Qcx_smt.Solver.var; value } in
+        Solver.add_clause solver [ lit o true; lit before true; lit after true ];
+        Solver.add_clause solver [ lit o false; lit before false ];
+        Solver.add_clause solver [ lit o false; lit after false ];
+        Solver.add_clause solver [ lit before false; lit after false ];
+        (* before: tau_j >= tau_i + delta_i; after: symmetric. *)
+        Solver.add_diff solver ~guard:(lit before true) ~dst:tau.(j) ~src:tau.(i)
+          ~weight:durations.(i) ();
+        Solver.add_diff solver ~guard:(lit after true) ~dst:tau.(i) ~src:tau.(j)
+          ~weight:durations.(j) ();
+        (* o: full containment, shorter gate inside the longer one
+           (eqs. 11-13 collapse to this for constant durations). *)
+        let shorter, longer = if durations.(i) <= durations.(j) then (i, j) else (j, i) in
+        Solver.add_diff solver ~guard:(lit o true) ~dst:tau.(shorter) ~src:tau.(longer)
+          ~weight:0.0 ();
+        Solver.add_diff solver ~guard:(lit o true) ~dst:tau.(longer) ~src:tau.(shorter)
+          ~weight:(durations.(shorter) -. durations.(longer))
+          ();
+        { gate1 = i; gate2 = j; o; before; after })
+      instances
+  in
+  (* Gate error scenario costs (eqs. 3-8): powerset of each CNOT's
+     pruned CanOlp set. *)
+  let partners = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace partners p.gate1 ((p.gate2, p.o) :: Option.value ~default:[] (Hashtbl.find_opt partners p.gate1));
+      Hashtbl.replace partners p.gate2 ((p.gate1, p.o) :: Option.value ~default:[] (Hashtbl.find_opt partners p.gate2)))
+    pairs;
+  Hashtbl.iter
+    (fun gate_id plist ->
+      let g = Dag.gate dag gate_id in
+      let target = edge_of g in
+      let independent = (Calibration.gate cal target).Calibration.cnot_error in
+      let scenarios =
+        List.map
+          (fun overlap_subset ->
+            let lits =
+              List.map
+                (fun (other, o) ->
+                  { Qcx_smt.Solver.var = o; value = List.mem_assoc other overlap_subset })
+                plist
+            in
+            (* With a subset S overlapping: worst conditional error
+               over S (eq. 7); independent rate when S is empty. *)
+            let eps =
+              List.fold_left
+                (fun acc (other, _) ->
+                  let spectator = edge_of (Dag.gate dag other) in
+                  max acc (conditional_rate xtalk cal ~target ~spectator))
+                independent overlap_subset
+            in
+            (lits, cost_of_error ~omega eps))
+          (powerset plist)
+      in
+      Qcx_smt.Solver.add_cost_group solver scenarios)
+    partners;
+  (* CNOTs with no interfering partner still pay their independent
+     gate cost - a constant, so it is omitted from the objective. *)
+  (* Decoherence span costs (eqs. 9-10). *)
+  let nq = Circuit.nqubits circuit in
+  for q = 0 to nq - 1 do
+    let first_gate =
+      List.find_opt
+        (fun g -> (not (Gate.is_barrier g)) && (not (Gate.is_measure g)) && List.mem q g.Gate.qubits)
+        (Circuit.gates circuit)
+    in
+    match first_gate with
+    | None -> ()
+    | Some f ->
+      let coherence = Calibration.coherence_limit cal q in
+      Solver.add_span_cost solver
+        ~weight:((1.0 -. omega) /. coherence)
+        ~last:readout ~first:tau.(f.Gate.id)
+  done;
+  { solver; tau; readout; pairs }

@@ -1,0 +1,70 @@
+(** The Section 7 constraint encoding, targeting [Qcx_smt.Solver].
+
+    Variables: one start time per gate plus a synchronized-readout
+    variable [R] (the sink); per interfering CNOT pair, three booleans
+    - an overlap indicator [o] (constraint 2) and two serialization
+    orders - tied together by exactly-one clauses.
+
+    Constraints, as in the paper:
+    - data dependencies (eq. 1) as difference edges;
+    - overlap semantics: [o] activates the IBMQ full-containment
+      constraints (eqs. 11-13; with constant durations only the
+      shorter-inside-longer direction is satisfiable, so no extra
+      boolean is needed), the two order booleans activate the
+      corresponding serialization edges;
+    - gate error scenarios (eqs. 3-8): the powerset of each gate's
+      pruned [CanOlp] set becomes a cost group whose scenario cost is
+      the worst conditional error among overlapping partners;
+    - decoherence (eqs. 9-10): a span cost [(1-omega)/T_q * (R - F_q)]
+      per qubit, where [F_q] is the qubit's statically-known first
+      gate (per-qubit gate order is fixed by data dependencies);
+    - simultaneous readout: measure start times are equated to [R].
+
+    Objective: the paper's eq. 17 in log-success form (matching the
+    reference Qiskit pass): minimize
+    [omega * sum_g -log(1 - eps_g) + (1-omega) * sum_q t_q / T_q].
+
+    Only CNOT pairs flagged as high-crosstalk in the *characterized*
+    data participate - the paper's pruning of CanOlp to 1-hop
+    high-conditional-error pairs. *)
+
+type pair = {
+  gate1 : int;  (** gate id *)
+  gate2 : int;
+  o : int;  (** overlap indicator boolean *)
+  before : int;  (** gate1 strictly before gate2 *)
+  after : int;  (** gate2 strictly before gate1 *)
+}
+
+type t = {
+  solver : Qcx_smt.Solver.t;
+  tau : int array;  (** numeric variable per gate id *)
+  readout : int;  (** the R variable *)
+  pairs : pair list;
+}
+
+val build :
+  ?instances:(int * int) list ->
+  device:Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  omega:float ->
+  threshold:float ->
+  dag:Qcx_circuit.Dag.t ->
+  durations:float array ->
+  unit ->
+  t
+(** [threshold] is the conditional/independent ratio above which a
+    characterized pair counts as high-crosstalk (the paper uses 3).
+    [instances] overrides the interfering-pair enumeration — used by
+    the cluster decomposition to encode one cluster at a time. *)
+
+val interfering_instances :
+  device:Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  threshold:float ->
+  dag:Qcx_circuit.Dag.t ->
+  (int * int) list
+(** The gate-id pairs that receive booleans: CNOT instances that may
+    overlap per the DAG and whose hardware edges form a flagged
+    high-crosstalk pair.  Exposed for tests and for the cluster
+    decomposition. *)

@@ -1,0 +1,32 @@
+(** Schedule quality metrics.
+
+    Two views:
+    - the {e model} view, computed from calibration plus characterized
+      crosstalk data — what the compiler believes (used for objective
+      sanity checks); and
+    - the {e oracle} view, computed from the device's ground truth with
+      the same error composition as the noise engine — the analytic
+      expectation of a hardware run (used by the figure harnesses
+      alongside full Monte-Carlo tomography). *)
+
+type breakdown = {
+  gate_success : float;  (** product of per-gate success probabilities *)
+  decoherence_success : float;  (** product of per-qubit e^{-t/T} *)
+  readout_success : float;  (** product of per-measure (1 - readout error) *)
+  success : float;  (** product of the three *)
+  error : float;  (** 1 - success *)
+}
+
+val oracle : Qcx_device.Device.t -> Qcx_circuit.Schedule.t -> breakdown
+(** Uses [Device.ground_truth] via [Qcx_noise.Exec.effective_cnot_error]. *)
+
+val model :
+  Qcx_device.Device.t -> xtalk:Qcx_device.Crosstalk.t -> Qcx_circuit.Schedule.t -> breakdown
+(** Uses characterized data and the paper's max-over-overlaps rule. *)
+
+val duration : Qcx_circuit.Schedule.t -> float
+(** Program duration: makespan of the unitary portion (readout
+    excluded), the quantity of Figure 5(d). *)
+
+val lifetimes : Qcx_circuit.Schedule.t -> (int * float) list
+(** Per-qubit lifetimes in ns (first gate start to last op finish). *)

@@ -1,0 +1,18 @@
+(** GreedySched: a cheap heuristic alternative to the SMT scheduler.
+
+    Serializes {e every} interfering CNOT instance pair in program
+    order (no overlap-allowance reasoning, no reordering in favour of
+    low-coherence qubits) and replays the result through the ordinary
+    parallel scheduler.  Linear-time in the number of interfering
+    pairs — a useful baseline for the `ablation` bench, quantifying
+    what the paper's exact optimization buys over the obvious greedy
+    fix, and a practical fallback for very large programs. *)
+
+val schedule :
+  ?threshold:float ->
+  device:Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  Qcx_circuit.Circuit.t ->
+  Qcx_circuit.Schedule.t * int
+(** Returns the schedule and the number of instance pairs serialized.
+    SWAPs are decomposed internally; [threshold] defaults to 3. *)

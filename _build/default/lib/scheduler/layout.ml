@@ -1,0 +1,84 @@
+module Device = Qcx_device.Device
+module Topology = Qcx_device.Topology
+module Calibration = Qcx_device.Calibration
+module Crosstalk = Qcx_device.Crosstalk
+module Circuit = Qcx_circuit.Circuit
+
+let line_edges region =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> Topology.normalize (a, b) :: pairs rest
+    | _ -> []
+  in
+  pairs region
+
+let score_line device ~xtalk ?(threshold = 3.0) region =
+  let topo = Device.topology device in
+  let cal = Device.calibration device in
+  let edges = line_edges region in
+  List.iter
+    (fun e -> if not (Topology.has_edge topo e) then invalid_arg "Layout.score_line: not a line")
+    edges;
+  let gate_cost =
+    List.fold_left (fun acc e -> acc +. (Calibration.gate cal e).Calibration.cnot_error) 0.0 edges
+  in
+  (* 1/coherence in 1/ms: ~14 for a healthy 70 us qubit, ~170 for the
+     Poughkeepsie qubit-10 outlier. *)
+  let coherence_cost =
+    List.fold_left
+      (fun acc q -> acc +. (1.0e6 /. Calibration.coherence_limit cal q))
+      0.0 region
+  in
+  let flagged = Crosstalk.high_crosstalk_pairs xtalk cal ~threshold in
+  let unordered (a, b) = if a <= b then (a, b) else (b, a) in
+  let internal_pairs =
+    List.length
+      (List.filter
+         (fun (e1, e2) -> List.mem e1 edges && List.mem e2 edges)
+         (List.map (fun (e1, e2) -> unordered (e1, e2)) flagged))
+  in
+  gate_cost +. (2e-4 *. coherence_cost) +. (0.05 *. float_of_int internal_pairs)
+
+let lines_of_length device ~length =
+  let topo = Device.topology device in
+  let n = Topology.nqubits topo in
+  let out = ref [] in
+  let rec extend path last =
+    if List.length path = length then out := List.rev path :: !out
+    else
+      List.iter
+        (fun next -> if not (List.mem next path) then extend (next :: path) next)
+        (Topology.neighbors topo last)
+  in
+  for q = 0 to n - 1 do
+    extend [ q ] q
+  done;
+  !out
+
+let pick device ~xtalk ~threshold ~length ~better =
+  if length < 2 then invalid_arg "Layout: need length >= 2";
+  let candidates = lines_of_length device ~length in
+  match candidates with
+  | [] -> invalid_arg "Layout: no line of that length on this device"
+  | first :: rest ->
+    let score = score_line device ~xtalk ~threshold in
+    fst
+      (List.fold_left
+         (fun (best, best_score) candidate ->
+           let s = score candidate in
+           if better s best_score then (candidate, s) else (best, best_score))
+         (first, score first) rest)
+
+let best_line device ~xtalk ?(threshold = 3.0) ~length () =
+  pick device ~xtalk ~threshold ~length ~better:(fun a b -> a < b)
+
+let worst_line device ~xtalk ?(threshold = 3.0) ~length () =
+  pick device ~xtalk ~threshold ~length ~better:(fun a b -> a > b)
+
+let place circuit ~region ~nqubits =
+  let k = List.length region in
+  List.iter
+    (fun q ->
+      if q >= k then
+        invalid_arg "Layout.place: circuit uses more qubits than the region provides")
+    (Circuit.used_qubits circuit);
+  Circuit.map_qubits circuit (fun q -> if q < k then List.nth region q else q + 1000) ~nqubits

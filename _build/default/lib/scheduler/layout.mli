@@ -1,0 +1,46 @@
+(** Noise- and crosstalk-adaptive initial layout.
+
+    The third compiler-side defense, alongside the crosstalk-aware
+    router and XtalkSched: choose {e where} on the device a program
+    runs.  Follows the noise-adaptive mapping idea of Murali et al.
+    (ASPLOS 2019) that the paper builds on, extended with the
+    characterized crosstalk data: a candidate region is scored by its
+    CNOT error rates, its qubits' coherence, and a penalty for every
+    characterized high-crosstalk pair {e internal} to the region
+    (those are the pairs a program on the region could excite). *)
+
+val score_line :
+  Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  ?threshold:float ->
+  int list ->
+  float
+(** Score a connected line of qubits (lower is better): sum of edge
+    CNOT errors + 2e-4 x sum of 1/coherence (1/ms) + 0.05 per internal
+    high-crosstalk edge pair. *)
+
+val best_line :
+  Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  ?threshold:float ->
+  length:int ->
+  unit ->
+  int list
+(** The minimum-score simple path of [length] qubits (DFS enumeration;
+    fine for NISQ-scale devices).  Raises [Invalid_argument] when the
+    device has no such path. *)
+
+val worst_line :
+  Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  ?threshold:float ->
+  length:int ->
+  unit ->
+  int list
+(** The maximum-score line — the adversarial placement, useful as an
+    experimental control. *)
+
+val place :
+  Qcx_circuit.Circuit.t -> region:int list -> nqubits:int -> Qcx_circuit.Circuit.t
+(** Map a logical circuit over qubits [0 .. k-1] onto the region's
+    qubits (logical i -> [List.nth region i]). *)

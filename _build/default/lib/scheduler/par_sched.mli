@@ -1,0 +1,24 @@
+(** ParSched: the baseline scheduler of IBM Qiskit / Quilc / TriQ
+    (Table 1) — maximum instruction parallelism.
+
+    Gates run as soon as their dependencies allow (ASAP), then the
+    whole schedule is right-aligned against the synchronized readout
+    layer, reproducing the IBM hardware behaviour of Figure 1(c).
+    Crosstalk is ignored entirely. *)
+
+val schedule : Qcx_device.Device.t -> Qcx_circuit.Circuit.t -> Qcx_circuit.Schedule.t
+(** Input must be hardware-compliant (SWAPs decomposed, CNOTs on
+    device edges). *)
+
+val schedule_with_orderings :
+  Qcx_device.Device.t ->
+  Qcx_circuit.Circuit.t ->
+  extra:(int * int) list ->
+  Qcx_circuit.Schedule.t
+(** Like {!schedule}, but additionally honoring [extra] ordering
+    constraints (gate [i] finishes before gate [j] starts) — the
+    deployment path of XtalkSched's decisions: once the optimizer has
+    chosen which interfering pairs to serialize, the barrier-enforced
+    circuit replays through the ordinary parallel scheduler.  Pairs
+    whose ids fall outside the circuit are ignored (convenient when a
+    basis-rotation suffix extends a previously-optimized prefix). *)

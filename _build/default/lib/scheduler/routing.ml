@@ -1,0 +1,121 @@
+module Circuit = Qcx_circuit.Circuit
+module Gate = Qcx_circuit.Gate
+module Device = Qcx_device.Device
+module Topology = Qcx_device.Topology
+
+let swap_path_qubits device ~src ~dst =
+  let path = Topology.shortest_path (Device.topology device) src dst in
+  if path = [] then invalid_arg "Routing: qubits are disconnected";
+  path
+
+let meet_in_middle_of_path path_list =
+  let path = Array.of_list path_list in
+  let n = Array.length path in
+  (* Walk src forward and dst backward until adjacent.  The CNOT lands
+     on the middle edge of the path. *)
+  let mid_left = (n - 1) / 2 in
+  let forward = List.init mid_left (fun i -> (path.(i), path.(i + 1))) in
+  let backward = List.init (n - 2 - mid_left) (fun i -> (path.(n - 1 - i), path.(n - 2 - i))) in
+  (forward @ backward, (path.(mid_left), path.(mid_left + 1)))
+
+let meet_in_middle device ~src ~dst =
+  if src = dst then invalid_arg "Routing.meet_in_middle: src = dst";
+  meet_in_middle_of_path (swap_path_qubits device ~src ~dst)
+
+(* Dijkstra over qubits with per-edge weights; deterministic
+   (highest-qubit tie break, matching the unweighted router). *)
+let weighted_path topo ~weight ~src ~dst =
+  let n = Topology.nqubits topo in
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let visited = Array.make n false in
+  dist.(src) <- 0.0;
+  (try
+     for _ = 1 to n do
+       (* extract-min over the small qubit count *)
+       let u = ref (-1) in
+       for v = 0 to n - 1 do
+         if (not visited.(v)) && dist.(v) < infinity
+            && (!u = -1 || dist.(v) < dist.(!u) || (dist.(v) = dist.(!u) && v > !u))
+         then u := v
+       done;
+       if !u = -1 then raise Exit;
+       if !u = dst then raise Exit;
+       visited.(!u) <- true;
+       List.iter
+         (fun v ->
+           let w = weight (Topology.normalize (!u, v)) in
+           if dist.(!u) +. w < dist.(v)
+              || (dist.(!u) +. w = dist.(v) && !u > prev.(v))
+           then begin
+             dist.(v) <- dist.(!u) +. w;
+             prev.(v) <- !u
+           end)
+         (Topology.neighbors topo !u)
+     done
+   with Exit -> ());
+  if dist.(dst) = infinity then []
+  else begin
+    let rec walk cur acc = if cur = src then cur :: acc else walk prev.(cur) (cur :: acc) in
+    walk dst []
+  end
+
+let crosstalk_aware_path device ~xtalk ?(threshold = 3.0) ?(penalty = 0.9) ~src ~dst () =
+  if src = dst then invalid_arg "Routing.crosstalk_aware_path: src = dst";
+  let topo = Device.topology device in
+  let cal = Device.calibration device in
+  let risky =
+    List.concat_map
+      (fun (e1, e2) -> [ e1; e2 ])
+      (Qcx_device.Crosstalk.high_crosstalk_pairs xtalk cal ~threshold)
+  in
+  let weight e = if List.mem e risky then 1.0 +. penalty else 1.0 in
+  let path = weighted_path topo ~weight ~src ~dst in
+  if path = [] then invalid_arg "Routing.crosstalk_aware_path: disconnected qubits";
+  path
+
+let meet_in_middle_aware device ~xtalk ?(threshold = 3.0) ?(penalty = 0.9) ~src ~dst () =
+  meet_in_middle_of_path (crosstalk_aware_path device ~xtalk ~threshold ~penalty ~src ~dst ())
+
+let route device circuit =
+  let topo = Device.topology device in
+  let n = Circuit.nqubits circuit in
+  if n > Topology.nqubits topo then invalid_arg "Routing.route: circuit larger than device";
+  (* placement.(logical) = physical; inverse tracks the other way. *)
+  let placement = Array.init (Topology.nqubits topo) Fun.id in
+  let phys q = placement.(q) in
+  let do_swap out a b =
+    (* a, b are physical qubits; record the swap and update placement. *)
+    let la = ref (-1) and lb = ref (-1) in
+    Array.iteri
+      (fun l p ->
+        if p = a then la := l;
+        if p = b then lb := l)
+      placement;
+    placement.(!la) <- b;
+    placement.(!lb) <- a;
+    Circuit.swap out a b
+  in
+  List.fold_left
+    (fun out g ->
+      match (g.Gate.kind, g.Gate.qubits) with
+      | (Gate.Cnot | Gate.Swap), [ a; b ] ->
+        let pa = phys a and pb = phys b in
+        if Topology.has_edge topo (pa, pb) then
+          Circuit.add out g.Gate.kind [ pa; pb ]
+        else begin
+          let path = Topology.shortest_path topo pa pb in
+          if path = [] then invalid_arg "Routing.route: disconnected qubits";
+          (* Move the control along the path until adjacent. *)
+          let rec bring out = function
+            | p :: q :: (_ :: _ as rest) ->
+              let out = do_swap out p q in
+              bring out (q :: rest)
+            | _ -> out
+          in
+          let out = bring out path in
+          Circuit.add out g.Gate.kind [ phys a; phys b ]
+        end
+      | _, qs -> Circuit.add out g.Gate.kind (List.map phys qs))
+    (Circuit.create (Topology.nqubits topo))
+    (Circuit.gates circuit)

@@ -1,0 +1,53 @@
+(** SWAP routing: produce hardware-compliant IR.
+
+    The paper's scheduler takes mapped, routed IR as input (it invokes
+    Qiskit passes for mapping and SWAP insertion); this module is the
+    equivalent substrate.  It provides the meet-in-the-middle SWAP
+    construction used by the Figure 5/6/7 benchmarks and a greedy
+    router for arbitrary circuits. *)
+
+val meet_in_middle : Qcx_device.Device.t -> src:int -> dst:int -> (int * int) list * (int * int)
+(** [meet_in_middle device ~src ~dst] walks both endpoints of the
+    shortest path toward its middle: returns the SWAP list (in
+    execution order; the two directions are logically independent) and
+    the final adjacent pair on which the distant CNOT lands.  E.g. on
+    Poughkeepsie, CNOT 0,13 becomes SWAP 0,5; SWAP 5,10; SWAP 13,12;
+    SWAP 12,11 with the final CNOT on (10, 11).  Raises
+    [Invalid_argument] when the qubits are disconnected or equal. *)
+
+val swap_path_qubits : Qcx_device.Device.t -> src:int -> dst:int -> int list
+(** The qubits of the shortest path used by {!meet_in_middle}. *)
+
+val crosstalk_aware_path :
+  Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  ?threshold:float ->
+  ?penalty:float ->
+  src:int ->
+  dst:int ->
+  unit ->
+  int list
+(** Weighted shortest path that prefers to route around edges involved
+    in characterized high-crosstalk pairs: a clean edge costs 1, a
+    risky edge [1 + penalty] (default 0.9, i.e. one risky edge is worth
+    almost one extra hop of detour).  An extension of the paper's
+    observation that compilers can navigate crosstalk tradeoffs —
+    mapping/routing and scheduling are complementary defenses; the
+    `ablation` bench quantifies the combination. *)
+
+val meet_in_middle_aware :
+  Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  ?threshold:float ->
+  ?penalty:float ->
+  src:int ->
+  dst:int ->
+  unit ->
+  (int * int) list * (int * int)
+(** {!meet_in_middle} over the crosstalk-aware path. *)
+
+val route : Qcx_device.Device.t -> Qcx_circuit.Circuit.t -> Qcx_circuit.Circuit.t
+(** Make every CNOT hardware-compliant by inserting logical SWAP gates
+    along shortest paths (greedy; the qubit placement moves as swaps
+    accumulate).  The output still contains [Swap] gates — call
+    [Circuit.decompose_swaps] before scheduling. *)

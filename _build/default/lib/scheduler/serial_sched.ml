@@ -1,0 +1,22 @@
+module Circuit = Qcx_circuit.Circuit
+module Gate = Qcx_circuit.Gate
+module Schedule = Qcx_circuit.Schedule
+
+let schedule device circuit =
+  let durations = Durations.assign device circuit in
+  let starts = Array.make (Circuit.length circuit) 0.0 in
+  let clock = ref 0.0 in
+  List.iter
+    (fun g ->
+      let id = g.Gate.id in
+      if Gate.is_measure g || Gate.is_barrier g then starts.(id) <- !clock
+      else begin
+        starts.(id) <- !clock;
+        clock := !clock +. durations.(id)
+      end)
+    (Circuit.gates circuit);
+  (* All measurements at the final clock value. *)
+  List.iter
+    (fun g -> if Gate.is_measure g then starts.(g.Gate.id) <- !clock)
+    (Circuit.gates circuit);
+  Schedule.make circuit ~starts ~durations

@@ -1,0 +1,8 @@
+(** SerialSched: the fully-serialized baseline of Table 1.
+
+    Every instruction runs alone — maximal crosstalk avoidance at the
+    price of maximal decoherence.  Measurements still fire together at
+    the end (IBMQ constraint). *)
+
+val schedule : Qcx_device.Device.t -> Qcx_circuit.Circuit.t -> Qcx_circuit.Schedule.t
+(** Input must be hardware-compliant (SWAPs decomposed). *)

@@ -1,0 +1,166 @@
+module Circuit = Qcx_circuit.Circuit
+module Dag = Qcx_circuit.Dag
+module Schedule = Qcx_circuit.Schedule
+module Solver = Qcx_smt.Solver
+
+type stats = {
+  pairs : int;
+  clusters : int;
+  nodes : int;
+  optimal : bool;
+  objective : float;
+  solve_seconds : float;
+}
+
+(* Union-find over gate ids, used to cluster interfering pairs that
+   share gates. *)
+let clusters_of instances =
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None | Some None -> x
+    | Some (Some p) ->
+      let root = find p in
+      Hashtbl.replace parent x (Some root);
+      root
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra (Some rb)
+  in
+  List.iter
+    (fun (i, j) ->
+      if not (Hashtbl.mem parent i) then Hashtbl.replace parent i None;
+      if not (Hashtbl.mem parent j) then Hashtbl.replace parent j None;
+      union i j)
+    instances;
+  let groups = Hashtbl.create 4 in
+  List.iter
+    (fun ((i, _) as inst) ->
+      let root = find i in
+      Hashtbl.replace groups root (inst :: Option.value ~default:[] (Hashtbl.find_opt groups root)))
+    instances;
+  Hashtbl.fold (fun _ insts acc -> insts :: acc) groups []
+
+let extract_schedule circuit durations encoding (solution : Solver.solution) =
+  let starts =
+    Array.init (Circuit.length circuit) (fun id -> solution.nums.(encoding.Encoding.tau.(id)))
+  in
+  Schedule.shift_to_zero (Schedule.make circuit ~starts ~durations)
+
+let schedule ?(omega = 0.5) ?(threshold = 3.0) ?(node_budget = 2_000_000)
+    ?(max_exact_pairs = 14) ~device ~xtalk circuit =
+  let circuit = Circuit.decompose_swaps circuit in
+  if omega >= 1.0 then begin
+    (* omega = 1 ignores decoherence entirely; any serialization is
+       then optimal and the paper equates this setting with
+       SerialSched (Table 1, Sections 9.2/9.3). *)
+    let sched = Serial_sched.schedule device circuit in
+    let dag = Dag.of_circuit circuit in
+    let instances = Encoding.interfering_instances ~device ~xtalk ~threshold ~dag in
+    ( sched,
+      {
+        pairs = List.length instances;
+        clusters = 1;
+        nodes = 0;
+        optimal = true;
+        objective = nan;
+        solve_seconds = 0.0;
+      } )
+  end
+  else begin
+  let durations = Durations.assign device circuit in
+  let dag = Dag.of_circuit circuit in
+  let instances = Encoding.interfering_instances ~device ~xtalk ~threshold ~dag in
+  let t0 = Sys.time () in
+  let build ?instances () =
+    Encoding.build ?instances ~device ~xtalk ~omega ~threshold ~dag ~durations ()
+  in
+  let fallback () = (Par_sched.schedule device circuit, 0, false, nan) in
+  let sched, nodes, optimal, objective, nclusters =
+    if List.length instances <= max_exact_pairs then begin
+      let enc = build ~instances () in
+      match Solver.solve ~node_budget enc.Encoding.solver with
+      | Some sol ->
+        (extract_schedule circuit durations enc sol, sol.nodes, sol.optimal, sol.objective, 1)
+      | None ->
+        let s, n, o, obj = fallback () in
+        (s, n, o, obj, 1)
+    end
+    else begin
+      (* Cluster decomposition: optimize each connected component of
+         interfering pairs separately, then evaluate the union of
+         decisions once (zero remaining booleans). *)
+      let clusters = clusters_of instances in
+      let total_nodes = ref 0 in
+      let decisions =
+        List.concat_map
+          (fun cluster_instances ->
+            let enc = build ~instances:cluster_instances () in
+            match Solver.solve ~node_budget enc.Encoding.solver with
+            | None -> []
+            | Some sol ->
+              total_nodes := !total_nodes + sol.nodes;
+              List.map
+                (fun p ->
+                  ( (p.Encoding.gate1, p.Encoding.gate2),
+                    ( sol.bools.(p.Encoding.o),
+                      sol.bools.(p.Encoding.before),
+                      sol.bools.(p.Encoding.after) ) ))
+                enc.Encoding.pairs)
+          clusters
+      in
+      let enc = build ~instances () in
+      (* Pin every boolean with unit clauses; a single propagation
+         then reaches the unique leaf. *)
+      List.iter
+        (fun p ->
+          match List.assoc_opt (p.Encoding.gate1, p.Encoding.gate2) decisions with
+          | None -> ()
+          | Some (o, b, a) ->
+            Solver.add_clause enc.Encoding.solver [ { Solver.var = p.Encoding.o; value = o } ];
+            Solver.add_clause enc.Encoding.solver
+              [ { Solver.var = p.Encoding.before; value = b } ];
+            Solver.add_clause enc.Encoding.solver [ { Solver.var = p.Encoding.after; value = a } ])
+        enc.Encoding.pairs;
+      match Solver.solve ~node_budget enc.Encoding.solver with
+      | Some sol ->
+        ( extract_schedule circuit durations enc sol,
+          !total_nodes + sol.nodes,
+          false,
+          sol.objective,
+          List.length clusters )
+      | None ->
+        let s, n, o, obj = fallback () in
+        (s, n, o, obj, List.length clusters)
+    end
+  in
+  let solve_seconds = Sys.time () -. t0 in
+  ( sched,
+    {
+      pairs = List.length instances;
+      clusters = nclusters;
+      nodes;
+      optimal;
+      objective;
+      solve_seconds;
+    } )
+  end
+
+let tune_omega ?(candidates = [ 0.0; 0.05; 0.2; 0.5; 0.8; 1.0 ]) ?(threshold = 3.0) ~device
+    ~xtalk circuit =
+  if candidates = [] then invalid_arg "Xtalk_sched.tune_omega: no candidates";
+  let scored =
+    List.map
+      (fun omega ->
+        let sched, stats = schedule ~omega ~threshold ~device ~xtalk circuit in
+        let err = (Evaluate.model device ~xtalk sched).Evaluate.error in
+        (err, (omega, sched, stats)))
+      candidates
+  in
+  let best =
+    List.fold_left
+      (fun acc candidate -> if fst candidate < fst acc then candidate else acc)
+      (List.hd scored) (List.tl scored)
+  in
+  snd best

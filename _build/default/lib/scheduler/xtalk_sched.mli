@@ -1,0 +1,58 @@
+(** XtalkSched: the paper's crosstalk-adaptive scheduler.
+
+    Serializes high-crosstalk instruction pairs while balancing the
+    exponential decoherence cost of longer schedules, by solving the
+    Section 7 constrained optimization ({!Encoding}) to optimality
+    with [Qcx_smt.Solver].
+
+    [omega] is the crosstalk weight factor of eq. 17: [0.] ignores
+    crosstalk (the result coincides with ParSched's parallelism);
+    [1.] ignores decoherence, which the paper equates with full
+    SerialSched behaviour (Table 1) — implemented here as exactly
+    that special case.  The paper's default for the SWAP experiments
+    is 0.5.
+
+    For programs whose interfering-pair count exceeds
+    [max_exact_pairs], pairs are partitioned into clusters (connected
+    components over shared gates), each cluster is optimized
+    separately, and the union of decisions is evaluated once — the
+    compile-time optimization the paper alludes to for large
+    supremacy-style workloads (Section 9.4). *)
+
+type stats = {
+  pairs : int;  (** interfering CNOT instance pairs *)
+  clusters : int;  (** 1 when solved exactly in one shot *)
+  nodes : int;  (** total branch-and-bound nodes *)
+  optimal : bool;  (** false when decomposed or budget-limited *)
+  objective : float;
+  solve_seconds : float;  (** CPU time spent in the solver *)
+}
+
+val tune_omega :
+  ?candidates:float list ->
+  ?threshold:float ->
+  device:Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  Qcx_circuit.Circuit.t ->
+  float * Qcx_circuit.Schedule.t * stats
+(** Compile at several omega values and keep the schedule whose
+    *model-predicted* error (calibration + characterized crosstalk via
+    [Evaluate.model]) is lowest — the "careful tuning" knob of
+    Section 9.3, automated without touching the hardware.  Default
+    candidates: [0.; 0.05; 0.2; 0.5; 0.8; 1.].  Returns the chosen
+    omega with its schedule and stats. *)
+
+val schedule :
+  ?omega:float ->
+  ?threshold:float ->
+  ?node_budget:int ->
+  ?max_exact_pairs:int ->
+  device:Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  Qcx_circuit.Circuit.t ->
+  Qcx_circuit.Schedule.t * stats
+(** Defaults: [omega = 0.5], [threshold = 3.], [node_budget =
+    2_000_000], [max_exact_pairs = 14].  Logical SWAPs are decomposed
+    internally; the returned schedule is over the decomposed circuit.
+    [xtalk] is characterized conditional-error data (from
+    [Qcx_characterization]), not the device ground truth. *)

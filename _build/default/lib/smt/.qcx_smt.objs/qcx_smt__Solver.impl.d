@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Array Dgraph Fun Hashtbl List Option

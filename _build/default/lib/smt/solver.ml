@@ -1,0 +1,292 @@
+type lit = { var : int; value : bool }
+
+type guarded_edge = { src : int; dst : int; weight : float }
+
+type t = {
+  graph : Dgraph.t;
+  mutable bool_names : string list;  (** reversed *)
+  mutable nbools : int;
+  mutable clauses : lit list list;
+  mutable guards : (int, (bool * guarded_edge) list) Hashtbl.t;
+      (** bool var -> edges activated when it takes the given value *)
+  mutable cost_groups : (lit list * float) list list;
+  mutable spans : (float * int * int) list;  (** weight, last, first *)
+  mutable sinks : int list;
+}
+
+type solution = {
+  bools : bool array;
+  nums : float array;
+  objective : float;
+  optimal : bool;
+  nodes : int;
+}
+
+let create () =
+  {
+    graph = Dgraph.create ();
+    bool_names = [];
+    nbools = 0;
+    clauses = [];
+    guards = Hashtbl.create 16;
+    cost_groups = [];
+    spans = [];
+    sinks = [];
+  }
+
+let new_bool t name =
+  t.bool_names <- name :: t.bool_names;
+  t.nbools <- t.nbools + 1;
+  t.nbools - 1
+
+let new_num t name = Dgraph.new_var t.graph name
+
+let add_diff t ?guard ~dst ~src ~weight () =
+  match guard with
+  | None -> Dgraph.add_edge t.graph ~src ~dst ~weight
+  | Some { var; value } ->
+    let existing = Option.value ~default:[] (Hashtbl.find_opt t.guards var) in
+    Hashtbl.replace t.guards var ((value, { src; dst; weight }) :: existing)
+
+let add_clause t lits = t.clauses <- lits :: t.clauses
+
+let add_cost_group t scenarios =
+  List.iter
+    (fun (_, cost) -> if cost < 0.0 then invalid_arg "Solver.add_cost_group: negative cost")
+    scenarios;
+  t.cost_groups <- scenarios :: t.cost_groups
+
+let add_span_cost t ~weight ~last ~first =
+  if weight < 0.0 then invalid_arg "Solver.add_span_cost: negative weight";
+  t.spans <- (weight, last, first) :: t.spans
+
+let add_sink t v = t.sinks <- v :: t.sinks
+
+(* ---- search ---- *)
+
+exception Conflict
+exception Budget
+
+type search_state = {
+  problem : t;
+  assign : int array;  (** -1 unassigned, 0 false, 1 true *)
+  clauses : lit array array;
+  mutable best : solution option;
+  mutable node_count : int;
+  budget : int;
+}
+
+let lit_status st { var; value } =
+  match st.assign.(var) with
+  | -1 -> `Unassigned
+  | a -> if (a = 1) = value then `True else `False
+
+(* Assign a variable, activate its guarded edges (inside a fresh graph
+   frame) and return the number of frames pushed so the caller can
+   undo.  Raises [Conflict] if already assigned inconsistently. *)
+let do_assign st var value undo =
+  match st.assign.(var) with
+  | a when a >= 0 -> if (a = 1) <> value then raise Conflict
+  | _ ->
+    st.assign.(var) <- (if value then 1 else 0);
+    Dgraph.push st.problem.graph;
+    (match Hashtbl.find_opt st.problem.guards var with
+    | None -> ()
+    | Some edges ->
+      List.iter
+        (fun (v, { src; dst; weight } : bool * guarded_edge) ->
+          if v = value then Dgraph.add_edge st.problem.graph ~src ~dst ~weight)
+        edges);
+    undo := var :: !undo
+
+(* Unit propagation to fixpoint.  Raises [Conflict] on a falsified
+   clause. *)
+let propagate st undo =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun clause ->
+        let unassigned = ref [] in
+        let satisfied = ref false in
+        Array.iter
+          (fun l ->
+            match lit_status st l with
+            | `True -> satisfied := true
+            | `False -> ()
+            | `Unassigned -> unassigned := l :: !unassigned)
+          clause;
+        if not !satisfied then
+          match !unassigned with
+          | [] -> raise Conflict
+          | [ l ] ->
+            do_assign st l.var l.value undo;
+            changed := true
+          | _ -> ())
+      st.clauses
+  done
+
+let undo_all st undo =
+  List.iter
+    (fun var ->
+      st.assign.(var) <- -1;
+      Dgraph.pop st.problem.graph)
+    !undo;
+  undo := []
+
+(* Lower bound from cost groups: cheapest scenario not yet falsified
+   in each group.  A scenario is falsified when one of its literals is
+   assigned the opposite value. *)
+let bool_cost_lb st =
+  List.fold_left
+    (fun acc scenarios ->
+      let viable =
+        List.filter_map
+          (fun (lits, cost) ->
+            if List.exists (fun l -> lit_status st l = `False) lits then None else Some cost)
+          scenarios
+      in
+      match viable with
+      | [] -> infinity (* all scenarios falsified: dead branch *)
+      | costs -> acc +. List.fold_left min infinity costs)
+    0.0 st.problem.cost_groups
+
+(* Span lower bound: the longest path first -> last under currently
+   active edges is a valid lower bound on (last - first), and only
+   grows as guards activate more edges.  All spans sharing a [last]
+   variable (in practice: the readout sink) are served by one backward
+   relaxation. *)
+let span_lb st =
+  let by_last = Hashtbl.create 4 in
+  List.iter
+    (fun ((w, last, _) as span) ->
+      if w > 0.0 then
+        Hashtbl.replace by_last last
+          (span :: Option.value ~default:[] (Hashtbl.find_opt by_last last)))
+    st.problem.spans;
+  Hashtbl.fold
+    (fun last spans acc ->
+      let dist = Dgraph.longest_paths_to st.problem.graph ~dst:last in
+      List.fold_left
+        (fun acc (w, _, first) ->
+          let lp = dist.(first) in
+          if lp = neg_infinity then acc else acc +. (w *. max 0.0 lp))
+        acc spans)
+    by_last 0.0
+
+let feasible st =
+  match Dgraph.asap st.problem.graph with Some _ -> true | None -> false
+
+(* Exact evaluation at a full boolean assignment. *)
+let evaluate st =
+  match Dgraph.asap st.problem.graph with
+  | None -> None
+  | Some lo ->
+    let deadline = Array.make (Dgraph.nvars st.problem.graph) infinity in
+    List.iter (fun sink -> deadline.(sink) <- lo.(sink)) st.problem.sinks;
+    (match Dgraph.alap st.problem.graph ~deadline with
+    | None -> None
+    | Some nums ->
+      let span_cost =
+        List.fold_left
+          (fun acc (w, last, first) -> acc +. (w *. (nums.(last) -. nums.(first))))
+          0.0 st.problem.spans
+      in
+      let scenario_cost =
+        List.fold_left
+          (fun acc scenarios ->
+            let holding =
+              List.filter
+                (fun (lits, _) -> List.for_all (fun l -> lit_status st l = `True) lits)
+                scenarios
+            in
+            match holding with
+            | [ (_, cost) ] -> acc +. cost
+            | [] -> acc (* vacuous group (no scenario matches) contributes nothing *)
+            | (_, cost) :: _ -> acc +. cost)
+          0.0 st.problem.cost_groups
+      in
+      Some (scenario_cost +. span_cost, nums))
+
+let current_best_objective st =
+  match st.best with Some s -> s.objective | None -> infinity
+
+let rec search st =
+  st.node_count <- st.node_count + 1;
+  if st.node_count > st.budget then raise Budget;
+  (* Prune. *)
+  if feasible st then begin
+    let lb = bool_cost_lb st in
+    if lb < current_best_objective st then begin
+      let lb = lb +. span_lb st in
+      if lb < current_best_objective st -. 1e-12 then begin
+        (* Find an unassigned boolean. *)
+        let next = ref (-1) in
+        (try
+           for v = 0 to Array.length st.assign - 1 do
+             if st.assign.(v) = -1 then begin
+               next := v;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !next = -1 then begin
+          (* Leaf: exact evaluation. *)
+          match evaluate st with
+          | None -> ()
+          | Some (objective, nums) ->
+            if objective < current_best_objective st then
+              st.best <-
+                Some
+                  {
+                    bools = Array.map (fun a -> a = 1) st.assign;
+                    nums;
+                    objective;
+                    optimal = false;
+                    nodes = st.node_count;
+                  }
+        end
+        else
+          List.iter
+            (fun value ->
+              let undo = ref [] in
+              (* [Fun.protect] keeps graph frames balanced even when the
+                 node budget aborts the search mid-branch. *)
+              Fun.protect
+                ~finally:(fun () -> undo_all st undo)
+                (fun () ->
+                  try
+                    do_assign st !next value undo;
+                    propagate st undo;
+                    search st
+                  with Conflict -> ()))
+            [ false; true ]
+      end
+    end
+  end
+
+let solve ?(node_budget = 2_000_000) t =
+  let st =
+    {
+      problem = t;
+      assign = Array.make t.nbools (-1);
+      clauses = Array.of_list (List.map Array.of_list t.clauses);
+      best = None;
+      node_count = 0;
+      budget = node_budget;
+    }
+  in
+  let undo = ref [] in
+  let complete =
+    try
+      propagate st undo;
+      search st;
+      true
+    with
+    | Conflict -> true
+    | Budget -> false
+  in
+  undo_all st undo;
+  match st.best with
+  | None -> None
+  | Some sol -> Some { sol with optimal = complete; nodes = st.node_count }

@@ -1,0 +1,67 @@
+(** Optimizing solver for the Bool x difference-logic fragment used by
+    the crosstalk-adaptive scheduler (the repository's stand-in for
+    Z3's [Optimize]).
+
+    The problem shape, matching the paper's Section 7 encoding:
+
+    - numeric variables are gate start times, constrained by
+      (optionally guarded) difference constraints [x >= y + w];
+    - boolean variables select schedule structure (overlap indicators,
+      serialization orders), constrained by clauses;
+    - the objective is a sum of {e scenario costs} (a constant chosen
+      by which boolean scenario holds — the paper's powerset gate-error
+      constraints, eq. 7) and {e span costs} (weighted differences of
+      two numeric variables — the decoherence terms, eq. 9/10).
+
+    Solving is exhaustive DPLL-style branch and bound over the
+    booleans with Bellman-Ford feasibility checks and monotone lower
+    bounds; numeric values at each leaf are evaluated exactly by an
+    ASAP pass for the designated sink (the synchronized readout time)
+    followed by an ALAP pass that maximizes every variable
+    simultaneously.  The leaf evaluation is the true optimum whenever
+    every span cost's [last] variable is (transitively equal to) a
+    sink — which the scheduler encoding guarantees; see DESIGN.md. *)
+
+type t
+
+type lit = { var : int; value : bool }
+(** [value] is the polarity: [{var; value = false}] is satisfied when
+    [var] is assigned false. *)
+
+type solution = {
+  bools : bool array;
+  nums : float array;
+  objective : float;
+  optimal : bool;  (** false when the node budget expired first *)
+  nodes : int;  (** search nodes explored *)
+}
+
+val create : unit -> t
+
+val new_bool : t -> string -> int
+val new_num : t -> string -> int
+
+val add_diff : t -> ?guard:lit -> dst:int -> src:int -> weight:float -> unit -> unit
+(** Constraint [num dst >= num src + weight], enforced always, or only
+    when [guard] holds. *)
+
+val add_clause : t -> lit list -> unit
+(** At least one literal holds.  The empty clause makes the problem
+    unsatisfiable. *)
+
+val add_cost_group : t -> (lit list * float) list -> unit
+(** A family of mutually exclusive scenarios (conjunctions of
+    literals), of which exactly one holds in any full assignment; the
+    holding scenario's cost is added to the objective.  Costs must be
+    nonnegative (the lower bound assumes it). *)
+
+val add_span_cost : t -> weight:float -> last:int -> first:int -> unit
+(** Adds [weight * (num last - num first)] to the objective;
+    [weight >= 0]. *)
+
+val add_sink : t -> int -> unit
+(** Designate a numeric variable as a sink: its value is pinned to its
+    minimal feasible value and upper-bounds the ALAP pass. *)
+
+val solve : ?node_budget:int -> t -> solution option
+(** [None] when unsatisfiable.  Default budget: 2_000_000 nodes. *)

@@ -1,0 +1,1 @@
+lib/stabilizer/tableau.ml: Array Buffer Bytes Char Qcx_util

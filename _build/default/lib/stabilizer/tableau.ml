@@ -1,0 +1,187 @@
+module Rng = Qcx_util.Rng
+
+type t = {
+  n : int;
+  xs : Bytes.t array;  (** xs.(row) has n bytes of 0/1 *)
+  zs : Bytes.t array;
+  r : Bytes.t;  (** phase exponent of i per row, 0..3 (as in chp.c) *)
+}
+
+(* Rows 0..n-1: destabilizers; n..2n-1: stabilizers; 2n: scratch. *)
+
+let getb b i = Bytes.unsafe_get b i <> '\000'
+let setb b i v = Bytes.unsafe_set b i (if v then '\001' else '\000')
+
+(* Phase exponents live in the same Bytes buffer as small ints. *)
+let get_phase t row = Char.code (Bytes.unsafe_get t.r row)
+let set_phase t row v = Bytes.unsafe_set t.r row (Char.unsafe_chr (v land 3))
+let flip_sign t row = set_phase t row (get_phase t row + 2)
+
+let create n =
+  if n <= 0 then invalid_arg "Tableau.create: n must be positive";
+  let rows = (2 * n) + 1 in
+  let xs = Array.init rows (fun _ -> Bytes.make n '\000') in
+  let zs = Array.init rows (fun _ -> Bytes.make n '\000') in
+  for i = 0 to n - 1 do
+    setb xs.(i) i true;
+    (* destabilizer i = X_i *)
+    setb zs.(n + i) i true (* stabilizer i = Z_i *)
+  done;
+  { n; xs; zs; r = Bytes.make rows '\000' }
+
+let nqubits t = t.n
+
+let copy t =
+  {
+    n = t.n;
+    xs = Array.map Bytes.copy t.xs;
+    zs = Array.map Bytes.copy t.zs;
+    r = Bytes.copy t.r;
+  }
+
+let check t q = if q < 0 || q >= t.n then invalid_arg "Tableau: qubit out of range"
+
+let h t q =
+  check t q;
+  for i = 0 to (2 * t.n) - 1 do
+    let xi = getb t.xs.(i) q and zi = getb t.zs.(i) q in
+    if xi && zi then flip_sign t i;
+    setb t.xs.(i) q zi;
+    setb t.zs.(i) q xi
+  done
+
+let s t q =
+  check t q;
+  for i = 0 to (2 * t.n) - 1 do
+    let xi = getb t.xs.(i) q and zi = getb t.zs.(i) q in
+    if xi && zi then flip_sign t i;
+    setb t.zs.(i) q (xi <> zi)
+  done
+
+let sdg t q =
+  s t q;
+  s t q;
+  s t q
+
+let z t q =
+  check t q;
+  for i = 0 to (2 * t.n) - 1 do
+    if getb t.xs.(i) q then flip_sign t i
+  done
+
+let x t q =
+  check t q;
+  for i = 0 to (2 * t.n) - 1 do
+    if getb t.zs.(i) q then flip_sign t i
+  done
+
+let y t q =
+  check t q;
+  for i = 0 to (2 * t.n) - 1 do
+    if getb t.xs.(i) q <> getb t.zs.(i) q then flip_sign t i
+  done
+
+let cnot t ~control ~target =
+  check t control;
+  check t target;
+  if control = target then invalid_arg "Tableau.cnot: control = target";
+  for i = 0 to (2 * t.n) - 1 do
+    let xc = getb t.xs.(i) control
+    and xt = getb t.xs.(i) target
+    and zc = getb t.zs.(i) control
+    and zt = getb t.zs.(i) target in
+    if xc && zt && xt = zc then flip_sign t i;
+    setb t.xs.(i) target (xt <> xc);
+    setb t.zs.(i) control (zc <> zt)
+  done
+
+let swap t a b =
+  cnot t ~control:a ~target:b;
+  cnot t ~control:b ~target:a;
+  cnot t ~control:a ~target:b
+
+let apply_pauli t p q =
+  match p with `X -> x t q | `Y -> y t q | `Z -> z t q
+
+(* Phase exponent contribution g(x1,z1,x2,z2) of multiplying two
+   single-qubit Paulis (Aaronson-Gottesman eq. 4): the power of i
+   picked up when multiplying row2's Pauli into row1's. *)
+let g x1 z1 x2 z2 =
+  match (x1, z1) with
+  | false, false -> 0
+  | true, true -> (if z2 then 1 else 0) - if x2 then 1 else 0
+  | true, false -> if z2 then (if x2 then 1 else -1) else 0
+  | false, true -> if x2 then (if z2 then -1 else 1) else 0
+
+(* rowsum(h, i): row h <- row h * row i, with phase tracking mod 4.
+   Stabilizer rows always end up with an even exponent; destabilizer
+   rows may legitimately carry odd powers of i (their phases are never
+   observed), so the exponent is stored as-is, chp.c style. *)
+let rowsum t hrow irow =
+  let phase = ref (get_phase t hrow + get_phase t irow) in
+  for j = 0 to t.n - 1 do
+    let x1 = getb t.xs.(irow) j
+    and z1 = getb t.zs.(irow) j
+    and x2 = getb t.xs.(hrow) j
+    and z2 = getb t.zs.(hrow) j in
+    phase := !phase + g x1 z1 x2 z2;
+    setb t.xs.(hrow) j (x1 <> x2);
+    setb t.zs.(hrow) j (z1 <> z2)
+  done;
+  set_phase t hrow (((!phase mod 4) + 4) mod 4)
+
+let clear_row t row =
+  Bytes.fill t.xs.(row) 0 t.n '\000';
+  Bytes.fill t.zs.(row) 0 t.n '\000';
+  set_phase t row 0
+
+let find_random_stabilizer t q =
+  let rec loop p = if p >= 2 * t.n then None else if getb t.xs.(p) q then Some p else loop (p + 1) in
+  loop t.n
+
+let deterministic_outcome t q =
+  (* Scratch row accumulates the product of stabilizers n+i over all
+     destabilizer rows i with x_i(q) = 1; its sign is the outcome. *)
+  let scratch = 2 * t.n in
+  clear_row t scratch;
+  for i = 0 to t.n - 1 do
+    if getb t.xs.(i) q then rowsum t scratch (i + t.n)
+  done;
+  get_phase t scratch = 2
+
+let measure_deterministic_opt t q =
+  check t q;
+  match find_random_stabilizer t q with
+  | Some _ -> None
+  | None -> Some (deterministic_outcome t q)
+
+let measure t rng q =
+  check t q;
+  match find_random_stabilizer t q with
+  | None -> deterministic_outcome t q
+  | Some p ->
+    let outcome = Rng.bool rng in
+    for i = 0 to (2 * t.n) - 1 do
+      if i <> p && getb t.xs.(i) q then rowsum t i p
+    done;
+    (* Destabilizer p-n <- old stabilizer row p; stabilizer p <- +-Z_q. *)
+    Bytes.blit t.xs.(p) 0 t.xs.(p - t.n) 0 t.n;
+    Bytes.blit t.zs.(p) 0 t.zs.(p - t.n) 0 t.n;
+    set_phase t (p - t.n) (get_phase t p);
+    clear_row t p;
+    setb t.zs.(p) q true;
+    set_phase t p (if outcome then 2 else 0);
+    outcome
+
+let key t =
+  let buf = Buffer.create ((2 * t.n * (2 * t.n)) + (2 * t.n)) in
+  for i = 0 to (2 * t.n) - 1 do
+    Buffer.add_bytes buf t.xs.(i);
+    Buffer.add_bytes buf t.zs.(i);
+    Buffer.add_char buf (Char.chr (Char.code '0' + get_phase t i))
+  done;
+  Buffer.contents buf
+
+let is_identity t = key t = key (create t.n)
+
+let equal a b = a.n = b.n && key a = key b

@@ -1,0 +1,56 @@
+(** Aaronson–Gottesman CHP stabilizer tableau (Phys. Rev. A 70,
+    052328, 2004).
+
+    Simulates Clifford circuits (H, S, CNOT, Paulis) in O(n) per gate
+    and O(n^2) per measurement.  Used in two roles:
+
+    - as the quantum state of a noisy Clifford-circuit execution
+      (randomized benchmarking, SWAP and Hidden Shift circuits), with
+      stochastic Pauli errors injected between gates; and
+    - as a faithful record of a Clifford *unitary* (start from the
+      identity tableau, apply gates), whose canonical {!key} lets the
+      characterization code invert random Clifford sequences exactly.
+
+    The tableau holds 2n+1 rows of X/Z bit pairs plus sign bits; rows
+    0..n-1 are destabilizers, n..2n-1 stabilizers, and row 2n is
+    scratch space for the deterministic-measurement row sum. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the identity tableau over [n] qubits — equivalently
+    the state |0...0>. *)
+
+val nqubits : t -> int
+val copy : t -> t
+
+val h : t -> int -> unit
+val s : t -> int -> unit
+val sdg : t -> int -> unit
+val x : t -> int -> unit
+val y : t -> int -> unit
+val z : t -> int -> unit
+val cnot : t -> control:int -> target:int -> unit
+val swap : t -> int -> int -> unit
+(** Implemented as three CNOTs. *)
+
+val apply_pauli : t -> [ `X | `Y | `Z ] -> int -> unit
+(** Inject a Pauli error on a qubit (used by the noise engine). *)
+
+val measure : t -> Qcx_util.Rng.t -> int -> bool
+(** Computational-basis measurement; collapses the state.  Random
+    outcomes draw from the supplied generator. *)
+
+val measure_deterministic_opt : t -> int -> bool option
+(** [Some b] when the qubit's Z-measurement outcome is deterministic
+    in the current state (no collapse performed), [None] otherwise. *)
+
+val key : t -> string
+(** Canonical serialization of the full tableau (bits and signs).
+    Two tableaus have equal keys iff they represent the same Clifford
+    (up to unobservable global phase). *)
+
+val is_identity : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality of tableaus (same as comparing {!key}s). *)

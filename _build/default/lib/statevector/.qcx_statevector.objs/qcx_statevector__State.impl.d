@@ -1,0 +1,1 @@
+lib/statevector/state.ml: Array Fun List Qcx_linalg Qcx_util

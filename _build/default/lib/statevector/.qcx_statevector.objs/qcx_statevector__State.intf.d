@@ -1,0 +1,1 @@
+lib/statevector/state.mli: Qcx_linalg Qcx_util

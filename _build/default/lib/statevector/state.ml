@@ -1,0 +1,208 @@
+module Cplx = Qcx_linalg.Cplx
+module Mat = Qcx_linalg.Mat
+module Rng = Qcx_util.Rng
+
+type t = { n : int; re : float array; im : float array }
+
+let create n =
+  if n <= 0 || n > 26 then invalid_arg "State.create: need 1 <= n <= 26";
+  let dim = 1 lsl n in
+  let re = Array.make dim 0.0 and im = Array.make dim 0.0 in
+  re.(0) <- 1.0;
+  { n; re; im }
+
+let nqubits t = t.n
+let dim t = 1 lsl t.n
+let copy t = { n = t.n; re = Array.copy t.re; im = Array.copy t.im }
+
+let check_qubit t q = if q < 0 || q >= t.n then invalid_arg "State: qubit out of range"
+
+let amplitude t k = Cplx.make t.re.(k) t.im.(k)
+let probability t k = (t.re.(k) *. t.re.(k)) +. (t.im.(k) *. t.im.(k))
+let probabilities t = Array.init (dim t) (probability t)
+
+let apply1 t u q =
+  check_qubit t q;
+  if Mat.rows u <> 2 || Mat.cols u <> 2 then invalid_arg "State.apply1: need 2x2 matrix";
+  let u00 = Mat.get u 0 0 and u01 = Mat.get u 0 1 in
+  let u10 = Mat.get u 1 0 and u11 = Mat.get u 1 1 in
+  let bit = 1 lsl q in
+  let d = dim t in
+  let i = ref 0 in
+  while !i < d do
+    if !i land bit = 0 then begin
+      let j = !i lor bit in
+      let ar = t.re.(!i) and ai = t.im.(!i) in
+      let br = t.re.(j) and bi = t.im.(j) in
+      t.re.(!i) <- (u00.Cplx.re *. ar) -. (u00.Cplx.im *. ai) +. (u01.Cplx.re *. br) -. (u01.Cplx.im *. bi);
+      t.im.(!i) <- (u00.Cplx.re *. ai) +. (u00.Cplx.im *. ar) +. (u01.Cplx.re *. bi) +. (u01.Cplx.im *. br);
+      t.re.(j) <- (u10.Cplx.re *. ar) -. (u10.Cplx.im *. ai) +. (u11.Cplx.re *. br) -. (u11.Cplx.im *. bi);
+      t.im.(j) <- (u10.Cplx.re *. ai) +. (u10.Cplx.im *. ar) +. (u11.Cplx.re *. bi) +. (u11.Cplx.im *. br)
+    end;
+    incr i
+  done
+
+let apply2 t u q0 q1 =
+  check_qubit t q0;
+  check_qubit t q1;
+  if q0 = q1 then invalid_arg "State.apply2: qubits must differ";
+  if Mat.rows u <> 4 || Mat.cols u <> 4 then invalid_arg "State.apply2: need 4x4 matrix";
+  let b0 = 1 lsl q0 and b1 = 1 lsl q1 in
+  let d = dim t in
+  let idx = Array.make 4 0 in
+  let vr = Array.make 4 0.0 and vi = Array.make 4 0.0 in
+  for k = 0 to d - 1 do
+    if k land b0 = 0 && k land b1 = 0 then begin
+      idx.(0) <- k;
+      idx.(1) <- k lor b0;
+      idx.(2) <- k lor b1;
+      idx.(3) <- k lor b0 lor b1;
+      for a = 0 to 3 do
+        vr.(a) <- t.re.(idx.(a));
+        vi.(a) <- t.im.(idx.(a))
+      done;
+      for row = 0 to 3 do
+        let accr = ref 0.0 and acci = ref 0.0 in
+        for col = 0 to 3 do
+          let m = Mat.get u row col in
+          accr := !accr +. (m.Cplx.re *. vr.(col)) -. (m.Cplx.im *. vi.(col));
+          acci := !acci +. (m.Cplx.re *. vi.(col)) +. (m.Cplx.im *. vr.(col))
+        done;
+        t.re.(idx.(row)) <- !accr;
+        t.im.(idx.(row)) <- !acci
+      done
+    end
+  done
+
+let cnot t ~control ~target =
+  check_qubit t control;
+  check_qubit t target;
+  if control = target then invalid_arg "State.cnot: control = target";
+  let cb = 1 lsl control and tb = 1 lsl target in
+  let d = dim t in
+  for k = 0 to d - 1 do
+    if k land cb <> 0 && k land tb = 0 then begin
+      let j = k lor tb in
+      let ar = t.re.(k) and ai = t.im.(k) in
+      t.re.(k) <- t.re.(j);
+      t.im.(k) <- t.im.(j);
+      t.re.(j) <- ar;
+      t.im.(j) <- ai
+    end
+  done
+
+let h t q = apply1 t Qcx_linalg.Gates.h q
+let x t q = apply1 t Qcx_linalg.Gates.x q
+let y t q = apply1 t Qcx_linalg.Gates.y q
+let z t q = apply1 t Qcx_linalg.Gates.z q
+let s t q = apply1 t Qcx_linalg.Gates.s q
+let sdg t q = apply1 t Qcx_linalg.Gates.sdg q
+
+let apply_pauli t p q =
+  match p with `X -> x t q | `Y -> y t q | `Z -> z t q
+
+let prob_one t q =
+  let bit = 1 lsl q in
+  let acc = ref 0.0 in
+  for k = 0 to dim t - 1 do
+    if k land bit <> 0 then acc := !acc +. probability t k
+  done;
+  !acc
+
+let measure t rng q =
+  check_qubit t q;
+  let p1 = prob_one t q in
+  let outcome = Rng.unit_float rng < p1 in
+  let keep_prob = if outcome then p1 else 1.0 -. p1 in
+  let scale = if keep_prob <= 0.0 then 0.0 else 1.0 /. sqrt keep_prob in
+  let bit = 1 lsl q in
+  for k = 0 to dim t - 1 do
+    let matches = (k land bit <> 0) = outcome in
+    if matches then begin
+      t.re.(k) <- t.re.(k) *. scale;
+      t.im.(k) <- t.im.(k) *. scale
+    end
+    else begin
+      t.re.(k) <- 0.0;
+      t.im.(k) <- 0.0
+    end
+  done;
+  outcome
+
+let sample t rng =
+  let target = Rng.unit_float rng in
+  let acc = ref 0.0 in
+  let result = ref (dim t - 1) in
+  (try
+     for k = 0 to dim t - 1 do
+       acc := !acc +. probability t k;
+       if !acc > target then begin
+         result := k;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let norm t =
+  let acc = ref 0.0 in
+  for k = 0 to dim t - 1 do
+    acc := !acc +. probability t k
+  done;
+  sqrt !acc
+
+let inner_product a b =
+  if a.n <> b.n then invalid_arg "State.inner_product: size mismatch";
+  let accr = ref 0.0 and acci = ref 0.0 in
+  for k = 0 to dim a - 1 do
+    (* conj(a_k) * b_k *)
+    accr := !accr +. (a.re.(k) *. b.re.(k)) +. (a.im.(k) *. b.im.(k));
+    acci := !acci +. (a.re.(k) *. b.im.(k)) -. (a.im.(k) *. b.re.(k))
+  done;
+  Cplx.make !accr !acci
+
+let fidelity a b = Cplx.norm2 (inner_product a b)
+
+let of_amplitudes amps =
+  let d = Array.length amps in
+  let n = ref 0 in
+  while 1 lsl !n < d do
+    incr n
+  done;
+  if 1 lsl !n <> d then invalid_arg "State.of_amplitudes: length not a power of two";
+  let t = create !n in
+  let total = Array.fold_left (fun acc z -> acc +. Cplx.norm2 z) 0.0 amps in
+  if total <= 0.0 then invalid_arg "State.of_amplitudes: zero vector";
+  let scale = 1.0 /. sqrt total in
+  Array.iteri
+    (fun k z ->
+      t.re.(k) <- z.Cplx.re *. scale;
+      t.im.(k) <- z.Cplx.im *. scale)
+    amps;
+  t
+
+let reduced_density t qubits =
+  List.iter (check_qubit t) qubits;
+  let m = List.length qubits in
+  let qarr = Array.of_list qubits in
+  let dsub = 1 lsl m in
+  let rho = Mat.create dsub dsub in
+  let rest_qubits = List.filter (fun q -> not (List.mem q qubits)) (List.init t.n Fun.id) in
+  let rest = Array.of_list rest_qubits in
+  let drest = 1 lsl Array.length rest in
+  let full_index ~env ~sub =
+    let k = ref 0 in
+    Array.iteri (fun i q -> if (env lsr i) land 1 = 1 then k := !k lor (1 lsl q)) rest;
+    Array.iteri (fun i q -> if (sub lsr i) land 1 = 1 then k := !k lor (1 lsl q)) qarr;
+    !k
+  in
+  for env = 0 to drest - 1 do
+    for a = 0 to dsub - 1 do
+      let va = amplitude t (full_index ~env ~sub:a) in
+      for b = 0 to dsub - 1 do
+        let vb = amplitude t (full_index ~env ~sub:b) in
+        Mat.set rho a b (Cplx.add (Mat.get rho a b) (Cplx.mul va (Cplx.conj vb)))
+      done
+    done
+  done;
+  rho

@@ -1,0 +1,111 @@
+type decay = { a : float; alpha : float; b : float; sse : float }
+
+let linear pts =
+  let n = float_of_int (List.length pts) in
+  if List.length pts < 2 then invalid_arg "Fit.linear: need at least two points";
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 pts in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 pts in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0.0 pts in
+  let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0.0 pts in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Fit.linear: degenerate x values";
+  let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. n in
+  (slope, intercept)
+
+(* For fixed alpha, minimize sum (a * alpha^m + b - y)^2 over (a, b):
+   an ordinary 2x2 normal-equation solve with basis (alpha^m, 1). *)
+let solve_ab pts alpha =
+  let n = float_of_int (List.length pts) in
+  let su = List.fold_left (fun acc (m, _) -> acc +. (alpha ** m)) 0.0 pts in
+  let suu = List.fold_left (fun acc (m, _) -> acc +. (alpha ** (2.0 *. m))) 0.0 pts in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 pts in
+  let suy = List.fold_left (fun acc (m, y) -> acc +. ((alpha ** m) *. y)) 0.0 pts in
+  let denom = (suu *. n) -. (su *. su) in
+  let a, b =
+    if Float.abs denom < 1e-12 then (0.0, sy /. n)
+    else
+      let a = ((suy *. n) -. (su *. sy)) /. denom in
+      let b = (sy -. (a *. su)) /. n in
+      (a, b)
+  in
+  let sse =
+    List.fold_left
+      (fun acc (m, y) ->
+        let r = (a *. (alpha ** m)) +. b -. y in
+        acc +. (r *. r))
+      0.0 pts
+  in
+  (a, b, sse)
+
+let exp_decay pts =
+  if List.length pts < 3 then invalid_arg "Fit.exp_decay: need at least three points";
+  let sse_at alpha =
+    let _, _, sse = solve_ab pts alpha in
+    sse
+  in
+  (* Coarse scan to find a bracketing region, then golden section. *)
+  let best = ref (0.5, sse_at 0.5) in
+  for i = 1 to 99 do
+    let alpha = float_of_int i /. 100.0 in
+    let sse = sse_at alpha in
+    if sse < snd !best then best := (alpha, sse)
+  done;
+  let center = fst !best in
+  let lo = ref (Stats.clamp ~lo:1e-6 ~hi:1.0 (center -. 0.02)) in
+  let hi = ref (Stats.clamp ~lo:0.0 ~hi:(1.0 -. 1e-9) (center +. 0.02)) in
+  let phi = (sqrt 5.0 -. 1.0) /. 2.0 in
+  for _ = 1 to 60 do
+    let x1 = !hi -. (phi *. (!hi -. !lo)) in
+    let x2 = !lo +. (phi *. (!hi -. !lo)) in
+    if sse_at x1 < sse_at x2 then hi := x2 else lo := x1
+  done;
+  let alpha = (!lo +. !hi) /. 2.0 in
+  let a, b, sse = solve_ab pts alpha in
+  { a; alpha; b; sse }
+
+let exp_decay_fixed_b ~b pts =
+  if List.length pts < 2 then invalid_arg "Fit.exp_decay_fixed_b: need at least two points";
+  let usable = List.filter (fun (_, y) -> y -. b > 1e-3) pts in
+  match usable with
+  | [] | [ _ ] ->
+    (* Everything at the floor: maximal decay. *)
+    { a = 1.0 -. b; alpha = 0.0; b; sse = 0.0 }
+  | _ ->
+    (* Weighted least squares on ln(y - b) = ln a + m ln alpha. *)
+    let sw = ref 0.0 and swx = ref 0.0 and swy = ref 0.0 and swxx = ref 0.0 and swxy = ref 0.0 in
+    List.iter
+      (fun (m, y) ->
+        let z = y -. b in
+        let w = z *. z in
+        let ly = log z in
+        sw := !sw +. w;
+        swx := !swx +. (w *. m);
+        swy := !swy +. (w *. ly);
+        swxx := !swxx +. (w *. m *. m);
+        swxy := !swxy +. (w *. m *. ly))
+      usable;
+    let denom = (!sw *. !swxx) -. (!swx *. !swx) in
+    if Float.abs denom < 1e-12 then { a = 1.0 -. b; alpha = 0.0; b; sse = 0.0 }
+    else begin
+      let slope = ((!sw *. !swxy) -. (!swx *. !swy)) /. denom in
+      let intercept = (!swy -. (slope *. !swx)) /. !sw in
+      let alpha = Stats.clamp ~lo:0.0 ~hi:1.0 (exp slope) in
+      let a = exp intercept in
+      let sse =
+        List.fold_left
+          (fun acc (m, y) ->
+            let r = (a *. (alpha ** m)) +. b -. y in
+            acc +. (r *. r))
+          0.0 pts
+      in
+      { a; alpha; b; sse }
+    end
+
+let epc_of_alpha ~nqubits alpha =
+  let d = float_of_int (1 lsl nqubits) in
+  (d -. 1.0) /. d *. (1.0 -. alpha)
+
+let cnot_error_of_epc ~cnots_per_clifford epc =
+  if cnots_per_clifford <= 0.0 then invalid_arg "Fit.cnot_error_of_epc: bad divisor";
+  epc /. cnots_per_clifford

@@ -1,0 +1,41 @@
+(** Least-squares curve fitting for randomized-benchmarking decays.
+
+    RB survival data follows [y = a * alpha^m + b] where [m] is the
+    Clifford sequence length.  For a fixed [alpha] the model is linear
+    in [(a, b)], so we solve the inner problem in closed form and
+    search the outer 1-D problem over [alpha] in (0, 1) by golden
+    section on the residual sum of squares. *)
+
+type decay = {
+  a : float;  (** amplitude *)
+  alpha : float;  (** depolarizing decay parameter per Clifford *)
+  b : float;  (** asymptote *)
+  sse : float;  (** residual sum of squares at the optimum *)
+}
+
+val linear : (float * float) list -> float * float
+(** [linear pts] fits [y = slope * x + intercept]; returns
+    [(slope, intercept)].  Needs at least two distinct x values. *)
+
+val exp_decay : (float * float) list -> decay
+(** [exp_decay pts] fits [y = a * alpha^m + b] over points
+    [(m, y)].  Needs at least three points. *)
+
+val exp_decay_fixed_b : b:float -> (float * float) list -> decay
+(** Fit [y = a * alpha^m + b] with the asymptote pinned (for
+    randomized benchmarking, [b = 1/2^n] — the fully depolarized
+    survival, which readout bit flips leave unchanged).  Weighted
+    log-linear regression of [ln (y - b)] against [m], with
+    delta-method weights [(y-b)^2] so near-floor points do not blow up
+    the fit; points at or below the floor are dropped.  Much more
+    stable than the free fit when the decay is fast (high-crosstalk
+    SRB curves that collapse within a few Cliffords). *)
+
+val epc_of_alpha : nqubits:int -> float -> float
+(** Error per Clifford from the decay parameter:
+    [(2^n - 1) / 2^n * (1 - alpha)] (Magesan et al., 2012). *)
+
+val cnot_error_of_epc : cnots_per_clifford:float -> float -> float
+(** CNOT error upper bound: error per Clifford divided by the average
+    number of CNOTs per two-qubit Clifford (1.5 for optimal
+    decompositions), as in the paper's §8.1. *)

@@ -1,0 +1,83 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_raw t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let split t =
+  let s = next_raw t in
+  { state = mix64 s }
+
+let copy t = { state = t.state }
+
+let int64 t = next_raw t
+
+let unit_float t =
+  (* 53 high bits -> [0, 1) *)
+  let bits = Int64.shift_right_logical (next_raw t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound = unit_float t *. bound
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (next_raw t) 1 in
+    let v = Int64.rem raw bound64 in
+    if Int64.sub raw v > Int64.sub (Int64.sub Int64.max_int bound64) 1L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let bool t = Int64.logand (next_raw t) 1L = 1L
+
+let bernoulli t p = unit_float t < p
+
+let gaussian t ~mu ~sigma =
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () in
+  let u2 = unit_float t in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let weighted_choice t items =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 items in
+  if total <= 0.0 then invalid_arg "Rng.weighted_choice: non-positive total weight";
+  let target = float t total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Rng.weighted_choice: empty list"
+    | [ (_, x) ] -> x
+    | (w, x) :: rest -> if acc +. w > target then x else pick (acc +. w) rest
+  in
+  pick 0.0 items
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let shuffle_list t l =
+  let arr = Array.of_list l in
+  shuffle t arr;
+  Array.to_list arr

@@ -1,0 +1,73 @@
+let sum = List.fold_left ( +. ) 0.0
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty list"
+  | _ -> sum xs /. float_of_int (List.length xs)
+
+let variance xs =
+  let n = List.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let sq = sum (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+    sq /. float_of_int (n - 1)
+
+let std xs = sqrt (variance xs)
+
+let geomean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.geomean: empty list"
+  | _ ->
+    List.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value") xs;
+    exp (sum (List.map log xs) /. float_of_int (List.length xs))
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  match xs with
+  | [] -> invalid_arg "Stats.median: empty list"
+  | _ ->
+    let arr = Array.of_list (sorted xs) in
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+let percentile p xs =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | _ ->
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+    let arr = Array.of_list (sorted xs) in
+    let n = Array.length arr in
+    if n = 1 then arr.(0)
+    else
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+
+let minimum xs =
+  match xs with
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: rest -> List.fold_left min x rest
+
+let maximum xs =
+  match xs with
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: rest -> List.fold_left max x rest
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let ratio_summary pairs =
+  match pairs with
+  | [] -> invalid_arg "Stats.ratio_summary: empty list"
+  | _ ->
+    let ratios =
+      List.map
+        (fun (baseline, candidate) ->
+          if candidate <= 0.0 then invalid_arg "Stats.ratio_summary: non-positive candidate"
+          else baseline /. candidate)
+        pairs
+    in
+    (geomean ratios, maximum ratios)

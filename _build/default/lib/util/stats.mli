@@ -1,0 +1,32 @@
+(** Small descriptive-statistics helpers used across the repository. *)
+
+val mean : float list -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on an empty list. *)
+
+val variance : float list -> float
+(** Sample variance (Bessel-corrected); [0.] for fewer than two points. *)
+
+val std : float list -> float
+(** Sample standard deviation. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values. *)
+
+val median : float list -> float
+(** Median (average of middle two for even length). *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], linear interpolation. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val sum : float list -> float
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp a value into [lo, hi]. *)
+
+val ratio_summary : (float * float) list -> float * float
+(** [ratio_summary pairs] where each pair is (baseline, candidate):
+    returns (geomean improvement, max improvement) of baseline /
+    candidate — the paper's "geomean 2x, up to 5.6x" style summary. *)

@@ -1,0 +1,36 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let pad_to n row =
+  let len = List.length row in
+  if len >= n then row else row @ List.init (n - len) (fun _ -> "")
+
+let render t =
+  let ncols = List.length t.headers in
+  let rows = List.rev_map (pad_to ncols) t.rows in
+  let all = t.headers :: rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ')
+         row)
+  in
+  let sep = String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  String.concat "\n" (render_row t.headers :: sep :: List.map render_row rows)
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fl ?(decimals = 4) x = Printf.sprintf "%.*f" decimals x
+
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" bar title bar

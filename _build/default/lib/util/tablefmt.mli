@@ -1,0 +1,24 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The bench executable reproduces the paper's tables and figure data
+    as aligned ASCII tables; this module does the column bookkeeping. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows may be shorter than the header (padded). *)
+
+val render : t -> string
+(** Render with aligned columns and a header separator. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val fl : ?decimals:int -> float -> string
+(** Format a float with a fixed number of decimals (default 4). *)
+
+val section : string -> unit
+(** Print a visually distinct section banner to stdout. *)

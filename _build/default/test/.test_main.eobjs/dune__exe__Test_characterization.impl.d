@@ -1,0 +1,1 @@
+test/test_characterization.ml: Alcotest Array Core Float Hashtbl List Printf

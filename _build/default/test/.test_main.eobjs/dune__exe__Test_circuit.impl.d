@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Core Float List QCheck QCheck_alcotest Result String

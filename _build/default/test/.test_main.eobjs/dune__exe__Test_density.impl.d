@@ -1,0 +1,1 @@
+test/test_density.ml: Alcotest Array Core Float Printf

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Core Float Format Gen List Printf QCheck QCheck_alcotest

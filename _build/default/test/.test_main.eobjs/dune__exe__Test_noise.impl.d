@@ -1,0 +1,1 @@
+test/test_noise.ml: Alcotest Array Core Float List Printf

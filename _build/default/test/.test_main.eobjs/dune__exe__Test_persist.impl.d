@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Core Filename List Result String

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Array Core List Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Core Float Gen List QCheck QCheck_alcotest

@@ -1,0 +1,247 @@
+(* Tests for qcx_benchmarks: SWAP circuits, QAOA, Hidden Shift,
+   supremacy-style circuits. *)
+
+module Circuit = Core.Circuit
+module Presets = Core.Presets
+module Device = Core.Device
+module Topology = Core.Topology
+module Swap_circuits = Core.Swap_circuits
+module Qaoa = Core.Qaoa
+module Hidden_shift = Core.Hidden_shift
+module Supremacy = Core.Supremacy
+module Rng = Core.Rng
+
+let pough = Presets.poughkeepsie ()
+
+(* ---- Swap circuits ---- *)
+
+let swap_structure () =
+  let b = Swap_circuits.build pough ~src:0 ~dst:13 in
+  Alcotest.(check int) "path length" 5 b.Swap_circuits.path_length;
+  Alcotest.(check int) "four swaps" 4 (Swap_circuits.swap_count b);
+  Alcotest.(check int) "13 cnots" 13 (Circuit.two_qubit_count b.Swap_circuits.circuit);
+  Alcotest.(check (pair int int)) "bell" (10, 11) b.Swap_circuits.bell
+
+let swap_produces_bell_state () =
+  (* Noise-free execution must leave exactly |Phi+> on the bell pair. *)
+  let b = Swap_circuits.build pough ~src:0 ~dst:13 in
+  let state, used = Core.Exec.run_ideal b.Swap_circuits.circuit in
+  let ba, bb = b.Swap_circuits.bell in
+  let ia = Option.get (List.find_index (fun q -> q = ba) used) in
+  let ib = Option.get (List.find_index (fun q -> q = bb) used) in
+  let rho = Core.State.reduced_density state [ ia; ib ] in
+  let bell = Core.Gates.density_of_state Core.Gates.bell_phi_plus in
+  Alcotest.(check bool) "reduced state is |Phi+>" true (Core.Mat.approx_equal ~tol:1e-9 rho bell)
+
+let swap_all_cnots_on_edges () =
+  let topo = Device.topology pough in
+  List.iter
+    (fun (src, dst) ->
+      let b = Swap_circuits.build pough ~src ~dst in
+      List.iter
+        (fun g ->
+          if Core.Gate.is_two_qubit g then
+            match g.Core.Gate.qubits with
+            | [ a; c ] -> Alcotest.(check bool) "on edge" true (Topology.has_edge topo (a, c))
+            | _ -> Alcotest.fail "malformed")
+        (Circuit.gates b.Swap_circuits.circuit))
+    [ (0, 13); (4, 16); (9, 10); (13, 18) ]
+
+let swap_crosstalk_prone_detection () =
+  let truth = Device.ground_truth pough in
+  let prone = Swap_circuits.build pough ~src:0 ~dst:13 in
+  Alcotest.(check bool) "fig6 path prone" true
+    (Swap_circuits.is_crosstalk_prone pough ~xtalk:truth prone);
+  let quiet = Swap_circuits.build pough ~src:15 ~dst:19 in
+  Alcotest.(check bool) "bottom row quiet" false
+    (Swap_circuits.is_crosstalk_prone pough ~xtalk:truth quiet)
+
+let swap_crosstalk_free_paths () =
+  let truth = Device.ground_truth pough in
+  let paths = Swap_circuits.crosstalk_free_paths pough ~xtalk:truth ~length:3 () in
+  Alcotest.(check bool) "some quiet length-3 paths" true (List.length paths > 0);
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int) "distance 3" 3 (Topology.qubit_distance (Device.topology pough) a b);
+      Alcotest.(check bool) "not prone" false
+        (Swap_circuits.is_crosstalk_prone pough ~xtalk:truth (Swap_circuits.build pough ~src:a ~dst:b)))
+    paths
+
+(* ---- QAOA ---- *)
+
+let qaoa_structure () =
+  let rng = Rng.create 41 in
+  let q = Qaoa.build pough ~rng ~region:[ 5; 10; 11; 12 ] in
+  Alcotest.(check int) "nine cnots" 9 (Qaoa.two_qubit_count q);
+  (* 41 unitaries + 4 measures = 45 instructions; the paper counts 43
+     gates with its own accounting. *)
+  Alcotest.(check int) "gate count" 45 (Qaoa.gate_count q);
+  Alcotest.(check (list int)) "uses only the region" [ 5; 10; 11; 12 ]
+    (Circuit.used_qubits q.Qaoa.circuit)
+
+let qaoa_rejects_non_line () =
+  let rng = Rng.create 42 in
+  Alcotest.(check bool) "non-line rejected" true
+    (try
+       ignore (Qaoa.build pough ~rng ~region:[ 0; 1; 2; 7 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let qaoa_deterministic_per_seed () =
+  let q1 = Qaoa.build pough ~rng:(Rng.create 43) ~region:[ 5; 10; 11; 12 ] in
+  let q2 = Qaoa.build pough ~rng:(Rng.create 43) ~region:[ 5; 10; 11; 12 ] in
+  let s1, _ = Core.Exec.run_ideal q1.Qaoa.circuit in
+  let s2, _ = Core.Exec.run_ideal q2.Qaoa.circuit in
+  Alcotest.(check (float 1e-9)) "same instance" 1.0 (Core.State.fidelity s1 s2)
+
+let qaoa_outer_cnots_parallel () =
+  let rng = Rng.create 44 in
+  let q = Qaoa.build pough ~rng ~region:[ 5; 10; 11; 12 ] in
+  let dag = Core.Dag.of_circuit q.Qaoa.circuit in
+  let cnots =
+    List.filter (fun g -> Core.Gate.is_two_qubit g) (Circuit.gates q.Qaoa.circuit)
+  in
+  (* first two CNOTs of the first entangling layer are independent *)
+  match cnots with
+  | a :: b :: _ ->
+    Alcotest.(check bool) "outer pair can overlap" true
+      (Core.Dag.can_overlap dag a.Core.Gate.id b.Core.Gate.id)
+  | _ -> Alcotest.fail "expected cnots"
+
+(* ---- Hidden shift ---- *)
+
+let hs_noiseless_outputs_shift () =
+  (* Key correctness property: on a noiseless device the circuit
+     returns the shift deterministically, for every shift. *)
+  let device = Presets.linear 4 in
+  let rng = Rng.create 45 in
+  let shifts =
+    [ [ false; false; false; false ]; [ true; false; true; true ]; [ true; true; true; true ];
+      [ false; true; false; true ] ]
+  in
+  List.iter
+    (fun shift ->
+      let hs = Hidden_shift.build device ~region:[ 0; 1; 2; 3 ] ~shift ~redundancy:0 in
+      (* strip noise: execute ideally and sample *)
+      let state, used = Core.Exec.run_ideal hs.Hidden_shift.circuit in
+      Alcotest.(check int) "4 qubits" 4 (List.length used);
+      let expected_index =
+        List.fold_left
+          (fun acc (i, b) -> if b then acc lor (1 lsl i) else acc)
+          0
+          (List.mapi (fun i b -> (i, b)) shift)
+      in
+      Alcotest.(check (float 1e-9)) "deterministic shift output" 1.0
+        (Core.State.probability state expected_index);
+      ignore rng)
+    shifts
+
+let hs_redundancy_gate_count () =
+  let device = Presets.linear 4 in
+  let plain = Hidden_shift.build device ~region:[ 0; 1; 2; 3 ] ~shift:[ true; false; false; false ] ~redundancy:0 in
+  let redundant = Hidden_shift.build device ~region:[ 0; 1; 2; 3 ] ~shift:[ true; false; false; false ] ~redundancy:1 in
+  Alcotest.(check int) "plain: 4 cnots" 4 (Circuit.two_qubit_count plain.Hidden_shift.circuit);
+  Alcotest.(check int) "redundant: 12 cnots" 12
+    (Circuit.two_qubit_count redundant.Hidden_shift.circuit)
+
+let hs_redundancy_preserves_function () =
+  let device = Presets.linear 4 in
+  let shift = [ false; true; true; false ] in
+  let hs = Hidden_shift.build device ~region:[ 0; 1; 2; 3 ] ~shift ~redundancy:1 in
+  let state, _ = Core.Exec.run_ideal hs.Hidden_shift.circuit in
+  Alcotest.(check (float 1e-9)) "still outputs shift" 1.0 (Core.State.probability state 0b0110)
+
+let hs_expected_string_ordering () =
+  (* Region listed out of sorted order: expected string must follow
+     sorted measured qubits. *)
+  let hs =
+    Hidden_shift.build pough ~region:[ 15; 10; 11; 12 ] ~shift:[ true; false; false; false ]
+      ~redundancy:0
+  in
+  (* shift bit true is on hardware qubit 15; sorted order 10,11,12,15
+     puts it last. *)
+  Alcotest.(check string) "expected string" "0001" hs.Hidden_shift.expected
+
+let hs_error_rate () =
+  let hs =
+    Hidden_shift.build pough ~region:[ 5; 10; 11; 12 ] ~shift:[ true; true; false; false ]
+      ~redundancy:0
+  in
+  let counts = [ (hs.Hidden_shift.expected, 75); ("0000", 25) ] in
+  let get k = Option.value ~default:0 (List.assoc_opt k counts) in
+  Alcotest.(check (float 1e-9)) "error rate" 0.25
+    (Hidden_shift.error_rate hs ~counts_get:get ~total:100)
+
+(* ---- Supremacy ---- *)
+
+let supremacy_structure () =
+  let rng = Rng.create 46 in
+  let s = Supremacy.build pough ~rng ~nqubits:12 ~target_gates:300 in
+  Alcotest.(check int) "12 qubits" 12 (List.length s.Supremacy.qubits);
+  Alcotest.(check bool) "at least target gates" true (Circuit.length s.Supremacy.circuit >= 300);
+  (* all CNOTs on edges inside the region *)
+  let topo = Device.topology pough in
+  List.iter
+    (fun g ->
+      if Core.Gate.is_two_qubit g then
+        match g.Core.Gate.qubits with
+        | [ a; b ] ->
+          Alcotest.(check bool) "cnot on edge" true (Topology.has_edge topo (a, b));
+          Alcotest.(check bool) "inside region" true
+            (List.mem a s.Supremacy.qubits && List.mem b s.Supremacy.qubits)
+        | _ -> Alcotest.fail "malformed")
+    (Circuit.gates s.Supremacy.circuit)
+
+let supremacy_region_connected () =
+  let rng = Rng.create 47 in
+  let s = Supremacy.build pough ~rng ~nqubits:8 ~target_gates:100 in
+  let topo = Device.topology pough in
+  (* every region qubit reachable from the first within the region *)
+  let region = s.Supremacy.qubits in
+  let first = List.hd region in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "connected in device" true
+        (Topology.qubit_distance topo first q < max_int))
+    region
+
+let supremacy_rejects_oversize () =
+  let rng = Rng.create 48 in
+  Alcotest.(check bool) "too large rejected" true
+    (try
+       ignore (Supremacy.build pough ~rng ~nqubits:21 ~target_gates:10);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "benchmarks.swap",
+      [
+        Alcotest.test_case "structure" `Quick swap_structure;
+        Alcotest.test_case "produces bell state" `Quick swap_produces_bell_state;
+        Alcotest.test_case "cnots on edges" `Quick swap_all_cnots_on_edges;
+        Alcotest.test_case "crosstalk-prone detection" `Quick swap_crosstalk_prone_detection;
+        Alcotest.test_case "crosstalk-free paths" `Quick swap_crosstalk_free_paths;
+      ] );
+    ( "benchmarks.qaoa",
+      [
+        Alcotest.test_case "structure" `Quick qaoa_structure;
+        Alcotest.test_case "rejects non-line" `Quick qaoa_rejects_non_line;
+        Alcotest.test_case "deterministic per seed" `Quick qaoa_deterministic_per_seed;
+        Alcotest.test_case "outer cnots parallel" `Quick qaoa_outer_cnots_parallel;
+      ] );
+    ( "benchmarks.hidden_shift",
+      [
+        Alcotest.test_case "noiseless outputs shift" `Quick hs_noiseless_outputs_shift;
+        Alcotest.test_case "redundancy gate count" `Quick hs_redundancy_gate_count;
+        Alcotest.test_case "redundancy preserves function" `Quick hs_redundancy_preserves_function;
+        Alcotest.test_case "expected string ordering" `Quick hs_expected_string_ordering;
+        Alcotest.test_case "error rate" `Quick hs_error_rate;
+      ] );
+    ( "benchmarks.supremacy",
+      [
+        Alcotest.test_case "structure" `Quick supremacy_structure;
+        Alcotest.test_case "region connected" `Quick supremacy_region_connected;
+        Alcotest.test_case "rejects oversize" `Quick supremacy_rejects_oversize;
+      ] );
+  ]

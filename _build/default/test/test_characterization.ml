@@ -1,0 +1,346 @@
+(* Tests for qcx_characterization: the Clifford group table, RB/SRB,
+   bin packing and the characterization policies. *)
+
+module Clifford2 = Core.Clifford2
+module Rb = Core.Rb
+module Binpack = Core.Binpack
+module Policy = Core.Policy
+module Tableau = Core.Tableau
+module Rng = Core.Rng
+module Topology = Core.Topology
+
+(* ---- Clifford2 ---- *)
+
+let clifford_group_order () =
+  Alcotest.(check int) "11520 elements" 11520 (Array.length (Clifford2.table_words ()))
+
+let clifford_class_sizes () =
+  let words = Clifford2.table_words () in
+  let by_cx = Array.make 4 0 in
+  Array.iter (fun w -> by_cx.(Clifford2.cnot_count w) <- by_cx.(Clifford2.cnot_count w) + 1) words;
+  Alcotest.(check int) "identity class" 576 by_cx.(0);
+  Alcotest.(check int) "cnot class" 5184 by_cx.(1);
+  Alcotest.(check int) "iswap class" 5184 by_cx.(2);
+  Alcotest.(check int) "swap class" 576 by_cx.(3)
+
+let clifford_average_cnots () =
+  Alcotest.(check (float 1e-9)) "1.5 cnots per clifford" 1.5 (Clifford2.average_cnots ())
+
+let clifford_words_distinct () =
+  let words = Clifford2.table_words () in
+  let keys = Hashtbl.create (2 * Array.length words) in
+  Array.iter
+    (fun w ->
+      let t = Tableau.create 2 in
+      Clifford2.apply_word t w;
+      let k = Tableau.key t in
+      Alcotest.(check bool) "no duplicate element" false (Hashtbl.mem keys k);
+      Hashtbl.add keys k ())
+    words
+
+let clifford_inverse_property () =
+  let rng = Rng.create 21 in
+  for _ = 1 to 200 do
+    let t = Tableau.create 2 in
+    for _ = 1 to 1 + Rng.int rng 8 do
+      Clifford2.apply_word t (Clifford2.sample rng)
+    done;
+    let inv = Clifford2.inverse_word t in
+    Clifford2.apply_word t inv;
+    Alcotest.(check bool) "inverse returns to identity" true (Tableau.is_identity t)
+  done
+
+let clifford_inverse_is_canonical () =
+  (* The inverse word must itself be a representative (bounded CNOTs),
+     not the reversed full sequence. *)
+  let rng = Rng.create 22 in
+  let t = Tableau.create 2 in
+  for _ = 1 to 20 do
+    Clifford2.apply_word t (Clifford2.sample rng)
+  done;
+  let inv = Clifford2.inverse_word t in
+  Alcotest.(check bool) "at most 3 CNOTs" true (Clifford2.cnot_count inv <= 3)
+
+let clifford_naive_inverse () =
+  let rng = Rng.create 23 in
+  let words = List.init 5 (fun _ -> Clifford2.sample rng) in
+  let t = Tableau.create 2 in
+  List.iter (Clifford2.apply_word t) words;
+  Clifford2.apply_word t (Clifford2.naive_inverse words);
+  Alcotest.(check bool) "naive inverse works" true (Tableau.is_identity t)
+
+let clifford_invert_gate () =
+  Alcotest.(check bool) "S <-> Sdg" true
+    (Clifford2.invert_gate (Clifford2.S 0) = Clifford2.Sdg 0
+    && Clifford2.invert_gate (Clifford2.Sdg 1) = Clifford2.S 1
+    && Clifford2.invert_gate (Clifford2.H 0) = Clifford2.H 0)
+
+(* ---- Rb ---- *)
+
+let rb_measures_calibrated_error () =
+  let device = Core.Presets.linear 4 in
+  let rng = Rng.create 24 in
+  let fit = Rb.independent device ~rng ~params:Rb.default_params (1, 2) in
+  let cal = Core.Device.cnot_error device (1, 2) in
+  Alcotest.(check bool) "alpha in (0,1)" true (fit.Rb.alpha > 0.0 && fit.Rb.alpha < 1.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.4f within [0.5x, 4x] of %.4f" fit.Rb.error_rate cal)
+    true
+    (fit.Rb.error_rate > 0.5 *. cal && fit.Rb.error_rate < 4.0 *. cal)
+
+let rb_distinguishes_noisy_gate () =
+  (* Double one gate's error: its RB estimate must exceed a clean
+     gate's. *)
+  let device = Core.Presets.linear 6 in
+  let cal = Core.Device.calibration device in
+  let g = Core.Calibration.gate cal (0, 1) in
+  let noisy =
+    Core.Device.with_calibration device
+      (Core.Calibration.with_gate cal (0, 1) { g with Core.Calibration.cnot_error = 0.06 })
+  in
+  let rng = Rng.create 25 in
+  let f_noisy = Rb.independent noisy ~rng ~params:Rb.default_params (0, 1) in
+  let f_clean = Rb.independent noisy ~rng ~params:Rb.default_params (3, 4) in
+  Alcotest.(check bool) "noisy gate measured worse" true
+    (f_noisy.Rb.error_rate > 2.0 *. f_clean.Rb.error_rate)
+
+let rb_rejects_overlapping_edges () =
+  let device = Core.Presets.linear 4 in
+  let rng = Rng.create 26 in
+  Alcotest.(check bool) "shared qubit rejected" true
+    (try
+       ignore (Rb.run device ~rng ~params:Rb.default_params [ (0, 1); (1, 2) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let rb_experiment_executions () =
+  Alcotest.(check int) "count"
+    (List.length Rb.default_params.Rb.lengths * Rb.default_params.Rb.seeds
+   * Rb.default_params.Rb.trials)
+    (Rb.experiment_executions Rb.default_params)
+
+(* ---- Binpack ---- *)
+
+let binpack_partition_complete () =
+  let device = Core.Presets.poughkeepsie () in
+  let topo = Core.Device.topology device in
+  let pairs = Topology.one_hop_gate_pairs topo in
+  let rng = Rng.create 27 in
+  let bins = Binpack.pack topo ~rng ~min_separation:2 ~attempts:8 pairs in
+  let flattened = List.concat bins in
+  Alcotest.(check int) "every pair placed once" (List.length pairs) (List.length flattened);
+  List.iter
+    (fun p -> Alcotest.(check bool) "pair present" true (List.mem p flattened))
+    pairs
+
+let binpack_bins_valid () =
+  let device = Core.Presets.poughkeepsie () in
+  let topo = Core.Device.topology device in
+  let pairs = Topology.one_hop_gate_pairs topo in
+  let rng = Rng.create 28 in
+  let bins = Binpack.pack topo ~rng ~min_separation:2 ~attempts:8 pairs in
+  List.iter
+    (fun bin ->
+      let rec mutual = function
+        | [] -> ()
+        | p :: rest ->
+          List.iter
+            (fun q ->
+              Alcotest.(check bool) "pairs mutually compatible" true
+                (Binpack.compatible topo ~min_separation:2 p q))
+            rest;
+          mutual rest
+      in
+      mutual bin)
+    bins
+
+let binpack_parallelizes () =
+  let device = Core.Presets.poughkeepsie () in
+  let topo = Core.Device.topology device in
+  let pairs = Topology.one_hop_gate_pairs topo in
+  let rng = Rng.create 29 in
+  let bins = Binpack.pack topo ~rng ~min_separation:2 ~attempts:16 pairs in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d pairs in %d bins" (List.length pairs) (List.length bins))
+    true
+    (List.length bins * 3 < List.length pairs * 2)
+
+let binpack_compatibility_semantics () =
+  let device = Core.Presets.poughkeepsie () in
+  let topo = Core.Device.topology device in
+  Alcotest.(check bool) "adjacent pairs incompatible" false
+    (Binpack.compatible topo ~min_separation:2 ((0, 1), (2, 3)) ((5, 6), (7, 8)));
+  Alcotest.(check bool) "distant pairs compatible" true
+    (Binpack.compatible topo ~min_separation:2 ((0, 1), (2, 3)) ((15, 16), (17, 18)))
+
+(* ---- Policy ---- *)
+
+let policy_plan_counts () =
+  let device = Core.Presets.poughkeepsie () in
+  let rng = Rng.create 30 in
+  let all = Policy.plan ~rng device Policy.All_pairs in
+  let hop = Policy.plan ~rng device Policy.One_hop in
+  let packed = Policy.plan ~rng device Policy.One_hop_binpacked in
+  Alcotest.(check int) "all pairs" 221 (Policy.experiment_count all);
+  Alcotest.(check int) "one hop" 44 (Policy.experiment_count hop);
+  Alcotest.(check bool) "binpacked smaller" true
+    (Policy.experiment_count packed < Policy.experiment_count hop)
+
+let policy_estimated_hours () =
+  let device = Core.Presets.poughkeepsie () in
+  let rng = Rng.create 31 in
+  let all = Policy.plan ~rng device Policy.All_pairs in
+  let h = Policy.estimated_hours all in
+  (* The paper's "over 8 hours" for 221 x 100 x 1024 executions. *)
+  Alcotest.(check bool) (Printf.sprintf "%.2f hours near 8" h) true (h > 7.0 && h < 9.0)
+
+let policy_characterize_detects_truth () =
+  (* Characterize only the flagship pair and verify direction-resolved
+     detection. *)
+  let device = Core.Presets.poughkeepsie () in
+  let rng = Rng.create 32 in
+  let plan = Policy.plan ~rng device (Policy.High_crosstalk_only [ ((10, 15), (11, 12)) ]) in
+  let outcome = Policy.characterize ~rng device plan in
+  let flagged = Policy.high_pairs_of_outcome device outcome in
+  Alcotest.(check bool) "flagship pair detected" true
+    (List.mem ((10, 15), (11, 12)) flagged);
+  (* measurements carry both directions *)
+  Alcotest.(check int) "two directed measurements" 2
+    (List.length outcome.Policy.measurements)
+
+let suite =
+  [
+    ( "characterization.clifford2",
+      [
+        Alcotest.test_case "group order" `Quick clifford_group_order;
+        Alcotest.test_case "class sizes" `Quick clifford_class_sizes;
+        Alcotest.test_case "average cnots" `Quick clifford_average_cnots;
+        Alcotest.test_case "words distinct" `Slow clifford_words_distinct;
+        Alcotest.test_case "inverse property" `Quick clifford_inverse_property;
+        Alcotest.test_case "inverse canonical" `Quick clifford_inverse_is_canonical;
+        Alcotest.test_case "naive inverse" `Quick clifford_naive_inverse;
+        Alcotest.test_case "invert gate" `Quick clifford_invert_gate;
+      ] );
+    ( "characterization.rb",
+      [
+        Alcotest.test_case "measures calibrated error" `Slow rb_measures_calibrated_error;
+        Alcotest.test_case "distinguishes noisy gate" `Slow rb_distinguishes_noisy_gate;
+        Alcotest.test_case "rejects overlapping edges" `Quick rb_rejects_overlapping_edges;
+        Alcotest.test_case "experiment executions" `Quick rb_experiment_executions;
+      ] );
+    ( "characterization.binpack",
+      [
+        Alcotest.test_case "partition complete" `Quick binpack_partition_complete;
+        Alcotest.test_case "bins valid" `Quick binpack_bins_valid;
+        Alcotest.test_case "parallelizes" `Quick binpack_parallelizes;
+        Alcotest.test_case "compatibility semantics" `Quick binpack_compatibility_semantics;
+      ] );
+    ( "characterization.policy",
+      [
+        Alcotest.test_case "plan counts" `Quick policy_plan_counts;
+        Alcotest.test_case "estimated hours" `Quick policy_estimated_hours;
+        Alcotest.test_case "detects ground truth" `Slow policy_characterize_detects_truth;
+      ] );
+  ]
+
+(* ---- Clifford1 / single-qubit RB (appended suite) ---- *)
+
+let clifford1_group_order () =
+  Alcotest.(check int) "24 elements" 24 (Array.length (Core.Clifford1.table_words ()))
+
+let clifford1_inverse_property () =
+  let rng = Rng.create 33 in
+  for _ = 1 to 100 do
+    let t = Tableau.create 1 in
+    for _ = 1 to 1 + Rng.int rng 6 do
+      Core.Clifford1.apply_word t ~qubit:0 (Core.Clifford1.sample rng)
+    done;
+    Core.Clifford1.apply_word t ~qubit:0 (Core.Clifford1.inverse_word t);
+    Alcotest.(check bool) "returns to identity" true (Tableau.is_identity t)
+  done
+
+let clifford1_words_short () =
+  Array.iter
+    (fun w -> Alcotest.(check bool) "word length bounded" true (List.length w <= 6))
+    (Core.Clifford1.table_words ())
+
+let rb_single_qubit_small_errors () =
+  (* 1q error rates on the presets are ~10x below CNOT rates; RB must
+     confirm the hierarchy the paper's model relies on. *)
+  let device = Core.Presets.linear 4 in
+  let rng = Rng.create 34 in
+  let fits = Core.Rb.run_single device ~rng ~params:Core.Rb.default_params [ 1; 2 ] in
+  Alcotest.(check int) "two fits" 2 (List.length fits);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "q%d gate error %.5f below 1%%" f.Core.Rb.qubit f.Core.Rb.gate_error)
+        true
+        (f.Core.Rb.gate_error < 0.01);
+      Alcotest.(check bool) "well below the CNOT rate" true
+        (f.Core.Rb.gate_error < Core.Device.cnot_error device (1, 2)))
+    fits
+
+let rb_single_rejects_duplicates () =
+  let device = Core.Presets.linear 4 in
+  let rng = Rng.create 35 in
+  Alcotest.(check bool) "duplicates rejected" true
+    (try
+       ignore (Core.Rb.run_single device ~rng ~params:Core.Rb.default_params [ 1; 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let clifford1_suite =
+  ( "characterization.clifford1",
+    [
+      Alcotest.test_case "group order" `Quick clifford1_group_order;
+      Alcotest.test_case "inverse property" `Quick clifford1_inverse_property;
+      Alcotest.test_case "words short" `Quick clifford1_words_short;
+      Alcotest.test_case "single-qubit rb" `Slow rb_single_qubit_small_errors;
+      Alcotest.test_case "rejects duplicates" `Quick rb_single_rejects_duplicates;
+    ] )
+
+let suite = suite @ [ clifford1_suite ]
+
+(* ---- interleaved RB ---- *)
+
+let interleaved_rb_isolates_gate () =
+  (* A deliberately bad gate on an otherwise clean device: IRB must
+     pin the blame on it. *)
+  let device = Core.Presets.linear 4 in
+  let cal = Core.Device.calibration device in
+  let g = Core.Calibration.gate cal (1, 2) in
+  let noisy =
+    Core.Device.with_calibration device
+      (Core.Calibration.with_gate cal (1, 2) { g with Core.Calibration.cnot_error = 0.05 })
+  in
+  let rng = Rng.create 36 in
+  let r = Core.Rb.interleaved noisy ~rng ~params:Core.Rb.default_params (1, 2) in
+  Alcotest.(check bool) "interleaved decays faster" true
+    (r.Core.Rb.interleaved.Core.Rb.alpha < r.Core.Rb.standard.Core.Rb.alpha);
+  Alcotest.(check bool)
+    (Printf.sprintf "gate error %.4f within 2.5x of 0.05" r.Core.Rb.gate_error)
+    true
+    (r.Core.Rb.gate_error > 0.02 && r.Core.Rb.gate_error < 0.125)
+
+let interleaved_agrees_with_standard_estimate () =
+  let device = Core.Presets.linear 4 in
+  let rng = Rng.create 37 in
+  let irb = Core.Rb.interleaved device ~rng ~params:Core.Rb.default_params (1, 2) in
+  let std = Core.Rb.independent device ~rng ~params:Core.Rb.default_params (1, 2) in
+  (* Both estimate the same 1.5% gate; IRB subtracts the idle floor so
+     it may sit lower, but they must agree within a small factor. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "irb %.4f vs rb %.4f comparable" irb.Core.Rb.gate_error std.Core.Rb.error_rate)
+    true
+    (irb.Core.Rb.gate_error < 3.0 *. std.Core.Rb.error_rate
+    && std.Core.Rb.error_rate < 6.0 *. Float.max 0.004 irb.Core.Rb.gate_error)
+
+let irb_suite =
+  ( "characterization.interleaved-rb",
+    [
+      Alcotest.test_case "isolates a bad gate" `Slow interleaved_rb_isolates_gate;
+      Alcotest.test_case "agrees with standard rb" `Slow interleaved_agrees_with_standard_estimate;
+    ] )
+
+let suite = suite @ [ irb_suite ]

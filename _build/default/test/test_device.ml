@@ -1,0 +1,271 @@
+(* Unit tests for Qcx_device: topology, calibration, crosstalk data,
+   presets, drift. *)
+
+module Topology = Core.Topology
+module Calibration = Core.Calibration
+module Crosstalk = Core.Crosstalk
+module Device = Core.Device
+module Presets = Core.Presets
+module Drift = Core.Drift
+
+let grid =
+  (* Fig 1(a)'s 6-qubit machine shape. *)
+  Topology.create ~nqubits:6 ~edges:[ (0, 1); (1, 2); (2, 3); (0, 4); (4, 5); (3, 5) ]
+
+(* ---- Topology ---- *)
+
+let topology_basics () =
+  Alcotest.(check int) "nqubits" 6 (Topology.nqubits grid);
+  Alcotest.(check bool) "edge normalized lookup" true (Topology.has_edge grid (1, 0));
+  Alcotest.(check bool) "non-edge" false (Topology.has_edge grid (0, 3));
+  Alcotest.(check (list int)) "neighbors" [ 1; 4 ] (Topology.neighbors grid 0);
+  Alcotest.(check int) "degree" 2 (Topology.degree grid 5)
+
+let topology_distance () =
+  Alcotest.(check int) "adjacent" 1 (Topology.qubit_distance grid 0 1);
+  Alcotest.(check int) "self" 0 (Topology.qubit_distance grid 3 3);
+  Alcotest.(check int) "across" 3 (Topology.qubit_distance grid 1 5)
+
+let topology_path () =
+  let path = Topology.shortest_path grid 0 3 in
+  Alcotest.(check int) "length" 4 (List.length path);
+  Alcotest.(check int) "starts at src" 0 (List.hd path);
+  Alcotest.(check int) "ends at dst" 3 (List.nth path 3);
+  (* consecutive hops are edges *)
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "path uses edges" true (Topology.has_edge grid (a, b));
+      check rest
+    | _ -> ()
+  in
+  check path
+
+let topology_disconnected () =
+  let t = Topology.create ~nqubits:4 ~edges:[ (0, 1) ] in
+  Alcotest.(check int) "disconnected distance" max_int (Topology.qubit_distance t 0 3);
+  Alcotest.(check (list int)) "empty path" [] (Topology.shortest_path t 0 3)
+
+let topology_gate_distance () =
+  Alcotest.(check int) "sharing qubit" 0 (Topology.gate_distance grid (0, 1) (1, 2));
+  Alcotest.(check int) "adjacent gates" 1 (Topology.gate_distance grid (0, 1) (2, 3))
+
+let topology_parallel_pairs () =
+  let pairs = Topology.parallel_gate_pairs grid in
+  (* 6 edges -> C(6,2)=15 minus pairs sharing a qubit. *)
+  Alcotest.(check bool) "no pair shares a qubit" true
+    (List.for_all (fun ((a, b), (c, d)) -> a <> c && a <> d && b <> c && b <> d) pairs);
+  let one_hop = Topology.one_hop_gate_pairs grid in
+  Alcotest.(check bool) "one-hop subset of parallel" true
+    (List.for_all (fun p -> List.mem p pairs) one_hop);
+  Alcotest.(check bool) "one-hop pairs at distance 1" true
+    (List.for_all (fun (e1, e2) -> Topology.gate_distance grid e1 e2 = 1) one_hop)
+
+let topology_rejects_bad_edges () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Topology.create: self loop") (fun () ->
+      ignore (Topology.create ~nqubits:3 ~edges:[ (1, 1) ]));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Topology.create: duplicate edges")
+    (fun () -> ignore (Topology.create ~nqubits:3 ~edges:[ (0, 1); (1, 0) ]))
+
+(* ---- Calibration / Device ---- *)
+
+let calibration_updates () =
+  let device = Presets.linear 3 in
+  let cal = Device.calibration device in
+  let g = Calibration.gate cal (0, 1) in
+  let cal2 = Calibration.with_gate cal (0, 1) { g with Calibration.cnot_error = 0.5 } in
+  Alcotest.(check (float 1e-9)) "updated" 0.5 (Calibration.gate cal2 (0, 1)).Calibration.cnot_error;
+  Alcotest.(check (float 1e-9)) "original untouched" g.Calibration.cnot_error
+    (Calibration.gate cal (0, 1)).Calibration.cnot_error
+
+let calibration_coherence_limit () =
+  let device = Presets.poughkeepsie () in
+  let cal = Device.calibration device in
+  let q = Calibration.qubit cal 10 in
+  Alcotest.(check (float 1e-9)) "min of T1 T2"
+    (min q.Calibration.t1 q.Calibration.t2)
+    (Calibration.coherence_limit cal 10)
+
+let device_rejects_mismatch () =
+  let topo = Topology.create ~nqubits:2 ~edges:[ (0, 1) ] in
+  let cal = Device.calibration (Presets.linear 3) in
+  Alcotest.check_raises "qubit count mismatch"
+    (Invalid_argument "Device.create: calibration / topology qubit count mismatch") (fun () ->
+      ignore (Device.create ~name:"bad" ~topology:topo ~calibration:cal ~ground_truth:Crosstalk.empty))
+
+(* ---- Crosstalk ---- *)
+
+let crosstalk_roundtrip () =
+  let x = Crosstalk.set Crosstalk.empty ~target:(1, 0) ~spectator:(2, 3) 0.1 in
+  Alcotest.(check (option (float 1e-9))) "normalized lookup" (Some 0.1)
+    (Crosstalk.conditional x ~target:(0, 1) ~spectator:(3, 2));
+  Alcotest.(check (option (float 1e-9))) "direction matters" None
+    (Crosstalk.conditional x ~target:(2, 3) ~spectator:(0, 1))
+
+let crosstalk_fallback () =
+  let device = Presets.linear 3 in
+  let cal = Device.calibration device in
+  Alcotest.(check (float 1e-9)) "falls back to independent" 0.015
+    (Crosstalk.conditional_or_independent Crosstalk.empty cal ~target:(0, 1) ~spectator:(1, 2))
+
+let crosstalk_flagging () =
+  let device = Presets.linear 5 in
+  let cal = Device.calibration device in
+  (* independent = 0.015 everywhere. *)
+  let x = Crosstalk.set_symmetric Crosstalk.empty (0, 1) (2, 3) 0.06 0.02 in
+  let flagged = Crosstalk.high_crosstalk_pairs x cal ~threshold:3.0 in
+  Alcotest.(check int) "one pair flagged" 1 (List.length flagged);
+  let x2 = Crosstalk.set_symmetric Crosstalk.empty (0, 1) (2, 3) 0.03 0.02 in
+  Alcotest.(check int) "weak pair not flagged" 0
+    (List.length (Crosstalk.high_crosstalk_pairs x2 cal ~threshold:3.0))
+
+let crosstalk_max_ratio () =
+  let device = Presets.linear 3 in
+  let cal = Device.calibration device in
+  let x = Crosstalk.set Crosstalk.empty ~target:(0, 1) ~spectator:(1, 2) 0.15 in
+  Alcotest.(check (float 1e-6)) "ratio" 10.0 (Crosstalk.max_ratio x cal)
+
+let crosstalk_restrict_merge () =
+  let x = Crosstalk.set_symmetric Crosstalk.empty (0, 1) (2, 3) 0.1 0.1 in
+  let x = Crosstalk.set_symmetric x (4, 5) (6, 7) 0.2 0.2 in
+  let r = Crosstalk.restrict x [ ((0, 1), (2, 3)) ] in
+  Alcotest.(check int) "restricted" 1 (List.length (Crosstalk.interacting_pairs r));
+  let fresh = Crosstalk.set Crosstalk.empty ~target:(0, 1) ~spectator:(2, 3) 0.3 in
+  let merged = Crosstalk.merge x fresh in
+  Alcotest.(check (option (float 1e-9))) "newer wins" (Some 0.3)
+    (Crosstalk.conditional merged ~target:(0, 1) ~spectator:(2, 3));
+  Alcotest.(check (option (float 1e-9))) "older kept" (Some 0.2)
+    (Crosstalk.conditional merged ~target:(4, 5) ~spectator:(6, 7))
+
+(* ---- Presets ---- *)
+
+let presets_paper_counts () =
+  let p = Presets.poughkeepsie () in
+  Alcotest.(check int) "Poughkeepsie parallel pairs" 221
+    (List.length (Topology.parallel_gate_pairs (Device.topology p)));
+  Alcotest.(check int) "five high-crosstalk pairs" 5
+    (List.length (Device.true_high_crosstalk_pairs p ~threshold:3.0));
+  (* Qubit 10's low coherence (Fig. 6's ordering example). *)
+  Alcotest.(check bool) "qubit 10 below 6us" true
+    (Calibration.coherence_limit (Device.calibration p) 10 < 6000.0)
+
+let presets_deterministic () =
+  let a = Presets.boeblingen () and b = Presets.boeblingen () in
+  let cal_a = Device.calibration a and cal_b = Device.calibration b in
+  List.iter
+    (fun e ->
+      Alcotest.(check (float 1e-12)) "same calibration"
+        (Calibration.gate cal_a e).Calibration.cnot_error
+        (Calibration.gate cal_b e).Calibration.cnot_error)
+    (Topology.edges (Device.topology a))
+
+let presets_high_pairs_one_hop () =
+  List.iter
+    (fun d ->
+      let topo = Device.topology d in
+      List.iter
+        (fun (e1, e2) ->
+          Alcotest.(check int) "ground-truth pair at 1 hop" 1 (Topology.gate_distance topo e1 e2))
+        (Device.true_high_crosstalk_pairs d ~threshold:3.0))
+    (Presets.all ())
+
+let presets_regions_are_lines () =
+  List.iter
+    (fun d ->
+      let topo = Device.topology d in
+      List.iter
+        (fun region ->
+          Alcotest.(check int) "4 qubits" 4 (List.length region);
+          let rec ok = function
+            | a :: (b :: _ as rest) ->
+              Alcotest.(check bool) "consecutive edge" true (Topology.has_edge topo (a, b));
+              ok rest
+            | _ -> ()
+          in
+          ok region)
+        (Presets.qaoa_regions d))
+    (Presets.all ())
+
+let presets_by_name () =
+  Alcotest.(check bool) "lookup" true (Presets.by_name "johannesburg" <> None);
+  Alcotest.(check bool) "unknown" true (Presets.by_name "nonexistent" = None)
+
+(* ---- Drift ---- *)
+
+let drift_day0_identity () =
+  let d = Presets.poughkeepsie () in
+  let d0 = Drift.on_day d ~day:0 in
+  Alcotest.(check (float 1e-12)) "unchanged"
+    (Device.cnot_error d (10, 15))
+    (Device.cnot_error d0 (10, 15))
+
+let drift_deterministic () =
+  let d = Presets.poughkeepsie () in
+  let a = Drift.on_day d ~day:3 and b = Drift.on_day d ~day:3 in
+  Alcotest.(check (float 1e-12)) "same perturbation"
+    (Device.cnot_error a (10, 15))
+    (Device.cnot_error b (10, 15))
+
+let drift_bounded () =
+  let d = Presets.poughkeepsie () in
+  List.iter
+    (fun day ->
+      let dd = Drift.on_day d ~day in
+      List.iter
+        (fun e ->
+          let ratio = Device.cnot_error dd e /. Device.cnot_error d e in
+          Alcotest.(check bool) "cnot error ratio bounded" true (ratio > 0.5 && ratio < 2.0))
+        (Topology.edges (Device.topology d)))
+    [ 1; 2; 3; 4; 5 ]
+
+let drift_pair_set_stable () =
+  let d = Presets.poughkeepsie () in
+  let base = List.sort compare (Device.true_high_crosstalk_pairs d ~threshold:3.0) in
+  List.iter
+    (fun day ->
+      let today = Drift.on_day d ~day in
+      Alcotest.(check bool) "flagged set stable" true
+        (List.sort compare (Device.true_high_crosstalk_pairs today ~threshold:3.0) = base))
+    [ 1; 2; 3 ]
+
+let suite =
+  [
+    ( "device.topology",
+      [
+        Alcotest.test_case "basics" `Quick topology_basics;
+        Alcotest.test_case "distance" `Quick topology_distance;
+        Alcotest.test_case "shortest path" `Quick topology_path;
+        Alcotest.test_case "disconnected" `Quick topology_disconnected;
+        Alcotest.test_case "gate distance" `Quick topology_gate_distance;
+        Alcotest.test_case "parallel pairs" `Quick topology_parallel_pairs;
+        Alcotest.test_case "rejects bad edges" `Quick topology_rejects_bad_edges;
+      ] );
+    ( "device.calibration",
+      [
+        Alcotest.test_case "functional updates" `Quick calibration_updates;
+        Alcotest.test_case "coherence limit" `Quick calibration_coherence_limit;
+        Alcotest.test_case "device mismatch" `Quick device_rejects_mismatch;
+      ] );
+    ( "device.crosstalk",
+      [
+        Alcotest.test_case "roundtrip" `Quick crosstalk_roundtrip;
+        Alcotest.test_case "fallback" `Quick crosstalk_fallback;
+        Alcotest.test_case "flagging" `Quick crosstalk_flagging;
+        Alcotest.test_case "max ratio" `Quick crosstalk_max_ratio;
+        Alcotest.test_case "restrict and merge" `Quick crosstalk_restrict_merge;
+      ] );
+    ( "device.presets",
+      [
+        Alcotest.test_case "paper counts" `Quick presets_paper_counts;
+        Alcotest.test_case "deterministic" `Quick presets_deterministic;
+        Alcotest.test_case "high pairs at 1 hop" `Quick presets_high_pairs_one_hop;
+        Alcotest.test_case "regions are lines" `Quick presets_regions_are_lines;
+        Alcotest.test_case "by name" `Quick presets_by_name;
+      ] );
+    ( "device.drift",
+      [
+        Alcotest.test_case "day0 identity" `Quick drift_day0_identity;
+        Alcotest.test_case "deterministic" `Quick drift_deterministic;
+        Alcotest.test_case "bounded" `Quick drift_bounded;
+        Alcotest.test_case "pair set stable" `Quick drift_pair_set_stable;
+      ] );
+  ]

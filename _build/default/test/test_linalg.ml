@@ -1,0 +1,169 @@
+(* Unit tests for Qcx_linalg: complex arithmetic, matrices, gates. *)
+
+module Cplx = Core.Cplx
+module Mat = Core.Mat
+module Gates = Core.Gates
+
+let cplx = Alcotest.testable (fun fmt z -> Format.pp_print_string fmt (Cplx.to_string z)) (Cplx.approx_equal ~tol:1e-9)
+
+let mat_equal = Mat.approx_equal ~tol:1e-9
+
+let check_mat msg a b = Alcotest.(check bool) msg true (mat_equal a b)
+
+(* ---- Cplx ---- *)
+
+let cplx_arithmetic () =
+  Alcotest.check cplx "i*i = -1" (Cplx.re (-1.0)) (Cplx.mul Cplx.i Cplx.i);
+  Alcotest.check cplx "add" (Cplx.make 3.0 4.0) (Cplx.add (Cplx.make 1.0 1.0) (Cplx.make 2.0 3.0));
+  Alcotest.check cplx "conj" (Cplx.make 1.0 (-2.0)) (Cplx.conj (Cplx.make 1.0 2.0));
+  Alcotest.check cplx "div roundtrip"
+    (Cplx.make 1.0 2.0)
+    (Cplx.div (Cplx.mul (Cplx.make 1.0 2.0) (Cplx.make 3.0 (-1.0))) (Cplx.make 3.0 (-1.0)));
+  Alcotest.(check (float 1e-12)) "norm2" 5.0 (Cplx.norm2 (Cplx.make 1.0 2.0));
+  Alcotest.check cplx "exp_i pi = -1" (Cplx.re (-1.0)) (Cplx.exp_i Float.pi)
+
+(* ---- Mat ---- *)
+
+let mat_identity_mul () =
+  let m = Mat.of_arrays [| [| Cplx.re 1.0; Cplx.re 2.0 |]; [| Cplx.re 3.0; Cplx.re 4.0 |] |] in
+  check_mat "I*m = m" m (Mat.mul (Mat.identity 2) m);
+  check_mat "m*I = m" m (Mat.mul m (Mat.identity 2))
+
+let mat_adjoint () =
+  let m = Mat.of_arrays [| [| Cplx.make 1.0 1.0; Cplx.re 2.0 |]; [| Cplx.re 0.0; Cplx.i |] |] in
+  let a = Mat.adjoint m in
+  Alcotest.check cplx "conjugated and transposed" (Cplx.make 1.0 (-1.0)) (Mat.get a 0 0);
+  Alcotest.check cplx "off diagonal" (Cplx.re 2.0) (Mat.get a 1 0)
+
+let mat_kron_dims () =
+  let k = Mat.kron (Mat.identity 2) (Mat.identity 3) in
+  Alcotest.(check int) "rows" 6 (Mat.rows k);
+  check_mat "I (x) I = I" (Mat.identity 6) k
+
+let mat_kron_structure () =
+  (* X (x) I applied to |00> (index 0) must land on index 2 (bit 1 set:
+     the first kron factor is the high bit). *)
+  let xI = Mat.kron Gates.x Gates.id2 in
+  let v = Array.make 4 Cplx.zero in
+  v.(0) <- Cplx.one;
+  let out = Mat.apply xI v in
+  Alcotest.check cplx "amplitude moved to |10>" Cplx.one out.(2)
+
+let mat_trace () =
+  Alcotest.check cplx "trace of I4" (Cplx.re 4.0) (Mat.trace (Mat.identity 4))
+
+let mat_solve_roundtrip () =
+  let a =
+    Mat.of_arrays
+      [|
+        [| Cplx.re 2.0; Cplx.re 1.0; Cplx.zero |];
+        [| Cplx.re 1.0; Cplx.re 3.0; Cplx.i |];
+        [| Cplx.zero; Cplx.make 0.0 (-1.0); Cplx.re 4.0 |];
+      |]
+  in
+  let x = [| Cplx.re 1.0; Cplx.make 2.0 1.0; Cplx.re (-1.0) |] in
+  let b = Mat.apply a x in
+  let solved = Mat.solve a b in
+  Array.iteri (fun i v -> Alcotest.check cplx (Printf.sprintf "x[%d]" i) x.(i) v) solved
+
+let mat_solve_singular () =
+  let a = Mat.of_arrays [| [| Cplx.re 1.0; Cplx.re 1.0 |]; [| Cplx.re 1.0; Cplx.re 1.0 |] |] in
+  Alcotest.check_raises "singular" (Failure "Mat.solve: singular matrix") (fun () ->
+      ignore (Mat.solve a [| Cplx.one; Cplx.one |]))
+
+let mat_real_solve () =
+  let a = [| [| 2.0; 0.0 |]; [| 0.0; 4.0 |] |] in
+  let x = Mat.real_solve a [| 2.0; 8.0 |] in
+  Alcotest.(check (float 1e-9)) "x0" 1.0 x.(0);
+  Alcotest.(check (float 1e-9)) "x1" 2.0 x.(1)
+
+(* ---- Gates ---- *)
+
+let gates_unitary () =
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check bool) (name ^ " unitary") true (Mat.is_unitary m))
+    [
+      ("x", Gates.x); ("y", Gates.y); ("z", Gates.z); ("h", Gates.h); ("s", Gates.s);
+      ("sdg", Gates.sdg); ("t", Gates.t); ("tdg", Gates.tdg); ("sx", Gates.sx);
+      ("rx", Gates.rx 0.7); ("ry", Gates.ry 1.3); ("rz", Gates.rz 2.1);
+      ("u2", Gates.u2 0.4 1.9); ("cnot", Gates.cnot ~control:0 ~target:1);
+      ("swap", Gates.swap2); ("cz", Gates.cz);
+    ]
+
+let gates_algebra () =
+  check_mat "HH = I" (Mat.identity 2) (Mat.mul Gates.h Gates.h);
+  check_mat "SS = Z" Gates.z (Mat.mul Gates.s Gates.s);
+  check_mat "S Sdg = I" (Mat.identity 2) (Mat.mul Gates.s Gates.sdg);
+  check_mat "TT = S" Gates.s (Mat.mul Gates.t Gates.t);
+  check_mat "HXH = Z" Gates.z (Mat.mul (Mat.mul Gates.h Gates.x) Gates.h);
+  check_mat "SxSx = X" Gates.x (Mat.mul Gates.sx Gates.sx);
+  check_mat "u2(0,pi) = H" Gates.h (Gates.u2 0.0 Float.pi)
+
+let gates_cnot_truth_table () =
+  let cx = Gates.cnot ~control:0 ~target:1 in
+  (* control = bit0: |01> (idx 1) -> |11> (idx 3). *)
+  let v = Array.make 4 Cplx.zero in
+  v.(1) <- Cplx.one;
+  let out = Mat.apply cx v in
+  Alcotest.check cplx "flips target" Cplx.one out.(3);
+  (* |00> fixed *)
+  let v0 = Array.make 4 Cplx.zero in
+  v0.(0) <- Cplx.one;
+  Alcotest.check cplx "fixes |00>" Cplx.one (Mat.apply cx v0).(0)
+
+let gates_swap () =
+  let v = Array.make 4 Cplx.zero in
+  v.(1) <- Cplx.one;
+  (* |01> -> |10> *)
+  Alcotest.check cplx "swap" Cplx.one (Mat.apply Gates.swap2 v).(2)
+
+let gates_bell_density () =
+  let rho = Gates.density_of_state Gates.bell_phi_plus in
+  Alcotest.check cplx "trace 1" Cplx.one (Mat.trace rho);
+  Alcotest.check cplx "coherence" (Cplx.re 0.5) (Mat.get rho 0 3)
+
+let prop_rz_composition =
+  QCheck.Test.make ~name:"rz(a) rz(b) = rz(a+b)" ~count:50
+    QCheck.(pair (float_range (-3.0) 3.0) (float_range (-3.0) 3.0))
+    (fun (a, b) ->
+      Mat.approx_equal ~tol:1e-9 (Mat.mul (Gates.rz a) (Gates.rz b)) (Gates.rz (a +. b)))
+
+let prop_solve_roundtrip =
+  QCheck.Test.make ~name:"solve(a, a x) = x for diagonally dominant a" ~count:50
+    QCheck.(list_of_size (Gen.return 9) (float_range (-1.0) 1.0))
+    (fun coeffs ->
+      let a =
+        Mat.init 3 3 (fun i j ->
+            let base = List.nth coeffs ((3 * i) + j) in
+            Cplx.re (if i = j then base +. 5.0 else base))
+      in
+      let x = [| Cplx.re 1.0; Cplx.re (-2.0); Cplx.re 0.5 |] in
+      let solved = Mat.solve a (Mat.apply a x) in
+      Array.for_all2 (fun u v -> Cplx.approx_equal ~tol:1e-6 u v) solved x)
+
+let suite =
+  [
+    ("linalg.cplx", [ Alcotest.test_case "arithmetic" `Quick cplx_arithmetic ]);
+    ( "linalg.mat",
+      [
+        Alcotest.test_case "identity mul" `Quick mat_identity_mul;
+        Alcotest.test_case "adjoint" `Quick mat_adjoint;
+        Alcotest.test_case "kron dims" `Quick mat_kron_dims;
+        Alcotest.test_case "kron structure" `Quick mat_kron_structure;
+        Alcotest.test_case "trace" `Quick mat_trace;
+        Alcotest.test_case "solve roundtrip" `Quick mat_solve_roundtrip;
+        Alcotest.test_case "solve singular" `Quick mat_solve_singular;
+        Alcotest.test_case "real solve" `Quick mat_real_solve;
+        QCheck_alcotest.to_alcotest prop_solve_roundtrip;
+      ] );
+    ( "linalg.gates",
+      [
+        Alcotest.test_case "unitarity" `Quick gates_unitary;
+        Alcotest.test_case "algebra" `Quick gates_algebra;
+        Alcotest.test_case "cnot truth table" `Quick gates_cnot_truth_table;
+        Alcotest.test_case "swap" `Quick gates_swap;
+        Alcotest.test_case "bell density" `Quick gates_bell_density;
+        QCheck_alcotest.to_alcotest prop_rz_composition;
+      ] );
+  ]

@@ -1,0 +1,195 @@
+(* Tests for qcx_metrics: readout mitigation, cross entropy, and
+   Bell-state tomography. *)
+
+module Readout = Core.Readout_mitigation
+module Cross_entropy = Core.Cross_entropy
+module Tomography = Core.Tomography
+module Rng = Core.Rng
+
+(* ---- Readout mitigation ---- *)
+
+let mitigation_identity_when_clean () =
+  let counts = [ ("00", 600); ("11", 400) ] in
+  let corrected = Readout.mitigate ~flips:[ 0.0; 0.0 ] ~counts in
+  Alcotest.(check (float 1e-9)) "p00" 0.6 (List.assoc "00" corrected);
+  Alcotest.(check (float 1e-9)) "p11" 0.4 (List.assoc "11" corrected);
+  Alcotest.(check (float 1e-9)) "p01" 0.0 (List.assoc "01" corrected)
+
+let mitigation_inverts_confusion () =
+  (* Apply the confusion analytically to a known distribution, then
+     mitigate: must recover the original. *)
+  let flips = [ 0.1; 0.05 ] in
+  let truth = [ ("00", 0.5); ("01", 0.2); ("10", 0.0); ("11", 0.3) ] in
+  let strings = [ "00"; "01"; "10"; "11" ] in
+  let transition t o =
+    List.fold_left ( *. ) 1.0
+      (List.mapi
+         (fun i f -> if t.[i] = o.[i] then 1.0 -. f else f)
+         flips)
+  in
+  let observed =
+    List.map
+      (fun o ->
+        ( o,
+          int_of_float
+            (1_000_000.0
+            *. List.fold_left (fun acc (t, p) -> acc +. (p *. transition t o)) 0.0 truth) ))
+      strings
+  in
+  let corrected = Readout.mitigate ~flips ~counts:observed in
+  List.iter
+    (fun (s, p) ->
+      Alcotest.(check (float 1e-3)) ("recovered " ^ s) p (List.assoc s corrected))
+    truth
+
+let mitigation_normalizes () =
+  let corrected = Readout.mitigate ~flips:[ 0.2 ] ~counts:[ ("0", 90); ("1", 10) ] in
+  Alcotest.(check (float 1e-9)) "sums to one" 1.0
+    (List.fold_left (fun acc (_, p) -> acc +. p) 0.0 corrected)
+
+let mitigation_confusion_matrix () =
+  let m = Readout.confusion1 ~flip:0.1 in
+  Alcotest.(check (float 1e-12)) "diagonal" 0.9 m.(0).(0);
+  Alcotest.(check (float 1e-12)) "off diagonal" 0.1 m.(0).(1)
+
+(* ---- Cross entropy ---- *)
+
+let ce_entropy () =
+  Alcotest.(check (float 1e-9)) "uniform 2 bits" (log 4.0)
+    (Cross_entropy.entropy [| 0.25; 0.25; 0.25; 0.25 |]);
+  Alcotest.(check (float 1e-9)) "deterministic" 0.0 (Cross_entropy.entropy [| 1.0; 0.0 |])
+
+let ce_perfect_measurement () =
+  let ideal = [| 0.5; 0.25; 0.125; 0.125 |] in
+  let measured = [ ("00", 0.5); ("10", 0.25); ("01", 0.125); ("11", 0.125) ] in
+  (* leftmost char = lowest qubit = bit 0: "10" means bit0=1 -> index 1. *)
+  let ce = Cross_entropy.against_ideal ~ideal ~measured in
+  Alcotest.(check bool) "ce close to entropy" true
+    (Float.abs (ce -. Cross_entropy.entropy ideal) < 1e-2)
+
+let ce_noise_increases () =
+  let ideal = [| 0.7; 0.1; 0.1; 0.1 |] in
+  let sharp = [ ("00", 0.7); ("10", 0.1); ("01", 0.1); ("11", 0.1) ] in
+  let flat = [ ("00", 0.25); ("10", 0.25); ("01", 0.25); ("11", 0.25) ] in
+  Alcotest.(check bool) "flattening raises ce" true
+    (Cross_entropy.against_ideal ~ideal ~measured:flat
+    > Cross_entropy.against_ideal ~ideal ~measured:sharp)
+
+let ce_loss () =
+  Alcotest.(check (float 1e-12)) "loss" 0.3 (Cross_entropy.loss ~ideal_entropy:1.2 1.5)
+
+let ce_bit_order () =
+  (* All weight on index 2 = bit1 set = second char. *)
+  let ideal = [| 0.0; 0.0; 1.0; 0.0 |] in
+  let measured = [ ("01", 1.0) ] in
+  let ce = Cross_entropy.against_ideal ~ideal ~measured in
+  Alcotest.(check bool) "matched encoding gives low ce" true (ce < 0.01)
+
+(* ---- Tomography ---- *)
+
+let noiseless_device = Core.Presets.linear 4
+
+let strip_noise device =
+  (* zero every error channel but keep durations *)
+  let cal = Core.Device.calibration device in
+  let cal =
+    List.fold_left
+      (fun acc q ->
+        let qc = Core.Calibration.qubit acc q in
+        Core.Calibration.with_qubit acc q
+          {
+            qc with
+            Core.Calibration.t1 = 1e15;
+            t2 = 1e15;
+            readout_error = 0.0;
+            single_qubit_error = 0.0;
+          })
+      cal
+      (List.init (Core.Calibration.nqubits cal) Fun.id)
+  in
+  let cal =
+    List.fold_left
+      (fun acc e ->
+        let g = Core.Calibration.gate acc e in
+        Core.Calibration.with_gate acc e { g with Core.Calibration.cnot_error = 0.0 })
+      cal
+      (Core.Topology.edges (Core.Device.topology device))
+  in
+  Core.Device.with_calibration device cal
+
+let tomography_perfect_bell () =
+  let device = strip_noise noiseless_device in
+  let circuit = Core.Circuit.cnot (Core.Circuit.h (Core.Circuit.create 4) 0) ~control:0 ~target:1 in
+  let rng = Rng.create 51 in
+  let r =
+    Tomography.bell_state device ~rng ~trials_per_basis:256
+      ~schedule:(fun c -> Core.Par_sched.schedule device c)
+      ~circuit ~pair:(0, 1)
+  in
+  Alcotest.(check bool) (Printf.sprintf "error %.4f tiny" r.Tomography.error) true
+    (r.Tomography.error < 0.03)
+
+let tomography_not_bell () =
+  (* |00> is not a Bell state: <ZZ> = 1, <XX> = <YY> = 0, so the
+     fidelity formula gives 1/2 -> error ~0.5. *)
+  let device = strip_noise noiseless_device in
+  let circuit = Core.Circuit.create 4 in
+  let circuit = Core.Circuit.h (Core.Circuit.h circuit 0) 0 in
+  (* HH = identity, keeps qubits used *)
+  let circuit = Core.Circuit.h (Core.Circuit.h circuit 1) 1 in
+  let rng = Rng.create 52 in
+  let r =
+    Tomography.bell_state device ~rng ~trials_per_basis:256
+      ~schedule:(fun c -> Core.Par_sched.schedule device c)
+      ~circuit ~pair:(0, 1)
+  in
+  Alcotest.(check bool) (Printf.sprintf "error %.3f near 0.5" r.Tomography.error) true
+    (Float.abs (r.Tomography.error -. 0.5) < 0.05)
+
+let tomography_noise_degrades () =
+  let circuit = Core.Circuit.cnot (Core.Circuit.h (Core.Circuit.create 4) 0) ~control:0 ~target:1 in
+  let rng = Rng.create 53 in
+  let noisy = noiseless_device in
+  let r =
+    Tomography.bell_state noisy ~rng ~trials_per_basis:256
+      ~schedule:(fun c -> Core.Par_sched.schedule noisy c)
+      ~circuit ~pair:(0, 1)
+  in
+  let clean_device = strip_noise noiseless_device in
+  let r0 =
+    Tomography.bell_state clean_device ~rng ~trials_per_basis:256
+      ~schedule:(fun c -> Core.Par_sched.schedule clean_device c)
+      ~circuit ~pair:(0, 1)
+  in
+  Alcotest.(check bool) "noise raises error" true (r.Tomography.error > r0.Tomography.error)
+
+let tomography_fidelity_formula () =
+  let e = [ (('X', 'X'), 1.0); (('Y', 'Y'), -1.0); (('Z', 'Z'), 1.0) ] in
+  Alcotest.(check (float 1e-12)) "perfect bell" 1.0 (Tomography.fidelity_phi_plus e);
+  Alcotest.(check (float 1e-12)) "maximally mixed" 0.25 (Tomography.fidelity_phi_plus [])
+
+let suite =
+  [
+    ( "metrics.readout",
+      [
+        Alcotest.test_case "identity when clean" `Quick mitigation_identity_when_clean;
+        Alcotest.test_case "inverts confusion" `Quick mitigation_inverts_confusion;
+        Alcotest.test_case "normalizes" `Quick mitigation_normalizes;
+        Alcotest.test_case "confusion matrix" `Quick mitigation_confusion_matrix;
+      ] );
+    ( "metrics.cross_entropy",
+      [
+        Alcotest.test_case "entropy" `Quick ce_entropy;
+        Alcotest.test_case "perfect measurement" `Quick ce_perfect_measurement;
+        Alcotest.test_case "noise increases" `Quick ce_noise_increases;
+        Alcotest.test_case "loss" `Quick ce_loss;
+        Alcotest.test_case "bit order" `Quick ce_bit_order;
+      ] );
+    ( "metrics.tomography",
+      [
+        Alcotest.test_case "perfect bell" `Quick tomography_perfect_bell;
+        Alcotest.test_case "not bell" `Quick tomography_not_bell;
+        Alcotest.test_case "noise degrades" `Quick tomography_noise_degrades;
+        Alcotest.test_case "fidelity formula" `Quick tomography_fidelity_formula;
+      ] );
+  ]

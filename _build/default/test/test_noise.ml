@@ -1,0 +1,271 @@
+(* Tests for Qcx_noise: channels and the schedule-aware executor. *)
+
+module Channel = Core.Channel
+module Exec = Core.Exec
+module Rng = Core.Rng
+module Circuit = Core.Circuit
+module Schedule = Core.Schedule
+module Device = Core.Device
+module Presets = Core.Presets
+module Calibration = Core.Calibration
+
+(* A noiseless 3-qubit device for deterministic-execution checks. *)
+let noiseless_device =
+  let topo = Core.Topology.create ~nqubits:3 ~edges:[ (0, 1); (1, 2) ] in
+  let qubits =
+    Array.init 3 (fun _ ->
+        {
+          Calibration.t1 = 1e15;
+          t2 = 1e15;
+          readout_error = 0.0;
+          single_qubit_error = 0.0;
+          single_qubit_duration = 50.0;
+          readout_duration = 1000.0;
+        })
+  in
+  let gates =
+    List.map
+      (fun e -> (e, { Calibration.cnot_error = 0.0; cnot_duration = 300.0 }))
+      [ (0, 1); (1, 2) ]
+  in
+  Device.create ~name:"noiseless" ~topology:topo
+    ~calibration:(Calibration.create ~qubits ~gates)
+    ~ground_truth:Core.Crosstalk.empty
+
+(* ---- Channel ---- *)
+
+let channel_depol_param () =
+  Alcotest.(check (float 1e-9)) "2q factor 4/3" (4.0 /. 3.0 *. 0.03)
+    (Channel.depol_param_of_error_rate ~nqubits:2 0.03);
+  Alcotest.(check (float 1e-9)) "1q factor 2" 0.02
+    (Channel.depol_param_of_error_rate ~nqubits:1 0.01);
+  Alcotest.(check (float 1e-9)) "capped at 1" 1.0
+    (Channel.depol_param_of_error_rate ~nqubits:2 0.9)
+
+let channel_depol_sampling () =
+  let rng = Rng.create 1 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    match Channel.sample_depolarizing2 rng ~p:0.25 with
+    | Some (a, b) ->
+      incr hits;
+      Alcotest.(check bool) "never identity-identity" true (a <> None || b <> None)
+    | None -> ()
+  done;
+  Alcotest.(check bool) "rate near p" true
+    (let f = float_of_int !hits /. 10_000.0 in
+     f > 0.22 && f < 0.28)
+
+let channel_idle_monotone () =
+  let e t = Channel.idle_error_probability (Channel.idle_channel ~t1:50_000.0 ~t2:40_000.0 ~duration:t) in
+  Alcotest.(check (float 1e-12)) "zero at t=0" 0.0 (e 0.0);
+  Alcotest.(check bool) "monotone" true (e 100.0 < e 1000.0 && e 1000.0 < e 10_000.0);
+  Alcotest.(check bool) "bounded" true (e 1e9 <= 1.0)
+
+let channel_idle_t2_dominated () =
+  (* T2 << T1: dephasing (Z) must dominate. *)
+  let c = Channel.idle_channel ~t1:100_000.0 ~t2:5_000.0 ~duration:1_000.0 in
+  Alcotest.(check bool) "pz > px" true (c.Channel.pz > c.Channel.px)
+
+(* ---- Exec ---- *)
+
+let ghz_circuit () =
+  let c = Circuit.create 3 in
+  let c = Circuit.h c 0 in
+  let c = Circuit.cnot c ~control:0 ~target:1 in
+  let c = Circuit.cnot c ~control:1 ~target:2 in
+  Circuit.measure_all c
+
+let exec_noiseless_ghz () =
+  let c = ghz_circuit () in
+  let sched = Core.Par_sched.schedule noiseless_device c in
+  let rng = Rng.create 2 in
+  let counts = Exec.run noiseless_device sched ~rng ~trials:500 ~backend:Exec.Stabilizer in
+  Alcotest.(check int) "all trials" 500 (Exec.counts_total counts);
+  Alcotest.(check int) "only GHZ outcomes" 500
+    (Exec.counts_get counts "000" + Exec.counts_get counts "111")
+
+let exec_backends_agree () =
+  let c = ghz_circuit () in
+  let sched = Core.Par_sched.schedule noiseless_device c in
+  let rng = Rng.create 3 in
+  let cs = Exec.run noiseless_device sched ~rng ~trials:400 ~backend:Exec.Statevector in
+  Alcotest.(check int) "statevector agrees" 400
+    (Exec.counts_get cs "000" + Exec.counts_get cs "111")
+
+let exec_readout_error_applied () =
+  (* Pure readout noise: deterministic |0> state, 20% flips. *)
+  let cal = Device.calibration noiseless_device in
+  let q0 = Calibration.qubit cal 0 in
+  let noisy =
+    Device.with_calibration noiseless_device
+      (Calibration.with_qubit cal 0 { q0 with Calibration.readout_error = 0.2 })
+  in
+  let c = Circuit.measure (Circuit.x (Circuit.x (Circuit.create 3) 0) 0) 0 in
+  let sched = Core.Par_sched.schedule noisy c in
+  let rng = Rng.create 4 in
+  let counts = Exec.run noisy sched ~rng ~trials:5000 ~backend:Exec.Stabilizer in
+  let flips = float_of_int (Exec.counts_get counts "1") /. 5000.0 in
+  Alcotest.(check bool) "flip rate near 0.2" true (flips > 0.17 && flips < 0.23)
+
+let exec_gate_error_rate_visible () =
+  (* One CNOT with 10% error on |00>: outcome differs from 00 at a
+     rate related to the depolarizing parameter (2/3 of errors flip
+     measured bits... just check it is clearly nonzero and below 20%). *)
+  let cal = Device.calibration noiseless_device in
+  let g = Calibration.gate cal (0, 1) in
+  let noisy =
+    Device.with_calibration noiseless_device
+      (Calibration.with_gate cal (0, 1) { g with Calibration.cnot_error = 0.1 })
+  in
+  let c = Circuit.create 3 in
+  let c = Circuit.cnot c ~control:0 ~target:1 in
+  let c = Circuit.measure (Circuit.measure c 0) 1 in
+  let sched = Core.Par_sched.schedule noisy c in
+  let rng = Rng.create 5 in
+  let counts = Exec.run noisy sched ~rng ~trials:5000 ~backend:Exec.Stabilizer in
+  let wrong = 1.0 -. (float_of_int (Exec.counts_get counts "00") /. 5000.0) in
+  Alcotest.(check bool) "error rate visible" true (wrong > 0.04 && wrong < 0.2)
+
+let exec_effective_error_overlap () =
+  let device = Presets.poughkeepsie () in
+  (* Two CNOTs on the flagship crosstalk pair, fully overlapping vs
+     serialized. *)
+  let c = Circuit.create 20 in
+  let c = Circuit.cnot c ~control:10 ~target:15 in
+  let c = Circuit.cnot c ~control:11 ~target:12 in
+  let durations = Core.Durations.assign device c in
+  let overlap = Schedule.make c ~starts:[| 0.0; 0.0 |] ~durations in
+  let serial = Schedule.make c ~starts:[| 0.0; durations.(0) |] ~durations in
+  let independent = Device.cnot_error device (10, 15) in
+  let e_overlap = Exec.effective_cnot_error device overlap 0 in
+  let e_serial = Exec.effective_cnot_error device serial 0 in
+  Alcotest.(check (float 1e-9)) "serial = independent" independent e_serial;
+  Alcotest.(check bool) "overlap much worse" true (e_overlap > 5.0 *. independent)
+
+let exec_effective_error_duration_weighted () =
+  let device = Presets.poughkeepsie () in
+  let c = Circuit.create 20 in
+  let c = Circuit.cnot c ~control:10 ~target:15 in
+  let c = Circuit.cnot c ~control:11 ~target:12 in
+  let durations = Core.Durations.assign device c in
+  let full = Schedule.make c ~starts:[| 0.0; 0.0 |] ~durations in
+  (* Shift the spectator so only ~30% of the target gate overlaps. *)
+  let partial = Schedule.make c ~starts:[| 0.0; durations.(0) *. 0.7 |] ~durations in
+  let e_full = Exec.effective_cnot_error device full 0 in
+  let e_partial = Exec.effective_cnot_error device partial 0 in
+  let independent = Device.cnot_error device (10, 15) in
+  Alcotest.(check bool) "partial between independent and full" true
+    (e_partial > independent && e_partial < e_full)
+
+let exec_decoherence_lifetime () =
+  (* A long idle window between two X gates on a short-T1 qubit makes
+     outcomes noisy; without the window they are clean. *)
+  let cal = Device.calibration noiseless_device in
+  let q0 = Calibration.qubit cal 0 in
+  let short_t1 =
+    Device.with_calibration noiseless_device
+      (Calibration.with_qubit cal 0 { q0 with Calibration.t1 = 5_000.0; t2 = 5_000.0 })
+  in
+  let c = Circuit.create 3 in
+  let c = Circuit.x c 0 in
+  let c = Circuit.x c 0 in
+  let c = Circuit.measure c 0 in
+  let run starts =
+    let sched = Schedule.make c ~starts ~durations:[| 50.0; 50.0; 1000.0 |] in
+    let rng = Rng.create 6 in
+    let counts = Exec.run short_t1 sched ~rng ~trials:4000 ~backend:Exec.Stabilizer in
+    float_of_int (Exec.counts_get counts "0") /. 4000.0
+  in
+  let clean = run [| 0.0; 50.0; 100.0 |] in
+  let idle = run [| 0.0; 10_050.0; 10_100.0 |] in
+  Alcotest.(check bool) "clean is deterministic" true (clean > 0.99);
+  Alcotest.(check bool) "idle decoheres" true (idle < 0.9)
+
+let exec_run_distribution_normalized () =
+  let device = Presets.poughkeepsie () in
+  let rng = Rng.create 7 in
+  let qaoa = Core.Qaoa.build device ~rng ~region:[ 5; 10; 11; 12 ] in
+  let sched = Core.Par_sched.schedule device qaoa.Core.Qaoa.circuit in
+  let dist = Exec.run_distribution device sched ~rng ~trajectories:50 in
+  Alcotest.(check int) "16 outcomes" 16 (List.length dist);
+  Alcotest.(check (float 1e-6)) "sums to 1" 1.0
+    (List.fold_left (fun acc (_, p) -> acc +. p) 0.0 dist)
+
+let exec_rejects_invalid_schedule () =
+  let c = Circuit.create 3 in
+  let c = Circuit.h c 0 in
+  let c = Circuit.x c 0 in
+  let bad = Schedule.make c ~starts:[| 0.0; 10.0 |] ~durations:[| 50.0; 50.0 |] in
+  let rng = Rng.create 8 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Exec.run noiseless_device bad ~rng ~trials:1 ~backend:Exec.Stabilizer);
+       false
+     with Invalid_argument _ -> true)
+
+let exec_rejects_nonclifford_on_stabilizer () =
+  let c = Circuit.measure_all (Circuit.t_gate (Circuit.create 3) 0) in
+  let sched = Core.Par_sched.schedule noiseless_device c in
+  let rng = Rng.create 9 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Exec.run noiseless_device sched ~rng ~trials:1 ~backend:Exec.Stabilizer);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "noise.channel",
+      [
+        Alcotest.test_case "depol param" `Quick channel_depol_param;
+        Alcotest.test_case "depol sampling" `Quick channel_depol_sampling;
+        Alcotest.test_case "idle monotone" `Quick channel_idle_monotone;
+        Alcotest.test_case "idle t2 dominated" `Quick channel_idle_t2_dominated;
+      ] );
+    ( "noise.exec",
+      [
+        Alcotest.test_case "noiseless ghz" `Quick exec_noiseless_ghz;
+        Alcotest.test_case "backends agree" `Quick exec_backends_agree;
+        Alcotest.test_case "readout error" `Quick exec_readout_error_applied;
+        Alcotest.test_case "gate error visible" `Quick exec_gate_error_rate_visible;
+        Alcotest.test_case "effective error: overlap" `Quick exec_effective_error_overlap;
+        Alcotest.test_case "effective error: duration weighted" `Quick
+          exec_effective_error_duration_weighted;
+        Alcotest.test_case "decoherence over lifetime" `Quick exec_decoherence_lifetime;
+        Alcotest.test_case "run_distribution normalized" `Quick exec_run_distribution_normalized;
+        Alcotest.test_case "rejects invalid schedule" `Quick exec_rejects_invalid_schedule;
+        Alcotest.test_case "rejects non-clifford on stabilizer" `Quick
+          exec_rejects_nonclifford_on_stabilizer;
+      ] );
+  ]
+
+(* run vs run_distribution consistency: sampled counts and exact
+   per-trajectory distributions must agree statistically. *)
+let exec_run_matches_run_distribution () =
+  let device = Presets.poughkeepsie () in
+  let rng1 = Rng.create 97 and rng2 = Rng.create 97 in
+  let qaoa = Core.Qaoa.build device ~rng:(Rng.create 1) ~region:[ 5; 10; 11; 12 ] in
+  let sched = Core.Par_sched.schedule device qaoa.Core.Qaoa.circuit in
+  let sampled = Exec.run device sched ~rng:rng1 ~trials:6000 ~backend:Exec.Statevector in
+  let exact = Exec.run_distribution device sched ~rng:rng2 ~trajectories:400 in
+  (* compare total variation distance *)
+  let tv =
+    List.fold_left
+      (fun acc (bits, p_exact) ->
+        let p_sampled =
+          float_of_int (Exec.counts_get sampled bits) /. float_of_int (Exec.counts_total sampled)
+        in
+        acc +. (0.5 *. Float.abs (p_exact -. p_sampled)))
+      0.0 exact
+  in
+  Alcotest.(check bool) (Printf.sprintf "total variation %.3f small" tv) true (tv < 0.06)
+
+let suite =
+  suite
+  @ [
+      ( "noise.consistency",
+        [
+          Alcotest.test_case "run vs run_distribution" `Slow exec_run_matches_run_distribution;
+        ] );
+    ]

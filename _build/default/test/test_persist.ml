@@ -1,0 +1,150 @@
+(* Tests for the persistence layer: the JSON reader/writer and the
+   crosstalk/calibration/device stores. *)
+
+module Json = Core.Json
+module Store = Core.Store
+module Crosstalk = Core.Crosstalk
+module Presets = Core.Presets
+module Device = Core.Device
+
+(* ---- Json ---- *)
+
+let json_roundtrip () =
+  let doc =
+    Json.Object
+      [
+        ("name", Json.String "hello \"world\"\nline two");
+        ("count", Json.Number 42.0);
+        ("rate", Json.Number 0.015625);
+        ("ok", Json.Bool true);
+        ("nothing", Json.Null);
+        ("items", Json.Array [ Json.Number 1.0; Json.String "two"; Json.Bool false ]);
+        ("nested", Json.Object [ ("deep", Json.Array [ Json.Object [] ]) ]);
+      ]
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Ok parsed -> Alcotest.(check bool) "roundtrip" true (parsed = doc)
+  | Error e -> Alcotest.fail e
+
+let json_parse_whitespace_and_compact () =
+  let src = {|  { "a" : [ 1 , 2.5 , -3e2 ] , "b" : { } , "c" : [ ] }  |} in
+  match Json.of_string src with
+  | Ok (Json.Object fields) ->
+    Alcotest.(check int) "three fields" 3 (List.length fields);
+    (match List.assoc "a" fields with
+    | Json.Array [ Json.Number a; Json.Number b; Json.Number c ] ->
+      Alcotest.(check (float 1e-9)) "1" 1.0 a;
+      Alcotest.(check (float 1e-9)) "2.5" 2.5 b;
+      Alcotest.(check (float 1e-9)) "-300" (-300.0) c
+    | _ -> Alcotest.fail "bad array")
+  | Ok _ -> Alcotest.fail "expected object"
+  | Error e -> Alcotest.fail e
+
+let json_parse_errors () =
+  List.iter
+    (fun src ->
+      match Json.of_string src with
+      | Ok _ -> Alcotest.failf "expected error for %S" src
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\" 1}"; "\"unterminated"; "tru"; "1 2"; "{\"a\":}" ]
+
+let json_accessors () =
+  let doc = Json.Object [ ("x", Json.Number 3.0); ("s", Json.String "v") ] in
+  Alcotest.(check bool) "find_float" true (Json.find_float "x" doc = Ok 3.0);
+  Alcotest.(check bool) "find_str" true (Json.find_str "s" doc = Ok "v");
+  Alcotest.(check bool) "missing" true (Result.is_error (Json.find_float "y" doc));
+  Alcotest.(check bool) "to_int" true (Json.to_int (Json.Number 7.0) = Ok 7);
+  Alcotest.(check bool) "to_int rejects fraction" true
+    (Result.is_error (Json.to_int (Json.Number 7.5)))
+
+(* ---- Store ---- *)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let store_crosstalk_roundtrip () =
+  let x = Crosstalk.set_symmetric Crosstalk.empty (10, 15) (11, 12) 0.11 0.06 in
+  let x = Crosstalk.set x ~target:(5, 10) ~spectator:(11, 12) 0.09 in
+  let path = tmp "qcx_test_xtalk.json" in
+  (match Store.save_crosstalk ~path x with Ok () -> () | Error e -> Alcotest.fail e);
+  match Store.load_crosstalk ~path with
+  | Error e -> Alcotest.fail e
+  | Ok loaded ->
+    Alcotest.(check int) "same entry count"
+      (List.length (Crosstalk.entries x))
+      (List.length (Crosstalk.entries loaded));
+    List.iter
+      (fun (target, spectator, rate) ->
+        Alcotest.(check (option (float 1e-12))) "same rate" (Some rate)
+          (Crosstalk.conditional loaded ~target ~spectator))
+      (Crosstalk.entries x)
+
+let store_calibration_roundtrip () =
+  let device = Presets.poughkeepsie () in
+  let cal = Device.calibration device in
+  let edges = Core.Topology.edges (Device.topology device) in
+  let doc = Store.calibration_to_json cal ~edges in
+  match Store.calibration_of_json doc with
+  | Error e -> Alcotest.fail e
+  | Ok loaded ->
+    Alcotest.(check int) "qubit count" (Core.Calibration.nqubits cal)
+      (Core.Calibration.nqubits loaded);
+    List.iter
+      (fun e ->
+        Alcotest.(check (float 1e-12)) "cnot error"
+          (Core.Calibration.gate cal e).Core.Calibration.cnot_error
+          (Core.Calibration.gate loaded e).Core.Calibration.cnot_error)
+      edges;
+    Alcotest.(check (float 1e-12)) "t1 preserved"
+      (Core.Calibration.qubit cal 10).Core.Calibration.t1
+      (Core.Calibration.qubit loaded 10).Core.Calibration.t1
+
+let store_device_snapshot () =
+  let device = Presets.johannesburg () in
+  let doc = Store.device_snapshot_to_json device in
+  match Store.device_snapshot_of_json doc with
+  | Error e -> Alcotest.fail e
+  | Ok (name, topo, _cal) ->
+    Alcotest.(check string) "name" (Device.name device) name;
+    Alcotest.(check int) "edges"
+      (List.length (Core.Topology.edges (Device.topology device)))
+      (List.length (Core.Topology.edges topo))
+
+let store_snapshot_hides_ground_truth () =
+  (* The serialized device must not leak the hidden crosstalk model. *)
+  let device = Presets.poughkeepsie () in
+  let text = Json.to_string (Store.device_snapshot_to_json device) in
+  let contains_sub needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "no conditional rates serialized" false
+    (contains_sub "spectator" text)
+
+let store_load_missing_file () =
+  Alcotest.(check bool) "missing file errors" true
+    (Result.is_error (Store.load ~path:"/nonexistent/qcx.json"))
+
+let store_rejects_wrong_format () =
+  let doc = Json.Object [ ("format", Json.String "something-else"); ("entries", Json.Array []) ] in
+  Alcotest.(check bool) "format checked" true (Result.is_error (Store.crosstalk_of_json doc))
+
+let suite =
+  [
+    ( "persist.json",
+      [
+        Alcotest.test_case "roundtrip" `Quick json_roundtrip;
+        Alcotest.test_case "whitespace and compact" `Quick json_parse_whitespace_and_compact;
+        Alcotest.test_case "parse errors" `Quick json_parse_errors;
+        Alcotest.test_case "accessors" `Quick json_accessors;
+      ] );
+    ( "persist.store",
+      [
+        Alcotest.test_case "crosstalk roundtrip" `Quick store_crosstalk_roundtrip;
+        Alcotest.test_case "calibration roundtrip" `Quick store_calibration_roundtrip;
+        Alcotest.test_case "device snapshot" `Quick store_device_snapshot;
+        Alcotest.test_case "hides ground truth" `Quick store_snapshot_hides_ground_truth;
+        Alcotest.test_case "missing file" `Quick store_load_missing_file;
+        Alcotest.test_case "rejects wrong format" `Quick store_rejects_wrong_format;
+      ] );
+  ]

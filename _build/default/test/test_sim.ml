@@ -1,0 +1,255 @@
+(* Tests for the two simulation backends (stabilizer tableau and dense
+   statevector), including cross-validation of one against the other
+   on random Clifford circuits. *)
+
+module Tableau = Core.Tableau
+module State = Core.State
+module Rng = Core.Rng
+
+(* ---- Statevector ---- *)
+
+let sv_initial_state () =
+  let s = State.create 3 in
+  Alcotest.(check (float 1e-12)) "all weight on |000>" 1.0 (State.probability s 0);
+  Alcotest.(check (float 1e-12)) "norm" 1.0 (State.norm s)
+
+let sv_h_superposition () =
+  let s = State.create 1 in
+  State.h s 0;
+  Alcotest.(check (float 1e-12)) "p0" 0.5 (State.probability s 0);
+  Alcotest.(check (float 1e-12)) "p1" 0.5 (State.probability s 1)
+
+let sv_bell () =
+  let s = State.create 2 in
+  State.h s 0;
+  State.cnot s ~control:0 ~target:1;
+  Alcotest.(check (float 1e-12)) "p00" 0.5 (State.probability s 0);
+  Alcotest.(check (float 1e-12)) "p11" 0.5 (State.probability s 3);
+  Alcotest.(check (float 1e-12)) "p01" 0.0 (State.probability s 1);
+  let bell = State.of_amplitudes Core.Gates.bell_phi_plus in
+  Alcotest.(check (float 1e-12)) "fidelity with |Phi+>" 1.0 (State.fidelity s bell)
+
+let sv_gate_algebra () =
+  let s = State.create 1 in
+  State.h s 0;
+  State.h s 0;
+  Alcotest.(check (float 1e-12)) "HH = I" 1.0 (State.probability s 0);
+  let s2 = State.create 1 in
+  State.x s2 0;
+  State.x s2 0;
+  Alcotest.(check (float 1e-12)) "XX = I" 1.0 (State.probability s2 0)
+
+let sv_measure_collapse () =
+  let rng = Rng.create 5 in
+  let s = State.create 2 in
+  State.h s 0;
+  State.cnot s ~control:0 ~target:1;
+  let b0 = State.measure s rng 0 in
+  let b1 = State.measure s rng 1 in
+  Alcotest.(check bool) "Bell correlation" b0 b1;
+  Alcotest.(check (float 1e-9)) "collapsed norm" 1.0 (State.norm s)
+
+let sv_sample_distribution () =
+  let rng = Rng.create 6 in
+  let s = State.create 2 in
+  State.h s 0;
+  State.cnot s ~control:0 ~target:1;
+  let zeros = ref 0 in
+  for _ = 1 to 4000 do
+    match State.sample s rng with
+    | 0 -> incr zeros
+    | 3 -> ()
+    | k -> Alcotest.failf "impossible outcome %d" k
+  done;
+  Alcotest.(check bool) "roughly balanced" true
+    (let f = float_of_int !zeros /. 4000.0 in
+     f > 0.45 && f < 0.55)
+
+let sv_apply2_matches_cnot () =
+  let rng = Rng.create 7 in
+  let a = State.create 3 and b = State.create 3 in
+  (* randomize identically *)
+  for q = 0 to 2 do
+    let theta = Rng.float rng 3.0 in
+    State.apply1 a (Core.Gates.ry theta) q;
+    State.apply1 b (Core.Gates.ry theta) q
+  done;
+  State.cnot a ~control:2 ~target:0;
+  State.apply2 b (Core.Gates.cnot ~control:1 ~target:0) 0 2;
+  Alcotest.(check (float 1e-9)) "apply2 = cnot" 1.0 (State.fidelity a b)
+
+let sv_reduced_density () =
+  let s = State.create 2 in
+  State.h s 0;
+  State.cnot s ~control:0 ~target:1;
+  let rho = State.reduced_density s [ 0 ] in
+  (* Tracing out half a Bell pair leaves the maximally mixed state. *)
+  Alcotest.(check bool) "maximally mixed" true
+    (Core.Mat.approx_equal ~tol:1e-9 rho
+       (Core.Mat.scale (Core.Cplx.re 0.5) (Core.Mat.identity 2)))
+
+(* ---- Tableau ---- *)
+
+let tab_bell_correlations () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 50 do
+    let t = Tableau.create 2 in
+    Tableau.h t 0;
+    Tableau.cnot t ~control:0 ~target:1;
+    let b0 = Tableau.measure t rng 0 in
+    let b1 = Tableau.measure t rng 1 in
+    Alcotest.(check bool) "correlated" b0 b1
+  done
+
+let tab_deterministic_outcomes () =
+  let t = Tableau.create 2 in
+  Alcotest.(check (option bool)) "fresh qubit reads 0" (Some false)
+    (Tableau.measure_deterministic_opt t 0);
+  Tableau.x t 0;
+  Alcotest.(check (option bool)) "after X reads 1" (Some true)
+    (Tableau.measure_deterministic_opt t 0);
+  Tableau.h t 0;
+  Alcotest.(check (option bool)) "superposition is random" None
+    (Tableau.measure_deterministic_opt t 0)
+
+let tab_ghz () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 30 do
+    let t = Tableau.create 4 in
+    Tableau.h t 0;
+    for q = 1 to 3 do
+      Tableau.cnot t ~control:0 ~target:q
+    done;
+    let bits = List.init 4 (fun q -> Tableau.measure t rng q) in
+    Alcotest.(check bool) "all equal" true
+      (List.for_all (fun b -> b = List.hd bits) bits)
+  done
+
+let tab_pauli_propagation () =
+  (* Z error between two Hadamards flips the measurement outcome. *)
+  let t = Tableau.create 1 in
+  Tableau.h t 0;
+  Tableau.apply_pauli t `Z 0;
+  Tableau.h t 0;
+  Alcotest.(check (option bool)) "HZH = X" (Some true) (Tableau.measure_deterministic_opt t 0)
+
+let tab_key_identity () =
+  let t = Tableau.create 3 in
+  Alcotest.(check bool) "fresh is identity" true (Tableau.is_identity t);
+  Tableau.h t 1;
+  Alcotest.(check bool) "H not identity" false (Tableau.is_identity t);
+  Tableau.h t 1;
+  Alcotest.(check bool) "HH identity" true (Tableau.is_identity t)
+
+let tab_swap () =
+  let rng = Rng.create 10 in
+  let t = Tableau.create 2 in
+  Tableau.x t 0;
+  Tableau.swap t 0 1;
+  Alcotest.(check bool) "swapped excitation q1" true (Tableau.measure t rng 1);
+  Alcotest.(check bool) "swapped excitation q0" false (Tableau.measure t rng 0)
+
+let tab_copy_isolated () =
+  let t = Tableau.create 2 in
+  Tableau.h t 0;
+  let c = Tableau.copy t in
+  Tableau.x t 1;
+  Alcotest.(check bool) "copy unaffected" false (Tableau.equal t c)
+
+(* ---- Cross validation ---- *)
+
+(* Apply the same random Clifford circuit to both backends and check
+   that every deterministic tableau outcome matches the statevector
+   probability, and random outcomes correspond to probability 1/2. *)
+let gen_clifford_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 30)
+      (oneof
+         [
+           map (fun q -> `H q) (int_range 0 2);
+           map (fun q -> `S q) (int_range 0 2);
+           map (fun q -> `X q) (int_range 0 2);
+           map2 (fun a b -> `Cx (a, b)) (int_range 0 2) (int_range 0 2);
+         ]))
+
+let prop_tableau_matches_statevector =
+  QCheck.Test.make ~name:"tableau vs statevector on random Clifford circuits" ~count:150
+    (QCheck.make gen_clifford_ops) (fun ops ->
+      let t = Tableau.create 3 and s = State.create 3 in
+      List.iter
+        (fun op ->
+          match op with
+          | `H q ->
+            Tableau.h t q;
+            State.h s q
+          | `S q ->
+            Tableau.s t q;
+            State.s s q
+          | `X q ->
+            Tableau.x t q;
+            State.x s q
+          | `Cx (a, b) when a <> b ->
+            Tableau.cnot t ~control:a ~target:b;
+            State.cnot s ~control:a ~target:b
+          | `Cx _ -> ())
+        ops;
+      List.for_all
+        (fun q ->
+          (* P(q = 1) in the statevector *)
+          let p1 = ref 0.0 in
+          for k = 0 to 7 do
+            if k land (1 lsl q) <> 0 then p1 := !p1 +. State.probability s k
+          done;
+          match Tableau.measure_deterministic_opt t q with
+          | Some false -> Float.abs !p1 < 1e-9
+          | Some true -> Float.abs (!p1 -. 1.0) < 1e-9
+          | None -> Float.abs (!p1 -. 0.5) < 1e-9)
+        [ 0; 1; 2 ])
+
+let prop_measurement_collapse_consistent =
+  QCheck.Test.make ~name:"tableau measurement collapse is self-consistent" ~count:100
+    (QCheck.make (QCheck.Gen.pair gen_clifford_ops QCheck.Gen.small_int)) (fun (ops, seed) ->
+      let t = Tableau.create 3 in
+      List.iter
+        (fun op ->
+          match op with
+          | `H q -> Tableau.h t q
+          | `S q -> Tableau.s t q
+          | `X q -> Tableau.x t q
+          | `Cx (a, b) when a <> b -> Tableau.cnot t ~control:a ~target:b
+          | `Cx _ -> ())
+        ops;
+      let rng = Rng.create seed in
+      let first = Tableau.measure t rng 1 in
+      (* Remeasuring immediately must be deterministic and equal. *)
+      Tableau.measure_deterministic_opt t 1 = Some first)
+
+let suite =
+  [
+    ( "sim.statevector",
+      [
+        Alcotest.test_case "initial state" `Quick sv_initial_state;
+        Alcotest.test_case "h superposition" `Quick sv_h_superposition;
+        Alcotest.test_case "bell" `Quick sv_bell;
+        Alcotest.test_case "gate algebra" `Quick sv_gate_algebra;
+        Alcotest.test_case "measure collapse" `Quick sv_measure_collapse;
+        Alcotest.test_case "sample distribution" `Quick sv_sample_distribution;
+        Alcotest.test_case "apply2 matches cnot" `Quick sv_apply2_matches_cnot;
+        Alcotest.test_case "reduced density" `Quick sv_reduced_density;
+      ] );
+    ( "sim.tableau",
+      [
+        Alcotest.test_case "bell correlations" `Quick tab_bell_correlations;
+        Alcotest.test_case "deterministic outcomes" `Quick tab_deterministic_outcomes;
+        Alcotest.test_case "ghz" `Quick tab_ghz;
+        Alcotest.test_case "pauli propagation" `Quick tab_pauli_propagation;
+        Alcotest.test_case "key and identity" `Quick tab_key_identity;
+        Alcotest.test_case "swap" `Quick tab_swap;
+        Alcotest.test_case "copy isolation" `Quick tab_copy_isolated;
+      ] );
+    ( "sim.cross-validation",
+      [
+        QCheck_alcotest.to_alcotest prop_tableau_matches_statevector;
+        QCheck_alcotest.to_alcotest prop_measurement_collapse_consistent;
+      ] );
+  ]

@@ -1,0 +1,93 @@
+(* End-to-end smoke checks: the whole pipeline on real presets. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let clifford_table_size () =
+  Alcotest.(check int) "group order" 11520 (Array.length (Core.Clifford2.table_words ()));
+  check_float "average CNOTs" 1.5 (Core.Clifford2.average_cnots ())
+
+let rb_roundtrip () =
+  (* On a crosstalk-free linear device, RB should measure an error
+     rate at least the calibration CNOT error and within a small
+     multiple of it (idle decoherence inflates the estimate). *)
+  let device = Core.Presets.linear 4 in
+  let rng = Core.Rng.create 11 in
+  let fit = Core.Rb.independent device ~rng ~params:Core.Rb.default_params (1, 2) in
+  let calibrated = Core.Device.cnot_error device (1, 2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.4f >= calibrated %.4f" fit.Core.Rb.error_rate calibrated)
+    true
+    (fit.Core.Rb.error_rate >= 0.5 *. calibrated);
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.4f within 4x of calibrated %.4f" fit.Core.Rb.error_rate calibrated)
+    true
+    (fit.Core.Rb.error_rate <= 4.0 *. calibrated)
+
+let srb_detects_flagship_pair () =
+  (* SRB on Poughkeepsie's (10,15)|(11,12) pair must report a much
+     higher conditional than independent rate. *)
+  let device = Core.Presets.poughkeepsie () in
+  let rng = Core.Rng.create 23 in
+  let params = Core.Rb.default_params in
+  let fits = Core.Rb.run device ~rng ~params [ (10, 15); (11, 12) ] in
+  let conditional = (List.nth fits 0).Core.Rb.error_rate in
+  let independent =
+    (Core.Rb.independent device ~rng ~params (10, 15)).Core.Rb.error_rate
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "conditional %.4f > 2.5x independent %.4f" conditional independent)
+    true
+    (conditional > 2.5 *. independent)
+
+let xtalksched_beats_parsched_oracle () =
+  (* Oracle (analytic) error of the Fig. 6 SWAP path: XtalkSched at
+     omega 0.5 should beat both baselines given true crosstalk data. *)
+  let device = Core.Presets.poughkeepsie () in
+  let bench = Core.Swap_circuits.build device ~src:0 ~dst:13 in
+  let circuit = Core.Circuit.measure_all bench.Core.Swap_circuits.circuit in
+  let xtalk = Core.Device.ground_truth device in
+  let par, _ = Core.Pipeline.compile ~scheduler:Core.Par_sched device ~xtalk circuit in
+  let serial, _ = Core.Pipeline.compile ~scheduler:Core.Serial_sched device ~xtalk circuit in
+  let xs, stats = Core.Pipeline.compile ~scheduler:(Core.Xtalk_sched 0.5) device ~xtalk circuit in
+  (match stats with
+  | Some s -> Alcotest.(check bool) "solver proved optimality" true s.Core.Xtalk_sched.optimal
+  | None -> Alcotest.fail "expected stats");
+  let err sched = (Core.Evaluate.oracle device sched).Core.Evaluate.error in
+  let ep = err par and es = err serial and ex = err xs in
+  Alcotest.(check bool)
+    (Printf.sprintf "xtalk %.4f < par %.4f" ex ep)
+    true (ex < ep);
+  Alcotest.(check bool)
+    (Printf.sprintf "xtalk %.4f < serial %.4f" ex es)
+    true (ex < es)
+
+let pipeline_end_to_end () =
+  (* Characterize a small plan, compile, execute; just exercise the
+     whole path without asserting tight numbers. *)
+  let device = Core.Presets.poughkeepsie () in
+  let rng = Core.Rng.create 5 in
+  let plan =
+    Core.Policy.plan ~rng device
+      (Core.Policy.High_crosstalk_only [ ((10, 15), (11, 12)) ])
+  in
+  let outcome = Core.Policy.characterize ~rng device plan in
+  let bench = Core.Swap_circuits.build device ~src:5 ~dst:12 in
+  let circuit = Core.Circuit.measure_all bench.Core.Swap_circuits.circuit in
+  let sched, _ =
+    Core.Pipeline.compile device ~xtalk:outcome.Core.Policy.xtalk circuit
+  in
+  let counts = Core.Pipeline.execute device sched ~rng ~trials:64 in
+  Alcotest.(check int) "all trials counted" 64 (Core.Exec.counts_total counts)
+
+let suite =
+  [
+    ( "smoke",
+      [
+        Alcotest.test_case "clifford2 table" `Quick clifford_table_size;
+        Alcotest.test_case "rb roundtrip" `Slow rb_roundtrip;
+        Alcotest.test_case "srb detects crosstalk" `Slow srb_detects_flagship_pair;
+        Alcotest.test_case "xtalksched beats baselines (oracle)" `Quick
+          xtalksched_beats_parsched_oracle;
+        Alcotest.test_case "pipeline end to end" `Slow pipeline_end_to_end;
+      ] );
+  ]

@@ -1,0 +1,309 @@
+(* Tests for the qcx_smt optimizing solver: the difference-constraint
+   graph and the branch-and-bound DPLL search. *)
+
+module Dgraph = Core.Dgraph
+module Solver = Core.Solver
+
+let lit var value = { Solver.var; value }
+
+(* ---- Dgraph ---- *)
+
+let dgraph_asap_chain () =
+  let g = Dgraph.create () in
+  let a = Dgraph.new_var g "a" and b = Dgraph.new_var g "b" and c = Dgraph.new_var g "c" in
+  Dgraph.add_edge g ~src:a ~dst:b ~weight:10.0;
+  Dgraph.add_edge g ~src:b ~dst:c ~weight:5.0;
+  match Dgraph.asap g with
+  | Some dist ->
+    Alcotest.(check (float 1e-9)) "a" 0.0 dist.(a);
+    Alcotest.(check (float 1e-9)) "b" 10.0 dist.(b);
+    Alcotest.(check (float 1e-9)) "c" 15.0 dist.(c)
+  | None -> Alcotest.fail "feasible system reported infeasible"
+
+let dgraph_positive_cycle () =
+  let g = Dgraph.create () in
+  let a = Dgraph.new_var g "a" and b = Dgraph.new_var g "b" in
+  Dgraph.add_edge g ~src:a ~dst:b ~weight:1.0;
+  Dgraph.add_edge g ~src:b ~dst:a ~weight:1.0;
+  Alcotest.(check bool) "infeasible" true (Dgraph.asap g = None)
+
+let dgraph_zero_cycle_ok () =
+  let g = Dgraph.create () in
+  let a = Dgraph.new_var g "a" and b = Dgraph.new_var g "b" in
+  (* equality: a = b *)
+  Dgraph.add_edge g ~src:a ~dst:b ~weight:0.0;
+  Dgraph.add_edge g ~src:b ~dst:a ~weight:0.0;
+  Alcotest.(check bool) "feasible" true (Dgraph.asap g <> None)
+
+let dgraph_push_pop () =
+  let g = Dgraph.create () in
+  let a = Dgraph.new_var g "a" and b = Dgraph.new_var g "b" in
+  Dgraph.add_edge g ~src:a ~dst:b ~weight:1.0;
+  Dgraph.push g;
+  Dgraph.add_edge g ~src:b ~dst:a ~weight:1.0;
+  Alcotest.(check bool) "infeasible inside frame" true (Dgraph.asap g = None);
+  Dgraph.pop g;
+  Alcotest.(check bool) "feasible after pop" true (Dgraph.asap g <> None)
+
+let dgraph_alap () =
+  let g = Dgraph.create () in
+  let a = Dgraph.new_var g "a" and b = Dgraph.new_var g "b" and c = Dgraph.new_var g "c" in
+  Dgraph.add_edge g ~src:a ~dst:c ~weight:10.0;
+  Dgraph.add_edge g ~src:b ~dst:c ~weight:3.0;
+  let deadline = [| infinity; infinity; 10.0 |] in
+  (match Dgraph.alap g ~deadline with
+  | Some v ->
+    Alcotest.(check (float 1e-9)) "a at max" 0.0 v.(a);
+    Alcotest.(check (float 1e-9)) "b slack used" 7.0 v.(b);
+    Alcotest.(check (float 1e-9)) "c pinned" 10.0 v.(c)
+  | None -> Alcotest.fail "feasible");
+  (* Deadline below the minimum is infeasible. *)
+  Alcotest.(check bool) "tight deadline infeasible" true
+    (Dgraph.alap g ~deadline:[| infinity; infinity; 5.0 |] = None)
+
+let dgraph_longest_paths () =
+  let g = Dgraph.create () in
+  let a = Dgraph.new_var g "a" and b = Dgraph.new_var g "b" and c = Dgraph.new_var g "c" in
+  Dgraph.add_edge g ~src:a ~dst:b ~weight:2.0;
+  Dgraph.add_edge g ~src:b ~dst:c ~weight:3.0;
+  Dgraph.add_edge g ~src:a ~dst:c ~weight:4.0;
+  Alcotest.(check (float 1e-9)) "longest a->c" 5.0 (Dgraph.longest_path g ~src:a ~dst:c);
+  let dist = Dgraph.longest_paths_to g ~dst:c in
+  Alcotest.(check (float 1e-9)) "batched a" 5.0 dist.(a);
+  Alcotest.(check (float 1e-9)) "batched b" 3.0 dist.(b);
+  Alcotest.(check (float 1e-9)) "unreachable" neg_infinity
+    (Dgraph.longest_path g ~src:c ~dst:a)
+
+(* ---- Solver ---- *)
+
+let solver_pure_arithmetic () =
+  let s = Solver.create () in
+  let a = Solver.new_num s "a" and b = Solver.new_num s "b" in
+  Solver.add_diff s ~dst:b ~src:a ~weight:5.0 ();
+  Solver.add_sink s b;
+  Solver.add_span_cost s ~weight:1.0 ~last:b ~first:a;
+  match Solver.solve s with
+  | Some sol ->
+    Alcotest.(check (float 1e-9)) "objective is the gap" 5.0 sol.Solver.objective;
+    Alcotest.(check bool) "optimal" true sol.Solver.optimal
+  | None -> Alcotest.fail "satisfiable"
+
+let solver_unsat_clause () =
+  let s = Solver.create () in
+  let x = Solver.new_bool s "x" in
+  Solver.add_clause s [ lit x true ];
+  Solver.add_clause s [ lit x false ];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = None)
+
+let solver_empty_clause () =
+  let s = Solver.create () in
+  Solver.add_clause s [];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = None)
+
+let solver_guarded_edges () =
+  (* Choosing x activates a costly constraint; the solver must prefer
+     not-x. *)
+  let s = Solver.create () in
+  let x = Solver.new_bool s "x" in
+  let a = Solver.new_num s "a" and b = Solver.new_num s "b" in
+  Solver.add_sink s b;
+  Solver.add_diff s ~dst:b ~src:a ~weight:1.0 ();
+  Solver.add_diff s ~guard:(lit x true) ~dst:b ~src:a ~weight:10.0 ();
+  Solver.add_span_cost s ~weight:1.0 ~last:b ~first:a;
+  (* Force a preference through a cost group: x true costs nothing,
+     x false costs 100 -> solver must still pick x=false?? No: x true
+     stretches the span to 10 (cost 10), x false costs 100. The solver
+     should pick x = true. *)
+  Solver.add_cost_group s [ ([ lit x true ], 0.0); ([ lit x false ], 100.0) ];
+  match Solver.solve s with
+  | Some sol ->
+    Alcotest.(check bool) "x chosen true" true sol.Solver.bools.(x);
+    Alcotest.(check (float 1e-9)) "objective 10" 10.0 sol.Solver.objective
+  | None -> Alcotest.fail "satisfiable"
+
+let solver_cost_tradeoff () =
+  (* Same setup but now the boolean penalty is small: serializing
+     (x = false, cost 3) beats stretching the span (cost 10). *)
+  let s = Solver.create () in
+  let x = Solver.new_bool s "x" in
+  let a = Solver.new_num s "a" and b = Solver.new_num s "b" in
+  Solver.add_sink s b;
+  Solver.add_diff s ~dst:b ~src:a ~weight:1.0 ();
+  Solver.add_diff s ~guard:(lit x true) ~dst:b ~src:a ~weight:10.0 ();
+  Solver.add_span_cost s ~weight:1.0 ~last:b ~first:a;
+  Solver.add_cost_group s [ ([ lit x true ], 0.0); ([ lit x false ], 3.0) ];
+  match Solver.solve s with
+  | Some sol ->
+    Alcotest.(check bool) "x chosen false" false sol.Solver.bools.(x);
+    Alcotest.(check (float 1e-9)) "objective 4" 4.0 sol.Solver.objective
+  | None -> Alcotest.fail "satisfiable"
+
+let solver_exactly_one_structure () =
+  (* Three mutually exclusive options with different costs. *)
+  let s = Solver.create () in
+  let o = Solver.new_bool s "o" and b = Solver.new_bool s "b" and a = Solver.new_bool s "a" in
+  Solver.add_clause s [ lit o true; lit b true; lit a true ];
+  Solver.add_clause s [ lit o false; lit b false ];
+  Solver.add_clause s [ lit o false; lit a false ];
+  Solver.add_clause s [ lit b false; lit a false ];
+  Solver.add_cost_group s
+    [
+      ([ lit o true; lit b false; lit a false ], 7.0);
+      ([ lit o false; lit b true; lit a false ], 2.0);
+      ([ lit o false; lit b false; lit a true ], 5.0);
+    ];
+  match Solver.solve s with
+  | Some sol ->
+    Alcotest.(check (float 1e-9)) "picked cheapest" 2.0 sol.Solver.objective;
+    Alcotest.(check bool) "b true" true sol.Solver.bools.(b);
+    Alcotest.(check bool) "o false" false sol.Solver.bools.(o)
+  | None -> Alcotest.fail "satisfiable"
+
+let solver_infeasible_guard_combination () =
+  (* Both x and y forced true, and their guarded edges form a positive
+     cycle: unsat. *)
+  let s = Solver.create () in
+  let x = Solver.new_bool s "x" and y = Solver.new_bool s "y" in
+  let a = Solver.new_num s "a" and b = Solver.new_num s "b" in
+  Solver.add_clause s [ lit x true ];
+  Solver.add_clause s [ lit y true ];
+  Solver.add_diff s ~guard:(lit x true) ~dst:b ~src:a ~weight:1.0 ();
+  Solver.add_diff s ~guard:(lit y true) ~dst:a ~src:b ~weight:1.0 ();
+  Alcotest.(check bool) "unsat via theory" true (Solver.solve s = None)
+
+let solver_budget_returns_incumbent () =
+  let s = Solver.create () in
+  (* Ten independent booleans, each with a cost preference. *)
+  let bools = List.init 10 (fun i -> Solver.new_bool s (string_of_int i)) in
+  List.iter
+    (fun v -> Solver.add_cost_group s [ ([ lit v true ], 1.0); ([ lit v false ], 2.0) ])
+    bools;
+  match Solver.solve ~node_budget:15 s with
+  | Some sol -> Alcotest.(check bool) "not proven optimal" false sol.Solver.optimal
+  | None -> Alcotest.fail "should return an incumbent"
+
+(* Exhaustive cross-check on random small instances: the solver's
+   optimum equals brute force over all boolean assignments. *)
+let prop_solver_matches_bruteforce =
+  QCheck.Test.make ~name:"solver optimum matches brute force (3 bools)" ~count:60
+    QCheck.(list_of_size (Gen.return 8) (float_range 0.1 10.0))
+    (fun costs ->
+      let s = Solver.create () in
+      let b0 = Solver.new_bool s "b0" in
+      let b1 = Solver.new_bool s "b1" in
+      let b2 = Solver.new_bool s "b2" in
+      let cost k = List.nth costs k in
+      Solver.add_cost_group s [ ([ lit b0 true ], cost 0); ([ lit b0 false ], cost 1) ];
+      Solver.add_cost_group s [ ([ lit b1 true ], cost 2); ([ lit b1 false ], cost 3) ];
+      Solver.add_cost_group s
+        [
+          ([ lit b2 true; lit b0 true ], cost 4);
+          ([ lit b2 true; lit b0 false ], cost 5);
+          ([ lit b2 false; lit b0 true ], cost 6);
+          ([ lit b2 false; lit b0 false ], cost 7);
+        ];
+      (* at least one of b1, b2 *)
+      Solver.add_clause s [ lit b1 true; lit b2 true ];
+      let brute =
+        let best = ref infinity in
+        List.iter
+          (fun (v0, v1, v2) ->
+            if v1 || v2 then begin
+              let total =
+                (if v0 then cost 0 else cost 1)
+                +. (if v1 then cost 2 else cost 3)
+                +.
+                match (v2, v0) with
+                | true, true -> cost 4
+                | true, false -> cost 5
+                | false, true -> cost 6
+                | false, false -> cost 7
+              in
+              if total < !best then best := total
+            end)
+          [
+            (false, false, false); (false, false, true); (false, true, false);
+            (false, true, true); (true, false, false); (true, false, true);
+            (true, true, false); (true, true, true);
+          ];
+        !best
+      in
+      match Solver.solve s with
+      | Some sol -> Float.abs (sol.Solver.objective -. brute) < 1e-9
+      | None -> false)
+
+let suite =
+  [
+    ( "smt.dgraph",
+      [
+        Alcotest.test_case "asap chain" `Quick dgraph_asap_chain;
+        Alcotest.test_case "positive cycle" `Quick dgraph_positive_cycle;
+        Alcotest.test_case "zero cycle ok" `Quick dgraph_zero_cycle_ok;
+        Alcotest.test_case "push pop" `Quick dgraph_push_pop;
+        Alcotest.test_case "alap" `Quick dgraph_alap;
+        Alcotest.test_case "longest paths" `Quick dgraph_longest_paths;
+      ] );
+    ( "smt.solver",
+      [
+        Alcotest.test_case "pure arithmetic" `Quick solver_pure_arithmetic;
+        Alcotest.test_case "unsat clause" `Quick solver_unsat_clause;
+        Alcotest.test_case "empty clause" `Quick solver_empty_clause;
+        Alcotest.test_case "guarded edges" `Quick solver_guarded_edges;
+        Alcotest.test_case "cost tradeoff" `Quick solver_cost_tradeoff;
+        Alcotest.test_case "exactly-one structure" `Quick solver_exactly_one_structure;
+        Alcotest.test_case "infeasible guards" `Quick solver_infeasible_guard_combination;
+        Alcotest.test_case "budget incumbent" `Quick solver_budget_returns_incumbent;
+        QCheck_alcotest.to_alcotest prop_solver_matches_bruteforce;
+      ] );
+  ]
+
+(* property: ASAP solutions satisfy every constraint of random DAGs *)
+let prop_asap_satisfies_constraints =
+  QCheck.Test.make ~name:"asap satisfies all difference constraints" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 25) (triple (int_range 0 9) (int_range 0 9) (float_range 0.0 10.0)))
+    (fun edges ->
+      let g = Dgraph.create () in
+      let vars = Array.init 10 (fun i -> Dgraph.new_var g (string_of_int i)) in
+      (* only forward edges (src < dst): guaranteed acyclic *)
+      List.iter
+        (fun (a, b, w) ->
+          if a <> b then
+            let src = vars.(min a b) and dst = vars.(max a b) in
+            Dgraph.add_edge g ~src ~dst ~weight:w)
+        edges;
+      match Dgraph.asap g with
+      | None -> false
+      | Some dist ->
+        List.for_all
+          (fun (a, b, w) ->
+            a = b || dist.(vars.(max a b)) +. 1e-6 >= dist.(vars.(min a b)) +. w)
+          edges)
+
+let prop_alap_dominates_asap =
+  QCheck.Test.make ~name:"alap >= asap pointwise under a loose deadline" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 20) (triple (int_range 0 7) (int_range 0 7) (float_range 0.0 5.0)))
+    (fun edges ->
+      let g = Dgraph.create () in
+      let vars = Array.init 8 (fun i -> Dgraph.new_var g (string_of_int i)) in
+      List.iter
+        (fun (a, b, w) ->
+          if a <> b then
+            Dgraph.add_edge g ~src:vars.(min a b) ~dst:vars.(max a b) ~weight:w)
+        edges;
+      match Dgraph.asap g with
+      | None -> false
+      | Some lo -> (
+        let deadline = Array.make 8 1000.0 in
+        match Dgraph.alap g ~deadline with
+        | None -> false
+        | Some hi -> Array.for_all2 (fun l h -> h +. 1e-6 >= l) lo hi))
+
+let suite =
+  suite
+  @ [
+      ( "smt.properties",
+        [
+          QCheck_alcotest.to_alcotest prop_asap_satisfies_constraints;
+          QCheck_alcotest.to_alcotest prop_alap_dominates_asap;
+        ] );
+    ]

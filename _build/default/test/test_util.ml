@@ -1,0 +1,243 @@
+(* Unit and property tests for Qcx_util: Rng, Stats, Fit, Tablefmt. *)
+
+module Rng = Core.Rng
+module Stats = Core.Stats
+module Fit = Core.Fit
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close tol msg a b = Alcotest.(check (float tol)) msg a b
+
+(* ---- Rng ---- *)
+
+let rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false (Rng.int64 a = Rng.int64 b)
+
+let rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  Alcotest.(check bool) "children differ" false (Rng.int64 child1 = Rng.int64 child2)
+
+let rng_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let rng_unit_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let u = Rng.unit_float rng in
+    Alcotest.(check bool) "in [0,1)" true (u >= 0.0 && u < 1.0)
+  done
+
+let rng_int_bounds () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let rng_int_rejects_nonpositive () =
+  let rng = Rng.create 5 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let rng_bernoulli_mean () =
+  let rng = Rng.create 6 in
+  let hits = ref 0 in
+  for _ = 1 to 20_000 do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  check_close 0.02 "bernoulli mean" 0.3 (float_of_int !hits /. 20_000.0)
+
+let rng_gaussian_moments () =
+  let rng = Rng.create 8 in
+  let samples = List.init 20_000 (fun _ -> Rng.gaussian rng ~mu:2.0 ~sigma:3.0) in
+  check_close 0.1 "mean" 2.0 (Stats.mean samples);
+  check_close 0.15 "std" 3.0 (Stats.std samples)
+
+let rng_weighted_choice () =
+  let rng = Rng.create 10 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 30_000 do
+    let v = Rng.weighted_choice rng [ (1.0, "a"); (3.0, "b") ] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let b = float_of_int (Hashtbl.find counts "b") /. 30_000.0 in
+  check_close 0.02 "weight 3/4" 0.75 b
+
+let rng_choice_uniform () =
+  let rng = Rng.create 12 in
+  let arr = [| 0; 1; 2; 3 |] in
+  let seen = Array.make 4 0 in
+  for _ = 1 to 8000 do
+    let v = Rng.choice rng arr in
+    seen.(v) <- seen.(v) + 1
+  done;
+  Array.iter (fun c -> Alcotest.(check bool) "each value drawn" true (c > 0)) seen
+
+(* ---- Stats ---- *)
+
+let stats_basics () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "variance" 1.0 (Stats.variance [ 1.0; 2.0; 3.0 ]);
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "median even" 2.5 (Stats.median [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "geomean" 2.0 (Stats.geomean [ 1.0; 4.0 ]);
+  check_float "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  check_float "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  check_float "sum" 6.0 (Stats.sum [ 1.0; 2.0; 3.0 ])
+
+let stats_percentile () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  check_float "p0" 10.0 (Stats.percentile 0.0 xs);
+  check_float "p100" 40.0 (Stats.percentile 100.0 xs);
+  check_float "p50" 25.0 (Stats.percentile 50.0 xs)
+
+let stats_clamp () =
+  check_float "below" 1.0 (Stats.clamp ~lo:1.0 ~hi:2.0 0.5);
+  check_float "above" 2.0 (Stats.clamp ~lo:1.0 ~hi:2.0 3.0);
+  check_float "inside" 1.5 (Stats.clamp ~lo:1.0 ~hi:2.0 1.5)
+
+let stats_ratio_summary () =
+  let g, m = Stats.ratio_summary [ (2.0, 1.0); (8.0, 1.0) ] in
+  check_float "geomean" 4.0 g;
+  check_float "max" 8.0 m
+
+let stats_empty_raises () =
+  Alcotest.check_raises "mean []" (Invalid_argument "Stats.mean: empty list") (fun () ->
+      ignore (Stats.mean []))
+
+let stats_geomean_nonpositive () =
+  Alcotest.check_raises "geomean 0"
+    (Invalid_argument "Stats.geomean: non-positive value") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+(* ---- Fit ---- *)
+
+let fit_linear_exact () =
+  let pts = List.init 10 (fun i -> (float_of_int i, (2.5 *. float_of_int i) -. 1.0)) in
+  let slope, intercept = Fit.linear pts in
+  check_close 1e-9 "slope" 2.5 slope;
+  check_close 1e-9 "intercept" (-1.0) intercept
+
+let fit_exp_decay_exact () =
+  let a = 0.7 and alpha = 0.93 and b = 0.25 in
+  let pts = List.map (fun m -> (float_of_int m, (a *. (alpha ** float_of_int m)) +. b)) [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let d = Fit.exp_decay pts in
+  check_close 1e-3 "alpha" alpha d.Fit.alpha;
+  check_close 1e-2 "a" a d.Fit.a;
+  check_close 1e-2 "b" b d.Fit.b
+
+let fit_exp_decay_fixed_b_exact () =
+  let a = 0.7 and alpha = 0.85 in
+  let pts = List.map (fun m -> (float_of_int m, (a *. (alpha ** float_of_int m)) +. 0.25)) [ 1; 2; 4; 8; 16 ] in
+  let d = Fit.exp_decay_fixed_b ~b:0.25 pts in
+  check_close 1e-6 "alpha" alpha d.Fit.alpha;
+  check_close 1e-6 "a" a d.Fit.a
+
+let fit_fixed_b_fast_decay () =
+  (* Curve at the floor from m = 2 on: alpha must come out small. *)
+  let pts = [ (1.0, 0.32); (2.0, 0.252); (4.0, 0.2505); (8.0, 0.2495) ] in
+  let d = Fit.exp_decay_fixed_b ~b:0.25 pts in
+  Alcotest.(check bool) "fast decay detected" true (d.Fit.alpha < 0.3)
+
+let fit_epc_conversions () =
+  check_float "epc 2q" 0.075 (Fit.epc_of_alpha ~nqubits:2 0.9);
+  check_float "epc 1q" 0.05 (Fit.epc_of_alpha ~nqubits:1 0.9);
+  check_float "cnot error" 0.05 (Fit.cnot_error_of_epc ~cnots_per_clifford:1.5 0.075)
+
+(* ---- Tablefmt ---- *)
+
+let tablefmt_alignment () =
+  let t = Core.Tablefmt.create [ "col"; "x" ] in
+  Core.Tablefmt.add_row t [ "a"; "1" ];
+  Core.Tablefmt.add_row t [ "bbbb" ];
+  let rendered = Core.Tablefmt.render t in
+  Alcotest.(check bool) "has header" true (String.length rendered > 0);
+  Alcotest.(check int) "three content lines + separator" 4
+    (List.length (String.split_on_char '\n' rendered))
+
+(* ---- properties ---- *)
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      let shuffled = Rng.shuffle_list rng l in
+      List.sort compare shuffled = List.sort compare l)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile within min/max" ~count:200
+    QCheck.(pair (float_range 0.0 100.0) (list_of_size (Gen.int_range 1 20) (float_range (-100.) 100.)))
+    (fun (p, xs) ->
+      let v = Stats.percentile p xs in
+      v >= Stats.minimum xs -. 1e-9 && v <= Stats.maximum xs +. 1e-9)
+
+let prop_exp_decay_recovers_alpha =
+  QCheck.Test.make ~name:"exp_decay_fixed_b recovers alpha on clean data" ~count:50
+    QCheck.(pair (float_range 0.3 0.99) (float_range 0.3 0.75))
+    (fun (alpha, a) ->
+      let pts =
+        List.map (fun m -> (float_of_int m, (a *. (alpha ** float_of_int m)) +. 0.25))
+          [ 1; 2; 4; 8; 16; 32 ]
+      in
+      let d = Fit.exp_decay_fixed_b ~b:0.25 pts in
+      Float.abs (d.Fit.alpha -. alpha) < 0.02)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let suite =
+  [
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick rng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick rng_seed_sensitivity;
+        Alcotest.test_case "split independence" `Quick rng_split_independent;
+        Alcotest.test_case "copy" `Quick rng_copy;
+        Alcotest.test_case "unit float range" `Quick rng_unit_float_range;
+        Alcotest.test_case "int bounds" `Quick rng_int_bounds;
+        Alcotest.test_case "int rejects non-positive" `Quick rng_int_rejects_nonpositive;
+        Alcotest.test_case "bernoulli mean" `Quick rng_bernoulli_mean;
+        Alcotest.test_case "gaussian moments" `Quick rng_gaussian_moments;
+        Alcotest.test_case "weighted choice" `Quick rng_weighted_choice;
+        Alcotest.test_case "choice covers values" `Quick rng_choice_uniform;
+        QCheck_alcotest.to_alcotest prop_shuffle_is_permutation;
+        QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "basics" `Quick stats_basics;
+        Alcotest.test_case "percentile" `Quick stats_percentile;
+        Alcotest.test_case "clamp" `Quick stats_clamp;
+        Alcotest.test_case "ratio summary" `Quick stats_ratio_summary;
+        Alcotest.test_case "empty raises" `Quick stats_empty_raises;
+        Alcotest.test_case "geomean non-positive" `Quick stats_geomean_nonpositive;
+        QCheck_alcotest.to_alcotest prop_percentile_bounded;
+      ] );
+    ( "util.fit",
+      [
+        Alcotest.test_case "linear exact" `Quick fit_linear_exact;
+        Alcotest.test_case "exp decay exact" `Quick fit_exp_decay_exact;
+        Alcotest.test_case "fixed-b exact" `Quick fit_exp_decay_fixed_b_exact;
+        Alcotest.test_case "fixed-b fast decay" `Quick fit_fixed_b_fast_decay;
+        Alcotest.test_case "epc conversions" `Quick fit_epc_conversions;
+        QCheck_alcotest.to_alcotest prop_exp_decay_recovers_alpha;
+      ] );
+    ("util.tablefmt", [ Alcotest.test_case "alignment" `Quick tablefmt_alignment ]);
+  ]
