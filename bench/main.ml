@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- --full       # paper-scale trial counts (slow)
      dune exec bench/main.exe -- --only fig5  # one experiment
      dune exec bench/main.exe -- --list       # available experiment ids
-     dune exec bench/main.exe -- --no-bechamel *)
+     dune exec bench/main.exe -- --no-bechamel
+     dune exec bench/main.exe -- --bench-exec  # executor throughput -> BENCH_exec.json *)
 
 let experiments =
   [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "tab1"; "scale"; "ablation" ]
@@ -16,6 +17,11 @@ let () =
   let args = Array.to_list Sys.argv in
   if List.mem "--list" args then begin
     List.iter print_endline experiments;
+    exit 0
+  end;
+  if List.mem "--bench-exec" args then begin
+    (* wall-clock executor throughput only; writes BENCH_exec.json *)
+    Microbench.bench_exec_json ();
     exit 0
   end;
   let quality = if List.mem "--full" args then Ctx.Full else Ctx.Quick in

@@ -60,6 +60,16 @@ let test_qaoa =
          let rng = Core.Rng.create 5 in
          ignore (Core.Exec.run device qaoa_sched ~rng ~trials:256 ~backend:Core.Exec.Statevector)))
 
+let ncores = Core.Pool.default_jobs ()
+
+let test_qaoa_jobs =
+  Test.make ~name:(Printf.sprintf "fig8: 256-trial noisy statevector QAOA (jobs=%d)" ncores)
+    (Staged.stage (fun () ->
+         let rng = Core.Rng.create 5 in
+         ignore
+           (Core.Exec.run ~jobs:ncores device qaoa_sched ~rng ~trials:256
+              ~backend:Core.Exec.Statevector)))
+
 let test_binpack =
   Test.make ~name:"fig10: bin packing of 1-hop SRB pairs (32 restarts)"
     (Staged.stage (fun () ->
@@ -78,9 +88,57 @@ let test_parsched =
 
 let all_tests =
   [
-    test_tableau; test_srb; test_xtalksched; test_tomography_exec; test_qaoa; test_binpack;
-    test_parsched;
+    test_tableau; test_srb; test_xtalksched; test_tomography_exec; test_qaoa; test_qaoa_jobs;
+    test_binpack; test_parsched;
   ]
+
+(* Wall-clock throughput of the sharded executor on the fig8 workload,
+   recorded to BENCH_exec.json so speedups are tracked across
+   revisions.  Bechamel measures CPU-biased ns/run; for a multi-domain
+   executor wall clock is the honest metric. *)
+let bench_exec_json () =
+  let trials = 256 in
+  let time_run jobs =
+    (* warm-up, then best-of-9 to shave scheduler noise *)
+    let once () =
+      let rng = Core.Rng.create 5 in
+      let t0 = Unix.gettimeofday () in
+      ignore (Core.Exec.run ~jobs device qaoa_sched ~rng ~trials ~backend:Core.Exec.Statevector);
+      Unix.gettimeofday () -. t0
+    in
+    ignore (once ());
+    ignore (once ());
+    List.fold_left (fun acc () -> min acc (once ())) (once ()) (List.init 8 (fun _ -> ()))
+  in
+  let jobs_list = List.sort_uniq compare [ 1; 4; ncores ] in
+  let entries =
+    List.map
+      (fun jobs ->
+        let dt = time_run jobs in
+        let rate = float_of_int trials /. dt in
+        Printf.printf "exec fig8 jobs=%-2d %8.3f s  %10.1f trials/sec\n%!" jobs dt rate;
+        Core.Json.Object
+          [
+            ("jobs", Core.Json.Number (float_of_int jobs));
+            ("seconds", Core.Json.Number dt);
+            ("trials_per_sec", Core.Json.Number rate);
+          ])
+      jobs_list
+  in
+  let doc =
+    Core.Json.Object
+      [
+        ("workload", Core.Json.String "fig8: 256-trial noisy statevector QAOA");
+        ("trials", Core.Json.Number (float_of_int trials));
+        ("ncores", Core.Json.Number (float_of_int ncores));
+        ("runs", Core.Json.Array entries);
+      ]
+  in
+  let oc = open_out "BENCH_exec.json" in
+  output_string oc (Core.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_exec.json\n%!"
 
 let run () =
   Core.Tablefmt.section "Bechamel microbenchmarks (one kernel per table/figure)";
@@ -99,4 +157,5 @@ let run () =
         | _ -> Printf.printf "%-55s (no estimate)\n" name)
       results
   in
-  List.iter benchmark all_tests
+  List.iter benchmark all_tests;
+  bench_exec_json ()

@@ -22,6 +22,15 @@ let threshold_term =
   let doc = "Conditional/independent ratio above which a pair is high-crosstalk." in
   Arg.(value & opt float 3.0 & info [ "threshold" ] ~docv:"R" ~doc)
 
-let characterize device ~rng ~params =
+let jobs_term =
+  let doc =
+    "Worker domains for the Monte-Carlo executors (0 = one per core).  Results are \
+     bit-identical for every value."
+  in
+  let arg = Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc) in
+  let resolve n = if n <= 0 then Core.Pool.default_jobs () else n in
+  Term.(const resolve $ arg)
+
+let characterize device ~rng ~jobs ~params =
   let plan = Core.Policy.plan ~rng device Core.Policy.One_hop_binpacked in
-  (Core.Policy.characterize ~params ~rng device plan).Core.Policy.xtalk
+  (Core.Policy.characterize ~params ~jobs ~rng device plan).Core.Policy.xtalk

@@ -15,7 +15,7 @@ let policy_term =
   let doc = "Characterization policy: all-pairs | one-hop | binpacked | high-only." in
   Arg.(value & opt string "binpacked" & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
 
-let run device seed threshold policy_name output =
+let run device seed jobs threshold policy_name output =
   let rng = Core.Rng.create seed in
   let policy =
     match policy_name with
@@ -25,7 +25,7 @@ let run device seed threshold policy_name output =
     | "high-only" ->
       (* Re-measure the pairs a first 1-hop pass flags. *)
       let first = Core.Policy.plan ~rng device Core.Policy.One_hop_binpacked in
-      let outcome = Core.Policy.characterize ~rng device first in
+      let outcome = Core.Policy.characterize ~jobs ~rng device first in
       Core.Policy.High_crosstalk_only
         (Core.Policy.high_pairs_of_outcome ~threshold device outcome)
     | other ->
@@ -37,7 +37,7 @@ let run device seed threshold policy_name output =
   Printf.printf "policy: %s\n" (Core.Policy.policy_name policy);
   Printf.printf "experiments: %d\n" (Core.Policy.experiment_count plan);
   Printf.printf "machine time at paper settings: %.2f hours\n" (Core.Policy.estimated_hours plan);
-  let outcome = Core.Policy.characterize ~rng device plan in
+  let outcome = Core.Policy.characterize ~jobs ~rng device plan in
   let flagged = Core.Policy.high_pairs_of_outcome ~threshold device outcome in
   Printf.printf "\nhigh-crosstalk pairs (ratio > %.1fx):\n" threshold;
   let cal = Core.Device.calibration device in
@@ -65,7 +65,7 @@ let cmd =
   let info = Cmd.info "qcx_characterize" ~doc:"Characterize crosstalk on a simulated IBMQ device" in
   Cmd.v info
     Term.(
-      const run $ Common.device_term $ Common.seed_term $ Common.threshold_term $ policy_term
-      $ output_term)
+      const run $ Common.device_term $ Common.seed_term $ Common.jobs_term $ Common.threshold_term
+      $ policy_term $ output_term)
 
 let () = exit (Cmd.eval cmd)

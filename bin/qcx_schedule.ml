@@ -32,7 +32,7 @@ let emit_qasm_term =
   let doc = "Print the barrier-enforced OpenQASM output." in
   Arg.(value & flag & info [ "qasm" ] ~doc)
 
-let run device seed src dst scheduler omega oracle xtalk_file emit_qasm =
+let run device seed jobs src dst scheduler omega oracle xtalk_file emit_qasm =
   let rng = Core.Rng.create seed in
   let bench = Core.Swap_circuits.build device ~src ~dst in
   let circuit = Core.Circuit.measure_all bench.Core.Swap_circuits.circuit in
@@ -50,7 +50,7 @@ let run device seed src dst scheduler omega oracle xtalk_file emit_qasm =
       if oracle then Core.Device.ground_truth device
       else begin
         Printf.printf "characterizing (1-hop + bin-packing)...\n%!";
-        Common.characterize device ~rng ~params:Core.Rb.default_params
+        Common.characterize device ~rng ~jobs ~params:Core.Rb.default_params
       end
   in
   let sched_kind =
@@ -91,7 +91,7 @@ let cmd =
   let info = Cmd.info "qcx_schedule" ~doc:"Compile a SWAP workload with a chosen scheduler" in
   Cmd.v info
     Term.(
-      const run $ Common.device_term $ Common.seed_term $ src_term $ dst_term $ scheduler_term
-      $ omega_term $ oracle_term $ xtalk_file_term $ emit_qasm_term)
+      const run $ Common.device_term $ Common.seed_term $ Common.jobs_term $ src_term $ dst_term
+      $ scheduler_term $ omega_term $ oracle_term $ xtalk_file_term $ emit_qasm_term)
 
 let () = exit (Cmd.eval cmd)

@@ -19,11 +19,11 @@ let redundancy_term =
 let trials_term =
   Arg.(value & opt int 2048 & info [ "trials" ] ~docv:"N" ~doc:"Execution trials.")
 
-let run device seed workload src dst redundancy trials =
+let run device seed jobs workload src dst redundancy trials =
   let rng = Core.Rng.create seed in
   Printf.printf "device: %s\n%!" (Core.Device.name device);
   Printf.printf "characterizing (1-hop + bin-packing)...\n%!";
-  let xtalk = Common.characterize device ~rng ~params:Core.Rb.default_params in
+  let xtalk = Common.characterize device ~rng ~jobs ~params:Core.Rb.default_params in
   let schedulers = [ Core.Serial_sched; Core.Par_sched; Core.Xtalk_sched 0.5 ] in
   match workload with
   | "swap" ->
@@ -60,7 +60,7 @@ let run device seed workload src dst redundancy trials =
         let sched, _ =
           Core.Pipeline.compile ~scheduler:kind device ~xtalk hs.Core.Hidden_shift.circuit
         in
-        let counts = Core.Pipeline.execute device sched ~rng ~trials in
+        let counts = Core.Pipeline.execute ~jobs device sched ~rng ~trials in
         let err =
           Core.Hidden_shift.error_rate hs
             ~counts_get:(Core.Exec.counts_get counts)
@@ -76,7 +76,7 @@ let cmd =
   let info = Cmd.info "qcx_simulate" ~doc:"End-to-end noisy execution of a workload" in
   Cmd.v info
     Term.(
-      const run $ Common.device_term $ Common.seed_term $ workload_term $ src_term $ dst_term
-      $ redundancy_term $ trials_term)
+      const run $ Common.device_term $ Common.seed_term $ Common.jobs_term $ workload_term
+      $ src_term $ dst_term $ redundancy_term $ trials_term)
 
 let () = exit (Cmd.eval cmd)

@@ -49,7 +49,7 @@ type outcome = {
   experiments : int;
 }
 
-let characterize ?(params = Rb.default_params) ~rng device (cplan : plan) =
+let characterize ?(params = Rb.default_params) ?(jobs = 1) ~rng device (cplan : plan) =
   let cal = Device.calibration device in
   (* Independent rates, measured once per distinct gate by standard
      two-qubit RB (on real systems these come with the daily
@@ -59,7 +59,7 @@ let characterize ?(params = Rb.default_params) ~rng device (cplan : plan) =
     match Hashtbl.find_opt independent_cache edge with
     | Some v -> v
     | None ->
-      let fit = Rb.independent device ~rng ~params edge in
+      let fit = Rb.independent ~jobs device ~rng ~params edge in
       Hashtbl.replace independent_cache edge fit.Rb.error_rate;
       fit.Rb.error_rate
   in
@@ -67,7 +67,7 @@ let characterize ?(params = Rb.default_params) ~rng device (cplan : plan) =
   List.iter
     (fun experiment ->
       let gates = List.concat_map (fun (e1, e2) -> [ e1; e2 ]) experiment in
-      let fits = Rb.run device ~rng ~params gates in
+      let fits = Rb.run ~jobs device ~rng ~params gates in
       let rate_of edge =
         match List.find_opt (fun f -> f.Rb.edge = Topology.normalize edge) fits with
         | Some f -> f.Rb.error_rate
@@ -111,11 +111,11 @@ let characterize ?(params = Rb.default_params) ~rng device (cplan : plan) =
 let high_pairs_of_outcome ?(threshold = 3.0) device outcome =
   Crosstalk.high_crosstalk_pairs outcome.xtalk (Device.calibration device) ~threshold
 
-let refresh ?params ?(threshold = 3.0) ~rng device ~previous =
+let refresh ?params ?(jobs = 1) ?(threshold = 3.0) ~rng device ~previous =
   let flagged = Crosstalk.high_crosstalk_pairs previous (Device.calibration device) ~threshold in
   if flagged = [] then previous
   else begin
     let daily = plan ~rng device (High_crosstalk_only flagged) in
-    let outcome = characterize ?params ~rng device daily in
+    let outcome = characterize ?params ~jobs ~rng device daily in
     Crosstalk.merge previous outcome.xtalk
   end

@@ -64,6 +64,7 @@ type outcome = {
 
 val characterize :
   ?params:Rb.params ->
+  ?jobs:int ->
   rng:Qcx_util.Rng.t ->
   Qcx_device.Device.t ->
   plan ->
@@ -71,10 +72,13 @@ val characterize :
 (** Run every experiment of the plan via {!Rb.run} (default
     [Rb.default_params]) plus one independent RB per distinct gate
     (cached; the paper gets these from daily calibration, so they are
-    not charged to the plan's experiment count). *)
+    not charged to the plan's experiment count).  [jobs] (default 1)
+    parallelizes the underlying noisy executions across domains
+    without changing any measured value. *)
 
 val refresh :
   ?params:Rb.params ->
+  ?jobs:int ->
   ?threshold:float ->
   rng:Qcx_util.Rng.t ->
   Qcx_device.Device.t ->

@@ -90,7 +90,7 @@ let survival_of_counts counts ~measured ~edge:(a, b) =
     (Exec.counts_bindings counts);
   float_of_int !good /. float_of_int (max 1 !total)
 
-let run device ~rng ~params edges =
+let run ?(jobs = 1) device ~rng ~params edges =
   check_edges device edges;
   if edges = [] then invalid_arg "Rb.run: no edges";
   let nedges = List.length edges in
@@ -106,7 +106,7 @@ let run device ~rng ~params edges =
         clifford_totals := !clifford_totals + m + 1;
         Array.iteri (fun i c -> cnot_totals.(i) <- cnot_totals.(i) + c) cnots;
         let sched = Qcx_scheduler.Par_sched.schedule device circuit in
-        let counts = Exec.run device sched ~rng ~trials:params.trials ~backend:Exec.Stabilizer in
+        let counts = Exec.run ~jobs device sched ~rng ~trials:params.trials ~backend:Exec.Stabilizer in
         let measured = Exec.measured_qubits circuit in
         List.iteri
           (fun i edge ->
@@ -156,7 +156,7 @@ let interleaved_sequence device rng ~m ~interleave edge =
   circuit := Circuit.measure (Circuit.measure !circuit a) b;
   !circuit
 
-let interleaved_fit device ~rng ~params ~interleave edge =
+let interleaved_fit ?(jobs = 1) device ~rng ~params ~interleave edge =
   let samples = ref [] in
   List.iter
     (fun m ->
@@ -164,7 +164,7 @@ let interleaved_fit device ~rng ~params ~interleave edge =
       for _ = 1 to params.seeds do
         let circuit = interleaved_sequence device rng ~m ~interleave edge in
         let sched = Qcx_scheduler.Par_sched.schedule device circuit in
-        let counts = Exec.run device sched ~rng ~trials:params.trials ~backend:Exec.Stabilizer in
+        let counts = Exec.run ~jobs device sched ~rng ~trials:params.trials ~backend:Exec.Stabilizer in
         let measured = Exec.measured_qubits circuit in
         vals := survival_of_counts counts ~measured ~edge :: !vals
       done;
@@ -176,10 +176,10 @@ let interleaved_fit device ~rng ~params ~interleave edge =
   let epc = Fit.epc_of_alpha ~nqubits:2 alpha in
   { edge = Topology.normalize edge; alpha; epc; error_rate = epc /. 1.5; points }
 
-let interleaved device ~rng ~params edge =
+let interleaved ?(jobs = 1) device ~rng ~params edge =
   check_edges device [ edge ];
-  let standard = interleaved_fit device ~rng ~params ~interleave:false edge in
-  let inter = interleaved_fit device ~rng ~params ~interleave:true edge in
+  let standard = interleaved_fit ~jobs device ~rng ~params ~interleave:false edge in
+  let inter = interleaved_fit ~jobs device ~rng ~params ~interleave:true edge in
   let ratio = Stats.clamp ~lo:0.0 ~hi:1.0 (inter.alpha /. max 1e-9 standard.alpha) in
   let gate_error = 0.75 *. (1.0 -. ratio) in
   { standard; interleaved = inter; gate_error }
@@ -192,7 +192,7 @@ type fit1 = {
   points1 : (float * float) list;
 }
 
-let run_single device ~rng ~params qubits =
+let run_single ?(jobs = 1) device ~rng ~params qubits =
   if qubits = [] then invalid_arg "Rb.run_single: no qubits";
   if List.length (List.sort_uniq compare qubits) <> List.length qubits then
     invalid_arg "Rb.run_single: duplicate qubits";
@@ -237,7 +237,7 @@ let run_single device ~rng ~params qubits =
           (List.combine qubits trackers);
         List.iter (fun q -> circuit := Circuit.measure !circuit q) qubits;
         let sched = Qcx_scheduler.Par_sched.schedule device !circuit in
-        let counts = Exec.run device sched ~rng ~trials:params.trials ~backend:Exec.Stabilizer in
+        let counts = Exec.run ~jobs device sched ~rng ~trials:params.trials ~backend:Exec.Stabilizer in
         let measured = Exec.measured_qubits !circuit in
         List.iteri
           (fun i q ->
@@ -267,8 +267,8 @@ let run_single device ~rng ~params qubits =
       { qubit; alpha1; epc1; gate_error; points1 })
     qubits
 
-let independent device ~rng ~params edge =
-  match run device ~rng ~params [ edge ] with
+let independent ?(jobs = 1) device ~rng ~params edge =
+  match run ~jobs device ~rng ~params [ edge ] with
   | [ fit ] -> fit
   | _ -> assert false
 

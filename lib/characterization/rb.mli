@@ -39,6 +39,7 @@ type fit = {
 }
 
 val run :
+  ?jobs:int ->
   Qcx_device.Device.t ->
   rng:Qcx_util.Rng.t ->
   params:params ->
@@ -46,9 +47,17 @@ val run :
   fit list
 (** Benchmark the given CNOT gates simultaneously.  Gates must be
     pairwise disjoint device edges.  Returns one fit per gate, in
-    input order. *)
+    input order.  [jobs] (default 1) parallelizes each sequence's
+    noisy trials across domains via {!Qcx_noise.Exec.run}; fits are
+    bit-identical for every [jobs] value. *)
 
-val independent : Qcx_device.Device.t -> rng:Qcx_util.Rng.t -> params:params -> Qcx_device.Topology.edge -> fit
+val independent :
+  ?jobs:int ->
+  Qcx_device.Device.t ->
+  rng:Qcx_util.Rng.t ->
+  params:params ->
+  Qcx_device.Topology.edge ->
+  fit
 (** Standard two-qubit RB of a single gate: E(g). *)
 
 type interleaved = {
@@ -58,6 +67,7 @@ type interleaved = {
 }
 
 val interleaved :
+  ?jobs:int ->
   Qcx_device.Device.t ->
   rng:Qcx_util.Rng.t ->
   params:params ->
@@ -80,6 +90,7 @@ type fit1 = {
 }
 
 val run_single :
+  ?jobs:int ->
   Qcx_device.Device.t ->
   rng:Qcx_util.Rng.t ->
   params:params ->

@@ -1,4 +1,5 @@
 module Rng = Qcx_util.Rng
+module Pool = Qcx_util.Pool
 module Stats = Qcx_util.Stats
 module Fit = Qcx_util.Fit
 module Tablefmt = Qcx_util.Tablefmt
@@ -56,14 +57,14 @@ let scheduler_name = function
   | Xtalk_sched omega -> Printf.sprintf "XtalkSched(w=%.2f)" omega
 
 module Pipeline = struct
-  let characterize ?policy ?params device ~rng =
+  let characterize ?policy ?params ?jobs device ~rng =
     let policy =
       match policy with
       | Some p -> p
       | None -> Qcx_characterization.Policy.One_hop_binpacked
     in
     let plan = Qcx_characterization.Policy.plan ~rng device policy in
-    let outcome = Qcx_characterization.Policy.characterize ?params ~rng device plan in
+    let outcome = Qcx_characterization.Policy.characterize ?params ?jobs ~rng device plan in
     outcome.Qcx_characterization.Policy.xtalk
 
   let compile ?(scheduler = Xtalk_sched 0.5) device ~xtalk circuit =
@@ -75,6 +76,6 @@ module Pipeline = struct
       let sched, stats = Qcx_scheduler.Xtalk_sched.schedule ~omega ~device ~xtalk circuit in
       (sched, Some stats)
 
-  let execute ?(backend = Qcx_noise.Exec.Stabilizer) device sched ~rng ~trials =
-    Qcx_noise.Exec.run device sched ~rng ~trials ~backend
+  let execute ?(backend = Qcx_noise.Exec.Stabilizer) ?jobs device sched ~rng ~trials =
+    Qcx_noise.Exec.run ?jobs device sched ~rng ~trials ~backend
 end

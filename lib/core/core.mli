@@ -23,6 +23,7 @@
     ]} *)
 
 module Rng = Qcx_util.Rng
+module Pool = Qcx_util.Pool
 module Stats = Qcx_util.Stats
 module Fit = Qcx_util.Fit
 module Tablefmt = Qcx_util.Tablefmt
@@ -86,6 +87,7 @@ module Pipeline : sig
   val characterize :
     ?policy:Policy.policy ->
     ?params:Rb.params ->
+    ?jobs:int ->
     Device.t ->
     rng:Rng.t ->
     Crosstalk.t
@@ -105,10 +107,13 @@ module Pipeline : sig
 
   val execute :
     ?backend:Exec.backend ->
+    ?jobs:int ->
     Device.t ->
     Schedule.t ->
     rng:Rng.t ->
     trials:int ->
     Exec.counts
-  (** Run on the simulated hardware.  Default backend: stabilizer. *)
+  (** Run on the simulated hardware.  Default backend: stabilizer;
+      [jobs] (default 1) shards trajectories over domains with
+      bit-identical counts (see {!Exec.run}). *)
 end

@@ -1,13 +1,16 @@
 module Rng = Qcx_util.Rng
+module Pool = Qcx_util.Pool
 module Circuit = Qcx_circuit.Circuit
 module Gate = Qcx_circuit.Gate
 module Schedule = Qcx_circuit.Schedule
 module Device = Qcx_device.Device
+module Topology = Qcx_device.Topology
 module Calibration = Qcx_device.Calibration
 module Crosstalk = Qcx_device.Crosstalk
 module Tableau = Qcx_stabilizer.Tableau
 module State = Qcx_statevector.State
 module Gates = Qcx_linalg.Gates
+module Cplx = Qcx_linalg.Cplx
 
 type backend = Stabilizer | Statevector
 
@@ -34,9 +37,51 @@ let edge_of_cnot g =
   | [ a; b ] -> Qcx_device.Topology.normalize (a, b)
   | _ -> invalid_arg "Exec: malformed 2-qubit gate"
 
-let effective_cnot_error device sched id =
-  let circuit = Schedule.circuit sched in
-  let g = Circuit.gate circuit id in
+(* One overlapping two-qubit partner of a gate: its time span and the
+   edge it drives. *)
+type span = { o_start : float; o_finish : float; spectator : Topology.edge }
+
+(* Index every two-qubit gate's time-overlapping two-qubit partners in
+   one sweep over the gates sorted by start time, instead of scanning
+   the whole circuit per gate (the old O(G^2) plan build). *)
+let overlap_index sched =
+  let twoq =
+    Array.of_list
+      (List.filter_map
+         (fun g ->
+           if Gate.is_two_qubit g then
+             let id = g.Gate.id in
+             Some (id, Schedule.start sched id, Schedule.finish sched id, edge_of_cnot g)
+           else None)
+         (Circuit.gates (Schedule.circuit sched)))
+  in
+  Array.sort (fun (_, s1, _, _) (_, s2, _, _) -> compare s1 s2) twoq;
+  let tbl : (int, span list) Hashtbl.t = Hashtbl.create (Array.length twoq) in
+  let add id sp =
+    Hashtbl.replace tbl id (sp :: Option.value ~default:[] (Hashtbl.find_opt tbl id))
+  in
+  let n = Array.length twoq in
+  for i = 0 to n - 1 do
+    let id_i, s_i, f_i, e_i = twoq.(i) in
+    let j = ref (i + 1) in
+    let continue = ref true in
+    while !continue && !j < n do
+      let id_j, s_j, f_j, e_j = twoq.(!j) in
+      if s_j >= f_i then continue := false
+      else begin
+        (* Strict interval overlap, matching [Schedule.overlaps]. *)
+        if f_i > s_j && f_j > s_i then begin
+          add id_i { o_start = s_j; o_finish = f_j; spectator = e_j };
+          add id_j { o_start = s_i; o_finish = f_i; spectator = e_i }
+        end;
+        incr j
+      end
+    done
+  done;
+  tbl
+
+let effective_of_index device sched ~index id =
+  let g = Circuit.gate (Schedule.circuit sched) id in
   if not (Gate.is_two_qubit g) then invalid_arg "Exec.effective_cnot_error: not a CNOT";
   let target = edge_of_cnot g in
   let independent = Device.cnot_error device target in
@@ -50,21 +95,21 @@ let effective_cnot_error device sched id =
   let duration = max 1.0 (t_finish -. t_start) in
   let excess =
     List.fold_left
-      (fun acc other ->
-        if other.Gate.id <> id && Gate.is_two_qubit other && Schedule.overlaps sched id other.Gate.id
-        then
-          let spectator = edge_of_cnot other in
-          match Crosstalk.conditional gt ~target ~spectator with
-          | Some conditional ->
-            let o_start = max t_start (Schedule.start sched other.Gate.id) in
-            let o_finish = min t_finish (Schedule.finish sched other.Gate.id) in
-            let fraction = max 0.0 (o_finish -. o_start) /. duration in
-            max acc (fraction *. max 0.0 (conditional -. independent))
-          | None -> acc
-        else acc)
-      0.0 (Circuit.gates circuit)
+      (fun acc { o_start; o_finish; spectator } ->
+        match Crosstalk.conditional gt ~target ~spectator with
+        | Some conditional ->
+          let o_start = max t_start o_start in
+          let o_finish = min t_finish o_finish in
+          let fraction = max 0.0 (o_finish -. o_start) /. duration in
+          max acc (fraction *. max 0.0 (conditional -. independent))
+        | None -> acc)
+      0.0
+      (Option.value ~default:[] (Hashtbl.find_opt index id))
   in
   min 0.75 (independent +. excess)
+
+let effective_cnot_error device sched id =
+  effective_of_index device sched ~index:(overlap_index sched) id
 
 (* A trajectory-level simulator interface over the two backends. *)
 type sim =
@@ -93,11 +138,11 @@ let apply_gate sim kind qubits =
   | Vec v, Gate.Z, [ q ] -> State.z v q
   | Vec v, Gate.S, [ q ] -> State.s v q
   | Vec v, Gate.Sdg, [ q ] -> State.sdg v q
-  | Vec v, Gate.T, [ q ] -> State.apply1 v Gates.t q
-  | Vec v, Gate.Tdg, [ q ] -> State.apply1 v Gates.tdg q
+  | Vec v, Gate.T, [ q ] -> State.phase v (Float.pi /. 4.0) q
+  | Vec v, Gate.Tdg, [ q ] -> State.phase v (-.Float.pi /. 4.0) q
   | Vec v, Gate.Rx theta, [ q ] -> State.apply1 v (Gates.rx theta) q
   | Vec v, Gate.Ry theta, [ q ] -> State.apply1 v (Gates.ry theta) q
-  | Vec v, Gate.Rz theta, [ q ] -> State.apply1 v (Gates.rz theta) q
+  | Vec v, Gate.Rz theta, [ q ] -> State.rz v theta q
   | Vec v, Gate.U2 (phi, lam), [ q ] -> State.apply1 v (Gates.u2 phi lam) q
   | Vec v, Gate.Cnot, [ c; tg ] -> State.cnot v ~control:c ~target:tg
   | Vec v, Gate.Swap, [ a; b ] ->
@@ -110,15 +155,25 @@ let apply_gate sim kind qubits =
 let measure_sim sim rng q =
   match sim with Tab t -> Tableau.measure t rng q | Vec v -> State.measure v rng q
 
-(* Precomputed per-gate noise plan, shared across trials. *)
+(* Precomputed per-gate noise plan, shared (read-only) across trials
+   and across worker domains. *)
 type gate_plan = {
   gate : Gate.t;
   compact_qubits : int list;
   start : float;
   error_p : float;  (** depolarizing parameter to inject after the gate *)
+  matrix : Qcx_linalg.Mat.t option;
+      (** 2x2 unitary prebuilt for parameterized single-qubit gates, so
+          the statevector backend does not rebuild it every trajectory *)
   idles : (int * int * Channel.idle) list;
       (** (hardware qubit, compact qubit, channel) for the gap before this gate *)
 }
+
+let prebuilt_matrix = function
+  | Gate.Rx theta -> Some (Gates.rx theta)
+  | Gate.Ry theta -> Some (Gates.ry theta)
+  | Gate.U2 (phi, lam) -> Some (Gates.u2 phi lam)
+  | _ -> None
 
 let build_plans device sched =
   let circuit = Schedule.circuit sched in
@@ -127,6 +182,7 @@ let build_plans device sched =
   let compact = Hashtbl.create 16 in
   List.iteri (fun i q -> Hashtbl.add compact q i) used;
   let cq q = Hashtbl.find compact q in
+  let index = overlap_index sched in
   let last_end = Hashtbl.create 16 in
   (* Decoherence starts at a qubit's first gate: no idle before it. *)
   let plans =
@@ -153,20 +209,272 @@ let build_plans device sched =
           List.iter (fun q -> Hashtbl.replace last_end q (Schedule.finish sched id)) g.Gate.qubits;
           let error_p =
             if Gate.is_two_qubit g then
-              Channel.depol_param_of_error_rate ~nqubits:2 (effective_cnot_error device sched id)
+              Channel.depol_param_of_error_rate ~nqubits:2 (effective_of_index device sched ~index id)
             else if Gate.is_single_qubit g then
               let q = List.hd g.Gate.qubits in
               Channel.depol_param_of_error_rate ~nqubits:1
                 (Calibration.qubit cal q).Calibration.single_qubit_error
             else 0.0
           in
-          Some { gate = g; compact_qubits = List.map cq g.Gate.qubits; start; error_p; idles }
+          Some
+            {
+              gate = g;
+              compact_qubits = List.map cq g.Gate.qubits;
+              start;
+              error_p;
+              matrix = prebuilt_matrix g.Gate.kind;
+              idles;
+            }
         end)
       (Schedule.gates_by_start sched)
   in
   (used, plans)
 
-let run device sched ~rng ~trials ~backend =
+(* Walk one trajectory through the unitary part of a plan: idles and
+   gate noise for every non-measure gate; measure gates only get their
+   idles, with [on_measure] deciding what readout does. *)
+let step_plan sim rng plan ~on_measure =
+  List.iter
+    (fun (_, cqubit, idle) ->
+      match Channel.sample_idle rng idle with
+      | Some p -> apply_pauli sim p cqubit
+      | None -> ())
+    plan.idles;
+  if Gate.is_measure plan.gate then on_measure plan
+  else begin
+    (match (plan.matrix, sim, plan.compact_qubits) with
+    | Some m, Vec v, [ q ] -> State.apply1 v m q
+    | _ -> apply_gate sim plan.gate.Gate.kind plan.compact_qubits);
+    if plan.error_p > 0.0 then
+      match plan.compact_qubits with
+      | [ q ] -> (
+        match Channel.sample_depolarizing1 rng ~p:plan.error_p with
+        | Some p -> apply_pauli sim p q
+        | None -> ())
+      | [ a; b ] -> (
+        match Channel.sample_depolarizing2 rng ~p:plan.error_p with
+        | Some (pa, pb) ->
+          Option.iter (fun p -> apply_pauli sim p a) pa;
+          Option.iter (fun p -> apply_pauli sim p b) pb
+        | None -> ())
+      | _ -> ()
+  end
+
+(* Compile the unitary part of a plan list into a flat op array for
+   the statevector backend, with every dispatch decision (gate kind,
+   operand lists, diagonal phases — including the trig for Rz/T) taken
+   once here instead of once per trajectory.  Measure gates contribute
+   only their idles; readout is the caller's business.
+
+   Ops are split into deterministic gates and random noise points
+   whose [decide] draws from the trajectory stream and returns the
+   (preallocated) state action to apply when the noise fires.  The
+   split lets the executor precompute the noiseless evolution once and
+   re-simulate only from the first fired noise point of a trajectory:
+   at the paper's error rates most trajectories fire none. *)
+type sv_op =
+  | Det of (State.t -> unit)
+  | Rand of (Rng.t -> (State.t -> unit) option)
+
+let pauli_actions q =
+  ( Some (fun v -> State.x v q),
+    Some (fun v -> State.y v q),
+    Some (fun v -> State.z v q) )
+
+let compile_sv plans =
+  let ops = ref [] in
+  let emit f = ops := Det f :: !ops in
+  let diag d0 d1 q = emit (fun v -> State.apply_diag1 v d0 d1 q) in
+  List.iter
+    (fun plan ->
+      List.iter
+        (fun (_, cq, idle) ->
+          let sx, sy, sz = pauli_actions cq in
+          ops :=
+            Rand
+              (fun rng ->
+                match Channel.sample_idle rng idle with
+                | None -> None
+                | Some `X -> sx
+                | Some `Y -> sy
+                | Some `Z -> sz)
+            :: !ops)
+        plan.idles;
+      if not (Gate.is_measure plan.gate) then begin
+        (match (plan.matrix, plan.gate.Gate.kind, plan.compact_qubits) with
+        | Some m, _, [ q ] -> emit (fun v -> State.apply1 v m q)
+        | _, Gate.H, [ q ] -> emit (fun v -> State.h v q)
+        | _, Gate.X, [ q ] -> emit (fun v -> State.x v q)
+        | _, Gate.Y, [ q ] -> emit (fun v -> State.y v q)
+        | _, Gate.Z, [ q ] -> diag Cplx.one (Cplx.re (-1.0)) q
+        | _, Gate.S, [ q ] -> diag Cplx.one Cplx.i q
+        | _, Gate.Sdg, [ q ] -> diag Cplx.one (Cplx.make 0.0 (-1.0)) q
+        | _, Gate.T, [ q ] -> diag Cplx.one (Cplx.exp_i (Float.pi /. 4.0)) q
+        | _, Gate.Tdg, [ q ] -> diag Cplx.one (Cplx.exp_i (-.Float.pi /. 4.0)) q
+        | _, Gate.Rz theta, [ q ] ->
+          diag (Cplx.exp_i (-.theta /. 2.0)) (Cplx.exp_i (theta /. 2.0)) q
+        | _, Gate.Cnot, [ c; t ] -> emit (fun v -> State.cnot v ~control:c ~target:t)
+        | _, Gate.Swap, [ a; b ] ->
+          emit (fun v ->
+              State.cnot v ~control:a ~target:b;
+              State.cnot v ~control:b ~target:a;
+              State.cnot v ~control:a ~target:b)
+        | _ -> invalid_arg "Exec: malformed gate operands");
+        if plan.error_p > 0.0 then begin
+          let p = plan.error_p in
+          match plan.compact_qubits with
+          | [ q ] ->
+            let sx, sy, sz = pauli_actions q in
+            ops :=
+              Rand
+                (fun rng ->
+                  match Channel.sample_depolarizing1 rng ~p with
+                  | None -> None
+                  | Some `X -> sx
+                  | Some `Y -> sy
+                  | Some `Z -> sz)
+              :: !ops
+          | [ a; b ] ->
+            (* One preallocated action per non-identity Pauli pair,
+               indexed exactly like [Channel.sample_depolarizing2]
+               decodes (same draws, same mapping). *)
+            let one q = function
+              | 0 -> fun (_ : State.t) -> ()
+              | 1 -> fun v -> State.x v q
+              | 2 -> fun v -> State.y v q
+              | _ -> fun v -> State.z v q
+            in
+            let acts =
+              Array.init 15 (fun c ->
+                  let code = c + 1 in
+                  let fa = one a (code land 3) and fb = one b (code lsr 2) in
+                  Some
+                    (fun v ->
+                      fa v;
+                      fb v))
+            in
+            ops :=
+              Rand
+                (fun rng ->
+                  if Rng.bernoulli rng p then Array.unsafe_get acts (Rng.int rng 15) else None)
+              :: !ops
+          | _ -> ()
+        end
+      end)
+    plans;
+  Array.of_list (List.rev !ops)
+
+(* Noiseless evolution, computed once: the state before every random
+   op (its restart checkpoint) and the final state.  A trajectory
+   whose draws all miss reuses [final] untouched; one that fires at
+   op [i] restarts from checkpoint [i] and simulates only the tail. *)
+type sv_track = { track_ops : sv_op array; checkpoints : State.t option array; final : State.t }
+
+(* Checkpoints cost [nrand * dim] amplitudes; beyond this budget the
+   executor falls back to plain per-trajectory simulation. *)
+let checkpoint_budget_floats = 8 * 1024 * 1024
+
+let precompute_sv ops ~nqubits =
+  let nrand =
+    Array.fold_left (fun acc op -> match op with Rand _ -> acc + 1 | Det _ -> acc) 0 ops
+  in
+  if nrand * (1 lsl nqubits) * 2 > checkpoint_budget_floats then None
+  else begin
+    let v = State.create nqubits in
+    let checkpoints = Array.map (fun _ -> None) ops in
+    Array.iteri
+      (fun i op ->
+        match op with
+        | Det f -> f v
+        | Rand _ -> checkpoints.(i) <- Some (State.copy v))
+      ops;
+    Some { track_ops = ops; checkpoints; final = v }
+  end
+
+(* Walk one trajectory and return the state to read out — either the
+   shared noiseless [final] (callers must not mutate it) or [scratch].
+   Draws happen in op order exactly as a plain walk would, so counts
+   are unchanged by the checkpointing. *)
+let run_ops_tracked track scratch rng =
+  let ops = track.track_ops in
+  let nops = Array.length ops in
+  let tail_from i =
+    for j = i to nops - 1 do
+      match Array.unsafe_get ops j with
+      | Det f -> f scratch
+      | Rand decide -> (
+        match decide rng with Some act -> act scratch | None -> ())
+    done
+  in
+  let rec scan i =
+    if i >= nops then track.final
+    else
+      match Array.unsafe_get ops i with
+      | Det _ -> scan (i + 1)
+      | Rand decide -> (
+        match decide rng with
+        | None -> scan (i + 1)
+        | Some act ->
+          (match track.checkpoints.(i) with
+          | Some cp -> State.blit cp scratch
+          | None -> assert false);
+          act scratch;
+          tail_from (i + 1);
+          scratch)
+  in
+  scan 0
+
+let run_ops_plain ops scratch rng =
+  State.reset scratch;
+  Array.iter
+    (fun op ->
+      match op with
+      | Det f -> f scratch
+      | Rand decide -> (
+        match decide rng with Some act -> act scratch | None -> ()))
+    ops;
+  scratch
+
+(* The statevector backend reads all qubits in one [State.sample] draw
+   (the hardware's simultaneous-readout model) when that is faithful:
+   every measurement starts at the same instant (validated) and no
+   unitary touches a measured qubit afterwards.  Gates on unmeasured
+   qubits cannot change the measured marginal, so they are free to
+   trail past readout. *)
+let simultaneous_readout_ok plans ~nused =
+  let measure_start =
+    List.fold_left
+      (fun acc p -> if Gate.is_measure p.gate then min acc p.start else acc)
+      infinity plans
+  in
+  measure_start < infinity
+  &&
+  let measured_cq = Array.make (max nused 1) false in
+  List.iter
+    (fun p ->
+      if Gate.is_measure p.gate then
+        List.iter (fun cq -> measured_cq.(cq) <- true) p.compact_qubits)
+    plans;
+  List.for_all
+    (fun p ->
+      Gate.is_measure p.gate
+      || p.start <= measure_start +. 1e-9
+      || not (List.exists (fun cq -> measured_cq.(cq)) p.compact_qubits))
+    plans
+
+let merge_counts tables =
+  let counts = { table = Hashtbl.create 64; total = 0 } in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun k v ->
+          Hashtbl.replace counts.table k (v + counts_get counts k);
+          counts.total <- counts.total + v)
+        tbl)
+    tables;
+  counts
+
+let run ?(jobs = 1) device sched ~rng ~trials ~backend =
   let circuit = Schedule.circuit sched in
   (match Schedule.validate sched with
   | Ok () -> ()
@@ -175,63 +483,91 @@ let run device sched ~rng ~trials ~backend =
   let nused = List.length used in
   let cal = Device.calibration device in
   let measured = measured_qubits circuit in
-  let counts = { table = Hashtbl.create 64; total = 0 } in
-  for _ = 1 to trials do
-    let sim =
-      match backend with
-      | Stabilizer -> Tab (Tableau.create (max nused 1))
-      | Statevector -> Vec (State.create (max nused 1))
-    in
+  let sample_readout = backend = Statevector && simultaneous_readout_ok plans ~nused in
+  (* One split decouples the trajectory streams from the caller's
+     generator; [Rng.split_nth] then gives trajectory [i] the same
+     stream whichever worker runs it, so counts are bit-identical for
+     every [jobs] value. *)
+  let base = Rng.split rng in
+  let cq_of_hw =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i q -> Hashtbl.replace tbl q i) used;
+    fun hw -> Hashtbl.find tbl hw
+  in
+  let ro_err hw = (Calibration.qubit cal hw).Calibration.readout_error in
+  let readout_flip rng hw bit = if Rng.bernoulli rng (ro_err hw) then not bit else bit in
+  (* (compact qubit, readout error) per measured qubit, in output
+     (sorted hardware id) order — the whole readout when the
+     simultaneous-sample path applies. *)
+  let meas_specs = Array.of_list (List.map (fun hw -> (cq_of_hw hw, ro_err hw)) measured) in
+  let nmeas = Array.length meas_specs in
+  (* Per-qubit measurement, for the stabilizer backend and for
+     statevector schedules where readout is not simultaneous. *)
+  let generic_trajectory sim rng =
     let bits = Hashtbl.create 8 in
     List.iter
       (fun plan ->
-        List.iter
-          (fun (_, cqubit, idle) ->
-            match Channel.sample_idle rng idle with
-            | Some p -> apply_pauli sim p cqubit
-            | None -> ())
-          plan.idles;
-        if Gate.is_measure plan.gate then begin
-          let hw = List.hd plan.gate.Gate.qubits in
-          let cqubit = List.hd plan.compact_qubits in
-          let bit = measure_sim sim rng cqubit in
-          let ro = (Calibration.qubit cal hw).Calibration.readout_error in
-          let bit = if Rng.bernoulli rng ro then not bit else bit in
-          Hashtbl.replace bits hw bit
-        end
-        else begin
-          apply_gate sim plan.gate.Gate.kind plan.compact_qubits;
-          if plan.error_p > 0.0 then
-            match plan.compact_qubits with
-            | [ q ] -> (
-              match Channel.sample_depolarizing1 rng ~p:plan.error_p with
-              | Some p -> apply_pauli sim p q
-              | None -> ())
-            | [ a; b ] -> (
-              match Channel.sample_depolarizing2 rng ~p:plan.error_p with
-              | Some (pa, pb) ->
-                Option.iter (fun p -> apply_pauli sim p a) pa;
-                Option.iter (fun p -> apply_pauli sim p b) pb
-              | None -> ())
-            | _ -> ()
-        end)
+        step_plan sim rng plan ~on_measure:(fun plan ->
+            let hw = List.hd plan.gate.Gate.qubits in
+            let cqubit = List.hd plan.compact_qubits in
+            let bit = measure_sim sim rng cqubit in
+            Hashtbl.replace bits hw (readout_flip rng hw bit)))
       plans;
-    let bitstring =
-      String.concat ""
-        (List.map
-           (fun q ->
-             match Hashtbl.find_opt bits q with
-             | Some true -> "1"
-             | Some false -> "0"
-             | None -> "?")
-           measured)
+    String.concat ""
+      (List.map
+         (fun q ->
+           match Hashtbl.find_opt bits q with
+           | Some true -> "1"
+           | Some false -> "0"
+           | None -> "?")
+         measured)
+  in
+  (* Simultaneous readout: run the compiled unitary part, then one
+     full-register sample, flipped per qubit — no per-trial tables,
+     lists or gate dispatch. *)
+  let ops = if sample_readout then compile_sv plans else [||] in
+  let track = if sample_readout then precompute_sv ops ~nqubits:(max nused 1) else None in
+  let sampled_trajectory scratch rng =
+    let v =
+      match track with
+      | Some tr -> run_ops_tracked tr scratch rng
+      | None -> run_ops_plain ops scratch rng
     in
-    Hashtbl.replace counts.table bitstring (1 + counts_get counts bitstring);
-    counts.total <- counts.total + 1
-  done;
-  counts
+    let k = State.sample v rng in
+    let buf = Bytes.create nmeas in
+    for m = 0 to nmeas - 1 do
+      let cq, ro = meas_specs.(m) in
+      let bit = (k lsr cq) land 1 = 1 in
+      let bit = if Rng.bernoulli rng ro then not bit else bit in
+      Bytes.set buf m (if bit then '1' else '0')
+    done;
+    Bytes.unsafe_to_string buf
+  in
+  let shard ~lo ~hi =
+    let table = Hashtbl.create 64 in
+    let run_trajectory =
+      if sample_readout then (
+        let scratch = State.create (max nused 1) in
+        fun rng -> sampled_trajectory scratch rng)
+      else
+        fun rng ->
+          let sim =
+            match backend with
+            | Stabilizer -> Tab (Tableau.create (max nused 1))
+            | Statevector -> Vec (State.create (max nused 1))
+          in
+          generic_trajectory sim rng
+    in
+    for i = lo to hi - 1 do
+      let bitstring = run_trajectory (Rng.split_nth base i) in
+      Hashtbl.replace table bitstring
+        (1 + Option.value ~default:0 (Hashtbl.find_opt table bitstring))
+    done;
+    table
+  in
+  merge_counts (Pool.parallel_chunks ~jobs ~n:trials shard)
 
-let run_distribution device sched ~rng ~trajectories =
+let run_distribution ?(jobs = 1) device sched ~rng ~trajectories =
   let circuit = Schedule.circuit sched in
   (match Schedule.validate sched with
   | Ok () -> ()
@@ -247,68 +583,69 @@ let run_distribution device sched ~rng ~trajectories =
     List.iteri (fun i q -> Hashtbl.replace tbl q i) used;
     tbl
   in
-  let meas_compact = List.map (Hashtbl.find compact_of_hw) measured in
+  let meas_compact = Array.of_list (List.map (Hashtbl.find compact_of_hw) measured) in
   let dim = 1 lsl nmeas in
-  let acc = Array.make dim 0.0 in
-  for _ = 1 to trajectories do
-    let sim = Vec (State.create (max nused 1)) in
-    List.iter
-      (fun plan ->
-        List.iter
-          (fun (_, cqubit, idle) ->
-            match Channel.sample_idle rng idle with
-            | Some p -> apply_pauli sim p cqubit
-            | None -> ())
-          plan.idles;
-        if not (Gate.is_measure plan.gate) then begin
-          apply_gate sim plan.gate.Gate.kind plan.compact_qubits;
-          if plan.error_p > 0.0 then
-            match plan.compact_qubits with
-            | [ q ] -> (
-              match Channel.sample_depolarizing1 rng ~p:plan.error_p with
-              | Some p -> apply_pauli sim p q
-              | None -> ())
-            | [ a; b ] -> (
-              match Channel.sample_depolarizing2 rng ~p:plan.error_p with
-              | Some (pa, pb) ->
-                Option.iter (fun p -> apply_pauli sim p a) pa;
-                Option.iter (fun p -> apply_pauli sim p b) pb
-              | None -> ())
-            | _ -> ()
-        end)
-      plans;
-    let state = match sim with Vec v -> v | Tab _ -> assert false in
-    (* Marginalize |amp|^2 onto the measured qubits. *)
-    let full = State.probabilities state in
-    Array.iteri
-      (fun k p ->
-        if p > 0.0 then begin
-          let idx = ref 0 in
-          List.iteri
-            (fun i cq -> if (k lsr cq) land 1 = 1 then idx := !idx lor (1 lsl i))
-            meas_compact;
-          acc.(!idx) <- acc.(!idx) +. p
-        end)
-      full
-  done;
+  let full_dim = 1 lsl max nused 1 in
+  (* Precompute the marginalization map: full statevector index ->
+     measured-qubit outcome index. *)
+  let marg =
+    Array.init full_dim (fun k ->
+        let idx = ref 0 in
+        Array.iteri (fun i cq -> if (k lsr cq) land 1 = 1 then idx := !idx lor (1 lsl i)) meas_compact;
+        !idx)
+  in
+  let base = Rng.split rng in
+  let ops = compile_sv plans in
+  let track = precompute_sv ops ~nqubits:(max nused 1) in
+  let shard ~lo ~hi =
+    let acc = Array.make dim 0.0 in
+    let state = State.create (max nused 1) in
+    for i = lo to hi - 1 do
+      let rng = Rng.split_nth base i in
+      let v =
+        match track with
+        | Some tr -> run_ops_tracked tr state rng
+        | None -> run_ops_plain ops state rng
+      in
+      (* Marginalize |amp|^2 onto the measured qubits. *)
+      for k = 0 to full_dim - 1 do
+        let p = State.probability v k in
+        if p > 0.0 then acc.(marg.(k)) <- acc.(marg.(k)) +. p
+      done
+    done;
+    acc
+  in
+  let acc =
+    Pool.map_reduce ~jobs ~n:trajectories ~map:shard
+      ~merge:(fun total part ->
+        Array.iteri (fun k v -> total.(k) <- total.(k) +. v) part;
+        total)
+      (Array.make dim 0.0)
+  in
   let scale = 1.0 /. float_of_int (max 1 trajectories) in
   let clean = Array.map (fun p -> p *. scale) acc in
   (* Apply readout confusion analytically: independent per-qubit
-     flips. *)
+     flips.  The flip product depends only on which bits differ, so
+     tabulate it once per XOR pattern instead of recomputing the
+     per-qubit product inside the dim^2 loop. *)
   let flips =
-    List.map (fun q -> (Calibration.qubit cal q).Calibration.readout_error) measured
+    Array.of_list
+      (List.map (fun q -> (Calibration.qubit cal q).Calibration.readout_error) measured)
+  in
+  let flip_product =
+    Array.init dim (fun diff ->
+        let p = ref 1.0 in
+        Array.iteri
+          (fun i flip -> p := !p *. (if (diff lsr i) land 1 = 1 then flip else 1.0 -. flip))
+          flips;
+        !p)
   in
   let confused = Array.make dim 0.0 in
   for truth = 0 to dim - 1 do
     if clean.(truth) > 0.0 then
       for observed = 0 to dim - 1 do
-        let p = ref clean.(truth) in
-        List.iteri
-          (fun i flip ->
-            let same = (truth lsr i) land 1 = (observed lsr i) land 1 in
-            p := !p *. (if same then 1.0 -. flip else flip))
-          flips;
-        confused.(observed) <- confused.(observed) +. !p
+        confused.(observed) <-
+          confused.(observed) +. (clean.(truth) *. flip_product.(truth lxor observed))
       done
   done;
   List.init dim (fun k ->
@@ -317,12 +654,14 @@ let run_distribution device sched ~rng ~trajectories =
 
 let run_ideal circuit =
   let used = Circuit.used_qubits circuit in
-  let compact = Hashtbl.create 16 in
-  List.iteri (fun i q -> Hashtbl.add compact q i) used;
+  let nq = max 1 (Circuit.nqubits circuit) in
+  let compact = Array.make nq (-1) in
+  List.iteri (fun i q -> compact.(q) <- i) used;
   let state = State.create (max (List.length used) 1) in
+  let sim = Vec state in
   List.iter
     (fun g ->
       if Gate.is_unitary g then
-        apply_gate (Vec state) g.Gate.kind (List.map (Hashtbl.find compact) g.Gate.qubits))
+        apply_gate sim g.Gate.kind (List.map (Array.get compact) g.Gate.qubits))
     (Circuit.gates circuit);
   (state, used)

@@ -43,6 +43,7 @@ val effective_cnot_error :
     and for the optimality oracle. *)
 
 val run :
+  ?jobs:int ->
   Qcx_device.Device.t ->
   Qcx_circuit.Schedule.t ->
   rng:Qcx_util.Rng.t ->
@@ -53,9 +54,16 @@ val run :
     Unmeasured circuits produce empty-string counts.  The simulation
     runs on the compacted set of used qubits, so 2-5 qubit programs on
     a 20-qubit device stay cheap.  Raises [Invalid_argument] if the
-    stabilizer backend meets a non-Clifford gate. *)
+    stabilizer backend meets a non-Clifford gate.
+
+    [jobs] (default 1) shards the trajectories over that many domains
+    ({!Qcx_util.Pool}).  Trajectory [i] draws from the stream
+    [Rng.split_nth base i] where [base] is a single [Rng.split] off
+    the caller's generator, so for a fixed seed the counts are
+    bit-identical for every [jobs] value. *)
 
 val run_distribution :
+  ?jobs:int ->
   Qcx_device.Device.t ->
   Qcx_circuit.Schedule.t ->
   rng:Qcx_util.Rng.t ->
@@ -66,7 +74,12 @@ val run_distribution :
     qubits (applying the per-qubit readout confusion analytically)
     instead of sampling one bitstring per trial.  Far lower variance
     per unit work — used for the cross-entropy experiments.  Requires
-    at most 12 measured qubits. *)
+    at most 12 measured qubits.
+
+    [jobs] parallelizes exactly as in {!run}: the set of per-trajectory
+    contributions is identical for every [jobs] value (only the
+    floating-point summation grouping differs, by one shard-merge
+    rounding). *)
 
 val run_ideal : Qcx_circuit.Circuit.t -> Qcx_statevector.State.t * int list
 (** Noise-free statevector execution (measurements skipped); returns

@@ -11,9 +11,19 @@ let create n =
   re.(0) <- 1.0;
   { n; re; im }
 
+let reset t =
+  Array.fill t.re 0 (Array.length t.re) 0.0;
+  Array.fill t.im 0 (Array.length t.im) 0.0;
+  t.re.(0) <- 1.0
+
 let nqubits t = t.n
 let dim t = 1 lsl t.n
 let copy t = { n = t.n; re = Array.copy t.re; im = Array.copy t.im }
+
+let blit src dst =
+  if src.n <> dst.n then invalid_arg "State.blit: size mismatch";
+  Array.blit src.re 0 dst.re 0 (Array.length src.re);
+  Array.blit src.im 0 dst.im 0 (Array.length src.im)
 
 let check_qubit t q = if q < 0 || q >= t.n then invalid_arg "State: qubit out of range"
 
@@ -21,25 +31,60 @@ let amplitude t k = Cplx.make t.re.(k) t.im.(k)
 let probability t k = (t.re.(k) *. t.re.(k)) +. (t.im.(k) *. t.im.(k))
 let probabilities t = Array.init (dim t) (probability t)
 
+(* Insert a zero bit at position [q]: spreads [g] in [0, d/2) over the
+   indices of [0, d) whose bit [q] is clear.  The kernels below iterate
+   over these index groups directly instead of scanning all [d]
+   indices with a bit test. *)
+let[@inline] spread1 g ~mask = ((g land lnot mask) lsl 1) lor (g land mask)
+
+(* The kernels run without bounds checks: [check_qubit] has validated
+   the qubit, and [spread1] maps [0, d/2) (resp. [0, d/4) twice)
+   bijectively into [0, d), so every index below is in range. *)
+let[@inline] get a i = Array.unsafe_get a i
+let[@inline] set a i v = Array.unsafe_set a i v
+
 let apply1 t u q =
   check_qubit t q;
   if Mat.rows u <> 2 || Mat.cols u <> 2 then invalid_arg "State.apply1: need 2x2 matrix";
+  (* Hoist the matrix entries out of their boxes once, before the loop. *)
   let u00 = Mat.get u 0 0 and u01 = Mat.get u 0 1 in
   let u10 = Mat.get u 1 0 and u11 = Mat.get u 1 1 in
+  let u00r = u00.Cplx.re and u00i = u00.Cplx.im in
+  let u01r = u01.Cplx.re and u01i = u01.Cplx.im in
+  let u10r = u10.Cplx.re and u10i = u10.Cplx.im in
+  let u11r = u11.Cplx.re and u11i = u11.Cplx.im in
   let bit = 1 lsl q in
-  let d = dim t in
-  let i = ref 0 in
-  while !i < d do
-    if !i land bit = 0 then begin
-      let j = !i lor bit in
-      let ar = t.re.(!i) and ai = t.im.(!i) in
-      let br = t.re.(j) and bi = t.im.(j) in
-      t.re.(!i) <- (u00.Cplx.re *. ar) -. (u00.Cplx.im *. ai) +. (u01.Cplx.re *. br) -. (u01.Cplx.im *. bi);
-      t.im.(!i) <- (u00.Cplx.re *. ai) +. (u00.Cplx.im *. ar) +. (u01.Cplx.re *. bi) +. (u01.Cplx.im *. br);
-      t.re.(j) <- (u10.Cplx.re *. ar) -. (u10.Cplx.im *. ai) +. (u11.Cplx.re *. br) -. (u11.Cplx.im *. bi);
-      t.im.(j) <- (u10.Cplx.re *. ai) +. (u10.Cplx.im *. ar) +. (u11.Cplx.re *. bi) +. (u11.Cplx.im *. br)
-    end;
-    incr i
+  let mask = bit - 1 in
+  let re = t.re and im = t.im in
+  let half = dim t lsr 1 in
+  for g = 0 to half - 1 do
+    let i = spread1 g ~mask in
+    let j = i lor bit in
+    let ar = get re i and ai = get im i in
+    let br = get re j and bi = get im j in
+    set re i ((u00r *. ar) -. (u00i *. ai) +. (u01r *. br) -. (u01i *. bi));
+    set im i ((u00r *. ai) +. (u00i *. ar) +. (u01r *. bi) +. (u01i *. br));
+    set re j ((u10r *. ar) -. (u10i *. ai) +. (u11r *. br) -. (u11i *. bi));
+    set im j ((u10r *. ai) +. (u10i *. ar) +. (u11r *. bi) +. (u11i *. br))
+  done
+
+let apply_diag1 t d0 d1 q =
+  check_qubit t q;
+  let d0r = d0.Cplx.re and d0i = d0.Cplx.im in
+  let d1r = d1.Cplx.re and d1i = d1.Cplx.im in
+  let bit = 1 lsl q in
+  let mask = bit - 1 in
+  let re = t.re and im = t.im in
+  let half = dim t lsr 1 in
+  for g = 0 to half - 1 do
+    let i = spread1 g ~mask in
+    let j = i lor bit in
+    let ar = get re i and ai = get im i in
+    set re i ((d0r *. ar) -. (d0i *. ai));
+    set im i ((d0r *. ai) +. (d0i *. ar));
+    let br = get re j and bi = get im j in
+    set re j ((d1r *. br) -. (d1i *. bi));
+    set im j ((d1r *. bi) +. (d1i *. br))
   done
 
 let apply2 t u q0 q1 =
@@ -48,30 +93,45 @@ let apply2 t u q0 q1 =
   if q0 = q1 then invalid_arg "State.apply2: qubits must differ";
   if Mat.rows u <> 4 || Mat.cols u <> 4 then invalid_arg "State.apply2: need 4x4 matrix";
   let b0 = 1 lsl q0 and b1 = 1 lsl q1 in
-  let d = dim t in
+  (* Unbox the 16 entries into flat float arrays once. *)
+  let mr = Array.make 16 0.0 and mi = Array.make 16 0.0 in
+  for row = 0 to 3 do
+    for col = 0 to 3 do
+      let m = Mat.get u row col in
+      mr.((row lsl 2) lor col) <- m.Cplx.re;
+      mi.((row lsl 2) lor col) <- m.Cplx.im
+    done
+  done;
+  let lo_mask = (min b0 b1) - 1 in
+  let hi_mask = ((max b0 b1) lsr 1) - 1 in
+  let re = t.re and im = t.im in
+  let quarter = dim t lsr 2 in
   let idx = Array.make 4 0 in
   let vr = Array.make 4 0.0 and vi = Array.make 4 0.0 in
-  for k = 0 to d - 1 do
-    if k land b0 = 0 && k land b1 = 0 then begin
-      idx.(0) <- k;
-      idx.(1) <- k lor b0;
-      idx.(2) <- k lor b1;
-      idx.(3) <- k lor b0 lor b1;
-      for a = 0 to 3 do
-        vr.(a) <- t.re.(idx.(a));
-        vi.(a) <- t.im.(idx.(a))
+  for g = 0 to quarter - 1 do
+    (* Insert zero bits at both positions: the higher slot first (its
+       position in the compact space is one lower), then the lower. *)
+    let x = spread1 g ~mask:hi_mask in
+    let k = spread1 x ~mask:lo_mask in
+    set idx 0 k;
+    set idx 1 (k lor b0);
+    set idx 2 (k lor b1);
+    set idx 3 (k lor b0 lor b1);
+    for a = 0 to 3 do
+      set vr a (get re (get idx a));
+      set vi a (get im (get idx a))
+    done;
+    for row = 0 to 3 do
+      let base = row lsl 2 in
+      let accr = ref 0.0 and acci = ref 0.0 in
+      for col = 0 to 3 do
+        let er = get mr (base lor col) and ei = get mi (base lor col) in
+        accr := !accr +. (er *. get vr col) -. (ei *. get vi col);
+        acci := !acci +. (er *. get vi col) +. (ei *. get vr col)
       done;
-      for row = 0 to 3 do
-        let accr = ref 0.0 and acci = ref 0.0 in
-        for col = 0 to 3 do
-          let m = Mat.get u row col in
-          accr := !accr +. (m.Cplx.re *. vr.(col)) -. (m.Cplx.im *. vi.(col));
-          acci := !acci +. (m.Cplx.re *. vi.(col)) +. (m.Cplx.im *. vr.(col))
-        done;
-        t.re.(idx.(row)) <- !accr;
-        t.im.(idx.(row)) <- !acci
-      done
-    end
+      set re (get idx row) !accr;
+      set im (get idx row) !acci
+    done
   done
 
 let cnot t ~control ~target =
@@ -79,33 +139,66 @@ let cnot t ~control ~target =
   check_qubit t target;
   if control = target then invalid_arg "State.cnot: control = target";
   let cb = 1 lsl control and tb = 1 lsl target in
-  let d = dim t in
-  for k = 0 to d - 1 do
-    if k land cb <> 0 && k land tb = 0 then begin
-      let j = k lor tb in
-      let ar = t.re.(k) and ai = t.im.(k) in
-      t.re.(k) <- t.re.(j);
-      t.im.(k) <- t.im.(j);
-      t.re.(j) <- ar;
-      t.im.(j) <- ai
-    end
+  let lo_mask = (min cb tb) - 1 in
+  let hi_mask = ((max cb tb) lsr 1) - 1 in
+  let re = t.re and im = t.im in
+  let quarter = dim t lsr 2 in
+  (* Visit only the d/4 groups with control set and target clear. *)
+  for g = 0 to quarter - 1 do
+    let x = spread1 g ~mask:hi_mask in
+    let k = spread1 x ~mask:lo_mask lor cb in
+    let j = k lor tb in
+    let ar = get re k and ai = get im k in
+    set re k (get re j);
+    set im k (get im j);
+    set re j ar;
+    set im j ai
+  done
+
+let cz t a b =
+  check_qubit t a;
+  check_qubit t b;
+  if a = b then invalid_arg "State.cz: qubits must differ";
+  let ba = 1 lsl a and bb = 1 lsl b in
+  let lo_mask = (min ba bb) - 1 in
+  let hi_mask = ((max ba bb) lsr 1) - 1 in
+  let re = t.re and im = t.im in
+  let quarter = dim t lsr 2 in
+  for g = 0 to quarter - 1 do
+    let x = spread1 g ~mask:hi_mask in
+    let k = spread1 x ~mask:lo_mask lor ba lor bb in
+    set re k (-.get re k);
+    set im k (-.get im k)
   done
 
 let h t q = apply1 t Qcx_linalg.Gates.h q
 let x t q = apply1 t Qcx_linalg.Gates.x q
 let y t q = apply1 t Qcx_linalg.Gates.y q
-let z t q = apply1 t Qcx_linalg.Gates.z q
-let s t q = apply1 t Qcx_linalg.Gates.s q
-let sdg t q = apply1 t Qcx_linalg.Gates.sdg q
+
+(* Diagonal gates skip the full 2x2 kernel: pure phases on the |1>
+   (and for rz also the |0>) amplitudes. *)
+let z t q = apply_diag1 t Cplx.one (Cplx.re (-1.0)) q
+let s t q = apply_diag1 t Cplx.one Cplx.i q
+let sdg t q = apply_diag1 t Cplx.one (Cplx.make 0.0 (-1.0)) q
+
+let phase t theta q = apply_diag1 t Cplx.one (Cplx.exp_i theta) q
+
+let rz t theta q =
+  apply_diag1 t (Cplx.exp_i (-.theta /. 2.0)) (Cplx.exp_i (theta /. 2.0)) q
 
 let apply_pauli t p q =
   match p with `X -> x t q | `Y -> y t q | `Z -> z t q
 
 let prob_one t q =
   let bit = 1 lsl q in
+  let mask = bit - 1 in
+  let re = t.re and im = t.im in
+  let half = dim t lsr 1 in
   let acc = ref 0.0 in
-  for k = 0 to dim t - 1 do
-    if k land bit <> 0 then acc := !acc +. probability t k
+  for g = 0 to half - 1 do
+    let k = spread1 g ~mask lor bit in
+    let ar = get re k and ai = get im k in
+    acc := !acc +. (ar *. ar) +. (ai *. ai)
   done;
   !acc
 
@@ -131,18 +224,19 @@ let measure t rng q =
 
 let sample t rng =
   let target = Rng.unit_float rng in
+  let d = dim t in
+  let re = t.re and im = t.im in
   let acc = ref 0.0 in
-  let result = ref (dim t - 1) in
-  (try
-     for k = 0 to dim t - 1 do
-       acc := !acc +. probability t k;
-       if !acc > target then begin
-         result := k;
-         raise Exit
-       end
-     done
-   with Exit -> ());
-  !result
+  let k = ref 0 in
+  (* No exception for control flow: walk until the CDF passes the
+     target; float error can leave the CDF fractionally short of 1, so
+     the last state absorbs the tail. *)
+  while !acc <= target && !k < d - 1 do
+    let ar = get re !k and ai = get im !k in
+    acc := !acc +. (ar *. ar) +. (ai *. ai);
+    if !acc <= target then incr k
+  done;
+  !k
 
 let norm t =
   let acc = ref 0.0 in

@@ -11,6 +11,14 @@ type t
 val create : int -> t
 (** [create n] is |0...0> over n qubits. *)
 
+val reset : t -> unit
+(** Return an existing state to |0...0> in place, so trajectory loops
+    can reuse one allocation. *)
+
+val blit : t -> t -> unit
+(** [blit src dst] copies the amplitudes of [src] into [dst] in place
+    (sizes must match) — restores a checkpoint without allocating. *)
+
 val nqubits : t -> int
 val copy : t -> t
 val dim : t -> int
@@ -24,11 +32,22 @@ val probabilities : t -> float array
 val apply1 : t -> Qcx_linalg.Mat.t -> int -> unit
 (** Apply a 2x2 unitary to one qubit. *)
 
+val apply_diag1 : t -> Qcx_linalg.Cplx.t -> Qcx_linalg.Cplx.t -> int -> unit
+(** [apply_diag1 t d0 d1 q] applies the diagonal unitary
+    [diag(d0, d1)] to one qubit — the fast path for phase-type gates
+    (Z, S, T, Rz): one complex multiply per amplitude, no pairing. *)
+
 val apply2 : t -> Qcx_linalg.Mat.t -> int -> int -> unit
 (** [apply2 t u q0 q1] applies a 4x4 matrix; [q0] is the less
     significant bit of the matrix's 2-bit index. *)
 
 val cnot : t -> control:int -> target:int -> unit
+(** CNOT without materializing the 4x4 matrix. *)
+
+val cz : t -> int -> int -> unit
+(** Controlled-Z (symmetric): negates the amplitudes with both bits
+    set, touching d/4 entries. *)
+
 val h : t -> int -> unit
 val x : t -> int -> unit
 val y : t -> int -> unit
@@ -36,7 +55,18 @@ val z : t -> int -> unit
 val s : t -> int -> unit
 val sdg : t -> int -> unit
 
+val phase : t -> float -> int -> unit
+(** [phase t theta q] multiplies the |1> amplitudes of [q] by
+    [e^{i theta}] (covers T, Tdg and any diagonal phase). *)
+
+val rz : t -> float -> int -> unit
+(** [rz t theta q] is the IBM Rz gate
+    [diag(e^{-i theta/2}, e^{i theta/2})]. *)
+
 val apply_pauli : t -> [ `X | `Y | `Z ] -> int -> unit
+
+val prob_one : t -> int -> float
+(** Probability that measuring [q] yields 1. *)
 
 val measure : t -> Qcx_util.Rng.t -> int -> bool
 (** Projective measurement of one qubit; renormalizes. *)

@@ -1,0 +1,134 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let chunk_bounds ~jobs ~n =
+  let jobs = max 1 (min jobs n) in
+  let chunk = (n + jobs - 1) / jobs in
+  List.filter_map
+    (fun s ->
+      let lo = s * chunk and hi = min n ((s + 1) * chunk) in
+      if lo < hi then Some (lo, hi) else None)
+    (List.init jobs Fun.id)
+
+(* Persistent workers.  Spawning a domain costs hundreds of
+   microseconds — enough to dominate a small Monte-Carlo batch — so
+   workers are spawned once, parked on a condition variable, and
+   reused by every subsequent parallel call.  [at_exit] sends [Quit]
+   and joins them so the process shuts down cleanly. *)
+
+type job = Idle | Run of (unit -> unit) | Quit
+
+type worker = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : job;
+  mutable failure : exn option;
+  mutable busy : bool;
+}
+
+let worker_loop w =
+  let quit = ref false in
+  while not !quit do
+    Mutex.lock w.mutex;
+    while match w.job with Idle -> true | _ -> false do
+      Condition.wait w.cond w.mutex
+    done;
+    let job = w.job in
+    Mutex.unlock w.mutex;
+    let failure =
+      match job with
+      | Run f -> ( try f (); None with e -> Some e)
+      | Quit ->
+        quit := true;
+        None
+      | Idle -> None
+    in
+    Mutex.lock w.mutex;
+    w.job <- Idle;
+    w.failure <- failure;
+    w.busy <- false;
+    Condition.broadcast w.cond;
+    Mutex.unlock w.mutex
+  done
+
+(* Pool bookkeeping runs on the calling (main) domain only. *)
+let workers : (worker * unit Domain.t) list ref = ref []
+
+let submit w f =
+  Mutex.lock w.mutex;
+  w.failure <- None;
+  w.busy <- true;
+  w.job <- Run f;
+  Condition.broadcast w.cond;
+  Mutex.unlock w.mutex
+
+let await w =
+  Mutex.lock w.mutex;
+  while w.busy do
+    Condition.wait w.cond w.mutex
+  done;
+  let failure = w.failure in
+  w.failure <- None;
+  Mutex.unlock w.mutex;
+  match failure with Some e -> raise e | None -> ()
+
+let shutdown () =
+  List.iter
+    (fun (w, d) ->
+      Mutex.lock w.mutex;
+      while w.busy do
+        Condition.wait w.cond w.mutex
+      done;
+      w.busy <- true;
+      w.job <- Quit;
+      Condition.broadcast w.cond;
+      Mutex.unlock w.mutex;
+      Domain.join d)
+    !workers;
+  workers := []
+
+let () = at_exit shutdown
+
+let ensure_workers k =
+  let have = List.length !workers in
+  for _ = have + 1 to k do
+    let w =
+      { mutex = Mutex.create (); cond = Condition.create (); job = Idle; failure = None; busy = false }
+    in
+    let d = Domain.spawn (fun () -> worker_loop w) in
+    workers := (w, d) :: !workers
+  done;
+  Array.of_list (List.filteri (fun i _ -> i < k) (List.map fst !workers))
+
+let parallel_chunks ?(oversubscribe = false) ~jobs ~n f =
+  (* Extra domains beyond the physical cores cannot make data-parallel
+     work faster, and results are chunking-independent by the
+     determinism contract, so default to clamping.  [oversubscribe]
+     forces real worker domains even on a small machine (used by tests
+     to exercise the cross-domain path). *)
+  let jobs = if oversubscribe then jobs else min jobs (default_jobs ()) in
+  if n <= 0 then []
+  else if jobs <= 1 || n = 1 then [ f ~lo:0 ~hi:n ]
+  else
+    match chunk_bounds ~jobs ~n with
+    | [] -> []
+    | [ (lo, hi) ] -> [ f ~lo ~hi ]
+    | (lo0, hi0) :: rest ->
+      (* The calling domain takes the first chunk so [jobs] cores stay
+         busy with [jobs - 1] workers. *)
+      let rest = Array.of_list rest in
+      let k = Array.length rest in
+      let ws = ensure_workers k in
+      let results = Array.make k None in
+      Array.iteri (fun i (lo, hi) -> submit ws.(i) (fun () -> results.(i) <- Some (f ~lo ~hi))) rest;
+      let first = f ~lo:lo0 ~hi:hi0 in
+      (* Drain every worker before raising so the pool is reusable even
+         when a chunk fails; the first failure wins. *)
+      let failure = ref None in
+      Array.iter
+        (fun w -> try await w with e -> if !failure = None then failure := Some e)
+        ws;
+      (match !failure with Some e -> raise e | None -> ());
+      first :: Array.to_list (Array.map Option.get results)
+
+let map_reduce ~jobs ~n ~map ~merge init =
+  List.fold_left merge init (parallel_chunks ~jobs ~n map)

@@ -1,0 +1,48 @@
+(** Fixed-size domain pool for embarrassingly parallel index ranges.
+
+    The Monte-Carlo executors split their trajectories into one
+    contiguous chunk per job and run each chunk on a worker domain
+    (OCaml 5 runtime thread).  Work is purely data-parallel — no
+    shared mutable state, no task queue — so a chunk-per-worker pool
+    is all that is needed, and the stdlib suffices (domainslib is not
+    available in this container).
+
+    Workers are persistent: they are spawned lazily on first use,
+    parked on a condition variable between calls (spawning a domain
+    costs hundreds of microseconds, easily dominating a small batch),
+    and shut down automatically at process exit.  The pool must only
+    be driven from one domain at a time (the executors call it from
+    the main domain); chunks themselves run on distinct domains.
+
+    Determinism contract: callers must derive all randomness for index
+    [i] from [i] itself (see {!Rng.split_nth}), never from a stream
+    threaded across the range, so that results are independent of the
+    chunking and of [jobs]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1 — the pool size
+    to use when the caller does not care ([--jobs 0] in the CLIs). *)
+
+val chunk_bounds : jobs:int -> n:int -> (int * int) list
+(** The [(lo, hi)] half-open ranges [parallel_chunks] would use: at
+    most [jobs] non-empty chunks covering [0, n) in order.  Exposed
+    for tests. *)
+
+val parallel_chunks :
+  ?oversubscribe:bool -> jobs:int -> n:int -> (lo:int -> hi:int -> 'a) -> 'a list
+(** [parallel_chunks ~jobs ~n f] evaluates [f] over a partition of
+    [0, n) into at most [jobs] contiguous chunks, each on a worker
+    domain, and returns the chunk results in range order.  [jobs <= 1]
+    (or [n <= 1]) is a sequential fallback with no worker involved;
+    [n <= 0] returns [[]].  Exceptions from workers are re-raised at
+    the join after every chunk has drained.
+
+    [jobs] is clamped to {!default_jobs} unless [oversubscribe] is
+    [true] (default [false]): domains beyond the physical cores only
+    add scheduling overhead, and under the determinism contract the
+    chunking cannot change any result. *)
+
+val map_reduce :
+  jobs:int -> n:int -> map:(lo:int -> hi:int -> 'a) -> merge:('b -> 'a -> 'b) -> 'b -> 'b
+(** Fold [merge] over the chunk results of {!parallel_chunks}, in
+    range order (left to right), starting from the accumulator. *)

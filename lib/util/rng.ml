@@ -17,6 +17,16 @@ let split t =
   let s = next_raw t in
   { state = mix64 s }
 
+let split_nth t i =
+  if i < 0 then invalid_arg "Rng.split_nth: negative index";
+  (* The child the (i+1)-th consecutive [split] would produce, computed
+     directly from the gamma arithmetic without advancing [t]:
+     after i splits the parent state is [state + i*gamma], so the next
+     split outputs [mix64 (state + (i+1)*gamma)] and seeds the child
+     with another mix. *)
+  let s = mix64 (Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma)) in
+  { state = mix64 s }
+
 let copy t = { state = t.state }
 
 let int64 t = next_raw t

@@ -16,6 +16,15 @@ val split : t -> t
     Use one child per parallel experiment so that adding experiments
     does not perturb the random draws of the others. *)
 
+val split_nth : t -> int -> t
+(** [split_nth t i] is the child that the [(i+1)]-th consecutive
+    {!split} on [t] would return, computed without advancing [t]:
+    [split_nth t i] equals the result of calling [split] [i+1] times
+    on a {!copy} of [t] and keeping the last child.  This is the
+    random-access form of [split] that the parallel Monte-Carlo
+    executors use to give trajectory [i] the same stream no matter
+    which worker (or chunk) runs it. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state (same future draws). *)
 

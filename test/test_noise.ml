@@ -240,6 +240,88 @@ let suite =
       ] );
   ]
 
+(* ---- Parallel execution ---- *)
+
+(* The sharded executor must be a pure optimization: with a fixed
+   seed, counts are byte-identical no matter how many worker domains
+   split the trajectories. *)
+let exec_jobs_deterministic () =
+  let device = Presets.poughkeepsie () in
+  let qaoa = Core.Qaoa.build device ~rng:(Rng.create 11) ~region:[ 5; 10; 11; 12 ] in
+  let sched = Core.Par_sched.schedule device qaoa.Core.Qaoa.circuit in
+  List.iter
+    (fun backend ->
+      let counts_at jobs =
+        Exec.counts_bindings
+          (Exec.run ~jobs device sched ~rng:(Rng.create 23) ~trials:500 ~backend)
+      in
+      let sequential = counts_at 1 in
+      Alcotest.(check bool) "nonempty" true (sequential <> []);
+      List.iter
+        (fun jobs ->
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "jobs=%d identical to jobs=1" jobs)
+            sequential (counts_at jobs))
+        [ 2; 4; 7 ])
+    [ Exec.Statevector ]
+
+let exec_jobs_deterministic_stabilizer () =
+  let c = ghz_circuit () in
+  let sched = Core.Par_sched.schedule noiseless_device c in
+  let counts_at jobs =
+    Exec.counts_bindings
+      (Exec.run ~jobs noiseless_device sched ~rng:(Rng.create 31) ~trials:999 ~backend:Exec.Stabilizer)
+  in
+  Alcotest.(check (list (pair string int))) "jobs=4 identical" (counts_at 1) (counts_at 4)
+
+let exec_jobs_distribution_close () =
+  (* run_distribution sums per-trajectory contributions; sharding only
+     regroups the float additions, so distributions agree to
+     round-off. *)
+  let device = Presets.poughkeepsie () in
+  let qaoa = Core.Qaoa.build device ~rng:(Rng.create 13) ~region:[ 5; 10; 11; 12 ] in
+  let sched = Core.Par_sched.schedule device qaoa.Core.Qaoa.circuit in
+  let dist_at jobs =
+    Exec.run_distribution ~jobs device sched ~rng:(Rng.create 29) ~trajectories:60
+  in
+  let d1 = dist_at 1 and d4 = dist_at 4 in
+  List.iter2
+    (fun (k1, p1) (k4, p4) ->
+      Alcotest.(check string) "same outcome order" k1 k4;
+      Alcotest.(check (float 1e-12)) ("p " ^ k1) p1 p4)
+    d1 d4
+
+(* Statevector readout uses one simultaneous State.sample draw; the
+   stabilizer backend measures qubit by qubit.  Both must see the same
+   marginals on a noiseless GHZ circuit (exercised above) and respect
+   readout flips — exercised here on the statevector path. *)
+let exec_statevector_readout_error_applied () =
+  let cal = Device.calibration noiseless_device in
+  let q0 = Calibration.qubit cal 0 in
+  let noisy =
+    Device.with_calibration noiseless_device
+      (Calibration.with_qubit cal 0 { q0 with Calibration.readout_error = 0.2 })
+  in
+  let c = Circuit.measure (Circuit.x (Circuit.x (Circuit.create 3) 0) 0) 0 in
+  let sched = Core.Par_sched.schedule noisy c in
+  let counts = Exec.run noisy sched ~rng:(Rng.create 41) ~trials:5000 ~backend:Exec.Statevector in
+  let flips = float_of_int (Exec.counts_get counts "1") /. 5000.0 in
+  Alcotest.(check bool) "flip rate near 0.2" true (flips > 0.17 && flips < 0.23)
+
+let suite =
+  suite
+  @ [
+      ( "noise.parallel",
+        [
+          Alcotest.test_case "jobs determinism (statevector)" `Quick exec_jobs_deterministic;
+          Alcotest.test_case "jobs determinism (stabilizer)" `Quick
+            exec_jobs_deterministic_stabilizer;
+          Alcotest.test_case "jobs distribution close" `Quick exec_jobs_distribution_close;
+          Alcotest.test_case "statevector readout error" `Quick
+            exec_statevector_readout_error_applied;
+        ] );
+    ]
+
 (* run vs run_distribution consistency: sampled counts and exact
    per-trajectory distributions must agree statistically. *)
 let exec_run_matches_run_distribution () =

@@ -224,6 +224,133 @@ let prop_measurement_collapse_consistent =
       (* Remeasuring immediately must be deterministic and equal. *)
       Tableau.measure_deterministic_opt t 1 = Some first)
 
+(* ---- Kernel fast paths vs reference implementation ----
+
+   [State.apply1]/[State.apply2] iterate only over the d/2 (resp. d/4)
+   participating index groups with unboxed matrix entries.  The
+   reference implementations below are the straightforward scan-all-d
+   kernels they replaced; the fast paths must agree on arbitrary
+   matrices and states up to 6 qubits. *)
+
+module Cplx = Core.Cplx
+module Mat = Core.Mat
+
+let amps s = Array.init (State.dim s) (fun k -> State.amplitude s k)
+
+let ref_apply1 u q a =
+  let d = Array.length a in
+  let bit = 1 lsl q in
+  let out = Array.make d Cplx.zero in
+  let u00 = Mat.get u 0 0
+  and u01 = Mat.get u 0 1
+  and u10 = Mat.get u 1 0
+  and u11 = Mat.get u 1 1 in
+  for i = 0 to d - 1 do
+    if i land bit = 0 then begin
+      let j = i lor bit in
+      out.(i) <- Cplx.add (Cplx.mul u00 a.(i)) (Cplx.mul u01 a.(j));
+      out.(j) <- Cplx.add (Cplx.mul u10 a.(i)) (Cplx.mul u11 a.(j))
+    end
+  done;
+  out
+
+let ref_apply2 u q0 q1 a =
+  let d = Array.length a in
+  let b0 = 1 lsl q0 and b1 = 1 lsl q1 in
+  let out = Array.make d Cplx.zero in
+  for i = 0 to d - 1 do
+    if i land b0 = 0 && i land b1 = 0 then begin
+      (* matrix index m = (bit at q1) * 2 + (bit at q0) *)
+      let idx = [| i; i lor b0; i lor b1; i lor b0 lor b1 |] in
+      for r = 0 to 3 do
+        let acc = ref Cplx.zero in
+        for c = 0 to 3 do
+          acc := Cplx.add !acc (Cplx.mul (Mat.get u r c) a.(idx.(c)))
+        done;
+        out.(idx.(r)) <- !acc
+      done
+    end
+  done;
+  out
+
+let random_cplx rng = Cplx.make (Rng.float rng 2.0 -. 1.0) (Rng.float rng 2.0 -. 1.0)
+
+let random_state rng n =
+  State.of_amplitudes (Array.init (1 lsl n) (fun _ -> random_cplx rng))
+
+let random_mat rng k = Mat.init k k (fun _ _ -> random_cplx rng)
+
+let close_arrays a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Cplx.approx_equal ~tol:1e-9 x y) a b
+
+let gen_kernel_case =
+  QCheck.Gen.(
+    int_range 2 6 >>= fun n ->
+    int_range 0 (n - 1) >>= fun q0 ->
+    int_range 0 (n - 2) >>= fun q1' ->
+    let q1 = if q1' >= q0 then q1' + 1 else q1' in
+    small_int >>= fun seed -> return (n, q0, q1, seed))
+
+let kernel_arbitrary =
+  QCheck.make
+    ~print:(fun (n, q0, q1, seed) -> Printf.sprintf "n=%d q0=%d q1=%d seed=%d" n q0 q1 seed)
+    gen_kernel_case
+
+let prop_apply1_matches_reference =
+  QCheck.Test.make ~name:"apply1 fast path matches reference kernel" ~count:200 kernel_arbitrary
+    (fun (n, q0, _, seed) ->
+      let rng = Rng.create seed in
+      let s = random_state rng n in
+      let u = random_mat rng 2 in
+      let expect = ref_apply1 u q0 (amps s) in
+      State.apply1 s u q0;
+      close_arrays expect (amps s))
+
+let prop_apply2_matches_reference =
+  QCheck.Test.make ~name:"apply2 fast path matches reference kernel" ~count:200 kernel_arbitrary
+    (fun (n, q0, q1, seed) ->
+      let rng = Rng.create seed in
+      let s = random_state rng n in
+      let u = random_mat rng 4 in
+      let expect = ref_apply2 u q0 q1 (amps s) in
+      State.apply2 s u q0 q1;
+      close_arrays expect (amps s))
+
+let prop_dedicated_gates_match_apply2 =
+  (* cnot/cz have their own kernels; they must equal apply2 with the
+     corresponding 4x4 unitary. *)
+  QCheck.Test.make ~name:"cnot/cz fast paths match apply2" ~count:100 kernel_arbitrary
+    (fun (n, q0, q1, seed) ->
+      let rng = Rng.create seed in
+      let s = random_state rng n in
+      let via_matrix = State.copy s in
+      State.cnot s ~control:q0 ~target:q1;
+      State.apply2 via_matrix (Core.Gates.cnot ~control:0 ~target:1) q0 q1;
+      let cnot_ok = close_arrays (amps via_matrix) (amps s) in
+      State.cz s q0 q1;
+      State.apply2 via_matrix Core.Gates.cz q0 q1;
+      cnot_ok && close_arrays (amps via_matrix) (amps s))
+
+let prop_diagonal_gates_match_apply1 =
+  QCheck.Test.make ~name:"diagonal fast paths match apply1" ~count:100 kernel_arbitrary
+    (fun (n, q0, _, seed) ->
+      let rng = Rng.create seed in
+      let theta = Rng.float rng 6.0 -. 3.0 in
+      let s = random_state rng n in
+      let via_matrix = State.copy s in
+      State.phase s theta q0;
+      State.apply1 via_matrix
+        (Mat.of_arrays [| [| Cplx.one; Cplx.zero |]; [| Cplx.zero; Cplx.exp_i theta |] |])
+        q0;
+      let phase_ok = close_arrays (amps via_matrix) (amps s) in
+      State.rz s theta q0;
+      State.apply1 via_matrix (Core.Gates.rz theta) q0;
+      let rz_ok = close_arrays (amps via_matrix) (amps s) in
+      State.z s q0;
+      State.apply1 via_matrix Core.Gates.z q0;
+      phase_ok && rz_ok && close_arrays (amps via_matrix) (amps s))
+
 let suite =
   [
     ( "sim.statevector",
@@ -246,6 +373,13 @@ let suite =
         Alcotest.test_case "key and identity" `Quick tab_key_identity;
         Alcotest.test_case "swap" `Quick tab_swap;
         Alcotest.test_case "copy isolation" `Quick tab_copy_isolated;
+      ] );
+    ( "sim.kernels",
+      [
+        QCheck_alcotest.to_alcotest prop_apply1_matches_reference;
+        QCheck_alcotest.to_alcotest prop_apply2_matches_reference;
+        QCheck_alcotest.to_alcotest prop_dedicated_gates_match_apply2;
+        QCheck_alcotest.to_alcotest prop_diagonal_gates_match_apply1;
       ] );
     ( "sim.cross-validation",
       [

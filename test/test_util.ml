@@ -31,6 +31,75 @@ let rng_copy () =
   let b = Rng.copy a in
   Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
 
+let rng_split_nth_matches_splits () =
+  (* split_nth i = the (i+1)-th consecutive split, without advancing. *)
+  let base = Rng.create 42 in
+  let walker = Rng.copy base in
+  for i = 0 to 19 do
+    let by_walk = Rng.split walker in
+    let by_index = Rng.split_nth base i in
+    Alcotest.(check int64)
+      (Printf.sprintf "child %d identical" i)
+      (Rng.int64 by_walk) (Rng.int64 by_index)
+  done;
+  (* base itself must not have advanced *)
+  Alcotest.(check int64) "parent untouched"
+    (Rng.int64 (Rng.split (Rng.create 42)))
+    (Rng.int64 (Rng.split base))
+
+let rng_split_nth_rejects_negative () =
+  Alcotest.check_raises "negative index" (Invalid_argument "Rng.split_nth: negative index")
+    (fun () -> ignore (Rng.split_nth (Rng.create 1) (-1)))
+
+(* ---- Pool ---- *)
+
+module Pool = Core.Pool
+
+let pool_chunks_cover_range () =
+  List.iter
+    (fun (jobs, n) ->
+      let bounds = Pool.chunk_bounds ~jobs ~n in
+      let covered = List.concat_map (fun (lo, hi) -> List.init (hi - lo) (fun i -> lo + i)) bounds in
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d n=%d covers [0,n) in order" jobs n)
+        (List.init n Fun.id) covered;
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d n=%d chunk count" jobs n)
+        true
+        (List.length bounds <= max 1 jobs))
+    [ (1, 7); (3, 7); (4, 4); (8, 3); (2, 100); (16, 1) ]
+
+let pool_parallel_matches_sequential () =
+  let f ~lo ~hi =
+    let acc = ref 0 in
+    for i = lo to hi - 1 do
+      acc := !acc + (i * i)
+    done;
+    !acc
+  in
+  let expected = List.fold_left ( + ) 0 (Pool.parallel_chunks ~jobs:1 ~n:1000 f) in
+  List.iter
+    (fun jobs ->
+      (* [oversubscribe] forces real worker domains even when the test
+         machine has fewer cores than [jobs]. *)
+      let got =
+        List.fold_left ( + ) 0 (Pool.parallel_chunks ~oversubscribe:true ~jobs ~n:1000 f)
+      in
+      Alcotest.(check int) (Printf.sprintf "jobs=%d total" jobs) expected got)
+    [ 2; 3; 8 ];
+  Alcotest.(check (list int)) "n=0 is empty" [] (Pool.parallel_chunks ~jobs:4 ~n:0 f)
+
+let pool_propagates_exceptions () =
+  Alcotest.check_raises "worker exception re-raised" Exit (fun () ->
+      ignore
+        (Pool.parallel_chunks ~oversubscribe:true ~jobs:2 ~n:10 (fun ~lo ~hi:_ ->
+             if lo > 0 then raise Exit;
+             0)));
+  (* The pool must stay usable after a failed batch. *)
+  Alcotest.(check int) "pool reusable after failure" 3
+    (List.fold_left ( + ) 0
+       (Pool.parallel_chunks ~oversubscribe:true ~jobs:3 ~n:3 (fun ~lo ~hi:_ -> lo)))
+
 let rng_unit_float_range () =
   let rng = Rng.create 3 in
   for _ = 1 to 1000 do
@@ -210,6 +279,8 @@ let suite =
         Alcotest.test_case "seed sensitivity" `Quick rng_seed_sensitivity;
         Alcotest.test_case "split independence" `Quick rng_split_independent;
         Alcotest.test_case "copy" `Quick rng_copy;
+        Alcotest.test_case "split_nth matches repeated splits" `Quick rng_split_nth_matches_splits;
+        Alcotest.test_case "split_nth rejects negative" `Quick rng_split_nth_rejects_negative;
         Alcotest.test_case "unit float range" `Quick rng_unit_float_range;
         Alcotest.test_case "int bounds" `Quick rng_int_bounds;
         Alcotest.test_case "int rejects non-positive" `Quick rng_int_rejects_nonpositive;
@@ -240,4 +311,10 @@ let suite =
         QCheck_alcotest.to_alcotest prop_exp_decay_recovers_alpha;
       ] );
     ("util.tablefmt", [ Alcotest.test_case "alignment" `Quick tablefmt_alignment ]);
+    ( "util.pool",
+      [
+        Alcotest.test_case "chunks cover range" `Quick pool_chunks_cover_range;
+        Alcotest.test_case "parallel matches sequential" `Quick pool_parallel_matches_sequential;
+        Alcotest.test_case "propagates exceptions" `Quick pool_propagates_exceptions;
+      ] );
   ]
