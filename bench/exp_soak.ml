@@ -1,0 +1,52 @@
+(* Fault-injected soak campaign over the operational loop (see
+   DESIGN.md section 7): N simulated days of characterize -> persist ->
+   reload -> compile on a drifting device, with a deterministic fault
+   plan attacking every layer.  Reports compile availability, the
+   degradation-rung histogram, quarantined snapshots, and the error
+   inflation caused by stale characterization data. *)
+
+let run ~days ~seed ~jobs ~device_name ~faults ~dir ~out =
+  let device =
+    match String.lowercase_ascii device_name with
+    | "example6q" | "example" -> Core.Presets.example_6q ()
+    | name -> (
+      match Core.Presets.by_name name with
+      | Some d -> d
+      | None ->
+        Printf.eprintf "unknown device %s\n" name;
+        exit 2)
+  in
+  let config = { Core.Soak.default_config with days; seed; jobs } in
+  let fault_config =
+    if faults then Core.Fault_plan.default_config else Core.Fault_plan.none
+  in
+  Printf.printf "soak: %d days on %s, seed %d, faults %s\n%!" days
+    (Core.Device.name device) seed (if faults then "on" else "off");
+  let t0 = Sys.time () in
+  let report = Core.Soak.run ~config ~fault_config ~dir device in
+  Printf.printf "campaign done in %.1f s (CPU)\n" (Sys.time () -. t0);
+  Printf.printf "compiles: %d, availability: %.1f%%\n" report.Core.Soak.total_compiles
+    (100.0 *. report.Core.Soak.availability);
+  Printf.printf "degradation rungs:";
+  List.iter
+    (fun (name, n) -> if n > 0 then Printf.printf " %s=%d" name n)
+    report.Core.Soak.rung_histogram;
+  print_newline ();
+  Printf.printf
+    "snapshots corrupted on disk: %d, quarantined: %d, silently ingested: %d\n"
+    report.Core.Soak.total_snapshot_faults report.Core.Soak.total_quarantined
+    report.Core.Soak.total_corrupt_ingested;
+  Printf.printf "experiment faults injected: %d\n" report.Core.Soak.total_experiment_faults;
+  Printf.printf "mean staleness error inflation: %+.2f%%\n"
+    (100.0 *. report.Core.Soak.mean_error_inflation);
+  let json = Core.Soak.report_to_json report in
+  let oc = open_out out in
+  output_string oc (Core.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" out;
+  if report.Core.Soak.availability < 1.0 || report.Core.Soak.total_corrupt_ingested > 0
+  then begin
+    Printf.eprintf "soak FAILED: availability or corruption-containment violated\n";
+    exit 1
+  end

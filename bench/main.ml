@@ -8,7 +8,10 @@
      dune exec bench/main.exe -- --only fig5  # one experiment
      dune exec bench/main.exe -- --list       # available experiment ids
      dune exec bench/main.exe -- --no-bechamel
-     dune exec bench/main.exe -- --bench-exec  # executor throughput -> BENCH_exec.json *)
+     dune exec bench/main.exe -- --bench-exec  # executor throughput -> BENCH_exec.json
+     dune exec bench/main.exe -- --soak --days 10 --seed 7   # fault-injected soak
+       (more soak flags: --jobs N --soak-device NAME --no-faults --soak-dir DIR
+        --out FILE; writes SOAK.json) *)
 
 let experiments =
   [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "tab1"; "scale"; "ablation" ]
@@ -22,6 +25,38 @@ let () =
   if List.mem "--bench-exec" args then begin
     (* wall-clock executor throughput only; writes BENCH_exec.json *)
     Microbench.bench_exec_json ();
+    exit 0
+  end;
+  if List.mem "--soak" args then begin
+    let int_flag name default =
+      let rec find = function
+        | flag :: v :: _ when flag = name -> (
+          match int_of_string_opt v with
+          | Some n -> n
+          | None ->
+            Printf.eprintf "%s expects an integer, got %s\n" name v;
+            exit 2)
+        | _ :: rest -> find rest
+        | [] -> default
+      in
+      find args
+    in
+    let str_flag name default =
+      let rec find = function
+        | flag :: v :: _ when flag = name -> v
+        | _ :: rest -> find rest
+        | [] -> default
+      in
+      find args
+    in
+    Exp_soak.run
+      ~days:(int_flag "--days" 10)
+      ~seed:(int_flag "--seed" 7)
+      ~jobs:(int_flag "--jobs" 1)
+      ~device_name:(str_flag "--soak-device" "example6q")
+      ~faults:(not (List.mem "--no-faults" args))
+      ~dir:(str_flag "--soak-dir" "soak-snapshots")
+      ~out:(str_flag "--out" "SOAK.json");
     exit 0
   end;
   let quality = if List.mem "--full" args then Ctx.Full else Ctx.Quick in

@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI entry point: typecheck, build everything, run the test suite,
+# then a 2-day fault-injected mini soak as an end-to-end smoke test
+# (fails on any compile loss or ingested corruption).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @check
+dune build
+dune runtest
+
+SOAK_SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/qcx-ci-soak.XXXXXX")"
+trap 'rm -rf "$SOAK_SCRATCH"' EXIT
+dune exec bench/main.exe -- --soak --days 2 --seed 7 \
+  --soak-dir "$SOAK_SCRATCH/snapshots" --out "$SOAK_SCRATCH/SOAK.json"
+
+echo "ci: OK"

@@ -15,7 +15,32 @@ let policy_term =
   let doc = "Characterization policy: all-pairs | one-hop | binpacked | high-only." in
   Arg.(value & opt string "binpacked" & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
 
-let run device seed jobs threshold policy_name output =
+let resilient_term =
+  let doc =
+    "Run the fault-tolerant characterization front end (per-experiment timeout/retry, \
+     fit validation, stale-data fallback) and report per-pair freshness."
+  in
+  Arg.(value & flag & info [ "resilient" ] ~doc)
+
+let fault_seed_term =
+  let doc =
+    "Inject faults from the deterministic plan seeded with N (implies --resilient)."
+  in
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let fault_day_term =
+  let doc = "Campaign day the fault plan is evaluated at (with --fault-seed)." in
+  Arg.(value & opt int 0 & info [ "fault-day" ] ~docv:"D" ~doc)
+
+let previous_term =
+  let doc =
+    "Previous characterization snapshot (JSON) used as the stale-data fallback when an \
+     experiment stays broken (with --resilient)."
+  in
+  Arg.(value & opt (some string) None & info [ "previous" ] ~docv:"FILE" ~doc)
+
+let run device seed jobs threshold policy_name resilient fault_seed fault_day previous
+    output =
   let rng = Core.Rng.create seed in
   let policy =
     match policy_name with
@@ -37,7 +62,43 @@ let run device seed jobs threshold policy_name output =
   Printf.printf "policy: %s\n" (Core.Policy.policy_name policy);
   Printf.printf "experiments: %d\n" (Core.Policy.experiment_count plan);
   Printf.printf "machine time at paper settings: %.2f hours\n" (Core.Policy.estimated_hours plan);
-  let outcome = Core.Policy.characterize ~jobs ~rng device plan in
+  let resilient = resilient || fault_seed <> None in
+  let outcome =
+    if not resilient then Core.Policy.characterize ~jobs ~rng device plan
+    else begin
+      let inject =
+        Option.map
+          (fun s -> Core.Fault_plan.inject (Core.Fault_plan.create ~seed:s ()) ~day:fault_day)
+          fault_seed
+      in
+      let prev =
+        match previous with
+        | None -> Core.Crosstalk.empty
+        | Some path -> (
+          match
+            Core.Store.load_crosstalk ~topology:(Core.Device.topology device) ~path ()
+          with
+          | Ok x -> x
+          | Error e ->
+            Printf.eprintf "failed to load previous snapshot %s: %s\n" path e;
+            exit 1)
+      in
+      let r =
+        Core.Policy.characterize_resilient ~jobs ?inject ~previous:prev ~rng device plan
+      in
+      Printf.printf "\nresilient run: %d attempts, %d injected faults, %.1f s charged\n"
+        r.Core.Policy.attempts r.Core.Policy.faults r.Core.Policy.simulated_seconds;
+      List.iter
+        (fun (((t1, t2), (s1, s2)), f) ->
+          match f with
+          | Core.Policy.Fresh -> ()
+          | f ->
+            Printf.printf "  CX%d,%d | CX%d,%d: %s\n" t1 t2 s1 s2
+              (Core.Policy.freshness_name f))
+        r.Core.Policy.freshness;
+      r.Core.Policy.outcome
+    end
+  in
   let flagged = Core.Policy.high_pairs_of_outcome ~threshold device outcome in
   Printf.printf "\nhigh-crosstalk pairs (ratio > %.1fx):\n" threshold;
   let cal = Core.Device.calibration device in
@@ -66,6 +127,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ Common.device_term $ Common.seed_term $ Common.jobs_term $ Common.threshold_term
-      $ policy_term $ output_term)
+      $ policy_term $ resilient_term $ fault_seed_term $ fault_day_term $ previous_term
+      $ output_term)
 
 let () = exit (Cmd.eval cmd)

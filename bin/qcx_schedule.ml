@@ -32,14 +32,21 @@ let emit_qasm_term =
   let doc = "Print the barrier-enforced OpenQASM output." in
   Arg.(value & flag & info [ "qasm" ] ~doc)
 
-let run device seed jobs src dst scheduler omega oracle xtalk_file emit_qasm =
+let deadline_term =
+  let doc =
+    "Wall-clock compile deadline in seconds; on expiry the degradation ladder serves \
+     the request (best incumbent, clusters, greedy, parallel)."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let run device seed jobs src dst scheduler omega oracle xtalk_file deadline emit_qasm =
   let rng = Core.Rng.create seed in
   let bench = Core.Swap_circuits.build device ~src ~dst in
   let circuit = Core.Circuit.measure_all bench.Core.Swap_circuits.circuit in
   let xtalk =
     match xtalk_file with
     | Some path -> (
-      match Core.Store.load_crosstalk ~path with
+      match Core.Store.load_crosstalk ~topology:(Core.Device.topology device) ~path () with
       | Ok x ->
         Printf.printf "loaded crosstalk data from %s\n" path;
         x
@@ -62,7 +69,10 @@ let run device seed jobs src dst scheduler omega oracle xtalk_file emit_qasm =
       Printf.eprintf "unknown scheduler %s\n" other;
       exit 2
   in
-  let sched, stats = Core.Pipeline.compile ~scheduler:sched_kind device ~xtalk circuit in
+  let sched, stats =
+    Core.Pipeline.compile ~scheduler:sched_kind ?deadline_seconds:deadline device ~xtalk
+      circuit
+  in
   Printf.printf "device: %s\n" (Core.Device.name device);
   Printf.printf "workload: SWAP path %d -> %d (%d gates, %d CNOTs)\n" src dst
     (Core.Circuit.length (Core.Schedule.circuit sched))
@@ -70,8 +80,9 @@ let run device seed jobs src dst scheduler omega oracle xtalk_file emit_qasm =
   Printf.printf "scheduler: %s\n" (Core.scheduler_name sched_kind);
   (match stats with
   | Some s ->
-    Printf.printf "solver: %d interfering pairs, %d nodes, optimal=%b, %.3f s\n"
+    Printf.printf "solver: %d interfering pairs, %d nodes, optimal=%b, rung=%s, %.3f s\n"
       s.Core.Xtalk_sched.pairs s.Core.Xtalk_sched.nodes s.Core.Xtalk_sched.optimal
+      (Core.Xtalk_sched.rung_name s.Core.Xtalk_sched.rung)
       s.Core.Xtalk_sched.solve_seconds
   | None -> ());
   Printf.printf "program duration: %.0f ns\n" (Core.Evaluate.duration sched);
@@ -92,6 +103,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ Common.device_term $ Common.seed_term $ Common.jobs_term $ src_term $ dst_term
-      $ scheduler_term $ omega_term $ oracle_term $ xtalk_file_term $ emit_qasm_term)
+      $ scheduler_term $ omega_term $ oracle_term $ xtalk_file_term $ deadline_term
+      $ emit_qasm_term)
 
 let () = exit (Cmd.eval cmd)

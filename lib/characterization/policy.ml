@@ -108,6 +108,227 @@ let characterize ?(params = Rb.default_params) ?(jobs = 1) ~rng device (cplan : 
   in
   { xtalk; measurements = List.rev !measurements; experiments = experiment_count cplan }
 
+(* ---- resilient characterization ----
+
+   The plain [characterize] above assumes a perfect backend: every SRB
+   experiment returns, every fit is physical.  The operational loop
+   cannot — experiments hang, shots drop, fits diverge.  The resilient
+   variant wraps each experiment in a timeout + bounded-retry loop
+   with exponential backoff, validates every fitted rate before
+   ingesting it, and falls back to the previous day's stored value (or
+   the calibration rate) when an experiment stays broken, tracking
+   per-pair freshness so consumers can see what is stale. *)
+
+type injected_fault =
+  | Inject_hang
+  | Inject_dropout of float
+  | Inject_corrupt_rate of float
+
+type retry = {
+  max_attempts : int;
+  timeout_seconds : float;
+  base_backoff_seconds : float;
+  backoff_factor : float;
+  max_backoff_seconds : float;
+  jitter : float;
+}
+
+let default_retry =
+  {
+    max_attempts = 3;
+    timeout_seconds = 30.0;
+    base_backoff_seconds = 2.0;
+    backoff_factor = 2.0;
+    max_backoff_seconds = 60.0;
+    jitter = 0.5;
+  }
+
+type freshness = Fresh | Recovered of int | Stale_previous | Stale_calibration
+
+let freshness_name = function
+  | Fresh -> "fresh"
+  | Recovered n -> Printf.sprintf "recovered(%d)" n
+  | Stale_previous -> "stale-previous"
+  | Stale_calibration -> "stale-calibration"
+
+type resilient_outcome = {
+  outcome : outcome;
+  freshness : ((Topology.edge * Topology.edge) * freshness) list;
+  attempts : int;
+  faults : int;
+  simulated_seconds : float;
+}
+
+let valid_rate_float r = Float.is_finite r && r >= 0.0 && r <= 1.0
+
+(* A physical SRB fit: finite decay in [0,1] and a finite per-CNOT
+   rate in [0,1].  Anything else means the experiment or the fitter
+   failed, and must not reach the scheduler. *)
+let valid_fit (f : Rb.fit) =
+  Float.is_finite f.Rb.alpha
+  && f.Rb.alpha >= 0.0
+  && f.Rb.alpha <= 1.0
+  && Float.is_finite f.Rb.error_rate
+  && f.Rb.error_rate >= 0.0
+  && f.Rb.error_rate <= 1.0
+
+let characterize_resilient ?(params = Rb.default_params) ?(jobs = 1) ?(retry = default_retry)
+    ?(previous = Crosstalk.empty) ?inject ~rng device (cplan : plan) =
+  if retry.max_attempts < 1 then invalid_arg "Policy.characterize_resilient: max_attempts < 1";
+  let inject =
+    match inject with Some f -> f | None -> fun ~experiment:_ ~attempt:_ -> None
+  in
+  let cal = Device.calibration device in
+  let nexp = List.length cplan.experiments in
+  (* Child streams, random-access so a retry of experiment [i] never
+     perturbs the draws of experiment [j] (and the campaign stays
+     deterministic at every [jobs]). *)
+  let exp_rng i attempt = Rng.split_nth (Rng.split_nth rng i) attempt in
+  let aux_rng = Rng.split_nth rng nexp in
+  let independent_rng = Rng.split_nth aux_rng 0 in
+  let backoff_rng = Rng.split_nth aux_rng 1 in
+  let attempts = ref 0 in
+  let faults = ref 0 in
+  let simulated_seconds = ref 0.0 in
+  let backoff_of a =
+    let base =
+      min retry.max_backoff_seconds
+        (retry.base_backoff_seconds *. (retry.backoff_factor ** float_of_int a))
+    in
+    base *. (1.0 +. (retry.jitter *. Rng.unit_float backoff_rng))
+  in
+  let independent_cache : (Topology.edge, float) Hashtbl.t = Hashtbl.create 16 in
+  let independent_of edge =
+    match Hashtbl.find_opt independent_cache edge with
+    | Some v -> v
+    | None ->
+      let fit = Rb.independent ~jobs device ~rng:(Rng.split independent_rng) ~params edge in
+      let v =
+        if valid_fit fit then fit.Rb.error_rate
+        else (Calibration.gate cal edge).Calibration.cnot_error
+      in
+      Hashtbl.replace independent_cache edge v;
+      v
+  in
+  let measurements = ref [] in
+  let freshness = ref [] in
+  List.iteri
+    (fun i experiment ->
+      let gates = List.concat_map (fun (e1, e2) -> [ e1; e2 ]) experiment in
+      (* Timeout + bounded retry with exponential backoff: each
+         attempt either yields a full set of validated fits or burns
+         (simulated) wall-clock and tries again. *)
+      let rec attempt_loop a =
+        if a >= retry.max_attempts then None
+        else begin
+          incr attempts;
+          if a > 0 then simulated_seconds := !simulated_seconds +. backoff_of (a - 1);
+          match inject ~experiment:i ~attempt:a with
+          | Some Inject_hang ->
+            incr faults;
+            simulated_seconds := !simulated_seconds +. retry.timeout_seconds;
+            attempt_loop (a + 1)
+          | fault ->
+            let params_a =
+              match fault with
+              | Some (Inject_dropout keep) ->
+                incr faults;
+                let keep = Qcx_util.Stats.clamp ~lo:0.0 ~hi:1.0 keep in
+                { params with Rb.trials = max 16 (int_of_float (float_of_int params.Rb.trials *. keep)) }
+              | _ -> params
+            in
+            let fits = Rb.run ~jobs device ~rng:(exp_rng i a) ~params:params_a gates in
+            let fits =
+              match fault with
+              | Some (Inject_corrupt_rate bad) ->
+                incr faults;
+                (match fits with
+                | f :: rest -> { f with Rb.error_rate = bad } :: rest
+                | [] -> [])
+              | _ -> fits
+            in
+            if fits <> [] && List.for_all valid_fit fits then Some (fits, a)
+            else attempt_loop (a + 1)
+        end
+      in
+      match attempt_loop 0 with
+      | Some (fits, attempts_used) ->
+        let rate_of edge =
+          match List.find_opt (fun f -> f.Rb.edge = Topology.normalize edge) fits with
+          | Some f -> f.Rb.error_rate
+          | None -> invalid_arg "Policy.characterize_resilient: missing fit"
+        in
+        let fresh = if attempts_used = 0 then Fresh else Recovered attempts_used in
+        List.iter
+          (fun (e1, e2) ->
+            let record target spectator =
+              let raw_conditional = rate_of target in
+              let raw_independent = max 1e-4 (independent_of target) in
+              let ratio = max 1.0 (raw_conditional /. raw_independent) in
+              let anchored = (Calibration.gate cal target).Calibration.cnot_error *. ratio in
+              measurements :=
+                {
+                  target;
+                  spectator;
+                  conditional = Qcx_util.Stats.clamp ~lo:0.0 ~hi:1.0 anchored;
+                  raw_conditional;
+                  raw_independent;
+                }
+                :: !measurements;
+              freshness := ((target, spectator), fresh) :: !freshness
+            in
+            record (Topology.normalize e1) (Topology.normalize e2);
+            record (Topology.normalize e2) (Topology.normalize e1))
+          experiment
+      | None ->
+        (* Exhausted: serve yesterday's stored value when one exists,
+           otherwise assume no crosstalk beyond the calibration rate.
+           Either way the pair is marked stale, and the compile goes
+           on. *)
+        List.iter
+          (fun (e1, e2) ->
+            let record target spectator =
+              let target = Topology.normalize target
+              and spectator = Topology.normalize spectator in
+              let cal_rate = (Calibration.gate cal target).Calibration.cnot_error in
+              let conditional, fresh =
+                match Crosstalk.conditional previous ~target ~spectator with
+                | Some r when valid_rate_float r -> (r, Stale_previous)
+                | _ -> (cal_rate, Stale_calibration)
+              in
+              measurements :=
+                {
+                  target;
+                  spectator;
+                  conditional;
+                  raw_conditional = conditional;
+                  raw_independent = cal_rate;
+                }
+                :: !measurements;
+              freshness := ((target, spectator), fresh) :: !freshness
+            in
+            record e1 e2;
+            record e2 e1)
+          experiment)
+    cplan.experiments;
+  let xtalk =
+    List.fold_left
+      (fun acc m -> Crosstalk.set acc ~target:m.target ~spectator:m.spectator m.conditional)
+      Crosstalk.empty !measurements
+  in
+  {
+    outcome =
+      {
+        xtalk;
+        measurements = List.rev !measurements;
+        experiments = experiment_count cplan;
+      };
+    freshness = List.rev !freshness;
+    attempts = !attempts;
+    faults = !faults;
+    simulated_seconds = !simulated_seconds;
+  }
+
 let high_pairs_of_outcome ?(threshold = 3.0) device outcome =
   Crosstalk.high_crosstalk_pairs outcome.xtalk (Device.calibration device) ~threshold
 

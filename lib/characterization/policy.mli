@@ -76,6 +76,77 @@ val characterize :
     parallelizes the underlying noisy executions across domains
     without changing any measured value. *)
 
+(** {2 Resilient characterization}
+
+    The operational loop's fault-tolerant front end: identical
+    measurement physics to {!characterize}, wrapped in per-experiment
+    timeout/retry with validation and stale-data fallback so that a
+    broken experiment can never poison — or abort — the day's
+    characterization. *)
+
+type injected_fault =
+  | Inject_hang  (** the experiment never returns (consumes the timeout) *)
+  | Inject_dropout of float
+      (** only this fraction of the requested shots arrives *)
+  | Inject_corrupt_rate of float
+      (** the fitter returns this (typically non-physical) rate *)
+
+type retry = {
+  max_attempts : int;  (** total attempts per experiment, >= 1 *)
+  timeout_seconds : float;  (** simulated cost of a hung experiment *)
+  base_backoff_seconds : float;
+  backoff_factor : float;  (** exponential: base * factor^attempt *)
+  max_backoff_seconds : float;
+  jitter : float;  (** backoff is scaled by 1 + jitter * U[0,1) *)
+}
+
+val default_retry : retry
+(** 3 attempts, 30 s timeout, 2 s backoff doubling up to 60 s, 0.5
+    jitter. *)
+
+type freshness =
+  | Fresh  (** first attempt succeeded *)
+  | Recovered of int  (** succeeded after this many failed attempts *)
+  | Stale_previous  (** serving the previous characterization's value *)
+  | Stale_calibration  (** no previous value; calibration rate assumed *)
+
+val freshness_name : freshness -> string
+
+type resilient_outcome = {
+  outcome : outcome;
+  freshness : ((Qcx_device.Topology.edge * Qcx_device.Topology.edge) * freshness) list;
+      (** per directed (target, spectator) pair of the plan *)
+  attempts : int;  (** experiment attempts run in total *)
+  faults : int;  (** injected faults encountered *)
+  simulated_seconds : float;  (** timeout + backoff wall-clock charged *)
+}
+
+val characterize_resilient :
+  ?params:Rb.params ->
+  ?jobs:int ->
+  ?retry:retry ->
+  ?previous:Qcx_device.Crosstalk.t ->
+  ?inject:(experiment:int -> attempt:int -> injected_fault option) ->
+  rng:Qcx_util.Rng.t ->
+  Qcx_device.Device.t ->
+  plan ->
+  resilient_outcome
+(** Run the plan like {!characterize}, but survive a faulty backend:
+
+    - each experiment gets [retry.max_attempts] tries with exponential
+      backoff (+ jitter) between them; a hang costs
+      [retry.timeout_seconds] of (simulated) wall-clock;
+    - every fitted rate is validated (finite, in [0,1], sane decay)
+      before ingestion — non-physical fits trigger a retry;
+    - an experiment that stays broken falls back to [previous]'s
+      stored conditional rate, or the calibration independent rate
+      when no previous value exists, and is reported stale.
+
+    [inject] is the fault-injection hook (see [Qcx_faults.Fault_plan]);
+    [None] (default) means a perfect backend.  Draws use random-access
+    child streams of [rng], so results are deterministic for a given
+    plan and fault sequence at every [jobs]. *)
+
 val refresh :
   ?params:Rb.params ->
   ?jobs:int ->

@@ -45,6 +45,8 @@ module Swap_circuits = Qcx_benchmarks.Swap_circuits
 module Qaoa = Qcx_benchmarks.Qaoa
 module Hidden_shift = Qcx_benchmarks.Hidden_shift
 module Supremacy = Qcx_benchmarks.Supremacy
+module Fault_plan = Qcx_faults.Fault_plan
+module Soak = Qcx_faults.Soak
 module Tomography = Qcx_metrics.Tomography
 module Cross_entropy = Qcx_metrics.Cross_entropy
 module Readout_mitigation = Qcx_metrics.Readout_mitigation
@@ -67,13 +69,17 @@ module Pipeline = struct
     let outcome = Qcx_characterization.Policy.characterize ?params ?jobs ~rng device plan in
     outcome.Qcx_characterization.Policy.xtalk
 
-  let compile ?(scheduler = Xtalk_sched 0.5) device ~xtalk circuit =
+  let compile ?(scheduler = Xtalk_sched 0.5) ?node_budget ?deadline_seconds device ~xtalk
+      circuit =
     let circuit = Qcx_circuit.Circuit.decompose_swaps circuit in
     match scheduler with
     | Serial_sched -> (Qcx_scheduler.Serial_sched.schedule device circuit, None)
     | Par_sched -> (Qcx_scheduler.Par_sched.schedule device circuit, None)
     | Xtalk_sched omega ->
-      let sched, stats = Qcx_scheduler.Xtalk_sched.schedule ~omega ~device ~xtalk circuit in
+      let sched, stats =
+        Qcx_scheduler.Xtalk_sched.schedule ~omega ?node_budget ?deadline_seconds ~device
+          ~xtalk circuit
+      in
       (sched, Some stats)
 
   let execute ?(backend = Qcx_noise.Exec.Stabilizer) ?jobs device sched ~rng ~trials =

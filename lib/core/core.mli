@@ -69,6 +69,8 @@ module Swap_circuits = Qcx_benchmarks.Swap_circuits
 module Qaoa = Qcx_benchmarks.Qaoa
 module Hidden_shift = Qcx_benchmarks.Hidden_shift
 module Supremacy = Qcx_benchmarks.Supremacy
+module Fault_plan = Qcx_faults.Fault_plan
+module Soak = Qcx_faults.Soak
 module Tomography = Qcx_metrics.Tomography
 module Cross_entropy = Qcx_metrics.Cross_entropy
 module Readout_mitigation = Qcx_metrics.Readout_mitigation
@@ -97,13 +99,17 @@ module Pipeline : sig
 
   val compile :
     ?scheduler:scheduler ->
+    ?node_budget:int ->
+    ?deadline_seconds:float ->
     Device.t ->
     xtalk:Crosstalk.t ->
     Circuit.t ->
     Schedule.t * Xtalk_sched.stats option
   (** Schedule a hardware-compliant circuit (SWAPs are decomposed
       internally).  Default: [Xtalk_sched 0.5].  Stats are [None] for
-      the baseline schedulers. *)
+      the baseline schedulers.  [node_budget] and [deadline_seconds]
+      bound the SMT solve; on expiry {!Xtalk_sched.schedule}'s
+      degradation ladder serves the compile, so this never fails. *)
 
   val execute :
     ?backend:Exec.backend ->

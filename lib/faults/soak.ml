@@ -1,0 +1,322 @@
+module Rng = Qcx_util.Rng
+module Json = Qcx_persist.Json
+module Store = Qcx_persist.Store
+module Device = Qcx_device.Device
+module Drift = Qcx_device.Drift
+module Crosstalk = Qcx_device.Crosstalk
+module Rb = Qcx_characterization.Rb
+module Policy = Qcx_characterization.Policy
+module Schedule = Qcx_circuit.Schedule
+module Xtalk_sched = Qcx_scheduler.Xtalk_sched
+module Evaluate = Qcx_scheduler.Evaluate
+module Swap_circuits = Qcx_benchmarks.Swap_circuits
+
+type config = {
+  days : int;
+  seed : int;
+  jobs : int;
+  rb_params : Rb.params;
+  retry : Policy.retry;
+  threshold : float;
+  omega : float;
+  node_budget : int;
+  full_every : int;
+  keep : int;
+}
+
+let default_config =
+  {
+    days = 10;
+    seed = 7;
+    jobs = 1;
+    rb_params = { Rb.lengths = [ 1; 2; 4; 8 ]; seeds = 2; trials = 64 };
+    retry = Policy.default_retry;
+    threshold = 3.0;
+    omega = 0.5;
+    node_budget = 200_000;
+    full_every = 7;
+    keep = 5;
+  }
+
+type day_report = {
+  day : int;
+  loaded_from : string option;
+  quarantined : (string * string) list;
+  corrupt_ingested : int;
+  freshness : (string * int) list;
+  attempts : int;
+  injected_experiment_faults : int;
+  simulated_seconds : float;
+  compiles : int;
+  compile_failures : int;
+  rungs : (string * int) list;
+  mean_error_inflation : float;
+  snapshot_fault : string option;
+}
+
+type report = {
+  device : string;
+  days : day_report list;
+  total_compiles : int;
+  availability : float;
+  rung_histogram : (string * int) list;
+  total_quarantined : int;
+  total_corrupt_ingested : int;
+  total_experiment_faults : int;
+  total_snapshot_faults : int;
+  mean_error_inflation : float;
+}
+
+let snapshot_path dir day = Filename.concat dir (Printf.sprintf "xtalk-day%03d.json" day)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let freshness_bucket = function
+  | Policy.Fresh -> "fresh"
+  | Policy.Recovered _ -> "recovered"
+  | Policy.Stale_previous -> "stale-previous"
+  | Policy.Stale_calibration -> "stale-calibration"
+
+let freshness_buckets = [ "fresh"; "recovered"; "stale-previous"; "stale-calibration" ]
+
+let count_by buckets key items =
+  List.map (fun b -> (b, List.length (List.filter (fun x -> key x = b) items))) buckets
+
+(* A small daily compile workload: SWAP circuits between a few
+   endpoint pairs (the paper's benchmark shape), plus layers of CNOTs
+   over a maximal disjoint edge set — the latter guarantees gates on
+   the device's high-crosstalk edges can overlap, so the solver has
+   real serialization decisions to make and staleness has something to
+   get wrong. *)
+let stress_circuit device ~layers =
+  let disjoint =
+    List.fold_left
+      (fun acc (a, b) ->
+        if List.exists (fun (c, d) -> a = c || a = d || b = c || b = d) acc then acc
+        else (a, b) :: acc)
+      []
+      (Qcx_device.Topology.edges (Device.topology device))
+  in
+  let rec go c n =
+    if n = 0 then c
+    else
+      go
+        (List.fold_left
+           (fun c (a, b) -> Qcx_circuit.Circuit.cnot c ~control:a ~target:b)
+           c disjoint)
+        (n - 1)
+  in
+  go (Qcx_circuit.Circuit.create (Device.nqubits device)) layers
+
+let workload device =
+  let n = Device.nqubits device in
+  let pairs =
+    List.sort_uniq compare
+      (List.filter
+         (fun (a, b) -> a <> b)
+         [ (0, n - 1); (0, n / 2); (n / 2, n - 1) ])
+  in
+  stress_circuit device ~layers:2
+  :: List.map
+       (fun (src, dst) -> (Swap_circuits.build device ~src ~dst).Swap_circuits.circuit)
+       pairs
+
+let run ?(config = default_config) ?(fault_config = Fault_plan.default_config) ~dir device
+    =
+  if config.days <= 0 then invalid_arg "Soak.run: days must be positive";
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let faults = Fault_plan.create ~config:fault_config ~seed:config.seed () in
+  let corrupted = Hashtbl.create 8 in
+  let day_reports = ref [] in
+  for day = 0 to config.days - 1 do
+    let dev = Drift.on_day device ~day in
+    let topology = Device.topology dev in
+    (* 1. Load the freshest surviving snapshot; quarantine the rest. *)
+    let paths = List.init (min day config.keep) (fun i -> snapshot_path dir (day - 1 - i)) in
+    let lrep = Store.load_crosstalk_resilient ~topology ~paths () in
+    let corrupt_ingested =
+      match lrep.Store.source with
+      | Some p when Hashtbl.mem corrupted p -> 1
+      | _ -> 0
+    in
+    let previous = Option.value lrep.Store.data ~default:Crosstalk.empty in
+    (* 2. Characterize under injected faults.  Full pass periodically
+       and whenever no usable history exists; Optimization-3 refresh of
+       the flagged pairs otherwise. *)
+    let day_rng = Rng.create (Hashtbl.hash (config.seed, day, "qcx-soak-day")) in
+    let policy =
+      let flagged =
+        Crosstalk.high_crosstalk_pairs previous (Device.calibration dev)
+          ~threshold:config.threshold
+      in
+      if flagged = [] || day mod config.full_every = 0 then Policy.One_hop_binpacked
+      else Policy.High_crosstalk_only flagged
+    in
+    let cplan = Policy.plan ~rng:(Rng.split_nth day_rng 0) dev policy in
+    let resilient =
+      Policy.characterize_resilient ~params:config.rb_params ~jobs:config.jobs
+        ~retry:config.retry ~previous
+        ~inject:(Fault_plan.inject faults ~day)
+        ~rng:(Rng.split_nth day_rng 1) dev cplan
+    in
+    let xtalk = Crosstalk.merge previous resilient.Policy.outcome.Policy.xtalk in
+    (* 3. Persist today's snapshot, then let the fault plan damage the
+       file on disk — tomorrow's load must quarantine it, never ingest. *)
+    let path = snapshot_path dir day in
+    (match Store.save_crosstalk ~path xtalk with Ok () -> () | Error _ -> ());
+    let snapshot_fault =
+      match read_file path with
+      | None -> None
+      | Some contents -> (
+        match Fault_plan.corrupt_file faults ~day contents with
+        | None -> None
+        | Some (kind, damaged) ->
+          write_file path damaged;
+          Hashtbl.replace corrupted path ();
+          Some (Fault_plan.file_fault_name kind))
+    in
+    (* 4. Compile the day's workload off the (possibly stale)
+       characterization; a solver-blowup fault zeroes the node budget
+       so the degradation ladder must serve the request. *)
+    let circuits = workload dev in
+    let compile_failures = ref 0 in
+    let rungs = ref [] in
+    let inflations = ref [] in
+    List.iteri
+      (fun ci circuit ->
+        let node_budget =
+          if Fault_plan.solver_blowup faults ~day ~compile:ci then 0
+          else config.node_budget
+        in
+        match
+          Xtalk_sched.schedule ~omega:config.omega ~node_budget ~device:dev ~xtalk
+            circuit
+        with
+        | exception _ -> incr compile_failures
+        | sched, stats -> (
+          (match Schedule.validate sched with
+          | Ok () -> rungs := stats.Xtalk_sched.rung :: !rungs
+          | Error _ -> incr compile_failures);
+          (* Staleness-induced error inflation: oracle error of the
+             schedule we actually serve vs. the one a perfectly
+             characterized compiler would serve. *)
+          match
+            Xtalk_sched.schedule ~omega:config.omega ~node_budget:config.node_budget
+              ~device:dev
+              ~xtalk:(Device.ground_truth dev)
+              circuit
+          with
+          | exception _ -> ()
+          | ideal, _ ->
+            let err = (Evaluate.oracle dev sched).Evaluate.error in
+            let ideal_err = (Evaluate.oracle dev ideal).Evaluate.error in
+            if Float.is_finite err && Float.is_finite ideal_err then
+              inflations := ((err -. ideal_err) /. Float.max ideal_err 1e-9) :: !inflations))
+      circuits;
+    let mean xs = match xs with [] -> 0.0 | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+    day_reports :=
+      {
+        day;
+        loaded_from = lrep.Store.source;
+        quarantined = lrep.Store.quarantined;
+        corrupt_ingested;
+        freshness =
+          count_by freshness_buckets
+            (fun (_, f) -> freshness_bucket f)
+            resilient.Policy.freshness;
+        attempts = resilient.Policy.attempts;
+        injected_experiment_faults = resilient.Policy.faults;
+        simulated_seconds = resilient.Policy.simulated_seconds;
+        compiles = List.length circuits;
+        compile_failures = !compile_failures;
+        rungs =
+          count_by
+            (List.map Xtalk_sched.rung_name Xtalk_sched.all_rungs)
+            Xtalk_sched.rung_name !rungs;
+        mean_error_inflation = mean !inflations;
+        snapshot_fault;
+      }
+      :: !day_reports
+  done;
+  let days = List.rev !day_reports in
+  let sum f = List.fold_left (fun acc d -> acc + f d) 0 days in
+  let total_compiles = sum (fun d -> d.compiles) in
+  let failures = sum (fun d -> d.compile_failures) in
+  let rung_histogram =
+    List.map
+      (fun name ->
+        (name, sum (fun d -> Option.value ~default:0 (List.assoc_opt name d.rungs))))
+      (List.map Xtalk_sched.rung_name Xtalk_sched.all_rungs)
+  in
+  let inflations = List.map (fun (d : day_report) -> d.mean_error_inflation) days in
+  {
+    device = Device.name device;
+    days;
+    total_compiles;
+    availability =
+      (if total_compiles = 0 then 1.0
+       else float_of_int (total_compiles - failures) /. float_of_int total_compiles);
+    rung_histogram;
+    total_quarantined = sum (fun d -> List.length d.quarantined);
+    total_corrupt_ingested = sum (fun d -> d.corrupt_ingested);
+    total_experiment_faults = sum (fun d -> d.injected_experiment_faults);
+    total_snapshot_faults =
+      sum (fun d -> match d.snapshot_fault with Some _ -> 1 | None -> 0);
+    mean_error_inflation =
+      List.fold_left ( +. ) 0.0 inflations /. float_of_int (List.length inflations);
+  }
+
+let assoc_json counts = Json.Object (List.map (fun (k, v) -> (k, Json.Number (float_of_int v))) counts)
+
+let day_to_json d =
+  Json.Object
+    [
+      ("day", Json.Number (float_of_int d.day));
+      ( "loaded_from",
+        match d.loaded_from with None -> Json.Null | Some p -> Json.String p );
+      ( "quarantined",
+        Json.Array
+          (List.map
+             (fun (p, reason) ->
+               Json.Object [ ("path", Json.String p); ("reason", Json.String reason) ])
+             d.quarantined) );
+      ("corrupt_ingested", Json.Number (float_of_int d.corrupt_ingested));
+      ("freshness", assoc_json d.freshness);
+      ("attempts", Json.Number (float_of_int d.attempts));
+      ("injected_experiment_faults", Json.Number (float_of_int d.injected_experiment_faults));
+      ("simulated_seconds", Json.Number d.simulated_seconds);
+      ("compiles", Json.Number (float_of_int d.compiles));
+      ("compile_failures", Json.Number (float_of_int d.compile_failures));
+      ("rungs", assoc_json d.rungs);
+      ("mean_error_inflation", Json.Number d.mean_error_inflation);
+      ( "snapshot_fault",
+        match d.snapshot_fault with None -> Json.Null | Some k -> Json.String k );
+    ]
+
+let report_to_json r =
+  Json.Object
+    [
+      ("format", Json.String "qcx-soak-report-v1");
+      ("device", Json.String r.device);
+      ("days", Json.Array (List.map day_to_json r.days));
+      ("total_compiles", Json.Number (float_of_int r.total_compiles));
+      ("availability", Json.Number r.availability);
+      ("rung_histogram", assoc_json r.rung_histogram);
+      ("total_quarantined", Json.Number (float_of_int r.total_quarantined));
+      ("total_corrupt_ingested", Json.Number (float_of_int r.total_corrupt_ingested));
+      ("total_experiment_faults", Json.Number (float_of_int r.total_experiment_faults));
+      ("total_snapshot_faults", Json.Number (float_of_int r.total_snapshot_faults));
+      ("mean_error_inflation", Json.Number r.mean_error_inflation);
+    ]

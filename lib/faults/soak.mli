@@ -1,0 +1,72 @@
+(** Fault-injected soak campaigns over the operational loop.
+
+    One campaign simulates [days] consecutive days of the paper's
+    Figure-2 loop on a drifting device ({!Qcx_device.Drift.on_day}),
+    with a {!Fault_plan} attacking every layer: characterize under
+    experiment faults, persist the snapshot (which the plan may then
+    corrupt on disk), reload resiliently the next morning, and compile
+    a SWAP-circuit workload through the degradation ladder.  The
+    report aggregates what the robustness layer is accountable for:
+    compile availability (must be 100% — the ladder never fails),
+    which rung served each compile, every quarantined snapshot, any
+    corrupt snapshot that was silently ingested (must be zero), and the
+    oracle-error inflation caused by serving stale characterization
+    data.
+
+    All randomness is keyed on [(seed, day)], so a campaign is
+    bit-identical at every [jobs] — reports can be string-compared. *)
+
+type config = {
+  days : int;
+  seed : int;
+  jobs : int;  (** domains for the noisy executions; never changes results *)
+  rb_params : Qcx_characterization.Rb.params;  (** small, soak-friendly default *)
+  retry : Qcx_characterization.Policy.retry;
+  threshold : float;  (** high-crosstalk flagging threshold (paper: 3) *)
+  omega : float;  (** XtalkSched crosstalk weight *)
+  node_budget : int;  (** solver budget for non-faulted compiles *)
+  full_every : int;  (** full characterization every this many days *)
+  keep : int;  (** snapshot history depth for fallback loads *)
+}
+
+val default_config : config
+(** 10 days, seed 7, single job, reduced RB parameters. *)
+
+type day_report = {
+  day : int;
+  loaded_from : string option;  (** snapshot that survived validation *)
+  quarantined : (string * string) list;  (** (path, reason) *)
+  corrupt_ingested : int;  (** deliberately corrupted snapshots loaded as good *)
+  freshness : (string * int) list;  (** characterization freshness buckets *)
+  attempts : int;
+  injected_experiment_faults : int;
+  simulated_seconds : float;  (** timeout/backoff wall-clock charged *)
+  compiles : int;
+  compile_failures : int;  (** exceptions or invalid schedules; must be 0 *)
+  rungs : (string * int) list;  (** degradation rung of each compile *)
+  mean_error_inflation : float;
+      (** (oracle error of served schedule - oracle error with perfect
+          characterization) / the latter, averaged over the workload *)
+  snapshot_fault : string option;  (** on-disk fault injected today *)
+}
+
+type report = {
+  device : string;
+  days : day_report list;
+  total_compiles : int;
+  availability : float;  (** fraction of compiles that produced a valid schedule *)
+  rung_histogram : (string * int) list;
+  total_quarantined : int;
+  total_corrupt_ingested : int;
+  total_experiment_faults : int;
+  total_snapshot_faults : int;
+  mean_error_inflation : float;
+}
+
+val run :
+  ?config:config -> ?fault_config:Fault_plan.config -> dir:string -> Qcx_device.Device.t -> report
+(** Run a campaign, persisting snapshots under [dir] (created if
+    missing).  Pass {!Fault_plan.none} as [fault_config] for a
+    fault-free control run. *)
+
+val report_to_json : report -> Qcx_persist.Json.t

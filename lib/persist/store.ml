@@ -5,6 +5,23 @@ module Device = Qcx_device.Device
 
 let ( let* ) = Result.bind
 
+(* ---- value validation ----
+
+   Characterization data feeds straight into scheduling objectives, so
+   a single NaN or negative rate ingested here poisons every compile
+   of the day.  Loaders therefore reject anything non-physical instead
+   of trusting the file. *)
+
+let valid_rate r = Float.is_finite r && r >= 0.0 && r <= 1.0
+
+let checked_rate ~what r =
+  if valid_rate r then Ok r
+  else Error (Printf.sprintf "%s out of range: %h (want finite in [0,1])" what r)
+
+let checked_positive ~what v =
+  if Float.is_finite v && v > 0.0 then Ok v
+  else Error (Printf.sprintf "%s out of range: %h (want finite > 0)" what v)
+
 let edge_to_json (a, b) = Json.Array [ Json.Number (float_of_int a); Json.Number (float_of_int b) ]
 
 let edge_of_json = function
@@ -31,10 +48,17 @@ let crosstalk_to_json xtalk =
              (Crosstalk.entries xtalk)) );
     ]
 
-let crosstalk_of_json doc =
+let crosstalk_of_json ?topology doc =
   let* fmt = Json.find_str "format" doc in
   if fmt <> "qcx-crosstalk-v1" then Error ("unknown format " ^ fmt)
   else
+    let check_edge what e =
+      match topology with
+      | None -> Ok e
+      | Some topo ->
+        if Topology.has_edge topo e then Ok e
+        else Error (Printf.sprintf "%s (%d, %d) is not a coupling-map edge" what (fst e) (snd e))
+    in
     let* entries = Json.find_list "entries" doc in
     List.fold_left
       (fun acc entry ->
@@ -44,13 +68,17 @@ let crosstalk_of_json doc =
           | Some e -> edge_of_json e
           | None -> Error "missing target"
         in
+        let* target = check_edge "target" target in
         let* spectator =
           match Json.member "spectator" entry with
           | Some e -> edge_of_json e
           | None -> Error "missing spectator"
         in
+        let* spectator = check_edge "spectator" spectator in
         let* rate = Json.find_float "rate" entry in
-        Ok (Crosstalk.set xtalk ~target ~spectator rate))
+        let* rate = checked_rate ~what:"conditional rate" rate in
+        if target = spectator then Error "target and spectator coincide"
+        else Ok (Crosstalk.set xtalk ~target ~spectator rate))
       (Ok Crosstalk.empty) entries
 
 let qubit_to_json (q : Calibration.qubit_cal) =
@@ -66,11 +94,17 @@ let qubit_to_json (q : Calibration.qubit_cal) =
 
 let qubit_of_json doc =
   let* t1 = Json.find_float "t1" doc in
+  let* t1 = checked_positive ~what:"t1" t1 in
   let* t2 = Json.find_float "t2" doc in
+  let* t2 = checked_positive ~what:"t2" t2 in
   let* readout_error = Json.find_float "readout_error" doc in
+  let* readout_error = checked_rate ~what:"readout_error" readout_error in
   let* single_qubit_error = Json.find_float "single_qubit_error" doc in
+  let* single_qubit_error = checked_rate ~what:"single_qubit_error" single_qubit_error in
   let* single_qubit_duration = Json.find_float "single_qubit_duration" doc in
+  let* single_qubit_duration = checked_positive ~what:"single_qubit_duration" single_qubit_duration in
   let* readout_duration = Json.find_float "readout_duration" doc in
+  let* readout_duration = checked_positive ~what:"readout_duration" readout_duration in
   Ok
     {
       Calibration.t1;
@@ -117,6 +151,8 @@ let calibration_of_json doc =
         (Ok []) qubit_docs
     in
     let qubits = Array.of_list (List.rev qubits) in
+    if Array.length qubits = 0 then Error "calibration has no qubits"
+    else
     let* gate_docs = Json.find_list "gates" doc in
     let* gates =
       List.fold_left
@@ -128,11 +164,13 @@ let calibration_of_json doc =
             | None -> Error "missing edge"
           in
           let* cnot_error = Json.find_float "cnot_error" gdoc in
+          let* cnot_error = checked_rate ~what:"cnot_error" cnot_error in
           let* cnot_duration = Json.find_float "cnot_duration" gdoc in
+          let* cnot_duration = checked_positive ~what:"cnot_duration" cnot_duration in
           Ok ((edge, { Calibration.cnot_error; cnot_duration }) :: tl))
         (Ok []) gate_docs
     in
-    Ok (Calibration.create ~qubits ~gates)
+    (try Ok (Calibration.create ~qubits ~gates) with Invalid_argument m -> Error m)
 
 let device_snapshot_to_json device =
   let topo = Device.topology device in
@@ -163,13 +201,57 @@ let device_snapshot_of_json doc =
           Ok (edge :: tl))
         (Ok []) edge_docs
     in
-    let topo = Topology.create ~nqubits:nq ~edges:(List.rev edges) in
+    let* topo =
+      try Ok (Topology.create ~nqubits:nq ~edges:(List.rev edges))
+      with Invalid_argument m -> Error m
+    in
     let* cal =
       match Json.member "calibration" doc with
       | Some c -> calibration_of_json c
       | None -> Error "missing calibration"
     in
-    Ok (name, topo, cal)
+    if Calibration.nqubits cal <> Topology.nqubits topo then
+      Error "calibration qubit count disagrees with the coupling map"
+    else Ok (name, topo, cal)
+
+(* ---- file envelope (format v2) ----
+
+   Every file carries a schema version and a content checksum over the
+   canonical serialization of the payload.  [Json.to_string] emission
+   is deterministic, so re-serializing the parsed payload reproduces
+   the exact string the checksum was computed from; any bit damage to
+   the payload region changes either the parse or the recomputed
+   digest, and damage to the checksum field itself also fails the
+   comparison.  Truncation fails the parse outright. *)
+
+let envelope_format = "qcx-store-v2"
+
+let payload_digest doc = Digest.to_hex (Digest.string (Json.to_string doc))
+
+let envelope doc =
+  Json.Object
+    [
+      ("format", Json.String envelope_format);
+      ("checksum", Json.String (payload_digest doc));
+      ("payload", doc);
+    ]
+
+let open_envelope doc =
+  match doc with
+  | Json.Object fields when List.mem_assoc "payload" fields -> (
+    let* fmt = Json.find_str "format" doc in
+    if fmt <> envelope_format then Error ("unsupported store version " ^ fmt)
+    else
+      let* checksum = Json.find_str "checksum" doc in
+      match List.assoc_opt "payload" fields with
+      | None -> Error "missing payload"
+      | Some payload ->
+        if String.lowercase_ascii checksum = payload_digest payload then Ok payload
+        else Error "checksum mismatch: file content is damaged")
+  | _ ->
+    (* Legacy v1 files are bare payloads with their own per-type
+       format tag; accept them so pre-v2 snapshots stay loadable. *)
+    Ok doc
 
 let save ~path doc =
   try
@@ -177,7 +259,7 @@ let save ~path doc =
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
-        output_string oc (Json.to_string doc);
+        output_string oc (Json.to_string (envelope doc));
         output_char oc '\n');
     Ok ()
   with Sys_error msg -> Error msg
@@ -185,13 +267,55 @@ let save ~path doc =
 let load ~path =
   try
     let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> Json.of_string (really_input_string ic (in_channel_length ic)))
-  with Sys_error msg -> Error msg
+    let* doc =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Json.of_string (really_input_string ic (in_channel_length ic)))
+    in
+    open_envelope doc
+  with
+  | Sys_error msg -> Error msg
+  | End_of_file -> Error (path ^ ": unexpected end of file")
 
 let save_crosstalk ~path xtalk = save ~path (crosstalk_to_json xtalk)
 
-let load_crosstalk ~path =
+let load_crosstalk ?topology ~path () =
   let* doc = load ~path in
-  crosstalk_of_json doc
+  crosstalk_of_json ?topology doc
+
+(* ---- quarantine and fallback ---- *)
+
+let quarantine ~path =
+  let rec fresh candidate n =
+    if Sys.file_exists candidate then fresh (Printf.sprintf "%s.corrupt.%d" path n) (n + 1)
+    else candidate
+  in
+  let target = fresh (path ^ ".corrupt") 1 in
+  try
+    Sys.rename path target;
+    Ok target
+  with Sys_error msg -> Error msg
+
+type load_report = {
+  data : Crosstalk.t option;
+  source : string option;
+  quarantined : (string * string) list;
+}
+
+let load_crosstalk_resilient ?topology ~paths () =
+  let quarantined = ref [] in
+  let rec attempt = function
+    | [] -> { data = None; source = None; quarantined = List.rev !quarantined }
+    | path :: rest ->
+      if not (Sys.file_exists path) then attempt rest
+      else begin
+        match load_crosstalk ?topology ~path () with
+        | Ok xtalk -> { data = Some xtalk; source = Some path; quarantined = List.rev !quarantined }
+        | Error why ->
+          (match quarantine ~path with
+          | Ok _ -> quarantined := (path, why) :: !quarantined
+          | Error rename_err -> quarantined := (path, why ^ "; quarantine failed: " ^ rename_err) :: !quarantined);
+          attempt rest
+      end
+  in
+  attempt paths

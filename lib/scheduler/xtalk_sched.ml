@@ -3,6 +3,17 @@ module Dag = Qcx_circuit.Dag
 module Schedule = Qcx_circuit.Schedule
 module Solver = Qcx_smt.Solver
 
+type rung = Exact | Incumbent | Clustered | Greedy | Parallel
+
+let rung_name = function
+  | Exact -> "exact"
+  | Incumbent -> "incumbent"
+  | Clustered -> "clustered"
+  | Greedy -> "greedy"
+  | Parallel -> "parallel"
+
+let all_rungs = [ Exact; Incumbent; Clustered; Greedy; Parallel ]
+
 type stats = {
   pairs : int;
   clusters : int;
@@ -10,6 +21,7 @@ type stats = {
   optimal : bool;
   objective : float;
   solve_seconds : float;
+  rung : rung;
 }
 
 (* Union-find over gate ids, used to cluster interfering pairs that
@@ -49,7 +61,7 @@ let extract_schedule circuit durations encoding (solution : Solver.solution) =
   Schedule.shift_to_zero (Schedule.make circuit ~starts ~durations)
 
 let schedule ?(omega = 0.5) ?(threshold = 3.0) ?(node_budget = 2_000_000)
-    ?(max_exact_pairs = 14) ~device ~xtalk circuit =
+    ?(max_exact_pairs = 14) ?deadline_seconds ?(ladder_start = Exact) ~device ~xtalk circuit =
   let circuit = Circuit.decompose_swaps circuit in
   if omega >= 1.0 then begin
     (* omega = 1 ignores decoherence entirely; any serialization is
@@ -66,85 +78,140 @@ let schedule ?(omega = 0.5) ?(threshold = 3.0) ?(node_budget = 2_000_000)
         optimal = true;
         objective = nan;
         solve_seconds = 0.0;
+        rung = Exact;
       } )
   end
   else begin
-  let durations = Durations.assign device circuit in
-  let dag = Dag.of_circuit circuit in
-  let instances = Encoding.interfering_instances ~device ~xtalk ~threshold ~dag in
   let t0 = Sys.time () in
-  let build ?instances () =
-    Encoding.build ?instances ~device ~xtalk ~omega ~threshold ~dag ~durations ()
+  let wall0 = Unix.gettimeofday () in
+  (* Remaining share of the compile deadline; every solver call below
+     gets it, so a blowup in one rung cannot eat the whole budget of
+     the rungs after it. *)
+  let remaining () =
+    match deadline_seconds with
+    | None -> None
+    | Some d -> Some (max 0.0 (d -. (Unix.gettimeofday () -. wall0)))
   in
-  let fallback () = (Par_sched.schedule device circuit, 0, false, nan) in
-  let sched, nodes, optimal, objective, nclusters =
-    if List.length instances <= max_exact_pairs then begin
-      let enc = build ~instances () in
-      match Solver.solve ~node_budget enc.Encoding.solver with
-      | Some sol ->
-        (extract_schedule circuit durations enc sol, sol.nodes, sol.optimal, sol.objective, 1)
-      | None ->
-        let s, n, o, obj = fallback () in
-        (s, n, o, obj, 1)
-    end
-    else begin
-      (* Cluster decomposition: optimize each connected component of
-         interfering pairs separately, then evaluate the union of
-         decisions once (zero remaining booleans). *)
-      let clusters = clusters_of instances in
-      let total_nodes = ref 0 in
-      let decisions =
-        List.concat_map
-          (fun cluster_instances ->
-            let enc = build ~instances:cluster_instances () in
-            match Solver.solve ~node_budget enc.Encoding.solver with
-            | None -> []
-            | Some sol ->
-              total_nodes := !total_nodes + sol.nodes;
-              List.map
-                (fun p ->
-                  ( (p.Encoding.gate1, p.Encoding.gate2),
-                    ( sol.bools.(p.Encoding.o),
-                      sol.bools.(p.Encoding.before),
-                      sol.bools.(p.Encoding.after) ) ))
-                enc.Encoding.pairs)
-          clusters
-      in
-      let enc = build ~instances () in
-      (* Pin every boolean with unit clauses; a single propagation
-         then reaches the unique leaf. *)
-      List.iter
-        (fun p ->
-          match List.assoc_opt (p.Encoding.gate1, p.Encoding.gate2) decisions with
-          | None -> ()
-          | Some (o, b, a) ->
-            Solver.add_clause enc.Encoding.solver [ { Solver.var = p.Encoding.o; value = o } ];
-            Solver.add_clause enc.Encoding.solver
-              [ { Solver.var = p.Encoding.before; value = b } ];
-            Solver.add_clause enc.Encoding.solver [ { Solver.var = p.Encoding.after; value = a } ])
-        enc.Encoding.pairs;
-      match Solver.solve ~node_budget enc.Encoding.solver with
-      | Some sol ->
-        ( extract_schedule circuit durations enc sol,
-          !total_nodes + sol.nodes,
-          false,
-          sol.objective,
-          List.length clusters )
-      | None ->
-        let s, n, o, obj = fallback () in
-        (s, n, o, obj, List.length clusters)
-    end
+  (* Degradation ladder (never fail a compile): each rung catches its
+     own failure — deadline expiry, budget exhaustion, unsat, even an
+     exception — and falls through to the next-cheaper scheduler.
+     ParSched, the last rung, is deterministic list scheduling with
+     nothing left to time out. *)
+  let finish ~pairs (sched, nodes, optimal, objective, nclusters, rung) =
+    ( sched,
+      {
+        pairs;
+        clusters = nclusters;
+        nodes;
+        optimal;
+        objective;
+        solve_seconds = Sys.time () -. t0;
+        rung;
+      } )
   in
-  let solve_seconds = Sys.time () -. t0 in
-  ( sched,
-    {
-      pairs = List.length instances;
-      clusters = nclusters;
-      nodes;
-      optimal;
-      objective;
-      solve_seconds;
-    } )
+  let parallel_rung () = (Par_sched.schedule device circuit, 0, false, nan, 0, Parallel) in
+  let greedy_rung () =
+    match Greedy_sched.schedule ~threshold ~device ~xtalk circuit with
+    | sched, _serialized -> (sched, 0, false, nan, 0, Greedy)
+    | exception _ -> parallel_rung ()
+  in
+  match
+    let durations = Durations.assign device circuit in
+    let dag = Dag.of_circuit circuit in
+    let instances = Encoding.interfering_instances ~device ~xtalk ~threshold ~dag in
+    let build ?instances () =
+      Encoding.build ?instances ~device ~xtalk ~omega ~threshold ~dag ~durations ()
+    in
+    let cluster_rung () =
+      match
+        (* Cluster decomposition: optimize each connected component of
+           interfering pairs separately, then evaluate the union of
+           decisions once (zero remaining booleans). *)
+        let clusters = clusters_of instances in
+        let total_nodes = ref 0 in
+        let decisions =
+          List.concat_map
+            (fun cluster_instances ->
+              let enc = build ~instances:cluster_instances () in
+              match Solver.solve ~node_budget ?deadline_seconds:(remaining ()) enc.Encoding.solver with
+              | None -> []
+              | Some sol ->
+                total_nodes := !total_nodes + sol.nodes;
+                List.map
+                  (fun p ->
+                    ( (p.Encoding.gate1, p.Encoding.gate2),
+                      ( sol.bools.(p.Encoding.o),
+                        sol.bools.(p.Encoding.before),
+                        sol.bools.(p.Encoding.after) ) ))
+                  enc.Encoding.pairs)
+            clusters
+        in
+        let enc = build ~instances () in
+        (* Pin every boolean with unit clauses; a single propagation
+           then reaches the unique leaf.  Pairs whose cluster timed out
+           without an incumbent stay free, so give the replay solve its
+           own deadline share too. *)
+        List.iter
+          (fun p ->
+            match List.assoc_opt (p.Encoding.gate1, p.Encoding.gate2) decisions with
+            | None -> ()
+            | Some (o, b, a) ->
+              Solver.add_clause enc.Encoding.solver [ { Solver.var = p.Encoding.o; value = o } ];
+              Solver.add_clause enc.Encoding.solver
+                [ { Solver.var = p.Encoding.before; value = b } ];
+              Solver.add_clause enc.Encoding.solver
+                [ { Solver.var = p.Encoding.after; value = a } ])
+          enc.Encoding.pairs;
+        match Solver.solve ~node_budget ?deadline_seconds:(remaining ()) enc.Encoding.solver with
+        | Some sol ->
+          Some
+            ( extract_schedule circuit durations enc sol,
+              !total_nodes + sol.nodes,
+              false,
+              sol.objective,
+              List.length clusters,
+              Clustered )
+        | None -> None
+      with
+      | Some r -> r
+      | None -> greedy_rung ()
+      | exception _ -> greedy_rung ()
+    in
+    let exact_rung () =
+      if List.length instances > max_exact_pairs then cluster_rung ()
+      else begin
+        match
+          let enc = build ~instances () in
+          Solver.solve ~node_budget ?deadline_seconds:(remaining ()) enc.Encoding.solver
+          |> Option.map (fun sol -> (enc, sol))
+        with
+        | Some (enc, sol) ->
+          let rung = if sol.Solver.optimal then Exact else Incumbent in
+          ( extract_schedule circuit durations enc sol,
+            sol.nodes,
+            sol.optimal,
+            sol.objective,
+            1,
+            rung )
+        | None -> cluster_rung ()
+        | exception _ -> cluster_rung ()
+      end
+    in
+    let result =
+      match ladder_start with
+      | Exact | Incumbent -> exact_rung ()
+      | Clustered -> cluster_rung ()
+      | Greedy -> greedy_rung ()
+      | Parallel -> parallel_rung ()
+    in
+    (result, List.length instances)
+  with
+  | result, pairs -> finish ~pairs result
+  | exception _ ->
+    (* Even building the encoding failed (malformed crosstalk data,
+       pathological DAG): serve the parallel schedule rather than
+       failing the compile. *)
+    finish ~pairs:0 (parallel_rung ())
   end
 
 let tune_omega ?(candidates = [ 0.0; 0.05; 0.2; 0.5; 0.8; 1.0 ]) ?(threshold = 3.0) ~device

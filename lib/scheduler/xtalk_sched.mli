@@ -19,13 +19,26 @@
     compile-time optimization the paper alludes to for large
     supremacy-style workloads (Section 9.4). *)
 
+type rung =
+  | Exact  (** solver proved optimality (or the serial omega=1 case) *)
+  | Incumbent  (** budget/deadline expired; best-so-far schedule served *)
+  | Clustered  (** per-cluster decomposition *)
+  | Greedy  (** GreedySched serialization *)
+  | Parallel  (** plain ParSched — the floor; always succeeds *)
+
+val rung_name : rung -> string
+
+val all_rungs : rung list
+(** In degradation order, best first. *)
+
 type stats = {
   pairs : int;  (** interfering CNOT instance pairs *)
-  clusters : int;  (** 1 when solved exactly in one shot *)
+  clusters : int;  (** 1 when solved exactly in one shot; 0 below Clustered *)
   nodes : int;  (** total branch-and-bound nodes *)
   optimal : bool;  (** false when decomposed or budget-limited *)
   objective : float;
   solve_seconds : float;  (** CPU time spent in the solver *)
+  rung : rung;  (** which degradation-ladder rung served this compile *)
 }
 
 val tune_omega :
@@ -47,12 +60,23 @@ val schedule :
   ?threshold:float ->
   ?node_budget:int ->
   ?max_exact_pairs:int ->
+  ?deadline_seconds:float ->
+  ?ladder_start:rung ->
   device:Qcx_device.Device.t ->
   xtalk:Qcx_device.Crosstalk.t ->
   Qcx_circuit.Circuit.t ->
   Qcx_circuit.Schedule.t * stats
 (** Defaults: [omega = 0.5], [threshold = 3.], [node_budget =
-    2_000_000], [max_exact_pairs = 14].  Logical SWAPs are decomposed
-    internally; the returned schedule is over the decomposed circuit.
-    [xtalk] is characterized conditional-error data (from
-    [Qcx_characterization]), not the device ground truth. *)
+    2_000_000], [max_exact_pairs = 14], no deadline.  Logical SWAPs
+    are decomposed internally; the returned schedule is over the
+    decomposed circuit.  [xtalk] is characterized conditional-error
+    data (from [Qcx_characterization]), not the device ground truth.
+
+    A compile request {e never fails}: on solver deadline/budget
+    expiry, unsatisfiability, or any internal error, the request
+    degrades rung by rung — best-so-far incumbent, per-cluster
+    decomposition, GreedySched, finally ParSched — and [stats.rung]
+    records which rung actually served it.  [deadline_seconds] is a
+    wall-clock bound shared by all solver calls of the compile.
+    [ladder_start] (default [Exact]) starts the descent lower — useful
+    for very large programs and for testing the lower rungs. *)

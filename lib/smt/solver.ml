@@ -20,6 +20,7 @@ type solution = {
   objective : float;
   optimal : bool;
   nodes : int;
+  timed_out : bool;
 }
 
 let create () =
@@ -66,6 +67,7 @@ let add_sink t v = t.sinks <- v :: t.sinks
 
 exception Conflict
 exception Budget
+exception Deadline
 
 type search_state = {
   problem : t;
@@ -74,6 +76,7 @@ type search_state = {
   mutable best : solution option;
   mutable node_count : int;
   budget : int;
+  deadline : float;  (** absolute wall-clock time; [infinity] = none *)
 }
 
 let lit_status st { var; value } =
@@ -214,6 +217,14 @@ let current_best_objective st =
 let rec search st =
   st.node_count <- st.node_count + 1;
   if st.node_count > st.budget then raise Budget;
+  (* The clock syscall is ~25 ns while a node costs microseconds, but
+     checking only every 64 nodes keeps the overhead unmeasurable and
+     still bounds the overshoot well below a millisecond. *)
+  if
+    st.deadline < infinity
+    && st.node_count land 63 = 0
+    && Unix.gettimeofday () > st.deadline
+  then raise Deadline;
   (* Prune. *)
   if feasible st then begin
     let lb = bool_cost_lb st in
@@ -244,6 +255,7 @@ let rec search st =
                     objective;
                     optimal = false;
                     nodes = st.node_count;
+                    timed_out = false;
                   }
         end
         else
@@ -265,7 +277,12 @@ let rec search st =
     end
   end
 
-let solve ?(node_budget = 2_000_000) t =
+let solve ?(node_budget = 2_000_000) ?deadline_seconds t =
+  let deadline =
+    match deadline_seconds with
+    | None -> infinity
+    | Some s -> if s = infinity then infinity else Unix.gettimeofday () +. max 0.0 s
+  in
   let st =
     {
       problem = t;
@@ -274,19 +291,21 @@ let solve ?(node_budget = 2_000_000) t =
       best = None;
       node_count = 0;
       budget = node_budget;
+      deadline;
     }
   in
   let undo = ref [] in
-  let complete =
+  let complete, timed_out =
     try
       propagate st undo;
       search st;
-      true
+      (true, false)
     with
-    | Conflict -> true
-    | Budget -> false
+    | Conflict -> (true, false)
+    | Budget -> (false, false)
+    | Deadline -> (false, true)
   in
   undo_all st undo;
   match st.best with
   | None -> None
-  | Some sol -> Some { sol with optimal = complete; nodes = st.node_count }
+  | Some sol -> Some { sol with optimal = complete; nodes = st.node_count; timed_out }

@@ -32,8 +32,9 @@ type solution = {
   bools : bool array;
   nums : float array;
   objective : float;
-  optimal : bool;  (** false when the node budget expired first *)
+  optimal : bool;  (** false when the node budget or deadline expired first *)
   nodes : int;  (** search nodes explored *)
+  timed_out : bool;  (** true when the wall-clock deadline expired *)
 }
 
 val create : unit -> t
@@ -63,5 +64,12 @@ val add_sink : t -> int -> unit
 (** Designate a numeric variable as a sink: its value is pinned to its
     minimal feasible value and upper-bounds the ALAP pass. *)
 
-val solve : ?node_budget:int -> t -> solution option
-(** [None] when unsatisfiable.  Default budget: 2_000_000 nodes. *)
+val solve : ?node_budget:int -> ?deadline_seconds:float -> t -> solution option
+(** [None] when unsatisfiable (or when the search was cut off before
+    reaching any leaf).  Default budget: 2_000_000 nodes; no deadline
+    by default.  [deadline_seconds] is a wall-clock limit on the
+    search: on expiry the best incumbent found so far is returned with
+    [optimal = false] and [timed_out = true].  The node budget alone
+    can miss wall-clock blowups on pathological clusters (deep
+    propagation and span-bound recomputation make per-node cost
+    uneven), so callers with latency targets should set both. *)

@@ -15,5 +15,6 @@ let () =
     @ Test_benchmarks.suite
     @ Test_metrics.suite
     @ Test_extensions.suite
+    @ Test_faults.suite
     @ Test_integration.suite
     @ Test_smoke.suite)

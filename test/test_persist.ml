@@ -66,7 +66,7 @@ let store_crosstalk_roundtrip () =
   let x = Crosstalk.set x ~target:(5, 10) ~spectator:(11, 12) 0.09 in
   let path = tmp "qcx_test_xtalk.json" in
   (match Store.save_crosstalk ~path x with Ok () -> () | Error e -> Alcotest.fail e);
-  match Store.load_crosstalk ~path with
+  match Store.load_crosstalk ~path () with
   | Error e -> Alcotest.fail e
   | Ok loaded ->
     Alcotest.(check int) "same entry count"
