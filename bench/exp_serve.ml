@@ -1,0 +1,260 @@
+(* Load-generator bench for the compilation service (DESIGN.md
+   section 8): replays a seeded, popularity-skewed workload of SWAP /
+   QAOA / Hidden-Shift compile requests across several devices against
+   an in-process Service, and reports throughput, latency percentiles,
+   cache hit rate, and the degradation-rung histogram to
+   BENCH_serve.json.
+
+   Every cache hit is verified against a cold compile of the same
+   canonical request (same key => bit-identical schedule); a mismatch
+   fails the bench. *)
+
+module Service = Core.Service
+module Wire = Core.Wire
+module Registry = Core.Registry
+module Cache = Core.Cache
+module Json = Core.Json
+
+type template = { label : string; device : string; circuit : Core.Circuit.t }
+
+let swap_templates device ~per_device =
+  let name = Core.Device.name device in
+  Core.Presets.swap_endpoints device
+  |> List.filteri (fun i _ -> i < per_device)
+  |> List.map (fun (src, dst) ->
+         let bench = Core.Swap_circuits.build device ~src ~dst in
+         {
+           label = Printf.sprintf "%s/swap-%d-%d" name src dst;
+           device = name;
+           circuit = Core.Circuit.measure_all bench.Core.Swap_circuits.circuit;
+         })
+
+let qaoa_templates device ~rng ~per_device =
+  let name = Core.Device.name device in
+  Core.Presets.qaoa_regions device
+  |> List.filteri (fun i _ -> i < per_device)
+  |> List.map (fun region ->
+         let inst = Core.Qaoa.build device ~rng:(Core.Rng.split rng) ~region in
+         {
+           label = Printf.sprintf "%s/qaoa-%s" name (String.concat "." (List.map string_of_int region));
+           device = name;
+           circuit = inst.Core.Qaoa.circuit;
+         })
+
+let hs_templates device ~per_device =
+  let name = Core.Device.name device in
+  let shifts = [ [ true; false; true; false ]; [ false; true; true; true ] ] in
+  match Core.Presets.qaoa_regions device with
+  | [] -> []
+  | region :: _ ->
+    shifts
+    |> List.filteri (fun i _ -> i < per_device)
+    |> List.map (fun shift ->
+           let inst = Core.Hidden_shift.build device ~region ~shift ~redundancy:0 in
+           {
+             label =
+               Printf.sprintf "%s/hs-%s" name
+                 (String.concat "" (List.map (fun b -> if b then "1" else "0") shift));
+             device = name;
+             circuit = inst.Core.Hidden_shift.circuit;
+           })
+
+let percentile_ms p xs = 1000.0 *. Core.Stats.percentile p xs
+
+let summary_json xs =
+  Json.Object
+    [
+      ("count", Json.Number (float_of_int (List.length xs)));
+      ("p50_ms", Json.Number (percentile_ms 50.0 xs));
+      ("p99_ms", Json.Number (percentile_ms 99.0 xs));
+      ("mean_ms", Json.Number (1000.0 *. Core.Stats.mean xs));
+    ]
+
+let run ~seed ~requests ~jobs ~out =
+  let rng = Core.Rng.create seed in
+  let devices = [ Core.Presets.example_6q (); Core.Presets.poughkeepsie (); Core.Presets.johannesburg () ] in
+  let registry = Registry.create () in
+  List.iter
+    (fun d ->
+      ignore
+        (Registry.add_static registry ~id:(Core.Device.name d) ~device:d
+           ~xtalk:(Core.Device.ground_truth d)))
+    devices;
+  let templates =
+    List.concat_map
+      (fun d ->
+        swap_templates d ~per_device:4
+        @ qaoa_templates d ~rng ~per_device:2
+        @ hs_templates d ~per_device:2)
+      devices
+  in
+  let templates = Array.of_list (Core.Rng.shuffle_list rng templates) in
+  let ntempl = Array.length templates in
+  (* Zipf-skewed popularity: rank r drawn with weight 1/(r+1). *)
+  let weighted =
+    List.init ntempl (fun r -> (1.0 /. float_of_int (r + 1), templates.(r)))
+  in
+  let workload = List.init requests (fun _ -> Core.Rng.weighted_choice rng weighted) in
+  Printf.printf "serve bench: %d requests over %d templates on %d devices (seed %d, jobs %d)\n%!"
+    requests ntempl (List.length devices) seed jobs;
+
+  (* Phase 1: sequential replay, per-request wall-clock latency. *)
+  let config = { Service.default_config with Service.jobs = 1 } in
+  let service = Service.create ~config registry in
+  let served = Hashtbl.create 64 in  (* key -> (template, served schedule json) *)
+  let cold = ref [] and cached = ref [] in
+  let hit_keys = Hashtbl.create 64 in
+  let rung_tally = Hashtbl.create 8 in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun tpl ->
+      let t1 = Unix.gettimeofday () in
+      match Service.compile service ~device:tpl.device tpl.circuit with
+      | Error e ->
+        Printf.eprintf "compile of %s failed: %s\n" tpl.label e;
+        exit 1
+      | Ok o ->
+        let dt = Unix.gettimeofday () -. t1 in
+        let rung = Core.Xtalk_sched.rung_name o.Service.stats.Core.Xtalk_sched.rung in
+        Hashtbl.replace rung_tally rung (1 + Option.value ~default:0 (Hashtbl.find_opt rung_tally rung));
+        let sched_json = Json.to_string (Wire.schedule_to_json o.Service.schedule) in
+        if o.Service.cached then begin
+          cached := dt :: !cached;
+          Hashtbl.replace hit_keys o.Service.key sched_json
+        end
+        else begin
+          cold := dt :: !cold;
+          if not (Hashtbl.mem served o.Service.key) then
+            Hashtbl.add served o.Service.key (tpl, sched_json)
+        end)
+    workload;
+  let sequential_seconds = Unix.gettimeofday () -. t0 in
+  let hits = List.length !cached and misses = List.length !cold in
+  let hit_rate = float_of_int hits /. float_of_int requests in
+
+  (* Phase 2: verify every hit against a cold compile.  All hits of a
+     key serve the same immutable cache entry, so one cold compile per
+     hit key covers them all. *)
+  let mismatches = ref 0 and verified_keys = ref 0 in
+  Hashtbl.iter
+    (fun key hit_json ->
+      incr verified_keys;
+      let tpl, _ =
+        match Hashtbl.find_opt served key with
+        | Some v -> v
+        | None ->
+          Printf.eprintf "internal: hit key %s never compiled cold\n" key;
+          exit 1
+      in
+      let fresh = Service.create ~config registry in
+      match Service.compile fresh ~device:tpl.device tpl.circuit with
+      | Error e ->
+        Printf.eprintf "verification compile of %s failed: %s\n" tpl.label e;
+        exit 1
+      | Ok o ->
+        let cold_json = Json.to_string (Wire.schedule_to_json o.Service.schedule) in
+        if cold_json <> hit_json then begin
+          incr mismatches;
+          Printf.eprintf "MISMATCH: cached %s differs from cold compile\n" tpl.label
+        end)
+    hit_keys;
+
+  (* Phase 3: batched replay through handle_batch on a cold cache —
+     the Pool-parallel path. *)
+  let bconfig = { Service.default_config with Service.jobs } in
+  let bservice = Service.create ~config:bconfig registry in
+  let reqs =
+    List.mapi
+      (fun i tpl ->
+        Wire.Compile
+          {
+            id = Printf.sprintf "b%d" i;
+            device = tpl.device;
+            circuit = tpl.circuit;
+            params = Wire.default_params;
+          })
+      workload
+  in
+  let rec chunks acc = function
+    | [] -> List.rev acc
+    | rest ->
+      let n = min bconfig.Service.queue_bound (List.length rest) in
+      let batch = List.filteri (fun i _ -> i < n) rest in
+      let tail = List.filteri (fun i _ -> i >= n) rest in
+      chunks (batch :: acc) tail
+  in
+  let t2 = Unix.gettimeofday () in
+  let responses = List.concat_map (fun batch -> Service.handle_batch bservice batch) (chunks [] reqs) in
+  let batched_seconds = Unix.gettimeofday () -. t2 in
+  let overloaded =
+    List.length
+      (List.filter
+         (fun r -> match Json.find_str "status" r with Ok "overloaded" -> true | _ -> false)
+         responses)
+  in
+
+  let c = Cache.counters (Service.cache service) in
+  let cold_p50 = percentile_ms 50.0 !cold and cached_p50 = percentile_ms 50.0 !cached in
+  let speedup = cold_p50 /. Float.max 1e-9 cached_p50 in
+  let doc =
+    Json.Object
+      [
+        ("requests", Json.Number (float_of_int requests));
+        ("templates", Json.Number (float_of_int ntempl));
+        ("seed", Json.Number (float_of_int seed));
+        ("jobs", Json.Number (float_of_int jobs));
+        ("hits", Json.Number (float_of_int hits));
+        ("misses", Json.Number (float_of_int misses));
+        ("hit_rate", Json.Number hit_rate);
+        ("cold", summary_json !cold);
+        ("cached", summary_json !cached);
+        ("speedup_p50", Json.Number speedup);
+        ( "throughput_rps",
+          Json.Object
+            [
+              ("sequential", Json.Number (float_of_int requests /. sequential_seconds));
+              ("batched", Json.Number (float_of_int requests /. batched_seconds));
+            ] );
+        ( "rungs",
+          Json.Object
+            (List.filter_map
+               (fun r ->
+                 let name = Core.Xtalk_sched.rung_name r in
+                 Option.map (fun n -> (name, Json.Number (float_of_int n)))
+                   (Hashtbl.find_opt rung_tally name))
+               Core.Xtalk_sched.all_rungs) );
+        ( "verify",
+          Json.Object
+            [
+              ("verified_keys", Json.Number (float_of_int !verified_keys));
+              ("verified_hits", Json.Number (float_of_int hits));
+              ("mismatches", Json.Number (float_of_int !mismatches));
+            ] );
+        ("overloaded", Json.Number (float_of_int overloaded));
+        ( "cache",
+          Json.Object
+            [
+              ("hits", Json.Number (float_of_int c.Cache.hits));
+              ("misses", Json.Number (float_of_int c.Cache.misses));
+              ("evictions", Json.Number (float_of_int c.Cache.evictions));
+              ("insertions", Json.Number (float_of_int c.Cache.insertions));
+              ("size", Json.Number (float_of_int c.Cache.size));
+            ] );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf
+    "hit rate %.1f%% (%d/%d), cold p50 %.2f ms, cached p50 %.4f ms (%.0fx), seq %.1f req/s, batched %.1f req/s\n"
+    (100.0 *. hit_rate) hits requests cold_p50 cached_p50 speedup
+    (float_of_int requests /. sequential_seconds)
+    (float_of_int requests /. batched_seconds);
+  Printf.printf "verified %d hit keys against cold compiles: %d mismatches\n" !verified_keys
+    !mismatches;
+  Printf.printf "wrote %s\n" out;
+  if hit_rate <= 0.5 || speedup < 10.0 || !mismatches > 0 then begin
+    Printf.eprintf "serve bench FAILED: hit rate, speedup, or hit fidelity below target\n";
+    exit 1
+  end

@@ -11,7 +11,10 @@
      dune exec bench/main.exe -- --bench-exec  # executor throughput -> BENCH_exec.json
      dune exec bench/main.exe -- --soak --days 10 --seed 7   # fault-injected soak
        (more soak flags: --jobs N --soak-device NAME --no-faults --soak-dir DIR
-        --out FILE; writes SOAK.json) *)
+        --out FILE; writes SOAK.json)
+     dune exec bench/main.exe -- --serve-bench --requests 160 --seed 7 --jobs 4
+       (seeded skewed compile workload against the serving layer;
+        writes BENCH_serve.json) *)
 
 let experiments =
   [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "tab1"; "scale"; "ablation" ]
@@ -27,7 +30,7 @@ let () =
     Microbench.bench_exec_json ();
     exit 0
   end;
-  if List.mem "--soak" args then begin
+  if List.mem "--soak" args || List.mem "--serve-bench" args then begin
     let int_flag name default =
       let rec find = function
         | flag :: v :: _ when flag = name -> (
@@ -49,14 +52,21 @@ let () =
       in
       find args
     in
-    Exp_soak.run
-      ~days:(int_flag "--days" 10)
-      ~seed:(int_flag "--seed" 7)
-      ~jobs:(int_flag "--jobs" 1)
-      ~device_name:(str_flag "--soak-device" "example6q")
-      ~faults:(not (List.mem "--no-faults" args))
-      ~dir:(str_flag "--soak-dir" "soak-snapshots")
-      ~out:(str_flag "--out" "SOAK.json");
+    if List.mem "--serve-bench" args then
+      Exp_serve.run
+        ~seed:(int_flag "--seed" 7)
+        ~requests:(int_flag "--requests" 160)
+        ~jobs:(int_flag "--jobs" 4)
+        ~out:(str_flag "--out" "BENCH_serve.json")
+    else
+      Exp_soak.run
+        ~days:(int_flag "--days" 10)
+        ~seed:(int_flag "--seed" 7)
+        ~jobs:(int_flag "--jobs" 1)
+        ~device_name:(str_flag "--soak-device" "example6q")
+        ~faults:(not (List.mem "--no-faults" args))
+        ~dir:(str_flag "--soak-dir" "soak-snapshots")
+        ~out:(str_flag "--out" "SOAK.json");
     exit 0
   end;
   let quality = if List.mem "--full" args then Ctx.Full else Ctx.Quick in

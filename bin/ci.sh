@@ -1,17 +1,31 @@
 #!/bin/sh
 # CI entry point: typecheck, build everything, run the test suite,
-# then a 2-day fault-injected mini soak as an end-to-end smoke test
-# (fails on any compile loss or ingested corruption).
+# then two end-to-end smoke tests: a 2-day fault-injected mini soak
+# (fails on any compile loss or ingested corruption) and a compile
+# request served through the qcx_serve --once NDJSON path.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build @check
 dune build
 dune runtest
+dune build @serve
 
 SOAK_SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/qcx-ci-soak.XXXXXX")"
 trap 'rm -rf "$SOAK_SCRATCH"' EXIT
 dune exec bench/main.exe -- --soak --days 2 --seed 7 \
   --soak-dir "$SOAK_SCRATCH/snapshots" --out "$SOAK_SCRATCH/SOAK.json"
+
+# Serving-layer smoke test: one compile request in --once mode must
+# come back with status ok and a schedule.
+SERVE_REQ='{"op":"compile","id":"ci","device":"example6q","circuit":{"nqubits":6,"gates":[{"g":"h","q":[0]},{"g":"cx","q":[0,1]},{"g":"measure","q":[0]},{"g":"measure","q":[1]}]}}'
+SERVE_OUT="$(printf '%s\n' "$SERVE_REQ" | dune exec bin/qcx_serve.exe -- --once --devices example6q --oracle-xtalk)"
+case "$SERVE_OUT" in
+  *'"status": "ok"'*'"schedule"'*) ;;
+  *)
+    echo "ci: serve smoke test failed: $SERVE_OUT" >&2
+    exit 1
+    ;;
+esac
 
 echo "ci: OK"

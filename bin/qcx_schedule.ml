@@ -39,7 +39,50 @@ let deadline_term =
   in
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
 
-let run device seed jobs src dst scheduler omega oracle xtalk_file deadline emit_qasm =
+let cache_dir_term =
+  let doc =
+    "Persist the content-addressed schedule cache in DIR (xtalk scheduler only): \
+     repeated compiles of the same circuit, crosstalk epoch and knobs are served \
+     from DIR/schedule-cache.json instead of re-solving; cache and registry stats \
+     are printed after the compile."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+(* Compile through the serving layer's persisted cache: warm-start
+   from DIR/schedule-cache.json, serve or solve, persist back, and
+   report the cache/registry counters. *)
+let compile_cached ~dir device ~xtalk ~omega ~deadline circuit =
+  let registry = Core.Registry.create () in
+  let id = Core.Device.name device in
+  ignore (Core.Registry.add_static registry ~id ~device ~xtalk);
+  let service = Core.Service.create registry in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let cache_path = Filename.concat dir "schedule-cache.json" in
+  if Sys.file_exists cache_path then begin
+    match Core.Service.load_cache service ~path:cache_path with
+    | Ok n -> Printf.printf "cache: warm-started %d entries from %s\n" n cache_path
+    | Error e -> Printf.printf "cache: ignoring damaged %s: %s\n" cache_path e
+  end;
+  let params = { Core.Wire.default_params with Core.Wire.omega; deadline } in
+  match Core.Service.compile service ~device:id ~params circuit with
+  | Error e ->
+    Printf.eprintf "compile failed: %s\n" e;
+    exit 1
+  | Ok o ->
+    (match Core.Service.save_cache service ~path:cache_path with
+    | Ok () -> ()
+    | Error e -> Printf.eprintf "cache: failed to persist %s: %s\n" cache_path e);
+    let c = Core.Cache.counters (Core.Service.cache service) in
+    Printf.printf "cache: %s (key %s..., epoch %s...)\n"
+      (if o.Core.Service.cached then "HIT" else "miss -> compiled and stored")
+      (String.sub o.Core.Service.key 0 12)
+      (String.sub o.Core.Service.epoch 0 12);
+    Printf.printf "cache: hits %d, misses %d, evictions %d, size %d/%d\n" c.Core.Cache.hits
+      c.Core.Cache.misses c.Core.Cache.evictions c.Core.Cache.size c.Core.Cache.capacity;
+    (o.Core.Service.schedule, Some o.Core.Service.stats)
+
+let run device seed jobs src dst scheduler omega oracle xtalk_file deadline cache_dir
+    emit_qasm =
   let rng = Core.Rng.create seed in
   let bench = Core.Swap_circuits.build device ~src ~dst in
   let circuit = Core.Circuit.measure_all bench.Core.Swap_circuits.circuit in
@@ -70,8 +113,14 @@ let run device seed jobs src dst scheduler omega oracle xtalk_file deadline emit
       exit 2
   in
   let sched, stats =
-    Core.Pipeline.compile ~scheduler:sched_kind ?deadline_seconds:deadline device ~xtalk
-      circuit
+    match (cache_dir, sched_kind) with
+    | Some dir, Core.Xtalk_sched omega ->
+      compile_cached ~dir device ~xtalk ~omega ~deadline circuit
+    | _ ->
+      if cache_dir <> None then
+        Printf.printf "cache: only the xtalk scheduler is cached; compiling directly\n";
+      Core.Pipeline.compile ~scheduler:sched_kind ?deadline_seconds:deadline device ~xtalk
+        circuit
   in
   Printf.printf "device: %s\n" (Core.Device.name device);
   Printf.printf "workload: SWAP path %d -> %d (%d gates, %d CNOTs)\n" src dst
@@ -104,6 +153,6 @@ let cmd =
     Term.(
       const run $ Common.device_term $ Common.seed_term $ Common.jobs_term $ src_term $ dst_term
       $ scheduler_term $ omega_term $ oracle_term $ xtalk_file_term $ deadline_term
-      $ emit_qasm_term)
+      $ cache_dir_term $ emit_qasm_term)
 
 let () = exit (Cmd.eval cmd)

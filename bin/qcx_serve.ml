@@ -1,0 +1,136 @@
+(* CLI: the long-running compilation service.
+
+     dune exec bin/qcx_serve.exe -- --socket /tmp/qcx.sock \
+       --devices poughkeepsie,example6q --oracle-xtalk --jobs 4
+
+   Speaks newline-delimited JSON (one request per line, one response
+   per line; see DESIGN.md section 8).  `--once` reads requests from
+   stdin and answers on stdout — the test and CI mode:
+
+     echo '{"op":"ping","id":"p1"}' | dune exec bin/qcx_serve.exe -- --once *)
+
+open Cmdliner
+
+let devices_term =
+  let doc =
+    "Comma-separated device list: poughkeepsie | johannesburg | boeblingen | example6q."
+  in
+  Arg.(value & opt string "poughkeepsie" & info [ "devices" ] ~docv:"NAMES" ~doc)
+
+let socket_term =
+  let doc = "Unix-domain socket path to serve on." in
+  Arg.(value & opt string "qcx-serve.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let once_term =
+  let doc = "Serve one stdin/stdout round and exit (test mode)." in
+  Arg.(value & flag & info [ "once" ] ~doc)
+
+let snapshot_dir_term =
+  let doc =
+    "Directory of characterized crosstalk snapshots; each device loads \
+     DIR/<name>.xtalk.json (as written by qcx_characterize --output), with corrupt \
+     files quarantined.  The `bump` op re-reads it."
+  in
+  Arg.(value & opt (some string) None & info [ "snapshot-dir" ] ~docv:"DIR" ~doc)
+
+let oracle_term =
+  let doc = "Serve from ground-truth crosstalk instead of snapshots (demo mode)." in
+  Arg.(value & flag & info [ "oracle-xtalk" ] ~doc)
+
+let queue_bound_term =
+  let doc = "Admission limit per batch; excess requests get an `overloaded` response." in
+  Arg.(value & opt int Core.Service.default_config.Core.Service.queue_bound
+       & info [ "queue-bound" ] ~docv:"N" ~doc)
+
+let cache_capacity_term =
+  let doc = "LRU capacity of the schedule cache." in
+  Arg.(value & opt int Core.Service.default_config.Core.Service.cache_capacity
+       & info [ "cache-capacity" ] ~docv:"N" ~doc)
+
+let cache_file_term =
+  let doc = "Warm-start the schedule cache from FILE and persist it back on shutdown." in
+  Arg.(value & opt (some string) None & info [ "cache-file" ] ~docv:"FILE" ~doc)
+
+let lookup_device name =
+  match String.lowercase_ascii name with
+  | "example6q" | "example" -> Some (Core.Presets.example_6q ())
+  | n -> Core.Presets.by_name n
+
+let run devices_csv socket once snapshot_dir oracle jobs queue_bound cache_capacity
+    cache_file =
+  let names =
+    String.split_on_char ',' devices_csv
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if names = [] then begin
+    Printf.eprintf "no devices given\n";
+    exit 2
+  end;
+  let registry = Core.Registry.create () in
+  List.iter
+    (fun name ->
+      match lookup_device name with
+      | None ->
+        Printf.eprintf "unknown device %s\n" name;
+        exit 2
+      | Some device ->
+        let entry =
+          match snapshot_dir with
+          | Some dir ->
+            Core.Registry.add_from_paths registry ~id:name ~device
+              ~paths:[ Filename.concat dir (name ^ ".xtalk.json") ]
+          | None ->
+            let xtalk =
+              if oracle then Core.Device.ground_truth device else Core.Crosstalk.empty
+            in
+            Core.Registry.add_static registry ~id:name ~device ~xtalk
+        in
+        List.iter
+          (fun (path, why) -> Printf.eprintf "quarantined %s: %s\n%!" path why)
+          entry.Core.Registry.quarantined;
+        Printf.eprintf "registered %s (%d qubits) epoch %s%s\n%!" name
+          (Core.Device.nqubits device)
+          (String.sub entry.Core.Registry.epoch 0 12)
+          (match entry.Core.Registry.source with
+          | Some p -> " from " ^ p
+          | None -> if oracle then " (oracle)" else " (no snapshot; empty crosstalk)"))
+    names;
+  let config =
+    {
+      Core.Service.jobs;
+      queue_bound;
+      cache_capacity;
+    }
+  in
+  let service = Core.Service.create ~config registry in
+  (match cache_file with
+  | Some path when Sys.file_exists path -> (
+    match Core.Service.load_cache service ~path with
+    | Ok n -> Printf.eprintf "cache: warm-started %d entries from %s\n%!" n path
+    | Error e -> Printf.eprintf "cache: ignoring %s: %s\n%!" path e)
+  | _ -> ());
+  if once then Core.Server.serve_channels service stdin stdout
+  else begin
+    Printf.eprintf "serving on %s (jobs %d, queue bound %d, cache %d)\n%!" socket jobs
+      queue_bound cache_capacity;
+    Core.Server.serve_socket service ~path:socket;
+    Printf.eprintf "shutdown requested; exiting\n%!"
+  end;
+  match cache_file with
+  | Some path -> (
+    match Core.Service.save_cache service ~path with
+    | Ok () -> Printf.eprintf "cache: persisted to %s\n%!" path
+    | Error e -> Printf.eprintf "cache: failed to persist %s: %s\n%!" path e)
+  | None -> ()
+
+let cmd =
+  let info =
+    Cmd.info "qcx_serve" ~doc:"Serve crosstalk-aware compilations over a Unix socket"
+  in
+  Cmd.v info
+    Term.(
+      const run $ devices_term $ socket_term $ once_term $ snapshot_dir_term $ oracle_term
+      $ Common.jobs_term $ queue_bound_term $ cache_capacity_term $ cache_file_term)
+
+let () = exit (Cmd.eval cmd)

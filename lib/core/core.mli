@@ -71,6 +71,12 @@ module Hidden_shift = Qcx_benchmarks.Hidden_shift
 module Supremacy = Qcx_benchmarks.Supremacy
 module Fault_plan = Qcx_faults.Fault_plan
 module Soak = Qcx_faults.Soak
+module Canon = Qcx_serve.Canon
+module Wire = Qcx_serve.Wire
+module Cache = Qcx_serve.Cache
+module Registry = Qcx_serve.Registry
+module Service = Qcx_serve.Service
+module Server = Qcx_serve.Server
 module Tomography = Qcx_metrics.Tomography
 module Cross_entropy = Qcx_metrics.Cross_entropy
 module Readout_mitigation = Qcx_metrics.Readout_mitigation

@@ -254,15 +254,22 @@ let open_envelope doc =
     Ok doc
 
 let save ~path doc =
+  (* Write-then-rename: a writer that dies mid-write leaves only a
+     stale [.tmp], never a truncated snapshot at [path] for a reader
+     (or the server's registry) to quarantine. *)
+  let tmp = path ^ ".tmp" in
   try
-    let oc = open_out path in
+    let oc = open_out tmp in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
         output_string oc (Json.to_string (envelope doc));
         output_char oc '\n');
+    Sys.rename tmp path;
     Ok ()
-  with Sys_error msg -> Error msg
+  with Sys_error msg ->
+    (try if Sys.file_exists tmp then Sys.remove tmp with Sys_error _ -> ());
+    Error msg
 
 let load ~path =
   try

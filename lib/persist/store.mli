@@ -37,7 +37,10 @@ val device_snapshot_of_json :
 
 val save : path:string -> Json.t -> (unit, string) result
 (** Wraps the document in the v2 envelope: a [format] version tag and
-    an MD5 checksum of the canonical payload serialization. *)
+    an MD5 checksum of the canonical payload serialization.  The write
+    is atomic — the document lands in [path ^ ".tmp"] first and is
+    renamed into place — so a crashed writer can never leave a
+    truncated snapshot at [path]. *)
 
 val load : path:string -> (Json.t, string) result
 (** Unwraps and verifies the envelope, returning the payload.  A

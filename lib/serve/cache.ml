@@ -1,0 +1,176 @@
+module Json = Qcx_persist.Json
+module Store = Qcx_persist.Store
+
+let ( let* ) = Result.bind
+
+type entry = {
+  schedule : Qcx_circuit.Schedule.t;
+  stats : Qcx_scheduler.Xtalk_sched.stats;
+}
+
+(* Intrusive doubly-linked recency list: head = most recent. *)
+type node = {
+  key : string;
+  mutable entry : entry;
+  mutable prev : node option;  (* toward head *)
+  mutable next : node option;  (* toward tail *)
+}
+
+type t = {
+  capacity : int;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable insertions : int;
+}
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    insertions = 0;
+  }
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let mem t key = Hashtbl.mem t.table key
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    Some node.entry
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key;
+    t.evictions <- t.evictions + 1
+
+let add t key entry =
+  (match Hashtbl.find_opt t.table key with
+  | Some node ->
+    node.entry <- entry;
+    unlink t node;
+    push_front t node
+  | None ->
+    let node = { key; entry; prev = None; next = None } in
+    Hashtbl.replace t.table key node;
+    push_front t node;
+    t.insertions <- t.insertions + 1);
+  while Hashtbl.length t.table > t.capacity do
+    evict_lru t
+  done
+
+let counters (t : t) : counters =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    insertions = t.insertions;
+    size = Hashtbl.length t.table;
+    capacity = t.capacity;
+  }
+
+let keys_newest_first t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk (node.key :: acc) node.next
+  in
+  walk [] t.head
+
+(* ---- persistence ---- *)
+
+let format_tag = "qcx-schedule-cache-v1"
+
+let to_json t =
+  (* Oldest first, so replaying [add] on load reproduces recency. *)
+  let rec oldest acc = function
+    | None -> acc
+    | Some node -> oldest (node :: acc) node.next
+  in
+  let entries =
+    List.map
+      (fun node ->
+        Json.Object
+          [
+            ("key", Json.String node.key);
+            ("stats", Wire.stats_to_json node.entry.stats);
+            ("schedule", Wire.schedule_to_json node.entry.schedule);
+          ])
+      (oldest [] t.head)
+  in
+  Json.Object [ ("format", Json.String format_tag); ("entries", Json.Array entries) ]
+
+let of_json ~capacity doc =
+  let* fmt = Json.find_str "format" doc in
+  if fmt <> format_tag then Error ("unknown format " ^ fmt)
+  else
+    let* entry_docs = Json.find_list "entries" doc in
+    let t = create ~capacity in
+    let* () =
+      List.fold_left
+        (fun acc edoc ->
+          let* () = acc in
+          let* key = Json.find_str "key" edoc in
+          let* stats =
+            match Json.member "stats" edoc with
+            | Some s -> Wire.stats_of_json s
+            | None -> Error "missing stats"
+          in
+          let* schedule =
+            match Json.member "schedule" edoc with
+            | Some s -> Wire.schedule_of_json s
+            | None -> Error "missing schedule"
+          in
+          add t key { schedule; stats };
+          Ok ())
+        (Ok ()) entry_docs
+    in
+    (* Loading is not serving: forget the replay's counter noise. *)
+    t.hits <- 0;
+    t.misses <- 0;
+    t.evictions <- 0;
+    t.insertions <- 0;
+    Ok t
+
+let save ~path t = Store.save ~path (to_json t)
+
+let load ~capacity ~path =
+  let* doc = Store.load ~path in
+  of_json ~capacity doc

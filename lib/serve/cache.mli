@@ -1,0 +1,61 @@
+(** Bounded, content-addressed schedule cache (LRU eviction).
+
+    Keys are hex digests produced by the service from the canonical
+    circuit form × device epoch × scheduler params (see
+    {!Service.cache_key}); values are the compiled schedule and its
+    solver stats.  The cache holds the schedules themselves, so a hit
+    serves the exact value a cold compile produced — bit-identical by
+    construction.
+
+    Hit/miss/eviction counters are monotonic over the cache lifetime
+    (a warm start does not reset them to the persisted run's values).
+    Entries survive restarts through {!save}/{!load}, which round-trip
+    through the checksummed {!Qcx_persist.Store} envelope; a damaged
+    warm-start file is an [Error], never a crash or a poisoned
+    cache. *)
+
+type entry = {
+  schedule : Qcx_circuit.Schedule.t;
+  stats : Qcx_scheduler.Xtalk_sched.stats;
+}
+
+type t
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  size : int;
+  capacity : int;
+}
+
+val create : capacity:int -> t
+(** [capacity] must be positive. *)
+
+val find : t -> string -> entry option
+(** Bumps the entry to most-recently-used and counts a hit; absence
+    counts a miss. *)
+
+val mem : t -> string -> bool
+(** Presence test with no recency bump and no counter update. *)
+
+val add : t -> string -> entry -> unit
+(** Insert (or overwrite) and mark most-recently-used, evicting the
+    least-recently-used entries beyond capacity. *)
+
+val counters : t -> counters
+
+val keys_newest_first : t -> string list
+(** Recency order, most recent first — exposed for eviction tests. *)
+
+val to_json : t -> Qcx_persist.Json.t
+
+val of_json : capacity:int -> Qcx_persist.Json.t -> (t, string) result
+(** Restore entries (recency preserved, counters zeroed).  Entries
+    beyond [capacity] are evicted oldest-first on load. *)
+
+val save : path:string -> t -> (unit, string) result
+(** Atomic write through the v2 store envelope. *)
+
+val load : capacity:int -> path:string -> (t, string) result

@@ -1,0 +1,46 @@
+module Circuit = Qcx_circuit.Circuit
+module Gate = Qcx_circuit.Gate
+
+let normalize ?nqubits circuit =
+  let nq = match nqubits with Some n -> n | None -> Circuit.nqubits circuit in
+  (* Pass 1: normalize operand order and measure runs, dropping ids. *)
+  let flush pending acc =
+    List.fold_left
+      (fun acc q -> (Gate.Measure, [ q ]) :: acc)
+      acc
+      (List.sort compare (List.rev pending))
+  in
+  let pending, rev =
+    List.fold_left
+      (fun (pending, rev) (g : Gate.t) ->
+        match g.kind with
+        | Gate.Measure -> (List.hd g.qubits :: pending, rev)
+        | Gate.Swap | Gate.Barrier -> ([], (g.kind, List.sort compare g.qubits) :: flush pending rev)
+        | kind -> ([], (kind, g.qubits) :: flush pending rev))
+      ([], []) (Circuit.gates circuit)
+  in
+  let gates = List.rev (flush pending rev) in
+  let circuit =
+    List.fold_left (fun c (kind, qs) -> Circuit.add c kind qs) (Circuit.create nq) gates
+  in
+  (* Pass 2: decompose logical SWAPs (operand order is already pinned,
+     so the three-CNOT expansion is canonical too).  Ids come out
+     sequential in program order. *)
+  Circuit.decompose_swaps circuit
+
+let serialize circuit =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "q %d\n" (Circuit.nqubits circuit));
+  List.iter
+    (fun (g : Gate.t) ->
+      Buffer.add_string b (Gate.kind_name g.kind);
+      (match g.kind with
+      | Gate.Rx t | Gate.Ry t | Gate.Rz t -> Buffer.add_string b (Printf.sprintf " %h" t)
+      | Gate.U2 (p, l) -> Buffer.add_string b (Printf.sprintf " %h %h" p l)
+      | _ -> ());
+      List.iter (fun q -> Buffer.add_string b (Printf.sprintf " %d" q)) g.qubits;
+      Buffer.add_char b '\n')
+    (Circuit.gates circuit);
+  Buffer.contents b
+
+let digest ?nqubits circuit = Digest.to_hex (Digest.string (serialize (normalize ?nqubits circuit)))

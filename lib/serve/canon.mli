@@ -1,0 +1,35 @@
+(** Canonical circuit form for content-addressed compile caching.
+
+    Two requests must hit the same cache entry whenever a cold compile
+    of both would produce the same schedule, so the cache key is a
+    digest of a {e canonical} serialization rather than of whatever
+    shape the client happened to build:
+
+    - gate ids are ignored (program order is what matters);
+    - operand order is normalized where the gate is symmetric
+      (barriers, logical SWAPs — a SWAP's decomposition direction is
+      pinned by sorting its operands {e before} decomposition);
+    - runs of consecutive measurements are sorted by qubit (valid
+      schedules start all measurements simultaneously, so their
+      textual order is meaningless);
+    - logical SWAPs are decomposed, so a client sending [swap p q] and
+      one sending the explicit three-CNOT expansion share an entry;
+    - the declared register width is widened to the device width, so
+      [nqubits] padding differences do not split keys.
+
+    The service compiles the canonical circuit itself — never the
+    client's original — which makes "cache hit is bit-identical to a
+    cold compile" true by construction. *)
+
+val normalize : ?nqubits:int -> Qcx_circuit.Circuit.t -> Qcx_circuit.Circuit.t
+(** Canonical form as described above.  [nqubits] (default: the
+    circuit's own width) widens the register; raises
+    [Invalid_argument] if a gate operand does not fit in it. *)
+
+val serialize : Qcx_circuit.Circuit.t -> string
+(** Deterministic text form of a circuit as-is (one gate per line,
+    floats in lossless [%h] form).  Apply {!normalize} first when the
+    string feeds a cache key. *)
+
+val digest : ?nqubits:int -> Qcx_circuit.Circuit.t -> string
+(** Hex MD5 of [serialize (normalize ?nqubits circuit)]. *)

@@ -1,0 +1,103 @@
+module Device = Qcx_device.Device
+module Crosstalk = Qcx_device.Crosstalk
+module Json = Qcx_persist.Json
+module Store = Qcx_persist.Store
+
+type entry = {
+  device : Device.t;
+  xtalk : Crosstalk.t;
+  epoch : string;
+  source : string option;
+  paths : string list;
+  quarantined : (string * string) list;
+  bumps : int;
+}
+
+type t = { table : (string, entry) Hashtbl.t; mutable order : string list (* reversed *) }
+
+let create () = { table = Hashtbl.create 8; order = [] }
+
+let epoch_of_xtalk xtalk =
+  Digest.to_hex (Digest.string (Json.to_string (Store.crosstalk_to_json xtalk)))
+
+let register t ~id entry =
+  if not (Hashtbl.mem t.table id) then t.order <- id :: t.order;
+  Hashtbl.replace t.table id entry;
+  entry
+
+let add_static t ~id ~device ~xtalk =
+  register t ~id
+    {
+      device;
+      xtalk;
+      epoch = epoch_of_xtalk xtalk;
+      source = None;
+      paths = [];
+      quarantined = [];
+      bumps = 0;
+    }
+
+let load_entry ~device ~paths ~quarantined ~bumps =
+  let report =
+    Store.load_crosstalk_resilient ~topology:(Device.topology device) ~paths ()
+  in
+  let xtalk = Option.value report.Store.data ~default:Crosstalk.empty in
+  {
+    device;
+    xtalk;
+    epoch = epoch_of_xtalk xtalk;
+    source = report.Store.source;
+    paths;
+    quarantined = quarantined @ report.Store.quarantined;
+    bumps;
+  }
+
+let add_from_paths t ~id ~device ~paths =
+  register t ~id (load_entry ~device ~paths ~quarantined:[] ~bumps:0)
+
+let find t id = Hashtbl.find_opt t.table id
+
+let missing id = Error ("unknown device " ^ id)
+
+let set_xtalk t ~id xtalk =
+  match find t id with
+  | None -> missing id
+  | Some entry ->
+    let epoch = epoch_of_xtalk xtalk in
+    let bumps = if epoch = entry.epoch then entry.bumps else entry.bumps + 1 in
+    Ok (register t ~id { entry with xtalk; epoch; source = None; bumps })
+
+let refresh t ~id =
+  match find t id with
+  | None -> missing id
+  | Some entry ->
+    if entry.paths = [] then Ok entry
+    else
+      let reloaded =
+        load_entry ~device:entry.device ~paths:entry.paths
+          ~quarantined:entry.quarantined ~bumps:entry.bumps
+      in
+      let bumps = if reloaded.epoch = entry.epoch then entry.bumps else entry.bumps + 1 in
+      Ok (register t ~id { reloaded with bumps })
+
+let ids t = List.rev t.order
+
+let to_json t =
+  Json.Array
+    (List.map
+       (fun id ->
+         let e = Hashtbl.find t.table id in
+         Json.Object
+           [
+             ("id", Json.String id);
+             ("device", Json.String (Device.name e.device));
+             ("nqubits", Json.Number (float_of_int (Device.nqubits e.device)));
+             ("epoch", Json.String e.epoch);
+             ( "source",
+               match e.source with None -> Json.Null | Some p -> Json.String p );
+             ("bumps", Json.Number (float_of_int e.bumps));
+             ("quarantined", Json.Number (float_of_int (List.length e.quarantined)));
+             ( "xtalk_entries",
+               Json.Number (float_of_int (List.length (Crosstalk.entries e.xtalk))) );
+           ])
+       (ids t))

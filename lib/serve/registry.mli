@@ -1,0 +1,59 @@
+(** Device registry: the serving-side view of the fleet.
+
+    Each registered device carries its model (coupling map +
+    calibration), the characterized crosstalk snapshot the scheduler
+    is allowed to use, and an {e epoch} — a digest of the canonical
+    crosstalk serialization.  The epoch is part of every cache key, so
+    bumping it (after [qcx_characterize] writes a new snapshot)
+    invalidates all cached schedules for the device without touching
+    the cache itself: stale entries simply stop being addressable and
+    age out of the LRU.
+
+    Snapshots load through {!Qcx_persist.Store.load_crosstalk_resilient}
+    (newest path first, corrupt files quarantined), so a damaged file
+    on disk degrades the registry entry to the previous snapshot — or
+    to empty crosstalk — but never takes the server down. *)
+
+type entry = {
+  device : Qcx_device.Device.t;
+  xtalk : Qcx_device.Crosstalk.t;  (** characterized data; possibly empty *)
+  epoch : string;  (** hex digest of the canonical crosstalk serialization *)
+  source : string option;  (** snapshot path served from; [None] = static/empty *)
+  paths : string list;  (** refresh candidates, newest first *)
+  quarantined : (string * string) list;  (** cumulative (path, reason) *)
+  bumps : int;  (** number of refreshes that actually changed the epoch *)
+}
+
+type t
+
+val create : unit -> t
+
+val epoch_of_xtalk : Qcx_device.Crosstalk.t -> string
+
+val add_static : t -> id:string -> device:Qcx_device.Device.t -> xtalk:Qcx_device.Crosstalk.t -> entry
+(** Register with in-memory crosstalk data (tests, oracle mode, the
+    CLI cache).  Re-registering an id replaces the entry. *)
+
+val add_from_paths : t -> id:string -> device:Qcx_device.Device.t -> paths:string list -> entry
+(** Register from disk snapshots, newest first.  Corrupt files are
+    quarantined and recorded; when nothing loads the entry serves
+    empty crosstalk (the scheduler then behaves like ParSched-aware
+    compilation with no serialization pressure). *)
+
+val set_xtalk : t -> id:string -> Qcx_device.Crosstalk.t -> (entry, string) result
+(** Programmatic epoch bump: install new crosstalk data.  The epoch
+    only changes (and [bumps] only increments) when the data actually
+    differs. *)
+
+val refresh : t -> id:string -> (entry, string) result
+(** Re-walk the entry's snapshot paths — the [bump] server op.  For
+    static entries this is a no-op returning the current entry. *)
+
+val find : t -> string -> entry option
+
+val ids : t -> string list
+(** Registration order. *)
+
+val to_json : t -> Qcx_persist.Json.t
+(** Registry stats: per device the epoch, source, bump count and
+    quarantine tally. *)

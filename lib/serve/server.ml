@@ -1,0 +1,176 @@
+module Json = Qcx_persist.Json
+
+let handle_lines service lines =
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  let parsed =
+    List.map
+      (fun line ->
+        match Json.of_string line with
+        | Error e -> Error ("bad JSON: " ^ e)
+        | Ok doc -> Wire.request_of_json doc)
+      lines
+  in
+  let requests = List.filter_map Result.to_option parsed in
+  let responses = ref (Service.handle_batch service requests) in
+  let out =
+    List.map
+      (fun item ->
+        match item with
+        | Error e -> Wire.error_response ~id:None e
+        | Ok _ -> (
+          match !responses with
+          | r :: rest ->
+            responses := rest;
+            r
+          | [] -> Wire.error_response ~id:None "internal: missing response"))
+      parsed
+  in
+  let stop =
+    List.exists (function Ok (Wire.Shutdown _) -> true | _ -> false) parsed
+  in
+  (List.map (fun doc -> Json.to_string ~indent:false doc) out, stop)
+
+let serve_channels service ic oc =
+  let rec read_all acc =
+    match input_line ic with
+    | line -> read_all (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read_all [] in
+  let responses, _stop = handle_lines service lines in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    responses;
+  flush oc
+
+(* ---- socket mode ----
+
+   A hand-rolled line reader over the raw fd: in_channel buffering
+   cannot be mixed with [Unix.select], and we need "is more pipelined
+   input already here?" to form batches without adding latency. *)
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pending : Buffer.t;
+  mutable eof : bool;
+}
+
+let make_reader fd = { fd; buf = Bytes.create 65536; pending = Buffer.create 4096; eof = false }
+
+let rec fill r =
+  if r.eof then 0
+  else
+    match Unix.read r.fd r.buf 0 (Bytes.length r.buf) with
+    | 0 ->
+      r.eof <- true;
+      0
+    | n ->
+      Buffer.add_subbytes r.pending r.buf 0 n;
+      n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill r
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      r.eof <- true;
+      0
+
+let take_line r =
+  let s = Buffer.contents r.pending in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    let line = String.sub s 0 i in
+    Buffer.clear r.pending;
+    Buffer.add_substring r.pending s (i + 1) (String.length s - i - 1);
+    Some line
+
+(* Blocking read of one line; None at EOF (a trailing unterminated
+   fragment is served as a line). *)
+let rec read_line_blocking r =
+  match take_line r with
+  | Some line -> Some line
+  | None ->
+    if r.eof then
+      if Buffer.length r.pending > 0 then begin
+        let line = Buffer.contents r.pending in
+        Buffer.clear r.pending;
+        Some line
+      end
+      else None
+    else begin
+      ignore (fill r);
+      read_line_blocking r
+    end
+
+let readable_now fd =
+  match Unix.select [ fd ] [] [] 0.0 with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+(* Lines that are already here (buffered or in the kernel), without
+   blocking — the pipelined tail of a batch. *)
+let rec drain_available r ~max acc =
+  if max <= 0 then List.rev acc
+  else
+    match take_line r with
+    | Some line -> drain_available r ~max:(max - 1) (line :: acc)
+    | None ->
+      if (not r.eof) && readable_now r.fd && fill r > 0 then drain_available r ~max acc
+      else List.rev acc
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go ofs =
+    if ofs < len then
+      match Unix.write fd b ofs (len - ofs) with
+      | n -> go (ofs + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+  in
+  try go 0 with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+
+let serve_connection service fd ~max_batch =
+  let r = make_reader fd in
+  let rec loop () =
+    match read_line_blocking r with
+    | None -> false
+    | Some first ->
+      let batch = first :: drain_available r ~max:(max_batch - 1) [] in
+      let responses, stop = handle_lines service batch in
+      write_all fd (String.concat "" (List.map (fun l -> l ^ "\n") responses));
+      if stop then true else loop ()
+  in
+  loop ()
+
+let serve_socket ?max_batch service ~path =
+  let max_batch =
+    match max_batch with
+    | Some m -> max 1 m
+    | None -> 2 * (Service.config service).Service.queue_bound
+  in
+  (match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
+  | () -> ()
+  | exception Invalid_argument _ -> ());
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 16;
+      let rec accept_loop () =
+        match Unix.accept sock with
+        | client, _ ->
+          let stop =
+            Fun.protect
+              ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+              (fun () -> serve_connection service client ~max_batch)
+          in
+          if not stop then accept_loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      in
+      accept_loop ())

@@ -1,0 +1,29 @@
+(** Transport layer of the compilation service.
+
+    Newline-delimited JSON over a Unix-domain socket (stdlib [Unix]
+    only), plus a channel mode used for [--once] testing and the CI
+    smoke test.  Both modes funnel into {!Service.handle_batch}:
+    pipelined requests that arrive together are served as one batch
+    (Pool-parallel cold compiles, admission control on the batch), and
+    responses come back one JSON object per line, in request order.
+
+    A [shutdown] request stops the loop after its batch is answered.
+    Malformed lines get an [error] response and never kill the
+    connection; client disconnects never kill the server. *)
+
+val handle_lines : Service.t -> string list -> string list * bool
+(** Parse raw request lines, serve them as one batch, and render the
+    response lines.  The flag is [true] when the batch contained a
+    [shutdown] request.  Blank lines are skipped. *)
+
+val serve_channels : Service.t -> in_channel -> out_channel -> unit
+(** [--once] mode: read request lines until EOF, serve them as a
+    single batch (so admission control applies to the whole input),
+    write response lines, flush.  Stops early at a [shutdown]. *)
+
+val serve_socket : ?max_batch:int -> Service.t -> path:string -> unit
+(** Bind [path] (any stale socket file is replaced), accept clients
+    one at a time, and serve each connection: the first request line
+    blocks, then all immediately available pipelined lines (up to
+    [max_batch], default [2 * queue_bound]) join the same batch.
+    Returns after a [shutdown] request; the socket file is removed. *)

@@ -1,0 +1,303 @@
+module Circuit = Qcx_circuit.Circuit
+module Schedule = Qcx_circuit.Schedule
+module Device = Qcx_device.Device
+module Xtalk_sched = Qcx_scheduler.Xtalk_sched
+module Pool = Qcx_util.Pool
+module Json = Qcx_persist.Json
+
+type config = { jobs : int; queue_bound : int; cache_capacity : int }
+
+let default_config = { jobs = 1; queue_bound = 64; cache_capacity = 256 }
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  cache : Cache.t;
+  rung_hist : int array;  (** indexed like [Xtalk_sched.all_rungs] *)
+  mutable ok : int;
+  mutable errors : int;
+  mutable overloaded : int;
+  mutable cold_compiles : int;
+  mutable compile_seconds : float;
+}
+
+type outcome = {
+  device : string;
+  epoch : string;
+  key : string;
+  cached : bool;
+  schedule : Schedule.t;
+  stats : Xtalk_sched.stats;
+}
+
+let create ?(config = default_config) registry =
+  if config.queue_bound <= 0 then invalid_arg "Service.create: queue_bound must be positive";
+  {
+    config;
+    registry;
+    cache = Cache.create ~capacity:config.cache_capacity;
+    rung_hist = Array.make (List.length Xtalk_sched.all_rungs) 0;
+    ok = 0;
+    errors = 0;
+    overloaded = 0;
+    cold_compiles = 0;
+    compile_seconds = 0.0;
+  }
+
+let registry t = t.registry
+let cache t = t.cache
+let config t = t.config
+
+let rung_index rung =
+  let rec scan i = function
+    | [] -> 0
+    | r :: rest -> if r = rung then i else scan (i + 1) rest
+  in
+  scan 0 Xtalk_sched.all_rungs
+
+let cache_key ~device_id ~epoch ~params canon =
+  let knob =
+    Printf.sprintf "omega=%h threshold=%h deadline=%s ladder=%s" params.Wire.omega
+      params.Wire.threshold
+      (match params.Wire.deadline with None -> "none" | Some d -> Printf.sprintf "%h" d)
+      (Xtalk_sched.rung_name params.Wire.ladder_start)
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n"
+          [ "qcx-schedule-key-v1"; device_id; epoch; knob; Canon.serialize canon ]))
+
+(* The cold path: the degradation ladder means this never raises for a
+   well-formed canonical circuit. *)
+let cold_compile (entry : Registry.entry) (params : Wire.params) canon =
+  Xtalk_sched.schedule ~omega:params.omega ~threshold:params.threshold
+    ?deadline_seconds:params.deadline ~ladder_start:params.ladder_start
+    ~device:entry.Registry.device ~xtalk:entry.Registry.xtalk canon
+
+let tally_cold t (stats : Xtalk_sched.stats) =
+  t.cold_compiles <- t.cold_compiles + 1;
+  t.compile_seconds <- t.compile_seconds +. stats.solve_seconds;
+  let i = rung_index stats.rung in
+  t.rung_hist.(i) <- t.rung_hist.(i) + 1
+
+let resolve t ~device ~params circuit =
+  match Registry.find t.registry device with
+  | None -> Error ("unknown device " ^ device)
+  | Some entry -> (
+    try
+      let canon = Canon.normalize ~nqubits:(Device.nqubits entry.Registry.device) circuit in
+      let key = cache_key ~device_id:device ~epoch:entry.Registry.epoch ~params canon in
+      Ok (entry, canon, key)
+    with Invalid_argument m -> Error m)
+
+let compile t ~device ?(params = Wire.default_params) circuit =
+  match resolve t ~device ~params circuit with
+  | Error e ->
+    t.errors <- t.errors + 1;
+    Error e
+  | Ok (entry, canon, key) ->
+    let epoch = entry.Registry.epoch in
+    t.ok <- t.ok + 1;
+    (match Cache.find t.cache key with
+    | Some centry ->
+      Ok
+        {
+          device;
+          epoch;
+          key;
+          cached = true;
+          schedule = centry.Cache.schedule;
+          stats = centry.Cache.stats;
+        }
+    | None ->
+      let schedule, stats = cold_compile entry params canon in
+      Cache.add t.cache key { Cache.schedule; stats };
+      tally_cold t stats;
+      Ok { device; epoch; key; cached = false; schedule; stats })
+
+(* ---- responses ---- *)
+
+let ok_fields id = [ ("id", Json.String id); ("status", Json.String "ok") ]
+
+let compile_response ~id (o : outcome) =
+  Json.Object
+    (ok_fields id
+    @ [
+        ("device", Json.String o.device);
+        ("epoch", Json.String o.epoch);
+        ("key", Json.String o.key);
+        ("cached", Json.Bool o.cached);
+        ("rung", Json.String (Xtalk_sched.rung_name o.stats.rung));
+        ("makespan", Json.Number (Schedule.makespan o.schedule));
+        ("stats", Wire.stats_to_json o.stats);
+        ("schedule", Wire.schedule_to_json o.schedule);
+      ])
+
+let stats_json t =
+  let c = Cache.counters t.cache in
+  Json.Object
+    [
+      ( "cache",
+        Json.Object
+          [
+            ("hits", Json.Number (float_of_int c.Cache.hits));
+            ("misses", Json.Number (float_of_int c.Cache.misses));
+            ("evictions", Json.Number (float_of_int c.Cache.evictions));
+            ("insertions", Json.Number (float_of_int c.Cache.insertions));
+            ("size", Json.Number (float_of_int c.Cache.size));
+            ("capacity", Json.Number (float_of_int c.Cache.capacity));
+          ] );
+      ("registry", Registry.to_json t.registry);
+      ( "served",
+        Json.Object
+          [
+            ("ok", Json.Number (float_of_int t.ok));
+            ("errors", Json.Number (float_of_int t.errors));
+            ("overloaded", Json.Number (float_of_int t.overloaded));
+            ("cold_compiles", Json.Number (float_of_int t.cold_compiles));
+            ("compile_seconds", Json.Number t.compile_seconds);
+          ] );
+      ( "rungs",
+        Json.Object
+          (List.mapi
+             (fun i r ->
+               (Xtalk_sched.rung_name r, Json.Number (float_of_int t.rung_hist.(i))))
+             Xtalk_sched.all_rungs) );
+    ]
+
+let handle_other t req =
+  match req with
+  | Wire.Compile _ -> assert false
+  | Wire.Stats { id } ->
+    t.ok <- t.ok + 1;
+    Json.Object (ok_fields id @ [ ("stats", stats_json t) ])
+  | Wire.Devices { id } ->
+    t.ok <- t.ok + 1;
+    Json.Object (ok_fields id @ [ ("devices", Registry.to_json t.registry) ])
+  | Wire.Bump { id; device } -> (
+    let before = Option.map (fun e -> e.Registry.epoch) (Registry.find t.registry device) in
+    match Registry.refresh t.registry ~id:device with
+    | Error e ->
+      t.errors <- t.errors + 1;
+      Wire.error_response ~id:(Some id) e
+    | Ok entry ->
+      t.ok <- t.ok + 1;
+      Json.Object
+        (ok_fields id
+        @ [
+            ("device", Json.String device);
+            ("epoch", Json.String entry.Registry.epoch);
+            ("bumped", Json.Bool (before <> Some entry.Registry.epoch));
+          ]))
+  | Wire.Ping { id } ->
+    t.ok <- t.ok + 1;
+    Json.Object (ok_fields id @ [ ("pong", Json.Bool true) ])
+  | Wire.Shutdown { id } ->
+    t.ok <- t.ok + 1;
+    Json.Object (ok_fields id @ [ ("stopping", Json.Bool true) ])
+
+(* A request staged for after the parallel cold-compile phase.
+   Non-compile ops are deferred too, so a [stats] pipelined behind
+   compiles in one batch observes the batch's effects. *)
+type staged =
+  | Done of Json.t
+  | Miss of { id : string; device : string; epoch : string; key : string; slot : int }
+  | Other of Wire.request
+
+let handle_batch t requests =
+  let budget = ref t.config.queue_bound in
+  let nslots = ref 0 in
+  let slot_of_key = Hashtbl.create 16 in
+  let work = Hashtbl.create 16 in
+  let staged =
+    List.map
+      (fun req ->
+        match req with
+        | Wire.Compile { id; device; circuit; params } ->
+          if !budget <= 0 then begin
+            t.overloaded <- t.overloaded + 1;
+            Done (Wire.overloaded_response ~id:(Some id))
+          end
+          else begin
+            decr budget;
+            match resolve t ~device ~params circuit with
+            | Error e ->
+              t.errors <- t.errors + 1;
+              Done (Wire.error_response ~id:(Some id) e)
+            | Ok (entry, canon, key) -> (
+              let epoch = entry.Registry.epoch in
+              t.ok <- t.ok + 1;
+              match Cache.find t.cache key with
+              | Some centry ->
+                Done
+                  (compile_response ~id
+                     {
+                       device;
+                       epoch;
+                       key;
+                       cached = true;
+                       schedule = centry.Cache.schedule;
+                       stats = centry.Cache.stats;
+                     })
+              | None ->
+                let slot =
+                  match Hashtbl.find_opt slot_of_key key with
+                  | Some s -> s
+                  | None ->
+                    let s = !nslots in
+                    incr nslots;
+                    Hashtbl.add slot_of_key key s;
+                    Hashtbl.add work s (entry, params, canon, key);
+                    s
+                in
+                Miss { id; device; epoch; key; slot })
+          end
+        | other -> Other other)
+      requests
+  in
+  let n = !nslots in
+  let compiled =
+    if n = 0 then [||]
+    else
+      Pool.parallel_chunks ~jobs:t.config.jobs ~n (fun ~lo ~hi ->
+          List.init (hi - lo) (fun k ->
+              let entry, params, canon, _ = Hashtbl.find work (lo + k) in
+              cold_compile entry params canon))
+      |> List.concat |> Array.of_list
+  in
+  (* Insert in slot (first-appearance) order so cache recency is
+     deterministic regardless of [jobs]. *)
+  Array.iteri
+    (fun slot (schedule, stats) ->
+      let _, _, _, key = Hashtbl.find work slot in
+      Cache.add t.cache key { Cache.schedule; stats };
+      tally_cold t stats)
+    compiled;
+  List.map
+    (function
+      | Done response -> response
+      | Other req -> handle_other t req
+      | Miss { id; device; epoch; key; slot } ->
+        let schedule, stats = compiled.(slot) in
+        compile_response ~id { device; epoch; key; cached = false; schedule; stats })
+    staged
+
+let handle t req =
+  match handle_batch t [ req ] with
+  | [ response ] -> response
+  | _ -> assert false
+
+let save_cache t ~path = Cache.save ~path t.cache
+
+let load_cache t ~path =
+  match Cache.load ~capacity:t.config.cache_capacity ~path with
+  | Error e -> Error e
+  | Ok loaded ->
+    let keys = List.rev (Cache.keys_newest_first loaded) in
+    List.iter
+      (fun key ->
+        match Cache.find loaded key with
+        | Some entry -> Cache.add t.cache key entry
+        | None -> ())
+      keys;
+    Ok (List.length keys)

@@ -1,0 +1,78 @@
+(** The in-process compilation service: registry + schedule cache +
+    admission-controlled worker dispatch.
+
+    This layer is transport-free — the socket server, the [--once]
+    test mode, the load bench, and [qcx_schedule --cache-dir] all
+    drive it directly.  A compile request resolves its device in the
+    {!Registry}, canonicalizes the circuit ({!Canon}), derives the
+    content-addressed cache key, and either serves the cached schedule
+    or compiles cold through {!Qcx_scheduler.Xtalk_sched.schedule}
+    (per-request deadline and ladder rung feed the degradation
+    ladder — a compile request never fails once admitted).
+
+    {!handle_batch} is the concurrent path: cache lookups run
+    sequentially on the calling domain (so hit/miss accounting and
+    recency are deterministic), distinct missing keys are compiled in
+    parallel on a {!Qcx_util.Pool} worker set, and results are
+    inserted back in request order — responses are bit-identical for
+    every [jobs] value.  Requests beyond [queue_bound] are rejected
+    with a typed [overloaded] response instead of queueing without
+    bound. *)
+
+type config = {
+  jobs : int;  (** worker domains for batch compiles (1 = sequential) *)
+  queue_bound : int;  (** admission limit per batch; excess is rejected *)
+  cache_capacity : int;  (** LRU capacity of the schedule cache *)
+}
+
+val default_config : config
+(** jobs 1, queue_bound 64, cache_capacity 256. *)
+
+type t
+
+type outcome = {
+  device : string;  (** registry id *)
+  epoch : string;  (** device epoch the schedule was keyed under *)
+  key : string;  (** content-addressed cache key *)
+  cached : bool;  (** served from the cache without compiling *)
+  schedule : Qcx_circuit.Schedule.t;
+  stats : Qcx_scheduler.Xtalk_sched.stats;
+}
+
+val create : ?config:config -> Registry.t -> t
+
+val registry : t -> Registry.t
+val cache : t -> Cache.t
+val config : t -> config
+
+val cache_key :
+  device_id:string -> epoch:string -> params:Wire.params -> Qcx_circuit.Circuit.t -> string
+(** Digest over canonical-circuit × device × epoch × scheduler
+    params.  The circuit must already be canonical ({!Canon.normalize}). *)
+
+val compile :
+  t ->
+  device:string ->
+  ?params:Wire.params ->
+  Qcx_circuit.Circuit.t ->
+  (outcome, string) result
+(** Synchronous single compile (cache-aware).  [Error _] only for
+    unknown devices or circuits that do not fit the device. *)
+
+val handle : t -> Wire.request -> Qcx_persist.Json.t
+(** Serve one request, producing the wire response. *)
+
+val handle_batch : t -> Wire.request list -> Qcx_persist.Json.t list
+(** Serve a pipelined batch: admission control, Pool-parallel cold
+    compiles of distinct keys, responses in request order. *)
+
+val stats_json : t -> Qcx_persist.Json.t
+(** The payload of the [stats] op: cache counters, registry listing,
+    served/overloaded/error tallies and the degradation-rung
+    histogram. *)
+
+val save_cache : t -> path:string -> (unit, string) result
+val load_cache : t -> path:string -> (int, string) result
+(** Warm-start the cache from disk; returns the number of restored
+    entries.  The file must have [cache_capacity] compatible content
+    (excess entries age out on load). *)

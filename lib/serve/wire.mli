@@ -1,0 +1,71 @@
+(** Wire format of the compilation service (DESIGN.md §8).
+
+    Newline-delimited JSON: one request object per line in, one
+    response object per line out.  This module is the pure codec layer
+    — circuits, schedules, scheduler stats, and the typed request
+    grammar — shared by the socket server, the [--once] test mode, the
+    load-generator bench, and the warm-start cache persistence.
+
+    Gates are [{"g": "cx", "q": [0, 1]}] with an optional ["p"]
+    parameter array for rotations; circuits are
+    [{"nqubits": n, "gates": [...]}]; schedules add per-gate
+    ["starts"] and ["durations"] arrays (nanoseconds, aligned with the
+    gate list).  Floats are emitted losslessly, so a schedule
+    round-trips bit-identically. *)
+
+module Circuit = Qcx_circuit.Circuit
+module Schedule = Qcx_circuit.Schedule
+module Xtalk_sched = Qcx_scheduler.Xtalk_sched
+module Json = Qcx_persist.Json
+
+val circuit_to_json : Circuit.t -> Json.t
+
+val circuit_of_json : Json.t -> (Circuit.t, string) result
+(** Validates arity, qubit ranges, and gate names — never raises. *)
+
+val schedule_to_json : Schedule.t -> Json.t
+
+val schedule_of_json : Json.t -> (Schedule.t, string) result
+
+val rung_of_name : string -> (Xtalk_sched.rung, string) result
+(** Inverse of {!Xtalk_sched.rung_name}. *)
+
+val stats_to_json : Xtalk_sched.stats -> Json.t
+
+val stats_of_json : Json.t -> (Xtalk_sched.stats, string) result
+
+(** Scheduler knobs carried by a compile request.  All of them are
+    part of the cache key — two requests with different knobs never
+    share an entry. *)
+type params = {
+  omega : float;  (** crosstalk weight factor (eq. 17) *)
+  threshold : float;  (** conditional/independent ratio cutoff *)
+  deadline : float option;  (** per-request wall-clock compile budget *)
+  ladder_start : Xtalk_sched.rung;  (** degradation-ladder entry rung *)
+}
+
+val default_params : params
+(** omega 0.5, threshold 3.0, no deadline, ladder from [Exact]. *)
+
+type request =
+  | Compile of { id : string; device : string; circuit : Circuit.t; params : params }
+  | Stats of { id : string }  (** cache / registry / service counters *)
+  | Devices of { id : string }  (** registry listing with epochs *)
+  | Bump of { id : string; device : string }
+      (** re-load the device's crosstalk snapshots and bump its epoch *)
+  | Ping of { id : string }
+  | Shutdown of { id : string }
+
+val request_id : request -> string
+
+val request_of_json : Json.t -> (request, string) result
+
+val request_to_json : request -> Json.t
+(** For clients (the bench and the CLI round-trip example). *)
+
+val error_response : id:string option -> string -> Json.t
+(** [{"id": ..., "status": "error", "error": msg}]. *)
+
+val overloaded_response : id:string option -> Json.t
+(** The typed admission-control rejection:
+    [{"id": ..., "status": "overloaded", "error": ...}]. *)

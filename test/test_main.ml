@@ -16,5 +16,6 @@ let () =
     @ Test_metrics.suite
     @ Test_extensions.suite
     @ Test_faults.suite
+    @ Test_serve.suite
     @ Test_integration.suite
     @ Test_smoke.suite)

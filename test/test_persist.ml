@@ -129,6 +129,63 @@ let store_rejects_wrong_format () =
   let doc = Json.Object [ ("format", Json.String "something-else"); ("entries", Json.Array []) ] in
   Alcotest.(check bool) "format checked" true (Result.is_error (Store.crosstalk_of_json doc))
 
+let store_save_is_atomic () =
+  let path = tmp "qcx_test_atomic.json" in
+  let doc v = Json.Object [ ("v", Json.Number v) ] in
+  (match Store.save ~path (doc 1.0) with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "no tmp file left behind" false (Sys.file_exists (path ^ ".tmp"));
+  (* Overwrite goes through the same rename; a stale tmp from a
+     crashed writer is simply replaced. *)
+  let oc = open_out (path ^ ".tmp") in
+  output_string oc "{ truncated garbage";
+  close_out oc;
+  (match Store.save ~path (doc 2.0) with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "stale tmp consumed" false (Sys.file_exists (path ^ ".tmp"));
+  (match Store.load ~path with
+  | Ok loaded -> Alcotest.(check bool) "new value visible" true (Json.find_float "v" loaded = Ok 2.0)
+  | Error e -> Alcotest.fail e);
+  (* A failing write errors out without touching the destination. *)
+  (match Store.save ~path:"/nonexistent-dir/qcx.json" (doc 3.0) with
+  | Ok () -> Alcotest.fail "save into missing directory should fail"
+  | Error _ -> ());
+  match Store.load ~path with
+  | Ok loaded ->
+    Alcotest.(check bool) "destination intact after failed save" true
+      (Json.find_float "v" loaded = Ok 2.0)
+  | Error e -> Alcotest.fail e
+
+let store_quarantine_numbers_duplicates () =
+  let path = tmp "qcx_test_quarantine.json" in
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; path ^ ".corrupt"; path ^ ".corrupt.1"; path ^ ".corrupt.2" ];
+  let write text =
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+  in
+  let quarantine_to expected =
+    match Store.quarantine ~path with
+    | Ok moved -> Alcotest.(check string) "quarantine destination" expected moved
+    | Error e -> Alcotest.fail e
+  in
+  write "first corruption";
+  quarantine_to (path ^ ".corrupt");
+  write "second corruption";
+  quarantine_to (path ^ ".corrupt.1");
+  write "third corruption";
+  quarantine_to (path ^ ".corrupt.2");
+  (* Earlier evidence is preserved, not clobbered. *)
+  let read p =
+    let ic = open_in p in
+    let line = input_line ic in
+    close_in ic;
+    line
+  in
+  Alcotest.(check string) "first kept" "first corruption" (read (path ^ ".corrupt"));
+  Alcotest.(check string) "second kept" "second corruption" (read (path ^ ".corrupt.1"));
+  Alcotest.(check string) "third kept" "third corruption" (read (path ^ ".corrupt.2"))
+
 let suite =
   [
     ( "persist.json",
@@ -146,5 +203,8 @@ let suite =
         Alcotest.test_case "hides ground truth" `Quick store_snapshot_hides_ground_truth;
         Alcotest.test_case "missing file" `Quick store_load_missing_file;
         Alcotest.test_case "rejects wrong format" `Quick store_rejects_wrong_format;
+        Alcotest.test_case "atomic save" `Quick store_save_is_atomic;
+        Alcotest.test_case "quarantine numbers duplicates" `Quick
+          store_quarantine_numbers_duplicates;
       ] );
   ]

@@ -1,0 +1,458 @@
+(* Tests for the compilation service: canonicalization, the
+   content-addressed LRU schedule cache, the device registry with
+   epoch bumps, admission-controlled batch dispatch, and the NDJSON
+   server loop. *)
+
+module Canon = Core.Canon
+module Wire = Core.Wire
+module Cache = Core.Cache
+module Registry = Core.Registry
+module Service = Core.Service
+module Server = Core.Server
+module Json = Core.Json
+module Circuit = Core.Circuit
+module Device = Core.Device
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let bell_with_measures ~order nq =
+  let c = Circuit.create nq in
+  let c = Circuit.h c 0 in
+  let c = Circuit.cnot c ~control:0 ~target:1 in
+  let c = Circuit.cnot c ~control:2 ~target:3 in
+  List.fold_left Circuit.measure c order
+
+(* ---- canonicalization ---- *)
+
+let canon_measure_order () =
+  let a = bell_with_measures ~order:[ 0; 1; 2 ] 6 in
+  let b = bell_with_measures ~order:[ 2; 0; 1 ] 6 in
+  Alcotest.(check string) "measure order is canonical" (Canon.digest a) (Canon.digest b)
+
+let canon_symmetric_operands () =
+  let with_ops f =
+    let c = Circuit.create 4 in
+    let c = f c in
+    Circuit.measure_all c
+  in
+  let barrier_a = with_ops (fun c -> Circuit.barrier (Circuit.h c 0) [ 0; 1; 2 ]) in
+  let barrier_b = with_ops (fun c -> Circuit.barrier (Circuit.h c 0) [ 2; 1; 0 ]) in
+  Alcotest.(check string) "barrier operand order" (Canon.digest barrier_a)
+    (Canon.digest barrier_b);
+  let swap_a = with_ops (fun c -> Circuit.swap c 0 1) in
+  let swap_b = with_ops (fun c -> Circuit.swap c 1 0) in
+  Alcotest.(check string) "swap operand order" (Canon.digest swap_a) (Canon.digest swap_b)
+
+let canon_swap_expansion () =
+  let logical = Circuit.swap (Circuit.h (Circuit.create 4) 0) 0 1 in
+  let explicit =
+    let c = Circuit.h (Circuit.create 4) 0 in
+    let c = Circuit.cnot c ~control:0 ~target:1 in
+    let c = Circuit.cnot c ~control:1 ~target:0 in
+    Circuit.cnot c ~control:0 ~target:1
+  in
+  Alcotest.(check string) "swap = its 3-CNOT expansion" (Canon.digest logical)
+    (Canon.digest explicit)
+
+let canon_width_and_difference () =
+  let narrow = bell_with_measures ~order:[ 0; 1 ] 4 in
+  let wide = bell_with_measures ~order:[ 0; 1 ] 6 in
+  Alcotest.(check string) "nqubits widening is canonical"
+    (Canon.digest ~nqubits:6 narrow) (Canon.digest wide);
+  let other = Circuit.x (Circuit.create 4) 0 in
+  Alcotest.(check bool) "different circuits differ" false
+    (Canon.digest narrow = Canon.digest other);
+  Alcotest.(check bool) "narrowing below used qubits is rejected" true
+    (match Canon.normalize ~nqubits:2 narrow with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---- cache ---- *)
+
+let dummy_entry device label =
+  let c = Circuit.measure_all (Circuit.cnot (Circuit.h (Circuit.create 4) 0) ~control:0 ~target:1) in
+  let c = if label then Circuit.x c 2 else c in
+  let sched = Core.Par_sched.schedule device (Circuit.decompose_swaps c) in
+  {
+    Cache.schedule = sched;
+    stats =
+      {
+        Core.Xtalk_sched.pairs = 0;
+        clusters = 0;
+        nodes = 0;
+        optimal = false;
+        objective = 0.0;
+        solve_seconds = 0.0;
+        rung = Core.Xtalk_sched.Parallel;
+      };
+  }
+
+let cache_lru_eviction () =
+  let device = Core.Presets.linear 4 in
+  let e = dummy_entry device false in
+  let cache = Cache.create ~capacity:2 in
+  Cache.add cache "k1" e;
+  Cache.add cache "k2" e;
+  ignore (Cache.find cache "k1");
+  (* k2 is now least recent *)
+  Cache.add cache "k3" e;
+  Alcotest.(check bool) "k2 evicted" false (Cache.mem cache "k2");
+  Alcotest.(check (list string)) "recency order" [ "k3"; "k1" ]
+    (Cache.keys_newest_first cache);
+  let c = Cache.counters cache in
+  Alcotest.(check int) "hits" 1 c.Cache.hits;
+  Alcotest.(check int) "evictions" 1 c.Cache.evictions;
+  Alcotest.(check int) "insertions" 3 c.Cache.insertions;
+  Alcotest.(check int) "size" 2 c.Cache.size
+
+let cache_persistence_roundtrip () =
+  let device = Core.Presets.linear 4 in
+  let cache = Cache.create ~capacity:8 in
+  Cache.add cache "ka" (dummy_entry device false);
+  Cache.add cache "kb" (dummy_entry device true);
+  ignore (Cache.find cache "ka");
+  let path = tmp "qcx_test_cache.json" in
+  (match Cache.save ~path cache with Ok () -> () | Error e -> Alcotest.fail e);
+  match Cache.load ~capacity:8 ~path with
+  | Error e -> Alcotest.fail e
+  | Ok loaded ->
+    Alcotest.(check (list string)) "recency preserved" [ "ka"; "kb" ]
+      (Cache.keys_newest_first loaded);
+    let orig = Option.get (Cache.find cache "kb") in
+    let back = Option.get (Cache.find loaded "kb") in
+    Alcotest.(check string) "schedule round-trips bit-identically"
+      (Json.to_string (Wire.schedule_to_json orig.Cache.schedule))
+      (Json.to_string (Wire.schedule_to_json back.Cache.schedule))
+
+(* ---- registry ---- *)
+
+let registry_epoch_bumps () =
+  let device = Core.Presets.example_6q () in
+  let registry = Registry.create () in
+  let e0 =
+    Registry.add_static registry ~id:"dev" ~device ~xtalk:Core.Crosstalk.empty
+  in
+  (* Same data: no bump, same epoch. *)
+  let e1 =
+    match Registry.set_xtalk registry ~id:"dev" Core.Crosstalk.empty with
+    | Ok e -> e
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check string) "same data same epoch" e0.Registry.epoch e1.Registry.epoch;
+  Alcotest.(check int) "no bump" 0 e1.Registry.bumps;
+  let e2 =
+    match Registry.set_xtalk registry ~id:"dev" (Device.ground_truth device) with
+    | Ok e -> e
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "new data new epoch" false (e2.Registry.epoch = e1.Registry.epoch);
+  Alcotest.(check int) "bumped" 1 e2.Registry.bumps;
+  Alcotest.(check bool) "unknown id errors" true
+    (Result.is_error (Registry.set_xtalk registry ~id:"nope" Core.Crosstalk.empty))
+
+let registry_snapshots_and_refresh () =
+  let device = Core.Presets.example_6q () in
+  let dir = tmp (Printf.sprintf "qcx_test_registry_%d" (Unix.getpid ())) in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let old_path = Filename.concat dir "old.json" in
+  let new_path = Filename.concat dir "new.json" in
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ old_path; new_path ];
+  let old_xtalk =
+    Core.Crosstalk.set Core.Crosstalk.empty ~target:(0, 1) ~spectator:(2, 3) 0.05
+  in
+  (match Core.Store.save_crosstalk ~path:old_path old_xtalk with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Newest-first walk: the (missing) new path is skipped silently. *)
+  let registry = Registry.create () in
+  let e0 = Registry.add_from_paths registry ~id:"dev" ~device ~paths:[ new_path; old_path ] in
+  Alcotest.(check (option string)) "served from old snapshot" (Some old_path)
+    e0.Registry.source;
+  Alcotest.(check string) "epoch is data digest" (Registry.epoch_of_xtalk old_xtalk)
+    e0.Registry.epoch;
+  (* Characterization writes a fresh snapshot; bump picks it up. *)
+  (match Core.Store.save_crosstalk ~path:new_path (Device.ground_truth device) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Registry.refresh registry ~id:"dev" with
+  | Error m -> Alcotest.fail m
+  | Ok e1 ->
+    Alcotest.(check (option string)) "now serves new snapshot" (Some new_path)
+      e1.Registry.source;
+    Alcotest.(check bool) "epoch changed" false (e1.Registry.epoch = e0.Registry.epoch);
+    Alcotest.(check int) "bump recorded" 1 e1.Registry.bumps);
+  (* Corrupt the new snapshot: refresh quarantines it and falls back. *)
+  let oc = open_out new_path in
+  output_string oc "{ truncated";
+  close_out oc;
+  match Registry.refresh registry ~id:"dev" with
+  | Error m -> Alcotest.fail m
+  | Ok e2 ->
+    Alcotest.(check (option string)) "fell back to old snapshot" (Some old_path)
+      e2.Registry.source;
+    Alcotest.(check bool) "corruption recorded" true (e2.Registry.quarantined <> []);
+    Alcotest.(check bool) "corrupt file moved aside" false (Sys.file_exists new_path)
+
+(* ---- service ---- *)
+
+let example_service ?(config = Service.default_config) () =
+  let device = Core.Presets.example_6q () in
+  let registry = Registry.create () in
+  ignore
+    (Registry.add_static registry ~id:"example6q" ~device
+       ~xtalk:(Device.ground_truth device));
+  Service.create ~config registry
+
+let sched_json o = Json.to_string (Wire.schedule_to_json o.Service.schedule)
+
+let service_hit_is_cold_compile () =
+  let service = example_service () in
+  let a = bell_with_measures ~order:[ 1; 0 ] 6 in
+  let b = bell_with_measures ~order:[ 0; 1 ] 6 in
+  let o1 =
+    match Service.compile service ~device:"example6q" a with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "first compile is cold" false o1.Service.cached;
+  let o2 =
+    match Service.compile service ~device:"example6q" b with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "canonicalized variant hits" true o2.Service.cached;
+  Alcotest.(check string) "same key" o1.Service.key o2.Service.key;
+  Alcotest.(check string) "bit-identical schedule" (sched_json o1) (sched_json o2)
+
+let service_epoch_bump_invalidates () =
+  let service = example_service () in
+  let circuit = bell_with_measures ~order:[ 0; 1 ] 6 in
+  let o1 =
+    match Service.compile service ~device:"example6q" circuit with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  (match Registry.set_xtalk (Service.registry service) ~id:"example6q" Core.Crosstalk.empty with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let o2 =
+    match Service.compile service ~device:"example6q" circuit with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "epoch bump misses" false o2.Service.cached;
+  Alcotest.(check bool) "key changed with epoch" false (o1.Service.key = o2.Service.key)
+
+let service_rejects_bad_requests () =
+  let service = example_service () in
+  let circuit = bell_with_measures ~order:[ 0 ] 6 in
+  Alcotest.(check bool) "unknown device" true
+    (Result.is_error (Service.compile service ~device:"nope" circuit));
+  let wide = Circuit.measure_all (Circuit.h (Circuit.create 9) 8) in
+  Alcotest.(check bool) "circuit wider than device" true
+    (Result.is_error (Service.compile service ~device:"example6q" wide))
+
+let compile_req id circuit =
+  Wire.Compile
+    { id; device = "example6q"; circuit; params = Wire.default_params }
+
+let service_admission_control () =
+  let config = { Service.default_config with Service.queue_bound = 2 } in
+  let service = example_service ~config () in
+  let circuits =
+    List.init 4 (fun i ->
+        Circuit.measure_all (Circuit.x (Circuit.h (Circuit.create 6) 0) i))
+  in
+  let reqs =
+    List.mapi (fun i c -> compile_req (Printf.sprintf "c%d" i) c) circuits
+    @ [ Wire.Ping { id = "p" } ]
+  in
+  let responses = Service.handle_batch service reqs in
+  let statuses =
+    List.map (fun r -> match Json.find_str "status" r with Ok s -> s | Error e -> e) responses
+  in
+  Alcotest.(check (list string)) "two admitted, two overloaded, ping served"
+    [ "ok"; "ok"; "overloaded"; "overloaded"; "ok" ]
+    statuses
+
+let strip_timing json =
+  (* solve_seconds is CPU time of this process; everything else in a
+     compile response is deterministic. *)
+  match json with
+  | Json.Object fields ->
+    Json.Object
+      (List.map
+         (function
+           | "stats", Json.Object s ->
+             ("stats", Json.Object (List.remove_assoc "solve_seconds" s))
+           | kv -> kv)
+         fields)
+  | other -> other
+
+let service_batch_jobs_determinism () =
+  let circuits =
+    List.init 6 (fun i ->
+        let c = bell_with_measures ~order:[ 0; 1; 2; 3 ] 6 in
+        if i mod 3 = 0 then c else Circuit.measure_all (Circuit.x (Circuit.h (Circuit.create 6) 0) (i mod 3)))
+  in
+  let reqs = List.mapi (fun i c -> compile_req (Printf.sprintf "c%d" i) c) circuits in
+  let responses_for jobs =
+    let config = { Service.default_config with Service.jobs } in
+    let service = example_service ~config () in
+    List.map
+      (fun r -> Json.to_string (strip_timing r))
+      (Service.handle_batch service reqs)
+  in
+  Alcotest.(check (list string)) "responses identical for jobs 1 and 4" (responses_for 1)
+    (responses_for 4)
+
+let service_batch_dedup () =
+  let service = example_service () in
+  let circuit = bell_with_measures ~order:[ 0; 1 ] 6 in
+  let reqs = [ compile_req "a" circuit; compile_req "b" circuit ] in
+  let responses = Service.handle_batch service reqs in
+  let scheds =
+    List.map
+      (fun r -> match Json.member "schedule" r with Some s -> Json.to_string s | None -> "?")
+      responses
+  in
+  (match scheds with
+  | [ a; b ] -> Alcotest.(check string) "identical schedules" a b
+  | _ -> Alcotest.fail "expected two responses");
+  match Json.member "served" (Service.stats_json service) with
+  | Some served ->
+    Alcotest.(check bool) "one cold compile for the pair" true
+      (Json.find_float "cold_compiles" served = Ok 1.0)
+  | None -> Alcotest.fail "missing served stats"
+
+(* ---- server loop ---- *)
+
+let server_handle_lines () =
+  let service = example_service () in
+  let lines =
+    [
+      {|{"op":"ping","id":"p1"}|};
+      "this is not json";
+      {|{"op":"shutdown","id":"s1"}|};
+      "";
+    ]
+  in
+  let responses, stop = Server.handle_lines service lines in
+  Alcotest.(check int) "three responses (blank skipped)" 3 (List.length responses);
+  Alcotest.(check bool) "shutdown noticed" true stop;
+  let status line =
+    match Json.of_string line with
+    | Ok doc -> ( match Json.find_str "status" doc with Ok s -> s | Error e -> e)
+    | Error e -> e
+  in
+  Alcotest.(check (list string)) "statuses" [ "ok"; "error"; "ok" ]
+    (List.map status responses)
+
+let server_once_roundtrip () =
+  let service = example_service () in
+  let circuit = bell_with_measures ~order:[ 1; 0 ] 6 in
+  let req = Json.to_string ~indent:false (Wire.request_to_json (compile_req "r1" circuit)) in
+  let in_path = tmp "qcx_test_serve_in.ndjson" in
+  let out_path = tmp "qcx_test_serve_out.ndjson" in
+  let oc = open_out in_path in
+  output_string oc (req ^ "\n" ^ req ^ "\n");
+  close_out oc;
+  let ic = open_in in_path in
+  let oc = open_out out_path in
+  Server.serve_channels service ic oc;
+  close_in ic;
+  close_out oc;
+  let ic = open_in out_path in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  close_in ic;
+  let parse line = match Json.of_string line with Ok d -> d | Error e -> Alcotest.fail e in
+  let d1 = parse l1 and d2 = parse l2 in
+  Alcotest.(check bool) "first ok" true (Json.find_str "status" d1 = Ok "ok");
+  Alcotest.(check bool) "responses carry schedules" true
+    (Json.member "schedule" d1 <> None && Json.member "schedule" d2 <> None);
+  Alcotest.(check bool) "same key both rounds" true
+    (Json.find_str "key" d1 = Json.find_str "key" d2)
+
+let server_socket_roundtrip () =
+  let path = tmp (Printf.sprintf "qcx_test_serve_%d.sock" (Unix.getpid ())) in
+  if Sys.file_exists path then Sys.remove path;
+  (* The server runs in its own domain (fork is off-limits once Pool
+     domains have existed); the test plays the client. *)
+  let service = example_service () in
+  let server =
+    Domain.spawn (fun () -> try Server.serve_socket service ~path with _ -> ())
+  in
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Domain.join server;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+        let rec connect tries =
+          match Unix.connect sock (Unix.ADDR_UNIX path) with
+          | () -> ()
+          | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+            when tries > 0 ->
+            Unix.sleepf 0.05;
+            connect (tries - 1)
+        in
+        connect 100;
+        Unix.setsockopt_float sock Unix.SO_RCVTIMEO 10.0;
+        let msg = {|{"op":"ping","id":"p1"}|} ^ "\n" ^ {|{"op":"shutdown","id":"s1"}|} ^ "\n" in
+        ignore (Unix.write_substring sock msg 0 (String.length msg));
+        let buf = Bytes.create 4096 in
+        let rec read_lines acc =
+          if List.length (String.split_on_char '\n' acc) >= 3 then acc
+          else
+            match Unix.read sock buf 0 (Bytes.length buf) with
+            | 0 -> acc
+            | n -> read_lines (acc ^ Bytes.sub_string buf 0 n)
+        in
+        let text = read_lines "" in
+        let lines = List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text) in
+        Alcotest.(check int) "two responses over the socket" 2 (List.length lines);
+        List.iter
+          (fun line ->
+            match Json.of_string line with
+            | Ok doc ->
+              Alcotest.(check bool) "status ok" true (Json.find_str "status" doc = Ok "ok")
+            | Error e -> Alcotest.fail e)
+          lines)
+
+let suite =
+  [
+    ( "serve.canon",
+      [
+        Alcotest.test_case "measure order" `Quick canon_measure_order;
+        Alcotest.test_case "symmetric operands" `Quick canon_symmetric_operands;
+        Alcotest.test_case "swap expansion" `Quick canon_swap_expansion;
+        Alcotest.test_case "width and difference" `Quick canon_width_and_difference;
+      ] );
+    ( "serve.cache",
+      [
+        Alcotest.test_case "lru eviction" `Quick cache_lru_eviction;
+        Alcotest.test_case "persistence roundtrip" `Quick cache_persistence_roundtrip;
+      ] );
+    ( "serve.registry",
+      [
+        Alcotest.test_case "epoch bumps" `Quick registry_epoch_bumps;
+        Alcotest.test_case "snapshots and refresh" `Quick registry_snapshots_and_refresh;
+      ] );
+    ( "serve.service",
+      [
+        Alcotest.test_case "hit equals cold compile" `Quick service_hit_is_cold_compile;
+        Alcotest.test_case "epoch bump invalidates" `Quick service_epoch_bump_invalidates;
+        Alcotest.test_case "bad requests" `Quick service_rejects_bad_requests;
+        Alcotest.test_case "admission control" `Quick service_admission_control;
+        Alcotest.test_case "jobs determinism" `Quick service_batch_jobs_determinism;
+        Alcotest.test_case "batch dedup" `Quick service_batch_dedup;
+      ] );
+    ( "serve.server",
+      [
+        Alcotest.test_case "handle_lines" `Quick server_handle_lines;
+        Alcotest.test_case "once roundtrip" `Quick server_once_roundtrip;
+        Alcotest.test_case "socket roundtrip" `Quick server_socket_roundtrip;
+      ] );
+  ]
