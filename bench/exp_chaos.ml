@@ -1,0 +1,561 @@
+(* Chaos campaign for the hardened compilation service (DESIGN.md
+   section 9): N seeded runs, each replaying a deterministic workload
+   whose frames arrive torn / bit-flipped / oversized, whose cold
+   compiles die or stall, and whose journal appends hit a simulated
+   full disk — then a simulated kill -9 truncates the write-ahead
+   journal at a seeded byte offset and a fresh service recovers from
+   snapshot + journal replay.
+
+   Three properties are asserted per seed and aggregated into
+   BENCH_chaos.json:
+     - availability: every non-blank frame gets exactly one parseable,
+       typed response (no hangs, no unhandled exceptions);
+     - zero corruption: every recovered cache entry is bit-identical
+       to the entry the pre-kill service held under that key;
+     - fidelity: recovered deadline-free entries match a cold compile
+       of the oracle's circuit bit for bit.
+
+   `client` is the out-of-process counterpart used by the ci.sh smoke
+   test: record a clean workload's responses, generate load while the
+   daemon is kill -9'd, then verify the restarted daemon serves the
+   same keys and schedules. *)
+
+module Service = Core.Service
+module Wire = Core.Wire
+module Server = Core.Server
+module Registry = Core.Registry
+module Cache = Core.Cache
+module Journal = Core.Journal
+module Breaker = Core.Breaker
+module Json = Core.Json
+module Faults = Core.Service_faults
+
+(* ---- deterministic workload ---- *)
+
+let build_circuit device i =
+  let topo = Core.Device.topology device in
+  let edges = Array.of_list (Core.Topology.edges topo) in
+  let nq = Core.Device.nqubits device in
+  let a, b = edges.(i mod Array.length edges) in
+  let c = Core.Circuit.create nq in
+  let c = Core.Circuit.add c Core.Gate.H [ a ] in
+  let c = Core.Circuit.add c Core.Gate.Cnot [ a; b ] in
+  let c =
+    if i mod 3 = 0 then
+      Core.Circuit.add c (Core.Gate.Rz (0.1 +. (0.05 *. float_of_int (i mod 4)))) [ b ]
+    else c
+  in
+  let c = if i mod 4 = 1 then Core.Circuit.add c Core.Gate.Cnot [ a; b ] else c in
+  Core.Circuit.measure_all c
+
+(* Twelve distinct compile templates cycled through the workload, so
+   the cache sees both misses and repeats. *)
+let campaign_request device i =
+  match i mod 13 with
+  | 9 -> Wire.Health { id = Printf.sprintf "h%d" i }
+  | 11 -> Wire.Ping { id = Printf.sprintf "p%d" i }
+  | _ ->
+    let t = i mod 12 in
+    let params =
+      {
+        Wire.default_params with
+        Wire.deadline = (if t mod 4 = 3 then Some 0.05 else None);
+        ladder_start =
+          (if t mod 7 = 5 then Core.Xtalk_sched.Greedy else Core.Xtalk_sched.Exact);
+      }
+    in
+    Wire.Compile
+      {
+        id = Printf.sprintf "c%d" i;
+        device = "example6q";
+        circuit = build_circuit device t;
+        params;
+      }
+
+let encode req = Json.to_string ~indent:false (Wire.request_to_json req)
+
+let rec batches k = function
+  | [] -> []
+  | rest ->
+    let head = List.filteri (fun i _ -> i < k) rest in
+    let tail = List.filteri (fun i _ -> i >= k) rest in
+    head :: batches k tail
+
+(* ---- one seeded chaos run ---- *)
+
+type seed_report = {
+  seed : int;
+  frames : int;
+  expected : int;  (* non-blank frames sent, each owed one response *)
+  responses : int;
+  typed : int;
+  status_hist : (string * int) list;
+  frame_faults : int;
+  journal_len : int;
+  kill_off : int;
+  pre_kill_entries : int;
+  recovered_entries : int;
+  replayed : int;
+  torn : bool;
+  corrupt_entries : int;
+  mismatches : int;
+}
+
+let run_seed ~seed ~requests ~jobs ~dir =
+  let device = Core.Presets.example_6q () in
+  let registry = Registry.create () in
+  ignore
+    (Registry.add_static registry ~id:"example6q" ~device
+       ~xtalk:(Core.Device.ground_truth device));
+  let config =
+    {
+      Service.jobs;
+      queue_bound = 8;
+      cache_capacity = 64;
+      max_compile_seconds = Some 5.0;
+      deadline_grace = 2.0;
+      breaker =
+        { Breaker.threshold = 3; cooloff_seconds = 0.05; min_rung = Core.Xtalk_sched.Parallel };
+      checkpoint_every = 6;
+    }
+  in
+  let cache_file = Filename.concat dir (Printf.sprintf "chaos_cache_%d.json" seed) in
+  let journal_file = cache_file ^ ".journal" in
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ cache_file; journal_file ];
+  let service = Service.create ~config registry in
+  (match Service.enable_persistence service ~cache_file ~fsync:false () with
+  | Ok () -> ()
+  | Error e ->
+    Printf.eprintf "chaos: cannot enable persistence: %s\n" e;
+    exit 1);
+  let plan = Faults.create ~seed () in
+  Service.set_compile_fault service (Some (fun ~nth -> Faults.compile_fault plan ~nth));
+  (match Service.persistence_journal service with
+  | Some j -> Journal.set_fault j (Some (fun ~nth -> Faults.journal_fault plan ~nth))
+  | None -> ());
+  let max_frame = 4096 in
+
+  (* Oracle: cache key -> (circuit, params), for post-recovery
+     fidelity checks, derived the same way the service derives keys. *)
+  let epoch = (Option.get (Registry.find registry "example6q")).Registry.epoch in
+  let oracle = Hashtbl.create 32 in
+  let reqs = List.init requests (fun i -> campaign_request device i) in
+  List.iter
+    (function
+      | Wire.Compile { circuit; params; _ } ->
+        let canon = Core.Canon.normalize ~nqubits:(Core.Device.nqubits device) circuit in
+        let key = Service.cache_key ~device_id:"example6q" ~epoch ~params canon in
+        Hashtbl.replace oracle key (circuit, params)
+      | _ -> ())
+    reqs;
+
+  (* Corrupt the frames per the plan and push them through the server
+     entry point in pipelined batches. *)
+  let frame_faults = ref 0 in
+  let lines =
+    List.mapi
+      (fun i req ->
+        let line, fault = Faults.corrupt_frame plan ~request:i ~max_frame (encode req) in
+        (match fault with Some _ -> incr frame_faults | None -> ());
+        line)
+      reqs
+  in
+  let expected = List.length (List.filter (fun l -> String.trim l <> "") lines) in
+  let status_hist = Hashtbl.create 8 in
+  let typed = ref 0 in
+  let nresponses = ref 0 in
+  List.iter
+    (fun batch ->
+      let out, _stop = Server.handle_lines ~max_frame service batch in
+      List.iter
+        (fun line ->
+          incr nresponses;
+          match Json.of_string line with
+          | Error _ -> ()
+          | Ok doc -> (
+            match Json.find_str "status" doc with
+            | Error _ -> ()
+            | Ok status ->
+              incr typed;
+              Hashtbl.replace status_hist status
+                (1 + Option.value ~default:0 (Hashtbl.find_opt status_hist status))))
+        out)
+    (batches 8 lines);
+
+  (* Snapshot what the live cache held at kill time: recovery may
+     lose a suffix (records past the kill offset) but must never
+     invent or damage an entry. *)
+  let pre_kill = Hashtbl.create 64 in
+  List.iter
+    (fun key ->
+      match Cache.find (Service.cache service) key with
+      | Some entry ->
+        Hashtbl.replace pre_kill key (Json.to_string (Cache.entry_to_json entry))
+      | None -> ())
+    (Cache.keys_newest_first (Service.cache service));
+
+  (* kill -9: truncate the journal at a seeded byte offset.  No
+     checkpoint, no close — the dying process gets no goodbye. *)
+  let journal_len =
+    if Sys.file_exists journal_file then
+      let ic = open_in_bin journal_file in
+      let n = in_channel_length ic in
+      close_in ic;
+      n
+    else 0
+  in
+  let kill_off = Faults.kill_offset plan ~len:journal_len in
+  if journal_len > 0 then begin
+    let fd = Unix.openfile journal_file [ Unix.O_WRONLY ] 0o644 in
+    Unix.ftruncate fd kill_off;
+    Unix.close fd
+  end;
+
+  (* Recover into a fresh service and check the three properties. *)
+  let service2 = Service.create ~config registry in
+  let recovery =
+    match Service.recover service2 ~cache_file ~fsync:false () with
+    | Ok r -> r
+    | Error e ->
+      Printf.eprintf "chaos seed %d: recovery failed: %s\n" seed e;
+      exit 1
+  in
+  let corrupt = ref 0 in
+  let recovered_keys = Cache.keys_newest_first (Service.cache service2) in
+  List.iter
+    (fun key ->
+      match Cache.find (Service.cache service2) key with
+      | None -> ()
+      | Some entry -> (
+        let got = Json.to_string (Cache.entry_to_json entry) in
+        match Hashtbl.find_opt pre_kill key with
+        | Some want when want = got -> ()
+        | _ -> incr corrupt))
+    recovered_keys;
+  let mismatches = ref 0 in
+  let verifier = Service.create ~config registry in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt oracle key with
+      | Some (circuit, params) when params.Wire.deadline = None -> (
+        match Cache.find (Service.cache service2) key with
+        | None -> ()
+        | Some entry -> (
+          match Service.compile verifier ~device:"example6q" ~params circuit with
+          | Error e ->
+            Printf.eprintf "chaos seed %d: verify compile failed: %s\n" seed e;
+            incr mismatches
+          | Ok o ->
+            let cold = Json.to_string (Wire.schedule_to_json o.Service.schedule) in
+            let cached = Json.to_string (Wire.schedule_to_json entry.Cache.schedule) in
+            if o.Service.key <> key || cold <> cached then incr mismatches))
+      | _ -> ())
+    recovered_keys;
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ cache_file; journal_file ];
+  {
+    seed;
+    frames = List.length lines;
+    expected;
+    responses = !nresponses;
+    typed = !typed;
+    status_hist =
+      List.filter_map
+        (fun s -> Option.map (fun n -> (s, n)) (Hashtbl.find_opt status_hist s))
+        [
+          "ok";
+          "error";
+          "overloaded";
+          "deadline_exceeded";
+          "breaker_open";
+          "frame_too_large";
+          "internal_error";
+        ];
+    frame_faults = !frame_faults;
+    journal_len;
+    kill_off;
+    pre_kill_entries = Hashtbl.length pre_kill;
+    recovered_entries = List.length recovered_keys;
+    replayed = recovery.Service.journal_entries;
+    torn = recovery.Service.torn;
+    corrupt_entries = !corrupt;
+    mismatches = !mismatches;
+  }
+
+let seed_json r =
+  Json.Object
+    [
+      ("seed", Json.Number (float_of_int r.seed));
+      ("frames", Json.Number (float_of_int r.frames));
+      ("expected_responses", Json.Number (float_of_int r.expected));
+      ("responses", Json.Number (float_of_int r.responses));
+      ("typed", Json.Number (float_of_int r.typed));
+      ( "statuses",
+        Json.Object (List.map (fun (s, n) -> (s, Json.Number (float_of_int n))) r.status_hist)
+      );
+      ("frame_faults", Json.Number (float_of_int r.frame_faults));
+      ("journal_bytes", Json.Number (float_of_int r.journal_len));
+      ("kill_offset", Json.Number (float_of_int r.kill_off));
+      ("pre_kill_entries", Json.Number (float_of_int r.pre_kill_entries));
+      ("recovered_entries", Json.Number (float_of_int r.recovered_entries));
+      ("journal_replayed", Json.Number (float_of_int r.replayed));
+      ("torn_tail", Json.Bool r.torn);
+      ("corrupt_entries", Json.Number (float_of_int r.corrupt_entries));
+      ("verify_mismatches", Json.Number (float_of_int r.mismatches));
+    ]
+
+let run ~seeds ~requests ~jobs ~dir ~out =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Printf.printf "chaos bench: %d seeds x %d requests (jobs %d)\n%!" seeds requests jobs;
+  let reports =
+    List.init seeds (fun k ->
+        let r = run_seed ~seed:(1000 + k) ~requests ~jobs ~dir in
+        Printf.printf
+          "  seed %d: %d/%d typed, journal %dB killed at %d, recovered %d/%d (replayed %d%s), corrupt %d, mismatches %d\n%!"
+          r.seed r.typed r.expected r.journal_len r.kill_off r.recovered_entries
+          r.pre_kill_entries r.replayed
+          (if r.torn then ", torn tail" else "")
+          r.corrupt_entries r.mismatches;
+        r)
+  in
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+  let expected = total (fun r -> r.expected) in
+  let typed = total (fun r -> r.typed) in
+  let availability = float_of_int typed /. float_of_int (max 1 expected) in
+  let corrupt = total (fun r -> r.corrupt_entries) in
+  let mismatches = total (fun r -> r.mismatches) in
+  let torn_runs = List.length (List.filter (fun r -> r.torn) reports) in
+  let doc =
+    Json.Object
+      [
+        ("seeds", Json.Number (float_of_int seeds));
+        ("requests_per_seed", Json.Number (float_of_int requests));
+        ("jobs", Json.Number (float_of_int jobs));
+        ("expected_responses", Json.Number (float_of_int expected));
+        ("typed_responses", Json.Number (float_of_int typed));
+        ("availability", Json.Number availability);
+        ("frame_faults", Json.Number (float_of_int (total (fun r -> r.frame_faults))));
+        ("torn_tail_runs", Json.Number (float_of_int torn_runs));
+        ("journal_replayed", Json.Number (float_of_int (total (fun r -> r.replayed))));
+        ("recovered_entries", Json.Number (float_of_int (total (fun r -> r.recovered_entries))));
+        ("corrupt_entries", Json.Number (float_of_int corrupt));
+        ("verify_mismatches", Json.Number (float_of_int mismatches));
+        ("per_seed", Json.Array (List.map seed_json reports));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf
+    "availability %.4f (%d/%d typed), %d corrupt entries, %d verify mismatches, %d/%d torn tails\n"
+    availability typed expected corrupt mismatches torn_runs seeds;
+  Printf.printf "wrote %s\n" out;
+  if availability < 1.0 || corrupt > 0 || mismatches > 0 then begin
+    Printf.eprintf "chaos bench FAILED: availability, corruption, or fidelity target missed\n";
+    exit 1
+  end
+
+(* ---- out-of-process client (ci.sh kill -9 smoke test) ---- *)
+
+let clean_request device i =
+  Wire.Compile
+    {
+      id = Printf.sprintf "c%d" i;
+      device = "example6q";
+      circuit = build_circuit device (i mod 12);
+      params = Wire.default_params;
+    }
+
+let connect ~socket ~retries =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Some fd
+    | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if n <= 0 then None
+      else begin
+        Unix.sleepf 0.1;
+        go (n - 1)
+      end
+  in
+  go retries
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go ofs =
+    if ofs < len then
+      match Unix.write fd b ofs (len - ofs) with
+      | n -> go (ofs + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+  in
+  go 0
+
+(* Lockstep request/response (one batch per request): a pipelined
+   blast of N compiles would trip the daemon's own admission control,
+   which is not what record/verify are probing. *)
+let roundtrip ~socket reqs =
+  match connect ~socket ~retries:50 with
+  | None ->
+    Printf.eprintf "chaos client: cannot connect to %s\n" socket;
+    exit 1
+  | Some fd ->
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
+    let buf = Bytes.create 65536 in
+    let acc = Buffer.create 4096 in
+    let rec read_line () =
+      match String.index_opt (Buffer.contents acc) '\n' with
+      | Some i ->
+        let s = Buffer.contents acc in
+        Buffer.clear acc;
+        Buffer.add_string acc (String.sub s (i + 1) (String.length s - i - 1));
+        Some (String.sub s 0 i)
+      | None -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> None
+        | n ->
+          Buffer.add_subbytes acc buf 0 n;
+          read_line ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Printf.eprintf "chaos client: timed out waiting for a response\n";
+          exit 1)
+    in
+    let lines =
+      List.filter_map
+        (fun r ->
+          send_all fd (encode r ^ "\n");
+          read_line ())
+        reqs
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    List.filter (fun l -> String.trim l <> "") lines
+
+let response_map lines =
+  let map = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error _ -> ()
+      | Ok doc -> (
+        match (Json.find_str "id" doc, Json.find_str "status" doc) with
+        | Ok id, Ok status -> Hashtbl.replace map id (status, doc)
+        | _ -> ()))
+    lines;
+  map
+
+let client ~socket ~mode ~file ~requests ~seed ~min_cached =
+  let device = Core.Presets.example_6q () in
+  let reqs = List.init requests (fun i -> clean_request device i) in
+  match mode with
+  | "load" ->
+    (* Best-effort pressure while the driver kills the daemon: seed
+       makes every key fresh (distinct omega), so the daemon is busy
+       journaling cold compiles when the kill lands.  Write slowly,
+       ignore every failure, always exit 0. *)
+    let load_req i =
+      let params =
+        { Wire.default_params with Wire.omega = 0.31 +. (0.001 *. float_of_int (seed + i)) }
+      in
+      Wire.Compile
+        {
+          id = Printf.sprintf "l%d" i;
+          device = "example6q";
+          circuit = build_circuit device (i mod 12);
+          params;
+        }
+    in
+    (match connect ~socket ~retries:20 with
+    | None -> ()
+    | Some fd ->
+      (try
+         List.iter
+           (fun i ->
+             send_all fd (encode (load_req i) ^ "\n");
+             Unix.sleepf 0.02)
+           (List.init requests Fun.id)
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ()));
+    exit 0
+  | "record" ->
+    let map = response_map (roundtrip ~socket reqs) in
+    let entries =
+      List.filter_map
+        (fun r ->
+          let id = Wire.request_id r in
+          match Hashtbl.find_opt map id with
+          | Some ("ok", doc) ->
+            let key = Result.value ~default:"" (Json.find_str "key" doc) in
+            let sched =
+              match Json.member "schedule" doc with
+              | Some s -> Json.to_string ~indent:false s
+              | None -> ""
+            in
+            Some (id, Json.Object [ ("key", Json.String key); ("schedule", Json.String sched) ])
+          | _ ->
+            Printf.eprintf "chaos client: no ok response for %s\n" id;
+            exit 1)
+        reqs
+    in
+    let oc = open_out file in
+    output_string oc (Json.to_string (Json.Object entries));
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "chaos client: recorded %d responses to %s\n" (List.length entries) file;
+    exit 0
+  | "verify" ->
+    let expected =
+      let ic = open_in_bin file in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Json.of_string text with
+      | Ok (Json.Object fields) -> fields
+      | _ ->
+        Printf.eprintf "chaos client: cannot parse %s\n" file;
+        exit 1
+    in
+    let map = response_map (roundtrip ~socket reqs) in
+    let mismatches = ref 0 in
+    let cached = ref 0 in
+    List.iter
+      (fun (id, want) ->
+        let want_key = Result.value ~default:"" (Json.find_str "key" want) in
+        let want_sched = Result.value ~default:"" (Json.find_str "schedule" want) in
+        match Hashtbl.find_opt map id with
+        | Some ("ok", doc) ->
+          let key = Result.value ~default:"" (Json.find_str "key" doc) in
+          let sched =
+            match Json.member "schedule" doc with
+            | Some s -> Json.to_string ~indent:false s
+            | None -> ""
+          in
+          (match Json.member "cached" doc with
+          | Some (Json.Bool true) -> incr cached
+          | _ -> ());
+          if key <> want_key || sched <> want_sched then begin
+            incr mismatches;
+            Printf.eprintf "chaos client: MISMATCH on %s\n" id
+          end
+        | Some (status, _) ->
+          incr mismatches;
+          Printf.eprintf "chaos client: %s answered %s, expected ok\n" id status
+        | None ->
+          incr mismatches;
+          Printf.eprintf "chaos client: no response for %s\n" id)
+      expected;
+    Printf.printf "chaos client: verified %d ids, %d cached, %d mismatches\n"
+      (List.length expected) !cached !mismatches;
+    if !mismatches > 0 || !cached < min_cached then begin
+      if !cached < min_cached then
+        Printf.eprintf "chaos client: only %d cached responses (< %d): recovery lost the cache\n"
+          !cached min_cached;
+      exit 1
+    end;
+    exit 0
+  | other ->
+    Printf.eprintf "chaos client: unknown --mode %s (record | verify | load)\n" other;
+    exit 2

@@ -14,7 +14,14 @@
         --out FILE; writes SOAK.json)
      dune exec bench/main.exe -- --serve-bench --requests 160 --seed 7 --jobs 4
        (seeded skewed compile workload against the serving layer;
-        writes BENCH_serve.json) *)
+        writes BENCH_serve.json)
+     dune exec bench/main.exe -- --chaos-bench --seeds 20 --requests 60 --jobs 2
+       (seeded service-fault campaign: corrupted frames, failing/stalling
+        compiles, full-disk journal appends, kill -9 journal truncation;
+        writes BENCH_chaos.json, exits 1 unless availability = 1.0 and
+        recovery is corruption-free)
+     dune exec bench/main.exe -- --chaos-client --socket S --mode record|verify|load
+       (out-of-process client for the ci.sh crash-recovery smoke test) *)
 
 let experiments =
   [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "tab1"; "scale"; "ablation" ]
@@ -30,7 +37,10 @@ let () =
     Microbench.bench_exec_json ();
     exit 0
   end;
-  if List.mem "--soak" args || List.mem "--serve-bench" args then begin
+  if
+    List.mem "--soak" args || List.mem "--serve-bench" args
+    || List.mem "--chaos-bench" args || List.mem "--chaos-client" args
+  then begin
     let int_flag name default =
       let rec find = function
         | flag :: v :: _ when flag = name -> (
@@ -52,7 +62,22 @@ let () =
       in
       find args
     in
-    if List.mem "--serve-bench" args then
+    if List.mem "--chaos-bench" args then
+      Exp_chaos.run
+        ~seeds:(int_flag "--seeds" 20)
+        ~requests:(int_flag "--requests" 60)
+        ~jobs:(int_flag "--jobs" 2)
+        ~dir:(str_flag "--chaos-dir" "chaos-scratch")
+        ~out:(str_flag "--out" "BENCH_chaos.json")
+    else if List.mem "--chaos-client" args then
+      Exp_chaos.client
+        ~socket:(str_flag "--socket" "qcx-serve.sock")
+        ~mode:(str_flag "--mode" "record")
+        ~file:(str_flag "--file" "chaos-expected.json")
+        ~requests:(int_flag "--requests" 24)
+        ~seed:(int_flag "--seed" 7)
+        ~min_cached:(int_flag "--min-cached" 0)
+    else if List.mem "--serve-bench" args then
       Exp_serve.run
         ~seed:(int_flag "--seed" 7)
         ~requests:(int_flag "--requests" 160)

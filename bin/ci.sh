@@ -1,8 +1,12 @@
 #!/bin/sh
 # CI entry point: typecheck, build everything, run the test suite,
-# then two end-to-end smoke tests: a 2-day fault-injected mini soak
-# (fails on any compile loss or ingested corruption) and a compile
-# request served through the qcx_serve --once NDJSON path.
+# then four end-to-end smoke tests: a 2-day fault-injected mini soak
+# (fails on any compile loss or ingested corruption), a compile
+# request served through the qcx_serve --once NDJSON path, a chaos
+# crash-recovery drill (kill -9 the daemon mid-load, restart, require
+# the write-ahead journal to hand back every recorded schedule bit
+# for bit, then drain cleanly on SIGTERM), and the seeded 20-run
+# chaos campaign (BENCH_chaos.json).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,11 +14,18 @@ dune build @check
 dune build
 dune runtest
 dune build @serve
+dune build @chaos
 
-SOAK_SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/qcx-ci-soak.XXXXXX")"
-trap 'rm -rf "$SOAK_SCRATCH"' EXIT
+SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/qcx-ci.XXXXXX")"
+DAEMON=""
+cleanup() {
+  [ -n "$DAEMON" ] && kill -9 "$DAEMON" 2>/dev/null || true
+  rm -rf "$SCRATCH"
+}
+trap cleanup EXIT
+
 dune exec bench/main.exe -- --soak --days 2 --seed 7 \
-  --soak-dir "$SOAK_SCRATCH/snapshots" --out "$SOAK_SCRATCH/SOAK.json"
+  --soak-dir "$SCRATCH/snapshots" --out "$SCRATCH/SOAK.json"
 
 # Serving-layer smoke test: one compile request in --once mode must
 # come back with status ok and a schedule.
@@ -27,5 +38,43 @@ case "$SERVE_OUT" in
     exit 1
     ;;
 esac
+
+# Chaos crash-recovery drill.  The daemon must run as the built
+# binary (not under `dune exec`) so kill -9 hits the server itself.
+SERVE=_build/default/bin/qcx_serve.exe
+BENCH=_build/default/bench/main.exe
+SOCK="$SCRATCH/qcx.sock"
+CACHE="$SCRATCH/cache.json"
+
+echo "ci: chaos drill: warm up and record"
+"$SERVE" --devices example6q --oracle-xtalk --socket "$SOCK" \
+  --cache-file "$CACHE" --checkpoint-every 4 --jobs 2 &
+DAEMON=$!
+"$BENCH" --chaos-client --socket "$SOCK" --mode record \
+  --file "$SCRATCH/expected.json" --requests 24
+
+echo "ci: chaos drill: kill -9 mid-load"
+"$BENCH" --chaos-client --socket "$SOCK" --mode load --requests 40 --seed 11 &
+LOADER=$!
+sleep 0.5
+kill -9 "$DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+wait "$LOADER" 2>/dev/null || true
+
+echo "ci: chaos drill: restart; journal replay must restore the cache"
+"$SERVE" --devices example6q --oracle-xtalk --socket "$SOCK" \
+  --cache-file "$CACHE" --checkpoint-every 4 --jobs 2 &
+DAEMON=$!
+"$BENCH" --chaos-client --socket "$SOCK" --mode verify \
+  --file "$SCRATCH/expected.json" --requests 24 --min-cached 24
+
+echo "ci: chaos drill: graceful drain (SIGTERM must exit 0)"
+kill -TERM "$DAEMON"
+wait "$DAEMON"
+DAEMON=""
+
+echo "ci: chaos campaign (20 seeds)"
+dune exec bench/main.exe -- --chaos-bench --seeds 20 --requests 60 --jobs 2 \
+  --chaos-dir "$SCRATCH/chaos" --out BENCH_chaos.json
 
 echo "ci: OK"

@@ -4,10 +4,13 @@
        --devices poughkeepsie,example6q --oracle-xtalk --jobs 4
 
    Speaks newline-delimited JSON (one request per line, one response
-   per line; see DESIGN.md section 8).  `--once` reads requests from
+   per line; see DESIGN.md sections 8-9).  `--once` reads requests from
    stdin and answers on stdout — the test and CI mode:
 
-     echo '{"op":"ping","id":"p1"}' | dune exec bin/qcx_serve.exe -- --once *)
+     echo '{"op":"ping","id":"p1"}' | dune exec bin/qcx_serve.exe -- --once
+
+   Exit codes: 0 after a clean drain (SIGTERM) or a `shutdown` request,
+   2 for startup/usage errors, 3 for a fatal socket error. *)
 
 open Cmdliner
 
@@ -48,16 +51,68 @@ let cache_capacity_term =
        & info [ "cache-capacity" ] ~docv:"N" ~doc)
 
 let cache_file_term =
-  let doc = "Warm-start the schedule cache from FILE and persist it back on shutdown." in
+  let doc =
+    "Persist the schedule cache at FILE with a write-ahead journal at FILE.journal: \
+     crash-consistent warm start (snapshot + journal replay) and periodic checkpoints."
+  in
   Arg.(value & opt (some string) None & info [ "cache-file" ] ~docv:"FILE" ~doc)
+
+let max_frame_term =
+  let doc = "Input frame bound in bytes; longer lines answer `frame_too_large`." in
+  Arg.(value & opt int Core.Wire.default_max_frame & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+
+let max_compile_term =
+  let doc = "Service-wide cap on any one compile's solver deadline, seconds (0 = none)." in
+  Arg.(value & opt float 30.0 & info [ "max-compile-seconds" ] ~docv:"SECONDS" ~doc)
+
+let breaker_threshold_term =
+  let doc = "Consecutive compile failures that trip a device's circuit breaker." in
+  Arg.(value & opt int Core.Breaker.default_config.Core.Breaker.threshold
+       & info [ "breaker-threshold" ] ~docv:"N" ~doc)
+
+let breaker_cooloff_term =
+  let doc = "Seconds an open breaker rejects work before the half-open probe." in
+  Arg.(value & opt float Core.Breaker.default_config.Core.Breaker.cooloff_seconds
+       & info [ "breaker-cooloff" ] ~docv:"SECONDS" ~doc)
+
+let breaker_min_rung_term =
+  let doc =
+    "Worst acceptable degradation-ladder rung (exact | incumbent | clustered | greedy | \
+     parallel); compiles served from below it count as breaker failures."
+  in
+  Arg.(value & opt string "parallel" & info [ "breaker-min-rung" ] ~docv:"RUNG" ~doc)
+
+let checkpoint_every_term =
+  let doc = "Journal appends between cache snapshots." in
+  Arg.(value & opt int Core.Service.default_config.Core.Service.checkpoint_every
+       & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let write_timeout_term =
+  let doc = "Seconds to wait for a slow client to read a response before dropping it." in
+  Arg.(value & opt float 10.0 & info [ "write-timeout" ] ~docv:"SECONDS" ~doc)
 
 let lookup_device name =
   match String.lowercase_ascii name with
   | "example6q" | "example" -> Some (Core.Presets.example_6q ())
   | n -> Core.Presets.by_name n
 
+let persist service cache_file =
+  match cache_file with
+  | None -> ()
+  | Some path -> (
+    match Core.Service.persistence_journal service with
+    | Some _ -> (
+      match Core.Service.checkpoint service with
+      | Ok () -> Printf.eprintf "cache: checkpointed to %s\n%!" path
+      | Error e -> Printf.eprintf "cache: checkpoint failed: %s\n%!" e)
+    | None -> (
+      match Core.Service.save_cache service ~path with
+      | Ok () -> Printf.eprintf "cache: persisted to %s\n%!" path
+      | Error e -> Printf.eprintf "cache: failed to persist %s: %s\n%!" path e))
+
 let run devices_csv socket once snapshot_dir oracle jobs queue_bound cache_capacity
-    cache_file =
+    cache_file max_frame max_compile breaker_threshold breaker_cooloff breaker_min_rung
+    checkpoint_every write_timeout =
   let names =
     String.split_on_char ',' devices_csv
     |> List.map String.trim
@@ -65,6 +120,19 @@ let run devices_csv socket once snapshot_dir oracle jobs queue_bound cache_capac
   in
   if names = [] then begin
     Printf.eprintf "no devices given\n";
+    exit 2
+  end;
+  let min_rung =
+    match Core.Wire.rung_of_name (String.lowercase_ascii breaker_min_rung) with
+    | Ok r -> r
+    | Error e ->
+      Printf.eprintf "--breaker-min-rung: %s\n" e;
+      exit 2
+  in
+  if max_frame <= 0 || breaker_threshold <= 0 || checkpoint_every <= 0
+     || not (breaker_cooloff > 0.0)
+  then begin
+    Printf.eprintf "--max-frame, --breaker-*, --checkpoint-every must be positive\n";
     exit 2
   end;
   let registry = Core.Registry.create () in
@@ -101,28 +169,63 @@ let run devices_csv socket once snapshot_dir oracle jobs queue_bound cache_capac
       Core.Service.jobs;
       queue_bound;
       cache_capacity;
+      max_compile_seconds = (if max_compile <= 0.0 then None else Some max_compile);
+      deadline_grace = Core.Service.default_config.Core.Service.deadline_grace;
+      breaker =
+        { Core.Breaker.threshold = breaker_threshold; cooloff_seconds = breaker_cooloff; min_rung };
+      checkpoint_every;
     }
   in
   let service = Core.Service.create ~config registry in
   (match cache_file with
-  | Some path when Sys.file_exists path -> (
-    match Core.Service.load_cache service ~path with
-    | Ok n -> Printf.eprintf "cache: warm-started %d entries from %s\n%!" n path
-    | Error e -> Printf.eprintf "cache: ignoring %s: %s\n%!" path e)
-  | _ -> ());
-  if once then Core.Server.serve_channels service stdin stdout
-  else begin
-    Printf.eprintf "serving on %s (jobs %d, queue bound %d, cache %d)\n%!" socket jobs
-      queue_bound cache_capacity;
-    Core.Server.serve_socket service ~path:socket;
-    Printf.eprintf "shutdown requested; exiting\n%!"
-  end;
-  match cache_file with
-  | Some path -> (
-    match Core.Service.save_cache service ~path with
-    | Ok () -> Printf.eprintf "cache: persisted to %s\n%!" path
-    | Error e -> Printf.eprintf "cache: failed to persist %s: %s\n%!" path e)
   | None -> ()
+  | Some path -> (
+    match Core.Service.recover service ~cache_file:path () with
+    | Ok r ->
+      Printf.eprintf "cache: restored %d snapshot + %d journal entries%s\n%!"
+        r.Core.Service.snapshot_entries r.Core.Service.journal_entries
+        (if r.Core.Service.torn then
+           Printf.sprintf " (torn journal tail; %d record(s) dropped)"
+             r.Core.Service.journal_dropped
+         else "")
+    | Error e ->
+      Printf.eprintf "cache: recovery failed (%s); serving without persistence\n%!" e));
+  if once then begin
+    Core.Server.serve_channels service stdin stdout;
+    persist service cache_file;
+    0
+  end
+  else begin
+    (* A disconnecting client raises SIGPIPE on write; that must never
+       kill the daemon. *)
+    (match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
+    | () -> ()
+    | exception Invalid_argument _ -> ());
+    let draining = ref false in
+    let drain _ =
+      draining := true;
+      Core.Service.set_draining service true
+    in
+    (match Sys.set_signal Sys.sigterm (Sys.Signal_handle drain) with
+    | () -> ()
+    | exception Invalid_argument _ -> ());
+    Printf.eprintf "serving on %s (jobs %d, queue bound %d, cache %d, frame %dB)\n%!"
+      socket jobs queue_bound cache_capacity max_frame;
+    match
+      Core.Server.serve_socket service ~path:socket ~max_frame
+        ?write_timeout:(if write_timeout > 0.0 then Some write_timeout else None)
+        ~stop:(fun () -> !draining)
+    with
+    | () ->
+      Printf.eprintf "%s; exiting\n%!"
+        (if !draining then "drained after SIGTERM" else "shutdown requested");
+      persist service cache_file;
+      0
+    | exception Unix.Unix_error (err, fn, arg) ->
+      Printf.eprintf "fatal socket error: %s (%s %s)\n%!" (Unix.error_message err) fn arg;
+      persist service cache_file;
+      3
+  end
 
 let cmd =
   let info =
@@ -131,6 +234,8 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ devices_term $ socket_term $ once_term $ snapshot_dir_term $ oracle_term
-      $ Common.jobs_term $ queue_bound_term $ cache_capacity_term $ cache_file_term)
+      $ Common.jobs_term $ queue_bound_term $ cache_capacity_term $ cache_file_term
+      $ max_frame_term $ max_compile_term $ breaker_threshold_term $ breaker_cooloff_term
+      $ breaker_min_rung_term $ checkpoint_every_term $ write_timeout_term)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

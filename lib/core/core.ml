@@ -47,9 +47,12 @@ module Hidden_shift = Qcx_benchmarks.Hidden_shift
 module Supremacy = Qcx_benchmarks.Supremacy
 module Fault_plan = Qcx_faults.Fault_plan
 module Soak = Qcx_faults.Soak
+module Service_faults = Qcx_faults.Service_faults
 module Canon = Qcx_serve.Canon
 module Wire = Qcx_serve.Wire
 module Cache = Qcx_serve.Cache
+module Breaker = Qcx_serve.Breaker
+module Journal = Qcx_serve.Journal
 module Registry = Qcx_serve.Registry
 module Service = Qcx_serve.Service
 module Server = Qcx_serve.Server

@@ -1,0 +1,96 @@
+module Rng = Qcx_util.Rng
+module Service = Qcx_serve.Service
+
+type frame_fault = Torn | Garbage | Oversize
+
+let frame_fault_name = function
+  | Torn -> "torn"
+  | Garbage -> "garbage"
+  | Oversize -> "oversize"
+
+type config = {
+  torn_frame : float;
+  garbage_frame : float;
+  oversize_frame : float;
+  compile_fail : float;
+  compile_stall : float;
+  stall_seconds : float;
+  journal_full : float;
+}
+
+let default_config =
+  {
+    torn_frame = 0.06;
+    garbage_frame = 0.05;
+    oversize_frame = 0.03;
+    compile_fail = 0.08;
+    compile_stall = 0.05;
+    stall_seconds = 0.12;
+    journal_full = 0.08;
+  }
+
+let none =
+  {
+    torn_frame = 0.0;
+    garbage_frame = 0.0;
+    oversize_frame = 0.0;
+    compile_fail = 0.0;
+    compile_stall = 0.0;
+    stall_seconds = 0.0;
+    journal_full = 0.0;
+  }
+
+type t = { seed : int; config : config }
+
+let create ?(config = default_config) ~seed () = { seed; config }
+let config t = t.config
+
+(* Same keying discipline as Fault_plan: every decision is a pure
+   function of (seed, site), so a campaign replays identically at any
+   jobs count and evaluation order. *)
+let keyed t key = Rng.create (Hashtbl.hash (t.seed, "qcx-service-faults", key))
+
+let frame_fault t ~request =
+  let rng = keyed t ("frame", request) in
+  let u = Rng.unit_float rng in
+  let c = t.config in
+  if u < c.torn_frame then Some Torn
+  else if u < c.torn_frame +. c.garbage_frame then Some Garbage
+  else if u < c.torn_frame +. c.garbage_frame +. c.oversize_frame then Some Oversize
+  else None
+
+let corrupt_frame t ~request ~max_frame line =
+  match frame_fault t ~request with
+  | None -> (line, None)
+  | Some Torn ->
+    let rng = keyed t ("tear", request) in
+    (Fault_plan.truncate_string ~rng line, Some Torn)
+  | Some Garbage ->
+    let rng = keyed t ("garble", request) in
+    let s = ref line in
+    for _ = 1 to 3 do
+      s := Fault_plan.bitflip_string ~rng !s
+    done;
+    (!s, Some Garbage)
+  | Some Oversize ->
+    let pad = max 1 (max_frame + 1 - String.length line) in
+    (line ^ String.make pad 'x', Some Oversize)
+
+let compile_fault t ~nth =
+  let rng = keyed t ("compile", nth) in
+  let u = Rng.unit_float rng in
+  let c = t.config in
+  if u < c.compile_fail then Some (Service.Fail_compile "injected compile failure")
+  else if u < c.compile_fail +. c.compile_stall then
+    Some (Service.Stall_compile c.stall_seconds)
+  else None
+
+let journal_fault t ~nth =
+  let rng = keyed t ("journal", nth) in
+  Rng.unit_float rng < t.config.journal_full
+
+let kill_offset t ~len =
+  if len <= 0 then 0
+  else
+    let rng = keyed t ("kill", len) in
+    Rng.int rng (len + 1)

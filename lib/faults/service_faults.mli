@@ -1,0 +1,59 @@
+(** Deterministic fault plans for the serving layer's chaos harness
+    (DESIGN.md §9) — the {!Fault_plan} philosophy lifted from the
+    characterization loop up into the compilation service.
+
+    A plan decides, from a seed alone, which request frames arrive
+    torn / bit-flipped / absurdly long, which cold compiles die or
+    stall, which journal appends hit a full disk, and at which byte
+    offset a simulated [kill -9] truncates the journal.  Decisions are
+    keyed on [(seed, site)], so a campaign replays identically at
+    every [--jobs] value and evaluation order. *)
+
+module Service = Qcx_serve.Service
+
+type frame_fault =
+  | Torn  (** the line is cut short mid-byte *)
+  | Garbage  (** token bytes bit-flipped *)
+  | Oversize  (** padded past the server's frame bound *)
+
+val frame_fault_name : frame_fault -> string
+
+type config = {
+  torn_frame : float;  (** per-request probability of a torn frame *)
+  garbage_frame : float;  (** ... of bit-flip corruption *)
+  oversize_frame : float;  (** ... of oversize padding *)
+  compile_fail : float;  (** per-compile probability the slot dies *)
+  compile_stall : float;  (** ... that it hangs first *)
+  stall_seconds : float;  (** how long a stalled compile hangs *)
+  journal_full : float;  (** per-append probability of disk-full *)
+}
+
+val default_config : config
+(** Aggressive enough that a 20-seed campaign exercises every class. *)
+
+val none : config
+(** All probabilities zero — a fault-free control campaign. *)
+
+type t
+
+val create : ?config:config -> seed:int -> unit -> t
+val config : t -> config
+
+val frame_fault : t -> request:int -> frame_fault option
+
+val corrupt_frame :
+  t -> request:int -> max_frame:int -> string -> string * frame_fault option
+(** Apply request number [request]'s frame fault (if any) to the
+    encoded line, returning what actually goes on the wire. *)
+
+val compile_fault : t -> nth:int -> Service.compile_fault option
+(** Partially applied, this is exactly the hook
+    {!Qcx_serve.Service.set_compile_fault} expects. *)
+
+val journal_fault : t -> nth:int -> bool
+(** Whether journal append number [nth] hits the injected full disk —
+    the hook {!Qcx_serve.Journal.set_fault} expects. *)
+
+val kill_offset : t -> len:int -> int
+(** Where ([0..len]) the simulated [kill -9] truncates a journal of
+    [len] bytes. *)

@@ -23,8 +23,15 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* Non-finite floats get fixed spellings (libc %g may print "-nan"),
+   and the parser below accepts them back: scheduler stats carry a
+   [nan] objective for pair-free circuits, and a codec that cannot
+   round-trip its own output would poison the cache journal. *)
 let number_to_string x =
-  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  if Float.is_nan x then "nan"
+  else if x = Float.infinity then "inf"
+  else if x = Float.neg_infinity then "-inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
   else Printf.sprintf "%.17g" x
 
 let to_string ?(indent = true) t =
@@ -81,6 +88,12 @@ let to_string ?(indent = true) t =
 (* ---- parsing ---- *)
 
 exception Bad of string
+
+(* Recursive-descent depth cap: without it a short hostile input like
+   ten thousand '[' characters exhausts the OCaml stack, and the
+   serving layer's "arbitrary bytes never raise" guarantee dies with
+   it.  Real documents here (schedules, envelopes) nest < 10 deep. *)
+let max_depth = 512
 
 let of_string text =
   let pos = ref 0 in
@@ -147,6 +160,11 @@ let of_string text =
     loop ()
   in
   let parse_number () =
+    if !pos + 4 <= len && String.sub text !pos 4 = "-inf" then begin
+      pos := !pos + 4;
+      Number Float.neg_infinity
+    end
+    else
     let start = !pos in
     let is_number_char c =
       match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
@@ -159,7 +177,8 @@ let of_string text =
     | Some x -> Number x
     | None -> error ("bad number " ^ s)
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then error "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> error "unexpected end of input"
@@ -176,7 +195,7 @@ let of_string text =
           let key = parse_string () in
           skip_ws ();
           expect ':';
-          let value = parse_value () in
+          let value = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -198,7 +217,7 @@ let of_string text =
       end
       else begin
         let rec items acc =
-          let value = parse_value () in
+          let value = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -214,15 +233,20 @@ let of_string text =
     | Some '"' -> String (parse_string ())
     | Some 't' -> literal "true" (Bool true)
     | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
+    | Some 'n' ->
+      if !pos + 1 < len && text.[!pos + 1] = 'a' then literal "nan" (Number Float.nan)
+      else literal "null" Null
+    | Some 'i' -> literal "inf" (Number Float.infinity)
     | Some _ -> parse_number ()
   in
   try
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> len then Error (Printf.sprintf "trailing garbage at position %d" !pos)
     else Ok v
-  with Bad msg -> Error msg
+  with
+  | Bad msg -> Error msg
+  | Stack_overflow -> Error "nesting too deep"
 
 (* ---- accessors ---- *)
 

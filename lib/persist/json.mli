@@ -17,7 +17,11 @@ val to_string : ?indent:bool -> t -> string
 (** [indent] pretty-prints with two-space indentation (default true). *)
 
 val of_string : string -> (t, string) result
-(** Parse; errors carry a character position. *)
+(** Parse; errors carry a character position.  Total on arbitrary
+    bytes: nesting deeper than 512 levels is rejected with an [Error]
+    instead of exhausting the stack.  Accepts the non-finite spellings
+    [nan] / [inf] / [-inf] that {!to_string} emits, so every value
+    round-trips. *)
 
 val member : string -> t -> t option
 (** Object field lookup. *)

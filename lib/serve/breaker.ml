@@ -1,0 +1,120 @@
+module Xtalk_sched = Qcx_scheduler.Xtalk_sched
+module Json = Qcx_persist.Json
+
+type state = Closed | Open | Half_open
+
+type config = {
+  threshold : int;
+  cooloff_seconds : float;
+  min_rung : Xtalk_sched.rung;
+}
+
+let default_config = { threshold = 5; cooloff_seconds = 30.0; min_rung = Xtalk_sched.Parallel }
+
+type t = {
+  config : config;
+  mutable state : state;
+  mutable consecutive : int;  (* consecutive failures while closed *)
+  mutable opened_at : float;  (* when we last tripped *)
+  mutable probing : bool;  (* a half-open probe is in flight *)
+  mutable trips : int;
+  mutable rejections : int;
+  mutable failures : int;
+  mutable successes : int;
+}
+
+let create config =
+  if config.threshold <= 0 then invalid_arg "Breaker.create: threshold must be positive";
+  if not (config.cooloff_seconds > 0.0) then
+    invalid_arg "Breaker.create: cooloff must be positive";
+  {
+    config;
+    state = Closed;
+    consecutive = 0;
+    opened_at = neg_infinity;
+    probing = false;
+    trips = 0;
+    rejections = 0;
+    failures = 0;
+    successes = 0;
+  }
+
+let state t = t.state
+let config t = t.config
+
+let state_name = function Closed -> "closed" | Open -> "open" | Half_open -> "half_open"
+
+let rung_index r =
+  let rec find i = function
+    | [] -> invalid_arg "Breaker.rung_index: unknown rung"
+    | x :: rest -> if x = r then i else find (i + 1) rest
+  in
+  find 0 Xtalk_sched.all_rungs
+
+let rung_acceptable t rung = rung_index rung <= rung_index t.config.min_rung
+
+type verdict = Admit | Probe | Reject of float
+
+let check t ~now =
+  match t.state with
+  | Closed -> Admit
+  | Open ->
+    let elapsed = now -. t.opened_at in
+    if elapsed >= t.config.cooloff_seconds then begin
+      t.state <- Half_open;
+      t.probing <- true;
+      Probe
+    end
+    else begin
+      t.rejections <- t.rejections + 1;
+      Reject (Float.max 0.0 (t.config.cooloff_seconds -. elapsed))
+    end
+  | Half_open ->
+    if t.probing then begin
+      (* One probe at a time: concurrent requests wait out the probe. *)
+      t.rejections <- t.rejections + 1;
+      Reject t.config.cooloff_seconds
+    end
+    else begin
+      t.probing <- true;
+      Probe
+    end
+
+let record_success t ~now =
+  ignore now;
+  t.successes <- t.successes + 1;
+  t.consecutive <- 0;
+  t.probing <- false;
+  t.state <- Closed
+
+let record_failure t ~now =
+  t.failures <- t.failures + 1;
+  t.probing <- false;
+  match t.state with
+  | Half_open ->
+    (* Failed probe: straight back to open, restart the cooloff. *)
+    t.state <- Open;
+    t.opened_at <- now;
+    t.trips <- t.trips + 1
+  | Open -> t.opened_at <- now
+  | Closed ->
+    t.consecutive <- t.consecutive + 1;
+    if t.consecutive >= t.config.threshold then begin
+      t.state <- Open;
+      t.opened_at <- now;
+      t.trips <- t.trips + 1
+    end
+
+let to_json t =
+  Json.Object
+    [
+      ("state", Json.String (state_name t.state));
+      ("consecutive_failures", Json.Number (float_of_int t.consecutive));
+      ("trips", Json.Number (float_of_int t.trips));
+      ("rejections", Json.Number (float_of_int t.rejections));
+      ("failures", Json.Number (float_of_int t.failures));
+      ("successes", Json.Number (float_of_int t.successes));
+    ]
+
+let trips t = t.trips
+let rejections t = t.rejections

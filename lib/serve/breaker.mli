@@ -1,0 +1,71 @@
+(** Per-device circuit breaker (DESIGN.md §9).
+
+    A device whose compiles keep failing — or keep degrading below an
+    acceptable ladder rung — stops receiving work for a cooloff
+    period, shedding load from a bad snapshot or a hostile workload
+    instead of burning solver budget on it.  Standard three-state
+    machine:
+
+    - [Closed]: requests flow.  Each failure bumps a consecutive
+      counter; reaching [threshold] trips the breaker.
+    - [Open]: requests are rejected with a typed [breaker_open]
+      response until [cooloff_seconds] elapse, then the next request
+      becomes a half-open probe.
+    - [Half_open]: exactly one probe is admitted.  Success closes the
+      breaker; failure re-opens it and restarts the cooloff.
+
+    Time is injected by the caller ([~now]), so tests drive the
+    machine with a fake clock.  Not thread-safe by itself — the
+    service consults breakers from the serial staging phase only. *)
+
+module Xtalk_sched = Qcx_scheduler.Xtalk_sched
+module Json = Qcx_persist.Json
+
+type state = Closed | Open | Half_open
+
+type config = {
+  threshold : int;  (** consecutive failures that trip the breaker *)
+  cooloff_seconds : float;  (** open-state dwell before a probe *)
+  min_rung : Xtalk_sched.rung;
+      (** worst acceptable ladder rung; a compile served from below it
+          counts as a failure even though it produced a schedule *)
+}
+
+val default_config : config
+(** threshold 5, cooloff 30 s, min_rung [Parallel] (i.e. any rung is
+    acceptable — only hard failures count). *)
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] on a non-positive threshold/cooloff. *)
+
+val state : t -> state
+val config : t -> config
+val state_name : state -> string
+
+val rung_acceptable : t -> Xtalk_sched.rung -> bool
+(** Whether a compile served from this rung counts as a success. *)
+
+type verdict =
+  | Admit  (** closed: serve normally *)
+  | Probe  (** half-open: serve, and report the outcome *)
+  | Reject of float  (** open: refuse; retry after this many seconds *)
+
+val check : t -> now:float -> verdict
+(** Consult before compiling.  Transitions [Open] to [Half_open] when
+    the cooloff has elapsed.  Every [Admit]/[Probe] must be paired
+    with exactly one {!record_success} or {!record_failure}. *)
+
+val record_success : t -> now:float -> unit
+(** Closes the breaker and zeroes the consecutive-failure counter. *)
+
+val record_failure : t -> now:float -> unit
+(** Counts toward the trip threshold; from [Half_open] it re-opens
+    immediately. *)
+
+val to_json : t -> Json.t
+(** State + counters, embedded in stats/health responses. *)
+
+val trips : t -> int
+val rejections : t -> int

@@ -118,6 +118,26 @@ let keys_newest_first t =
 
 let format_tag = "qcx-schedule-cache-v1"
 
+let entry_to_json entry =
+  Json.Object
+    [
+      ("stats", Wire.stats_to_json entry.stats);
+      ("schedule", Wire.schedule_to_json entry.schedule);
+    ]
+
+let entry_of_json doc =
+  let* stats =
+    match Json.member "stats" doc with
+    | Some s -> Wire.stats_of_json s
+    | None -> Error "missing stats"
+  in
+  let* schedule =
+    match Json.member "schedule" doc with
+    | Some s -> Wire.schedule_of_json s
+    | None -> Error "missing schedule"
+  in
+  Ok { schedule; stats }
+
 let to_json t =
   (* Oldest first, so replaying [add] on load reproduces recency. *)
   let rec oldest acc = function
@@ -127,12 +147,9 @@ let to_json t =
   let entries =
     List.map
       (fun node ->
-        Json.Object
-          [
-            ("key", Json.String node.key);
-            ("stats", Wire.stats_to_json node.entry.stats);
-            ("schedule", Wire.schedule_to_json node.entry.schedule);
-          ])
+        match entry_to_json node.entry with
+        | Json.Object fields -> Json.Object (("key", Json.String node.key) :: fields)
+        | other -> other)
       (oldest [] t.head)
   in
   Json.Object [ ("format", Json.String format_tag); ("entries", Json.Array entries) ]
@@ -148,17 +165,8 @@ let of_json ~capacity doc =
         (fun acc edoc ->
           let* () = acc in
           let* key = Json.find_str "key" edoc in
-          let* stats =
-            match Json.member "stats" edoc with
-            | Some s -> Wire.stats_of_json s
-            | None -> Error "missing stats"
-          in
-          let* schedule =
-            match Json.member "schedule" edoc with
-            | Some s -> Wire.schedule_of_json s
-            | None -> Error "missing schedule"
-          in
-          add t key { schedule; stats };
+          let* entry = entry_of_json edoc in
+          add t key entry;
           Ok ())
         (Ok ()) entry_docs
     in

@@ -49,6 +49,14 @@ val counters : t -> counters
 val keys_newest_first : t -> string list
 (** Recency order, most recent first — exposed for eviction tests. *)
 
+val entry_to_json : entry -> Qcx_persist.Json.t
+(** [{"stats": ..., "schedule": ...}] — the same per-entry shape the
+    cache snapshot uses, shared with the write-ahead {!Journal}. *)
+
+val entry_of_json : Qcx_persist.Json.t -> (entry, string) result
+(** Accepts any object carrying [stats] and [schedule] fields (extra
+    fields are ignored, so journal records parse too). *)
+
 val to_json : t -> Qcx_persist.Json.t
 
 val of_json : capacity:int -> Qcx_persist.Json.t -> (t, string) result

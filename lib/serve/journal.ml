@@ -1,0 +1,148 @@
+module Json = Qcx_persist.Json
+
+let ( let* ) = Result.bind
+
+type record = { key : string; entry : Cache.entry }
+
+(* One NDJSON line per record, self-checksummed: the crc field is the
+   md5 of the line's own serialization *without* the crc.  Emission
+   order is deterministic (Json preserves insertion order), so the
+   reader can recompute the digest from the parsed fields. *)
+
+let payload_json { key; entry } =
+  match Cache.entry_to_json entry with
+  | Json.Object fields ->
+    Json.Object (("op", Json.String "add") :: ("key", Json.String key) :: fields)
+  | other -> other
+
+let payload_digest payload = Digest.to_hex (Digest.string (Json.to_string ~indent:false payload))
+
+let line_of_record record =
+  let payload = payload_json record in
+  let crc = payload_digest payload in
+  let doc =
+    match payload with
+    | Json.Object fields -> Json.Object (fields @ [ ("crc", Json.String crc) ])
+    | other -> other
+  in
+  Json.to_string ~indent:false doc
+
+let record_of_line line =
+  let* doc = Json.of_string line in
+  let* op = Json.find_str "op" doc in
+  if op <> "add" then Error ("unknown journal op " ^ op)
+  else
+    let* crc = Json.find_str "crc" doc in
+    let* key = Json.find_str "key" doc in
+    let* entry = Cache.entry_of_json doc in
+    let record = { key; entry } in
+    (* Recompute over the canonical re-emission: any damage to the
+       fields (or to crc itself) fails the comparison. *)
+    if String.lowercase_ascii crc = payload_digest (payload_json record) then Ok record
+    else Error "journal crc mismatch"
+
+(* ---- writer ---- *)
+
+type t = {
+  path : string;
+  fsync : bool;
+  mutable fd : Unix.file_descr option;
+  mutable appends : int;
+  mutable failed_appends : int;
+  mutable fault : (nth:int -> bool) option;
+}
+
+let open_append ~path ?(fsync = true) () =
+  try
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+    Ok { path; fsync; fd = Some fd; appends = 0; failed_appends = 0; fault = None }
+  with Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "cannot open journal %s: %s" path (Unix.error_message err))
+
+let path t = t.path
+let appends t = t.appends
+let failed_appends t = t.failed_appends
+let set_fault t fault = t.fault <- fault
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let append t record =
+  match t.fd with
+  | None -> Error "journal is closed"
+  | Some fd ->
+    let nth = t.appends + t.failed_appends in
+    let faulted = match t.fault with Some f -> f ~nth | None -> false in
+    if faulted then begin
+      t.failed_appends <- t.failed_appends + 1;
+      Error "journal append failed: no space left on device (injected)"
+    end
+    else begin
+      try
+        write_all fd (Bytes.of_string (line_of_record record ^ "\n"));
+        if t.fsync then Unix.fsync fd;
+        t.appends <- t.appends + 1;
+        Ok ()
+      with Unix.Unix_error (err, _, _) ->
+        t.failed_appends <- t.failed_appends + 1;
+        Error (Printf.sprintf "journal append failed: %s" (Unix.error_message err))
+    end
+
+let reset t =
+  match t.fd with
+  | None -> Error "journal is closed"
+  | Some fd -> (
+    try
+      Unix.ftruncate fd 0;
+      if t.fsync then Unix.fsync fd;
+      Ok ()
+    with Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "journal reset failed: %s" (Unix.error_message err)))
+
+let close t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    t.fd <- None;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* ---- replay ---- *)
+
+type replay = {
+  records : record list;
+  read : int;
+  dropped : int;
+  torn : bool;
+}
+
+let replay ~path =
+  if not (Sys.file_exists path) then { records = []; read = 0; dropped = 0; torn = false }
+  else begin
+    let text =
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with _ -> ""
+    in
+    let lines = String.split_on_char '\n' text in
+    (* A torn tail (kill -9 mid-write) shows up as a final chunk with
+       no newline or with a bad crc.  Only a valid prefix is replayed:
+       once one line fails, everything after it is untrusted. *)
+    let rec walk acc read = function
+      | [] -> { records = List.rev acc; read; dropped = 0; torn = false }
+      | [ "" ] -> { records = List.rev acc; read; dropped = 0; torn = false }
+      | line :: rest -> (
+        match record_of_line line with
+        | Ok r -> walk (r :: acc) (read + 1) rest
+        | Error _ ->
+          let remaining = List.length (List.filter (fun l -> l <> "") (line :: rest)) in
+          { records = List.rev acc; read; dropped = remaining; torn = true })
+    in
+    walk [] 0 lines
+  end

@@ -71,14 +71,39 @@ let refresh t ~id =
   match find t id with
   | None -> missing id
   | Some entry ->
-    if entry.paths = [] then Ok entry
-    else
-      let reloaded =
-        load_entry ~device:entry.device ~paths:entry.paths
-          ~quarantined:entry.quarantined ~bumps:entry.bumps
+    if entry.paths = [] then Ok (entry, None)
+    else begin
+      let report =
+        Store.load_crosstalk_resilient ~topology:(Device.topology entry.device)
+          ~paths:entry.paths ()
       in
-      let bumps = if reloaded.epoch = entry.epoch then entry.bumps else entry.bumps + 1 in
-      Ok (register t ~id { reloaded with bumps })
+      match report.Store.data with
+      | None ->
+        (* Every snapshot on disk is damaged.  Regressing to empty
+           crosstalk here would silently advance the epoch and orphan
+           every cached schedule, so keep serving the last good data
+           and surface the problem instead. *)
+        let kept =
+          register t ~id
+            { entry with quarantined = entry.quarantined @ report.Store.quarantined }
+        in
+        Ok (kept, Some "no usable snapshot; keeping previous epoch and data")
+      | Some xtalk ->
+        let epoch = epoch_of_xtalk xtalk in
+        let bumps = if epoch = entry.epoch then entry.bumps else entry.bumps + 1 in
+        let refreshed =
+          register t ~id
+            {
+              entry with
+              xtalk;
+              epoch;
+              bumps;
+              source = report.Store.source;
+              quarantined = entry.quarantined @ report.Store.quarantined;
+            }
+        in
+        Ok (refreshed, None)
+    end
 
 let ids t = List.rev t.order
 

@@ -45,9 +45,13 @@ val set_xtalk : t -> id:string -> Qcx_device.Crosstalk.t -> (entry, string) resu
     only changes (and [bumps] only increments) when the data actually
     differs. *)
 
-val refresh : t -> id:string -> (entry, string) result
+val refresh : t -> id:string -> (entry * string option, string) result
 (** Re-walk the entry's snapshot paths — the [bump] server op.  For
-    static entries this is a no-op returning the current entry. *)
+    static entries this is a no-op returning the current entry.  When
+    every snapshot on disk is damaged the previous epoch and data are
+    {e kept} (cached schedules stay addressable and valid) and the
+    second component carries a warning; [Error _] is reserved for
+    unknown ids. *)
 
 val find : t -> string -> entry option
 

@@ -1,34 +1,60 @@
 module Json = Qcx_persist.Json
 
-let handle_lines service lines =
-  let lines = List.filter (fun l -> String.trim l <> "") lines in
+(* One input frame: a line that fit the bound, or the record that an
+   oversized one was discarded (its bytes are never kept). *)
+type frame = Line of string | Oversize
+
+let handle_frames ?(max_frame = Wire.default_max_frame) service frames =
+  let frames =
+    List.filter (function Line l -> String.trim l <> "" | Oversize -> true) frames
+  in
   let parsed =
     List.map
-      (fun line ->
-        match Json.of_string line with
-        | Error e -> Error ("bad JSON: " ^ e)
-        | Ok doc -> Wire.request_of_json doc)
-      lines
+      (function
+        | Oversize -> `Oversize
+        | Line line -> (
+          if String.length line > max_frame then `Oversize
+          else
+            match Json.of_string line with
+            | Error e -> `Bad ("bad JSON: " ^ e)
+            | Ok doc -> (
+              match Wire.request_of_json doc with
+              | Error e -> `Bad e
+              | Ok req -> `Req req)))
+      frames
   in
-  let requests = List.filter_map Result.to_option parsed in
-  let responses = ref (Service.handle_batch service requests) in
+  let requests = List.filter_map (function `Req r -> Some r | _ -> None) parsed in
+  let responses =
+    (* Last-resort guard: a panic anywhere in the service layer
+       degrades to typed per-request errors, never a dropped batch. *)
+    try Service.handle_batch service requests
+    with e ->
+      Service.note_panic service;
+      let msg = "handler panic: " ^ Printexc.to_string e in
+      List.map
+        (fun req -> Wire.internal_error_response ~id:(Some (Wire.request_id req)) msg)
+        requests
+  in
+  let responses = ref responses in
   let out =
     List.map
       (fun item ->
         match item with
-        | Error e -> Wire.error_response ~id:None e
-        | Ok _ -> (
+        | `Oversize -> Wire.frame_too_large_response ~id:None ~limit:max_frame
+        | `Bad e -> Wire.error_response ~id:None e
+        | `Req _ -> (
           match !responses with
           | r :: rest ->
             responses := rest;
             r
-          | [] -> Wire.error_response ~id:None "internal: missing response"))
+          | [] -> Wire.internal_error_response ~id:None "internal: missing response"))
       parsed
   in
-  let stop =
-    List.exists (function Ok (Wire.Shutdown _) -> true | _ -> false) parsed
-  in
+  let stop = List.exists (function `Req (Wire.Shutdown _) -> true | _ -> false) parsed in
   (List.map (fun doc -> Json.to_string ~indent:false doc) out, stop)
+
+let handle_lines ?max_frame service lines =
+  handle_frames ?max_frame service (List.map (fun l -> Line l) lines)
 
 let serve_channels service ic oc =
   let rec read_all acc =
@@ -49,16 +75,30 @@ let serve_channels service ic oc =
 
    A hand-rolled line reader over the raw fd: in_channel buffering
    cannot be mixed with [Unix.select], and we need "is more pipelined
-   input already here?" to form batches without adding latency. *)
+   input already here?" to form batches without adding latency.  The
+   fd is non-blocking and every wait goes through a short select tick
+   so the drain flag is observed promptly. *)
+
+let tick = 0.25
 
 type reader = {
   fd : Unix.file_descr;
   buf : Bytes.t;
+  max_frame : int;
   mutable pending : Buffer.t;
   mutable eof : bool;
+  mutable discarding : bool;  (* inside an oversized frame; dropping bytes *)
 }
 
-let make_reader fd = { fd; buf = Bytes.create 65536; pending = Buffer.create 4096; eof = false }
+let make_reader ?(max_frame = Wire.default_max_frame) fd =
+  {
+    fd;
+    buf = Bytes.create 65536;
+    max_frame;
+    pending = Buffer.create 4096;
+    eof = false;
+    discarding = false;
+  }
 
 let rec fill r =
   if r.eof then 0
@@ -71,80 +111,116 @@ let rec fill r =
       Buffer.add_subbytes r.pending r.buf 0 n;
       n
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill r
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> 0
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
       r.eof <- true;
       0
 
-let take_line r =
+let take_frame r =
   let s = Buffer.contents r.pending in
   match String.index_opt s '\n' with
-  | None -> None
   | Some i ->
     let line = String.sub s 0 i in
     Buffer.clear r.pending;
     Buffer.add_substring r.pending s (i + 1) (String.length s - i - 1);
-    Some line
+    if r.discarding then begin
+      r.discarding <- false;
+      Some Oversize
+    end
+    else if i > r.max_frame then Some Oversize
+    else Some (Line line)
+  | None ->
+    (* No newline yet.  A malicious frame must not buffer without
+       bound: beyond the limit the bytes are dropped and only the
+       fact of the oversize is remembered. *)
+    if Buffer.length r.pending > r.max_frame then begin
+      Buffer.clear r.pending;
+      r.discarding <- true
+    end;
+    None
 
-(* Blocking read of one line; None at EOF (a trailing unterminated
-   fragment is served as a line). *)
-let rec read_line_blocking r =
-  match take_line r with
-  | Some line -> Some line
+let readable fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+(* Blocking read of one frame; None at EOF or when [stop] fires (a
+   trailing unterminated fragment is served as a frame). *)
+let rec read_frame_blocking r ~stop =
+  match take_frame r with
+  | Some f -> Some f
   | None ->
     if r.eof then
       if Buffer.length r.pending > 0 then begin
         let line = Buffer.contents r.pending in
         Buffer.clear r.pending;
-        Some line
+        if r.discarding then begin
+          r.discarding <- false;
+          Some Oversize
+        end
+        else Some (Line line)
       end
       else None
+    else if stop () then None
     else begin
-      ignore (fill r);
-      read_line_blocking r
+      if readable r.fd tick then ignore (fill r);
+      read_frame_blocking r ~stop
     end
 
-let readable_now fd =
-  match Unix.select [ fd ] [] [] 0.0 with
-  | [ _ ], _, _ -> true
-  | _ -> false
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
-
-(* Lines that are already here (buffered or in the kernel), without
+(* Frames that are already here (buffered or in the kernel), without
    blocking — the pipelined tail of a batch. *)
 let rec drain_available r ~max acc =
   if max <= 0 then List.rev acc
   else
-    match take_line r with
-    | Some line -> drain_available r ~max:(max - 1) (line :: acc)
+    match take_frame r with
+    | Some f -> drain_available r ~max:(max - 1) (f :: acc)
     | None ->
-      if (not r.eof) && readable_now r.fd && fill r > 0 then drain_available r ~max acc
+      if (not r.eof) && readable r.fd 0.0 && fill r > 0 then drain_available r ~max acc
       else List.rev acc
 
-let write_all fd s =
+exception Slow_client
+
+let write_all ?timeout fd s =
   let b = Bytes.of_string s in
   let len = Bytes.length b in
   let rec go ofs =
-    if ofs < len then
+    if ofs < len then begin
+      (match timeout with
+      | None -> ()
+      | Some t -> (
+        match Unix.select [] [ fd ] [] t with
+        | _, [ _ ], _ -> ()
+        | _ -> raise Slow_client
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()));
       match Unix.write fd b ofs (len - ofs) with
       | n -> go (ofs + n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (* Non-blocking fd with a full kernel buffer: without a
+           timeout, wait for writability and retry. *)
+        if timeout = None then ignore (readable fd tick);
+        go ofs
+    end
   in
   try go 0 with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
 
-let serve_connection service fd ~max_batch =
-  let r = make_reader fd in
+let serve_connection service fd ~max_batch ~max_frame ~write_timeout ~stop =
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+  let r = make_reader ~max_frame fd in
   let rec loop () =
-    match read_line_blocking r with
+    match read_frame_blocking r ~stop with
     | None -> false
     | Some first ->
       let batch = first :: drain_available r ~max:(max_batch - 1) [] in
-      let responses, stop = handle_lines service batch in
-      write_all fd (String.concat "" (List.map (fun l -> l ^ "\n") responses));
-      if stop then true else loop ()
+      let responses, shutdown = handle_frames ~max_frame service batch in
+      write_all ?timeout:write_timeout fd (String.concat "" (List.map (fun l -> l ^ "\n") responses));
+      if shutdown then true else loop ()
   in
-  loop ()
+  try loop () with Slow_client -> false
 
-let serve_socket ?max_batch service ~path =
+let serve_socket ?max_batch ?(max_frame = Wire.default_max_frame) ?write_timeout
+    ?(stop = fun () -> false) service ~path =
   let max_batch =
     match max_batch with
     | Some m -> max 1 m
@@ -162,15 +238,30 @@ let serve_socket ?max_batch service ~path =
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
       Unix.listen sock 16;
+      (try Unix.set_nonblock sock with Unix.Unix_error _ -> ());
       let rec accept_loop () =
-        match Unix.accept sock with
-        | client, _ ->
-          let stop =
-            Fun.protect
-              ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
-              (fun () -> serve_connection service client ~max_batch)
-          in
-          if not stop then accept_loop ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        if stop () then ()
+        else if not (readable sock tick) then accept_loop ()
+        else
+          match Unix.accept sock with
+          | client, _ ->
+            let shutdown =
+              Fun.protect
+                ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+                (fun () ->
+                  (* Crash-recovery wrapper: a handler panic closes
+                     this connection but the daemon keeps accepting. *)
+                  try serve_connection service client ~max_batch ~max_frame ~write_timeout ~stop
+                  with
+                  | Slow_client -> false
+                  | Unix.Unix_error _ -> false
+                  | Stack_overflow | Failure _ | Invalid_argument _ | Not_found ->
+                    Service.note_panic service;
+                    false)
+            in
+            if not shutdown then accept_loop ()
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+            accept_loop ()
       in
       accept_loop ())

@@ -7,23 +7,53 @@
     (Pool-parallel cold compiles, admission control on the batch), and
     responses come back one JSON object per line, in request order.
 
+    Hardened against hostile input and bad clients (DESIGN.md §9):
+    frames beyond [max_frame] are discarded while buffering at most
+    the bound and answered with a typed [frame_too_large]; arbitrary
+    bytes never raise (every frame gets exactly one typed response); a
+    handler panic closes the offending connection, is counted via
+    {!Service.note_panic}, and the accept loop keeps going; a client
+    that stops reading its responses trips [write_timeout] and is
+    dropped; and a [stop] callback polled on a short tick lets SIGTERM
+    drain the loop between batches.
+
     A [shutdown] request stops the loop after its batch is answered.
     Malformed lines get an [error] response and never kill the
     connection; client disconnects never kill the server. *)
 
-val handle_lines : Service.t -> string list -> string list * bool
-(** Parse raw request lines, serve them as one batch, and render the
-    response lines.  The flag is [true] when the batch contained a
-    [shutdown] request.  Blank lines are skipped. *)
+type frame =
+  | Line of string
+  | Oversize  (** an input line exceeded the frame bound; bytes dropped *)
+
+val handle_frames : ?max_frame:int -> Service.t -> frame list -> string list * bool
+(** Parse frames, serve them as one batch, and render the response
+    lines.  The flag is [true] when the batch contained a [shutdown]
+    request.  Blank lines are skipped; every other frame — oversized,
+    unparseable, valid — yields exactly one response line. *)
+
+val handle_lines : ?max_frame:int -> Service.t -> string list -> string list * bool
+(** {!handle_frames} over plain lines (each checked against
+    [max_frame], default {!Wire.default_max_frame}). *)
 
 val serve_channels : Service.t -> in_channel -> out_channel -> unit
 (** [--once] mode: read request lines until EOF, serve them as a
     single batch (so admission control applies to the whole input),
     write response lines, flush.  Stops early at a [shutdown]. *)
 
-val serve_socket : ?max_batch:int -> Service.t -> path:string -> unit
+val serve_socket :
+  ?max_batch:int ->
+  ?max_frame:int ->
+  ?write_timeout:float ->
+  ?stop:(unit -> bool) ->
+  Service.t ->
+  path:string ->
+  unit
 (** Bind [path] (any stale socket file is replaced), accept clients
     one at a time, and serve each connection: the first request line
     blocks, then all immediately available pipelined lines (up to
     [max_batch], default [2 * queue_bound]) join the same batch.
-    Returns after a [shutdown] request; the socket file is removed. *)
+    Returns after a [shutdown] request, or — between batches — once
+    [stop ()] turns true (graceful drain: in-flight batches finish
+    and their responses are written first).  [write_timeout] bounds
+    each response write; a stalled client is disconnected, the server
+    lives on.  The socket file is removed on return. *)

@@ -5,20 +5,53 @@ module Xtalk_sched = Qcx_scheduler.Xtalk_sched
 module Pool = Qcx_util.Pool
 module Json = Qcx_persist.Json
 
-type config = { jobs : int; queue_bound : int; cache_capacity : int }
+type config = {
+  jobs : int;
+  queue_bound : int;
+  cache_capacity : int;
+  max_compile_seconds : float option;
+  deadline_grace : float;
+  breaker : Breaker.config;
+  checkpoint_every : int;
+}
 
-let default_config = { jobs = 1; queue_bound = 64; cache_capacity = 256 }
+let default_config =
+  {
+    jobs = 1;
+    queue_bound = 64;
+    cache_capacity = 256;
+    max_compile_seconds = Some 30.0;
+    deadline_grace = 4.0;
+    breaker = Breaker.default_config;
+    checkpoint_every = 256;
+  }
+
+type compile_fault = Fail_compile of string | Stall_compile of float
+
+type persistence = { cache_file : string; journal : Journal.t }
 
 type t = {
   config : config;
   registry : Registry.t;
   cache : Cache.t;
+  clock : unit -> float;
+  breakers : (string, Breaker.t) Hashtbl.t;
   rung_hist : int array;  (** indexed like [Xtalk_sched.all_rungs] *)
+  mutable persistence : persistence option;
+  mutable since_checkpoint : int;
+  mutable checkpoints : int;
+  mutable draining : bool;
+  mutable panics : int;
   mutable ok : int;
   mutable errors : int;
   mutable overloaded : int;
+  mutable deadline_exceeded : int;
+  mutable breaker_rejected : int;
+  mutable compile_failures : int;
   mutable cold_compiles : int;
+  mutable cold_attempts : int;
   mutable compile_seconds : float;
+  mutable compile_fault : (nth:int -> compile_fault option) option;
 }
 
 type outcome = {
@@ -30,23 +63,52 @@ type outcome = {
   stats : Xtalk_sched.stats;
 }
 
-let create ?(config = default_config) registry =
+let create ?(config = default_config) ?(clock = Unix.gettimeofday) registry =
   if config.queue_bound <= 0 then invalid_arg "Service.create: queue_bound must be positive";
+  if config.checkpoint_every <= 0 then
+    invalid_arg "Service.create: checkpoint_every must be positive";
+  if not (config.deadline_grace >= 1.0) then
+    invalid_arg "Service.create: deadline_grace must be >= 1";
   {
     config;
     registry;
     cache = Cache.create ~capacity:config.cache_capacity;
+    clock;
+    breakers = Hashtbl.create 8;
     rung_hist = Array.make (List.length Xtalk_sched.all_rungs) 0;
+    persistence = None;
+    since_checkpoint = 0;
+    checkpoints = 0;
+    draining = false;
+    panics = 0;
     ok = 0;
     errors = 0;
     overloaded = 0;
+    deadline_exceeded = 0;
+    breaker_rejected = 0;
+    compile_failures = 0;
     cold_compiles = 0;
+    cold_attempts = 0;
     compile_seconds = 0.0;
+    compile_fault = None;
   }
 
 let registry t = t.registry
 let cache t = t.cache
 let config t = t.config
+let set_compile_fault t fault = t.compile_fault <- fault
+let set_draining t flag = t.draining <- flag
+let draining t = t.draining
+let note_panic t = t.panics <- t.panics + 1
+let panics t = t.panics
+
+let breaker_for t device =
+  match Hashtbl.find_opt t.breakers device with
+  | Some b -> b
+  | None ->
+    let b = Breaker.create t.config.breaker in
+    Hashtbl.add t.breakers device b;
+    b
 
 let rung_index rung =
   let rec scan i = function
@@ -67,18 +129,139 @@ let cache_key ~device_id ~epoch ~params canon =
        (String.concat "\n"
           [ "qcx-schedule-key-v1"; device_id; epoch; knob; Canon.serialize canon ]))
 
+(* The request's own deadline, capped by the service-wide compile
+   budget so one request cannot monopolize a worker. *)
+let effective_deadline t (params : Wire.params) =
+  match (params.Wire.deadline, t.config.max_compile_seconds) with
+  | None, cap -> cap
+  | (Some _ as d), None -> d
+  | Some d, Some cap -> Some (Float.min d cap)
+
 (* The cold path: the degradation ladder means this never raises for a
    well-formed canonical circuit. *)
-let cold_compile (entry : Registry.entry) (params : Wire.params) canon =
+let cold_compile ?deadline (entry : Registry.entry) (params : Wire.params) canon =
   Xtalk_sched.schedule ~omega:params.omega ~threshold:params.threshold
-    ?deadline_seconds:params.deadline ~ladder_start:params.ladder_start
+    ?deadline_seconds:deadline ~ladder_start:params.ladder_start
     ~device:entry.Registry.device ~xtalk:entry.Registry.xtalk canon
+
+(* One slot of the parallel compile phase.  Fault injection and the
+   last-resort exception guard both live here, so a dying worker
+   degrades to a typed per-request error instead of killing the whole
+   batch at the Pool join. *)
+let run_slot t ~nth entry params canon =
+  let deadline = effective_deadline t params in
+  let started = t.clock () in
+  let fault = match t.compile_fault with Some f -> f ~nth | None -> None in
+  let result =
+    match fault with
+    | Some (Fail_compile msg) -> Error msg
+    | _ -> (
+      (match fault with Some (Stall_compile s) -> Unix.sleepf s | _ -> ());
+      try Ok (cold_compile ?deadline entry params canon)
+      with e -> Error ("compile failed: " ^ Printexc.to_string e))
+  in
+  (result, t.clock () -. started)
 
 let tally_cold t (stats : Xtalk_sched.stats) =
   t.cold_compiles <- t.cold_compiles + 1;
   t.compile_seconds <- t.compile_seconds +. stats.solve_seconds;
   let i = rung_index stats.rung in
   t.rung_hist.(i) <- t.rung_hist.(i) + 1
+
+(* ---- persistence: snapshot + write-ahead journal ---- *)
+
+let save_cache t ~path = Cache.save ~path t.cache
+
+let load_cache_into t loaded =
+  let keys = List.rev (Cache.keys_newest_first loaded) in
+  List.iter
+    (fun key ->
+      match Cache.find loaded key with
+      | Some entry -> Cache.add t.cache key entry
+      | None -> ())
+    keys;
+  List.length keys
+
+let load_cache t ~path =
+  match Cache.load ~capacity:t.config.cache_capacity ~path with
+  | Error e -> Error e
+  | Ok loaded -> Ok (load_cache_into t loaded)
+
+let checkpoint t =
+  match t.persistence with
+  | None -> Ok ()
+  | Some p -> (
+    match Cache.save ~path:p.cache_file t.cache with
+    | Error e -> Error ("checkpoint failed: " ^ e)
+    | Ok () ->
+      t.since_checkpoint <- 0;
+      t.checkpoints <- t.checkpoints + 1;
+      Journal.reset p.journal)
+
+(* Every cache mutation goes through here: journal first (when
+   persistence is on), then insert.  A failing journal — full disk —
+   degrades durability to the last checkpoint but never blocks
+   serving. *)
+let cache_insert t key entry =
+  match t.persistence with
+  | None -> Cache.add t.cache key entry
+  | Some p ->
+    let appended = Journal.append p.journal { Journal.key; entry } in
+    (* Insert before any checkpoint: a checkpoint triggered by this
+       very append must snapshot a cache that already holds the entry,
+       or resetting the journal would orphan it. *)
+    Cache.add t.cache key entry;
+    (match appended with
+    | Error _ -> ()
+    | Ok () ->
+      t.since_checkpoint <- t.since_checkpoint + 1;
+      if t.since_checkpoint >= t.config.checkpoint_every then ignore (checkpoint t))
+
+let journal_path ~cache_file = cache_file ^ ".journal"
+
+let enable_persistence t ~cache_file ?(fsync = true) () =
+  match Journal.open_append ~path:(journal_path ~cache_file) ~fsync () with
+  | Error e -> Error e
+  | Ok journal ->
+    (match t.persistence with Some p -> Journal.close p.journal | None -> ());
+    t.persistence <- Some { cache_file; journal };
+    Ok ()
+
+let persistence_journal t = Option.map (fun p -> p.journal) t.persistence
+
+type recovery = {
+  snapshot_entries : int;
+  journal_entries : int;
+  journal_dropped : int;
+  torn : bool;
+}
+
+let recover t ~cache_file ?(fsync = true) () =
+  let snapshot_entries =
+    match Cache.load ~capacity:t.config.cache_capacity ~path:cache_file with
+    | Error _ -> 0 (* missing or damaged snapshot: start from the journal alone *)
+    | Ok loaded -> load_cache_into t loaded
+  in
+  let replay = Journal.replay ~path:(journal_path ~cache_file) in
+  List.iter (fun { Journal.key; entry } -> Cache.add t.cache key entry) replay.Journal.records;
+  match enable_persistence t ~cache_file ~fsync () with
+  | Error e -> Error e
+  | Ok () -> (
+    (* Checkpoint immediately: compacts the replayed records into the
+       snapshot and truncates the journal, so a torn tail can never be
+       appended onto. *)
+    match checkpoint t with
+    | Error e -> Error e
+    | Ok () ->
+      Ok
+        {
+          snapshot_entries;
+          journal_entries = replay.Journal.read;
+          journal_dropped = replay.Journal.dropped;
+          torn = replay.Journal.torn;
+        })
+
+(* ---- single synchronous compile (CLI path) ---- *)
 
 let resolve t ~device ~params circuit =
   match Registry.find t.registry device with
@@ -110,8 +293,8 @@ let compile t ~device ?(params = Wire.default_params) circuit =
           stats = centry.Cache.stats;
         }
     | None ->
-      let schedule, stats = cold_compile entry params canon in
-      Cache.add t.cache key { Cache.schedule; stats };
+      let schedule, stats = cold_compile ?deadline:(effective_deadline t params) entry params canon in
+      cache_insert t key { Cache.schedule; stats };
       tally_cold t stats;
       Ok { device; epoch; key; cached = false; schedule; stats })
 
@@ -132,6 +315,27 @@ let compile_response ~id (o : outcome) =
         ("stats", Wire.stats_to_json o.stats);
         ("schedule", Wire.schedule_to_json o.schedule);
       ])
+
+let breakers_json t =
+  Json.Object
+    (List.filter_map
+       (fun id ->
+         Option.map (fun b -> (id, Breaker.to_json b)) (Hashtbl.find_opt t.breakers id))
+       (Registry.ids t.registry))
+
+let journal_json t =
+  match t.persistence with
+  | None -> Json.Object [ ("enabled", Json.Bool false) ]
+  | Some p ->
+    Json.Object
+      [
+        ("enabled", Json.Bool true);
+        ("path", Json.String (Journal.path p.journal));
+        ("appends", Json.Number (float_of_int (Journal.appends p.journal)));
+        ("failed_appends", Json.Number (float_of_int (Journal.failed_appends p.journal)));
+        ("since_checkpoint", Json.Number (float_of_int t.since_checkpoint));
+        ("checkpoints", Json.Number (float_of_int t.checkpoints));
+      ]
 
 let stats_json t =
   let c = Cache.counters t.cache in
@@ -154,6 +358,10 @@ let stats_json t =
             ("ok", Json.Number (float_of_int t.ok));
             ("errors", Json.Number (float_of_int t.errors));
             ("overloaded", Json.Number (float_of_int t.overloaded));
+            ("deadline_exceeded", Json.Number (float_of_int t.deadline_exceeded));
+            ("breaker_rejected", Json.Number (float_of_int t.breaker_rejected));
+            ("compile_failures", Json.Number (float_of_int t.compile_failures));
+            ("panics", Json.Number (float_of_int t.panics));
             ("cold_compiles", Json.Number (float_of_int t.cold_compiles));
             ("compile_seconds", Json.Number t.compile_seconds);
           ] );
@@ -163,6 +371,20 @@ let stats_json t =
              (fun i r ->
                (Xtalk_sched.rung_name r, Json.Number (float_of_int t.rung_hist.(i))))
              Xtalk_sched.all_rungs) );
+      ("breakers", breakers_json t);
+      ("journal", journal_json t);
+    ]
+
+let health_json t =
+  let c = Cache.counters t.cache in
+  Json.Object
+    [
+      ("ready", Json.Bool (not t.draining));
+      ("draining", Json.Bool t.draining);
+      ("cache_size", Json.Number (float_of_int c.Cache.size));
+      ("panics", Json.Number (float_of_int t.panics));
+      ("breakers", breakers_json t);
+      ("journal", journal_json t);
     ]
 
 let handle_other t req =
@@ -180,7 +402,7 @@ let handle_other t req =
     | Error e ->
       t.errors <- t.errors + 1;
       Wire.error_response ~id:(Some id) e
-    | Ok entry ->
+    | Ok (entry, warning) ->
       t.ok <- t.ok + 1;
       Json.Object
         (ok_fields id
@@ -188,10 +410,14 @@ let handle_other t req =
             ("device", Json.String device);
             ("epoch", Json.String entry.Registry.epoch);
             ("bumped", Json.Bool (before <> Some entry.Registry.epoch));
-          ]))
+          ]
+        @ match warning with None -> [] | Some w -> [ ("warning", Json.String w) ]))
   | Wire.Ping { id } ->
     t.ok <- t.ok + 1;
     Json.Object (ok_fields id @ [ ("pong", Json.Bool true) ])
+  | Wire.Health { id } ->
+    t.ok <- t.ok + 1;
+    Json.Object (ok_fields id @ [ ("health", health_json t) ])
   | Wire.Shutdown { id } ->
     t.ok <- t.ok + 1;
     Json.Object (ok_fields id @ [ ("stopping", Json.Bool true) ])
@@ -203,6 +429,12 @@ type staged =
   | Done of Json.t
   | Miss of { id : string; device : string; epoch : string; key : string; slot : int }
   | Other of Wire.request
+
+(* What the insertion phase decided about one compile slot. *)
+type slot_outcome =
+  | Served of Cache.entry
+  | Overrun of { deadline : float; elapsed : float }
+  | Failed of string
 
 let handle_batch t requests =
   let budget = ref t.config.queue_bound in
@@ -226,9 +458,11 @@ let handle_batch t requests =
               Done (Wire.error_response ~id:(Some id) e)
             | Ok (entry, canon, key) -> (
               let epoch = entry.Registry.epoch in
-              t.ok <- t.ok + 1;
               match Cache.find t.cache key with
               | Some centry ->
+                (* A hit never exercises the compile path, so it is
+                   served even through an open breaker. *)
+                t.ok <- t.ok + 1;
                 Done
                   (compile_response ~id
                      {
@@ -239,65 +473,96 @@ let handle_batch t requests =
                        schedule = centry.Cache.schedule;
                        stats = centry.Cache.stats;
                      })
-              | None ->
-                let slot =
-                  match Hashtbl.find_opt slot_of_key key with
-                  | Some s -> s
-                  | None ->
-                    let s = !nslots in
-                    incr nslots;
-                    Hashtbl.add slot_of_key key s;
-                    Hashtbl.add work s (entry, params, canon, key);
-                    s
-                in
-                Miss { id; device; epoch; key; slot })
+              | None -> (
+                match Breaker.check (breaker_for t device) ~now:(t.clock ()) with
+                | Breaker.Reject retry_after ->
+                  t.breaker_rejected <- t.breaker_rejected + 1;
+                  Done (Wire.breaker_open_response ~id:(Some id) ~device ~retry_after)
+                | Breaker.Admit | Breaker.Probe ->
+                  let slot =
+                    match Hashtbl.find_opt slot_of_key key with
+                    | Some s -> s
+                    | None ->
+                      let s = !nslots in
+                      incr nslots;
+                      Hashtbl.add slot_of_key key s;
+                      Hashtbl.add work s (device, entry, params, canon, key);
+                      s
+                  in
+                  Miss { id; device; epoch; key; slot }))
           end
         | other -> Other other)
       requests
   in
   let n = !nslots in
+  (* Fault sites are numbered by a monotone attempt counter so an
+     injected plan hits the same compiles at every [jobs] value. *)
+  let base = t.cold_attempts in
+  t.cold_attempts <- t.cold_attempts + n;
   let compiled =
     if n = 0 then [||]
     else
       Pool.parallel_chunks ~jobs:t.config.jobs ~n (fun ~lo ~hi ->
           List.init (hi - lo) (fun k ->
-              let entry, params, canon, _ = Hashtbl.find work (lo + k) in
-              cold_compile entry params canon))
+              let slot = lo + k in
+              let _, entry, params, canon, _ = Hashtbl.find work slot in
+              run_slot t ~nth:(base + slot) entry params canon))
       |> List.concat |> Array.of_list
   in
   (* Insert in slot (first-appearance) order so cache recency is
-     deterministic regardless of [jobs]. *)
-  Array.iteri
-    (fun slot (schedule, stats) ->
-      let _, _, _, key = Hashtbl.find work slot in
-      Cache.add t.cache key { Cache.schedule; stats };
-      tally_cold t stats)
-    compiled;
+     deterministic regardless of [jobs].  Breaker outcomes are
+     recorded here, one per slot. *)
+  let outcomes =
+    Array.mapi
+      (fun slot (result, elapsed) ->
+        let device, _, params, _, key = Hashtbl.find work slot in
+        let breaker = breaker_for t device in
+        let now = t.clock () in
+        match result with
+        | Error msg ->
+          Breaker.record_failure breaker ~now;
+          t.compile_failures <- t.compile_failures + 1;
+          Failed msg
+        | Ok (schedule, stats) ->
+          let overrun =
+            match effective_deadline t params with
+            | None -> false
+            | Some d -> elapsed > d *. t.config.deadline_grace
+          in
+          if overrun || not (Breaker.rung_acceptable breaker stats.Xtalk_sched.rung) then
+            Breaker.record_failure breaker ~now
+          else Breaker.record_success breaker ~now;
+          (* The schedule is valid even when late: cache it so a retry
+             of the same request is a hit. *)
+          cache_insert t key { Cache.schedule; stats };
+          tally_cold t stats;
+          if overrun then
+            Overrun
+              {
+                deadline = Option.value (effective_deadline t params) ~default:0.0;
+                elapsed;
+              }
+          else Served { Cache.schedule; stats })
+      compiled
+  in
   List.map
     (function
       | Done response -> response
       | Other req -> handle_other t req
-      | Miss { id; device; epoch; key; slot } ->
-        let schedule, stats = compiled.(slot) in
-        compile_response ~id { device; epoch; key; cached = false; schedule; stats })
+      | Miss { id; device; epoch; key; slot } -> (
+        match outcomes.(slot) with
+        | Served { Cache.schedule; stats } ->
+          t.ok <- t.ok + 1;
+          compile_response ~id { device; epoch; key; cached = false; schedule; stats }
+        | Overrun { deadline; elapsed } ->
+          t.deadline_exceeded <- t.deadline_exceeded + 1;
+          Wire.deadline_exceeded_response ~id:(Some id) ~deadline ~elapsed
+        | Failed msg ->
+          t.errors <- t.errors + 1;
+          Wire.internal_error_response ~id:(Some id) msg))
     staged
 
 let handle t req =
   match handle_batch t [ req ] with
   | [ response ] -> response
   | _ -> assert false
-
-let save_cache t ~path = Cache.save ~path t.cache
-
-let load_cache t ~path =
-  match Cache.load ~capacity:t.config.cache_capacity ~path with
-  | Error e -> Error e
-  | Ok loaded ->
-    let keys = List.rev (Cache.keys_newest_first loaded) in
-    List.iter
-      (fun key ->
-        match Cache.find loaded key with
-        | Some entry -> Cache.add t.cache key entry
-        | None -> ())
-      keys;
-    Ok (List.length keys)

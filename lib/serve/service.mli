@@ -1,5 +1,6 @@
 (** The in-process compilation service: registry + schedule cache +
-    admission-controlled worker dispatch.
+    admission-controlled worker dispatch, hardened for continuous
+    operation (DESIGN.md §8–9).
 
     This layer is transport-free — the socket server, the [--once]
     test mode, the load bench, and [qcx_schedule --cache-dir] all
@@ -17,18 +18,42 @@
     inserted back in request order — responses are bit-identical for
     every [jobs] value.  Requests beyond [queue_bound] are rejected
     with a typed [overloaded] response instead of queueing without
-    bound. *)
+    bound.
+
+    Robustness machinery on top of that (all typed, never raising):
+    per-device circuit {!Breaker}s reject work on devices whose
+    compiles keep failing or degrading; compiles that blow far past
+    their deadline ([deadline × deadline_grace]) answer
+    [deadline_exceeded]; a compile slot that dies answers
+    [internal_error] for its requests while the rest of the batch
+    proceeds; and every cache insertion is journaled ahead of the
+    periodic snapshot so a [kill -9] recovers via {!recover}. *)
 
 type config = {
   jobs : int;  (** worker domains for batch compiles (1 = sequential) *)
   queue_bound : int;  (** admission limit per batch; excess is rejected *)
   cache_capacity : int;  (** LRU capacity of the schedule cache *)
+  max_compile_seconds : float option;
+      (** service-wide cap on any one compile's solver deadline *)
+  deadline_grace : float;
+      (** a compile is only answered [deadline_exceeded] when its
+          wall-clock elapsed exceeds [deadline × grace]; within the
+          grace the ladder-degraded schedule is served normally *)
+  breaker : Breaker.config;  (** per-device circuit-breaker tuning *)
+  checkpoint_every : int;  (** journal appends between cache snapshots *)
 }
 
 val default_config : config
-(** jobs 1, queue_bound 64, cache_capacity 256. *)
+(** jobs 1, queue_bound 64, cache_capacity 256, max_compile 30 s,
+    grace 4×, default breaker, checkpoint every 256 appends. *)
 
 type t
+
+(** Deterministic compile-phase faults for the chaos harness,
+    injected via {!set_compile_fault}. *)
+type compile_fault =
+  | Fail_compile of string  (** the slot dies with this message *)
+  | Stall_compile of float  (** the slot hangs this many seconds first *)
 
 type outcome = {
   device : string;  (** registry id *)
@@ -39,7 +64,9 @@ type outcome = {
   stats : Qcx_scheduler.Xtalk_sched.stats;
 }
 
-val create : ?config:config -> Registry.t -> t
+val create : ?config:config -> ?clock:(unit -> float) -> Registry.t -> t
+(** [clock] (default [Unix.gettimeofday]) drives deadlines and breaker
+    cooloffs — tests inject a fake one. *)
 
 val registry : t -> Registry.t
 val cache : t -> Cache.t
@@ -56,23 +83,77 @@ val compile :
   ?params:Wire.params ->
   Qcx_circuit.Circuit.t ->
   (outcome, string) result
-(** Synchronous single compile (cache-aware).  [Error _] only for
-    unknown devices or circuits that do not fit the device. *)
+(** Synchronous single compile (cache-aware, journaled, no breaker).
+    [Error _] only for unknown devices or circuits that do not fit the
+    device. *)
 
 val handle : t -> Wire.request -> Qcx_persist.Json.t
 (** Serve one request, producing the wire response. *)
 
 val handle_batch : t -> Wire.request list -> Qcx_persist.Json.t list
-(** Serve a pipelined batch: admission control, Pool-parallel cold
-    compiles of distinct keys, responses in request order. *)
+(** Serve a pipelined batch: admission control, breaker checks,
+    Pool-parallel cold compiles of distinct keys, responses in request
+    order.  Total: every fault class maps to a typed response. *)
 
 val stats_json : t -> Qcx_persist.Json.t
 (** The payload of the [stats] op: cache counters, registry listing,
-    served/overloaded/error tallies and the degradation-rung
-    histogram. *)
+    served/overloaded/error tallies, the degradation-rung histogram,
+    breaker states, and journal counters. *)
+
+val health_json : t -> Qcx_persist.Json.t
+(** The payload of the [health] op: readiness (drain flag), panic
+    count, breaker states, journal state. *)
+
+(* ---- operational state ---- *)
+
+val breaker_for : t -> string -> Breaker.t
+(** The device's breaker, created closed on first use. *)
+
+val set_draining : t -> bool -> unit
+(** Flips readiness in {!health_json}; the transport layer stops
+    accepting when its stop callback fires, this just reports it. *)
+
+val draining : t -> bool
+
+val note_panic : t -> unit
+(** Called by the server's crash-recovery wrapper when a connection
+    handler dies; surfaces in stats/health. *)
+
+val panics : t -> int
+
+val set_compile_fault : t -> (nth:int -> compile_fault option) option -> unit
+(** Chaos hook: consulted once per cold-compile attempt with a
+    monotone attempt index ([nth]), independent of [jobs]. *)
+
+(* ---- persistence: snapshot + write-ahead journal ---- *)
 
 val save_cache : t -> path:string -> (unit, string) result
 val load_cache : t -> path:string -> (int, string) result
-(** Warm-start the cache from disk; returns the number of restored
-    entries.  The file must have [cache_capacity] compatible content
-    (excess entries age out on load). *)
+(** Warm-start the cache from a snapshot (no journaling); returns the
+    number of restored entries. *)
+
+val enable_persistence : t -> cache_file:string -> ?fsync:bool -> unit -> (unit, string) result
+(** Open the write-ahead journal at [cache_file ^ ".journal"]; from
+    here on every cache insertion is journaled, and every
+    [checkpoint_every] appends the snapshot is rewritten and the
+    journal truncated. *)
+
+val persistence_journal : t -> Journal.t option
+(** The live journal (chaos tests attach fault hooks to it). *)
+
+val checkpoint : t -> (unit, string) result
+(** Snapshot the cache to [cache_file] and truncate the journal.  A
+    no-op [Ok] when persistence is off. *)
+
+type recovery = {
+  snapshot_entries : int;  (** restored from the snapshot file *)
+  journal_entries : int;  (** replayed from the journal's valid prefix *)
+  journal_dropped : int;  (** lines abandoned after a torn/damaged one *)
+  torn : bool;  (** the journal had a torn tail *)
+}
+
+val recover : t -> cache_file:string -> ?fsync:bool -> unit -> (recovery, string) result
+(** Crash-consistent warm start: load the snapshot (missing/damaged →
+    empty), replay the journal's valid prefix on top, enable
+    persistence, and checkpoint immediately — compacting the replay
+    and truncating any torn tail so it cannot poison later appends. *)

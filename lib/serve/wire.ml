@@ -196,11 +196,12 @@ type request =
   | Devices of { id : string }
   | Bump of { id : string; device : string }
   | Ping of { id : string }
+  | Health of { id : string }
   | Shutdown of { id : string }
 
 let request_id = function
   | Compile { id; _ } | Stats { id } | Devices { id } | Bump { id; _ } | Ping { id }
-  | Shutdown { id } ->
+  | Health { id } | Shutdown { id } ->
     id
 
 let find_float_opt key doc =
@@ -253,6 +254,7 @@ let request_of_json doc =
     let* device = Json.find_str "device" doc in
     Ok (Bump { id; device })
   | "ping" -> Ok (Ping { id })
+  | "health" -> Ok (Health { id })
   | "shutdown" -> Ok (Shutdown { id })
   | other -> Error ("unknown op " ^ other)
 
@@ -275,6 +277,7 @@ let request_to_json req =
   | Devices { id } -> Json.Object (base "devices" id)
   | Bump { id; device } -> Json.Object (base "bump" id @ [ ("device", Json.String device) ])
   | Ping { id } -> Json.Object (base "ping" id)
+  | Health { id } -> Json.Object (base "health" id)
   | Shutdown { id } -> Json.Object (base "shutdown" id)
 
 (* ---- response helpers ---- *)
@@ -284,10 +287,29 @@ let id_field = function None -> Json.Null | Some id -> Json.String id
 let error_response ~id msg =
   Json.Object [ ("id", id_field id); ("status", Json.String "error"); ("error", Json.String msg) ]
 
-let overloaded_response ~id =
+let typed_error ?(extra = []) ~id ~status msg =
   Json.Object
-    [
-      ("id", id_field id);
-      ("status", Json.String "overloaded");
-      ("error", Json.String "admission queue full; retry later");
-    ]
+    ([ ("id", id_field id); ("status", Json.String status); ("error", Json.String msg) ]
+    @ extra)
+
+let overloaded_response ~id =
+  typed_error ~id ~status:"overloaded" "admission queue full; retry later"
+
+let deadline_exceeded_response ~id ~deadline ~elapsed =
+  typed_error ~id ~status:"deadline_exceeded"
+    (Printf.sprintf "compile exceeded its %.3fs deadline (%.3fs elapsed)" deadline elapsed)
+    ~extra:[ ("deadline", Json.Number deadline); ("elapsed", Json.Number elapsed) ]
+
+let breaker_open_response ~id ~device ~retry_after =
+  typed_error ~id ~status:"breaker_open"
+    (Printf.sprintf "device %s circuit breaker is open; retry in %.1fs" device retry_after)
+    ~extra:[ ("device", Json.String device); ("retry_after", Json.Number retry_after) ]
+
+let frame_too_large_response ~id ~limit =
+  typed_error ~id ~status:"frame_too_large"
+    (Printf.sprintf "input frame exceeds the %d byte limit" limit)
+    ~extra:[ ("limit", Json.Number (float_of_int limit)) ]
+
+let internal_error_response ~id msg = typed_error ~id ~status:"internal_error" msg
+
+let default_max_frame = 1 lsl 20

@@ -54,6 +54,8 @@ type request =
   | Bump of { id : string; device : string }
       (** re-load the device's crosstalk snapshots and bump its epoch *)
   | Ping of { id : string }
+  | Health of { id : string }
+      (** readiness, breaker and journal state (DESIGN.md §9) *)
   | Shutdown of { id : string }
 
 val request_id : request -> string
@@ -69,3 +71,31 @@ val error_response : id:string option -> string -> Json.t
 val overloaded_response : id:string option -> Json.t
 (** The typed admission-control rejection:
     [{"id": ..., "status": "overloaded", "error": ...}]. *)
+
+val typed_error :
+  ?extra:(string * Json.t) list -> id:string option -> status:string -> string -> Json.t
+(** Generic typed failure:
+    [{"id": ..., "status": status, "error": msg, ...extra}].  Every
+    fault class the service can hit maps onto one of these statuses so
+    clients always get a parseable answer, never a dropped connection. *)
+
+val deadline_exceeded_response : id:string option -> deadline:float -> elapsed:float -> Json.t
+(** A compile blew far past its per-request deadline (status
+    ["deadline_exceeded"], carries both the budget and the measured
+    elapsed seconds). *)
+
+val breaker_open_response : id:string option -> device:string -> retry_after:float -> Json.t
+(** The device's circuit breaker is open (status ["breaker_open"],
+    carries the cooloff remaining in [retry_after]). *)
+
+val frame_too_large_response : id:string option -> limit:int -> Json.t
+(** The input line exceeded the frame bound (status
+    ["frame_too_large"]).  [id] is [None]: an oversized frame is
+    discarded before it can be parsed. *)
+
+val internal_error_response : id:string option -> string -> Json.t
+(** Last-resort typed wrapper for handler panics (status
+    ["internal_error"]). *)
+
+val default_max_frame : int
+(** Default input frame bound, 1 MiB. *)

@@ -17,5 +17,6 @@ let () =
     @ Test_extensions.suite
     @ Test_faults.suite
     @ Test_serve.suite
+    @ Test_chaos.suite
     @ Test_integration.suite
     @ Test_smoke.suite)

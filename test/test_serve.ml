@@ -176,7 +176,7 @@ let registry_snapshots_and_refresh () =
   | Error e -> Alcotest.fail e);
   (match Registry.refresh registry ~id:"dev" with
   | Error m -> Alcotest.fail m
-  | Ok e1 ->
+  | Ok (e1, _) ->
     Alcotest.(check (option string)) "now serves new snapshot" (Some new_path)
       e1.Registry.source;
     Alcotest.(check bool) "epoch changed" false (e1.Registry.epoch = e0.Registry.epoch);
@@ -187,7 +187,7 @@ let registry_snapshots_and_refresh () =
   close_out oc;
   match Registry.refresh registry ~id:"dev" with
   | Error m -> Alcotest.fail m
-  | Ok e2 ->
+  | Ok (e2, _) ->
     Alcotest.(check (option string)) "fell back to old snapshot" (Some old_path)
       e2.Registry.source;
     Alcotest.(check bool) "corruption recorded" true (e2.Registry.quarantined <> []);
