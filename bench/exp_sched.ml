@@ -1,0 +1,206 @@
+(* Scheduler-core benchmark: the fast branch-and-bound engine (warm
+   starts, two-watched-literal propagation, incremental bounds,
+   cost-guided branching) against the legacy seed engine, on the fig8
+   QAOA and fig9 Hidden Shift workloads at the exact and clustered
+   rungs.
+
+   Writes BENCH_sched.json and exits nonzero unless
+   - every fast objective is equal-or-better than legacy,
+   - fast clustered schedules are bit-identical at --jobs 1/2/4, and
+   - aggregate nodes (and, outside --smoke, aggregate wall-clock) are
+     at least 2x lower with the fast engine on both rungs. *)
+
+module Sched = Core.Xtalk_sched
+
+let device = Core.Presets.poughkeepsie ()
+let xtalk = Core.Device.ground_truth device
+
+let workloads () =
+  let regions = Core.Presets.qaoa_regions device in
+  let region_name region = String.concat ";" (List.map string_of_int region) in
+  List.map
+    (fun region ->
+      let qaoa =
+        Core.Qaoa.build device
+          ~rng:(Core.Rng.create (Hashtbl.hash ("fig8-angles", region)))
+          ~region
+      in
+      (Printf.sprintf "fig8-qaoa[%s]" (region_name region), qaoa.Core.Qaoa.circuit))
+    regions
+  @ List.concat_map
+      (fun redundancy ->
+        List.map
+          (fun region ->
+            let hs =
+              Core.Hidden_shift.build device ~region ~shift:[ true; false; true; true ]
+                ~redundancy
+            in
+            ( Printf.sprintf "fig9-hs%d[%s]" redundancy (region_name region),
+              hs.Core.Hidden_shift.circuit ))
+          regions)
+      [ 0; 1 ]
+
+let fingerprint sched =
+  List.map
+    (fun g ->
+      ( g.Core.Gate.id,
+        Core.Schedule.start sched g.Core.Gate.id,
+        Core.Schedule.duration sched g.Core.Gate.id ))
+    (Core.Circuit.gates (Core.Schedule.circuit sched))
+
+type measurement = {
+  nodes : int;
+  objective : float;
+  wall : float;  (** best of repeats *)
+  rung : string;
+  fp : (int * float * float) list;
+}
+
+let measure ~engine ~rung ~jobs ~repeats circuit =
+  let run () =
+    let t0 = Unix.gettimeofday () in
+    let sched, stats =
+      match rung with
+      | `Exact ->
+        (* Raise the exact-rung gate so even the 36-pair Hidden Shift
+           instances get a single whole-problem solve. *)
+        Sched.schedule ~engine ~jobs ~omega:0.5 ~max_exact_pairs:1000 ~device ~xtalk
+          circuit
+      | `Clustered ->
+        Sched.schedule ~engine ~jobs ~omega:0.5 ~ladder_start:Sched.Clustered ~device
+          ~xtalk circuit
+    in
+    (Unix.gettimeofday () -. t0, sched, stats)
+  in
+  let best = ref None in
+  for _ = 1 to max 1 repeats do
+    let dt, sched, stats = run () in
+    match !best with
+    | Some (dt0, _, _) when dt0 <= dt -> ()
+    | _ -> best := Some (dt, sched, stats)
+  done;
+  match !best with
+  | None -> assert false
+  | Some (dt, sched, stats) ->
+    {
+      nodes = stats.Sched.nodes;
+      objective = stats.Sched.objective;
+      wall = dt;
+      rung = Sched.rung_name stats.Sched.rung;
+      fp = fingerprint sched;
+    }
+
+let run ~smoke ~jobs ~repeats ~out =
+  let repeats = if smoke then 1 else repeats in
+  let jobs_list = if smoke then [ 1; jobs ] else [ 1; 2; jobs ] in
+  let jobs_list = List.sort_uniq compare jobs_list in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let totals = Hashtbl.create 8 in
+  let tally key m =
+    let n0, w0 = Option.value ~default:(0, 0.0) (Hashtbl.find_opt totals key) in
+    Hashtbl.replace totals key (n0 + m.nodes, w0 +. m.wall)
+  in
+  Printf.printf "scheduler core benchmark (%s, %d repeat%s)\n%!"
+    (if smoke then "smoke" else "full")
+    repeats
+    (if repeats = 1 then "" else "s");
+  let entries =
+    List.concat_map
+      (fun (name, circuit) ->
+        List.map
+          (fun rung ->
+            let rung_name = match rung with `Exact -> "exact" | `Clustered -> "clustered" in
+            let legacy = measure ~engine:Core.Solver.Legacy ~rung ~jobs:1 ~repeats circuit in
+            let fast = measure ~engine:Core.Solver.Fast ~rung ~jobs:1 ~repeats circuit in
+            tally ("legacy-" ^ rung_name) legacy;
+            tally ("fast-" ^ rung_name) fast;
+            if fast.objective > legacy.objective +. 1e-9 then
+              fail "%s %s: fast objective %.9f worse than legacy %.9f" name rung_name
+                fast.objective legacy.objective;
+            (* Bit-identical schedules at every --jobs (the clustered
+               rung is the only pool-parallel path, but the exact rung
+               must be jobs-insensitive too). *)
+            List.iter
+              (fun j ->
+                if j > 1 then begin
+                  let m = measure ~engine:Core.Solver.Fast ~rung ~jobs:j ~repeats:1 circuit in
+                  if m.fp <> fast.fp then
+                    fail "%s %s: schedule differs between --jobs 1 and --jobs %d" name
+                      rung_name j;
+                  if m.nodes <> fast.nodes then
+                    fail "%s %s: node count differs between --jobs 1 and --jobs %d" name
+                      rung_name j
+                end)
+              jobs_list;
+            Printf.printf
+              "  %-22s %-9s legacy: %6d nodes %8.2f ms | fast: %6d nodes %8.2f ms (%s)\n%!"
+              name rung_name legacy.nodes (legacy.wall *. 1e3) fast.nodes
+              (fast.wall *. 1e3) fast.rung;
+            Core.Json.Object
+              [
+                ("workload", Core.Json.String name);
+                ("rung", Core.Json.String rung_name);
+                ("legacy_nodes", Core.Json.Number (float_of_int legacy.nodes));
+                ("fast_nodes", Core.Json.Number (float_of_int fast.nodes));
+                ("legacy_wall_seconds", Core.Json.Number legacy.wall);
+                ("fast_wall_seconds", Core.Json.Number fast.wall);
+                ("legacy_objective", Core.Json.Number legacy.objective);
+                ("fast_objective", Core.Json.Number fast.objective);
+                ("served_rung", Core.Json.String fast.rung);
+              ])
+          [ `Exact; `Clustered ])
+      (workloads ())
+  in
+  let aggregates =
+    List.map
+      (fun rung ->
+        let ln, lw = Option.value ~default:(0, 0.0) (Hashtbl.find_opt totals ("legacy-" ^ rung)) in
+        let fn, fw = Option.value ~default:(0, 0.0) (Hashtbl.find_opt totals ("fast-" ^ rung)) in
+        let node_ratio = float_of_int ln /. float_of_int (max 1 fn) in
+        let wall_ratio = lw /. Float.max 1e-9 fw in
+        Printf.printf
+          "TOTAL %-9s nodes %d -> %d (%.2fx)   wall %.1f ms -> %.1f ms (%.2fx)\n%!" rung
+          ln fn node_ratio (lw *. 1e3) (fw *. 1e3) wall_ratio;
+        if node_ratio < 2.0 then
+          fail "%s rung: aggregate node reduction %.2fx below the 2x gate" rung node_ratio;
+        if (not smoke) && wall_ratio < 2.0 then
+          fail "%s rung: aggregate wall-clock speedup %.2fx below the 2x gate" rung
+            wall_ratio;
+        ( rung,
+          Core.Json.Object
+            [
+              ("legacy_nodes", Core.Json.Number (float_of_int ln));
+              ("fast_nodes", Core.Json.Number (float_of_int fn));
+              ("node_ratio", Core.Json.Number node_ratio);
+              ("legacy_wall_seconds", Core.Json.Number lw);
+              ("fast_wall_seconds", Core.Json.Number fw);
+              ("wall_ratio", Core.Json.Number wall_ratio);
+            ] ))
+      [ "exact"; "clustered" ]
+  in
+  let doc =
+    Core.Json.Object
+      [
+        ("bench", Core.Json.String "scheduler core: fast vs legacy engine");
+        ("device", Core.Json.String (Core.Device.name device));
+        ("smoke", Core.Json.Bool smoke);
+        ("repeats", Core.Json.Number (float_of_int repeats));
+        ( "jobs_checked",
+          Core.Json.Array (List.map (fun j -> Core.Json.Number (float_of_int j)) jobs_list)
+        );
+        ("workloads", Core.Json.Array entries);
+        ("aggregate", Core.Json.Object aggregates);
+        ( "failures",
+          Core.Json.Array (List.rev_map (fun m -> Core.Json.String m) !failures) );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Core.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  if !failures <> [] then begin
+    List.iter (fun m -> Printf.eprintf "FAIL: %s\n" m) (List.rev !failures);
+    exit 1
+  end

@@ -21,7 +21,13 @@
         writes BENCH_chaos.json, exits 1 unless availability = 1.0 and
         recovery is corruption-free)
      dune exec bench/main.exe -- --chaos-client --socket S --mode record|verify|load
-       (out-of-process client for the ci.sh crash-recovery smoke test) *)
+       (out-of-process client for the ci.sh crash-recovery smoke test)
+     dune exec bench/main.exe -- --bench-sched --jobs 4 --repeats 5
+       (fast vs legacy solver engine on the fig8/fig9 scheduling
+        workloads; writes BENCH_sched.json, exits 1 unless nodes and
+        wall-clock drop >= 2x with equal-or-better objectives and
+        jobs-independent schedules; --smoke runs 1 repeat and skips
+        the wall-clock gate) *)
 
 let experiments =
   [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "tab1"; "scale"; "ablation" ]
@@ -40,6 +46,7 @@ let () =
   if
     List.mem "--soak" args || List.mem "--serve-bench" args
     || List.mem "--chaos-bench" args || List.mem "--chaos-client" args
+    || List.mem "--bench-sched" args
   then begin
     let int_flag name default =
       let rec find = function
@@ -62,7 +69,13 @@ let () =
       in
       find args
     in
-    if List.mem "--chaos-bench" args then
+    if List.mem "--bench-sched" args then
+      Exp_sched.run
+        ~smoke:(List.mem "--smoke" args)
+        ~jobs:(int_flag "--jobs" 4)
+        ~repeats:(int_flag "--repeats" 5)
+        ~out:(str_flag "--out" "BENCH_sched.json")
+    else if List.mem "--chaos-bench" args then
       Exp_chaos.run
         ~seeds:(int_flag "--seeds" 20)
         ~requests:(int_flag "--requests" 60)

@@ -5,8 +5,10 @@
 # request served through the qcx_serve --once NDJSON path, a chaos
 # crash-recovery drill (kill -9 the daemon mid-load, restart, require
 # the write-ahead journal to hand back every recorded schedule bit
-# for bit, then drain cleanly on SIGTERM), and the seeded 20-run
-# chaos campaign (BENCH_chaos.json).
+# for bit, then drain cleanly on SIGTERM), the seeded 20-run chaos
+# campaign (BENCH_chaos.json), and a scheduler-core smoke benchmark
+# that fails if the fast engine loses its node-count edge over the
+# legacy engine or any schedule differs between --jobs 1 and 4.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,6 +17,7 @@ dune build
 dune runtest
 dune build @serve
 dune build @chaos
+dune build @sched
 
 SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/qcx-ci.XXXXXX")"
 DAEMON=""
@@ -76,5 +79,9 @@ DAEMON=""
 echo "ci: chaos campaign (20 seeds)"
 dune exec bench/main.exe -- --chaos-bench --seeds 20 --requests 60 --jobs 2 \
   --chaos-dir "$SCRATCH/chaos" --out BENCH_chaos.json
+
+echo "ci: scheduler-core smoke (fast vs legacy, --jobs 1 vs 4 determinism)"
+dune exec bench/main.exe -- --bench-sched --smoke --jobs 4 \
+  --out "$SCRATCH/BENCH_sched.json"
 
 echo "ci: OK"

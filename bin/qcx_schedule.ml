@@ -129,10 +129,11 @@ let run device seed jobs src dst scheduler omega oracle xtalk_file deadline cach
   Printf.printf "scheduler: %s\n" (Core.scheduler_name sched_kind);
   (match stats with
   | Some s ->
-    Printf.printf "solver: %d interfering pairs, %d nodes, optimal=%b, rung=%s, %.3f s\n"
+    Printf.printf
+      "solver: %d interfering pairs, %d nodes, optimal=%b, rung=%s, %.3f s wall (%.3f s cpu)\n"
       s.Core.Xtalk_sched.pairs s.Core.Xtalk_sched.nodes s.Core.Xtalk_sched.optimal
       (Core.Xtalk_sched.rung_name s.Core.Xtalk_sched.rung)
-      s.Core.Xtalk_sched.solve_seconds
+      s.Core.Xtalk_sched.solve_seconds s.Core.Xtalk_sched.cpu_seconds
   | None -> ());
   Printf.printf "program duration: %.0f ns\n" (Core.Evaluate.duration sched);
   let oracle_view = Core.Evaluate.oracle device sched in

@@ -189,3 +189,22 @@ let build ?instances ~device ~xtalk ~omega ~threshold ~dag ~durations () =
         ~last:readout ~first:tau.(f.Gate.id)
   done;
   { solver; tau; readout; pairs }
+
+let hint_of_schedule t sched =
+  let module Schedule = Qcx_circuit.Schedule in
+  let hint = Array.make (Solver.nbools t.solver) false in
+  List.iter
+    (fun p ->
+      if Schedule.overlaps sched p.gate1 p.gate2 then hint.(p.o) <- true
+      else if Schedule.start sched p.gate2 >= Schedule.start sched p.gate1 then
+        hint.(p.before) <- true
+      else hint.(p.after) <- true)
+    t.pairs;
+  hint
+
+let warm_hints ?(schedules = []) t =
+  let serial = Array.make (Solver.nbools t.solver) false in
+  List.iter (fun p -> serial.(p.before) <- true) t.pairs;
+  let overlap = Array.make (Solver.nbools t.solver) false in
+  List.iter (fun p -> overlap.(p.o) <- true) t.pairs;
+  (serial :: overlap :: List.map (hint_of_schedule t) schedules)

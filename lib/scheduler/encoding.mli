@@ -58,6 +58,15 @@ val build :
     [instances] overrides the interfering-pair enumeration — used by
     the cluster decomposition to encode one cluster at a time. *)
 
+val warm_hints : ?schedules:Qcx_circuit.Schedule.t list -> t -> bool array list
+(** Candidate full boolean assignments to seed the solver's incumbent
+    ({!Qcx_smt.Solver.solve}'s [warm_starts]): the all-serial
+    assignment (every pair ordered [gate1] before [gate2], program
+    order — always feasible), the all-overlap assignment, and one
+    assignment per given schedule (pairs overlapping in the schedule
+    get [o], the rest the matching order boolean).  Infeasible hints
+    cost the solver one propagation each and are otherwise ignored. *)
+
 val interfering_instances :
   device:Qcx_device.Device.t ->
   xtalk:Qcx_device.Crosstalk.t ->

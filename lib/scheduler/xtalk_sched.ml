@@ -2,6 +2,7 @@ module Circuit = Qcx_circuit.Circuit
 module Dag = Qcx_circuit.Dag
 module Schedule = Qcx_circuit.Schedule
 module Solver = Qcx_smt.Solver
+module Pool = Qcx_util.Pool
 
 type rung = Exact | Incumbent | Clustered | Greedy | Parallel
 
@@ -21,11 +22,15 @@ type stats = {
   optimal : bool;
   objective : float;
   solve_seconds : float;
+  cpu_seconds : float;
   rung : rung;
 }
 
 (* Union-find over gate ids, used to cluster interfering pairs that
-   share gates. *)
+   share gates.  The returned clusters are sorted by their smallest
+   instance so the order is independent of hash-table iteration —
+   the parallel cluster solve chunks over this list, and determinism
+   across [jobs] needs a stable order. *)
 let clusters_of instances =
   let parent = Hashtbl.create 16 in
   let rec find x =
@@ -53,6 +58,8 @@ let clusters_of instances =
       Hashtbl.replace groups root (inst :: Option.value ~default:[] (Hashtbl.find_opt groups root)))
     instances;
   Hashtbl.fold (fun _ insts acc -> insts :: acc) groups []
+  |> List.sort (fun a b -> compare (List.fold_left min max_int (List.map fst a), a)
+                             (List.fold_left min max_int (List.map fst b), b))
 
 let extract_schedule circuit durations encoding (solution : Solver.solution) =
   let starts =
@@ -60,16 +67,23 @@ let extract_schedule circuit durations encoding (solution : Solver.solution) =
   in
   Schedule.shift_to_zero (Schedule.make circuit ~starts ~durations)
 
-let schedule ?(omega = 0.5) ?(threshold = 3.0) ?(node_budget = 2_000_000)
-    ?(max_exact_pairs = 14) ?deadline_seconds ?(ladder_start = Exact) ~device ~xtalk circuit =
-  let circuit = Circuit.decompose_swaps circuit in
+(* The core scheduler over an already-SWAP-decomposed circuit, with
+   optionally precomputed DAG/durations/instances ([tune_omega] shares
+   one preparation across every omega candidate). *)
+let schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadline_seconds
+    ~ladder_start ~jobs ~engine ~device ~xtalk ~prep circuit =
   if omega >= 1.0 then begin
     (* omega = 1 ignores decoherence entirely; any serialization is
        then optimal and the paper equates this setting with
        SerialSched (Table 1, Sections 9.2/9.3). *)
     let sched = Serial_sched.schedule device circuit in
-    let dag = Dag.of_circuit circuit in
-    let instances = Encoding.interfering_instances ~device ~xtalk ~threshold ~dag in
+    let instances =
+      match prep with
+      | Some (_, _, instances) -> instances
+      | None ->
+        let dag = Dag.of_circuit circuit in
+        Encoding.interfering_instances ~device ~xtalk ~threshold ~dag
+    in
     ( sched,
       {
         pairs = List.length instances;
@@ -78,6 +92,7 @@ let schedule ?(omega = 0.5) ?(threshold = 3.0) ?(node_budget = 2_000_000)
         optimal = true;
         objective = nan;
         solve_seconds = 0.0;
+        cpu_seconds = 0.0;
         rung = Exact;
       } )
   end
@@ -105,7 +120,8 @@ let schedule ?(omega = 0.5) ?(threshold = 3.0) ?(node_budget = 2_000_000)
         nodes;
         optimal;
         objective;
-        solve_seconds = Sys.time () -. t0;
+        solve_seconds = Unix.gettimeofday () -. wall0;
+        cpu_seconds = Sys.time () -. t0;
         rung;
       } )
   in
@@ -116,36 +132,73 @@ let schedule ?(omega = 0.5) ?(threshold = 3.0) ?(node_budget = 2_000_000)
     | exception _ -> parallel_rung ()
   in
   match
-    let durations = Durations.assign device circuit in
-    let dag = Dag.of_circuit circuit in
-    let instances = Encoding.interfering_instances ~device ~xtalk ~threshold ~dag in
+    let dag, durations, instances =
+      match prep with
+      | Some p -> p
+      | None ->
+        let durations = Durations.assign device circuit in
+        let dag = Dag.of_circuit circuit in
+        let instances = Encoding.interfering_instances ~device ~xtalk ~threshold ~dag in
+        (dag, durations, instances)
+    in
     let build ?instances () =
       Encoding.build ?instances ~device ~xtalk ~omega ~threshold ~dag ~durations ()
+    in
+    (* Cheap list schedules whose pair decisions seed the solver's
+       incumbent (the legacy engine ignores warm starts, so skip the
+       work there). *)
+    let hint_schedules =
+      lazy
+        (if engine <> Solver.Fast then []
+         else
+           let from f = match f () with s -> [ s ] | exception _ -> [] in
+           from (fun () -> Par_sched.schedule device circuit)
+           @ from (fun () -> fst (Greedy_sched.schedule ~threshold ~device ~xtalk circuit)))
+    in
+    let warm_starts enc =
+      if engine <> Solver.Fast then []
+      else Encoding.warm_hints ~schedules:(Lazy.force hint_schedules) enc
+    in
+    let solve ?(warm = true) enc =
+      Solver.solve ~node_budget ?deadline_seconds:(remaining ())
+        ~warm_starts:(if warm then warm_starts enc else [])
+        ~engine enc.Encoding.solver
     in
     let cluster_rung () =
       match
         (* Cluster decomposition: optimize each connected component of
-           interfering pairs separately, then evaluate the union of
-           decisions once (zero remaining booleans). *)
-        let clusters = clusters_of instances in
-        let total_nodes = ref 0 in
-        let decisions =
-          List.concat_map
-            (fun cluster_instances ->
-              let enc = build ~instances:cluster_instances () in
-              match Solver.solve ~node_budget ?deadline_seconds:(remaining ()) enc.Encoding.solver with
-              | None -> []
-              | Some sol ->
-                total_nodes := !total_nodes + sol.nodes;
-                List.map
-                  (fun p ->
-                    ( (p.Encoding.gate1, p.Encoding.gate2),
-                      ( sol.bools.(p.Encoding.o),
-                        sol.bools.(p.Encoding.before),
-                        sol.bools.(p.Encoding.after) ) ))
-                  enc.Encoding.pairs)
-            clusters
+           interfering pairs separately — concurrently on the domain
+           pool when [jobs > 1]; clusters are independent problems and
+           the merge is by cluster index, so the result is identical at
+           every [jobs] — then evaluate the union of decisions once
+           (zero remaining booleans). *)
+        let clusters = Array.of_list (clusters_of instances) in
+        (* Force the shared hint schedules before fanning out: a lazy
+           must not be forced concurrently from several domains. *)
+        ignore (Lazy.force hint_schedules);
+        let solved =
+          Pool.parallel_chunks ~jobs ~n:(Array.length clusters) (fun ~lo ~hi ->
+              Array.init (hi - lo) (fun k ->
+                  let cluster_instances = clusters.(lo + k) in
+                  let enc = build ~instances:cluster_instances () in
+                  match solve enc with
+                  | None -> (0, [])
+                  | Some sol ->
+                    ( sol.nodes,
+                      List.map
+                        (fun p ->
+                          ( (p.Encoding.gate1, p.Encoding.gate2),
+                            ( sol.bools.(p.Encoding.o),
+                              sol.bools.(p.Encoding.before),
+                              sol.bools.(p.Encoding.after) ) ))
+                        enc.Encoding.pairs )))
+          |> List.concat_map Array.to_list
         in
+        let total_nodes = List.fold_left (fun acc (n, _) -> acc + n) 0 solved in
+        let decisions = Hashtbl.create 64 in
+        List.iter
+          (fun (_, ds) -> List.iter (fun (k, d) -> Hashtbl.replace decisions k d) ds)
+          solved;
         let enc = build ~instances () in
         (* Pin every boolean with unit clauses; a single propagation
            then reaches the unique leaf.  Pairs whose cluster timed out
@@ -153,7 +206,7 @@ let schedule ?(omega = 0.5) ?(threshold = 3.0) ?(node_budget = 2_000_000)
            own deadline share too. *)
         List.iter
           (fun p ->
-            match List.assoc_opt (p.Encoding.gate1, p.Encoding.gate2) decisions with
+            match Hashtbl.find_opt decisions (p.Encoding.gate1, p.Encoding.gate2) with
             | None -> ()
             | Some (o, b, a) ->
               Solver.add_clause enc.Encoding.solver [ { Solver.var = p.Encoding.o; value = o } ];
@@ -162,14 +215,14 @@ let schedule ?(omega = 0.5) ?(threshold = 3.0) ?(node_budget = 2_000_000)
               Solver.add_clause enc.Encoding.solver
                 [ { Solver.var = p.Encoding.after; value = a } ])
           enc.Encoding.pairs;
-        match Solver.solve ~node_budget ?deadline_seconds:(remaining ()) enc.Encoding.solver with
+        match solve ~warm:false enc with
         | Some sol ->
           Some
             ( extract_schedule circuit durations enc sol,
-              !total_nodes + sol.nodes,
+              total_nodes + sol.nodes,
               false,
               sol.objective,
-              List.length clusters,
+              Array.length clusters,
               Clustered )
         | None -> None
       with
@@ -182,8 +235,7 @@ let schedule ?(omega = 0.5) ?(threshold = 3.0) ?(node_budget = 2_000_000)
       else begin
         match
           let enc = build ~instances () in
-          Solver.solve ~node_budget ?deadline_seconds:(remaining ()) enc.Encoding.solver
-          |> Option.map (fun sol -> (enc, sol))
+          solve enc |> Option.map (fun sol -> (enc, sol))
         with
         | Some (enc, sol) ->
           let rung = if sol.Solver.optimal then Exact else Incumbent in
@@ -214,16 +266,44 @@ let schedule ?(omega = 0.5) ?(threshold = 3.0) ?(node_budget = 2_000_000)
     finish ~pairs:0 (parallel_rung ())
   end
 
-let tune_omega ?(candidates = [ 0.0; 0.05; 0.2; 0.5; 0.8; 1.0 ]) ?(threshold = 3.0) ~device
-    ~xtalk circuit =
+let schedule ?(omega = 0.5) ?(threshold = 3.0) ?(node_budget = 2_000_000)
+    ?(max_exact_pairs = 14) ?deadline_seconds ?(ladder_start = Exact) ?(jobs = 1)
+    ?(engine = Solver.Fast) ~device ~xtalk circuit =
+  let circuit = Circuit.decompose_swaps circuit in
+  schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadline_seconds
+    ~ladder_start ~jobs ~engine ~device ~xtalk ~prep:None circuit
+
+let tune_omega ?(candidates = [ 0.0; 0.05; 0.2; 0.5; 0.8; 1.0 ]) ?(threshold = 3.0)
+    ?(jobs = 1) ~device ~xtalk circuit =
   if candidates = [] then invalid_arg "Xtalk_sched.tune_omega: no candidates";
+  let circuit = Circuit.decompose_swaps circuit in
+  (* One DAG/durations/instances preparation shared by every omega
+     candidate (the interfering-pair enumeration does not depend on
+     omega).  If preparation fails, each candidate's ladder handles it
+     on its own. *)
+  let prep =
+    try
+      let durations = Durations.assign device circuit in
+      let dag = Dag.of_circuit circuit in
+      Some (dag, durations, Encoding.interfering_instances ~device ~xtalk ~threshold ~dag)
+    with _ -> None
+  in
+  let arr = Array.of_list candidates in
   let scored =
-    List.map
-      (fun omega ->
-        let sched, stats = schedule ~omega ~threshold ~device ~xtalk circuit in
-        let err = (Evaluate.model device ~xtalk sched).Evaluate.error in
-        (err, (omega, sched, stats)))
-      candidates
+    Pool.parallel_chunks ~jobs ~n:(Array.length arr) (fun ~lo ~hi ->
+        Array.init (hi - lo) (fun k ->
+            let omega = arr.(lo + k) in
+            (* Candidates already run concurrently, so each schedules
+               sequentially — the pool must not be re-entered from a
+               worker domain. *)
+            let sched, stats =
+              schedule_decomposed ~omega ~threshold ~node_budget:2_000_000
+                ~max_exact_pairs:14 ~deadline_seconds:None ~ladder_start:Exact ~jobs:1
+                ~engine:Solver.Fast ~device ~xtalk ~prep circuit
+            in
+            let err = (Evaluate.model device ~xtalk sched).Evaluate.error in
+            (err, (omega, sched, stats))))
+    |> List.concat_map Array.to_list
   in
   let best =
     List.fold_left

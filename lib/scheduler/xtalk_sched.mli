@@ -37,13 +37,17 @@ type stats = {
   nodes : int;  (** total branch-and-bound nodes *)
   optimal : bool;  (** false when decomposed or budget-limited *)
   objective : float;
-  solve_seconds : float;  (** CPU time spent in the solver *)
+  solve_seconds : float;
+      (** wall-clock seconds of the compile (the latency a caller
+          actually observes — cluster solving may use several domains) *)
+  cpu_seconds : float;  (** process CPU seconds over the same window *)
   rung : rung;  (** which degradation-ladder rung served this compile *)
 }
 
 val tune_omega :
   ?candidates:float list ->
   ?threshold:float ->
+  ?jobs:int ->
   device:Qcx_device.Device.t ->
   xtalk:Qcx_device.Crosstalk.t ->
   Qcx_circuit.Circuit.t ->
@@ -53,7 +57,14 @@ val tune_omega :
     [Evaluate.model]) is lowest — the "careful tuning" knob of
     Section 9.3, automated without touching the hardware.  Default
     candidates: [0.; 0.05; 0.2; 0.5; 0.8; 1.].  Returns the chosen
-    omega with its schedule and stats. *)
+    omega with its schedule and stats.
+
+    The SWAP decomposition, DAG, durations and interfering-pair
+    enumeration are computed once and shared by all candidates (none
+    depends on omega); with [jobs > 1] the candidates are compiled
+    concurrently on the domain pool, ties broken toward the earlier
+    candidate regardless of [jobs].  Must be called from the domain
+    that owns the pool (not from inside another parallel region). *)
 
 val schedule :
   ?omega:float ->
@@ -62,6 +73,8 @@ val schedule :
   ?max_exact_pairs:int ->
   ?deadline_seconds:float ->
   ?ladder_start:rung ->
+  ?jobs:int ->
+  ?engine:Qcx_smt.Solver.engine ->
   device:Qcx_device.Device.t ->
   xtalk:Qcx_device.Crosstalk.t ->
   Qcx_circuit.Circuit.t ->
@@ -79,4 +92,17 @@ val schedule :
     records which rung actually served it.  [deadline_seconds] is a
     wall-clock bound shared by all solver calls of the compile.
     [ladder_start] (default [Exact]) starts the descent lower — useful
-    for very large programs and for testing the lower rungs. *)
+    for very large programs and for testing the lower rungs.
+
+    [jobs] (default 1) parallelizes the Clustered rung: connected
+    components are independent subproblems solved concurrently on
+    [Qcx_util.Pool] and merged by cluster index, so the schedule is
+    bit-identical at every [jobs] (absent a deadline, which makes any
+    solver cutoff timing-dependent).  Leave it at 1 when calling from
+    inside another pool-parallel region (e.g. the service's batch
+    compile), which would otherwise re-enter the pool.  [engine]
+    selects the solver search core ({!Qcx_smt.Solver.Fast} by default;
+    [Legacy] is the seed baseline used by [bench/exp_sched.ml]).  Warm
+    starts derived from the greedy/parallel list schedules seed the
+    fast engine's incumbent, so its exact solves explore a fraction of
+    the legacy node count. *)

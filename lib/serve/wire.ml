@@ -151,6 +151,7 @@ let stats_to_json (s : Xtalk_sched.stats) =
       ("optimal", Json.Bool s.optimal);
       ("objective", Json.Number s.objective);
       ("solve_seconds", Json.Number s.solve_seconds);
+      ("cpu_seconds", Json.Number s.cpu_seconds);
       ("rung", Json.String (Xtalk_sched.rung_name s.rung));
     ]
 
@@ -165,6 +166,10 @@ let stats_of_json doc =
   in
   let* objective = Json.find_float "objective" doc in
   let* solve_seconds = Json.find_float "solve_seconds" doc in
+  (* Absent in cache entries persisted before the field existed. *)
+  let cpu_seconds =
+    match Json.find_float "cpu_seconds" doc with Ok v -> v | Error _ -> 0.0
+  in
   let* rung_name = Json.find_str "rung" doc in
   let* rung = rung_of_name rung_name in
   Ok
@@ -175,6 +180,7 @@ let stats_of_json doc =
       optimal;
       objective;
       solve_seconds;
+      cpu_seconds;
       rung;
     }
 

@@ -6,6 +6,7 @@ type t = {
   mutable weights : float array;
   mutable nedges : int;
   mutable frames : int list;
+  mutable epoch : int;
 }
 
 let create () =
@@ -17,6 +18,7 @@ let create () =
     weights = Array.make 64 0.0;
     nedges = 0;
     frames = [];
+    epoch = 0;
   }
 
 let new_var t name =
@@ -51,7 +53,8 @@ let add_edge t ~src ~dst ~weight =
   t.srcs.(t.nedges) <- src;
   t.dsts.(t.nedges) <- dst;
   t.weights.(t.nedges) <- weight;
-  t.nedges <- t.nedges + 1
+  t.nedges <- t.nedges + 1;
+  t.epoch <- t.epoch + 1
 
 let push t = t.frames <- t.nedges :: t.frames
 
@@ -59,8 +62,13 @@ let pop t =
   match t.frames with
   | [] -> invalid_arg "Dgraph.pop: no frame"
   | n :: rest ->
+    (* A frame with no edges leaves the edge set — and hence any
+       edge-set-derived cache — untouched. *)
+    if t.nedges <> n then t.epoch <- t.epoch + 1;
     t.nedges <- n;
     t.frames <- rest
+
+let epoch t = t.epoch
 
 (* Bellman-Ford longest-path relaxation.  Returns [None] on a positive
    cycle (some distance still improves after nvars rounds). *)

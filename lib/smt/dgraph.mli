@@ -27,6 +27,14 @@ val push : t -> unit
 val pop : t -> unit
 (** Remove every edge added since the matching [push]. *)
 
+val epoch : t -> int
+(** A counter that changes whenever the edge set changes ([add_edge],
+    or a [pop] that discards at least one edge).  Two calls returning
+    the same value bracket a window in which every edge-set-derived
+    quantity (feasibility, ASAP times, longest paths) is unchanged —
+    the solver uses this to reuse relaxation results across search
+    nodes whose assignments activated no guarded edges. *)
+
 val asap : t -> float array option
 (** Minimal feasible assignment (longest path from source), or [None]
     if a positive cycle makes the system infeasible. *)

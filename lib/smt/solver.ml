@@ -14,6 +14,8 @@ type t = {
   mutable sinks : int list;
 }
 
+type engine = Fast | Legacy
+
 type solution = {
   bools : bool array;
   nums : float array;
@@ -39,6 +41,8 @@ let new_bool t name =
   t.bool_names <- name :: t.bool_names;
   t.nbools <- t.nbools + 1;
   t.nbools - 1
+
+let nbools t = t.nbools
 
 let new_num t name = Dgraph.new_var t.graph name
 
@@ -69,15 +73,43 @@ exception Conflict
 exception Budget
 exception Deadline
 
+(* Objective scenario, fast-engine bound bookkeeping: [nfalse] counts
+   the scenario's literals currently assigned to the opposite value;
+   the scenario is still viable iff [nfalse = 0]. *)
+type scen = { slits : lit array; scost : float; group : int; mutable nfalse : int }
+
+(* A cost group, fast engine: scenarios sorted by ascending cost, so
+   the min viable cost is the first scenario with [nfalse = 0].  The
+   cached min is invalidated whenever a member scenario flips
+   viability. *)
+type group = { sorted : scen array; mutable cached_min : float; mutable dirty : bool }
+
 type search_state = {
   problem : t;
+  engine : engine;
   assign : int array;  (** -1 unassigned, 0 false, 1 true *)
   clauses : lit array array;
   mutable best : solution option;
   mutable node_count : int;
   budget : int;
   deadline : float;  (** absolute wall-clock time; [infinity] = none *)
+  (* ---- fast engine only (dummy empties under Legacy) ---- *)
+  watch : int list array;  (** literal index -> watching clause ids *)
+  w0 : int array;  (** clause id -> first watched position *)
+  w1 : int array;  (** clause id -> second watched position *)
+  queue : int Queue.t;  (** assigned vars whose watch lists are pending *)
+  occs : scen list array;  (** literal index -> scenarios containing it *)
+  groups : group array;
+  spans_by_last : (int * (float * int) array) array;
+      (** last variable -> (weight, first) spans, positive weights only *)
+  mutable asap_epoch : int;
+  mutable asap_cache : float array option;
+  span_cache : (int, int * float array) Hashtbl.t;  (** last -> epoch, dists *)
+  order : int array;  (** branching order: vars by descending cost spread *)
+  prefer : bool array;  (** per-var value to try first (cheaper scenarios) *)
 }
+
+let lidx { var; value } = (2 * var) + Bool.to_int value
 
 let lit_status st { var; value } =
   match st.assign.(var) with
@@ -86,7 +118,9 @@ let lit_status st { var; value } =
 
 (* Assign a variable, activate its guarded edges (inside a fresh graph
    frame) and return the number of frames pushed so the caller can
-   undo.  Raises [Conflict] if already assigned inconsistently. *)
+   undo.  Raises [Conflict] if already assigned inconsistently.  Under
+   the fast engine also bumps scenario falsification counters and
+   enqueues the variable for watched-literal processing. *)
 let do_assign st var value undo =
   match st.assign.(var) with
   | a when a >= 0 -> if (a = 1) <> value then raise Conflict
@@ -100,11 +134,35 @@ let do_assign st var value undo =
         (fun (v, { src; dst; weight } : bool * guarded_edge) ->
           if v = value then Dgraph.add_edge st.problem.graph ~src ~dst ~weight)
         edges);
-    undo := var :: !undo
+    undo := var :: !undo;
+    if st.engine = Fast then begin
+      Queue.add var st.queue;
+      (* literals of polarity [not value] on this var just went false *)
+      List.iter
+        (fun s ->
+          s.nfalse <- s.nfalse + 1;
+          if s.nfalse = 1 then st.groups.(s.group).dirty <- true)
+        st.occs.((2 * var) + Bool.to_int (not value))
+    end
 
-(* Unit propagation to fixpoint.  Raises [Conflict] on a falsified
-   clause. *)
-let propagate st undo =
+let undo_all st undo =
+  List.iter
+    (fun var ->
+      let a = st.assign.(var) in
+      st.assign.(var) <- -1;
+      Dgraph.pop st.problem.graph;
+      if st.engine = Fast then
+        List.iter
+          (fun s ->
+            s.nfalse <- s.nfalse - 1;
+            if s.nfalse = 0 then st.groups.(s.group).dirty <- true)
+          st.occs.((2 * var) + (1 - a)))
+    !undo;
+  undo := []
+
+(* ---- legacy propagation: rescan every clause to fixpoint ---- *)
+
+let propagate_legacy st undo =
   let changed = ref true in
   while !changed do
     changed := false;
@@ -129,18 +187,76 @@ let propagate st undo =
       st.clauses
   done
 
-let undo_all st undo =
-  List.iter
-    (fun var ->
-      st.assign.(var) <- -1;
-      Dgraph.pop st.problem.graph)
-    !undo;
-  undo := []
+(* ---- fast propagation: two watched literals ---- *)
 
-(* Lower bound from cost groups: cheapest scenario not yet falsified
-   in each group.  A scenario is falsified when one of its literals is
-   assigned the opposite value. *)
-let bool_cost_lb st =
+exception Found of int
+
+(* Process every clause watching the literal falsified by assigning
+   [var].  Watches only ever move onto non-false literals, so watch
+   lists never need undoing on backtrack (the MiniSat invariant); on a
+   conflict the unvisited tail of the list is restored before raising
+   so no watcher is lost. *)
+let process_var st var undo =
+  let fl = (2 * var) + (1 - st.assign.(var)) in
+  let clauses = st.watch.(fl) in
+  st.watch.(fl) <- [];
+  let rec go = function
+    | [] -> ()
+    | c :: rest -> (
+      let lits = st.clauses.(c) in
+      let p0 = st.w0.(c) and p1 = st.w1.(c) in
+      let here, other = if lidx lits.(p0) = fl then (p0, p1) else (p1, p0) in
+      let ol = lits.(other) in
+      match lit_status st ol with
+      | `True ->
+        st.watch.(fl) <- c :: st.watch.(fl);
+        go rest
+      | other_status -> (
+        (* find a replacement watch among the remaining positions *)
+        match
+          try
+            for k = 0 to Array.length lits - 1 do
+              if k <> other && lit_status st lits.(k) <> `False then raise (Found k)
+            done;
+            None
+          with Found k -> Some k
+        with
+        | Some k ->
+          if here = p0 then st.w0.(c) <- k else st.w1.(c) <- k;
+          st.watch.(lidx lits.(k)) <- c :: st.watch.(lidx lits.(k));
+          go rest
+        | None -> (
+          match other_status with
+          | `Unassigned ->
+            (* unit: every other position is false *)
+            st.watch.(fl) <- c :: st.watch.(fl);
+            do_assign st ol.var ol.value undo;
+            go rest
+          | _ ->
+            st.watch.(fl) <- c :: List.rev_append rest st.watch.(fl);
+            raise Conflict)))
+  in
+  go clauses
+
+let propagate_fast st undo =
+  try
+    while not (Queue.is_empty st.queue) do
+      process_var st (Queue.pop st.queue) undo
+    done
+  with e ->
+    Queue.clear st.queue;
+    raise e
+
+let propagate st undo =
+  match st.engine with
+  | Legacy -> propagate_legacy st undo
+  | Fast -> propagate_fast st undo
+
+(* ---- lower bounds ---- *)
+
+(* Legacy: cheapest scenario not yet falsified in each group, found by
+   refiltering every scenario's literal list at every node. *)
+let bool_cost_lb_legacy st =
   List.fold_left
     (fun acc scenarios ->
       let viable =
@@ -154,12 +270,41 @@ let bool_cost_lb st =
       | costs -> acc +. List.fold_left min infinity costs)
     0.0 st.problem.cost_groups
 
+(* Fast: per-group cached min over viable scenarios, maintained under
+   assignment/undo through the [nfalse] counters. *)
+let bool_cost_lb_fast st =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun g ->
+      if g.dirty then begin
+        g.cached_min <-
+          (let m = ref infinity in
+           (try
+              Array.iter
+                (fun s ->
+                  if s.nfalse = 0 then begin
+                    m := s.scost;
+                    raise Exit
+                  end)
+                g.sorted
+            with Exit -> ());
+           !m);
+        g.dirty <- false
+      end;
+      acc := !acc +. g.cached_min)
+    st.groups;
+  !acc
+
+let bool_cost_lb st =
+  match st.engine with Legacy -> bool_cost_lb_legacy st | Fast -> bool_cost_lb_fast st
+
 (* Span lower bound: the longest path first -> last under currently
    active edges is a valid lower bound on (last - first), and only
-   grows as guards activate more edges.  All spans sharing a [last]
-   variable (in practice: the readout sink) are served by one backward
-   relaxation. *)
-let span_lb st =
+   grows as guards activate more edges. *)
+
+(* Legacy: rebuild the by-last index and run the backward relaxation
+   for every group of spans at every node. *)
+let span_lb_legacy st =
   let by_last = Hashtbl.create 4 in
   List.iter
     (fun ((w, last, _) as span) ->
@@ -177,12 +322,51 @@ let span_lb st =
         acc spans)
     by_last 0.0
 
-let feasible st =
-  match Dgraph.asap st.problem.graph with Some _ -> true | None -> false
+(* Fast: the by-last index is precomputed once per solve, and the
+   backward relaxation per [last] is cached against the graph's edge
+   epoch — nodes whose assignments activated no guarded edge reuse the
+   previous distances outright. *)
+let span_dists st last =
+  let ep = Dgraph.epoch st.problem.graph in
+  match Hashtbl.find_opt st.span_cache last with
+  | Some (e, d) when e = ep -> d
+  | _ ->
+    let d = Dgraph.longest_paths_to st.problem.graph ~dst:last in
+    Hashtbl.replace st.span_cache last (ep, d);
+    d
+
+let span_lb_fast st =
+  Array.fold_left
+    (fun acc (last, spans) ->
+      let dist = span_dists st last in
+      Array.fold_left
+        (fun acc (w, first) ->
+          let lp = dist.(first) in
+          if lp = neg_infinity then acc else acc +. (w *. max 0.0 lp))
+        acc spans)
+    0.0 st.spans_by_last
+
+let span_lb st = match st.engine with Legacy -> span_lb_legacy st | Fast -> span_lb_fast st
+
+(* ASAP feasibility, cached per edge epoch under the fast engine. *)
+let asap st =
+  match st.engine with
+  | Legacy -> Dgraph.asap st.problem.graph
+  | Fast ->
+    let ep = Dgraph.epoch st.problem.graph in
+    if st.asap_epoch = ep then st.asap_cache
+    else begin
+      let r = Dgraph.asap st.problem.graph in
+      st.asap_cache <- r;
+      st.asap_epoch <- ep;
+      r
+    end
+
+let feasible st = match asap st with Some _ -> true | None -> false
 
 (* Exact evaluation at a full boolean assignment. *)
 let evaluate st =
-  match Dgraph.asap st.problem.graph with
+  match asap st with
   | None -> None
   | Some lo ->
     let deadline = Array.make (Dgraph.nvars st.problem.graph) infinity in
@@ -214,6 +398,50 @@ let evaluate st =
 let current_best_objective st =
   match st.best with Some s -> s.objective | None -> infinity
 
+let record_leaf st =
+  match evaluate st with
+  | None -> ()
+  | Some (objective, nums) ->
+    if objective < current_best_objective st then
+      st.best <-
+        Some
+          {
+            bools = Array.map (fun a -> a = 1) st.assign;
+            nums;
+            objective;
+            optimal = false;
+            nodes = st.node_count;
+            timed_out = false;
+          }
+
+(* Branch variable choice.  Legacy: first unassigned.  Fast: the
+   precomputed cost-spread order. *)
+let next_unassigned st =
+  match st.engine with
+  | Legacy ->
+    let next = ref (-1) in
+    (try
+       for v = 0 to Array.length st.assign - 1 do
+         if st.assign.(v) = -1 then begin
+           next := v;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !next
+  | Fast ->
+    let next = ref (-1) in
+    (try
+       Array.iter
+         (fun v ->
+           if st.assign.(v) = -1 then begin
+             next := v;
+             raise Exit
+           end)
+         st.order
+     with Exit -> ());
+    !next
+
 let rec search st =
   st.node_count <- st.node_count + 1;
   if st.node_count > st.budget then raise Budget;
@@ -231,34 +459,16 @@ let rec search st =
     if lb < current_best_objective st then begin
       let lb = lb +. span_lb st in
       if lb < current_best_objective st -. 1e-12 then begin
-        (* Find an unassigned boolean. *)
-        let next = ref (-1) in
-        (try
-           for v = 0 to Array.length st.assign - 1 do
-             if st.assign.(v) = -1 then begin
-               next := v;
-               raise Exit
-             end
-           done
-         with Exit -> ());
-        if !next = -1 then begin
-          (* Leaf: exact evaluation. *)
-          match evaluate st with
-          | None -> ()
-          | Some (objective, nums) ->
-            if objective < current_best_objective st then
-              st.best <-
-                Some
-                  {
-                    bools = Array.map (fun a -> a = 1) st.assign;
-                    nums;
-                    objective;
-                    optimal = false;
-                    nodes = st.node_count;
-                    timed_out = false;
-                  }
-        end
+        let next = next_unassigned st in
+        if next = -1 then record_leaf st
         else
+          let values =
+            match st.engine with
+            | Legacy -> [ false; true ]
+            | Fast ->
+              let first = st.prefer.(next) in
+              [ first; not first ]
+          in
           List.iter
             (fun value ->
               let undo = ref [] in
@@ -268,36 +478,198 @@ let rec search st =
                 ~finally:(fun () -> undo_all st undo)
                 (fun () ->
                   try
-                    do_assign st !next value undo;
+                    do_assign st next value undo;
                     propagate st undo;
                     search st
                   with Conflict -> ()))
-            [ false; true ]
+            values
       end
     end
   end
 
-let solve ?(node_budget = 2_000_000) ?deadline_seconds t =
+(* ---- fast-engine search-state construction ---- *)
+
+let build_watches st =
+  (* Unit clauses are root-level assignments; the empty clause is
+     immediately unsatisfiable.  Returns the root assignments still to
+     be made (as lits). *)
+  let units = ref [] in
+  Array.iteri
+    (fun c lits ->
+      match Array.length lits with
+      | 0 -> raise Conflict
+      | 1 -> units := lits.(0) :: !units
+      | _ ->
+        st.w0.(c) <- 0;
+        st.w1.(c) <- 1;
+        st.watch.(lidx lits.(0)) <- c :: st.watch.(lidx lits.(0));
+        st.watch.(lidx lits.(1)) <- c :: st.watch.(lidx lits.(1)))
+    st.clauses;
+  List.rev !units
+
+let build_groups problem =
+  let groups =
+    List.mapi
+      (fun gi scenarios ->
+        let scens =
+          List.map
+            (fun (lits, cost) ->
+              { slits = Array.of_list lits; scost = cost; group = gi; nfalse = 0 })
+            scenarios
+        in
+        let sorted = Array.of_list scens in
+        Array.sort (fun a b -> compare a.scost b.scost) sorted;
+        ({ sorted; cached_min = infinity; dirty = true }, scens))
+      problem.cost_groups
+  in
+  let occs = Array.make (max 1 (2 * problem.nbools)) [] in
+  List.iter
+    (fun (_, scens) ->
+      List.iter
+        (fun s ->
+          Array.iter (fun l -> occs.(lidx l) <- s :: occs.(lidx l)) s.slits)
+        scens)
+    groups;
+  (Array.of_list (List.map fst groups), occs)
+
+let build_span_index problem =
+  let by_last = Hashtbl.create 4 in
+  List.iter
+    (fun (w, last, first) ->
+      if w > 0.0 then
+        Hashtbl.replace by_last last
+          ((w, first) :: Option.value ~default:[] (Hashtbl.find_opt by_last last)))
+    problem.spans;
+  let entries =
+    Hashtbl.fold (fun last spans acc -> (last, Array.of_list spans) :: acc) by_last []
+  in
+  Array.of_list (List.sort compare entries)
+
+(* Cost-guided branching order: rank variables by the largest
+   cost spread (max - min) of any group they appear in — deciding them
+   early moves the lower bound the most — and prefer, for each
+   variable, the polarity whose cheapest mentioning scenario is
+   cheaper.  Purely static, so the search stays deterministic. *)
+let build_branch_order problem =
+  let n = problem.nbools in
+  let spread = Array.make n 0.0 in
+  let min_cost = Array.make (2 * max 1 n) infinity in
+  List.iter
+    (fun scenarios ->
+      let lo = List.fold_left (fun a (_, c) -> min a c) infinity scenarios in
+      let hi = List.fold_left (fun a (_, c) -> max a c) neg_infinity scenarios in
+      let gspread = if scenarios = [] then 0.0 else hi -. lo in
+      List.iter
+        (fun (lits, cost) ->
+          List.iter
+            (fun l ->
+              spread.(l.var) <- max spread.(l.var) gspread;
+              let i = lidx l in
+              min_cost.(i) <- min min_cost.(i) cost)
+            lits)
+        scenarios)
+    problem.cost_groups;
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare spread.(b) spread.(a) with 0 -> compare a b | c -> c)
+    order;
+  let prefer =
+    Array.init n (fun v -> min_cost.((2 * v) + 1) < min_cost.(2 * v))
+  in
+  (order, prefer)
+
+let make_state (problem : t) engine ~node_budget ~deadline =
+  let clauses = Array.of_list (List.map Array.of_list problem.clauses) in
+  let nclauses = Array.length clauses in
+  let fast = engine = Fast in
+  let groups, occs =
+    if fast then build_groups problem else ([||], [||])
+  in
+  let order, prefer =
+    if fast then build_branch_order problem else ([||], [||])
+  in
+  {
+    problem;
+    engine;
+    assign = Array.make problem.nbools (-1);
+    clauses;
+    best = None;
+    node_count = 0;
+    budget = node_budget;
+    deadline;
+    watch = (if fast then Array.make (max 1 (2 * problem.nbools)) [] else [||]);
+    w0 = (if fast then Array.make nclauses 0 else [||]);
+    w1 = (if fast then Array.make nclauses 0 else [||]);
+    queue = Queue.create ();
+    occs;
+    groups;
+    spans_by_last = (if fast then build_span_index problem else [||]);
+    asap_epoch = min_int;
+    asap_cache = None;
+    span_cache = Hashtbl.create 4;
+    order;
+    prefer;
+  }
+
+(* Root propagation: establish watches, assign unit clauses, run to
+   fixpoint.  Raises [Conflict] when the root level is already
+   inconsistent. *)
+let propagate_root st undo =
+  match st.engine with
+  | Legacy -> propagate_legacy st undo
+  | Fast ->
+    let units = build_watches st in
+    List.iter (fun l -> do_assign st l.var l.value undo) units;
+    propagate_fast st undo
+
+(* Warm start: evaluate a caller-supplied full assignment (e.g. the
+   greedy serialize-everything schedule) so [st.best] prunes from the
+   first search node.  A hint that conflicts with the clauses or the
+   difference constraints is silently skipped.  Hint evaluations are
+   not search nodes: they are bounded in number and charged to
+   wall-clock, not to the node budget. *)
+let try_warm_start st hint =
+  if Array.length hint <> Array.length st.assign then
+    invalid_arg "Solver.solve: warm start hint has wrong arity";
+  let undo = ref [] in
+  Fun.protect
+    ~finally:(fun () -> undo_all st undo)
+    (fun () ->
+      try
+        Array.iteri
+          (fun v value ->
+            do_assign st v value undo;
+            propagate st undo)
+          hint;
+        record_leaf st
+      with Conflict -> ())
+
+let solve ?(node_budget = 2_000_000) ?deadline_seconds ?(warm_starts = []) ?(engine = Fast) t
+    =
   let deadline =
     match deadline_seconds with
     | None -> infinity
     | Some s -> if s = infinity then infinity else Unix.gettimeofday () +. max 0.0 s
   in
-  let st =
-    {
-      problem = t;
-      assign = Array.make t.nbools (-1);
-      clauses = Array.of_list (List.map Array.of_list t.clauses);
-      best = None;
-      node_count = 0;
-      budget = node_budget;
-      deadline;
-    }
-  in
+  let st = make_state t engine ~node_budget ~deadline in
   let undo = ref [] in
   let complete, timed_out =
     try
-      propagate st undo;
+      propagate_root st undo;
+      if engine = Fast then begin
+        (* Duplicate hints (e.g. the static all-serial hint and a
+           serializing greedy schedule) cost a propagation each, so
+           evaluate each distinct assignment once. *)
+        let seen = ref [] in
+        List.iter
+          (fun h ->
+            if not (List.exists (fun p -> p = h) !seen) then begin
+              seen := h :: !seen;
+              try_warm_start st h
+            end)
+          warm_starts
+      end;
       search st;
       (true, false)
     with
@@ -309,3 +681,28 @@ let solve ?(node_budget = 2_000_000) ?deadline_seconds t =
   match st.best with
   | None -> None
   | Some sol -> Some { sol with optimal = complete; nodes = st.node_count; timed_out }
+
+(* ---- propagation oracle (tests) ---- *)
+
+let propagation_fixpoint ?(engine = Fast) t seeds =
+  let st = make_state t engine ~node_budget:max_int ~deadline:infinity in
+  let undo = ref [] in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> undo_all st undo)
+      (fun () ->
+        try
+          propagate_root st undo;
+          List.iter
+            (fun (var, value) ->
+              do_assign st var value undo;
+              propagate st undo)
+            seeds;
+          let assigned = ref [] in
+          for v = Array.length st.assign - 1 downto 0 do
+            if st.assign.(v) >= 0 then assigned := (v, st.assign.(v) = 1) :: !assigned
+          done;
+          Some !assigned
+        with Conflict -> None)
+  in
+  result

@@ -28,6 +28,18 @@ type lit = { var : int; value : bool }
 (** [value] is the polarity: [{var; value = false}] is satisfied when
     [var] is assigned false. *)
 
+type engine =
+  | Fast
+      (** Two-watched-literal propagation, incrementally maintained
+          scenario bounds, epoch-cached relaxations, cost-guided
+          branching, warm starts.  The default. *)
+  | Legacy
+      (** The original search core: full clause rescan to fixpoint,
+          per-node scenario refiltering, first-unassigned branching.
+          Kept as the reference implementation for equivalence tests
+          and as the baseline for [bench/exp_sched.ml]; ignores
+          [warm_starts]. *)
+
 type solution = {
   bools : bool array;
   nums : float array;
@@ -41,6 +53,10 @@ val create : unit -> t
 
 val new_bool : t -> string -> int
 val new_num : t -> string -> int
+
+val nbools : t -> int
+(** Number of boolean variables created so far (warm-start hints must
+    have exactly this arity). *)
 
 val add_diff : t -> ?guard:lit -> dst:int -> src:int -> weight:float -> unit -> unit
 (** Constraint [num dst >= num src + weight], enforced always, or only
@@ -64,7 +80,13 @@ val add_sink : t -> int -> unit
 (** Designate a numeric variable as a sink: its value is pinned to its
     minimal feasible value and upper-bounds the ALAP pass. *)
 
-val solve : ?node_budget:int -> ?deadline_seconds:float -> t -> solution option
+val solve :
+  ?node_budget:int ->
+  ?deadline_seconds:float ->
+  ?warm_starts:bool array list ->
+  ?engine:engine ->
+  t ->
+  solution option
 (** [None] when unsatisfiable (or when the search was cut off before
     reaching any leaf).  Default budget: 2_000_000 nodes; no deadline
     by default.  [deadline_seconds] is a wall-clock limit on the
@@ -72,4 +94,28 @@ val solve : ?node_budget:int -> ?deadline_seconds:float -> t -> solution option
     [optimal = false] and [timed_out = true].  The node budget alone
     can miss wall-clock blowups on pathological clusters (deep
     propagation and span-bound recomputation make per-node cost
-    uneven), so callers with latency targets should set both. *)
+    uneven), so callers with latency targets should set both.
+
+    [warm_starts] are candidate full boolean assignments (arity
+    [nbools t], e.g. from a greedy schedule); each feasible hint is
+    evaluated before the search so the incumbent prunes from the first
+    node, and the search result is never worse than the best feasible
+    hint.  Hints that conflict with the clauses or the difference
+    constraints are skipped.  Each hint evaluation counts as one node.
+    The [Legacy] engine ignores hints.
+
+    [solve] is read-only on [t]: graph frames pushed during search are
+    always popped (even on budget/deadline aborts), and all search
+    state lives in a per-call structure, so solving the same problem
+    twice — with the same engine and hints — returns identical
+    solutions. *)
+
+val propagation_fixpoint :
+  ?engine:engine -> t -> (int * bool) list -> (int * bool) list option
+(** Test oracle: assert each seed assignment in order, running unit
+    propagation (of the chosen engine) to fixpoint after each, and
+    return the final assigned set sorted by variable — or [None] if a
+    conflict is reached.  Root-level unit clauses are propagated before
+    the seeds.  Leaves [t] unchanged.  Both engines implement the same
+    propagation relation (unit propagation has a unique fixpoint), so
+    their results must agree — the qcheck suite leans on this. *)

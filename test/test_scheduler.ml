@@ -214,6 +214,45 @@ let xtalk_cluster_decomposition_path () =
     (fun (i, j) -> Alcotest.(check bool) "still serialized" false (Schedule.overlaps s i j))
     instances
 
+let sched_fingerprint s =
+  let c = Schedule.circuit s in
+  List.map (fun g -> (g.Core.Gate.id, Schedule.start s g.Core.Gate.id)) (Circuit.gates c)
+
+let xtalk_clustered_jobs_determinism () =
+  (* The clustered rung solves connected components on the domain
+     pool; the merge is by cluster index, so the schedule must be
+     bit-identical at every [jobs]. *)
+  let c = swap_circuit 0 13 in
+  let reference =
+    Xtalk_sched.schedule ~omega:0.5 ~max_exact_pairs:2 ~jobs:1 ~device:pough ~xtalk:truth c
+  in
+  let ref_fp = sched_fingerprint (fst reference) in
+  List.iter
+    (fun jobs ->
+      let s, stats =
+        Xtalk_sched.schedule ~omega:0.5 ~max_exact_pairs:2 ~jobs ~device:pough
+          ~xtalk:truth c
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "schedule identical at jobs=%d" jobs)
+        true
+        (sched_fingerprint s = ref_fp);
+      Alcotest.(check int)
+        (Printf.sprintf "node count identical at jobs=%d" jobs)
+        (snd reference).Xtalk_sched.nodes stats.Xtalk_sched.nodes)
+    [ 2; 4 ]
+
+let xtalk_tune_omega_jobs_determinism () =
+  let c = swap_circuit 5 12 in
+  let run jobs =
+    let omega, s, _ = Xtalk_sched.tune_omega ~jobs ~device:pough ~xtalk:truth c in
+    (omega, sched_fingerprint s)
+  in
+  let o1, fp1 = run 1 in
+  let o4, fp4 = run 4 in
+  Alcotest.(check (float 0.0)) "same omega chosen" o1 o4;
+  Alcotest.(check bool) "same schedule" true (fp1 = fp4)
+
 let xtalk_empty_xtalk_matches_par_objective () =
   let c = swap_circuit 0 13 in
   let s, stats = Xtalk_sched.schedule ~omega:0.5 ~device:pough ~xtalk:Core.Crosstalk.empty c in
@@ -356,6 +395,10 @@ let suite =
         Alcotest.test_case "beats baselines (oracle)" `Quick xtalk_beats_baselines_oracle;
         Alcotest.test_case "omega 1 = serial" `Quick xtalk_omega_one_is_serial;
         Alcotest.test_case "cluster decomposition" `Quick xtalk_cluster_decomposition_path;
+        Alcotest.test_case "clustered jobs determinism" `Quick
+          xtalk_clustered_jobs_determinism;
+        Alcotest.test_case "tune_omega jobs determinism" `Quick
+          xtalk_tune_omega_jobs_determinism;
         Alcotest.test_case "empty crosstalk data" `Quick xtalk_empty_xtalk_matches_par_objective;
       ] );
     ( "scheduler.greedy",

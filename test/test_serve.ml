@@ -83,6 +83,7 @@ let dummy_entry device label =
         optimal = false;
         objective = 0.0;
         solve_seconds = 0.0;
+        cpu_seconds = 0.0;
         rung = Core.Xtalk_sched.Parallel;
       };
   }
@@ -276,15 +277,17 @@ let service_admission_control () =
     statuses
 
 let strip_timing json =
-  (* solve_seconds is CPU time of this process; everything else in a
-     compile response is deterministic. *)
+  (* solve_seconds/cpu_seconds are timing measurements; everything
+     else in a compile response is deterministic. *)
   match json with
   | Json.Object fields ->
     Json.Object
       (List.map
          (function
            | "stats", Json.Object s ->
-             ("stats", Json.Object (List.remove_assoc "solve_seconds" s))
+             ( "stats",
+               Json.Object
+                 (List.remove_assoc "cpu_seconds" (List.remove_assoc "solve_seconds" s)) )
            | kv -> kv)
          fields)
   | other -> other

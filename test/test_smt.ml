@@ -298,6 +298,163 @@ let prop_alap_dominates_asap =
         | None -> false
         | Some hi -> Array.for_all2 (fun l h -> h +. 1e-6 >= l) lo hi))
 
+(* ---- fast engine vs the legacy reference ---- *)
+
+let propagation_unit_chain () =
+  let s = Solver.create () in
+  let x0 = Solver.new_bool s "x0" in
+  let x1 = Solver.new_bool s "x1" in
+  let x2 = Solver.new_bool s "x2" in
+  Solver.add_clause s [ lit x0 false; lit x1 true ];
+  Solver.add_clause s [ lit x1 false; lit x2 true ];
+  let expect = Some [ (x0, true); (x1, true); (x2, true) ] in
+  Alcotest.(check bool) "fast chain" true
+    (Solver.propagation_fixpoint ~engine:Solver.Fast s [ (x0, true) ] = expect);
+  Alcotest.(check bool) "legacy chain" true
+    (Solver.propagation_fixpoint ~engine:Solver.Legacy s [ (x0, true) ] = expect);
+  (* Conflicting seeds: both engines must report the conflict. *)
+  Alcotest.(check bool) "fast conflict" true
+    (Solver.propagation_fixpoint ~engine:Solver.Fast s [ (x0, true); (x2, false) ] = None);
+  Alcotest.(check bool) "legacy conflict" true
+    (Solver.propagation_fixpoint ~engine:Solver.Legacy s [ (x0, true); (x2, false) ]
+    = None)
+
+(* Unit propagation has a unique fixpoint, so the two-watched-literal
+   scheme and the seed full-rescan scheme must agree on arbitrary
+   clause sets — including duplicate literals within a clause, which
+   the watch scheme must treat as distinct occurrences. *)
+let prop_propagation_fixpoint_equivalence =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 6 >>= fun nvars ->
+      list_size (int_range 0 12)
+        (list_size (int_range 0 4) (pair (int_range 0 (nvars - 1)) bool))
+      >>= fun clauses ->
+      list_size (int_range 0 4) (pair (int_range 0 (nvars - 1)) bool) >>= fun seeds ->
+      return (nvars, clauses, seeds))
+  in
+  let print (nvars, clauses, seeds) =
+    Printf.sprintf "nvars=%d clauses=%s seeds=%s" nvars
+      (String.concat ";"
+         (List.map
+            (fun c ->
+              "["
+              ^ String.concat ","
+                  (List.map (fun (v, p) -> Printf.sprintf "%d:%b" v p) c)
+              ^ "]")
+            clauses))
+      (String.concat "," (List.map (fun (v, p) -> Printf.sprintf "%d:%b" v p) seeds))
+  in
+  QCheck.Test.make ~name:"watched-literal propagation matches rescan fixpoint" ~count:500
+    (QCheck.make ~print gen)
+    (fun (nvars, clauses, seeds) ->
+      let s = Solver.create () in
+      let vars = Array.init nvars (fun i -> Solver.new_bool s (string_of_int i)) in
+      List.iter
+        (fun c -> Solver.add_clause s (List.map (fun (v, p) -> lit vars.(v) p) c))
+        clauses;
+      Solver.propagation_fixpoint ~engine:Solver.Fast s seeds
+      = Solver.propagation_fixpoint ~engine:Solver.Legacy s seeds)
+
+(* Both engines implement the same optimization problem: equal optima
+   on random instances mixing clauses, cost groups and guarded spans. *)
+let prop_engines_agree_on_optimum =
+  QCheck.Test.make ~name:"fast and legacy engines find the same optimum" ~count:60
+    QCheck.(list_of_size (Gen.return 8) (float_range 0.1 10.0))
+    (fun costs ->
+      let build () =
+        let s = Solver.create () in
+        let b0 = Solver.new_bool s "b0" in
+        let b1 = Solver.new_bool s "b1" in
+        let b2 = Solver.new_bool s "b2" in
+        let a = Solver.new_num s "a" and b = Solver.new_num s "b" in
+        Solver.add_sink s b;
+        let cost k = List.nth costs k in
+        Solver.add_diff s ~dst:b ~src:a ~weight:1.0 ();
+        Solver.add_diff s ~guard:(lit b0 true) ~dst:b ~src:a ~weight:(cost 0 +. 1.0) ();
+        Solver.add_span_cost s ~weight:1.0 ~last:b ~first:a;
+        Solver.add_cost_group s [ ([ lit b0 true ], cost 1); ([ lit b0 false ], cost 2) ];
+        Solver.add_cost_group s
+          [
+            ([ lit b1 true; lit b2 true ], cost 3);
+            ([ lit b1 true; lit b2 false ], cost 4);
+            ([ lit b1 false; lit b2 true ], cost 5);
+            ([ lit b1 false; lit b2 false ], cost 6);
+          ];
+        Solver.add_clause s [ lit b1 true; lit b2 true ];
+        s
+      in
+      match
+        ( Solver.solve ~engine:Solver.Fast (build ()),
+          Solver.solve ~engine:Solver.Legacy (build ()) )
+      with
+      | Some f, Some l ->
+        f.Solver.optimal && l.Solver.optimal
+        && Float.abs (f.Solver.objective -. l.Solver.objective) < 1e-9
+      | _ -> false)
+
+let warm_start_never_worse () =
+  (* Ten independent booleans, true cheaper than false.  The all-false
+     hint evaluates to 20; a zero node budget returns exactly that
+     incumbent, and an unrestricted warm search must end at the true
+     optimum (10) — never above the incumbent it was seeded with. *)
+  let build () =
+    let s = Solver.create () in
+    let bools = List.init 10 (fun i -> Solver.new_bool s (string_of_int i)) in
+    List.iter
+      (fun v -> Solver.add_cost_group s [ ([ lit v true ], 1.0); ([ lit v false ], 2.0) ])
+      bools;
+    s
+  in
+  let hint = Array.make 10 false in
+  (match Solver.solve ~node_budget:0 ~warm_starts:[ hint ] (build ()) with
+  | Some sol ->
+    Alcotest.(check (float 1e-9)) "hint objective served" 20.0 sol.Solver.objective;
+    Alcotest.(check bool) "not optimal" false sol.Solver.optimal
+  | None -> Alcotest.fail "warm start must yield an incumbent");
+  match Solver.solve ~warm_starts:[ hint ] (build ()) with
+  | Some sol ->
+    Alcotest.(check bool) "never worse than the incumbent" true
+      (sol.Solver.objective <= 20.0 +. 1e-9);
+    Alcotest.(check (float 1e-9)) "full search reaches the optimum" 10.0
+      sol.Solver.objective
+  | None -> Alcotest.fail "satisfiable"
+
+let infeasible_warm_start_skipped () =
+  let s = Solver.create () in
+  let x = Solver.new_bool s "x" in
+  Solver.add_clause s [ lit x true ];
+  Solver.add_cost_group s [ ([ lit x true ], 1.0); ([ lit x false ], 0.0) ];
+  (* The hint contradicts the unit clause; it must be skipped, not
+     crash or pollute the incumbent. *)
+  match Solver.solve ~warm_starts:[ [| false |] ] s with
+  | Some sol -> Alcotest.(check (float 1e-9)) "optimum unaffected" 1.0 sol.Solver.objective
+  | None -> Alcotest.fail "satisfiable"
+
+let solve_is_repeatable () =
+  (* [solve] is read-only on the problem: same [t], same engine, same
+     hints => identical solutions, node counts included. *)
+  let s = Solver.create () in
+  let b0 = Solver.new_bool s "b0" and b1 = Solver.new_bool s "b1" in
+  let a = Solver.new_num s "a" and b = Solver.new_num s "b" in
+  Solver.add_sink s b;
+  Solver.add_diff s ~dst:b ~src:a ~weight:1.0 ();
+  Solver.add_diff s ~guard:(lit b0 true) ~dst:b ~src:a ~weight:7.0 ();
+  Solver.add_span_cost s ~weight:1.0 ~last:b ~first:a;
+  Solver.add_cost_group s [ ([ lit b0 true ], 0.5); ([ lit b0 false ], 3.0) ];
+  Solver.add_cost_group s [ ([ lit b1 true ], 1.0); ([ lit b1 false ], 2.0) ];
+  List.iter
+    (fun engine ->
+      match (Solver.solve ~engine s, Solver.solve ~engine s) with
+      | Some s1, Some s2 ->
+        Alcotest.(check bool) "bools equal" true (s1.Solver.bools = s2.Solver.bools);
+        Alcotest.(check bool) "nums equal" true (s1.Solver.nums = s2.Solver.nums);
+        Alcotest.(check (float 0.0)) "objective equal" s1.Solver.objective
+          s2.Solver.objective;
+        Alcotest.(check int) "node count equal" s1.Solver.nodes s2.Solver.nodes
+      | _ -> Alcotest.fail "satisfiable")
+    [ Solver.Fast; Solver.Legacy ]
+
 let suite =
   suite
   @ [
@@ -305,5 +462,15 @@ let suite =
         [
           QCheck_alcotest.to_alcotest prop_asap_satisfies_constraints;
           QCheck_alcotest.to_alcotest prop_alap_dominates_asap;
+        ] );
+      ( "smt.engines",
+        [
+          Alcotest.test_case "propagation unit chain" `Quick propagation_unit_chain;
+          QCheck_alcotest.to_alcotest prop_propagation_fixpoint_equivalence;
+          QCheck_alcotest.to_alcotest prop_engines_agree_on_optimum;
+          Alcotest.test_case "warm start never worse" `Quick warm_start_never_worse;
+          Alcotest.test_case "infeasible warm start skipped" `Quick
+            infeasible_warm_start_skipped;
+          Alcotest.test_case "solve is repeatable" `Quick solve_is_repeatable;
         ] );
     ]
