@@ -27,7 +27,15 @@
         workloads; writes BENCH_sched.json, exits 1 unless nodes and
         wall-clock drop >= 2x with equal-or-better objectives and
         jobs-independent schedules; --smoke runs 1 repeat and skips
-        the wall-clock gate) *)
+        the wall-clock gate)
+     dune exec bench/main.exe -- --bench-scale --jobs 4
+       (windowed scheduler on the generated 127-qubit heavy-hex
+        device, 1000+-gate supremacy circuit; writes BENCH_scale.json,
+        exits 1 unless the windowed rung serves it inside the wall
+        bound with jobs-identical schedules and the windowed objective
+        stays within the documented factor of exact on <= 20-qubit
+        control slices; --smoke shrinks the circuit and skips the
+        wall gate) *)
 
 let experiments =
   [ "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "tab1"; "scale"; "ablation" ]
@@ -46,7 +54,7 @@ let () =
   if
     List.mem "--soak" args || List.mem "--serve-bench" args
     || List.mem "--chaos-bench" args || List.mem "--chaos-client" args
-    || List.mem "--bench-sched" args
+    || List.mem "--bench-sched" args || List.mem "--bench-scale" args
   then begin
     let int_flag name default =
       let rec find = function
@@ -69,7 +77,12 @@ let () =
       in
       find args
     in
-    if List.mem "--bench-sched" args then
+    if List.mem "--bench-scale" args then
+      Exp_scale.bench
+        ~smoke:(List.mem "--smoke" args)
+        ~jobs:(int_flag "--jobs" 4)
+        ~out:(str_flag "--out" "BENCH_scale.json")
+    else if List.mem "--bench-sched" args then
       Exp_sched.run
         ~smoke:(List.mem "--smoke" args)
         ~jobs:(int_flag "--jobs" 4)

@@ -6,9 +6,12 @@
 # crash-recovery drill (kill -9 the daemon mid-load, restart, require
 # the write-ahead journal to hand back every recorded schedule bit
 # for bit, then drain cleanly on SIGTERM), the seeded 20-run chaos
-# campaign (BENCH_chaos.json), and a scheduler-core smoke benchmark
+# campaign (BENCH_chaos.json), a scheduler-core smoke benchmark
 # that fails if the fast engine loses its node-count edge over the
-# legacy engine or any schedule differs between --jobs 1 and 4.
+# legacy engine or any schedule differs between --jobs 1 and 4, and
+# a scale smoke benchmark (windowed scheduler on the generated
+# 127-qubit heavy-hex model, jobs-deterministic, quality-gated
+# against the exact solver on small control slices).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,6 +21,7 @@ dune runtest
 dune build @serve
 dune build @chaos
 dune build @sched
+dune build @scale
 
 SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/qcx-ci.XXXXXX")"
 DAEMON=""
@@ -83,5 +87,9 @@ dune exec bench/main.exe -- --chaos-bench --seeds 20 --requests 60 --jobs 2 \
 echo "ci: scheduler-core smoke (fast vs legacy, --jobs 1 vs 4 determinism)"
 dune exec bench/main.exe -- --bench-sched --smoke --jobs 4 \
   --out "$SCRATCH/BENCH_sched.json"
+
+echo "ci: scale smoke (windowed scheduler on heavy-hex-127)"
+dune exec bench/main.exe -- --bench-scale --smoke --jobs 4 \
+  --out "$SCRATCH/BENCH_scale.json"
 
 echo "ci: OK"

@@ -3,7 +3,10 @@
 open Cmdliner
 
 let device_term =
-  let doc = "Target device: poughkeepsie | johannesburg | boeblingen." in
+  let doc =
+    "Target device: poughkeepsie | johannesburg | boeblingen, or a generated model: \
+     heavy-hex-127 | heavy-hex-433 | grid-RxC (e.g. grid-8x8)."
+  in
   let arg = Arg.(value & opt string "poughkeepsie" & info [ "d"; "device" ] ~docv:"NAME" ~doc) in
   let parse name =
     match Core.Presets.by_name name with

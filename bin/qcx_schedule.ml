@@ -39,6 +39,21 @@ let deadline_term =
   in
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
 
+let ladder_term =
+  let doc =
+    "Degradation-ladder entry rung (xtalk scheduler only): exact | incumbent | clustered \
+     | windowed | greedy | parallel.  Lower rungs skip the more expensive solves; \
+     'windowed' forces the hierarchical window scheduler regardless of circuit size."
+  in
+  Arg.(value & opt (some string) None & info [ "ladder" ] ~docv:"RUNG" ~doc)
+
+let window_term =
+  let doc =
+    "Window size in gates for the windowed rung (xtalk scheduler only).  Circuits \
+     longer than twice this bound are windowed automatically; default 160."
+  in
+  Arg.(value & opt (some int) None & info [ "window" ] ~docv:"GATES" ~doc)
+
 let cache_dir_term =
   let doc =
     "Persist the content-addressed schedule cache in DIR (xtalk scheduler only): \
@@ -51,7 +66,7 @@ let cache_dir_term =
 (* Compile through the serving layer's persisted cache: warm-start
    from DIR/schedule-cache.json, serve or solve, persist back, and
    report the cache/registry counters. *)
-let compile_cached ~dir device ~xtalk ~omega ~deadline circuit =
+let compile_cached ~dir device ~xtalk ~omega ~deadline ~ladder_start ~window circuit =
   let registry = Core.Registry.create () in
   let id = Core.Device.name device in
   ignore (Core.Registry.add_static registry ~id ~device ~xtalk);
@@ -63,7 +78,12 @@ let compile_cached ~dir device ~xtalk ~omega ~deadline circuit =
     | Ok n -> Printf.printf "cache: warm-started %d entries from %s\n" n cache_path
     | Error e -> Printf.printf "cache: ignoring damaged %s: %s\n" cache_path e
   end;
-  let params = { Core.Wire.default_params with Core.Wire.omega; deadline } in
+  let params =
+    let base = { Core.Wire.default_params with Core.Wire.omega; deadline; window } in
+    match ladder_start with
+    | None -> base
+    | Some rung -> { base with Core.Wire.ladder_start = rung }
+  in
   match Core.Service.compile service ~device:id ~params circuit with
   | Error e ->
     Printf.eprintf "compile failed: %s\n" e;
@@ -81,8 +101,18 @@ let compile_cached ~dir device ~xtalk ~omega ~deadline circuit =
       c.Core.Cache.misses c.Core.Cache.evictions c.Core.Cache.size c.Core.Cache.capacity;
     (o.Core.Service.schedule, Some o.Core.Service.stats)
 
-let run device seed jobs src dst scheduler omega oracle xtalk_file deadline cache_dir
-    emit_qasm =
+let run device seed jobs src dst scheduler omega oracle xtalk_file deadline ladder window
+    cache_dir emit_qasm =
+  let ladder_start =
+    match ladder with
+    | None -> None
+    | Some name -> (
+      match Core.Wire.rung_of_name name with
+      | Ok rung -> Some rung
+      | Error e ->
+        Printf.eprintf "--ladder: %s\n" e;
+        exit 2)
+  in
   let rng = Core.Rng.create seed in
   let bench = Core.Swap_circuits.build device ~src ~dst in
   let circuit = Core.Circuit.measure_all bench.Core.Swap_circuits.circuit in
@@ -115,12 +145,12 @@ let run device seed jobs src dst scheduler omega oracle xtalk_file deadline cach
   let sched, stats =
     match (cache_dir, sched_kind) with
     | Some dir, Core.Xtalk_sched omega ->
-      compile_cached ~dir device ~xtalk ~omega ~deadline circuit
+      compile_cached ~dir device ~xtalk ~omega ~deadline ~ladder_start ~window circuit
     | _ ->
       if cache_dir <> None then
         Printf.printf "cache: only the xtalk scheduler is cached; compiling directly\n";
-      Core.Pipeline.compile ~scheduler:sched_kind ?deadline_seconds:deadline device ~xtalk
-        circuit
+      Core.Pipeline.compile ~scheduler:sched_kind ?deadline_seconds:deadline ?ladder_start
+        ?window_gates:window ~jobs device ~xtalk circuit
   in
   Printf.printf "device: %s\n" (Core.Device.name device);
   Printf.printf "workload: SWAP path %d -> %d (%d gates, %d CNOTs)\n" src dst
@@ -130,9 +160,12 @@ let run device seed jobs src dst scheduler omega oracle xtalk_file deadline cach
   (match stats with
   | Some s ->
     Printf.printf
-      "solver: %d interfering pairs, %d nodes, optimal=%b, rung=%s, %.3f s wall (%.3f s cpu)\n"
+      "solver: %d interfering pairs, %d nodes, optimal=%b, rung=%s%s, %.3f s wall (%.3f s cpu)\n"
       s.Core.Xtalk_sched.pairs s.Core.Xtalk_sched.nodes s.Core.Xtalk_sched.optimal
       (Core.Xtalk_sched.rung_name s.Core.Xtalk_sched.rung)
+      (if s.Core.Xtalk_sched.windows > 0 then
+         Printf.sprintf " (%d windows)" s.Core.Xtalk_sched.windows
+       else "")
       s.Core.Xtalk_sched.solve_seconds s.Core.Xtalk_sched.cpu_seconds
   | None -> ());
   Printf.printf "program duration: %.0f ns\n" (Core.Evaluate.duration sched);
@@ -154,6 +187,6 @@ let cmd =
     Term.(
       const run $ Common.device_term $ Common.seed_term $ Common.jobs_term $ src_term $ dst_term
       $ scheduler_term $ omega_term $ oracle_term $ xtalk_file_term $ deadline_term
-      $ cache_dir_term $ emit_qasm_term)
+      $ ladder_term $ window_term $ cache_dir_term $ emit_qasm_term)
 
 let () = exit (Cmd.eval cmd)

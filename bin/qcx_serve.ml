@@ -16,7 +16,8 @@ open Cmdliner
 
 let devices_term =
   let doc =
-    "Comma-separated device list: poughkeepsie | johannesburg | boeblingen | example6q."
+    "Comma-separated device list: poughkeepsie | johannesburg | boeblingen | example6q, \
+     plus generated models heavy-hex-127 | heavy-hex-433 | grid-RxC."
   in
   Arg.(value & opt string "poughkeepsie" & info [ "devices" ] ~docv:"NAMES" ~doc)
 

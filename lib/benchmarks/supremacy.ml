@@ -54,7 +54,11 @@ let build device ~rng ~nqubits ~target_gates =
   let topo = Device.topology device in
   if nqubits > Topology.nqubits topo then invalid_arg "Supremacy.build: device too small";
   let region = connected_region topo nqubits in
-  let in_region q = List.mem q region in
+  (* Membership as a bit array: the per-edge List.mem scan was
+     O(E * n) — noticeable once devices reach hundreds of qubits. *)
+  let member = Array.make (Topology.nqubits topo) false in
+  List.iter (fun q -> member.(q) <- true) region;
+  let in_region q = member.(q) in
   let edges = List.filter (fun (a, b) -> in_region a && in_region b) (Topology.edges topo) in
   let cnot_layers = Array.of_list (matchings edges) in
   if Array.length cnot_layers = 0 then invalid_arg "Supremacy.build: region has no edges";

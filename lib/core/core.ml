@@ -38,6 +38,7 @@ module Par_sched = Qcx_scheduler.Par_sched
 module Serial_sched = Qcx_scheduler.Serial_sched
 module Encoding = Qcx_scheduler.Encoding
 module Xtalk_sched = Qcx_scheduler.Xtalk_sched
+module Window_sched = Qcx_scheduler.Window_sched
 module Greedy_sched = Qcx_scheduler.Greedy_sched
 module Barriers = Qcx_scheduler.Barriers
 module Evaluate = Qcx_scheduler.Evaluate
@@ -78,16 +79,16 @@ module Pipeline = struct
     let outcome = Qcx_characterization.Policy.characterize ?params ?jobs ~rng device plan in
     outcome.Qcx_characterization.Policy.xtalk
 
-  let compile ?(scheduler = Xtalk_sched 0.5) ?node_budget ?deadline_seconds device ~xtalk
-      circuit =
+  let compile ?(scheduler = Xtalk_sched 0.5) ?node_budget ?deadline_seconds ?ladder_start
+      ?window_gates ?jobs device ~xtalk circuit =
     let circuit = Qcx_circuit.Circuit.decompose_swaps circuit in
     match scheduler with
     | Serial_sched -> (Qcx_scheduler.Serial_sched.schedule device circuit, None)
     | Par_sched -> (Qcx_scheduler.Par_sched.schedule device circuit, None)
     | Xtalk_sched omega ->
       let sched, stats =
-        Qcx_scheduler.Xtalk_sched.schedule ~omega ?node_budget ?deadline_seconds ~device
-          ~xtalk circuit
+        Qcx_scheduler.Xtalk_sched.schedule ~omega ?node_budget ?deadline_seconds
+          ?ladder_start ?window_gates ?jobs ~device ~xtalk circuit
       in
       (sched, Some stats)
 

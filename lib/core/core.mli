@@ -110,6 +110,9 @@ module Pipeline : sig
     ?scheduler:scheduler ->
     ?node_budget:int ->
     ?deadline_seconds:float ->
+    ?ladder_start:Xtalk_sched.rung ->
+    ?window_gates:int ->
+    ?jobs:int ->
     Device.t ->
     xtalk:Crosstalk.t ->
     Circuit.t ->
@@ -118,7 +121,10 @@ module Pipeline : sig
       internally).  Default: [Xtalk_sched 0.5].  Stats are [None] for
       the baseline schedulers.  [node_budget] and [deadline_seconds]
       bound the SMT solve; on expiry {!Xtalk_sched.schedule}'s
-      degradation ladder serves the compile, so this never fails. *)
+      degradation ladder serves the compile, so this never fails.
+      [ladder_start], [window_gates] and [jobs] pass through to
+      {!Xtalk_sched.schedule} (entry rung, windowed-rung window size,
+      and worker-pool width). *)
 
   val execute :
     ?backend:Exec.backend ->

@@ -140,13 +140,6 @@ let boeblingen () =
 
 let all () = [ poughkeepsie (); johannesburg (); boeblingen () ]
 
-let by_name n =
-  let lower = String.lowercase_ascii n in
-  List.find_opt
-    (fun d ->
-      let full = String.lowercase_ascii (Device.name d) in
-      full = lower || full = "ibmq " ^ lower)
-    (all ())
 
 let example_6q () =
   (* Figure 1(a): qubits 0..5, grid edges, crosstalk between CNOT 0,1
@@ -187,6 +180,31 @@ let linear n =
   Device.create ~name:(Printf.sprintf "linear-%d" n) ~topology ~calibration
     ~ground_truth:Crosstalk.empty
 
+(* Seeded synthetic device: random calibration plus a random set of
+   1-hop high-crosstalk pairs as ground truth.  The RNG draw order
+   (qubits, then gates in edge order, then the pair shuffle and
+   ratios) is shared by [grid] and [heavy_hex] and must stay stable —
+   the generated devices are reproducible fixtures. *)
+let synthetic_device ~name ~seed ~xtalk_pairs topology =
+  let nqubits = Topology.nqubits topology in
+  let edges = Topology.edges topology in
+  let rng = Rng.create seed in
+  let qubits = Array.init nqubits (fun _ -> random_qubit_cal rng) in
+  let gates = List.map (fun e -> (Topology.normalize e, random_gate_cal rng)) edges in
+  let calibration = Calibration.create ~qubits ~gates in
+  let wanted = match xtalk_pairs with Some k -> k | None -> max 1 (nqubits / 8) in
+  let one_hop = Array.of_list (Topology.one_hop_gate_pairs topology) in
+  Rng.shuffle rng one_hop;
+  let chosen = Array.to_list (Array.sub one_hop 0 (min wanted (Array.length one_hop))) in
+  let pairs =
+    List.map
+      (fun (e1, e2) ->
+        (e1, e2, 5.0 +. Rng.float rng 10.0, 5.0 +. Rng.float rng 10.0))
+      chosen
+  in
+  let ground_truth = build_ground_truth calibration pairs in
+  Device.create ~name ~topology ~calibration ~ground_truth
+
 let grid ?(seed = 0x612D) ?xtalk_pairs ~rows ~cols () =
   if rows < 2 || cols < 2 then invalid_arg "Presets.grid: need at least 2x2";
   let nqubits = rows * cols in
@@ -200,25 +218,84 @@ let grid ?(seed = 0x612D) ?xtalk_pairs ~rows ~cols () =
                   @ if r + 1 < rows then [ (idx r c, idx (r + 1) c) ] else []))))
   in
   let topology = Topology.create ~nqubits ~edges in
-  let rng = Rng.create seed in
-  let qubits = Array.init nqubits (fun _ -> random_qubit_cal rng) in
-  let gates = List.map (fun e -> (Topology.normalize e, random_gate_cal rng)) edges in
-  let calibration = Calibration.create ~qubits ~gates in
-  (* Random 1-hop high-crosstalk pairs. *)
-  let wanted = match xtalk_pairs with Some k -> k | None -> max 1 (nqubits / 8) in
-  let one_hop = Array.of_list (Topology.one_hop_gate_pairs topology) in
-  Rng.shuffle rng one_hop;
-  let chosen = Array.to_list (Array.sub one_hop 0 (min wanted (Array.length one_hop))) in
-  let pairs =
-    List.map
-      (fun (e1, e2) ->
-        (e1, e2, 5.0 +. Rng.float rng 10.0, 5.0 +. Rng.float rng 10.0))
-      chosen
+  synthetic_device ~name:(Printf.sprintf "grid-%dx%d" rows cols) ~seed ~xtalk_pairs topology
+
+let heavy_hex ?seed ?xtalk_pairs ~cells ~rows () =
+  (* IBM Falcon/Eagle-style heavy-hex lattice: [rows + 1] full-width
+     qubit rows ("long rows") interleaved with [rows] sparse bridge
+     rows of degree-2 qubits that provide the vertical couplers.  With
+     [cells] hexagon columns the width is [4*cells + 3]; the top long
+     row drops its last column and the bottom long row its first,
+     matching the staggered boundary of the real devices.  Bridge
+     qubits sit at columns 0, 4, 8, ... on even bridge rows and
+     2, 6, 10, ... on odd ones.  (cells=3, rows=6) gives the 127-qubit
+     Eagle map with 144 couplers; (cells=6, rows=12) gives 433 qubits
+     (Osprey-sized). *)
+  if cells < 1 || rows < 1 then invalid_arg "Presets.heavy_hex: need cells >= 1 and rows >= 1";
+  let w = (4 * cells) + 3 in
+  let next = ref 0 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
   in
-  let ground_truth = build_ground_truth calibration pairs in
-  Device.create
-    ~name:(Printf.sprintf "grid-%dx%d" rows cols)
-    ~topology ~calibration ~ground_truth
+  let long = Array.init (rows + 1) (fun _ -> Array.make w (-1)) in
+  let bridge = Array.init rows (fun _ -> Array.make w (-1)) in
+  for k = 0 to rows do
+    let cols =
+      if k = 0 then List.init (w - 1) Fun.id
+      else if k = rows then List.init (w - 1) (fun c -> c + 1)
+      else List.init w Fun.id
+    in
+    List.iter (fun c -> long.(k).(c) <- fresh ()) cols;
+    if k < rows then
+      List.iter
+        (fun i -> bridge.(k).((4 * i) + if k mod 2 = 0 then 0 else 2) <- fresh ())
+        (List.init (cells + 1) Fun.id)
+  done;
+  let edges = ref [] in
+  for k = rows downto 0 do
+    for c = w - 2 downto 0 do
+      if long.(k).(c) >= 0 && long.(k).(c + 1) >= 0 then
+        edges := (long.(k).(c), long.(k).(c + 1)) :: !edges
+    done
+  done;
+  for k = rows - 1 downto 0 do
+    for c = w - 1 downto 0 do
+      let b = bridge.(k).(c) in
+      if b >= 0 then begin
+        if long.(k + 1).(c) >= 0 then edges := (b, long.(k + 1).(c)) :: !edges;
+        if long.(k).(c) >= 0 then edges := (long.(k).(c), b) :: !edges
+      end
+    done
+  done;
+  let topology = Topology.create ~nqubits:!next ~edges:!edges in
+  let seed = match seed with Some s -> s | None -> 0x4EA6 + (31 * cells) + rows in
+  synthetic_device ~name:(Printf.sprintf "heavy-hex-%d" !next) ~seed ~xtalk_pairs topology
+
+let heavy_hex_127 () = heavy_hex ~cells:3 ~rows:6 ()
+let heavy_hex_433 () = heavy_hex ~cells:6 ~rows:12 ()
+
+let by_name n =
+  let lower = String.lowercase_ascii n in
+  match
+    List.find_opt
+      (fun d ->
+        let full = String.lowercase_ascii (Device.name d) in
+        full = lower || full = "ibmq " ^ lower)
+      (all ())
+  with
+  | Some d -> Some d
+  | None -> (
+    match lower with
+    | "heavy-hex-127" -> Some (heavy_hex_127 ())
+    | "heavy-hex-433" -> Some (heavy_hex_433 ())
+    | _ -> (
+      (* Generated square grids answer to their own names: grid-RxC. *)
+      match Scanf.sscanf lower "grid-%dx%d%!" (fun r c -> (r, c)) with
+      | r, c when r >= 2 && c >= 2 -> Some (grid ~rows:r ~cols:c ())
+      | _ -> None
+      | exception _ -> None))
 
 let swap_endpoints device =
   match Device.name device with

@@ -22,7 +22,9 @@ val all : unit -> Device.t list
 
 val by_name : string -> Device.t option
 (** Case-insensitive lookup ("poughkeepsie" | "johannesburg" |
-    "boeblingen"). *)
+    "boeblingen").  Also builds the generated large-device families on
+    demand: "heavy-hex-127", "heavy-hex-433", and "grid-RxC" (e.g.
+    "grid-6x6") with their default seeds. *)
 
 val example_6q : unit -> Device.t
 (** The 6-qubit machine of Figure 1(a): a 2x3 grid with one high
@@ -39,6 +41,21 @@ val grid : ?seed:int -> ?xtalk_pairs:int -> rows:int -> cols:int -> unit -> Devi
     (default: one per ~8 qubits).  Used to stress characterization and
     scheduling beyond the 20-qubit IBMQ presets (the scale bench runs
     a 6x6 grid). *)
+
+val heavy_hex : ?seed:int -> ?xtalk_pairs:int -> cells:int -> rows:int -> unit -> Device.t
+(** A synthetic IBM-style heavy-hex lattice with [cells] hexagon
+    columns and [rows] bridge rows (width [4*cells + 3]; degree <= 3
+    everywhere), seeded random calibration, and [xtalk_pairs] random
+    1-hop high-crosstalk pairs (default: one per ~8 qubits).  The
+    default seed varies with the dimensions so different sizes get
+    independent calibrations. *)
+
+val heavy_hex_127 : unit -> Device.t
+(** [heavy_hex ~cells:3 ~rows:6 ()] — the 127-qubit Eagle-style map
+    (144 couplers), the scale bench's main device. *)
+
+val heavy_hex_433 : unit -> Device.t
+(** [heavy_hex ~cells:6 ~rows:12 ()] — a 433-qubit Osprey-sized map. *)
 
 val swap_endpoints : Device.t -> (int * int) list
 (** The SWAP-circuit qubit-pair endpoints evaluated in Figure 5 for

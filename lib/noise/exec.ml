@@ -80,8 +80,11 @@ let overlap_index sched =
   done;
   tbl
 
-let effective_of_index device sched ~index id =
-  let g = Circuit.gate (Schedule.circuit sched) id in
+(* [effective_of_gate] takes the gate value directly: the plan build
+   calls this once per two-qubit gate, and a [Circuit.gate] lookup per
+   call is an O(G) list scan — quadratic over a 1k-gate circuit. *)
+let effective_of_gate device sched ~index (g : Gate.t) =
+  let id = g.Gate.id in
   if not (Gate.is_two_qubit g) then invalid_arg "Exec.effective_cnot_error: not a CNOT";
   let target = edge_of_cnot g in
   let independent = Device.cnot_error device target in
@@ -107,6 +110,9 @@ let effective_of_index device sched ~index id =
       (Option.value ~default:[] (Hashtbl.find_opt index id))
   in
   min 0.75 (independent +. excess)
+
+let effective_of_index device sched ~index id =
+  effective_of_gate device sched ~index (Circuit.gate (Schedule.circuit sched) id)
 
 let effective_cnot_error device sched id =
   effective_of_index device sched ~index:(overlap_index sched) id
@@ -209,7 +215,7 @@ let build_plans device sched =
           List.iter (fun q -> Hashtbl.replace last_end q (Schedule.finish sched id)) g.Gate.qubits;
           let error_p =
             if Gate.is_two_qubit g then
-              Channel.depol_param_of_error_rate ~nqubits:2 (effective_of_index device sched ~index id)
+              Channel.depol_param_of_error_rate ~nqubits:2 (effective_of_gate device sched ~index g)
             else if Gate.is_single_qubit g then
               let q = List.hd g.Gate.qubits in
               Channel.depol_param_of_error_rate ~nqubits:1

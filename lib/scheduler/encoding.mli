@@ -77,3 +77,21 @@ val interfering_instances :
     overlap per the DAG and whose hardware edges form a flagged
     high-crosstalk pair.  Exposed for tests and for the cluster
     decomposition. *)
+
+val edge_of : Qcx_circuit.Gate.t -> Qcx_device.Topology.edge
+(** The normalized hardware edge of a two-qubit gate. *)
+
+val cost_of_error : omega:float -> float -> float
+(** [omega * -log(1 - eps)], with [eps] clamped below 1 — the gate
+    error term of eq. 17 for one CNOT. *)
+
+val conditional_rate :
+  Qcx_device.Crosstalk.t ->
+  Qcx_device.Calibration.t ->
+  target:Qcx_device.Topology.edge ->
+  spectator:Qcx_device.Topology.edge ->
+  float
+(** The characterized conditional error of [target] while [spectator]
+    runs, floored at the independent rate.  Exposed so schedule
+    evaluation ({!Evaluate.objective}) prices overlaps exactly as the
+    encoding does. *)

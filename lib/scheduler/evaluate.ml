@@ -95,6 +95,74 @@ let model device ~xtalk sched =
           else acc)
         independent (Circuit.gates circuit))
 
+let objective ?(threshold = 3.0) ~omega device ~xtalk sched =
+  (* Recompute the encoding's eq. 17 objective from a finished
+     schedule, so schedules produced by different rungs (exact vs
+     windowed vs greedy) can be compared on equal terms.  Mirrors
+     [Encoding.build] exactly except for the 1e-9 makespan tie-break,
+     which is omitted (it exists only to pick among equal optima). *)
+  let circuit = Schedule.circuit sched in
+  let cal = Device.calibration device in
+  let dag = Qcx_circuit.Dag.of_circuit circuit in
+  let instances = Encoding.interfering_instances ~device ~xtalk ~threshold ~dag in
+  let plists = Array.make (Circuit.length circuit) [] in
+  List.iter
+    (fun (i, j) ->
+      plists.(i) <- j :: plists.(i);
+      plists.(j) <- i :: plists.(j))
+    instances;
+  (* Gate error terms: CNOTs with no interfering partner pay a
+     schedule-independent cost and are omitted, as in the encoding. *)
+  let gate_cost = ref 0.0 in
+  List.iter
+    (fun g ->
+      match plists.(g.Gate.id) with
+      | [] -> ()
+      | partners ->
+        let target = edge_of g in
+        let independent = (Calibration.gate cal target).Calibration.cnot_error in
+        let eps =
+          List.fold_left
+            (fun acc other ->
+              if Schedule.overlaps sched g.Gate.id other then
+                let spectator = edge_of (Qcx_circuit.Dag.gate dag other) in
+                max acc (Encoding.conditional_rate xtalk cal ~target ~spectator)
+              else acc)
+            independent partners
+        in
+        gate_cost := !gate_cost +. Encoding.cost_of_error ~omega eps)
+    (Circuit.gates circuit);
+  (* Decoherence terms: R - F_q per qubit, with R the synchronized
+     readout start (makespan when the circuit has no measures) and F_q
+     the qubit's statically-known first gate, as in the encoding. *)
+  let r =
+    let m =
+      List.fold_left
+        (fun acc g ->
+          if Gate.is_measure g then
+            Some (match acc with None -> Schedule.start sched g.Gate.id | Some t -> min t (Schedule.start sched g.Gate.id))
+          else acc)
+        None (Circuit.gates circuit)
+    in
+    match m with Some t -> t | None -> Schedule.makespan sched
+  in
+  let nq = Circuit.nqubits circuit in
+  let first_on = Array.make nq neg_infinity in
+  List.iter
+    (fun g ->
+      if (not (Gate.is_barrier g)) && not (Gate.is_measure g) then
+        List.iter
+          (fun q ->
+            if first_on.(q) = neg_infinity then first_on.(q) <- Schedule.start sched g.Gate.id)
+          g.Gate.qubits)
+    (Circuit.gates circuit);
+  let deco = ref 0.0 in
+  for q = 0 to nq - 1 do
+    if first_on.(q) > neg_infinity then
+      deco := !deco +. ((1.0 -. omega) /. Calibration.coherence_limit cal q *. (r -. first_on.(q)))
+  done;
+  !gate_cost +. !deco
+
 let duration sched =
   let circuit = Schedule.circuit sched in
   List.fold_left

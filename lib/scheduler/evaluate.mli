@@ -24,6 +24,22 @@ val model :
   Qcx_device.Device.t -> xtalk:Qcx_device.Crosstalk.t -> Qcx_circuit.Schedule.t -> breakdown
 (** Uses characterized data and the paper's max-over-overlaps rule. *)
 
+val objective :
+  ?threshold:float ->
+  omega:float ->
+  Qcx_device.Device.t ->
+  xtalk:Qcx_device.Crosstalk.t ->
+  Qcx_circuit.Schedule.t ->
+  float
+(** Recompute the encoding's eq. 17 objective from a schedule:
+    [omega * sum -log(1 - eps_g)] over CNOTs with at least one
+    interfering instance (eps is the worst conditional rate among
+    partners actually overlapping in the schedule), plus
+    [(1-omega)/T_q * (R - F_q)] per qubit.  Omits the encoding's
+    infinitesimal makespan tie-break, so it can differ from a solver
+    objective by ~1e-9 * makespan.  Used by the scale bench's quality
+    gate to compare windowed against exact schedules. *)
+
 val duration : Qcx_circuit.Schedule.t -> float
 (** Program duration: makespan of the unitary portion (readout
     excluded), the quantity of Figure 5(d). *)

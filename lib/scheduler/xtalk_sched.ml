@@ -4,20 +4,22 @@ module Schedule = Qcx_circuit.Schedule
 module Solver = Qcx_smt.Solver
 module Pool = Qcx_util.Pool
 
-type rung = Exact | Incumbent | Clustered | Greedy | Parallel
+type rung = Exact | Incumbent | Clustered | Windowed | Greedy | Parallel
 
 let rung_name = function
   | Exact -> "exact"
   | Incumbent -> "incumbent"
   | Clustered -> "clustered"
+  | Windowed -> "windowed"
   | Greedy -> "greedy"
   | Parallel -> "parallel"
 
-let all_rungs = [ Exact; Incumbent; Clustered; Greedy; Parallel ]
+let all_rungs = [ Exact; Incumbent; Clustered; Windowed; Greedy; Parallel ]
 
 type stats = {
   pairs : int;
   clusters : int;
+  windows : int;
   nodes : int;
   optimal : bool;
   objective : float;
@@ -25,41 +27,6 @@ type stats = {
   cpu_seconds : float;
   rung : rung;
 }
-
-(* Union-find over gate ids, used to cluster interfering pairs that
-   share gates.  The returned clusters are sorted by their smallest
-   instance so the order is independent of hash-table iteration —
-   the parallel cluster solve chunks over this list, and determinism
-   across [jobs] needs a stable order. *)
-let clusters_of instances =
-  let parent = Hashtbl.create 16 in
-  let rec find x =
-    match Hashtbl.find_opt parent x with
-    | None | Some None -> x
-    | Some (Some p) ->
-      let root = find p in
-      Hashtbl.replace parent x (Some root);
-      root
-  in
-  let union a b =
-    let ra = find a and rb = find b in
-    if ra <> rb then Hashtbl.replace parent ra (Some rb)
-  in
-  List.iter
-    (fun (i, j) ->
-      if not (Hashtbl.mem parent i) then Hashtbl.replace parent i None;
-      if not (Hashtbl.mem parent j) then Hashtbl.replace parent j None;
-      union i j)
-    instances;
-  let groups = Hashtbl.create 4 in
-  List.iter
-    (fun ((i, _) as inst) ->
-      let root = find i in
-      Hashtbl.replace groups root (inst :: Option.value ~default:[] (Hashtbl.find_opt groups root)))
-    instances;
-  Hashtbl.fold (fun _ insts acc -> insts :: acc) groups []
-  |> List.sort (fun a b -> compare (List.fold_left min max_int (List.map fst a), a)
-                             (List.fold_left min max_int (List.map fst b), b))
 
 let extract_schedule circuit durations encoding (solution : Solver.solution) =
   let starts =
@@ -71,7 +38,7 @@ let extract_schedule circuit durations encoding (solution : Solver.solution) =
    optionally precomputed DAG/durations/instances ([tune_omega] shares
    one preparation across every omega candidate). *)
 let schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadline_seconds
-    ~ladder_start ~jobs ~engine ~device ~xtalk ~prep circuit =
+    ~ladder_start ~window_gates ~jobs ~engine ~device ~xtalk ~prep circuit =
   if omega >= 1.0 then begin
     (* omega = 1 ignores decoherence entirely; any serialization is
        then optimal and the paper equates this setting with
@@ -88,6 +55,7 @@ let schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadlin
       {
         pairs = List.length instances;
         clusters = 1;
+        windows = 0;
         nodes = 0;
         optimal = true;
         objective = nan;
@@ -112,11 +80,12 @@ let schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadlin
      exception — and falls through to the next-cheaper scheduler.
      ParSched, the last rung, is deterministic list scheduling with
      nothing left to time out. *)
-  let finish ~pairs (sched, nodes, optimal, objective, nclusters, rung) =
+  let finish ~pairs (sched, nodes, optimal, objective, nclusters, nwindows, rung) =
     ( sched,
       {
         pairs;
         clusters = nclusters;
+        windows = nwindows;
         nodes;
         optimal;
         objective;
@@ -125,11 +94,27 @@ let schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadlin
         rung;
       } )
   in
-  let parallel_rung () = (Par_sched.schedule device circuit, 0, false, nan, 0, Parallel) in
+  let parallel_rung () = (Par_sched.schedule device circuit, 0, false, nan, 0, 0, Parallel) in
   let greedy_rung () =
     match Greedy_sched.schedule ~threshold ~device ~xtalk circuit with
-    | sched, _serialized -> (sched, 0, false, nan, 0, Greedy)
+    | sched, _serialized -> (sched, 0, false, nan, 0, 0, Greedy)
     | exception _ -> parallel_rung ()
+  in
+  let windowed_rung () =
+    match
+      Window_sched.schedule ~window_gates ~omega ~threshold ~node_budget
+        ~deadline:remaining ~jobs ~engine ~device ~xtalk circuit
+    with
+    | Some r ->
+      ( r.Window_sched.schedule,
+        r.Window_sched.nodes,
+        false,
+        r.Window_sched.objective,
+        r.Window_sched.clusters,
+        r.Window_sched.windows,
+        Windowed )
+    | None -> greedy_rung ()
+    | exception _ -> greedy_rung ()
   in
   match
     let dag, durations, instances =
@@ -165,73 +150,56 @@ let schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadlin
         ~engine enc.Encoding.solver
     in
     let cluster_rung () =
-      match
-        (* Cluster decomposition: optimize each connected component of
-           interfering pairs separately — concurrently on the domain
-           pool when [jobs > 1]; clusters are independent problems and
-           the merge is by cluster index, so the result is identical at
-           every [jobs] — then evaluate the union of decisions once
-           (zero remaining booleans). *)
-        let clusters = Array.of_list (clusters_of instances) in
-        (* Force the shared hint schedules before fanning out: a lazy
-           must not be forced concurrently from several domains. *)
-        ignore (Lazy.force hint_schedules);
-        let solved =
-          Pool.parallel_chunks ~jobs ~n:(Array.length clusters) (fun ~lo ~hi ->
-              Array.init (hi - lo) (fun k ->
-                  let cluster_instances = clusters.(lo + k) in
-                  let enc = build ~instances:cluster_instances () in
-                  match solve enc with
-                  | None -> (0, [])
-                  | Some sol ->
-                    ( sol.nodes,
-                      List.map
-                        (fun p ->
-                          ( (p.Encoding.gate1, p.Encoding.gate2),
-                            ( sol.bools.(p.Encoding.o),
-                              sol.bools.(p.Encoding.before),
-                              sol.bools.(p.Encoding.after) ) ))
-                        enc.Encoding.pairs )))
-          |> List.concat_map Array.to_list
-        in
-        let total_nodes = List.fold_left (fun acc (n, _) -> acc + n) 0 solved in
-        let decisions = Hashtbl.create 64 in
-        List.iter
-          (fun (_, ds) -> List.iter (fun (k, d) -> Hashtbl.replace decisions k d) ds)
-          solved;
-        let enc = build ~instances () in
-        (* Pin every boolean with unit clauses; a single propagation
-           then reaches the unique leaf.  Pairs whose cluster timed out
-           without an incumbent stay free, so give the replay solve its
-           own deadline share too. *)
-        List.iter
-          (fun p ->
-            match Hashtbl.find_opt decisions (p.Encoding.gate1, p.Encoding.gate2) with
-            | None -> ()
-            | Some (o, b, a) ->
-              Solver.add_clause enc.Encoding.solver [ { Solver.var = p.Encoding.o; value = o } ];
-              Solver.add_clause enc.Encoding.solver
-                [ { Solver.var = p.Encoding.before; value = b } ];
-              Solver.add_clause enc.Encoding.solver
-                [ { Solver.var = p.Encoding.after; value = a } ])
-          enc.Encoding.pairs;
-        match solve ~warm:false enc with
-        | Some sol ->
-          Some
-            ( extract_schedule circuit durations enc sol,
-              total_nodes + sol.nodes,
-              false,
-              sol.objective,
-              Array.length clusters,
-              Clustered )
-        | None -> None
-      with
-      | Some r -> r
-      | None -> greedy_rung ()
-      | exception _ -> greedy_rung ()
+      (* Past a couple of windows' worth of gates the monolithic
+         decision replay (full encoding, powerset cost groups over the
+         whole circuit) is itself the bottleneck — hand over to the
+         windowed rung, which replays window by window. *)
+      if Circuit.length circuit > 2 * window_gates then windowed_rung ()
+      else
+        match
+          (* Cluster decomposition: optimize each connected component of
+             interfering pairs separately — concurrently on the domain
+             pool when [jobs > 1]; clusters are independent problems and
+             the merge is by cluster index, so the result is identical at
+             every [jobs] — then evaluate the union of decisions once
+             (zero remaining booleans). *)
+          (* Force the shared hint schedules before fanning out: a lazy
+             must not be forced concurrently from several domains. *)
+          ignore (Lazy.force hint_schedules);
+          let nclusters, cluster_nodes, decisions =
+            Window_sched.solve_cluster_decisions ~jobs ~engine ~node_budget
+              ~deadline:remaining
+              ~build:(fun ~instances -> build ~instances ())
+              ~warm:warm_starts instances
+          in
+          let enc = build ~instances () in
+          (* Pin every boolean with unit clauses; a single propagation
+             then reaches the unique leaf.  Pairs whose cluster timed out
+             without an incumbent stay free, so give the replay solve its
+             own deadline share too. *)
+          Window_sched.pin_decisions enc decisions;
+          match solve ~warm:false enc with
+          | Some sol ->
+            Some
+              ( extract_schedule circuit durations enc sol,
+                cluster_nodes + sol.nodes,
+                false,
+                sol.objective,
+                nclusters,
+                0,
+                Clustered )
+          | None -> None
+        with
+        | Some r -> r
+        | None -> windowed_rung ()
+        | exception _ -> windowed_rung ()
     in
     let exact_rung () =
-      if List.length instances > max_exact_pairs then cluster_rung ()
+      (* The length check mirrors cluster_rung's: even with few
+         interfering pairs, a monolithic encoding of a thousands-of-
+         gates circuit is the bottleneck — window it instead. *)
+      if List.length instances > max_exact_pairs || Circuit.length circuit > 2 * window_gates
+      then cluster_rung ()
       else begin
         match
           let enc = build ~instances () in
@@ -244,6 +212,7 @@ let schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadlin
             sol.optimal,
             sol.objective,
             1,
+            0,
             rung )
         | None -> cluster_rung ()
         | exception _ -> cluster_rung ()
@@ -253,6 +222,7 @@ let schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadlin
       match ladder_start with
       | Exact | Incumbent -> exact_rung ()
       | Clustered -> cluster_rung ()
+      | Windowed -> windowed_rung ()
       | Greedy -> greedy_rung ()
       | Parallel -> parallel_rung ()
     in
@@ -267,11 +237,11 @@ let schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadlin
   end
 
 let schedule ?(omega = 0.5) ?(threshold = 3.0) ?(node_budget = 2_000_000)
-    ?(max_exact_pairs = 14) ?deadline_seconds ?(ladder_start = Exact) ?(jobs = 1)
-    ?(engine = Solver.Fast) ~device ~xtalk circuit =
+    ?(max_exact_pairs = 14) ?deadline_seconds ?(ladder_start = Exact)
+    ?(window_gates = 160) ?(jobs = 1) ?(engine = Solver.Fast) ~device ~xtalk circuit =
   let circuit = Circuit.decompose_swaps circuit in
   schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadline_seconds
-    ~ladder_start ~jobs ~engine ~device ~xtalk ~prep:None circuit
+    ~ladder_start ~window_gates ~jobs ~engine ~device ~xtalk ~prep:None circuit
 
 let tune_omega ?(candidates = [ 0.0; 0.05; 0.2; 0.5; 0.8; 1.0 ]) ?(threshold = 3.0)
     ?(jobs = 1) ~device ~xtalk circuit =
@@ -298,8 +268,8 @@ let tune_omega ?(candidates = [ 0.0; 0.05; 0.2; 0.5; 0.8; 1.0 ]) ?(threshold = 3
                worker domain. *)
             let sched, stats =
               schedule_decomposed ~omega ~threshold ~node_budget:2_000_000
-                ~max_exact_pairs:14 ~deadline_seconds:None ~ladder_start:Exact ~jobs:1
-                ~engine:Solver.Fast ~device ~xtalk ~prep circuit
+                ~max_exact_pairs:14 ~deadline_seconds:None ~ladder_start:Exact
+                ~window_gates:160 ~jobs:1 ~engine:Solver.Fast ~device ~xtalk ~prep circuit
             in
             let err = (Evaluate.model device ~xtalk sched).Evaluate.error in
             (err, (omega, sched, stats))))

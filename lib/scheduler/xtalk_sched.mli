@@ -23,6 +23,7 @@ type rung =
   | Exact  (** solver proved optimality (or the serial omega=1 case) *)
   | Incumbent  (** budget/deadline expired; best-so-far schedule served *)
   | Clustered  (** per-cluster decomposition *)
+  | Windowed  (** windowed hierarchical solve ({!Window_sched}) *)
   | Greedy  (** GreedySched serialization *)
   | Parallel  (** plain ParSched — the floor; always succeeds *)
 
@@ -33,7 +34,8 @@ val all_rungs : rung list
 
 type stats = {
   pairs : int;  (** interfering CNOT instance pairs *)
-  clusters : int;  (** 1 when solved exactly in one shot; 0 below Clustered *)
+  clusters : int;  (** 1 when solved exactly in one shot; 0 below Windowed *)
+  windows : int;  (** windows stitched by the Windowed rung; 0 elsewhere *)
   nodes : int;  (** total branch-and-bound nodes *)
   optimal : bool;  (** false when decomposed or budget-limited *)
   objective : float;
@@ -73,6 +75,7 @@ val schedule :
   ?max_exact_pairs:int ->
   ?deadline_seconds:float ->
   ?ladder_start:rung ->
+  ?window_gates:int ->
   ?jobs:int ->
   ?engine:Qcx_smt.Solver.engine ->
   device:Qcx_device.Device.t ->
@@ -88,17 +91,27 @@ val schedule :
     A compile request {e never fails}: on solver deadline/budget
     expiry, unsatisfiability, or any internal error, the request
     degrades rung by rung — best-so-far incumbent, per-cluster
-    decomposition, GreedySched, finally ParSched — and [stats.rung]
-    records which rung actually served it.  [deadline_seconds] is a
-    wall-clock bound shared by all solver calls of the compile.
-    [ladder_start] (default [Exact]) starts the descent lower — useful
-    for very large programs and for testing the lower rungs.
+    decomposition, windowed hierarchical solve, GreedySched, finally
+    ParSched — and [stats.rung] records which rung actually served it.
+    [deadline_seconds] is a wall-clock bound shared by all solver
+    calls of the compile.  [ladder_start] (default [Exact]) starts the
+    descent lower — useful for very large programs and for testing the
+    lower rungs.
 
-    [jobs] (default 1) parallelizes the Clustered rung: connected
+    [window_gates] (default 160) sizes the Windowed rung's windows and
+    doubles as the auto-escalation bound: circuits longer than
+    [2 * window_gates] gates skip the monolithic Exact and Clustered
+    encodings entirely (even when few pairs interfere) and go straight
+    to {!Window_sched}, which is what lets 127-qubit, 1k+-gate
+    programs compile in bounded time (see the scale bench).
+
+    [jobs] (default 1) parallelizes the Clustered rung (connected
     components are independent subproblems solved concurrently on
-    [Qcx_util.Pool] and merged by cluster index, so the schedule is
-    bit-identical at every [jobs] (absent a deadline, which makes any
-    solver cutoff timing-dependent).  Leave it at 1 when calling from
+    [Qcx_util.Pool] and merged by cluster index) and the Windowed
+    rung (windows solved concurrently, stitched sequentially in
+    window order), so the schedule is bit-identical at every [jobs]
+    (absent a deadline, which makes any solver cutoff
+    timing-dependent).  Leave it at 1 when calling from
     inside another pool-parallel region (e.g. the service's batch
     compile), which would otherwise re-enter the pool.  [engine]
     selects the solver search core ({!Qcx_smt.Solver.Fast} by default;

@@ -119,10 +119,11 @@ let rung_index rung =
 
 let cache_key ~device_id ~epoch ~params canon =
   let knob =
-    Printf.sprintf "omega=%h threshold=%h deadline=%s ladder=%s" params.Wire.omega
+    Printf.sprintf "omega=%h threshold=%h deadline=%s ladder=%s window=%s" params.Wire.omega
       params.Wire.threshold
       (match params.Wire.deadline with None -> "none" | Some d -> Printf.sprintf "%h" d)
       (Xtalk_sched.rung_name params.Wire.ladder_start)
+      (match params.Wire.window with None -> "auto" | Some w -> string_of_int w)
   in
   Digest.to_hex
     (Digest.string
@@ -142,7 +143,8 @@ let effective_deadline t (params : Wire.params) =
 let cold_compile ?deadline (entry : Registry.entry) (params : Wire.params) canon =
   Xtalk_sched.schedule ~omega:params.omega ~threshold:params.threshold
     ?deadline_seconds:deadline ~ladder_start:params.ladder_start
-    ~device:entry.Registry.device ~xtalk:entry.Registry.xtalk canon
+    ?window_gates:params.Wire.window ~device:entry.Registry.device
+    ~xtalk:entry.Registry.xtalk canon
 
 (* One slot of the parallel compile phase.  Fault injection and the
    last-resort exception guard both live here, so a dying worker

@@ -147,6 +147,7 @@ let stats_to_json (s : Xtalk_sched.stats) =
     [
       ("pairs", Json.Number (float_of_int s.pairs));
       ("clusters", Json.Number (float_of_int s.clusters));
+      ("windows", Json.Number (float_of_int s.windows));
       ("nodes", Json.Number (float_of_int s.nodes));
       ("optimal", Json.Bool s.optimal);
       ("objective", Json.Number s.objective);
@@ -166,9 +167,13 @@ let stats_of_json doc =
   in
   let* objective = Json.find_float "objective" doc in
   let* solve_seconds = Json.find_float "solve_seconds" doc in
-  (* Absent in cache entries persisted before the field existed. *)
+  (* cpu_seconds and windows are absent in cache entries persisted
+     before the fields existed. *)
   let cpu_seconds =
     match Json.find_float "cpu_seconds" doc with Ok v -> v | Error _ -> 0.0
+  in
+  let windows =
+    match Json.find_float "windows" doc with Ok v -> int_of_float v | Error _ -> 0
   in
   let* rung_name = Json.find_str "rung" doc in
   let* rung = rung_of_name rung_name in
@@ -176,6 +181,7 @@ let stats_of_json doc =
     {
       Xtalk_sched.pairs = int_of_float pairs;
       clusters = int_of_float clusters;
+      windows;
       nodes = int_of_float nodes;
       optimal;
       objective;
@@ -191,10 +197,17 @@ type params = {
   threshold : float;
   deadline : float option;
   ladder_start : Xtalk_sched.rung;
+  window : int option;
 }
 
 let default_params =
-  { omega = 0.5; threshold = 3.0; deadline = None; ladder_start = Xtalk_sched.Exact }
+  {
+    omega = 0.5;
+    threshold = 3.0;
+    deadline = None;
+    ladder_start = Xtalk_sched.Exact;
+    window = None;
+  }
 
 type request =
   | Compile of { id : string; device : string; circuit : Circuit.t; params : params }
@@ -239,7 +252,14 @@ let params_of_json doc =
           let* name = Json.to_str v in
           rung_of_name name
       in
-      Ok { omega; threshold; deadline; ladder_start }
+      let* window =
+        match Json.member "window" doc with
+        | None | Some Json.Null -> Ok default_params.window
+        | Some v ->
+          let* w = Json.to_int v in
+          if w >= 1 then Ok (Some w) else Error "window must be a positive gate count"
+      in
+      Ok { omega; threshold; deadline; ladder_start; window }
 
 let request_of_json doc =
   let id = match Json.find_str "id" doc with Ok id -> id | Error _ -> "" in
@@ -277,6 +297,10 @@ let request_to_json req =
           ( "deadline",
             match params.deadline with None -> Json.Null | Some d -> Json.Number d );
           ("ladder_start", Json.String (Xtalk_sched.rung_name params.ladder_start));
+          ( "window",
+            match params.window with
+            | None -> Json.Null
+            | Some w -> Json.Number (float_of_int w) );
           ("circuit", circuit_to_json circuit);
         ])
   | Stats { id } -> Json.Object (base "stats" id)

@@ -42,10 +42,14 @@ type params = {
   threshold : float;  (** conditional/independent ratio cutoff *)
   deadline : float option;  (** per-request wall-clock compile budget *)
   ladder_start : Xtalk_sched.rung;  (** degradation-ladder entry rung *)
+  window : int option;
+      (** Windowed-rung window size in gates; [None] uses the
+          scheduler default (and reads "auto" in the cache key) *)
 }
 
 val default_params : params
-(** omega 0.5, threshold 3.0, no deadline, ladder from [Exact]. *)
+(** omega 0.5, threshold 3.0, no deadline, ladder from [Exact],
+    default windowing. *)
 
 type request =
   | Compile of { id : string; device : string; circuit : Circuit.t; params : params }

@@ -12,6 +12,8 @@ type t = {
   mutable cost_groups : (lit list * float) list list;
   mutable spans : (float * int * int) list;  (** weight, last, first *)
   mutable sinks : int list;
+  mutable release_base : int option;
+      (** lazily created zero-pinned origin for absolute release bounds *)
 }
 
 type engine = Fast | Legacy
@@ -35,6 +37,7 @@ let create () =
     cost_groups = [];
     spans = [];
     sinks = [];
+    release_base = None;
   }
 
 let new_bool t name =
@@ -66,6 +69,25 @@ let add_span_cost t ~weight ~last ~first =
   t.spans <- (weight, last, first) :: t.spans
 
 let add_sink t v = t.sinks <- v :: t.sinks
+
+let add_release t ~var ~time =
+  if not (time >= 0.0) then invalid_arg "Solver.add_release: time must be >= 0";
+  if time > 0.0 then begin
+    let base =
+      match t.release_base with
+      | Some b -> b
+      | None ->
+        let b = new_num t "release0" in
+        (* No incoming edges, so the ASAP pass keeps the base at 0;
+           registering it as a sink pins its ALAP deadline to its lower
+           bound (0) as well.  Every release edge base->var then reads
+           as an absolute lower bound rather than a relative offset. *)
+        add_sink t b;
+        t.release_base <- Some b;
+        b
+    in
+    Dgraph.add_edge t.graph ~src:base ~dst:var ~weight:time
+  end
 
 (* ---- search ---- *)
 

@@ -80,6 +80,15 @@ val add_sink : t -> int -> unit
 (** Designate a numeric variable as a sink: its value is pinned to its
     minimal feasible value and upper-bounds the ALAP pass. *)
 
+val add_release : t -> var:int -> time:float -> unit
+(** [add_release t ~var ~time] adds the absolute lower bound
+    [var >= time] ([time >= 0], in the problem's implicit time origin
+    at 0).  Implemented as a difference edge from a lazily created
+    zero-pinned base variable, so it composes with both the ASAP and
+    ALAP passes of every engine.  The windowed scheduler uses it to
+    carry qubit-availability and crosstalk frontiers from already
+    committed windows into the next window's solve. *)
+
 val solve :
   ?node_budget:int ->
   ?deadline_seconds:float ->

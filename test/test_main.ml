@@ -12,6 +12,7 @@ let () =
     @ Test_smt.suite
     @ Test_characterization.suite
     @ Test_scheduler.suite
+    @ Test_window.suite
     @ Test_benchmarks.suite
     @ Test_metrics.suite
     @ Test_extensions.suite

@@ -79,6 +79,7 @@ let dummy_entry device label =
       {
         Core.Xtalk_sched.pairs = 0;
         clusters = 0;
+        windows = 0;
         nodes = 0;
         optimal = false;
         objective = 0.0;
