@@ -28,6 +28,19 @@
         wall-clock drop >= 2x with equal-or-better objectives and
         jobs-independent schedules; --smoke runs 1 repeat and skips
         the wall-clock gate)
+     dune exec bench/main.exe -- --drift-bench --days 20 --seed 7
+       (simulated drift campaign over the calibration data plane:
+        daily workload + drift detection + Opt-3 incremental
+        re-characterization + canary-gated promotion under injected
+        calibration faults; sweeps --jobs 1/2/4 and writes
+        BENCH_drift.json, exits 1 unless availability is 1.0, no
+        epoch skips the canary, rollbacks are bit-identical, the
+        incremental cost stays under 25% of a full pass, and the
+        campaign digests match across jobs; --smoke shortens it)
+     dune exec bench/main.exe -- --drift-drill --socket S
+       (out-of-process poisoned-epoch drill for ci.sh: inject a
+        truncated merge through the calibrate op and assert the gate
+        rejects it with epoch and cache intact)
      dune exec bench/main.exe -- --bench-scale --jobs 4
        (windowed scheduler on the generated 127-qubit heavy-hex
         device, 1000+-gate supremacy circuit; writes BENCH_scale.json,
@@ -55,6 +68,7 @@ let () =
     List.mem "--soak" args || List.mem "--serve-bench" args
     || List.mem "--chaos-bench" args || List.mem "--chaos-client" args
     || List.mem "--bench-sched" args || List.mem "--bench-scale" args
+    || List.mem "--drift-bench" args || List.mem "--drift-drill" args
   then begin
     let int_flag name default =
       let rec find = function
@@ -77,7 +91,18 @@ let () =
       in
       find args
     in
-    if List.mem "--bench-scale" args then
+    if List.mem "--drift-bench" args then
+      Exp_drift.run
+        ~days:(int_flag "--days" 20)
+        ~seed:(int_flag "--seed" 7)
+        ~dir:(str_flag "--drift-dir" "drift-scratch")
+        ~out:(str_flag "--out" "BENCH_drift.json")
+        ~smoke:(List.mem "--smoke" args)
+    else if List.mem "--drift-drill" args then
+      Exp_drift.drill
+        ~socket:(str_flag "--socket" "qcx-serve.sock")
+        ~device_name:(str_flag "--device" "example6q")
+    else if List.mem "--bench-scale" args then
       Exp_scale.bench
         ~smoke:(List.mem "--smoke" args)
         ~jobs:(int_flag "--jobs" 4)

@@ -20,6 +20,7 @@ dune build
 dune runtest
 dune build @serve
 dune build @chaos
+dune build @drift
 dune build @sched
 dune build @scale
 
@@ -79,6 +80,29 @@ echo "ci: chaos drill: graceful drain (SIGTERM must exit 0)"
 kill -TERM "$DAEMON"
 wait "$DAEMON"
 DAEMON=""
+
+# Calibration drill: with compile load in flight, an operator pushes a
+# poisoned (truncated-merge) calibration epoch.  The canary gate must
+# reject it, the registry must stay on the incumbent epoch, and the
+# schedule cache must survive untouched (the post-drill compile comes
+# back cached).  The drill client asserts every one of its responses is
+# typed ok — availability 1.0 for the whole exchange.
+echo "ci: drift drill: poisoned epoch under load must be canary-rejected"
+CSOCK="$SCRATCH/qcx-cal.sock"
+"$SERVE" --devices example6q --oracle-xtalk --socket "$CSOCK" \
+  --calibration-dir "$SCRATCH/calibration" --jobs 2 &
+DAEMON=$!
+"$BENCH" --chaos-client --socket "$CSOCK" --mode load --requests 30 --seed 13 &
+LOADER=$!
+"$BENCH" --drift-drill --socket "$CSOCK" --device example6q
+wait "$LOADER" 2>/dev/null || true
+kill -TERM "$DAEMON"
+wait "$DAEMON"
+DAEMON=""
+
+echo "ci: drift campaign (20 days, jobs 1/2/4)"
+dune exec bench/main.exe -- --drift-bench --days 20 --seed 7 \
+  --drift-dir "$SCRATCH/drift" --out BENCH_drift.json
 
 echo "ci: chaos campaign (20 seeds)"
 dune exec bench/main.exe -- --chaos-bench --seeds 20 --requests 60 --jobs 2 \

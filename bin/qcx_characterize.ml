@@ -39,7 +39,64 @@ let previous_term =
   in
   Arg.(value & opt (some string) None & info [ "previous" ] ~docv:"FILE" ~doc)
 
-let run device seed jobs threshold policy_name resilient fault_seed fault_day previous
+let incremental_term =
+  let doc =
+    "Opt-3 incremental re-characterization: re-measure only the pairs FILE (a previous \
+     snapshot) flags as high-crosstalk and merge the fresh rates into it — the same code \
+     path the serving layer's calibrator runs.  Falls back to a full pass when the \
+     snapshot flags nothing."
+  in
+  Arg.(value & opt (some string) None & info [ "incremental" ] ~docv:"FILE" ~doc)
+
+let load_snapshot device path =
+  match Core.Store.load_crosstalk ~topology:(Core.Device.topology device) ~path () with
+  | Ok x -> x
+  | Error e ->
+    Printf.eprintf "failed to load snapshot %s: %s\n" path e;
+    exit 1
+
+let run_incremental device seed jobs threshold fault_seed fault_day path output =
+  let rng = Core.Rng.create seed in
+  let previous = load_snapshot device path in
+  let inject =
+    Option.map
+      (fun s -> Core.Fault_plan.inject (Core.Fault_plan.create ~seed:s ()) ~day:fault_day)
+      fault_seed
+  in
+  let inc =
+    Core.Policy.characterize_incremental ~jobs ~threshold ?inject ~rng device ~previous
+  in
+  Printf.printf "device: %s\n" (Core.Device.name device);
+  Printf.printf "mode: %s (%d pair(s) flagged by %s)\n"
+    (Core.Policy.incremental_mode_name inc.Core.Policy.mode)
+    (List.length inc.Core.Policy.flagged)
+    path;
+  List.iter
+    (fun ((t1, t2), (s1, s2)) -> Printf.printf "  CX%d,%d | CX%d,%d\n" t1 t2 s1 s2)
+    inc.Core.Policy.flagged;
+  Printf.printf "executions: %d (a full pass costs %d — %.1f%%)\n"
+    inc.Core.Policy.run_executions inc.Core.Policy.full_executions
+    (100.0 *. inc.Core.Policy.cost_fraction);
+  let r = inc.Core.Policy.resilient in
+  Printf.printf "resilient run: %d attempts, %d injected faults, %.1f s charged\n"
+    r.Core.Policy.attempts r.Core.Policy.faults r.Core.Policy.simulated_seconds;
+  let cal = Core.Device.calibration device in
+  let flagged_after =
+    Core.Crosstalk.high_crosstalk_pairs inc.Core.Policy.merged cal ~threshold
+  in
+  Printf.printf "merged snapshot: %d conditional rates, %d high-crosstalk pair(s)\n"
+    (List.length (Core.Crosstalk.entries inc.Core.Policy.merged))
+    (List.length flagged_after);
+  match output with
+  | None -> ()
+  | Some out -> (
+    match Core.Store.save_crosstalk ~path:out inc.Core.Policy.merged with
+    | Ok () -> Printf.printf "wrote %s\n" out
+    | Error e ->
+      Printf.eprintf "failed to write %s: %s\n" out e;
+      exit 1)
+
+let run_plain device seed jobs threshold policy_name resilient fault_seed fault_day previous
     output =
   let rng = Core.Rng.create seed in
   let policy =
@@ -122,12 +179,20 @@ let run device seed jobs threshold policy_name resilient fault_seed fault_day pr
       Printf.eprintf "failed to write %s: %s\n" path e;
       exit 1)
 
+let run device seed jobs threshold policy_name resilient fault_seed fault_day previous
+    incremental output =
+  match incremental with
+  | Some path -> run_incremental device seed jobs threshold fault_seed fault_day path output
+  | None ->
+    run_plain device seed jobs threshold policy_name resilient fault_seed fault_day previous
+      output
+
 let cmd =
   let info = Cmd.info "qcx_characterize" ~doc:"Characterize crosstalk on a simulated IBMQ device" in
   Cmd.v info
     Term.(
       const run $ Common.device_term $ Common.seed_term $ Common.jobs_term $ Common.threshold_term
       $ policy_term $ resilient_term $ fault_seed_term $ fault_day_term $ previous_term
-      $ output_term)
+      $ incremental_term $ output_term)
 
 let () = exit (Cmd.eval cmd)

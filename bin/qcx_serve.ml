@@ -41,6 +41,19 @@ let oracle_term =
   let doc = "Serve from ground-truth crosstalk instead of snapshots (demo mode)." in
   Arg.(value & flag & info [ "oracle-xtalk" ] ~doc)
 
+let calibration_dir_term =
+  let doc =
+    "Enable the calibration data plane (DESIGN.md section 12): the `calibrate` op runs \
+     drift detection + Opt-3 incremental re-characterization with canary-gated, \
+     crash-consistent epoch promotion, keeping the rollback ring under DIR.  On startup \
+     each device's current epoch and ring are recovered from DIR's ring pointers."
+  in
+  Arg.(value & opt (some string) None & info [ "calibration-dir" ] ~docv:"DIR" ~doc)
+
+let calibration_seed_term =
+  let doc = "Seed for the calibrator's deterministic measurement streams." in
+  Arg.(value & opt int 0 & info [ "calibration-seed" ] ~docv:"N" ~doc)
+
 let queue_bound_term =
   let doc = "Admission limit per batch; excess requests get an `overloaded` response." in
   Arg.(value & opt int Core.Service.default_config.Core.Service.queue_bound
@@ -111,9 +124,9 @@ let persist service cache_file =
       | Ok () -> Printf.eprintf "cache: persisted to %s\n%!" path
       | Error e -> Printf.eprintf "cache: failed to persist %s: %s\n%!" path e))
 
-let run devices_csv socket once snapshot_dir oracle jobs queue_bound cache_capacity
-    cache_file max_frame max_compile breaker_threshold breaker_cooloff breaker_min_rung
-    checkpoint_every write_timeout =
+let run devices_csv socket once snapshot_dir oracle calibration_dir calibration_seed jobs
+    queue_bound cache_capacity cache_file max_frame max_compile breaker_threshold
+    breaker_cooloff breaker_min_rung checkpoint_every write_timeout =
   let names =
     String.split_on_char ',' devices_csv
     |> List.map String.trim
@@ -178,6 +191,25 @@ let run devices_csv socket once snapshot_dir oracle jobs queue_bound cache_capac
     }
   in
   let service = Core.Service.create ~config registry in
+  (match calibration_dir with
+  | None -> ()
+  | Some dir ->
+    let calibrator =
+      Core.Calibrator.create
+        ~config:
+          { Core.Calibrator.default_config with Core.Calibrator.jobs; seed = calibration_seed }
+        ~dir registry
+    in
+    let recovered = Core.Calibrator.recover calibrator in
+    List.iter
+      (fun r ->
+        Printf.eprintf "calibration: restored %s epoch %s (ring depth %d)\n%!"
+          r.Core.Calibrator.id
+          (String.sub r.Core.Calibrator.epoch 0 (min 12 (String.length r.Core.Calibrator.epoch)))
+          r.Core.Calibrator.ring)
+      recovered;
+    Core.Service.set_calibrator service (Some calibrator);
+    Printf.eprintf "calibration data plane enabled under %s\n%!" dir);
   (match cache_file with
   | None -> ()
   | Some path -> (
@@ -235,6 +267,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ devices_term $ socket_term $ once_term $ snapshot_dir_term $ oracle_term
+      $ calibration_dir_term $ calibration_seed_term
       $ Common.jobs_term $ queue_bound_term $ cache_capacity_term $ cache_file_term
       $ max_frame_term $ max_compile_term $ breaker_threshold_term $ breaker_cooloff_term
       $ breaker_min_rung_term $ checkpoint_every_term $ write_timeout_term)

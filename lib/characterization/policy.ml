@@ -332,6 +332,65 @@ let characterize_resilient ?(params = Rb.default_params) ?(jobs = 1) ?(retry = d
 let high_pairs_of_outcome ?(threshold = 3.0) device outcome =
   Crosstalk.high_crosstalk_pairs outcome.xtalk (Device.calibration device) ~threshold
 
+(* ---- Opt-3 incremental re-characterization ----
+
+   One code path shared by the offline tool (qcx_characterize
+   --incremental) and the service calibrator: re-measure only the
+   pairs the last-good snapshot flags as high-crosstalk, run them
+   through the resilient front end, and merge the fresh rates over
+   the last-good data.  Falls back to a full one-hop bin-packed pass
+   when the snapshot flags nothing (first epoch, or a wiped device). *)
+
+type incremental_mode = Flagged_only | Full_fallback
+
+let incremental_mode_name = function
+  | Flagged_only -> "flagged-only"
+  | Full_fallback -> "full-fallback"
+
+type incremental_outcome = {
+  resilient : resilient_outcome;
+  merged : Crosstalk.t;
+  mode : incremental_mode;
+  flagged : Binpack.pair list;
+  run_executions : int;
+  full_executions : int;
+  cost_fraction : float;
+}
+
+let characterize_incremental ?(params = Rb.default_params) ?(jobs = 1) ?(retry = default_retry)
+    ?(threshold = 3.0) ?inject ~rng device ~previous =
+  let flagged = Crosstalk.high_crosstalk_pairs previous (Device.calibration device) ~threshold in
+  (* Independent child streams so pricing the full plan never perturbs
+     the measurement draws (and vice versa). *)
+  let plan_rng = Rng.split_nth rng 0 in
+  let cost_rng = Rng.split_nth rng 1 in
+  let run_rng = Rng.split_nth rng 2 in
+  let full_plan = plan ~rng:cost_rng device One_hop_binpacked in
+  let mode, cplan =
+    if flagged = [] then (Full_fallback, full_plan)
+    else (Flagged_only, plan ~rng:plan_rng device (High_crosstalk_only flagged))
+  in
+  let resilient =
+    characterize_resilient ~params ~jobs ~retry ~previous ?inject ~rng:run_rng device cplan
+  in
+  let merged =
+    match mode with
+    | Full_fallback -> resilient.outcome.xtalk
+    | Flagged_only -> Crosstalk.merge previous resilient.outcome.xtalk
+  in
+  let per = Rb.experiment_executions params in
+  let run_executions = experiment_count cplan * per in
+  let full_executions = max 1 (experiment_count full_plan * per) in
+  {
+    resilient;
+    merged;
+    mode;
+    flagged;
+    run_executions;
+    full_executions;
+    cost_fraction = float_of_int run_executions /. float_of_int full_executions;
+  }
+
 let refresh ?params ?(jobs = 1) ?(threshold = 3.0) ~rng device ~previous =
   let flagged = Crosstalk.high_crosstalk_pairs previous (Device.calibration device) ~threshold in
   if flagged = [] then previous

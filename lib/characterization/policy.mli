@@ -147,6 +147,54 @@ val characterize_resilient :
     child streams of [rng], so results are deterministic for a given
     plan and fault sequence at every [jobs]. *)
 
+(** {2 Opt-3 incremental re-characterization}
+
+    The shared code path behind [qcx_characterize --incremental] and
+    the serving layer's calibrator: flag, re-measure, merge — with the
+    resilient front end and an explicit cost accounting against the
+    full one-hop bin-packed pass it replaces. *)
+
+type incremental_mode =
+  | Flagged_only  (** only the snapshot's high-crosstalk pairs re-measured *)
+  | Full_fallback
+      (** nothing flagged (first epoch / wiped device): full one-hop
+          bin-packed pass *)
+
+val incremental_mode_name : incremental_mode -> string
+
+type incremental_outcome = {
+  resilient : resilient_outcome;  (** the measurement run that was executed *)
+  merged : Qcx_device.Crosstalk.t;
+      (** fresh rates merged over [previous] (fresh entries win);
+          in [Full_fallback] mode this is the fresh data alone *)
+  mode : incremental_mode;
+  flagged : Binpack.pair list;  (** pairs the previous snapshot flagged *)
+  run_executions : int;  (** executions charged to the run actually made *)
+  full_executions : int;  (** executions a full re-characterization costs *)
+  cost_fraction : float;  (** [run_executions / full_executions] *)
+}
+
+val characterize_incremental :
+  ?params:Rb.params ->
+  ?jobs:int ->
+  ?retry:retry ->
+  ?threshold:float ->
+  ?inject:(experiment:int -> attempt:int -> injected_fault option) ->
+  rng:Qcx_util.Rng.t ->
+  Qcx_device.Device.t ->
+  previous:Qcx_device.Crosstalk.t ->
+  incremental_outcome
+(** The daily Optimization-3 workflow through the resilient front end:
+    bin-pack and re-measure only the pairs [previous] flags at
+    [threshold] (default 3), with timeout/retry/fallback per
+    experiment, and merge the fresh conditional rates over the old
+    data.  When [previous] flags nothing the full [One_hop_binpacked]
+    plan runs instead ([Full_fallback]) so a blank device still gets
+    characterized.  The full plan is always priced (never run in
+    flagged mode) to report [cost_fraction].  Plan construction,
+    pricing and measurement use independent child streams of [rng],
+    so results are deterministic at every [jobs]. *)
+
 val refresh :
   ?params:Rb.params ->
   ?jobs:int ->

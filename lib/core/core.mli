@@ -78,6 +78,7 @@ module Cache = Qcx_serve.Cache
 module Breaker = Qcx_serve.Breaker
 module Journal = Qcx_serve.Journal
 module Registry = Qcx_serve.Registry
+module Calibrator = Qcx_serve.Calibrator
 module Service = Qcx_serve.Service
 module Server = Qcx_serve.Server
 module Tomography = Qcx_metrics.Tomography

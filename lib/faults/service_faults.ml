@@ -16,6 +16,12 @@ type config = {
   compile_stall : float;
   stall_seconds : float;
   journal_full : float;
+  drift_spike : float;
+  spike_factor : float;
+  truncate_merge : float;
+  truncate_fraction : float;
+  canary_flake : float;
+  crash_promotion : float;
 }
 
 let default_config =
@@ -27,6 +33,12 @@ let default_config =
     compile_stall = 0.05;
     stall_seconds = 0.12;
     journal_full = 0.08;
+    drift_spike = 0.10;
+    spike_factor = 4.0;
+    truncate_merge = 0.08;
+    truncate_fraction = 0.85;
+    canary_flake = 0.06;
+    crash_promotion = 0.05;
   }
 
 let none =
@@ -38,6 +50,12 @@ let none =
     compile_stall = 0.0;
     stall_seconds = 0.0;
     journal_full = 0.0;
+    drift_spike = 0.0;
+    spike_factor = 1.0;
+    truncate_merge = 0.0;
+    truncate_fraction = 0.0;
+    canary_flake = 0.0;
+    crash_promotion = 0.0;
   }
 
 type t = { seed : int; config : config }
@@ -94,3 +112,36 @@ let kill_offset t ~len =
   else
     let rng = keyed t ("kill", len) in
     Rng.int rng (len + 1)
+
+(* Each calibration-fault class rolls independently — a single cycle
+   can face a drift spike AND a flaky canary, which is exactly the
+   combination the gate has to survive. *)
+let calibration_faults t ~id ~day =
+  let c = t.config in
+  let roll site p = p > 0.0 && Rng.unit_float (keyed t (site, id, day)) < p in
+  let faults = [] in
+  let faults =
+    if roll "drift-spike" c.drift_spike then
+      Qcx_serve.Calibrator.Drift_spike c.spike_factor :: faults
+    else faults
+  in
+  let faults =
+    if roll "truncate-merge" c.truncate_merge then
+      Qcx_serve.Calibrator.Truncate_merge c.truncate_fraction :: faults
+    else faults
+  in
+  let faults =
+    if roll "canary-flake" c.canary_flake then Qcx_serve.Calibrator.Canary_flake :: faults
+    else faults
+  in
+  let faults =
+    if roll "crash-promotion" c.crash_promotion then
+      (* Pick the crash side from an independent stream so adding a
+         stage never reshuffles the other classes. *)
+      let before = Rng.unit_float (keyed t ("crash-side", id, day)) < 0.5 in
+      (if before then Qcx_serve.Calibrator.Crash_before_commit
+       else Qcx_serve.Calibrator.Crash_after_commit)
+      :: faults
+    else faults
+  in
+  List.rev faults

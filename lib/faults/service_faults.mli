@@ -26,6 +26,16 @@ type config = {
   compile_stall : float;  (** ... that it hangs first *)
   stall_seconds : float;  (** how long a stalled compile hangs *)
   journal_full : float;  (** per-append probability of disk-full *)
+  drift_spike : float;
+      (** per-cycle probability the hardware drifts abruptly (the
+          calibrator must catch it or the canary must reject it) *)
+  spike_factor : float;  (** conditional-error multiplier of a spike *)
+  truncate_merge : float;  (** per-cycle probability of a torn Opt-3 merge *)
+  truncate_fraction : float;  (** fraction of entries a torn merge loses *)
+  canary_flake : float;  (** per-cycle probability the canary verdict flips *)
+  crash_promotion : float;
+      (** per-cycle probability the process dies mid-promotion (side —
+          before/after the atomic pointer commit — drawn independently) *)
 }
 
 val default_config : config
@@ -57,3 +67,10 @@ val journal_fault : t -> nth:int -> bool
 val kill_offset : t -> len:int -> int
 (** Where ([0..len]) the simulated [kill -9] truncates a journal of
     [len] bytes. *)
+
+val calibration_faults : t -> id:string -> day:int -> Qcx_serve.Calibrator.fault list
+(** The calibration injections for device [id]'s cycle on [day] —
+    passed as [extra_faults] to {!Qcx_serve.Calibrator.calibrate}.
+    Classes roll independently, each keyed on [(seed, site, id, day)],
+    so one cycle can combine a drift spike with a flaky canary and the
+    plan replays identically at every [--jobs] value. *)

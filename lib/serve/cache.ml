@@ -6,6 +6,7 @@ let ( let* ) = Result.bind
 type entry = {
   schedule : Qcx_circuit.Schedule.t;
   stats : Qcx_scheduler.Xtalk_sched.stats;
+  epoch : string;
 }
 
 (* Intrusive doubly-linked recency list: head = most recent. *)
@@ -25,6 +26,7 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable insertions : int;
+  mutable purged : int;
 }
 
 type counters = {
@@ -32,6 +34,7 @@ type counters = {
   misses : int;
   evictions : int;
   insertions : int;
+  purged : int;
   size : int;
   capacity : int;
 }
@@ -47,6 +50,7 @@ let create ~capacity =
     misses = 0;
     evictions = 0;
     insertions = 0;
+    purged = 0;
   }
 
 let unlink t node =
@@ -97,12 +101,25 @@ let add t key entry =
     evict_lru t
   done
 
+let purge t ~drop =
+  let victims =
+    Hashtbl.fold (fun _ node acc -> if drop node.key node.entry then node :: acc else acc) t.table []
+  in
+  List.iter
+    (fun node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      t.purged <- t.purged + 1)
+    victims;
+  List.length victims
+
 let counters (t : t) : counters =
   {
     hits = t.hits;
     misses = t.misses;
     evictions = t.evictions;
     insertions = t.insertions;
+    purged = t.purged;
     size = Hashtbl.length t.table;
     capacity = t.capacity;
   }
@@ -121,6 +138,7 @@ let format_tag = "qcx-schedule-cache-v1"
 let entry_to_json entry =
   Json.Object
     [
+      ("epoch", Json.String entry.epoch);
       ("stats", Wire.stats_to_json entry.stats);
       ("schedule", Wire.schedule_to_json entry.schedule);
     ]
@@ -136,7 +154,12 @@ let entry_of_json doc =
     | Some s -> Wire.schedule_of_json s
     | None -> Error "missing schedule"
   in
-  Ok { schedule; stats }
+  (* Entries written before epochs were recorded carry no epoch; ""
+     marks them unknown (never purged as stale, evicted by LRU only). *)
+  let epoch =
+    match Json.member "epoch" doc with Some (Json.String e) -> e | _ -> ""
+  in
+  Ok { schedule; stats; epoch }
 
 let to_json t =
   (* Oldest first, so replaying [add] on load reproduces recency. *)
@@ -175,6 +198,7 @@ let of_json ~capacity doc =
     t.misses <- 0;
     t.evictions <- 0;
     t.insertions <- 0;
+    t.purged <- 0;
     Ok t
 
 let save ~path t = Store.save ~path (to_json t)

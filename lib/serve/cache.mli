@@ -17,6 +17,10 @@
 type entry = {
   schedule : Qcx_circuit.Schedule.t;
   stats : Qcx_scheduler.Xtalk_sched.stats;
+  epoch : string;
+      (** calibration epoch the schedule was compiled against; [""]
+          for entries persisted before epochs were recorded (these are
+          never purged as stale, only LRU-evicted) *)
 }
 
 type t
@@ -26,6 +30,7 @@ type counters = {
   misses : int;
   evictions : int;
   insertions : int;
+  purged : int;  (** entries dropped by {!purge} (retired epochs) *)
   size : int;
   capacity : int;
 }
@@ -43,6 +48,14 @@ val mem : t -> string -> bool
 val add : t -> string -> entry -> unit
 (** Insert (or overwrite) and mark most-recently-used, evicting the
     least-recently-used entries beyond capacity. *)
+
+val purge : t -> drop:(string -> entry -> bool) -> int
+(** Remove every entry for which [drop key entry] holds, without
+    touching hit/miss/eviction counters (the [purged] counter
+    accumulates instead).  Returns how many entries were removed.
+    The service uses this to drop entries keyed on retired epochs
+    after a bump/promotion — they can never hit (the epoch is hashed
+    into the key) but would squat eviction slots. *)
 
 val counters : t -> counters
 

@@ -11,7 +11,20 @@ type entry = {
   paths : string list;
   quarantined : (string * string) list;
   bumps : int;
+  ring : (string * Crosstalk.t) list;
+  promoted_day : int option;
+  last_warning : string option;
 }
+
+(* Retired epochs kept per device.  Deep enough to survive a couple of
+   bad promotions in a row; the calibration dir GC follows the same
+   bound. *)
+let ring_limit = 4
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
 
 type t = { table : (string, entry) Hashtbl.t; mutable order : string list (* reversed *) }
 
@@ -35,6 +48,9 @@ let add_static t ~id ~device ~xtalk =
       paths = [];
       quarantined = [];
       bumps = 0;
+      ring = [];
+      promoted_day = None;
+      last_warning = None;
     }
 
 let load_entry ~device ~paths ~quarantined ~bumps =
@@ -50,6 +66,9 @@ let load_entry ~device ~paths ~quarantined ~bumps =
     paths;
     quarantined = quarantined @ report.Store.quarantined;
     bumps;
+    ring = [];
+    promoted_day = None;
+    last_warning = None;
   }
 
 let add_from_paths t ~id ~device ~paths =
@@ -83,14 +102,23 @@ let refresh t ~id =
            crosstalk here would silently advance the epoch and orphan
            every cached schedule, so keep serving the last good data
            and surface the problem instead. *)
+        let warning = "no usable snapshot; keeping previous epoch and data" in
         let kept =
           register t ~id
-            { entry with quarantined = entry.quarantined @ report.Store.quarantined }
+            {
+              entry with
+              quarantined = entry.quarantined @ report.Store.quarantined;
+              last_warning = Some warning;
+            }
         in
-        Ok (kept, Some "no usable snapshot; keeping previous epoch and data")
+        Ok (kept, Some warning)
       | Some xtalk ->
         let epoch = epoch_of_xtalk xtalk in
         let bumps = if epoch = entry.epoch then entry.bumps else entry.bumps + 1 in
+        let ring =
+          if epoch = entry.epoch then entry.ring
+          else take ring_limit ((entry.epoch, entry.xtalk) :: entry.ring)
+        in
         let refreshed =
           register t ~id
             {
@@ -98,12 +126,76 @@ let refresh t ~id =
               xtalk;
               epoch;
               bumps;
+              ring;
               source = report.Store.source;
               quarantined = entry.quarantined @ report.Store.quarantined;
+              last_warning = None;
             }
         in
         Ok (refreshed, None)
     end
+
+let promote ?day t ~id xtalk =
+  match find t id with
+  | None -> missing id
+  | Some entry ->
+    let epoch = epoch_of_xtalk xtalk in
+    if epoch = entry.epoch then
+      (* Re-promoting the incumbent: refresh the promotion day but do
+         not push a self-copy onto the ring. *)
+      Ok
+        (register t ~id
+           { entry with promoted_day = (match day with None -> entry.promoted_day | d -> d) })
+    else
+      Ok
+        (register t ~id
+           {
+             entry with
+             xtalk;
+             epoch;
+             source = None;
+             bumps = entry.bumps + 1;
+             ring = take ring_limit ((entry.epoch, entry.xtalk) :: entry.ring);
+             promoted_day = (match day with None -> entry.promoted_day | d -> d);
+             last_warning = None;
+           })
+
+let rollback ?day t ~id =
+  match find t id with
+  | None -> missing id
+  | Some entry -> (
+    match entry.ring with
+    | [] -> Error ("no retired epoch to roll back to for " ^ id)
+    | (epoch, xtalk) :: ring ->
+      Ok
+        (register t ~id
+           {
+             entry with
+             xtalk;
+             epoch;
+             source = None;
+             bumps = entry.bumps + 1;
+             ring;
+             promoted_day = (match day with None -> entry.promoted_day | d -> d);
+           }))
+
+let restore ?day t ~id ~ring xtalk =
+  match find t id with
+  | None -> missing id
+  | Some entry ->
+    let epoch = epoch_of_xtalk xtalk in
+    let bumps = if epoch = entry.epoch then entry.bumps else entry.bumps + 1 in
+    Ok
+      (register t ~id
+         {
+           entry with
+           xtalk;
+           epoch;
+           source = None;
+           bumps;
+           ring = take ring_limit ring;
+           promoted_day = (match day with None -> entry.promoted_day | d -> d);
+         })
 
 let ids t = List.rev t.order
 
@@ -124,5 +216,11 @@ let to_json t =
              ("quarantined", Json.Number (float_of_int (List.length e.quarantined)));
              ( "xtalk_entries",
                Json.Number (float_of_int (List.length (Crosstalk.entries e.xtalk))) );
+             ("ring", Json.Array (List.map (fun (ep, _) -> Json.String ep) e.ring));
+             ( "promoted_day",
+               match e.promoted_day with None -> Json.Null | Some d -> Json.Number (float_of_int d)
+             );
+             ( "warning",
+               match e.last_warning with None -> Json.Null | Some w -> Json.String w );
            ])
        (ids t))

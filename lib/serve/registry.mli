@@ -22,11 +22,25 @@ type entry = {
   paths : string list;  (** refresh candidates, newest first *)
   quarantined : (string * string) list;  (** cumulative (path, reason) *)
   bumps : int;  (** number of refreshes that actually changed the epoch *)
+  ring : (string * Qcx_device.Crosstalk.t) list;
+      (** retired epochs, newest first, bounded — the rollback targets.
+          Each retired snapshot keeps its exact in-memory [Crosstalk.t],
+          so a rollback restores the epoch bit-identically. *)
+  promoted_day : int option;
+      (** logical day the current epoch was promoted (campaign clock);
+          [None] until the calibrator first promotes *)
+  last_warning : string option;
+      (** latest refresh/calibration warning, surfaced by the [health]
+          op; cleared by the next clean refresh or promotion *)
 }
 
 type t
 
 val create : unit -> t
+
+val ring_limit : int
+(** Maximum retired epochs kept per device (the calibration directory
+    GC follows the same bound). *)
 
 val epoch_of_xtalk : Qcx_device.Crosstalk.t -> string
 
@@ -52,6 +66,24 @@ val refresh : t -> id:string -> (entry * string option, string) result
     {e kept} (cached schedules stay addressable and valid) and the
     second component carries a warning; [Error _] is reserved for
     unknown ids. *)
+
+val promote : ?day:int -> t -> id:string -> Qcx_device.Crosstalk.t -> (entry, string) result
+(** Install a canary-approved epoch: the incumbent (epoch, data) is
+    pushed onto the rollback ring (bounded, oldest dropped) and the
+    new data becomes current.  Promoting data identical to the
+    incumbent only updates [promoted_day] — the ring never holds a
+    self-copy.  [day] stamps [promoted_day] for staleness reporting. *)
+
+val rollback : ?day:int -> t -> id:string -> (entry, string) result
+(** Restore the newest retired epoch from the ring (popping it).
+    [Error _] when the ring is empty or the id is unknown.  The
+    restored data is the exact [Crosstalk.t] that was retired, so the
+    epoch digest matches bit-identically. *)
+
+val restore : ?day:int -> t -> id:string -> ring:(string * Qcx_device.Crosstalk.t) list -> Qcx_device.Crosstalk.t -> (entry, string) result
+(** Recovery path: install current data {e and} the rollback ring in
+    one step (used when rebuilding the registry from a calibration
+    directory after a restart).  Does not push onto the ring. *)
 
 val find : t -> string -> entry option
 

@@ -52,6 +52,8 @@ type t = {
   mutable cold_attempts : int;
   mutable compile_seconds : float;
   mutable compile_fault : (nth:int -> compile_fault option) option;
+  mutable calibrator : Calibrator.t option;
+  mutable day : int;  (** logical calibration day, advanced by calibrate ops *)
 }
 
 type outcome = {
@@ -91,12 +93,30 @@ let create ?(config = default_config) ?(clock = Unix.gettimeofday) registry =
     cold_attempts = 0;
     compile_seconds = 0.0;
     compile_fault = None;
+    calibrator = None;
+    day = 0;
   }
 
 let registry t = t.registry
 let cache t = t.cache
 let config t = t.config
 let set_compile_fault t fault = t.compile_fault <- fault
+let set_calibrator t c = t.calibrator <- c
+let calibrator t = t.calibrator
+let day t = t.day
+
+(* Entries keyed on a retired epoch can never hit again (the epoch is
+   hashed into the key), but they still squat LRU slots until capacity
+   pressure ages them out.  Drop them eagerly whenever any device's
+   epoch changes.  Entries with an unknown ("") epoch — persisted
+   before epochs were recorded — are left to the LRU. *)
+let purge_stale t =
+  let live = List.filter_map (fun id ->
+      Option.map (fun e -> e.Registry.epoch) (Registry.find t.registry id))
+      (Registry.ids t.registry)
+  in
+  Cache.purge t.cache ~drop:(fun _ entry ->
+      entry.Cache.epoch <> "" && not (List.mem entry.Cache.epoch live))
 let set_draining t flag = t.draining <- flag
 let draining t = t.draining
 let note_panic t = t.panics <- t.panics + 1
@@ -296,7 +316,7 @@ let compile t ~device ?(params = Wire.default_params) circuit =
         }
     | None ->
       let schedule, stats = cold_compile ?deadline:(effective_deadline t params) entry params canon in
-      cache_insert t key { Cache.schedule; stats };
+      cache_insert t key { Cache.schedule; stats; epoch };
       tally_cold t stats;
       Ok { device; epoch; key; cached = false; schedule; stats })
 
@@ -350,6 +370,7 @@ let stats_json t =
             ("misses", Json.Number (float_of_int c.Cache.misses));
             ("evictions", Json.Number (float_of_int c.Cache.evictions));
             ("insertions", Json.Number (float_of_int c.Cache.insertions));
+            ("purged", Json.Number (float_of_int c.Cache.purged));
             ("size", Json.Number (float_of_int c.Cache.size));
             ("capacity", Json.Number (float_of_int c.Cache.capacity));
           ] );
@@ -377,6 +398,36 @@ let stats_json t =
       ("journal", journal_json t);
     ]
 
+(* Per-device calibration state for the health and epoch_status ops:
+   the epoch being served, how stale it is (days since promotion on
+   the service's logical clock), the rollback ring, and any refresh
+   warning that previously went only to stderr. *)
+let device_status_json t id =
+  Option.map
+    (fun (e : Registry.entry) ->
+      Json.Object
+        [
+          ("id", Json.String id);
+          ("epoch", Json.String e.Registry.epoch);
+          ("ring", Json.Array (List.map (fun (ep, _) -> Json.String ep) e.Registry.ring));
+          ( "promoted_day",
+            match e.Registry.promoted_day with
+            | None -> Json.Null
+            | Some d -> Json.Number (float_of_int d) );
+          ( "staleness_days",
+            match e.Registry.promoted_day with
+            | None -> Json.Null
+            | Some d -> Json.Number (float_of_int (max 0 (t.day - d))) );
+          ( "warning",
+            match e.Registry.last_warning with None -> Json.Null | Some w -> Json.String w );
+          ("quarantined", Json.Number (float_of_int (List.length e.Registry.quarantined)));
+          ("bumps", Json.Number (float_of_int e.Registry.bumps));
+        ])
+    (Registry.find t.registry id)
+
+let devices_status_json t ids =
+  Json.Array (List.filter_map (fun id -> device_status_json t id) ids)
+
 let health_json t =
   let c = Cache.counters t.cache in
   Json.Object
@@ -384,7 +435,10 @@ let health_json t =
       ("ready", Json.Bool (not t.draining));
       ("draining", Json.Bool t.draining);
       ("cache_size", Json.Number (float_of_int c.Cache.size));
+      ("cache_purged", Json.Number (float_of_int c.Cache.purged));
       ("panics", Json.Number (float_of_int t.panics));
+      ("day", Json.Number (float_of_int t.day));
+      ("devices", devices_status_json t (Registry.ids t.registry));
       ("breakers", breakers_json t);
       ("journal", journal_json t);
     ]
@@ -406,14 +460,102 @@ let handle_other t req =
       Wire.error_response ~id:(Some id) e
     | Ok (entry, warning) ->
       t.ok <- t.ok + 1;
+      let bumped = before <> Some entry.Registry.epoch in
+      let purged = if bumped then purge_stale t else 0 in
       Json.Object
         (ok_fields id
         @ [
             ("device", Json.String device);
             ("epoch", Json.String entry.Registry.epoch);
-            ("bumped", Json.Bool (before <> Some entry.Registry.epoch));
+            ("bumped", Json.Bool bumped);
+            ("purged", Json.Number (float_of_int purged));
           ]
         @ match warning with None -> [] | Some w -> [ ("warning", Json.String w) ]))
+  | Wire.Calibrate { id; device; day; force; full; poison } -> (
+    match t.calibrator with
+    | None ->
+      t.errors <- t.errors + 1;
+      Wire.typed_error ~id:(Some id) ~status:"calibration_disabled"
+        "calibration data plane not enabled on this server"
+    | Some cal -> (
+      let eff_day =
+        match day with
+        | Some d ->
+          t.day <- max t.day d;
+          d
+        | None -> t.day
+      in
+      (* A poisoned cycle must actually reach the gate, so it implies
+         [force]. *)
+      let force = force || poison in
+      let extra_faults = if poison then [ Calibrator.Truncate_merge 0.85 ] else [] in
+      match Calibrator.calibrate ~force ~full ~extra_faults cal ~id:device ~day:eff_day with
+      | Error e ->
+        t.errors <- t.errors + 1;
+        Wire.error_response ~id:(Some id) e
+      | Ok action ->
+        t.ok <- t.ok + 1;
+        let purged =
+          match action with
+          | Calibrator.Promoted _ | Calibrator.Rolled_back _ -> purge_stale t
+          | _ -> 0
+        in
+        let epoch =
+          match Registry.find t.registry device with
+          | Some e -> e.Registry.epoch
+          | None -> ""
+        in
+        Json.Object
+          (ok_fields id
+          @ [
+              ("device", Json.String device);
+              ("day", Json.Number (float_of_int eff_day));
+              ("epoch", Json.String epoch);
+              ( "promoted",
+                Json.Bool (match action with Calibrator.Promoted _ -> true | _ -> false) );
+              ("purged", Json.Number (float_of_int purged));
+              ("result", Calibrator.action_to_json action);
+            ])))
+  | Wire.Epoch_status { id; device } -> (
+    let unknown =
+      match device with
+      | Some d when Registry.find t.registry d = None -> Some d
+      | _ -> None
+    in
+    match unknown with
+    | Some d ->
+      t.errors <- t.errors + 1;
+      Wire.error_response ~id:(Some id) ("unknown device " ^ d)
+    | None ->
+      t.ok <- t.ok + 1;
+      let ids = match device with Some d -> [ d ] | None -> Registry.ids t.registry in
+      Json.Object
+        (ok_fields id
+        @ [
+            ("day", Json.Number (float_of_int t.day));
+            ("devices", devices_status_json t ids);
+          ]))
+  | Wire.Rollback { id; device } -> (
+    let result =
+      match t.calibrator with
+      | Some cal -> Calibrator.rollback cal ~id:device ~day:t.day
+      | None -> Registry.rollback ~day:t.day t.registry ~id:device
+    in
+    match result with
+    | Error e ->
+      t.errors <- t.errors + 1;
+      Wire.typed_error ~id:(Some id) ~status:"rollback_failed" e
+    | Ok entry ->
+      t.ok <- t.ok + 1;
+      let purged = purge_stale t in
+      Json.Object
+        (ok_fields id
+        @ [
+            ("device", Json.String device);
+            ("epoch", Json.String entry.Registry.epoch);
+            ("ring_depth", Json.Number (float_of_int (List.length entry.Registry.ring)));
+            ("purged", Json.Number (float_of_int purged));
+          ]))
   | Wire.Ping { id } ->
     t.ok <- t.ok + 1;
     Json.Object (ok_fields id @ [ ("pong", Json.Bool true) ])
@@ -517,7 +659,7 @@ let handle_batch t requests =
   let outcomes =
     Array.mapi
       (fun slot (result, elapsed) ->
-        let device, _, params, _, key = Hashtbl.find work slot in
+        let device, rentry, params, _, key = Hashtbl.find work slot in
         let breaker = breaker_for t device in
         let now = t.clock () in
         match result with
@@ -536,7 +678,8 @@ let handle_batch t requests =
           else Breaker.record_success breaker ~now;
           (* The schedule is valid even when late: cache it so a retry
              of the same request is a hit. *)
-          cache_insert t key { Cache.schedule; stats };
+          let centry = { Cache.schedule; stats; epoch = rentry.Registry.epoch } in
+          cache_insert t key centry;
           tally_cold t stats;
           if overrun then
             Overrun
@@ -544,7 +687,7 @@ let handle_batch t requests =
                 deadline = Option.value (effective_deadline t params) ~default:0.0;
                 elapsed;
               }
-          else Served { Cache.schedule; stats })
+          else Served centry)
       compiled
   in
   List.map
@@ -553,7 +696,7 @@ let handle_batch t requests =
       | Other req -> handle_other t req
       | Miss { id; device; epoch; key; slot } -> (
         match outcomes.(slot) with
-        | Served { Cache.schedule; stats } ->
+        | Served { Cache.schedule; stats; epoch = _ } ->
           t.ok <- t.ok + 1;
           compile_response ~id { device; epoch; key; cached = false; schedule; stats }
         | Overrun { deadline; elapsed } ->

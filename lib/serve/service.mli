@@ -102,7 +102,10 @@ val stats_json : t -> Qcx_persist.Json.t
 
 val health_json : t -> Qcx_persist.Json.t
 (** The payload of the [health] op: readiness (drain flag), panic
-    count, breaker states, journal state. *)
+    count, breaker states, journal state, and a per-device section —
+    epoch, rollback-ring digests, staleness (days since the promoted
+    epoch on the service's logical clock), quarantine tally, and the
+    latest refresh/calibration warning (previously stderr-only). *)
 
 (* ---- operational state ---- *)
 
@@ -124,6 +127,28 @@ val panics : t -> int
 val set_compile_fault : t -> (nth:int -> compile_fault option) option -> unit
 (** Chaos hook: consulted once per cold-compile attempt with a
     monotone attempt index ([nth]), independent of [jobs]. *)
+
+(* ---- calibration data plane ---- *)
+
+val set_calibrator : t -> Calibrator.t option -> unit
+(** Attach the calibration data plane; the [calibrate] and [rollback]
+    wire ops answer [calibration_disabled] without one ([rollback]
+    still works registry-only). *)
+
+val calibrator : t -> Calibrator.t option
+
+val day : t -> int
+(** The service's logical calibration day — the high-water mark of the
+    [day] fields seen on [calibrate] requests.  Staleness in
+    {!health_json} is measured against it. *)
+
+val purge_stale : t -> int
+(** Drop every cache entry keyed under an epoch no registry entry is
+    currently serving (entries with an unknown epoch — restored from a
+    pre-epoch snapshot — are kept).  Runs automatically after an epoch
+    changes via the [bump], [calibrate], or [rollback] ops; returns
+    the number of entries dropped (also counted in the cache's
+    [purged] stat). *)
 
 (* ---- persistence: snapshot + write-ahead journal ---- *)
 

@@ -214,12 +214,23 @@ type request =
   | Stats of { id : string }
   | Devices of { id : string }
   | Bump of { id : string; device : string }
+  | Calibrate of {
+      id : string;
+      device : string;
+      day : int option;
+      force : bool;
+      full : bool;
+      poison : bool;
+    }
+  | Epoch_status of { id : string; device : string option }
+  | Rollback of { id : string; device : string }
   | Ping of { id : string }
   | Health of { id : string }
   | Shutdown of { id : string }
 
 let request_id = function
-  | Compile { id; _ } | Stats { id } | Devices { id } | Bump { id; _ } | Ping { id }
+  | Compile { id; _ } | Stats { id } | Devices { id } | Bump { id; _ }
+  | Calibrate { id; _ } | Epoch_status { id; _ } | Rollback { id; _ } | Ping { id }
   | Health { id } | Shutdown { id } ->
     id
 
@@ -279,6 +290,37 @@ let request_of_json doc =
   | "bump" ->
     let* device = Json.find_str "device" doc in
     Ok (Bump { id; device })
+  | "calibrate" ->
+    let* device = Json.find_str "device" doc in
+    let* day =
+      match Json.member "day" doc with
+      | None | Some Json.Null -> Ok None
+      | Some v ->
+        let* d = Json.to_int v in
+        if d >= 0 then Ok (Some d) else Error "day must be non-negative"
+    in
+    let flag key =
+      match Json.member key doc with
+      | Some (Json.Bool b) -> Ok b
+      | None | Some Json.Null -> Ok false
+      | Some _ -> Error (key ^ " must be a boolean")
+    in
+    let* force = flag "force" in
+    let* full = flag "full" in
+    let* poison = flag "poison" in
+    Ok (Calibrate { id; device; day; force; full; poison })
+  | "epoch_status" ->
+    let* device =
+      match Json.member "device" doc with
+      | None | Some Json.Null -> Ok None
+      | Some v ->
+        let* d = Json.to_str v in
+        Ok (Some d)
+    in
+    Ok (Epoch_status { id; device })
+  | "rollback" ->
+    let* device = Json.find_str "device" doc in
+    Ok (Rollback { id; device })
   | "ping" -> Ok (Ping { id })
   | "health" -> Ok (Health { id })
   | "shutdown" -> Ok (Shutdown { id })
@@ -306,6 +348,22 @@ let request_to_json req =
   | Stats { id } -> Json.Object (base "stats" id)
   | Devices { id } -> Json.Object (base "devices" id)
   | Bump { id; device } -> Json.Object (base "bump" id @ [ ("device", Json.String device) ])
+  | Calibrate { id; device; day; force; full; poison } ->
+    Json.Object
+      (base "calibrate" id
+      @ [
+          ("device", Json.String device);
+          ("day", match day with None -> Json.Null | Some d -> Json.Number (float_of_int d));
+          ("force", Json.Bool force);
+          ("full", Json.Bool full);
+          ("poison", Json.Bool poison);
+        ])
+  | Epoch_status { id; device } ->
+    Json.Object
+      (base "epoch_status" id
+      @ [ ("device", match device with None -> Json.Null | Some d -> Json.String d) ])
+  | Rollback { id; device } ->
+    Json.Object (base "rollback" id @ [ ("device", Json.String device) ])
   | Ping { id } -> Json.Object (base "ping" id)
   | Health { id } -> Json.Object (base "health" id)
   | Shutdown { id } -> Json.Object (base "shutdown" id)

@@ -57,6 +57,22 @@ type request =
   | Devices of { id : string }  (** registry listing with epochs *)
   | Bump of { id : string; device : string }
       (** re-load the device's crosstalk snapshots and bump its epoch *)
+  | Calibrate of {
+      id : string;
+      device : string;
+      day : int option;  (** logical campaign day; [None] = service clock *)
+      force : bool;  (** run the cycle even when no drift is detected *)
+      full : bool;  (** full re-characterization instead of Opt-3 incremental *)
+      poison : bool;
+          (** chaos tooling: inject a deterministic truncated merge so
+              the canary gate must reject the candidate (the ci.sh
+              poisoned-epoch drill) *)
+    }  (** run one calibration cycle through {!Calibrator.calibrate} *)
+  | Epoch_status of { id : string; device : string option }
+      (** per-device epoch, rollback ring, staleness and warnings
+          ([device = None] reports the whole fleet) *)
+  | Rollback of { id : string; device : string }
+      (** restore the newest retired epoch from the rollback ring *)
   | Ping of { id : string }
   | Health of { id : string }
       (** readiness, breaker and journal state (DESIGN.md §9) *)

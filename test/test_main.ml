@@ -19,5 +19,6 @@ let () =
     @ Test_faults.suite
     @ Test_serve.suite
     @ Test_chaos.suite
+    @ Test_calibration.suite
     @ Test_integration.suite
     @ Test_smoke.suite)

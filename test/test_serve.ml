@@ -87,6 +87,7 @@ let dummy_entry device label =
         cpu_seconds = 0.0;
         rung = Core.Xtalk_sched.Parallel;
       };
+    epoch = "";
   }
 
 let cache_lru_eviction () =
