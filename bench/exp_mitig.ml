@@ -1,0 +1,252 @@
+(* Error-mitigation leaderboard benchmark: the three schedulers x
+   {none, DD, ZNE, DD+ZNE} (plus the readout-mitigated column) over
+   idle-heavy SWAP chains, Hidden Shift and QAOA workloads, scored by
+   parity error against the noise-free value.
+
+   Writes BENCH_mitig.json and exits nonzero unless
+   - DD strictly reduces the mean error on the idle-heavy workloads
+     under XtalkSched (the schedule-aware padding must pay for its
+     pulses exactly where serialization creates idle windows),
+   - the ZNE zero-noise estimates beat the unmitigated scale-1
+     aggregate,
+   - DD+ZNE is never worse than the better of DD and ZNE alone on the
+     leaderboard aggregate, and
+   - the full cell table is bit-identical at --jobs 1/2/4.
+
+   Crosstalk comes from the device's ground truth (as in the scale and
+   scheduler-core benches): the mitigation gates measure the executor
+   and the mitigation model, not characterization quality.  Every
+   workload is Clifford so the stabilizer backend carries the trial
+   counts; QAOA (Ry/Rz) would force the statevector executor, which is
+   orders of magnitude too slow for leaderboard trial counts. *)
+
+let device = Core.Presets.poughkeepsie ()
+let xtalk = Core.Device.ground_truth device
+
+let schedulers () =
+  [
+    {
+      Core.Leaderboard.s_name = "SerialSched";
+      s_compile = (fun c -> Core.Serial_sched.schedule device c);
+    };
+    {
+      Core.Leaderboard.s_name = "ParSched";
+      s_compile = (fun c -> Core.Par_sched.schedule device c);
+    };
+    {
+      Core.Leaderboard.s_name = "XtalkSched";
+      s_compile =
+        (fun c ->
+          (* ZNE-folded circuits can triple past the SMT rungs'
+             practical size; enter the ladder at the greedy rung there.
+             Gate count is a property of the circuit, so the policy is
+             deterministic (a wall-clock deadline would not be). *)
+          let ladder_start =
+            if Core.Circuit.length c > 60 then Some Core.Xtalk_sched.Greedy else None
+          in
+          fst
+            (Core.Xtalk_sched.schedule ?ladder_start ~omega:0.5 ~jobs:1 ~device
+               ~xtalk c));
+    };
+  ]
+
+(* Bell pair over a SWAP chain, measured in the X basis: <XX> = +1
+   ideally — the fig3/fig5 workload family turned into a parity
+   observable. *)
+let swap_bell_x ~src ~dst =
+  let b = Core.Swap_circuits.build device ~src ~dst in
+  let a, q = b.Core.Swap_circuits.bell in
+  let c = b.Core.Swap_circuits.circuit in
+  let c = Core.Circuit.h (Core.Circuit.h c a) q in
+  Core.Circuit.measure (Core.Circuit.measure c a) q
+
+(* Ramsey probe of the fig6 serialization/decoherence tradeoff: a Bell
+   pair on (0,1) parked while a strictly-sequential CNOT chain bounces
+   along the rest of the ladder, then measured in the X basis.  The
+   barriers carry DAG order without touching the state, so the
+   scheduler cannot ALAP the Bell creation next to its readout: the
+   measured qubits idle for the chain's whole critical path, which is
+   exactly the window schedule-aware DD exists for. *)
+let ramsey_chain ~hops =
+  let base = [ 5; 10; 15; 16; 17; 18; 19; 14; 13; 12; 7; 8; 9; 4; 3; 2 ] in
+  let path = base @ List.tl (List.rev base) @ List.tl base in
+  let rec chain c = function
+    | a :: (b :: _ as rest) -> chain (Core.Circuit.cnot c ~control:a ~target:b) rest
+    | _ -> c
+  in
+  let rec take k = function x :: rest when k > 0 -> x :: take (k - 1) rest | _ -> [] in
+  let c = Core.Circuit.create (Core.Device.nqubits device) in
+  let c = Core.Circuit.h c 0 in
+  let c = Core.Circuit.cnot c ~control:0 ~target:1 in
+  let used = take (hops + 1) path in
+  let c = Core.Circuit.barrier c [ 0; 1; List.hd used ] in
+  let c = chain c used in
+  let c = Core.Circuit.barrier c [ 0; 1; List.nth used (List.length used - 1) ] in
+  let c = Core.Circuit.h (Core.Circuit.h c 0) 1 in
+  Core.Circuit.measure (Core.Circuit.measure c 0) 1
+
+let workloads ~smoke =
+  let region =
+    match Core.Presets.qaoa_regions device with
+    | r :: _ -> r
+    | [] -> failwith "no benchmark region on the bench device"
+  in
+  let hs redundancy =
+    (Core.Hidden_shift.build device ~region ~shift:[ true; false; true; true ] ~redundancy)
+      .Core.Hidden_shift.circuit
+  in
+  let w name circuit idle_heavy =
+    { Core.Leaderboard.w_name = name; w_circuit = circuit; w_idle_heavy = idle_heavy }
+  in
+  if smoke then
+    [ w "fig6-ramsey-40" (ramsey_chain ~hops:40) true; w "fig9-hs-r1" (hs 1) false ]
+  else
+    [
+      w "fig6-ramsey-16" (ramsey_chain ~hops:16) true;
+      w "fig6-ramsey-40" (ramsey_chain ~hops:40) true;
+      w "fig5-swap-0-9" (swap_bell_x ~src:0 ~dst:9) false;
+      w "fig9-hs-r0" (hs 0) false;
+      w "fig9-hs-r2" (hs 2) false;
+    ]
+
+let mitigation_names = List.map Core.Leaderboard.mitigation_name Core.Leaderboard.all_mitigations
+
+(* Every float rendered with %h so the digest (and the jobs gate) sees
+   exact bits, not rounded text. *)
+let cell_line (c : Core.Leaderboard.cell) =
+  Printf.sprintf "%s|%s|%s|%h|%h|%h|%h|%h|%h|%h|%h|%d"
+    c.Core.Leaderboard.c_workload c.Core.Leaderboard.c_scheduler
+    (Core.Leaderboard.mitigation_name c.Core.Leaderboard.c_mitigation)
+    c.Core.Leaderboard.c_ideal c.Core.Leaderboard.c_expectation c.Core.Leaderboard.c_error
+    c.Core.Leaderboard.c_readout_expectation c.Core.Leaderboard.c_readout_error
+    c.Core.Leaderboard.c_residual c.Core.Leaderboard.c_makespan
+    c.Core.Leaderboard.c_idle_total c.Core.Leaderboard.c_dd_pulses
+
+let digest cells = Digest.to_hex (Digest.string (String.concat "\n" (List.map cell_line cells)))
+
+let cell_json (c : Core.Leaderboard.cell) =
+  Core.Json.Object
+    [
+      ("workload", Core.Json.String c.Core.Leaderboard.c_workload);
+      ("idle_heavy", Core.Json.Bool c.Core.Leaderboard.c_idle_heavy);
+      ("scheduler", Core.Json.String c.Core.Leaderboard.c_scheduler);
+      ( "mitigation",
+        Core.Json.String (Core.Leaderboard.mitigation_name c.Core.Leaderboard.c_mitigation) );
+      ("ideal", Core.Json.Number c.Core.Leaderboard.c_ideal);
+      ("expectation", Core.Json.Number c.Core.Leaderboard.c_expectation);
+      ("error", Core.Json.Number c.Core.Leaderboard.c_error);
+      ("readout_expectation", Core.Json.Number c.Core.Leaderboard.c_readout_expectation);
+      ("readout_error", Core.Json.Number c.Core.Leaderboard.c_readout_error);
+      ("residual", Core.Json.Number c.Core.Leaderboard.c_residual);
+      ("makespan", Core.Json.Number c.Core.Leaderboard.c_makespan);
+      ("idle_total", Core.Json.Number c.Core.Leaderboard.c_idle_total);
+      ("dd_pulses", Core.Json.Number (float_of_int c.Core.Leaderboard.c_dd_pulses));
+    ]
+
+let run ~smoke ~jobs ~seed ~trials ~out =
+  let trials = if trials > 0 then trials else if smoke then 1024 else 4096 in
+  let jobs_list = List.sort_uniq compare (if smoke then [ 1; jobs ] else [ 1; 2; jobs ]) in
+  let workloads = workloads ~smoke in
+  let schedulers = schedulers () in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  Printf.printf "error-mitigation leaderboard (%s, %d trials, seed %d, jobs %s)\n%!"
+    (if smoke then "smoke" else "full")
+    trials seed
+    (String.concat "/" (List.map string_of_int jobs_list));
+  let table j =
+    Core.Leaderboard.run ~jobs:j ~trials ~backend:Core.Exec.Stabilizer ~device
+      ~schedulers ~workloads ~rng:(Core.Rng.create seed) ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let cells = table (List.hd jobs_list) in
+  Printf.printf "  %d cells in %.1f s\n%!" (List.length cells) (Unix.gettimeofday () -. t0);
+  (* ---- gate: bit-identical at every --jobs ---- *)
+  let d0 = digest cells in
+  let jobs_identical =
+    List.for_all
+      (fun j ->
+        j = List.hd jobs_list
+        ||
+        let dj = digest (table j) in
+        if dj <> d0 then fail "cell table differs between --jobs %d and --jobs %d" (List.hd jobs_list) j;
+        dj = d0)
+      jobs_list
+  in
+  (* ---- per-row report ---- *)
+  Printf.printf "  %-16s %-12s %-8s %8s %8s %8s %6s\n" "workload" "scheduler" "mitig"
+    "ideal" "error" "ro-err" "pulses";
+  List.iter
+    (fun (c : Core.Leaderboard.cell) ->
+      Printf.printf "  %-16s %-12s %-8s %+8.4f %8.4f %8.4f %6d\n"
+        c.Core.Leaderboard.c_workload c.Core.Leaderboard.c_scheduler
+        (Core.Leaderboard.mitigation_name c.Core.Leaderboard.c_mitigation)
+        c.Core.Leaderboard.c_ideal c.Core.Leaderboard.c_error
+        c.Core.Leaderboard.c_readout_error c.Core.Leaderboard.c_dd_pulses)
+    cells;
+  (* ---- gate: DD beats no-DD on idle-heavy workloads under XtalkSched ---- *)
+  let dd_idle =
+    Core.Leaderboard.mean_error ~idle_heavy_only:true ~scheduler:"XtalkSched"
+      Core.Leaderboard.Dd_only cells
+  in
+  let none_idle =
+    Core.Leaderboard.mean_error ~idle_heavy_only:true ~scheduler:"XtalkSched"
+      Core.Leaderboard.Unmitigated cells
+  in
+  if not (dd_idle < none_idle) then
+    fail "DD does not reduce idle-heavy XtalkSched error: %.5f vs %.5f" dd_idle none_idle;
+  (* ---- gate: ZNE beats unmitigated scale-1 on aggregate ---- *)
+  let agg = Core.Leaderboard.aggregate cells in
+  let agg_of m = List.assoc m agg in
+  if not (agg_of Core.Leaderboard.Zne_only < agg_of Core.Leaderboard.Unmitigated) then
+    fail "ZNE aggregate %.5f not better than unmitigated %.5f"
+      (agg_of Core.Leaderboard.Zne_only)
+      (agg_of Core.Leaderboard.Unmitigated);
+  (* ---- gate: DD+ZNE never worse than the better single strategy ---- *)
+  let best_single = Float.min (agg_of Core.Leaderboard.Dd_only) (agg_of Core.Leaderboard.Zne_only) in
+  if agg_of Core.Leaderboard.Dd_zne > best_single +. 1e-9 then
+    fail "DD+ZNE aggregate %.5f worse than best single strategy %.5f"
+      (agg_of Core.Leaderboard.Dd_zne) best_single;
+  List.iter
+    (fun (m, e) ->
+      Printf.printf "AGGREGATE %-8s mean error %.5f\n%!" (Core.Leaderboard.mitigation_name m) e)
+    agg;
+  Printf.printf "idle-heavy XtalkSched: none %.5f -> dd %.5f\n%!" none_idle dd_idle;
+  let doc =
+    Core.Json.Object
+      [
+        ("bench", Core.Json.String "error mitigation leaderboard: dd / zne / dd+zne");
+        ("device", Core.Json.String (Core.Device.name device));
+        ("smoke", Core.Json.Bool smoke);
+        ("seed", Core.Json.Number (float_of_int seed));
+        ("trials", Core.Json.Number (float_of_int trials));
+        ("scales", Core.Json.Array (List.map (fun s -> Core.Json.Number (float_of_int s)) [ 1; 3; 5 ]));
+        ( "jobs_checked",
+          Core.Json.Array (List.map (fun j -> Core.Json.Number (float_of_int j)) jobs_list) );
+        ("jobs_identical", Core.Json.Bool jobs_identical);
+        ("digest", Core.Json.String d0);
+        ("cells", Core.Json.Array (List.map cell_json cells));
+        ( "aggregate",
+          Core.Json.Object
+            (List.map2
+               (fun name (_, e) -> (name, Core.Json.Number e))
+               mitigation_names agg) );
+        ( "idle_heavy_xtalk",
+          Core.Json.Object
+            [
+              ("none", Core.Json.Number none_idle);
+              ("dd", Core.Json.Number dd_idle);
+            ] );
+        ( "failures",
+          Core.Json.Array (List.rev_map (fun m -> Core.Json.String m) !failures) );
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Core.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  if !failures <> [] then begin
+    List.iter (fun m -> Printf.eprintf "FAIL: %s\n" m) (List.rev !failures);
+    exit 1
+  end

@@ -41,6 +41,15 @@
        (out-of-process poisoned-epoch drill for ci.sh: inject a
         truncated merge through the calibrate op and assert the gate
         rejects it with epoch and cache intact)
+     dune exec bench/main.exe -- --mitig-bench --jobs 4 --seed 7
+       (error-mitigation leaderboard: schedulers x {none, dd, zne,
+        dd+zne} with a readout-mitigated column, over idle-heavy SWAP
+        chains, Hidden Shift and QAOA parity workloads; writes
+        BENCH_mitig.json, exits 1 unless DD strictly beats no-DD on
+        the idle-heavy XtalkSched slice, ZNE beats the unmitigated
+        aggregate, DD+ZNE is never worse than the better single
+        strategy, and the cell table is bit-identical at --jobs 1/2/4;
+        --smoke shrinks workloads and trials, --trials N overrides)
      dune exec bench/main.exe -- --bench-scale --jobs 4
        (windowed scheduler on the generated 127-qubit heavy-hex
         device, 1000+-gate supremacy circuit; writes BENCH_scale.json,
@@ -69,6 +78,7 @@ let () =
     || List.mem "--chaos-bench" args || List.mem "--chaos-client" args
     || List.mem "--bench-sched" args || List.mem "--bench-scale" args
     || List.mem "--drift-bench" args || List.mem "--drift-drill" args
+    || List.mem "--mitig-bench" args
   then begin
     let int_flag name default =
       let rec find = function
@@ -91,7 +101,14 @@ let () =
       in
       find args
     in
-    if List.mem "--drift-bench" args then
+    if List.mem "--mitig-bench" args then
+      Exp_mitig.run
+        ~smoke:(List.mem "--smoke" args)
+        ~jobs:(int_flag "--jobs" 4)
+        ~seed:(int_flag "--seed" 7)
+        ~trials:(int_flag "--trials" 0)
+        ~out:(str_flag "--out" "BENCH_mitig.json")
+    else if List.mem "--drift-bench" args then
       Exp_drift.run
         ~days:(int_flag "--days" 20)
         ~seed:(int_flag "--seed" 7)

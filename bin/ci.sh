@@ -11,7 +11,10 @@
 # legacy engine or any schedule differs between --jobs 1 and 4, and
 # a scale smoke benchmark (windowed scheduler on the generated
 # 127-qubit heavy-hex model, jobs-deterministic, quality-gated
-# against the exact solver on small control slices).
+# against the exact solver on small control slices), and an
+# error-mitigation smoke benchmark (DD must beat no-DD on the
+# idle-heavy XtalkSched slice, ZNE must beat the unmitigated
+# aggregate, the cell table must be jobs-identical).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,6 +26,7 @@ dune build @chaos
 dune build @drift
 dune build @sched
 dune build @scale
+dune build @mitig
 
 SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/qcx-ci.XXXXXX")"
 DAEMON=""
@@ -115,5 +119,9 @@ dune exec bench/main.exe -- --bench-sched --smoke --jobs 4 \
 echo "ci: scale smoke (windowed scheduler on heavy-hex-127)"
 dune exec bench/main.exe -- --bench-scale --smoke --jobs 4 \
   --out "$SCRATCH/BENCH_scale.json"
+
+echo "ci: mitigation smoke (dd/zne leaderboard gates, --jobs 1 vs 2 determinism)"
+dune exec bench/main.exe -- --mitig-bench --smoke --jobs 2 \
+  --out "$SCRATCH/BENCH_mitig.json"
 
 echo "ci: OK"

@@ -54,6 +54,15 @@ let window_term =
   in
   Arg.(value & opt (some int) None & info [ "window" ] ~docv:"GATES" ~doc)
 
+let dd_term =
+  let doc =
+    "Pad the schedule's idle windows with a dynamical-decoupling pulse train after \
+     scheduling: xy4 | x2 | cpmg.  Original gate start times are untouched; with \
+     --cache-dir the padding runs inside the serving layer and becomes part of the \
+     cache key."
+  in
+  Arg.(value & opt (some string) None & info [ "dd" ] ~docv:"SEQ" ~doc)
+
 let cache_dir_term =
   let doc =
     "Persist the content-addressed schedule cache in DIR (xtalk scheduler only): \
@@ -66,7 +75,8 @@ let cache_dir_term =
 (* Compile through the serving layer's persisted cache: warm-start
    from DIR/schedule-cache.json, serve or solve, persist back, and
    report the cache/registry counters. *)
-let compile_cached ~dir device ~xtalk ~omega ~deadline ~ladder_start ~window circuit =
+let compile_cached ~dir device ~xtalk ~omega ~deadline ~ladder_start ~window ~mitigation
+    circuit =
   let registry = Core.Registry.create () in
   let id = Core.Device.name device in
   ignore (Core.Registry.add_static registry ~id ~device ~xtalk);
@@ -79,7 +89,9 @@ let compile_cached ~dir device ~xtalk ~omega ~deadline ~ladder_start ~window cir
     | Error e -> Printf.printf "cache: ignoring damaged %s: %s\n" cache_path e
   end;
   let params =
-    let base = { Core.Wire.default_params with Core.Wire.omega; deadline; window } in
+    let base =
+      { Core.Wire.default_params with Core.Wire.omega; deadline; window; mitigation }
+    in
     match ladder_start with
     | None -> base
     | Some rung -> { base with Core.Wire.ladder_start = rung }
@@ -102,7 +114,7 @@ let compile_cached ~dir device ~xtalk ~omega ~deadline ~ladder_start ~window cir
     (o.Core.Service.schedule, Some o.Core.Service.stats)
 
 let run device seed jobs src dst scheduler omega oracle xtalk_file deadline ladder window
-    cache_dir emit_qasm =
+    dd cache_dir emit_qasm =
   let ladder_start =
     match ladder with
     | None -> None
@@ -111,6 +123,16 @@ let run device seed jobs src dst scheduler omega oracle xtalk_file deadline ladd
       | Ok rung -> Some rung
       | Error e ->
         Printf.eprintf "--ladder: %s\n" e;
+        exit 2)
+  in
+  let dd_sequence =
+    match dd with
+    | None -> None
+    | Some name -> (
+      match Core.Dd.sequence_of_name name with
+      | Ok seq -> Some seq
+      | Error e ->
+        Printf.eprintf "--dd: %s\n" e;
         exit 2)
   in
   let rng = Core.Rng.create seed in
@@ -145,12 +167,23 @@ let run device seed jobs src dst scheduler omega oracle xtalk_file deadline ladd
   let sched, stats =
     match (cache_dir, sched_kind) with
     | Some dir, Core.Xtalk_sched omega ->
-      compile_cached ~dir device ~xtalk ~omega ~deadline ~ladder_start ~window circuit
+      compile_cached ~dir device ~xtalk ~omega ~deadline ~ladder_start ~window
+        ~mitigation:dd_sequence circuit
     | _ ->
-      if cache_dir <> None then
-        Printf.printf "cache: only the xtalk scheduler is cached; compiling directly\n";
-      Core.Pipeline.compile ~scheduler:sched_kind ?deadline_seconds:deadline ?ladder_start
-        ?window_gates:window ~jobs device ~xtalk circuit
+      let sched, stats =
+        if cache_dir <> None then
+          Printf.printf "cache: only the xtalk scheduler is cached; compiling directly\n";
+        Core.Pipeline.compile ~scheduler:sched_kind ?deadline_seconds:deadline ?ladder_start
+          ?window_gates:window ~jobs device ~xtalk circuit
+      in
+      (match dd_sequence with
+      | None -> (sched, stats)
+      | Some sequence ->
+        let padded, _protection, d = Core.Dd.pad ~sequence ~device sched in
+        Printf.printf "dd: %s padded %d/%d idle windows with %d pulses (%.0f of %.0f ns idle)\n"
+          (Core.Dd.sequence_name sequence) d.Core.Dd.windows_padded d.Core.Dd.windows_total
+          d.Core.Dd.pulses d.Core.Dd.idle_protected d.Core.Dd.idle_total;
+        (padded, stats))
   in
   Printf.printf "device: %s\n" (Core.Device.name device);
   Printf.printf "workload: SWAP path %d -> %d (%d gates, %d CNOTs)\n" src dst
@@ -166,8 +199,13 @@ let run device seed jobs src dst scheduler omega oracle xtalk_file deadline ladd
       (if s.Core.Xtalk_sched.windows > 0 then
          Printf.sprintf " (%d windows)" s.Core.Xtalk_sched.windows
        else "")
-      s.Core.Xtalk_sched.solve_seconds s.Core.Xtalk_sched.cpu_seconds
-  | None -> ());
+      s.Core.Xtalk_sched.solve_seconds s.Core.Xtalk_sched.cpu_seconds;
+    Printf.printf "idle: %.0f ns total across qubits (longest window %.0f ns)\n"
+      s.Core.Xtalk_sched.idle_total s.Core.Xtalk_sched.idle_max
+  | None ->
+    let idle_total, idle_max = Core.Idle.summarize sched in
+    Printf.printf "idle: %.0f ns total across qubits (longest window %.0f ns)\n" idle_total
+      idle_max);
   Printf.printf "program duration: %.0f ns\n" (Core.Evaluate.duration sched);
   let oracle_view = Core.Evaluate.oracle device sched in
   Printf.printf "oracle expected error: %.4f\n" oracle_view.Core.Evaluate.error;
@@ -187,6 +225,6 @@ let cmd =
     Term.(
       const run $ Common.device_term $ Common.seed_term $ Common.jobs_term $ src_term $ dst_term
       $ scheduler_term $ omega_term $ oracle_term $ xtalk_file_term $ deadline_term
-      $ ladder_term $ window_term $ cache_dir_term $ emit_qasm_term)
+      $ ladder_term $ window_term $ dd_term $ cache_dir_term $ emit_qasm_term)
 
 let () = exit (Cmd.eval cmd)

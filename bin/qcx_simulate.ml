@@ -19,8 +19,79 @@ let redundancy_term =
 let trials_term =
   Arg.(value & opt int 2048 & info [ "trials" ] ~docv:"N" ~doc:"Execution trials.")
 
-let run device seed jobs workload src dst redundancy trials =
+let dd_term =
+  let doc =
+    "Run the error-mitigation leaderboard with this dynamical-decoupling sequence \
+     (xy4 | x2 | cpmg; plain --dd means xy4) instead of the raw scheduler comparison."
+  in
+  Arg.(value & opt ~vopt:(Some "xy4") (some string) None & info [ "dd" ] ~docv:"SEQ" ~doc)
+
+let zne_term =
+  let doc =
+    "Run the error-mitigation leaderboard (includes zero-noise extrapolation rows) \
+     instead of the raw scheduler comparison."
+  in
+  Arg.(value & flag & info [ "zne" ] ~doc)
+
+(* The mitigation mini-leaderboard: one workload, the three schedulers,
+   all four strategies (none / dd / zne / dd+zne) plus the readout-
+   mitigated column.  The observable is the Z-parity of the measured
+   qubits. *)
+let mitig_leaderboard device ~xtalk ~rng ~jobs ~trials ~sequence ~name ~idle_heavy kinds
+    circuit =
+  let workloads =
+    [ { Core.Leaderboard.w_name = name; w_circuit = circuit; w_idle_heavy = idle_heavy } ]
+  in
+  let schedulers =
+    List.map
+      (fun kind ->
+        {
+          Core.Leaderboard.s_name = Core.scheduler_name kind;
+          s_compile =
+            (fun c ->
+              (* ZNE-folded circuits can triple past the SMT rungs'
+                 practical size; enter the ladder at the greedy rung
+                 there (deterministic, unlike a wall-clock deadline). *)
+              let ladder_start =
+                if Core.Circuit.length c > 60 then Some Core.Xtalk_sched.Greedy else None
+              in
+              fst
+                (Core.Pipeline.compile ~scheduler:kind ?ladder_start ~jobs:1 device
+                   ~xtalk c));
+        })
+      kinds
+  in
+  let cells =
+    (* Both CLI workloads are Clifford, so the stabilizer backend can
+       carry the trial counts. *)
+    Core.Leaderboard.run ~jobs ~sequence ~trials ~backend:Core.Exec.Stabilizer ~device
+      ~schedulers ~workloads ~rng ()
+  in
+  Printf.printf "  ideal parity %+.4f; dd sequence %s\n" (List.hd cells).Core.Leaderboard.c_ideal
+    (Core.Dd.sequence_name sequence);
+  Printf.printf "  %-18s %-8s %12s %8s %12s %8s\n" "scheduler" "mitig" "expectation" "error"
+    "ro-error" "pulses";
+  List.iter
+    (fun (c : Core.Leaderboard.cell) ->
+      Printf.printf "  %-18s %-8s %+12.4f %8.4f %12.4f %8d\n%!" c.Core.Leaderboard.c_scheduler
+        (Core.Leaderboard.mitigation_name c.Core.Leaderboard.c_mitigation)
+        c.Core.Leaderboard.c_expectation c.Core.Leaderboard.c_error
+        c.Core.Leaderboard.c_readout_error c.Core.Leaderboard.c_dd_pulses)
+    cells
+
+let run device seed jobs workload src dst redundancy trials dd zne =
   let rng = Core.Rng.create seed in
+  let mitigate = dd <> None || zne in
+  let sequence =
+    match dd with
+    | None -> Core.Dd.XY4
+    | Some name -> (
+      match Core.Dd.sequence_of_name name with
+      | Ok seq -> seq
+      | Error e ->
+        Printf.eprintf "--dd: %s\n" e;
+        exit 2)
+  in
   Printf.printf "device: %s\n%!" (Core.Device.name device);
   Printf.printf "characterizing (1-hop + bin-packing)...\n%!";
   let xtalk = Common.characterize device ~rng ~jobs ~params:Core.Rb.default_params in
@@ -31,6 +102,19 @@ let run device seed jobs workload src dst redundancy trials =
     Printf.printf "workload: SWAP path %d -> %d, Bell pair on (%d, %d)\n" src dst
       (fst bench.Core.Swap_circuits.bell)
       (snd bench.Core.Swap_circuits.bell);
+    if mitigate then begin
+      (* X-basis parity of the Bell pair: <XX> = +1 ideally, and the
+         trailing Hadamards make the observable sensitive to the
+         dephasing accumulated over the SWAP chain's idle windows. *)
+      let a, b = bench.Core.Swap_circuits.bell in
+      let c = bench.Core.Swap_circuits.circuit in
+      let c = Core.Circuit.h (Core.Circuit.h c a) b in
+      let c = Core.Circuit.measure (Core.Circuit.measure c a) b in
+      mitig_leaderboard device ~xtalk ~rng ~jobs ~trials ~sequence
+        ~name:(Printf.sprintf "swap-%d-%d" src dst)
+        ~idle_heavy:true schedulers c
+    end
+    else
     List.iter
       (fun kind ->
         let schedule c = fst (Core.Pipeline.compile ~scheduler:kind device ~xtalk c) in
@@ -55,6 +139,11 @@ let run device seed jobs workload src dst redundancy trials =
     Printf.printf "workload: hidden shift on [%s], redundancy %d\n"
       (String.concat ";" (List.map string_of_int region))
       redundancy;
+    if mitigate then
+      mitig_leaderboard device ~xtalk ~rng ~jobs ~trials ~sequence
+        ~name:(Printf.sprintf "hidden-shift-r%d" redundancy)
+        ~idle_heavy:(redundancy > 0) schedulers hs.Core.Hidden_shift.circuit
+    else
     List.iter
       (fun kind ->
         let sched, _ =
@@ -77,6 +166,6 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ Common.device_term $ Common.seed_term $ Common.jobs_term $ workload_term
-      $ src_term $ dst_term $ redundancy_term $ trials_term)
+      $ src_term $ dst_term $ redundancy_term $ trials_term $ dd_term $ zne_term)
 
 let () = exit (Cmd.eval cmd)

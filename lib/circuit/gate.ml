@@ -47,6 +47,27 @@ let kind_name = function
   | Barrier -> "barrier"
   | Measure -> "measure"
 
+let inverse_kind = function
+  | H -> H
+  | X -> X
+  | Y -> Y
+  | Z -> Z
+  | S -> Sdg
+  | Sdg -> S
+  | T -> Tdg
+  | Tdg -> T
+  | Rx theta -> Rx (-.theta)
+  | Ry theta -> Ry (-.theta)
+  | Rz theta -> Rz (-.theta)
+  (* u2(phi,lam)^dag = u2(pi - lam, pi - phi): transpose-conjugating
+     the u2 matrix swaps and negates the phases up to a global sign on
+     the off-diagonal, which this parameter choice absorbs. *)
+  | U2 (phi, lam) -> U2 (Float.pi -. lam, Float.pi -. phi)
+  | Cnot -> Cnot
+  | Swap -> Swap
+  | Barrier -> Barrier
+  | Measure -> invalid_arg "Gate.inverse_kind: measurement has no inverse"
+
 let equal_kind a b =
   match (a, b) with
   | Rx x, Rx y | Ry x, Ry y | Rz x, Rz y -> Float.equal x y

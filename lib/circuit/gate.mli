@@ -45,6 +45,15 @@ val is_unitary : t -> bool
 val kind_name : kind -> string
 (** Lower-case mnemonic ("h", "cx", "swap", ...). *)
 
+val inverse_kind : kind -> kind
+(** The kind whose unitary is the adjoint: self-inverse gates map to
+    themselves, [S]/[Sdg] and [T]/[Tdg] swap, rotations negate their
+    angle, and [U2 (phi, lam)] maps to [U2 (pi - lam, pi - phi)].
+    [Barrier] maps to itself (reversing a circuit keeps its ordering
+    hints).  Raises [Invalid_argument] on [Measure] — the basis of
+    {!Qcx_mitigation.Zne} gate folding, which strips measurements
+    first. *)
+
 val equal_kind : kind -> kind -> bool
 
 val pp : Format.formatter -> t -> unit

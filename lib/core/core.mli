@@ -65,6 +65,10 @@ module Xtalk_sched = Qcx_scheduler.Xtalk_sched
 module Greedy_sched = Qcx_scheduler.Greedy_sched
 module Barriers = Qcx_scheduler.Barriers
 module Evaluate = Qcx_scheduler.Evaluate
+module Idle = Qcx_scheduler.Idle
+module Dd = Qcx_mitigation.Dd
+module Zne = Qcx_mitigation.Zne
+module Leaderboard = Qcx_mitigation.Leaderboard
 module Swap_circuits = Qcx_benchmarks.Swap_circuits
 module Qaoa = Qcx_benchmarks.Qaoa
 module Hidden_shift = Qcx_benchmarks.Hidden_shift

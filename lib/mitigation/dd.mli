@@ -1,0 +1,68 @@
+(** Schedule-aware dynamical decoupling.
+
+    XtalkSched buys crosstalk avoidance by serializing gates, which
+    creates exactly the idle windows where decoherence bites.  This
+    module fills those windows with echo pulse trains {e after}
+    scheduling: it consumes a finished schedule, extracts the per-qubit
+    idle windows ({!Qcx_scheduler.Idle}), and weaves identity pulse
+    sequences into every window they fit — without perturbing any
+    scheduled start time, so the crosstalk properties the scheduler
+    optimized for are untouched (DD pulses are single-qubit gates; the
+    noise model's crosstalk is between simultaneous two-qubit gates).
+
+    Each sequence composes to the identity (XY4 to [-I], a global
+    phase), so the padded circuit is noiseless-equivalent to the
+    original.  Under noise the pulses cost ordinary single-qubit gate
+    error, and in exchange the twirled dephasing ([pz]) of the gaps
+    they protect is suppressed by the sequence's echo factor — the
+    benefit {!Qcx_noise.Exec} replays through its [protection] spans.
+    T1 relaxation ([px]/[py]) is not refocusable and is never scaled.
+
+    Windows are padded only when the modelled dephasing removed
+    exceeds the modelled pulse cost, so enabling DD on an idle-light
+    schedule degrades nothing. *)
+
+type sequence =
+  | XY4  (** X-Y-X-Y: universal decoupling, strongest suppression *)
+  | X2  (** X-X: plain Hahn-echo pair *)
+  | CPMG  (** Y-Y: Carr-Purcell-Meiboom-Gill pair *)
+
+val all_sequences : sequence list
+
+val sequence_name : sequence -> string
+(** "xy4" | "x2" | "cpmg". *)
+
+val sequence_of_name : string -> (sequence, string) result
+
+val pulses_of : sequence -> Qcx_circuit.Gate.kind list
+(** The pulse train, in time order. *)
+
+val z_suppression : sequence -> float
+(** Residual fraction of twirled dephasing on a protected gap:
+    0.05 for XY4, 0.10 for CPMG, 0.15 for X2. *)
+
+type stats = {
+  windows_total : int;  (** idle windows found in the schedule *)
+  windows_padded : int;  (** windows that received a pulse train *)
+  pulses : int;  (** pulses inserted *)
+  idle_total : float;  (** idle time in the input schedule, ns *)
+  idle_protected : float;  (** idle time covered by protection spans, ns *)
+}
+
+val pad :
+  ?sequence:sequence ->
+  device:Qcx_device.Device.t ->
+  Qcx_circuit.Schedule.t ->
+  Qcx_circuit.Schedule.t * Qcx_noise.Exec.protection list * stats
+(** [pad ~device sched] returns the pulse-padded schedule (a rebuilt
+    circuit in time order, new gate ids), the protection spans to hand
+    to {!Qcx_noise.Exec.run}, and coverage stats.  Default [sequence]
+    is [XY4].
+
+    Every original gate keeps its exact start time and duration;
+    pulses use the qubit's calibrated single-qubit gate duration and
+    are spread evenly through their window (CPMG-style tau/2 end
+    margins).  Windows that cannot hold the full train, that contain a
+    barrier on the qubit, or whose modelled benefit does not cover the
+    pulse cost are left alone.  The result always satisfies
+    [Schedule.validate]. *)

@@ -1,0 +1,190 @@
+module Circuit = Qcx_circuit.Circuit
+module Schedule = Qcx_circuit.Schedule
+module Device = Qcx_device.Device
+module Idle = Qcx_scheduler.Idle
+module Exec = Qcx_noise.Exec
+module Readout_mitigation = Qcx_metrics.Readout_mitigation
+module Rng = Qcx_util.Rng
+
+type mitigation = Unmitigated | Dd_only | Zne_only | Dd_zne
+
+let all_mitigations = [ Unmitigated; Dd_only; Zne_only; Dd_zne ]
+
+let mitigation_name = function
+  | Unmitigated -> "none"
+  | Dd_only -> "dd"
+  | Zne_only -> "zne"
+  | Dd_zne -> "dd+zne"
+
+type workload = {
+  w_name : string;
+  w_circuit : Circuit.t;
+  w_idle_heavy : bool;
+}
+
+type scheduler = {
+  s_name : string;
+  s_compile : Circuit.t -> Schedule.t;
+}
+
+type cell = {
+  c_workload : string;
+  c_idle_heavy : bool;
+  c_scheduler : string;
+  c_mitigation : mitigation;
+  c_ideal : float;
+  c_expectation : float;
+  c_error : float;
+  c_readout_expectation : float;
+  c_readout_error : float;
+  c_residual : float;
+  c_makespan : float;
+  c_idle_total : float;
+  c_dd_pulses : int;
+}
+
+(* One executed scale point: the raw and DD-padded runs share the fold
+   and the compile, so the four strategies differ only in which counts
+   they read and whether they extrapolate. *)
+type point = {
+  pt_raw : float;  (** parity, no DD *)
+  pt_dd : float;  (** parity, DD-padded + protected *)
+  pt_raw_ro : float;  (** readout-mitigated parity, no DD *)
+  pt_dd_ro : float;  (** readout-mitigated parity, DD *)
+}
+
+let readout_parity device ~measured counts =
+  if measured = [] then 0.0
+  else
+    Zne.parity
+      (Readout_mitigation.mitigate_for_device device ~measured
+         ~counts:(Exec.counts_bindings counts))
+
+let run ?(jobs = 1) ?(scales = [ 1; 3; 5 ]) ?(order = 1) ?(sequence = Dd.XY4)
+    ?(trials = 4096) ?(backend = Exec.Statevector) ~device ~schedulers
+    ~workloads ~rng () =
+  if not (List.mem 1 scales) then
+    invalid_arg "Leaderboard.run: scales must include 1";
+  let base = Rng.split rng in
+  let fscales = List.map float_of_int scales in
+  List.concat
+    (List.mapi
+       (fun wi w ->
+         let wrng = Rng.split_nth base wi in
+         let circuit = Circuit.decompose_swaps w.w_circuit in
+         let measured = Exec.measured_qubits circuit in
+         let ideal = Zne.ideal_parity circuit in
+         List.concat
+           (List.mapi
+              (fun si s ->
+                let srng = Rng.split_nth wrng si in
+                (* Scale-1 schedule metrics, captured as we pass by. *)
+                let makespan = ref 0.0
+                and idle1 = ref 0.0
+                and pulses1 = ref 0
+                and makespan_dd = ref 0.0
+                and idle1_dd = ref 0.0 in
+                let points =
+                  List.mapi
+                    (fun ci scale ->
+                      let crng = Rng.split_nth srng ci in
+                      let folded = Zne.fold circuit ~scale in
+                      let sched = s.s_compile folded in
+                      let padded, protection, dd_stats =
+                        Dd.pad ~sequence ~device sched
+                      in
+                      if scale = 1 then begin
+                        makespan := Schedule.makespan sched;
+                        idle1 := Idle.total sched;
+                        pulses1 := dd_stats.Dd.pulses;
+                        makespan_dd := Schedule.makespan padded;
+                        idle1_dd := Idle.total padded
+                      end;
+                      let raw_counts =
+                        Exec.run ~jobs device sched
+                          ~rng:(Rng.split_nth crng 0) ~trials ~backend
+                      in
+                      (* No pulses inserted means the padded schedule IS
+                         the raw schedule: reuse the counts rather than
+                         re-sampling, so DD differs from no-DD only where
+                         DD actually did something. *)
+                      let dd_counts =
+                        if protection = [] then raw_counts
+                        else
+                          Exec.run ~jobs ~protection device padded
+                            ~rng:(Rng.split_nth crng 1) ~trials ~backend
+                      in
+                      {
+                        pt_raw = Zne.parity_of_counts raw_counts;
+                        pt_dd = Zne.parity_of_counts dd_counts;
+                        pt_raw_ro = readout_parity device ~measured raw_counts;
+                        pt_dd_ro = readout_parity device ~measured dd_counts;
+                      })
+                    scales
+                in
+                let scale1 =
+                  let rec at1 ss ps =
+                    match (ss, ps) with
+                    | 1 :: _, p :: _ -> p
+                    | _ :: ss, _ :: ps -> at1 ss ps
+                    | _ -> assert false
+                  in
+                  at1 scales points
+                in
+                let zne_of select =
+                  Zne.extrapolate ~order ~scales:fscales
+                    (List.map select points)
+                in
+                let cell mitigation =
+                  let expectation, readout, residual =
+                    match mitigation with
+                    | Unmitigated ->
+                        (scale1.pt_raw, scale1.pt_raw_ro, 0.0)
+                    | Dd_only -> (scale1.pt_dd, scale1.pt_dd_ro, 0.0)
+                    | Zne_only ->
+                        let z, r = zne_of (fun p -> p.pt_raw) in
+                        let zr, _ = zne_of (fun p -> p.pt_raw_ro) in
+                        (z, zr, r)
+                    | Dd_zne ->
+                        let z, r = zne_of (fun p -> p.pt_dd) in
+                        let zr, _ = zne_of (fun p -> p.pt_dd_ro) in
+                        (z, zr, r)
+                  in
+                  let with_dd =
+                    mitigation = Dd_only || mitigation = Dd_zne
+                  in
+                  {
+                    c_workload = w.w_name;
+                    c_idle_heavy = w.w_idle_heavy;
+                    c_scheduler = s.s_name;
+                    c_mitigation = mitigation;
+                    c_ideal = ideal;
+                    c_expectation = expectation;
+                    c_error = Float.abs (expectation -. ideal);
+                    c_readout_expectation = readout;
+                    c_readout_error = Float.abs (readout -. ideal);
+                    c_residual = residual;
+                    c_makespan = (if with_dd then !makespan_dd else !makespan);
+                    c_idle_total = (if with_dd then !idle1_dd else !idle1);
+                    c_dd_pulses = (if with_dd then !pulses1 else 0);
+                  }
+                in
+                List.map cell all_mitigations)
+              schedulers))
+       workloads)
+
+let mean_error ?(idle_heavy_only = false) ?scheduler mitigation cells =
+  let slice =
+    List.filter
+      (fun c ->
+        c.c_mitigation = mitigation
+        && ((not idle_heavy_only) || c.c_idle_heavy)
+        && match scheduler with None -> true | Some s -> c.c_scheduler = s)
+      cells
+  in
+  if slice = [] then invalid_arg "Leaderboard.mean_error: empty slice";
+  List.fold_left (fun acc c -> acc +. c.c_error) 0.0 slice
+  /. float_of_int (List.length slice)
+
+let aggregate cells =
+  List.map (fun m -> (m, mean_error m cells)) all_mitigations

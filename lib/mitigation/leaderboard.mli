@@ -1,0 +1,82 @@
+(** Mitigation leaderboard: schedulers x mitigation strategies.
+
+    A qem-bench-style harness that runs every workload through every
+    scheduler under four mitigation strategies — none, DD, ZNE and
+    DD+ZNE — plus tensored readout-error mitigation as an extra column
+    on each, and scores each cell by the absolute error of its parity
+    expectation against the noise-free value.
+
+    Determinism: every Monte-Carlo stream is derived from the caller's
+    generator by [Rng.split_nth] chains keyed on (workload, scheduler,
+    scale, dd) indices, and execution uses the pool-parallel
+    {!Qcx_noise.Exec.run}, so the full cell table is bit-identical for
+    every [jobs] value. *)
+
+type mitigation = Unmitigated | Dd_only | Zne_only | Dd_zne
+
+val all_mitigations : mitigation list
+val mitigation_name : mitigation -> string
+(** "none" | "dd" | "zne" | "dd+zne". *)
+
+type workload = {
+  w_name : string;
+  w_circuit : Qcx_circuit.Circuit.t;  (** must include measurements *)
+  w_idle_heavy : bool;
+      (** marks workloads whose schedules leave long idle windows —
+          the regime DD targets; used by the bench gates *)
+}
+
+type scheduler = {
+  s_name : string;
+  s_compile : Qcx_circuit.Circuit.t -> Qcx_circuit.Schedule.t;
+      (** compile a SWAP-decomposed circuit; must be deterministic *)
+}
+
+type cell = {
+  c_workload : string;
+  c_idle_heavy : bool;
+  c_scheduler : string;
+  c_mitigation : mitigation;
+  c_ideal : float;  (** noise-free parity *)
+  c_expectation : float;  (** mitigated parity estimate *)
+  c_error : float;  (** |expectation - ideal| *)
+  c_readout_expectation : float;
+      (** same estimate with tensored readout mitigation composed in *)
+  c_readout_error : float;
+  c_residual : float;  (** ZNE fit residual (0 for non-ZNE rows) *)
+  c_makespan : float;  (** scale-1 schedule makespan, ns *)
+  c_idle_total : float;  (** scale-1 schedule idle time, ns *)
+  c_dd_pulses : int;  (** pulses inserted at scale 1 (0 without DD) *)
+}
+
+val run :
+  ?jobs:int ->
+  ?scales:int list ->
+  ?order:int ->
+  ?sequence:Dd.sequence ->
+  ?trials:int ->
+  ?backend:Qcx_noise.Exec.backend ->
+  device:Qcx_device.Device.t ->
+  schedulers:scheduler list ->
+  workloads:workload list ->
+  rng:Qcx_util.Rng.t ->
+  unit ->
+  cell list
+(** Produce the full cell table (workloads x schedulers x the four
+    mitigations, in that nesting order).  Defaults: [jobs 1],
+    [scales [1; 3; 5]], [order 1], [sequence XY4], [trials 4096],
+    [backend Statevector].  Within a (workload, scheduler) pair the
+    four strategies reuse the same executions — the "none" row is the
+    ZNE scale-1 run — so rows are structurally comparable. *)
+
+val aggregate : cell list -> (mitigation * float) list
+(** Mean [c_error] per mitigation, in {!all_mitigations} order. *)
+
+val mean_error :
+  ?idle_heavy_only:bool ->
+  ?scheduler:string ->
+  mitigation ->
+  cell list ->
+  float
+(** Mean error of one strategy over an optional slice of the table.
+    Raises [Invalid_argument] if the slice is empty. *)

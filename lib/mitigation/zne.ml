@@ -1,0 +1,175 @@
+module Circuit = Qcx_circuit.Circuit
+module Gate = Qcx_circuit.Gate
+module Exec = Qcx_noise.Exec
+module State = Qcx_statevector.State
+module Rng = Qcx_util.Rng
+
+type result = {
+  noise_scales : int list;
+  expectations : float list;
+  zero_noise : float;
+  residual : float;
+  order : int;
+}
+
+let fold circuit ~scale =
+  if scale < 1 || scale mod 2 = 0 then
+    invalid_arg
+      (Printf.sprintf "Zne.fold: scale must be odd and positive, got %d" scale);
+  let body, measures =
+    List.partition (fun g -> not (Gate.is_measure g)) (Circuit.gates circuit)
+  in
+  let add c (g : Gate.t) = Circuit.add c g.Gate.kind g.Gate.qubits in
+  let add_inverse c (g : Gate.t) =
+    Circuit.add c (Gate.inverse_kind g.Gate.kind) g.Gate.qubits
+  in
+  let k = (scale - 1) / 2 in
+  let c = List.fold_left add (Circuit.create (Circuit.nqubits circuit)) body in
+  let c = ref c in
+  for _ = 1 to k do
+    c := List.fold_left add_inverse !c (List.rev body);
+    c := List.fold_left add !c body
+  done;
+  List.fold_left add !c measures
+
+let extrapolate ?(order = 1) ~scales values =
+  let n = List.length scales in
+  if n <> List.length values then
+    invalid_arg "Zne.extrapolate: scales and values differ in length";
+  if order < 1 || order > 2 then
+    invalid_arg "Zne.extrapolate: order must be 1 or 2";
+  if n < order + 1 then
+    invalid_arg "Zne.extrapolate: need at least order + 1 points";
+  let xs = Array.of_list scales and ys = Array.of_list values in
+  let m = order + 1 in
+  (* Normal equations for the least-squares polynomial fit: a small
+     SPD system solved by Gaussian elimination with partial pivoting. *)
+  let a = Array.make_matrix m m 0.0 and b = Array.make m 0.0 in
+  Array.iteri
+    (fun t x ->
+      let pow = Array.make (2 * m) 1.0 in
+      for p = 1 to (2 * m) - 1 do
+        pow.(p) <- pow.(p - 1) *. x
+      done;
+      for i = 0 to m - 1 do
+        for j = 0 to m - 1 do
+          a.(i).(j) <- a.(i).(j) +. pow.(i + j)
+        done;
+        b.(i) <- b.(i) +. (pow.(i) *. ys.(t))
+      done)
+    xs;
+  for col = 0 to m - 1 do
+    let piv = ref col in
+    for r = col + 1 to m - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!piv).(col) then piv := r
+    done;
+    if !piv <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!piv);
+      a.(!piv) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!piv);
+      b.(!piv) <- tb
+    end;
+    if Float.abs a.(col).(col) < 1e-12 then
+      invalid_arg "Zne.extrapolate: singular fit (degenerate scales)";
+    for r = col + 1 to m - 1 do
+      let f = a.(r).(col) /. a.(col).(col) in
+      for cc = col to m - 1 do
+        a.(r).(cc) <- a.(r).(cc) -. (f *. a.(col).(cc))
+      done;
+      b.(r) <- b.(r) -. (f *. b.(col))
+    done
+  done;
+  let coeffs = Array.make m 0.0 in
+  for i = m - 1 downto 0 do
+    let s = ref b.(i) in
+    for j = i + 1 to m - 1 do
+      s := !s -. (a.(i).(j) *. coeffs.(j))
+    done;
+    coeffs.(i) <- !s /. a.(i).(i)
+  done;
+  let eval x =
+    let acc = ref 0.0 in
+    for i = m - 1 downto 0 do
+      acc := (!acc *. x) +. coeffs.(i)
+    done;
+    !acc
+  in
+  let sq = ref 0.0 in
+  Array.iteri (fun t x -> sq := !sq +. ((eval x -. ys.(t)) ** 2.0)) xs;
+  (coeffs.(0), sqrt (!sq /. float_of_int n))
+
+let popcount s =
+  let n = ref 0 in
+  String.iter (fun c -> if c = '1' then incr n) s;
+  !n
+
+let popcount_int x =
+  let n = ref 0 and v = ref x in
+  while !v <> 0 do
+    n := !n + (!v land 1);
+    v := !v lsr 1
+  done;
+  !n
+
+let parity dist =
+  List.fold_left
+    (fun acc (bits, w) ->
+      acc +. if popcount bits land 1 = 0 then w else -.w)
+    0.0 dist
+
+let parity_of_counts counts = parity (Exec.distribution counts)
+
+let ideal_parity circuit =
+  let measured = Exec.measured_qubits circuit in
+  if measured = [] then invalid_arg "Zne.ideal_parity: no measurements";
+  let state, used = Exec.run_ideal circuit in
+  let positions =
+    List.map
+      (fun q ->
+        let rec index i = function
+          | [] -> invalid_arg "Zne.ideal_parity: measured qubit unused"
+          | u :: rest -> if u = q then i else index (i + 1) rest
+        in
+        index 0 used)
+      measured
+  in
+  let mask = List.fold_left (fun m p -> m lor (1 lsl p)) 0 positions in
+  let probs = State.probabilities state in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun idx p ->
+      let par = if popcount_int (idx land mask) land 1 = 0 then p else -.p in
+      acc := !acc +. par)
+    probs;
+  !acc
+
+let estimate ?(jobs = 1) ?(scales = [ 1; 3; 5 ]) ?(order = 1)
+    ?(backend = Exec.Statevector) ?(trials = 4096) ?pad ~device ~compile ~rng
+    circuit =
+  if scales = [] then invalid_arg "Zne.estimate: empty scale list";
+  let base = Rng.split rng in
+  let expectations =
+    List.mapi
+      (fun i scale ->
+        let folded = fold circuit ~scale in
+        let sched = compile folded in
+        let sched, protection =
+          match pad with
+          | None -> (sched, [])
+          | Some f ->
+              let s, p = f sched in
+              (s, p)
+        in
+        let counts =
+          Exec.run ~jobs ~protection device sched
+            ~rng:(Rng.split_nth base i) ~trials ~backend
+        in
+        parity_of_counts counts)
+      scales
+  in
+  let zero_noise, residual =
+    extrapolate ~order ~scales:(List.map float_of_int scales) expectations
+  in
+  { noise_scales = scales; expectations; zero_noise; residual; order }

@@ -33,6 +33,11 @@ let idle_channel ~t1 ~t2 ~duration =
   let pz = max 0.0 ((p_dephase /. 2.0) -. (p_relax /. 4.0)) in
   { px; py = px; pz }
 
+let scale_idle { px; py; pz } ~xy ~z =
+  if xy < 0.0 || z < 0.0 then invalid_arg "Channel.scale_idle: negative factor";
+  let clamp p = min 1.0 (max 0.0 p) in
+  { px = clamp (px *. xy); py = clamp (py *. xy); pz = clamp (pz *. z) }
+
 let sample_idle rng { px; py; pz } =
   let u = Rng.unit_float rng in
   if u < px then Some `X

@@ -29,6 +29,15 @@ val idle_channel : t1:float -> t2:float -> duration:float -> idle
     [px = py = (1 - e^{-t/T1})/4],
     [pz = (1 - e^{-t/T2})/2 - (1 - e^{-t/T1})/4] (clamped at 0). *)
 
+val scale_idle : idle -> xy:float -> z:float -> idle
+(** [scale_idle ch ~xy ~z] multiplies the X/Y components by [xy] and
+    the Z component by [z] (clamped to [0, 1]) — the hook by which
+    dynamical decoupling models suppressed dephasing on protected
+    spans ({!Qcx_mitigation.Dd}): echo sequences refocus the
+    low-frequency dephasing behind [pz] but cannot undo T1 relaxation,
+    so DD passes [xy = 1] and a sequence-dependent [z < 1].  Factors
+    must be non-negative. *)
+
 val sample_idle : Qcx_util.Rng.t -> idle -> pauli option
 
 val idle_error_probability : idle -> float

@@ -181,7 +181,43 @@ let prebuilt_matrix = function
   | Gate.U2 (phi, lam) -> Some (Gates.u2 phi lam)
   | _ -> None
 
-let build_plans device sched =
+type protection = {
+  p_qubit : int;
+  p_start : float;
+  p_finish : float;
+  p_xy : float;
+  p_z : float;
+}
+
+(* Per-qubit protection spans, each list sorted by start.  A gap is
+   protected when one span covers it entirely; DD pads whole idle
+   windows, so the pulse-split sub-gaps always fall inside one span. *)
+let protection_index protection =
+  let tbl : (int, protection list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if not (p.p_xy >= 0.0 && p.p_z >= 0.0) then
+        invalid_arg "Exec: protection factors must be non-negative";
+      Hashtbl.replace tbl p.p_qubit
+        (p :: Option.value ~default:[] (Hashtbl.find_opt tbl p.p_qubit)))
+    protection;
+  Hashtbl.iter
+    (fun q spans ->
+      Hashtbl.replace tbl q (List.sort (fun a b -> compare a.p_start b.p_start) spans))
+    (Hashtbl.copy tbl);
+  tbl
+
+let protect_idle pindex q ~t0 ~t1 idle =
+  match Hashtbl.find_opt pindex q with
+  | None -> idle
+  | Some spans -> (
+    match
+      List.find_opt (fun p -> p.p_start <= t0 +. 1e-9 && t1 <= p.p_finish +. 1e-9) spans
+    with
+    | Some p -> Channel.scale_idle idle ~xy:p.p_xy ~z:p.p_z
+    | None -> idle)
+
+let build_plans ?(protection = []) device sched =
   let circuit = Schedule.circuit sched in
   let cal = Device.calibration device in
   let used = Circuit.used_qubits circuit in
@@ -189,6 +225,7 @@ let build_plans device sched =
   List.iteri (fun i q -> Hashtbl.add compact q i) used;
   let cq q = Hashtbl.find compact q in
   let index = overlap_index sched in
+  let pindex = protection_index protection in
   let last_end = Hashtbl.create 16 in
   (* Decoherence starts at a qubit's first gate: no idle before it. *)
   let plans =
@@ -204,11 +241,11 @@ let build_plans device sched =
                 match Hashtbl.find_opt last_end q with
                 | Some t0 when start > t0 +. 1e-9 ->
                   let qc = Calibration.qubit cal q in
-                  Some
-                    ( q,
-                      cq q,
-                      Channel.idle_channel ~t1:qc.Calibration.t1 ~t2:qc.Calibration.t2
-                        ~duration:(start -. t0) )
+                  let idle =
+                    Channel.idle_channel ~t1:qc.Calibration.t1 ~t2:qc.Calibration.t2
+                      ~duration:(start -. t0)
+                  in
+                  Some (q, cq q, protect_idle pindex q ~t0 ~t1:start idle)
                 | Some _ | None -> None)
               g.Gate.qubits
           in
@@ -480,12 +517,12 @@ let merge_counts tables =
     tables;
   counts
 
-let run ?(jobs = 1) device sched ~rng ~trials ~backend =
+let run ?(jobs = 1) ?(protection = []) device sched ~rng ~trials ~backend =
   let circuit = Schedule.circuit sched in
   (match Schedule.validate sched with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Exec.run: invalid schedule: " ^ msg));
-  let used, plans = build_plans device sched in
+  let used, plans = build_plans ~protection device sched in
   let nused = List.length used in
   let cal = Device.calibration device in
   let measured = measured_qubits circuit in
@@ -573,12 +610,12 @@ let run ?(jobs = 1) device sched ~rng ~trials ~backend =
   in
   merge_counts (Pool.parallel_chunks ~jobs ~n:trials shard)
 
-let run_distribution ?(jobs = 1) device sched ~rng ~trajectories =
+let run_distribution ?(jobs = 1) ?(protection = []) device sched ~rng ~trajectories =
   let circuit = Schedule.circuit sched in
   (match Schedule.validate sched with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Exec.run_distribution: invalid schedule: " ^ msg));
-  let used, plans = build_plans device sched in
+  let used, plans = build_plans ~protection device sched in
   let nused = List.length used in
   let cal = Device.calibration device in
   let measured = measured_qubits circuit in

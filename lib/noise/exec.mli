@@ -42,8 +42,24 @@ val effective_cnot_error :
     excess of every overlapping crosstalk partner.  Exposed for tests
     and for the optimality oracle. *)
 
+type protection = {
+  p_qubit : int;  (** hardware qubit the span protects *)
+  p_start : float;  (** span start, ns (schedule time) *)
+  p_finish : float;  (** span end, ns *)
+  p_xy : float;  (** factor on the idle channel's X/Y components *)
+  p_z : float;  (** factor on the idle channel's Z (dephasing) component *)
+}
+(** A dynamical-decoupling protection span: idle gaps on [p_qubit]
+    that fall entirely inside [[p_start, p_finish]] have their
+    twirled idle channel scaled by {!Channel.scale_idle} with these
+    factors.  Produced by {!Qcx_mitigation.Dd.pad} alongside the
+    pulse-padded schedule: the inserted pulses carry ordinary gate
+    error (the cost), the spans model the refocused dephasing (the
+    benefit). *)
+
 val run :
   ?jobs:int ->
+  ?protection:protection list ->
   Qcx_device.Device.t ->
   Qcx_circuit.Schedule.t ->
   rng:Qcx_util.Rng.t ->
@@ -64,6 +80,7 @@ val run :
 
 val run_distribution :
   ?jobs:int ->
+  ?protection:protection list ->
   Qcx_device.Device.t ->
   Qcx_circuit.Schedule.t ->
   rng:Qcx_util.Rng.t ->

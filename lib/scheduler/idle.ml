@@ -1,0 +1,58 @@
+module Circuit = Qcx_circuit.Circuit
+module Gate = Qcx_circuit.Gate
+module Schedule = Qcx_circuit.Schedule
+
+type window = { w_qubit : int; w_start : float; w_finish : float }
+
+(* The executor ignores gaps below 1e-9 ns; so do we. *)
+let eps = 1e-9
+
+let windows sched =
+  let circuit = Schedule.circuit sched in
+  let spans : (int, (float * float) list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Gate.t) ->
+      if not (Gate.is_barrier g) then begin
+        let id = g.Gate.id in
+        let span = (Schedule.start sched id, Schedule.finish sched id) in
+        List.iter
+          (fun q ->
+            Hashtbl.replace spans q
+              (span :: Option.value ~default:[] (Hashtbl.find_opt spans q)))
+          g.Gate.qubits
+      end)
+    (Circuit.gates circuit);
+  let qubits = List.sort compare (Hashtbl.fold (fun q _ acc -> q :: acc) spans []) in
+  List.concat_map
+    (fun q ->
+      let on_q = List.sort compare (Hashtbl.find spans q) in
+      let rec gaps = function
+        | (_, f1) :: ((s2, _) :: _ as rest) ->
+          if s2 > f1 +. eps then { w_qubit = q; w_start = f1; w_finish = s2 } :: gaps rest
+          else gaps rest
+        | [ _ ] | [] -> []
+      in
+      gaps on_q)
+    qubits
+
+let per_qubit sched =
+  let by_qubit = Hashtbl.create 16 in
+  List.iter
+    (fun w ->
+      let len = w.w_finish -. w.w_start in
+      let tot, mx =
+        Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt by_qubit w.w_qubit)
+      in
+      Hashtbl.replace by_qubit w.w_qubit (tot +. len, max mx len))
+    (windows sched);
+  List.sort compare (Hashtbl.fold (fun q (t, m) acc -> (q, t, m) :: acc) by_qubit [])
+
+let summarize sched =
+  List.fold_left
+    (fun (tot, mx) w ->
+      let len = w.w_finish -. w.w_start in
+      (tot +. len, max mx len))
+    (0.0, 0.0) (windows sched)
+
+let total sched = fst (summarize sched)
+let max_window sched = snd (summarize sched)

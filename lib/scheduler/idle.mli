@@ -1,0 +1,36 @@
+(** Per-qubit idle-window extraction over a finished schedule.
+
+    An idle window on qubit [q] is a gap between the finish of one
+    non-barrier gate on [q] and the start of the next — exactly the
+    spans over which {!Qcx_noise.Exec} injects Pauli-twirled T1/T2
+    decoherence (decoherence on a qubit starts at its first gate, so
+    time before the first gate and after the last is never a window).
+
+    These windows are what dynamical decoupling can fill
+    ({!Qcx_mitigation.Dd}) and what the [idle_total]/[idle_max] fields
+    of {!Xtalk_sched.stats} summarize for observability. *)
+
+type window = {
+  w_qubit : int;  (** hardware qubit *)
+  w_start : float;  (** finish of the preceding gate, ns *)
+  w_finish : float;  (** start of the following gate, ns *)
+}
+
+val windows : Qcx_circuit.Schedule.t -> window list
+(** All idle windows, sorted by qubit then start time.  Gaps shorter
+    than 1e-9 ns are noise-model no-ops and are skipped, matching the
+    executor's threshold. *)
+
+val per_qubit : Qcx_circuit.Schedule.t -> (int * float * float) list
+(** [(qubit, total idle, max window)] for every qubit with at least
+    one idle window, sorted by qubit. *)
+
+val total : Qcx_circuit.Schedule.t -> float
+(** Sum of all idle-window lengths across qubits, ns. *)
+
+val max_window : Qcx_circuit.Schedule.t -> float
+(** Length of the single longest window, ns; 0 when there are none. *)
+
+val summarize : Qcx_circuit.Schedule.t -> float * float
+(** [(total, max_window)] in one pass — the pair {!Xtalk_sched}
+    records in its stats. *)

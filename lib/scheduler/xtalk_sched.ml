@@ -25,6 +25,8 @@ type stats = {
   objective : float;
   solve_seconds : float;
   cpu_seconds : float;
+  idle_total : float;
+  idle_max : float;
   rung : rung;
 }
 
@@ -51,6 +53,7 @@ let schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadlin
         let dag = Dag.of_circuit circuit in
         Encoding.interfering_instances ~device ~xtalk ~threshold ~dag
     in
+    let idle_total, idle_max = Idle.summarize sched in
     ( sched,
       {
         pairs = List.length instances;
@@ -61,6 +64,8 @@ let schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadlin
         objective = nan;
         solve_seconds = 0.0;
         cpu_seconds = 0.0;
+        idle_total;
+        idle_max;
         rung = Exact;
       } )
   end
@@ -81,6 +86,7 @@ let schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadlin
      ParSched, the last rung, is deterministic list scheduling with
      nothing left to time out. *)
   let finish ~pairs (sched, nodes, optimal, objective, nclusters, nwindows, rung) =
+    let idle_total, idle_max = Idle.summarize sched in
     ( sched,
       {
         pairs;
@@ -91,6 +97,8 @@ let schedule_decomposed ~omega ~threshold ~node_budget ~max_exact_pairs ~deadlin
         objective;
         solve_seconds = Unix.gettimeofday () -. wall0;
         cpu_seconds = Sys.time () -. t0;
+        idle_total;
+        idle_max;
         rung;
       } )
   in

@@ -43,6 +43,10 @@ type stats = {
       (** wall-clock seconds of the compile (the latency a caller
           actually observes — cluster solving may use several domains) *)
   cpu_seconds : float;  (** process CPU seconds over the same window *)
+  idle_total : float;
+      (** total idle time across qubits in the served schedule, ns
+          ({!Idle.total}) — the decoherence exposure DD can pad *)
+  idle_max : float;  (** longest single idle window, ns ({!Idle.max_window}) *)
   rung : rung;  (** which degradation-ladder rung served this compile *)
 }
 

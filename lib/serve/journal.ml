@@ -36,10 +36,20 @@ let record_of_line line =
     let* key = Json.find_str "key" doc in
     let* entry = Cache.entry_of_json doc in
     let record = { key; entry } in
-    (* Recompute over the canonical re-emission: any damage to the
-       fields (or to crc itself) fails the comparison. *)
-    if String.lowercase_ascii crc = payload_digest (payload_json record) then Ok record
-    else Error "journal crc mismatch"
+    (* The digest must cover the bytes as written, not a parse/re-emit
+       round trip: two spellings of the same float parse to one double,
+       so re-emission canonicalizes damage instead of flagging it.  The
+       writer appends crc as the last field, so the payload text is the
+       line with that suffix cut off and the closing brace restored. *)
+    let suffix = ",\"crc\": \"" ^ crc ^ "\"}" in
+    let n = String.length line and k = String.length suffix in
+    if n < k || String.sub line (n - k) k <> suffix then
+      Error "journal crc field malformed"
+    else
+      let payload_text = String.sub line 0 (n - k) ^ "}" in
+      if String.lowercase_ascii crc = Digest.to_hex (Digest.string payload_text) then
+        Ok record
+      else Error "journal crc mismatch"
 
 (* ---- writer ---- *)
 

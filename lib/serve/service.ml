@@ -51,6 +51,10 @@ type t = {
   mutable cold_compiles : int;
   mutable cold_attempts : int;
   mutable compile_seconds : float;
+  mutable idle_ns : float;
+      (** cumulative idle time across cold-compiled schedules (after DD
+          padding when the mitigation knob is on) *)
+  mutable idle_max_ns : float;  (** longest idle window seen in any cold compile *)
   mutable compile_fault : (nth:int -> compile_fault option) option;
   mutable calibrator : Calibrator.t option;
   mutable day : int;  (** logical calibration day, advanced by calibrate ops *)
@@ -92,6 +96,8 @@ let create ?(config = default_config) ?(clock = Unix.gettimeofday) registry =
     cold_compiles = 0;
     cold_attempts = 0;
     compile_seconds = 0.0;
+    idle_ns = 0.0;
+    idle_max_ns = 0.0;
     compile_fault = None;
     calibrator = None;
     day = 0;
@@ -145,6 +151,13 @@ let cache_key ~device_id ~epoch ~params canon =
       (Xtalk_sched.rung_name params.Wire.ladder_start)
       (match params.Wire.window with None -> "auto" | Some w -> string_of_int w)
   in
+  (* Appended only when set, so every pre-knob key — including cache
+     snapshots persisted by older builds — stays byte-identical. *)
+  let knob =
+    match params.Wire.mitigation with
+    | None -> knob
+    | Some _ -> knob ^ " mitig=" ^ Wire.mitigation_name params.Wire.mitigation
+  in
   Digest.to_hex
     (Digest.string
        (String.concat "\n"
@@ -161,10 +174,22 @@ let effective_deadline t (params : Wire.params) =
 (* The cold path: the degradation ladder means this never raises for a
    well-formed canonical circuit. *)
 let cold_compile ?deadline (entry : Registry.entry) (params : Wire.params) canon =
-  Xtalk_sched.schedule ~omega:params.omega ~threshold:params.threshold
-    ?deadline_seconds:deadline ~ladder_start:params.ladder_start
-    ?window_gates:params.Wire.window ~device:entry.Registry.device
-    ~xtalk:entry.Registry.xtalk canon
+  let sched, stats =
+    Xtalk_sched.schedule ~omega:params.omega ~threshold:params.threshold
+      ?deadline_seconds:deadline ~ladder_start:params.ladder_start
+      ?window_gates:params.Wire.window ~device:entry.Registry.device
+      ~xtalk:entry.Registry.xtalk canon
+  in
+  match params.Wire.mitigation with
+  | None -> (sched, stats)
+  | Some sequence ->
+    let padded, _protection, _ =
+      Qcx_mitigation.Dd.pad ~sequence ~device:entry.Registry.device sched
+    in
+    (* Report the schedule actually served: residual idle after the
+       pulse trains went in. *)
+    let idle_total, idle_max = Qcx_scheduler.Idle.summarize padded in
+    (padded, { stats with Xtalk_sched.idle_total; idle_max })
 
 (* One slot of the parallel compile phase.  Fault injection and the
    last-resort exception guard both live here, so a dying worker
@@ -187,6 +212,8 @@ let run_slot t ~nth entry params canon =
 let tally_cold t (stats : Xtalk_sched.stats) =
   t.cold_compiles <- t.cold_compiles + 1;
   t.compile_seconds <- t.compile_seconds +. stats.solve_seconds;
+  t.idle_ns <- t.idle_ns +. stats.idle_total;
+  t.idle_max_ns <- Float.max t.idle_max_ns stats.idle_max;
   let i = rung_index stats.rung in
   t.rung_hist.(i) <- t.rung_hist.(i) + 1
 
@@ -387,6 +414,8 @@ let stats_json t =
             ("panics", Json.Number (float_of_int t.panics));
             ("cold_compiles", Json.Number (float_of_int t.cold_compiles));
             ("compile_seconds", Json.Number t.compile_seconds);
+            ("idle_ns", Json.Number t.idle_ns);
+            ("idle_max_ns", Json.Number t.idle_max_ns);
           ] );
       ( "rungs",
         Json.Object
@@ -437,6 +466,7 @@ let health_json t =
       ("cache_size", Json.Number (float_of_int c.Cache.size));
       ("cache_purged", Json.Number (float_of_int c.Cache.purged));
       ("panics", Json.Number (float_of_int t.panics));
+      ("idle_ns", Json.Number t.idle_ns);
       ("day", Json.Number (float_of_int t.day));
       ("devices", devices_status_json t (Registry.ids t.registry));
       ("breakers", breakers_json t);

@@ -2,6 +2,7 @@ module Circuit = Qcx_circuit.Circuit
 module Gate = Qcx_circuit.Gate
 module Schedule = Qcx_circuit.Schedule
 module Xtalk_sched = Qcx_scheduler.Xtalk_sched
+module Dd = Qcx_mitigation.Dd
 module Json = Qcx_persist.Json
 
 let ( let* ) = Result.bind
@@ -153,6 +154,8 @@ let stats_to_json (s : Xtalk_sched.stats) =
       ("objective", Json.Number s.objective);
       ("solve_seconds", Json.Number s.solve_seconds);
       ("cpu_seconds", Json.Number s.cpu_seconds);
+      ("idle_total", Json.Number s.idle_total);
+      ("idle_max", Json.Number s.idle_max);
       ("rung", Json.String (Xtalk_sched.rung_name s.rung));
     ]
 
@@ -167,13 +170,19 @@ let stats_of_json doc =
   in
   let* objective = Json.find_float "objective" doc in
   let* solve_seconds = Json.find_float "solve_seconds" doc in
-  (* cpu_seconds and windows are absent in cache entries persisted
-     before the fields existed. *)
+  (* cpu_seconds, windows and the idle fields are absent in cache
+     entries persisted before the fields existed. *)
   let cpu_seconds =
     match Json.find_float "cpu_seconds" doc with Ok v -> v | Error _ -> 0.0
   in
   let windows =
     match Json.find_float "windows" doc with Ok v -> int_of_float v | Error _ -> 0
+  in
+  let idle_total =
+    match Json.find_float "idle_total" doc with Ok v -> v | Error _ -> 0.0
+  in
+  let idle_max =
+    match Json.find_float "idle_max" doc with Ok v -> v | Error _ -> 0.0
   in
   let* rung_name = Json.find_str "rung" doc in
   let* rung = rung_of_name rung_name in
@@ -187,6 +196,8 @@ let stats_of_json doc =
       objective;
       solve_seconds;
       cpu_seconds;
+      idle_total;
+      idle_max;
       rung;
     }
 
@@ -198,6 +209,7 @@ type params = {
   deadline : float option;
   ladder_start : Xtalk_sched.rung;
   window : int option;
+  mitigation : Dd.sequence option;
 }
 
 let default_params =
@@ -207,7 +219,24 @@ let default_params =
     deadline = None;
     ladder_start = Xtalk_sched.Exact;
     window = None;
+    mitigation = None;
   }
+
+let mitigation_name = function
+  | None -> "none"
+  | Some seq -> "dd-" ^ Dd.sequence_name seq
+
+let mitigation_of_name = function
+  | "none" -> Ok None
+  | "dd" -> Ok (Some Dd.XY4)
+  | name -> (
+    match String.length name > 3 && String.sub name 0 3 = "dd-" with
+    | true -> (
+      match Dd.sequence_of_name (String.sub name 3 (String.length name - 3)) with
+      | Ok seq -> Ok (Some seq)
+      | Error e -> Error e)
+    | false ->
+      Error ("unknown mitigation " ^ name ^ " (expected none | dd | dd-xy4 | dd-x2 | dd-cpmg)"))
 
 type request =
   | Compile of { id : string; device : string; circuit : Circuit.t; params : params }
@@ -270,7 +299,15 @@ let params_of_json doc =
           let* w = Json.to_int v in
           if w >= 1 then Ok (Some w) else Error "window must be a positive gate count"
       in
-      Ok { omega; threshold; deadline; ladder_start; window }
+      let* mitigation =
+        (* Absent (every pre-knob client) means no mitigation. *)
+        match Json.member "mitigation" doc with
+        | None | Some Json.Null -> Ok default_params.mitigation
+        | Some v ->
+          let* name = Json.to_str v in
+          mitigation_of_name name
+      in
+      Ok { omega; threshold; deadline; ladder_start; window; mitigation }
 
 let request_of_json doc =
   let id = match Json.find_str "id" doc with Ok id -> id | Error _ -> "" in
@@ -343,6 +380,7 @@ let request_to_json req =
             match params.window with
             | None -> Json.Null
             | Some w -> Json.Number (float_of_int w) );
+          ("mitigation", Json.String (mitigation_name params.mitigation));
           ("circuit", circuit_to_json circuit);
         ])
   | Stats { id } -> Json.Object (base "stats" id)

@@ -16,6 +16,7 @@
 module Circuit = Qcx_circuit.Circuit
 module Schedule = Qcx_circuit.Schedule
 module Xtalk_sched = Qcx_scheduler.Xtalk_sched
+module Dd = Qcx_mitigation.Dd
 module Json = Qcx_persist.Json
 
 val circuit_to_json : Circuit.t -> Json.t
@@ -45,11 +46,22 @@ type params = {
   window : int option;
       (** Windowed-rung window size in gates; [None] uses the
           scheduler default (and reads "auto" in the cache key) *)
+  mitigation : Dd.sequence option;
+      (** post-scheduling dynamical-decoupling padding; [None] (the
+          wire name "none", and the value every pre-knob client gets)
+          leaves the schedule untouched and keeps the cache key
+          byte-identical to the pre-knob format *)
 }
 
 val default_params : params
 (** omega 0.5, threshold 3.0, no deadline, ladder from [Exact],
-    default windowing. *)
+    default windowing, no mitigation. *)
+
+val mitigation_name : Dd.sequence option -> string
+(** "none" | "dd-xy4" | "dd-x2" | "dd-cpmg". *)
+
+val mitigation_of_name : string -> (Dd.sequence option, string) result
+(** Inverse of {!mitigation_name}; also accepts "dd" for "dd-xy4". *)
 
 type request =
   | Compile of { id : string; device : string; circuit : Circuit.t; params : params }

@@ -20,5 +20,6 @@ let () =
     @ Test_serve.suite
     @ Test_chaos.suite
     @ Test_calibration.suite
+    @ Test_mitigation.suite
     @ Test_integration.suite
     @ Test_smoke.suite)

@@ -1,0 +1,471 @@
+(* Tests for the error-mitigation subsystem: schedule-aware dynamical
+   decoupling (noiseless equivalence, start-time preservation, padding
+   on idle-heavy schedules), zero-noise extrapolation (fold identity,
+   exact Richardson recovery), the serve-layer mitigation knob (wire
+   round trip, cache-key compatibility), and the leaderboard harness
+   (jobs determinism, readout column). *)
+
+module Circuit = Core.Circuit
+module Gate = Core.Gate
+module Schedule = Core.Schedule
+module Device = Core.Device
+module Presets = Core.Presets
+module Idle = Core.Idle
+module Dd = Core.Dd
+module Zne = Core.Zne
+module Leaderboard = Core.Leaderboard
+module Exec = Core.Exec
+module State = Core.State
+module Rng = Core.Rng
+module Wire = Core.Wire
+module Service = Core.Service
+module Canon = Core.Canon
+module Json = Core.Json
+module Registry = Core.Registry
+
+let pough = Presets.poughkeepsie ()
+let pough_truth = Device.ground_truth pough
+
+(* The fig6 Ramsey probe also used by the mitigation bench: a Bell pair
+   parked behind barriers while a sequential CNOT chain runs. *)
+let ramsey_chain ~hops =
+  let base = [ 5; 10; 15; 16; 17; 18; 19; 14; 13; 12; 7; 8; 9; 4; 3; 2 ] in
+  let path = base @ List.tl (List.rev base) @ List.tl base in
+  let rec chain c = function
+    | a :: (b :: _ as rest) -> chain (Circuit.cnot c ~control:a ~target:b) rest
+    | _ -> c
+  in
+  let rec take k = function x :: rest when k > 0 -> x :: take (k - 1) rest | _ -> [] in
+  let c = Circuit.create (Device.nqubits pough) in
+  let c = Circuit.h c 0 in
+  let c = Circuit.cnot c ~control:0 ~target:1 in
+  let used = take (hops + 1) path in
+  let c = Circuit.barrier c [ 0; 1; List.hd used ] in
+  let c = chain c used in
+  let c = Circuit.barrier c [ 0; 1; List.nth used (List.length used - 1) ] in
+  let c = Circuit.h (Circuit.h c 0) 1 in
+  Circuit.measure (Circuit.measure c 0) 1
+
+(* Multiset of (kind, qubits, start, duration) for the non-barrier
+   gates of a schedule; DD padding must preserve the original's as a
+   sub-multiset (pulses only add to it). *)
+let placement_counts sched =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (g : Gate.t) ->
+      if not (Gate.is_barrier g) then begin
+        let key =
+          ( g.Gate.kind,
+            g.Gate.qubits,
+            Schedule.start sched g.Gate.id,
+            Schedule.duration sched g.Gate.id )
+        in
+        Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      end)
+    (Circuit.gates (Schedule.circuit sched));
+  tbl
+
+let sub_multiset smaller larger =
+  Hashtbl.fold
+    (fun key n acc ->
+      acc && Option.value ~default:0 (Hashtbl.find_opt larger key) >= n)
+    smaller true
+
+let ideal_fidelity c1 c2 =
+  let s1, used1 = Exec.run_ideal c1 in
+  let s2, used2 = Exec.run_ideal c2 in
+  if used1 <> used2 then 0.0 else State.fidelity s1 s2
+
+(* ---- DD ---- *)
+
+let dd_sequences_compose_to_identity () =
+  List.iter
+    (fun seq ->
+      let c0 = Circuit.h (Circuit.create 1) 0 in
+      let c =
+        List.fold_left
+          (fun c kind -> Circuit.add c kind [ 0 ])
+          c0 (Dd.pulses_of seq)
+      in
+      let f = ideal_fidelity c0 c in
+      if f < 1.0 -. 1e-9 then
+        Alcotest.failf "%s does not compose to the identity (fidelity %f)"
+          (Dd.sequence_name seq) f)
+    Dd.all_sequences
+
+let dd_pads_ramsey_chain () =
+  let c = ramsey_chain ~hops:10 in
+  let sched, _ = Core.Xtalk_sched.schedule ~omega:0.5 ~device:pough ~xtalk:pough_truth c in
+  let padded, protection, stats = Dd.pad ~device:pough sched in
+  Alcotest.(check bool) "pulses inserted" true (stats.Dd.pulses > 0);
+  Alcotest.(check bool) "protection spans emitted" true (protection <> []);
+  Alcotest.(check bool) "padded schedule valid" true
+    (Result.is_ok (Schedule.validate padded));
+  Alcotest.(check bool) "original placements preserved" true
+    (sub_multiset (placement_counts sched) (placement_counts padded));
+  let f = ideal_fidelity (Schedule.circuit sched) (Schedule.circuit padded) in
+  Alcotest.(check bool) "noiseless-equivalent" true (f > 1.0 -. 1e-9);
+  let makespan = Schedule.makespan sched in
+  Alcotest.(check (float 1e-9)) "makespan untouched" makespan (Schedule.makespan padded);
+  List.iter
+    (fun (p : Exec.protection) ->
+      if p.Exec.p_start < -1e-9 || p.Exec.p_finish > makespan +. 1e-9 then
+        Alcotest.failf "protection span [%f, %f] outside the schedule" p.Exec.p_start
+          p.Exec.p_finish;
+      Alcotest.(check (float 1e-12)) "XY4 residual" (Dd.z_suppression Dd.XY4) p.Exec.p_z)
+    protection
+
+let dd_reduces_replayed_error () =
+  (* The executor must replay the modelled benefit: on the idle-heavy
+     Ramsey chain the DD-padded schedule shows strictly less parity
+     error than the bare one (margin far above sampling noise). *)
+  let c = ramsey_chain ~hops:40 in
+  let sched, _ = Core.Xtalk_sched.schedule ~omega:0.5 ~device:pough ~xtalk:pough_truth c in
+  let padded, protection, _ = Dd.pad ~device:pough sched in
+  let rng = Rng.create 11 in
+  let trials = 8192 in
+  let parity counts = Zne.parity_of_counts counts in
+  let raw =
+    parity
+      (Exec.run pough sched ~rng:(Rng.split_nth rng 0) ~trials ~backend:Exec.Stabilizer)
+  in
+  let dd =
+    parity
+      (Exec.run ~protection pough padded ~rng:(Rng.split_nth rng 1) ~trials
+         ~backend:Exec.Stabilizer)
+  in
+  let ideal = Zne.ideal_parity c in
+  if Float.abs (dd -. ideal) +. 0.02 >= Float.abs (raw -. ideal) then
+    Alcotest.failf "DD did not pay: raw err %f, dd err %f" (Float.abs (raw -. ideal))
+      (Float.abs (dd -. ideal))
+
+(* qcheck: random hardware-compliant circuits on the 6-qubit example
+   device; DD padding never perturbs placements and stays
+   noiseless-equivalent under every sequence and baseline scheduler. *)
+let fuzz_device = Presets.example_6q ()
+let fuzz_edges = Array.of_list (Core.Topology.edges (Device.topology fuzz_device))
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 1 25)
+      (oneof
+         [
+           map (fun q -> `H (q mod 6)) (int_range 0 5);
+           map (fun q -> `X (q mod 6)) (int_range 0 5);
+           map (fun i -> `Cx (i mod Array.length fuzz_edges)) (int_range 0 50);
+         ]))
+
+let fuzz_circuit ops =
+  let c =
+    List.fold_left
+      (fun c op ->
+        match op with
+        | `H q -> Circuit.h c q
+        | `X q -> Circuit.x c q
+        | `Cx i ->
+          let a, b = fuzz_edges.(i) in
+          Circuit.cnot c ~control:a ~target:b)
+      (Circuit.create 6) ops
+  in
+  Circuit.measure_all c
+
+let prop_dd_noiseless_equivalence =
+  QCheck.Test.make ~name:"DD padding is noiseless-equivalent (fuzz)" ~count:40
+    (QCheck.make gen_ops) (fun ops ->
+      let c = fuzz_circuit ops in
+      List.for_all
+        (fun sched ->
+          List.for_all
+            (fun sequence ->
+              let padded, _, _ = Dd.pad ~sequence ~device:fuzz_device sched in
+              Result.is_ok (Schedule.validate padded)
+              && sub_multiset (placement_counts sched) (placement_counts padded)
+              && ideal_fidelity (Schedule.circuit sched) (Schedule.circuit padded)
+                 > 1.0 -. 1e-9)
+            Dd.all_sequences)
+        [ Core.Serial_sched.schedule fuzz_device c; Core.Par_sched.schedule fuzz_device c ])
+
+(* ---- ZNE ---- *)
+
+let zne_fold_scale1_is_identity () =
+  let c = ramsey_chain ~hops:6 in
+  let folded = Zne.fold c ~scale:1 in
+  Alcotest.(check int) "same length" (Circuit.length c) (Circuit.length folded);
+  List.iter2
+    (fun (a : Gate.t) (b : Gate.t) ->
+      if a.Gate.kind <> b.Gate.kind || a.Gate.qubits <> b.Gate.qubits then
+        Alcotest.fail "scale-1 fold changed a gate")
+    (Circuit.gates c) (Circuit.gates folded)
+
+let zne_fold_scale3 () =
+  let c = fuzz_circuit [ `H 0; `Cx 0; `X 2; `Cx 3 ] in
+  let folded = Zne.fold c ~scale:3 in
+  let body_len circuit =
+    List.length (List.filter (fun g -> not (Gate.is_measure g)) (Circuit.gates circuit))
+  in
+  let measures circuit =
+    List.length (List.filter Gate.is_measure (Circuit.gates circuit))
+  in
+  Alcotest.(check int) "body tripled" (3 * body_len c) (body_len folded);
+  Alcotest.(check int) "measures kept" (measures c) (measures folded);
+  Alcotest.(check bool) "logically the identity stretch" true
+    (ideal_fidelity c folded > 1.0 -. 1e-9);
+  List.iter
+    (fun scale ->
+      match Zne.fold c ~scale with
+      | _ -> Alcotest.failf "scale %d accepted" scale
+      | exception Invalid_argument _ -> ())
+    [ 0; 2; -3 ]
+
+let zne_extrapolate_exact () =
+  (* Linear model, order 1: exact recovery with zero residual. *)
+  let scales = [ 1.0; 3.0; 5.0 ] in
+  let z, r = Zne.extrapolate ~scales (List.map (fun s -> 2.0 -. (0.3 *. s)) scales) in
+  Alcotest.(check (float 1e-9)) "linear zero-noise" 2.0 z;
+  Alcotest.(check (float 1e-9)) "linear residual" 0.0 r;
+  (* Quadratic model, order 2. *)
+  let z2, r2 =
+    Zne.extrapolate ~order:2 ~scales
+      (List.map (fun s -> 1.0 +. (0.5 *. s) -. (0.1 *. s *. s)) scales)
+  in
+  Alcotest.(check (float 1e-9)) "quadratic zero-noise" 1.0 z2;
+  Alcotest.(check (float 1e-9)) "quadratic residual" 0.0 r2;
+  (* Too few points / unsupported order raise. *)
+  (match Zne.extrapolate ~order:2 ~scales:[ 1.0; 3.0 ] [ 0.5; 0.4 ] with
+  | _ -> Alcotest.fail "order 2 with 2 points accepted"
+  | exception Invalid_argument _ -> ());
+  match Zne.extrapolate ~order:3 ~scales [ 1.0; 2.0; 3.0 ] with
+  | _ -> Alcotest.fail "order 3 accepted"
+  | exception Invalid_argument _ -> ()
+
+let zne_estimate_deterministic () =
+  let c = fuzz_circuit [ `H 0; `Cx 0; `Cx 1; `X 3 ] in
+  let compile circuit = Core.Serial_sched.schedule fuzz_device circuit in
+  let estimate jobs =
+    Zne.estimate ~jobs ~scales:[ 1; 3 ] ~trials:512 ~backend:Exec.Stabilizer
+      ~device:fuzz_device ~compile ~rng:(Rng.create 5) c
+  in
+  let e1 = estimate 1 and e2 = estimate 2 in
+  Alcotest.(check (list (float 0.0))) "expectations jobs-identical"
+    e1.Zne.expectations e2.Zne.expectations;
+  Alcotest.(check (float 0.0)) "zero-noise jobs-identical" e1.Zne.zero_noise
+    e2.Zne.zero_noise;
+  Alcotest.(check int) "order recorded" 1 e1.Zne.order;
+  Alcotest.(check bool) "estimate is finite" true (Float.is_finite e1.Zne.zero_noise)
+
+(* ---- serve knob ---- *)
+
+let wire_mitigation_names () =
+  Alcotest.(check string) "none" "none" (Wire.mitigation_name None);
+  Alcotest.(check string) "dd-xy4" "dd-xy4" (Wire.mitigation_name (Some Dd.XY4));
+  List.iter
+    (fun (name, expected) ->
+      match Wire.mitigation_of_name name with
+      | Ok m ->
+        if m <> expected then Alcotest.failf "%s parsed to the wrong sequence" name
+      | Error e -> Alcotest.failf "%s rejected: %s" name e)
+    [
+      ("none", None);
+      ("dd", Some Dd.XY4);
+      ("dd-xy4", Some Dd.XY4);
+      ("dd-x2", Some Dd.X2);
+      ("dd-cpmg", Some Dd.CPMG);
+    ];
+  Alcotest.(check bool) "bogus rejected" true
+    (Result.is_error (Wire.mitigation_of_name "bogus"))
+
+let bell_with_measures n =
+  let c = Circuit.cnot (Circuit.h (Circuit.create n) 0) ~control:0 ~target:1 in
+  Circuit.measure (Circuit.measure c 0) 1
+
+let wire_mitigation_roundtrip () =
+  let circuit = bell_with_measures 6 in
+  let req params = Wire.Compile { id = "m1"; device = "example6q"; circuit; params } in
+  let roundtrip params =
+    match Wire.request_of_json (Wire.request_to_json (req params)) with
+    | Ok (Wire.Compile { params = p; _ }) -> p
+    | Ok _ -> Alcotest.fail "wrong request shape"
+    | Error e -> Alcotest.failf "round trip failed: %s" e
+  in
+  List.iter
+    (fun m ->
+      let p = roundtrip { Wire.default_params with Wire.mitigation = m } in
+      if p.Wire.mitigation <> m then
+        Alcotest.failf "mitigation %s did not survive the round trip"
+          (Wire.mitigation_name m))
+    [ None; Some Dd.XY4; Some Dd.X2; Some Dd.CPMG ];
+  (* A legacy request without the key parses as no mitigation. *)
+  let stripped =
+    match Wire.request_to_json (req Wire.default_params) with
+    | Json.Object fields ->
+      Json.Object (List.filter (fun (k, _) -> k <> "mitigation") fields)
+    | j -> j
+  in
+  match Wire.request_of_json stripped with
+  | Ok (Wire.Compile { params = p; _ }) ->
+    Alcotest.(check bool) "absent key means none" true (p.Wire.mitigation = None)
+  | Ok _ -> Alcotest.fail "wrong request shape"
+  | Error e -> Alcotest.failf "legacy request rejected: %s" e
+
+let example_service () =
+  let device = Presets.example_6q () in
+  let registry = Registry.create () in
+  ignore
+    (Registry.add_static registry ~id:"example6q" ~device
+       ~xtalk:(Device.ground_truth device));
+  Service.create registry
+
+let service_cache_key_compatible () =
+  let canon = Canon.normalize (bell_with_measures 6) in
+  let key params = Service.cache_key ~device_id:"example6q" ~epoch:"e1" ~params canon in
+  let legacy = key Wire.default_params in
+  Alcotest.(check string) "explicit none matches the pre-knob key" legacy
+    (key { Wire.default_params with Wire.mitigation = None });
+  List.iter
+    (fun seq ->
+      let k = key { Wire.default_params with Wire.mitigation = Some seq } in
+      if k = legacy then
+        Alcotest.failf "dd-%s shares the unmitigated cache key" (Dd.sequence_name seq))
+    Dd.all_sequences;
+  Alcotest.(check bool) "sequences key separately" true
+    (key { Wire.default_params with Wire.mitigation = Some Dd.XY4 }
+    <> key { Wire.default_params with Wire.mitigation = Some Dd.CPMG })
+
+let service_compile_with_dd () =
+  let service = example_service () in
+  let circuit = bell_with_measures 6 in
+  let params = { Wire.default_params with Wire.mitigation = Some Dd.XY4 } in
+  let o1 =
+    match Service.compile service ~device:"example6q" ~params circuit with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "dd compile failed: %s" e
+  in
+  Alcotest.(check bool) "dd compile is cold" false o1.Service.cached;
+  Alcotest.(check bool) "schedule valid" true
+    (Result.is_ok (Schedule.validate o1.Service.schedule));
+  let o2 =
+    match Service.compile service ~device:"example6q" ~params circuit with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "dd recompile failed: %s" e
+  in
+  Alcotest.(check bool) "dd compile cached on repeat" true o2.Service.cached;
+  let o3 =
+    match Service.compile service ~device:"example6q" circuit with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "unmitigated compile failed: %s" e
+  in
+  Alcotest.(check bool) "unmitigated keys separately (cold again)" false
+    o3.Service.cached;
+  (* Idle exposure of every cold compile shows up in stats/health. *)
+  let served =
+    match Service.stats_json service with
+    | Json.Object fields -> (
+      match List.assoc_opt "served" fields with
+      | Some j -> j
+      | None -> Alcotest.fail "served section missing")
+    | _ -> Alcotest.fail "stats is not an object"
+  in
+  (match Json.find_float "idle_ns" served with
+  | Ok v -> Alcotest.(check bool) "stats idle_ns present" true (v >= 0.0)
+  | Error e -> Alcotest.failf "stats idle_ns missing: %s" e);
+  match Json.find_float "idle_ns" (Service.health_json service) with
+  | Ok v -> Alcotest.(check bool) "health idle_ns present" true (v >= 0.0)
+  | Error e -> Alcotest.failf "health idle_ns missing: %s" e
+
+(* ---- idle stats + leaderboard ---- *)
+
+let xtalk_stats_carry_idle () =
+  let c = ramsey_chain ~hops:10 in
+  let sched, stats =
+    Core.Xtalk_sched.schedule ~omega:0.5 ~device:pough ~xtalk:pough_truth c
+  in
+  Alcotest.(check (float 1e-9)) "idle_total matches the Idle module"
+    (Idle.total sched) stats.Core.Xtalk_sched.idle_total;
+  Alcotest.(check (float 1e-9)) "idle_max matches the Idle module"
+    (Idle.max_window sched) stats.Core.Xtalk_sched.idle_max;
+  Alcotest.(check bool) "ramsey chain is idle-heavy" true
+    (stats.Core.Xtalk_sched.idle_total > 0.0);
+  (* per_qubit decomposes the same totals. *)
+  let per = Idle.per_qubit sched in
+  let total = List.fold_left (fun acc (_, t, _) -> acc +. t) 0.0 per in
+  Alcotest.(check (float 1e-6)) "per-qubit totals sum up"
+    stats.Core.Xtalk_sched.idle_total total
+
+let leaderboard_jobs_deterministic () =
+  let schedulers =
+    [
+      {
+        Leaderboard.s_name = "SerialSched";
+        s_compile = (fun c -> Core.Serial_sched.schedule pough c);
+      };
+      {
+        Leaderboard.s_name = "ParSched";
+        s_compile = (fun c -> Core.Par_sched.schedule pough c);
+      };
+    ]
+  in
+  let workloads =
+    [
+      {
+        Leaderboard.w_name = "ramsey-10";
+        w_circuit = ramsey_chain ~hops:10;
+        w_idle_heavy = true;
+      };
+    ]
+  in
+  let table jobs =
+    Leaderboard.run ~jobs ~scales:[ 1; 3 ] ~trials:512 ~backend:Exec.Stabilizer
+      ~device:pough ~schedulers ~workloads ~rng:(Rng.create 7) ()
+  in
+  let t1 = table 1 and t2 = table 2 and t4 = table 4 in
+  Alcotest.(check int) "2 schedulers x 4 strategies" 8 (List.length t1);
+  Alcotest.(check bool) "jobs 1 = jobs 2" true (t1 = t2);
+  Alcotest.(check bool) "jobs 1 = jobs 4" true (t1 = t4);
+  List.iter
+    (fun (c : Leaderboard.cell) ->
+      Alcotest.(check bool) "readout column finite" true
+        (Float.is_finite c.Leaderboard.c_readout_error);
+      Alcotest.(check bool) "error non-negative" true (c.Leaderboard.c_error >= 0.0))
+    t1;
+  (* The aggregate ranks every strategy and the slices are non-empty. *)
+  Alcotest.(check int) "aggregate covers all strategies" 4
+    (List.length (Leaderboard.aggregate t1));
+  let dd = Leaderboard.mean_error ~idle_heavy_only:true Leaderboard.Dd_only t1 in
+  Alcotest.(check bool) "idle-heavy DD slice computes" true (Float.is_finite dd)
+
+let dd_suite =
+  ( "mitigation.dd",
+    [
+      Alcotest.test_case "sequences compose to the identity" `Quick
+        dd_sequences_compose_to_identity;
+      Alcotest.test_case "pads the ramsey chain" `Quick dd_pads_ramsey_chain;
+      Alcotest.test_case "reduces replayed error" `Slow dd_reduces_replayed_error;
+      QCheck_alcotest.to_alcotest prop_dd_noiseless_equivalence;
+    ] )
+
+let zne_suite =
+  ( "mitigation.zne",
+    [
+      Alcotest.test_case "scale-1 fold is the identity" `Quick zne_fold_scale1_is_identity;
+      Alcotest.test_case "scale-3 fold stretches the body" `Quick zne_fold_scale3;
+      Alcotest.test_case "extrapolation exact on known models" `Quick zne_extrapolate_exact;
+      Alcotest.test_case "estimate is jobs-deterministic" `Quick zne_estimate_deterministic;
+    ] )
+
+let serve_suite =
+  ( "mitigation.serve",
+    [
+      Alcotest.test_case "mitigation names" `Quick wire_mitigation_names;
+      Alcotest.test_case "wire round trip + legacy default" `Quick wire_mitigation_roundtrip;
+      Alcotest.test_case "cache key compatibility" `Quick service_cache_key_compatible;
+      Alcotest.test_case "service compiles with dd" `Quick service_compile_with_dd;
+    ] )
+
+let leaderboard_suite =
+  ( "mitigation.leaderboard",
+    [
+      Alcotest.test_case "xtalk stats carry idle" `Quick xtalk_stats_carry_idle;
+      Alcotest.test_case "jobs-deterministic" `Slow leaderboard_jobs_deterministic;
+    ] )
+
+let suite = [ dd_suite; zne_suite; serve_suite; leaderboard_suite ]

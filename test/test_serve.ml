@@ -85,6 +85,8 @@ let dummy_entry device label =
         objective = 0.0;
         solve_seconds = 0.0;
         cpu_seconds = 0.0;
+        idle_total = 0.0;
+        idle_max = 0.0;
         rung = Core.Xtalk_sched.Parallel;
       };
     epoch = "";

@@ -304,6 +304,8 @@ let stats_windows_roundtrip () =
       objective = 1.25;
       solve_seconds = 0.5;
       cpu_seconds = 0.75;
+      idle_total = 12.5;
+      idle_max = 7.5;
       rung = Xtalk_sched.Windowed;
     }
   in
