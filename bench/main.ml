@@ -50,6 +50,19 @@
         aggregate, DD+ZNE is never worse than the better single
         strategy, and the cell table is bit-identical at --jobs 1/2/4;
         --smoke shrinks workloads and trials, --trials N overrides)
+     dune exec bench/main.exe -- --fleet-bench --jobs 2
+       (sharded serve tier under kill-a-shard chaos: a determinism
+        matrix over shard counts x jobs, then seeded single-shard
+        kill -9 drills with peer-replica rebuild, plus fault seeds
+        that partition/slow the replica streams and tear the replica
+        tail; writes BENCH_fleet.json, exits 1 unless the matrix is
+        bit-identical, zero acknowledged schedules are lost, clean
+        rebuilds are byte-identical, and availability >= 0.99;
+        --smoke shrinks the matrix and seed counts)
+     dune exec bench/main.exe -- --fleet-drill --socket S --shards 3
+       (out-of-process drill assertion for ci.sh: poll the router's
+        aggregated health until every shard is live with zero
+        replication lag and a failover was recorded)
      dune exec bench/main.exe -- --bench-scale --jobs 4
        (windowed scheduler on the generated 127-qubit heavy-hex
         device, 1000+-gate supremacy circuit; writes BENCH_scale.json,
@@ -78,7 +91,8 @@ let () =
     || List.mem "--chaos-bench" args || List.mem "--chaos-client" args
     || List.mem "--bench-sched" args || List.mem "--bench-scale" args
     || List.mem "--drift-bench" args || List.mem "--drift-drill" args
-    || List.mem "--mitig-bench" args
+    || List.mem "--mitig-bench" args || List.mem "--fleet-bench" args
+    || List.mem "--fleet-drill" args
   then begin
     let int_flag name default =
       let rec find = function
@@ -101,7 +115,18 @@ let () =
       in
       find args
     in
-    if List.mem "--mitig-bench" args then
+    if List.mem "--fleet-bench" args then
+      Exp_fleet.run
+        ~smoke:(List.mem "--smoke" args)
+        ~jobs:(int_flag "--jobs" 2)
+        ~dir:(str_flag "--fleet-dir" "fleet-scratch")
+        ~out:(str_flag "--out" "BENCH_fleet.json")
+    else if List.mem "--fleet-drill" args then
+      Exp_fleet.drill
+        ~socket:(str_flag "--socket" "qcx-serve.sock")
+        ~shards:(int_flag "--shards" 3)
+        ~timeout:(float_of_int (int_flag "--timeout" 30))
+    else if List.mem "--mitig-bench" args then
       Exp_mitig.run
         ~smoke:(List.mem "--smoke" args)
         ~jobs:(int_flag "--jobs" 4)

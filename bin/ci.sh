@@ -23,6 +23,7 @@ dune build
 dune runtest
 dune build @serve
 dune build @chaos
+dune build @fleet
 dune build @drift
 dune build @sched
 dune build @scale
@@ -30,8 +31,10 @@ dune build @mitig
 
 SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/qcx-ci.XXXXXX")"
 DAEMON=""
+FLEET_PIDS=""
 cleanup() {
   [ -n "$DAEMON" ] && kill -9 "$DAEMON" 2>/dev/null || true
+  for P in $FLEET_PIDS; do kill -9 "$P" 2>/dev/null || true; done
   rm -rf "$SCRATCH"
 }
 trap cleanup EXIT
@@ -104,6 +107,60 @@ kill -TERM "$DAEMON"
 wait "$DAEMON"
 DAEMON=""
 
+# Fleet drill (kill-a-shard chaos, DESIGN.md section 14): 3 shard
+# daemons + the router, each its own process so kill -9 hits exactly
+# one crash domain.  Record 24 schedules through the router, kill one
+# shard mid-load and delete its snapshot AND journal (only the peer
+# replica survives), verify every recorded schedule still comes back
+# bit-identical through failover, restart the shard (it must rebuild
+# from the peer replica), assert via the router's aggregated health
+# that the whole fleet is live again with zero replication lag and a
+# recorded failover, then verify all 24 are served from cache.
+echo "ci: fleet drill: 3 shards + router"
+FSOCK="$SCRATCH/qcx-fleet.sock"
+FLEET="$SCRATCH/fleet"
+SHARD1=""
+for K in 0 1 2; do
+  "$SERVE" --devices example6q --oracle-xtalk --socket "$FSOCK" \
+    --shards 3 --shard-index "$K" --fleet-dir "$FLEET" --jobs 2 &
+  PID=$!
+  FLEET_PIDS="$FLEET_PIDS $PID"
+  [ "$K" = 1 ] && SHARD1=$PID
+done
+"$SERVE" --devices example6q --oracle-xtalk --socket "$FSOCK" \
+  --shards 3 --router-only --backlog 32 --jobs 2 &
+FLEET_PIDS="$FLEET_PIDS $!"
+"$BENCH" --chaos-client --socket "$FSOCK" --mode record \
+  --file "$SCRATCH/fleet-expected.json" --requests 24
+
+echo "ci: fleet drill: kill -9 shard 1 mid-load (peer replica is the only survivor)"
+"$BENCH" --chaos-client --socket "$FSOCK" --mode load --requests 40 --seed 17 &
+LOADER=$!
+sleep 0.5
+kill -9 "$SHARD1"
+wait "$SHARD1" 2>/dev/null || true
+rm -f "$FLEET/shard-1/cache.json" "$FLEET/shard-1/cache.json.journal"
+wait "$LOADER" 2>/dev/null || true
+
+echo "ci: fleet drill: failover must keep every recorded schedule bit-identical"
+"$BENCH" --chaos-client --socket "$FSOCK" --mode verify \
+  --file "$SCRATCH/fleet-expected.json" --requests 24 --min-cached 0
+
+echo "ci: fleet drill: restarted shard must rebuild from the peer replica"
+"$SERVE" --devices example6q --oracle-xtalk --socket "$FSOCK" \
+  --shards 3 --shard-index 1 --fleet-dir "$FLEET" --jobs 2 &
+FLEET_PIDS="$FLEET_PIDS $!"
+"$BENCH" --fleet-drill --socket "$FSOCK" --shards 3 --timeout 30
+"$BENCH" --chaos-client --socket "$FSOCK" --mode verify \
+  --file "$SCRATCH/fleet-expected.json" --requests 24 --min-cached 24
+
+echo "ci: fleet drill: graceful drain (SIGTERM must exit 0)"
+for P in $FLEET_PIDS; do kill -TERM "$P" 2>/dev/null || true; done
+for P in $FLEET_PIDS; do
+  if [ "$P" != "$SHARD1" ]; then wait "$P"; else wait "$P" 2>/dev/null || true; fi
+done
+FLEET_PIDS=""
+
 echo "ci: drift campaign (20 days, jobs 1/2/4)"
 dune exec bench/main.exe -- --drift-bench --days 20 --seed 7 \
   --drift-dir "$SCRATCH/drift" --out BENCH_drift.json
@@ -123,5 +180,9 @@ dune exec bench/main.exe -- --bench-scale --smoke --jobs 4 \
 echo "ci: mitigation smoke (dd/zne leaderboard gates, --jobs 1 vs 2 determinism)"
 dune exec bench/main.exe -- --mitig-bench --smoke --jobs 2 \
   --out "$SCRATCH/BENCH_mitig.json"
+
+echo "ci: fleet smoke (shard-count determinism matrix + seeded kill drills)"
+dune exec bench/main.exe -- --fleet-bench --smoke \
+  --fleet-dir "$SCRATCH/fleet-bench" --out "$SCRATCH/BENCH_fleet.json"
 
 echo "ci: OK"

@@ -105,6 +105,45 @@ let write_timeout_term =
   let doc = "Seconds to wait for a slow client to read a response before dropping it." in
   Arg.(value & opt float 10.0 & info [ "write-timeout" ] ~docv:"SECONDS" ~doc)
 
+let shards_term =
+  let doc =
+    "Size of the serve fleet (DESIGN.md section 14).  With N > 1 and no other fleet flag, \
+     fork N shard processes (each owning its cache + journal under --fleet-dir and \
+     replicating to its ring peer) and route on --socket."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let shard_index_term =
+  let doc =
+    "Serve exactly one fleet shard (no router): shard K of --shards, on \
+     <socket>.shardK.  Used by the multi-process drill to place each shard in its own \
+     crash domain."
+  in
+  Arg.(value & opt (some int) None & info [ "shard-index" ] ~docv:"K" ~doc)
+
+let router_only_term =
+  let doc =
+    "Serve only the fleet router on --socket, forwarding to externally managed shard \
+     processes at <socket>.shard0..N-1."
+  in
+  Arg.(value & flag & info [ "router-only" ] ~doc)
+
+let fleet_dir_term =
+  let doc = "Root directory of per-shard state (shard-K/cache.json + journal + peer replicas)." in
+  Arg.(value & opt string "qcx-fleet" & info [ "fleet-dir" ] ~docv:"DIR" ~doc)
+
+let backlog_term =
+  let doc =
+    "Listen backlog, and the admission bound on accepted-but-unserved connections: \
+     excess connections are shed immediately with a typed `overloaded` response instead \
+     of waiting without bound.  Unset keeps the legacy behavior (backlog 16, no shed)."
+  in
+  Arg.(value & opt (some int) None & info [ "backlog" ] ~docv:"N" ~doc)
+
+let forward_timeout_term =
+  let doc = "Router-to-shard response timeout, seconds; a slow shard counts as failed." in
+  Arg.(value & opt float 10.0 & info [ "forward-timeout" ] ~docv:"SECONDS" ~doc)
+
 let lookup_device name =
   match String.lowercase_ascii name with
   | "example6q" | "example" -> Some (Core.Presets.example_6q ())
@@ -126,7 +165,8 @@ let persist service cache_file =
 
 let run devices_csv socket once snapshot_dir oracle calibration_dir calibration_seed jobs
     queue_bound cache_capacity cache_file max_frame max_compile breaker_threshold
-    breaker_cooloff breaker_min_rung checkpoint_every write_timeout =
+    breaker_cooloff breaker_min_rung checkpoint_every write_timeout shards shard_index
+    router_only fleet_dir backlog forward_timeout =
   let names =
     String.split_on_char ',' devices_csv
     |> List.map String.trim
@@ -149,35 +189,56 @@ let run devices_csv socket once snapshot_dir oracle calibration_dir calibration_
     Printf.eprintf "--max-frame, --breaker-*, --checkpoint-every must be positive\n";
     exit 2
   end;
-  let registry = Core.Registry.create () in
-  List.iter
-    (fun name ->
-      match lookup_device name with
-      | None ->
-        Printf.eprintf "unknown device %s\n" name;
-        exit 2
-      | Some device ->
-        let entry =
-          match snapshot_dir with
-          | Some dir ->
-            Core.Registry.add_from_paths registry ~id:name ~device
-              ~paths:[ Filename.concat dir (name ^ ".xtalk.json") ]
-          | None ->
-            let xtalk =
-              if oracle then Core.Device.ground_truth device else Core.Crosstalk.empty
-            in
-            Core.Registry.add_static registry ~id:name ~device ~xtalk
-        in
-        List.iter
-          (fun (path, why) -> Printf.eprintf "quarantined %s: %s\n%!" path why)
-          entry.Core.Registry.quarantined;
-        Printf.eprintf "registered %s (%d qubits) epoch %s%s\n%!" name
-          (Core.Device.nqubits device)
-          (String.sub entry.Core.Registry.epoch 0 12)
-          (match entry.Core.Registry.source with
-          | Some p -> " from " ^ p
-          | None -> if oracle then " (oracle)" else " (no snapshot; empty crosstalk)"))
-    names;
+  if shards < 1 then begin
+    Printf.eprintf "--shards must be at least 1\n";
+    exit 2
+  end;
+  (match shard_index with
+  | Some k when k < 0 || k >= shards ->
+    Printf.eprintf "--shard-index %d out of range for --shards %d\n" k shards;
+    exit 2
+  | _ -> ());
+  let fleet_mode = shards > 1 || router_only || shard_index <> None in
+  if once && fleet_mode then begin
+    Printf.eprintf "--once is single-process; it cannot combine with fleet flags\n";
+    exit 2
+  end;
+  if fleet_mode && calibration_dir <> None then
+    Printf.eprintf "calibration data plane is single-process; ignoring --calibration-dir\n%!";
+  if fleet_mode && cache_file <> None then
+    Printf.eprintf "fleet shards persist under --fleet-dir; ignoring --cache-file\n%!";
+  let build_registry () =
+    let registry = Core.Registry.create () in
+    List.iter
+      (fun name ->
+        match lookup_device name with
+        | None ->
+          Printf.eprintf "unknown device %s\n" name;
+          exit 2
+        | Some device ->
+          let entry =
+            match snapshot_dir with
+            | Some dir ->
+              Core.Registry.add_from_paths registry ~id:name ~device
+                ~paths:[ Filename.concat dir (name ^ ".xtalk.json") ]
+            | None ->
+              let xtalk =
+                if oracle then Core.Device.ground_truth device else Core.Crosstalk.empty
+              in
+              Core.Registry.add_static registry ~id:name ~device ~xtalk
+          in
+          List.iter
+            (fun (path, why) -> Printf.eprintf "quarantined %s: %s\n%!" path why)
+            entry.Core.Registry.quarantined;
+          Printf.eprintf "registered %s (%d qubits) epoch %s%s\n%!" name
+            (Core.Device.nqubits device)
+            (String.sub entry.Core.Registry.epoch 0 12)
+            (match entry.Core.Registry.source with
+            | Some p -> " from " ^ p
+            | None -> if oracle then " (oracle)" else " (no snapshot; empty crosstalk)"))
+      names;
+    registry
+  in
   let config =
     {
       Core.Service.jobs;
@@ -190,75 +251,198 @@ let run devices_csv socket once snapshot_dir oracle calibration_dir calibration_
       checkpoint_every;
     }
   in
-  let service = Core.Service.create ~config registry in
-  (match calibration_dir with
-  | None -> ()
-  | Some dir ->
-    let calibrator =
-      Core.Calibrator.create
-        ~config:
-          { Core.Calibrator.default_config with Core.Calibrator.jobs; seed = calibration_seed }
-        ~dir registry
-    in
-    let recovered = Core.Calibrator.recover calibrator in
-    List.iter
-      (fun r ->
-        Printf.eprintf "calibration: restored %s epoch %s (ring depth %d)\n%!"
-          r.Core.Calibrator.id
-          (String.sub r.Core.Calibrator.epoch 0 (min 12 (String.length r.Core.Calibrator.epoch)))
-          r.Core.Calibrator.ring)
-      recovered;
-    Core.Service.set_calibrator service (Some calibrator);
-    Printf.eprintf "calibration data plane enabled under %s\n%!" dir);
-  (match cache_file with
-  | None -> ()
-  | Some path -> (
-    match Core.Service.recover service ~cache_file:path () with
-    | Ok r ->
-      Printf.eprintf "cache: restored %d snapshot + %d journal entries%s\n%!"
-        r.Core.Service.snapshot_entries r.Core.Service.journal_entries
-        (if r.Core.Service.torn then
-           Printf.sprintf " (torn journal tail; %d record(s) dropped)"
-             r.Core.Service.journal_dropped
-         else "")
-    | Error e ->
-      Printf.eprintf "cache: recovery failed (%s); serving without persistence\n%!" e));
-  if once then begin
-    Core.Server.serve_channels service stdin stdout;
-    persist service cache_file;
-    0
-  end
-  else begin
-    (* A disconnecting client raises SIGPIPE on write; that must never
-       kill the daemon. *)
-    (match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
-    | () -> ()
-    | exception Invalid_argument _ -> ());
+  let backlog_n = Option.value backlog ~default:16 in
+  let max_pending = backlog in
+  let write_timeout = if write_timeout > 0.0 then Some write_timeout else None in
+  let shard_socket k = Printf.sprintf "%s.shard%d" socket k in
+  (* A disconnecting client raises SIGPIPE on write; that must never
+     kill the daemon. *)
+  (match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
+  | () -> ()
+  | exception Invalid_argument _ -> ());
+  let install_drain on_drain =
     let draining = ref false in
     let drain _ =
       draining := true;
-      Core.Service.set_draining service true
+      on_drain ()
     in
     (match Sys.set_signal Sys.sigterm (Sys.Signal_handle drain) with
     | () -> ()
     | exception Invalid_argument _ -> ());
-    Printf.eprintf "serving on %s (jobs %d, queue bound %d, cache %d, frame %dB)\n%!"
-      socket jobs queue_bound cache_capacity max_frame;
+    draining
+  in
+  (* One fleet shard: its own Service + journal under the fleet dir,
+     replicating every insert to its ring peer.  An empty shard dir
+     with a surviving peer replica rebuilds from it before binding the
+     socket, so a rebuilding shard is simply unreachable (the router
+     keeps failing over) until its cache is warm. *)
+  let serve_shard k =
     match
-      Core.Server.serve_socket service ~path:socket ~max_frame
-        ?write_timeout:(if write_timeout > 0.0 then Some write_timeout else None)
+      Core.Shard.create ~config ~root:fleet_dir ~index:k ~nshards:shards
+        ~make_registry:build_registry ()
+    with
+    | Error e ->
+      Printf.eprintf "shard %d: %s\n%!" k e;
+      2
+    | Ok sh -> (
+      let b = Core.Shard.boot sh in
+      Printf.eprintf
+        "shard %d/%d: restored %d snapshot + %d journal entries%s%s; replicating to %s\n%!" k
+        shards b.Core.Shard.snapshot_entries b.Core.Shard.journal_entries
+        (if b.Core.Shard.rebuilt_from_replica > 0 then
+           Printf.sprintf " (rebuilt %d entries from peer replica%s)"
+             b.Core.Shard.rebuilt_from_replica
+             (if b.Core.Shard.torn_replica then "; torn tail truncated" else "")
+         else "")
+        (if b.Core.Shard.torn_journal then " (torn journal tail)" else "")
+        (Core.Shard.own_replica_path sh);
+      let service = Core.Shard.service sh in
+      let draining = install_drain (fun () -> Core.Service.set_draining service true) in
+      let path = shard_socket k in
+      Printf.eprintf "shard %d serving on %s (jobs %d)\n%!" k path jobs;
+      match
+        Core.Server.serve_socket service ~path ~max_frame ?write_timeout
+          ~backlog:backlog_n ?max_pending ~stop:(fun () -> !draining)
+      with
+      | () ->
+        Core.Shard.close sh;
+        Printf.eprintf "shard %d: %s; exiting\n%!" k
+          (if !draining then "drained after SIGTERM" else "shutdown requested");
+        0
+      | exception Unix.Unix_error (err, fn, arg) ->
+        Core.Shard.close sh;
+        Printf.eprintf "shard %d: fatal socket error: %s (%s %s)\n%!" k
+          (Unix.error_message err) fn arg;
+        3)
+  in
+  let serve_router () =
+    let probe = build_registry () in
+    let width d =
+      Option.map
+        (fun e -> Core.Device.nqubits e.Core.Registry.device)
+        (Core.Registry.find probe d)
+    in
+    let transport =
+      Core.Router.socket_transport ~timeout:forward_timeout ~socket_for:shard_socket ()
+    in
+    let router = Core.Router.create ~width ~nshards:shards ~transport () in
+    let draining = install_drain (fun () -> ()) in
+    Printf.eprintf "router serving on %s over %d shard(s)\n%!" socket shards;
+    match
+      Core.Server.serve_socket_with ~max_frame ?write_timeout ~backlog:backlog_n
+        ?max_pending
+        ~handle:(Core.Router.handle_frames ~max_frame router)
+        ~path:socket
         ~stop:(fun () -> !draining)
+        ()
     with
     | () ->
-      Printf.eprintf "%s; exiting\n%!"
+      Printf.eprintf "router: %s; exiting\n%!"
         (if !draining then "drained after SIGTERM" else "shutdown requested");
-      persist service cache_file;
       0
     | exception Unix.Unix_error (err, fn, arg) ->
-      Printf.eprintf "fatal socket error: %s (%s %s)\n%!" (Unix.error_message err) fn arg;
-      persist service cache_file;
+      Printf.eprintf "router: fatal socket error: %s (%s %s)\n%!" (Unix.error_message err)
+        fn arg;
       3
-  end
+  in
+  let serve_fleet_parent () =
+    (* Children are forked before this process touches registries or
+       services, so no domain has ever been spawned — the only state
+       they inherit is the parsed CLI. *)
+    let pids =
+      List.init shards (fun k ->
+          match Unix.fork () with 0 -> exit (serve_shard k) | pid -> pid)
+    in
+    let deadline = Unix.gettimeofday () +. 20.0 in
+    let rec await k =
+      if k >= shards then ()
+      else if Sys.file_exists (shard_socket k) then await (k + 1)
+      else if Unix.gettimeofday () > deadline then
+        Printf.eprintf "warning: shard %d socket did not appear; routing around it\n%!" k
+      else begin
+        Unix.sleepf 0.05;
+        await k
+      end
+    in
+    await 0;
+    let code = serve_router () in
+    List.iter (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()) pids;
+    List.iter
+      (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      pids;
+    code
+  in
+  match shard_index with
+  | Some k -> serve_shard k
+  | None ->
+    if router_only then serve_router ()
+    else if shards > 1 then serve_fleet_parent ()
+    else begin
+      let registry = build_registry () in
+      let service = Core.Service.create ~config registry in
+      (match calibration_dir with
+      | None -> ()
+      | Some dir ->
+        let calibrator =
+          Core.Calibrator.create
+            ~config:
+              {
+                Core.Calibrator.default_config with
+                Core.Calibrator.jobs;
+                seed = calibration_seed;
+              }
+            ~dir registry
+        in
+        let recovered = Core.Calibrator.recover calibrator in
+        List.iter
+          (fun r ->
+            Printf.eprintf "calibration: restored %s epoch %s (ring depth %d)\n%!"
+              r.Core.Calibrator.id
+              (String.sub r.Core.Calibrator.epoch 0
+                 (min 12 (String.length r.Core.Calibrator.epoch)))
+              r.Core.Calibrator.ring)
+          recovered;
+        Core.Service.set_calibrator service (Some calibrator);
+        Printf.eprintf "calibration data plane enabled under %s\n%!" dir);
+      (match cache_file with
+      | None -> ()
+      | Some path -> (
+        match Core.Service.recover service ~cache_file:path () with
+        | Ok r ->
+          Printf.eprintf "cache: restored %d snapshot + %d journal entries%s\n%!"
+            r.Core.Service.snapshot_entries r.Core.Service.journal_entries
+            (if r.Core.Service.torn then
+               Printf.sprintf " (torn journal tail; %d record(s) dropped)"
+                 r.Core.Service.journal_dropped
+             else "")
+        | Error e ->
+          Printf.eprintf "cache: recovery failed (%s); serving without persistence\n%!" e));
+      if once then begin
+        Core.Server.serve_channels service stdin stdout;
+        persist service cache_file;
+        0
+      end
+      else begin
+        let draining = install_drain (fun () -> Core.Service.set_draining service true) in
+        Printf.eprintf "serving on %s (jobs %d, queue bound %d, cache %d, frame %dB)\n%!"
+          socket jobs queue_bound cache_capacity max_frame;
+        match
+          Core.Server.serve_socket service ~path:socket ~max_frame ?write_timeout
+            ~backlog:backlog_n ?max_pending
+            ~stop:(fun () -> !draining)
+        with
+        | () ->
+          Printf.eprintf "%s; exiting\n%!"
+            (if !draining then "drained after SIGTERM" else "shutdown requested");
+          persist service cache_file;
+          0
+        | exception Unix.Unix_error (err, fn, arg) ->
+          Printf.eprintf "fatal socket error: %s (%s %s)\n%!" (Unix.error_message err) fn
+            arg;
+          persist service cache_file;
+          3
+      end
+    end
 
 let cmd =
   let info =
@@ -270,6 +454,8 @@ let cmd =
       $ calibration_dir_term $ calibration_seed_term
       $ Common.jobs_term $ queue_bound_term $ cache_capacity_term $ cache_file_term
       $ max_frame_term $ max_compile_term $ breaker_threshold_term $ breaker_cooloff_term
-      $ breaker_min_rung_term $ checkpoint_every_term $ write_timeout_term)
+      $ breaker_min_rung_term $ checkpoint_every_term $ write_timeout_term $ shards_term
+      $ shard_index_term $ router_only_term $ fleet_dir_term $ backlog_term
+      $ forward_timeout_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -62,6 +62,11 @@ module Registry = Qcx_serve.Registry
 module Calibrator = Qcx_serve.Calibrator
 module Service = Qcx_serve.Service
 module Server = Qcx_serve.Server
+module Ring = Qcx_serve.Ring
+module Replica = Qcx_serve.Replica
+module Shard = Qcx_serve.Shard
+module Router = Qcx_serve.Router
+module Fleet = Qcx_serve.Fleet
 module Tomography = Qcx_metrics.Tomography
 module Cross_entropy = Qcx_metrics.Cross_entropy
 module Readout_mitigation = Qcx_metrics.Readout_mitigation

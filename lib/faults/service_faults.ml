@@ -22,6 +22,10 @@ type config = {
   truncate_fraction : float;
   canary_flake : float;
   crash_promotion : float;
+  replica_partition : float;
+  replica_slow : float;
+  slow_ack_seconds : float;
+  replica_tear : float;
 }
 
 let default_config =
@@ -39,6 +43,10 @@ let default_config =
     truncate_fraction = 0.85;
     canary_flake = 0.06;
     crash_promotion = 0.05;
+    replica_partition = 0.25;
+    replica_slow = 0.15;
+    slow_ack_seconds = 0.005;
+    replica_tear = 1.0;
   }
 
 let none =
@@ -56,6 +64,10 @@ let none =
     truncate_fraction = 0.0;
     canary_flake = 0.0;
     crash_promotion = 0.0;
+    replica_partition = 0.0;
+    replica_slow = 0.0;
+    slow_ack_seconds = 0.0;
+    replica_tear = 0.0;
   }
 
 type t = { seed : int; config : config }
@@ -112,6 +124,36 @@ let kill_offset t ~len =
   else
     let rng = keyed t ("kill", len) in
     Rng.int rng (len + 1)
+
+(* ---- shard-level fleet faults (DESIGN.md §14) ---- *)
+
+(* Which request index the kill lands between (drawn from the middle
+   half of the run, so there is real pre-kill state to lose and real
+   post-kill traffic to fail over) and which shard dies. *)
+let shard_kill t ~requests ~shards =
+  let requests = max 1 requests and shards = max 1 shards in
+  let at =
+    (requests / 4) + Rng.int (keyed t ("shard-kill-at", requests)) (max 1 (requests / 2))
+  in
+  let victim = Rng.int (keyed t ("shard-kill-victim", shards)) shards in
+  (at, victim)
+
+let replica_fault t ~shard ~nth =
+  let c = t.config in
+  let u = Rng.unit_float (keyed t ("replica", shard, nth)) in
+  if u < c.replica_partition then Some Qcx_serve.Replica.Partition
+  else if u < c.replica_partition +. c.replica_slow then
+    Some (Qcx_serve.Replica.Slow_ack c.slow_ack_seconds)
+  else None
+
+(* Byte offset a torn replica tail is truncated to — strictly inside
+   the file, so the tear really damages the last record(s). *)
+let replica_tear t ~len =
+  if len <= 1 || t.config.replica_tear <= 0.0 then None
+  else
+    let rng = keyed t ("replica-tear", len) in
+    if Rng.unit_float rng < t.config.replica_tear then Some (1 + Rng.int rng (len - 1))
+    else None
 
 (* Each calibration-fault class rolls independently — a single cycle
    can face a drift spike AND a flaky canary, which is exactly the

@@ -36,6 +36,14 @@ type config = {
   crash_promotion : float;
       (** per-cycle probability the process dies mid-promotion (side —
           before/after the atomic pointer commit — drawn independently) *)
+  replica_partition : float;
+      (** per-flush probability the shard's replica stream is
+          partitioned from its peer (the flush fails, lag accrues) *)
+  replica_slow : float;  (** per-flush probability of a slow peer ack *)
+  slow_ack_seconds : float;  (** how long a slow ack stalls the flush *)
+  replica_tear : float;
+      (** probability the killed shard's replica file has a torn tail
+          (truncated mid-record before the rebuild) *)
 }
 
 val default_config : config
@@ -67,6 +75,20 @@ val journal_fault : t -> nth:int -> bool
 val kill_offset : t -> len:int -> int
 (** Where ([0..len]) the simulated [kill -9] truncates a journal of
     [len] bytes. *)
+
+val shard_kill : t -> requests:int -> shards:int -> int * int
+(** The fleet drill's [(kill_after_request, victim_shard)] — the kill
+    lands in the middle half of the run so there is real pre-kill
+    state to lose and real post-kill traffic to fail over. *)
+
+val replica_fault : t -> shard:int -> nth:int -> Qcx_serve.Replica.fault option
+(** Partially applied (per shard), the hook
+    {!Qcx_serve.Replica.set_fault} expects: partition / slow-ack
+    decisions for the shard's [nth] replica flush. *)
+
+val replica_tear : t -> len:int -> int option
+(** Byte length ([1..len-1]) a torn replica tail is truncated to, or
+    [None] when this seed leaves the replica intact. *)
 
 val calibration_faults : t -> id:string -> day:int -> Qcx_serve.Calibrator.fault list
 (** The calibration injections for device [id]'s cycle on [day] —

@@ -253,23 +253,45 @@ let open_envelope doc =
        format tag; accept them so pre-v2 snapshots stay loadable. *)
     Ok doc
 
+let fsync_dir dir =
+  (* Durability of a rename needs the parent directory's metadata on
+     disk too: the file data can be fsync'd and the rename still lost
+     if the OS dies before the directory block is written.  Best
+     effort — platforms that refuse to fsync a directory fd degrade to
+     the old rename-only behavior instead of failing the save. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let save ~path doc =
-  (* Write-then-rename: a writer that dies mid-write leaves only a
-     stale [.tmp], never a truncated snapshot at [path] for a reader
-     (or the server's registry) to quarantine. *)
+  (* Write-then-fsync-then-rename: a writer that dies mid-write leaves
+     only a stale [.tmp], never a truncated snapshot at [path] for a
+     reader (or the server's registry) to quarantine; fsyncing the
+     file before and the directory after the rename makes the commit
+     survive an OS crash, not just a process crash. *)
   let tmp = path ^ ".tmp" in
   try
-    let oc = open_out tmp in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    let oc = Unix.out_channel_of_descr fd in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
         output_string oc (Json.to_string (envelope doc));
-        output_char oc '\n');
+        output_char oc '\n';
+        flush oc;
+        try Unix.fsync fd with Unix.Unix_error _ -> ());
     Sys.rename tmp path;
+    fsync_dir (Filename.dirname path);
     Ok ()
-  with Sys_error msg ->
+  with
+  | Sys_error msg ->
     (try if Sys.file_exists tmp then Sys.remove tmp with Sys_error _ -> ());
     Error msg
+  | Unix.Unix_error (err, fn, _) ->
+    (try if Sys.file_exists tmp then Sys.remove tmp with Sys_error _ -> ());
+    Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
 
 let load ~path =
   try

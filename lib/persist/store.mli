@@ -38,9 +38,18 @@ val device_snapshot_of_json :
 val save : path:string -> Json.t -> (unit, string) result
 (** Wraps the document in the v2 envelope: a [format] version tag and
     an MD5 checksum of the canonical payload serialization.  The write
-    is atomic — the document lands in [path ^ ".tmp"] first and is
-    renamed into place — so a crashed writer can never leave a
-    truncated snapshot at [path]. *)
+    is atomic AND durable — the document lands in [path ^ ".tmp"]
+    first, is fsync'd, renamed into place, and then the parent
+    directory is fsync'd so an OS crash cannot lose the rename itself.
+    A crashed writer can never leave a truncated snapshot at [path].
+    Every rename-commit in the system (cache snapshots, journal
+    checkpoints, the calibrator's ring-pointer promotion) routes
+    through here. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory's metadata (best effort; errors are swallowed) —
+    the other half of a durable rename.  {!save} calls it on the
+    parent directory after every rename. *)
 
 val load : path:string -> (Json.t, string) result
 (** Unwraps and verifies the envelope, returning the payload.  A

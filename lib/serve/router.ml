@@ -1,0 +1,513 @@
+module Json = Qcx_persist.Json
+module Rng = Qcx_util.Rng
+module Xtalk_sched = Qcx_scheduler.Xtalk_sched
+
+(* Fleet front door (DESIGN.md §14): maps compile requests onto shards
+   via the consistent-hash ring, fails over around dead shards with a
+   bounded, deadline-aware retry, and aggregates the fan-out ops
+   (health/stats over every shard, epoch changes broadcast to all).
+
+   Failover state machine, per shard:
+
+     Live --(send/ack failure trips the breaker)--> Degraded
+     Degraded --(cooloff elapses, probe succeeds)--> Live
+     any --(set_rebuilding true)--> Rebuilding (not routable)
+     Rebuilding --(set_rebuilding false)--> Live/Degraded by breaker
+
+   Degraded shards stay routable — the open breaker short-circuits the
+   attempt and the request goes straight to its ring successor, which
+   is what bounds tail latency during an outage.  Rebuilding shards
+   are taken off the ring entirely so a warming cache never serves. *)
+
+type transport = { send : shard:int -> string list -> (string list, string) result }
+
+type config = {
+  vnodes : int;
+  retry_backoff : float;  (** base for the jittered pre-retry sleep *)
+  jitter_seed : int;
+  default_budget : float;  (** retry budget when the request has no deadline *)
+  breaker : Breaker.config;
+}
+
+let default_config =
+  {
+    vnodes = 64;
+    retry_backoff = 0.02;
+    jitter_seed = 0;
+    default_budget = 5.0;
+    (* threshold 1: one connect/ack failure marks the arc degraded —
+       at fleet scale a dead peer fails every request it sees, and the
+       short cooloff turns re-probing into the health check. *)
+    breaker = { Breaker.default_config with Breaker.threshold = 1; cooloff_seconds = 0.5 };
+  }
+
+type shard_state = Live | Degraded | Rebuilding
+
+let state_name = function Live -> "live" | Degraded -> "degraded" | Rebuilding -> "rebuilding"
+
+type t = {
+  config : config;
+  nshards : int;
+  ring : Ring.t;
+  transport : transport;
+  breakers : Breaker.t array;
+  rebuilding : bool array;
+  clock : unit -> float;
+  width : string -> int option;
+  rng : Rng.t;
+  mutable routed : int;
+  mutable failovers : int;
+  mutable retries : int;
+  mutable unavailable : int;
+  mutable last_failover_at : float option;
+}
+
+let create ?(config = default_config) ?(clock = Unix.gettimeofday) ?(width = fun _ -> None)
+    ~nshards ~transport () =
+  if nshards <= 0 then invalid_arg "Router.create: nshards must be positive";
+  {
+    config;
+    nshards;
+    ring = Ring.create ~vnodes:config.vnodes ~nshards ();
+    transport;
+    breakers = Array.init nshards (fun _ -> Breaker.create config.breaker);
+    rebuilding = Array.make nshards false;
+    clock;
+    width;
+    rng = Rng.create (Hashtbl.hash (config.jitter_seed, "qcx-router-jitter"));
+    routed = 0;
+    failovers = 0;
+    retries = 0;
+    unavailable = 0;
+    last_failover_at = None;
+  }
+
+let nshards t = t.nshards
+let ring t = t.ring
+let breaker t s = t.breakers.(s)
+let routable t s = not t.rebuilding.(s)
+
+let shard_state t s =
+  if t.rebuilding.(s) then Rebuilding
+  else match Breaker.state t.breakers.(s) with Breaker.Closed -> Live | _ -> Degraded
+
+let set_rebuilding t s v = t.rebuilding.(s) <- v
+let reset_breaker t s = t.breakers.(s) <- Breaker.create t.config.breaker
+
+(* ---- routing key ----
+
+   A pure function of (device, scheduler knobs, canonical circuit) —
+   deliberately a superset-agnostic projection of the cache key: the
+   epoch is excluded (an epoch bump must not migrate keys between
+   shards and wipe the fleet's locality) and so is the deadline (a
+   client tightening its budget should still hit the shard holding the
+   entry...).  Requests with equal cache keys always route alike;
+   requests with different cache keys may share a shard, which only
+   costs capacity, never correctness. *)
+
+let knob_string (p : Wire.params) =
+  Printf.sprintf "omega=%h threshold=%h ladder=%s window=%s mitig=%s" p.Wire.omega
+    p.Wire.threshold
+    (Xtalk_sched.rung_name p.Wire.ladder_start)
+    (match p.Wire.window with None -> "auto" | Some w -> string_of_int w)
+    (Wire.mitigation_name p.Wire.mitigation)
+
+let routing_key t ~device ~params circuit =
+  let canon =
+    match
+      match t.width device with
+      | Some n -> Canon.serialize (Canon.normalize ~nqubits:n circuit)
+      | None -> Canon.serialize (Canon.normalize circuit)
+    with
+    | s -> s
+    | exception Invalid_argument _ -> "invalid-circuit"
+  in
+  String.concat "\n" [ "qcx-route-key-v1"; device; knob_string params; canon ]
+
+(* ---- wire plumbing ---- *)
+
+let render doc = Json.to_string ~indent:false doc
+
+let router_json t =
+  Json.Object
+    [
+      ("nshards", Json.Number (float_of_int t.nshards));
+      ("routed", Json.Number (float_of_int t.routed));
+      ("failovers", Json.Number (float_of_int t.failovers));
+      ("retries", Json.Number (float_of_int t.retries));
+      ("unavailable", Json.Number (float_of_int t.unavailable));
+      ( "last_failover_at",
+        match t.last_failover_at with None -> Json.Null | Some x -> Json.Number x );
+      ("ring_points", Json.Number (float_of_int (Array.length (Ring.points t.ring))));
+    ]
+
+(* One guarded attempt against one shard.  The breaker is both the
+   gate (Reject short-circuits without touching the socket) and the
+   detector (every outcome is recorded, so connect/ack timeouts feed
+   straight into the failover state machine). *)
+let attempt t ~shard lines =
+  let b = t.breakers.(shard) in
+  match Breaker.check b ~now:(t.clock ()) with
+  | Breaker.Reject _ -> Error "breaker open"
+  | Breaker.Admit | Breaker.Probe -> (
+    match t.transport.send ~shard lines with
+    | Ok resp when List.length resp = List.length lines ->
+      Breaker.record_success b ~now:(t.clock ());
+      Ok resp
+    | Ok _ ->
+      Breaker.record_failure b ~now:(t.clock ());
+      Error "short response from shard"
+    | Error e ->
+      Breaker.record_failure b ~now:(t.clock ());
+      Error e)
+
+let note_failover t =
+  t.failovers <- t.failovers + 1;
+  t.last_failover_at <- Some (t.clock ())
+
+let mark_unavailable t results idx ~id ~attempts =
+  t.unavailable <- t.unavailable + 1;
+  results.(idx) <- Some (render (Wire.unavailable_response ~id:(Some id) ~attempts))
+
+let group_by_shard pick items =
+  let tbl = Hashtbl.create 8 in
+  let missing = ref [] in
+  List.iter
+    (fun item ->
+      match pick item with
+      | None -> missing := item :: !missing
+      | Some s ->
+        let prev = try Hashtbl.find tbl s with Not_found -> [] in
+        Hashtbl.replace tbl s (item :: prev))
+    items;
+  let groups = Hashtbl.fold (fun s v acc -> (s, List.rev v) :: acc) tbl [] in
+  (List.sort compare groups, List.rev !missing)
+
+(* items: (idx, id, line, key, deadline).  Primary attempt on the ring
+   owner, then — after a jittered backoff bounded by the remaining
+   deadline budget — at most one hedged retry on each key's ring
+   successor.  Exhaustion is the typed [unavailable], never a hang. *)
+let route_compiles t results items =
+  if items <> [] then begin
+    let t0 = t.clock () in
+    let budget group =
+      List.fold_left
+        (fun acc (_, _, _, _, deadline) ->
+          match deadline with Some d -> Float.min acc (Float.max d 0.1) | None -> acc)
+        t.config.default_budget group
+    in
+    let fill group resp =
+      List.iter2 (fun (idx, _, _, _, _) line -> results.(idx) <- Some line) group resp
+    in
+    let owner_of (_, _, _, key, _) = Ring.lookup t.ring ~live:(routable t) key in
+    let groups, orphans = group_by_shard owner_of items in
+    List.iter
+      (fun (idx, id, _, _, _) -> mark_unavailable t results idx ~id ~attempts:0)
+      orphans;
+    List.iter
+      (fun (owner, group) ->
+        t.routed <- t.routed + List.length group;
+        match attempt t ~shard:owner (List.map (fun (_, _, line, _, _) -> line) group) with
+        | Ok resp -> fill group resp
+        | Error _ ->
+          note_failover t;
+          let remaining = budget group -. (t.clock () -. t0) in
+          let backoff =
+            Float.min (t.config.retry_backoff *. (0.5 +. Rng.unit_float t.rng)) remaining
+          in
+          if backoff > 0.0 then Unix.sleepf backoff;
+          let successor_of (_, _, _, key, _) =
+            Ring.lookup t.ring ~live:(fun s -> routable t s && s <> owner) key
+          in
+          let retry_groups, dead = group_by_shard successor_of group in
+          List.iter
+            (fun (idx, id, _, _, _) -> mark_unavailable t results idx ~id ~attempts:1)
+            dead;
+          List.iter
+            (fun (shard, g) ->
+              t.retries <- t.retries + 1;
+              match attempt t ~shard (List.map (fun (_, _, line, _, _) -> line) g) with
+              | Ok resp -> fill g resp
+              | Error _ ->
+                List.iter
+                  (fun (idx, id, _, _, _) -> mark_unavailable t results idx ~id ~attempts:2)
+                  g)
+            retry_groups)
+      groups
+  end
+
+(* ---- fan-out ops ---- *)
+
+let probe_line req = render (Wire.request_to_json req)
+
+(* Epoch changes must land on every shard or the fleet's cache keys
+   drift apart; applied best-effort to each routable shard, first
+   answer wins, the fan-out count rides along as [fleet_applied]. *)
+let broadcast_apply t ~id line =
+  let applied = ref 0 and first = ref None in
+  for s = 0 to t.nshards - 1 do
+    if routable t s then
+      match attempt t ~shard:s [ line ] with
+      | Ok [ resp ] ->
+        incr applied;
+        if !first = None then first := Some resp
+      | Ok _ | Error _ -> ()
+  done;
+  match !first with
+  | Some resp -> (
+    match Json.of_string resp with
+    | Ok (Json.Object fields) ->
+      render (Json.Object (fields @ [ ("fleet_applied", Json.Number (float_of_int !applied)) ]))
+    | _ -> resp)
+  | None ->
+    t.unavailable <- t.unavailable + 1;
+    render (Wire.unavailable_response ~id:(Some id) ~attempts:t.nshards)
+
+let anycast t ~id line =
+  let rec go s =
+    if s >= t.nshards then begin
+      t.unavailable <- t.unavailable + 1;
+      render (Wire.unavailable_response ~id:(Some id) ~attempts:t.nshards)
+    end
+    else if not (routable t s) then go (s + 1)
+    else match attempt t ~shard:s [ line ] with Ok [ resp ] -> resp | _ -> go (s + 1)
+  in
+  go 0
+
+(* The aggregated health/stats op doubles as the active health check:
+   every shard is probed and the probe outcome feeds its breaker, so a
+   monitoring loop hitting [health] keeps the failure detector warm
+   and closes breakers of recovered shards. *)
+let aggregate t ~id ~field =
+  let probe =
+    probe_line
+      (if field = "health" then Wire.Health { id = "router-probe" }
+       else Wire.Stats { id = "router-probe" })
+  in
+  let shard_json s =
+    let payload, reachable =
+      match attempt t ~shard:s [ probe ] with
+      | Ok [ resp ] -> (
+        match Json.of_string resp with
+        | Ok doc -> (Option.value (Json.member field doc) ~default:Json.Null, true)
+        | Error _ -> (Json.Null, true))
+      | Ok _ | Error _ -> (Json.Null, false)
+    in
+    Json.Object
+      [
+        ("shard", Json.Number (float_of_int s));
+        ("state", Json.String (state_name (shard_state t s)));
+        ("reachable", Json.Bool reachable);
+        ("breaker", Breaker.to_json t.breakers.(s));
+        (field, payload);
+      ]
+  in
+  let shards = List.init t.nshards shard_json in
+  render
+    (Json.Object
+       [
+         ("id", Json.String id);
+         ("status", Json.String "ok");
+         ( field,
+           Json.Object
+             [
+               ("role", Json.String "router");
+               ("router", router_json t);
+               ("shards", Json.Array shards);
+             ] );
+       ])
+
+(* ---- the batch entry point ---- *)
+
+type slot =
+  | Direct of string
+  | Compile_slot of { id : string; line : string; key : string; deadline : float option }
+  | Cast of { line : string; req : Wire.request }
+
+let classify t ~max_frame frame =
+  match frame with
+  | Server.Oversize -> Direct (render (Wire.frame_too_large_response ~id:None ~limit:max_frame))
+  | Server.Line line -> (
+    if String.length line > max_frame then
+      Direct (render (Wire.frame_too_large_response ~id:None ~limit:max_frame))
+    else
+      match Json.of_string line with
+      | Error e -> Direct (render (Wire.error_response ~id:None ("bad JSON: " ^ e)))
+      | Ok doc -> (
+        match Wire.request_of_json doc with
+        | Error e -> Direct (render (Wire.error_response ~id:None e))
+        | Ok req -> (
+          match req with
+          | Wire.Compile { id; device; circuit; params } ->
+            Compile_slot { id; line; key = routing_key t ~device ~params circuit;
+                           deadline = params.Wire.deadline }
+          | Wire.Ping { id } ->
+            Direct
+              (render
+                 (Json.Object
+                    [
+                      ("id", Json.String id);
+                      ("status", Json.String "ok");
+                      ("pong", Json.Bool true);
+                    ]))
+          | req -> Cast { line; req })))
+
+let handle_frames ?(max_frame = Wire.default_max_frame) t frames =
+  let frames =
+    List.filter (function Server.Line l -> String.trim l <> "" | Server.Oversize -> true) frames
+  in
+  let slots = Array.of_list (List.map (classify t ~max_frame) frames) in
+  let results = Array.make (Array.length slots) None in
+  Array.iteri (fun i -> function Direct line -> results.(i) <- Some line | _ -> ()) slots;
+  (* Compiles first (one routed batch), then the fan-out ops in frame
+     order — mirroring Service.handle_batch, where non-compile ops
+     pipelined behind compiles observe the batch's effects. *)
+  let compiles =
+    Array.to_list slots
+    |> List.mapi (fun i s -> (i, s))
+    |> List.filter_map (fun (i, s) ->
+           match s with
+           | Compile_slot { id; line; key; deadline } -> Some (i, id, line, key, deadline)
+           | _ -> None)
+  in
+  route_compiles t results compiles;
+  let stop = ref false in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Direct _ | Compile_slot _ -> ()
+      | Cast { line; req } ->
+        let id = Wire.request_id req in
+        let resp =
+          match req with
+          | Wire.Health _ -> aggregate t ~id ~field:"health"
+          | Wire.Stats _ -> aggregate t ~id ~field:"stats"
+          | Wire.Bump _ | Wire.Calibrate _ | Wire.Rollback _ -> broadcast_apply t ~id line
+          | Wire.Devices _ | Wire.Epoch_status _ -> anycast t ~id line
+          | Wire.Shutdown _ ->
+            stop := true;
+            for s = 0 to t.nshards - 1 do
+              ignore (t.transport.send ~shard:s [ line ])
+            done;
+            render
+              (Json.Object
+                 [
+                   ("id", Json.String id);
+                   ("status", Json.String "ok");
+                   ("stopping", Json.Bool true);
+                 ])
+          | Wire.Compile _ | Wire.Ping _ -> render (Wire.internal_error_response ~id:(Some id) "unroutable op")
+        in
+        results.(i) <- Some resp)
+    slots;
+  let out =
+    Array.to_list
+      (Array.map
+         (function
+           | Some line -> line
+           | None -> render (Wire.internal_error_response ~id:None "internal: missing response"))
+         results)
+  in
+  (out, !stop)
+
+let handle_lines ?max_frame t lines =
+  handle_frames ?max_frame t (List.map (fun l -> Server.Line l) lines)
+
+(* ---- socket transport ----
+
+   One lazily-connected Unix-domain connection per shard, reconnected
+   on demand.  Failures are fast and typed: a missing socket file or a
+   refused connect returns [Error] immediately (the shard is down —
+   that's the router's cue to fail over), and a read that exceeds
+   [timeout] abandons the connection.  Any error closes the
+   connection so the next attempt starts clean. *)
+
+let socket_transport ?(timeout = 10.0) ~socket_for () =
+  let conns : (int, Unix.file_descr * Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let close_conn shard =
+    match Hashtbl.find_opt conns shard with
+    | Some (fd, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Hashtbl.remove conns shard
+    | None -> ()
+  in
+  let connect shard =
+    match Hashtbl.find_opt conns shard with
+    | Some c -> Ok c
+    | None -> (
+      let path = socket_for shard in
+      match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+      | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+      | fd -> (
+        match Unix.connect fd (Unix.ADDR_UNIX path) with
+        | () ->
+          let c = (fd, Buffer.create 4096) in
+          Hashtbl.replace conns shard c;
+          Ok c
+        | exception Unix.Unix_error (err, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Unix.error_message err)))
+  in
+  let write_all fd s =
+    let b = Bytes.of_string s in
+    let n = Bytes.length b in
+    let rec go off =
+      if off < n then
+        match Unix.write fd b off (n - off) with
+        | w -> go (off + w)
+        | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+      else Ok ()
+    in
+    go 0
+  in
+  let read_line fd buf ~deadline =
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      let s = Buffer.contents buf in
+      match String.index_opt s '\n' with
+      | Some i ->
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+        Ok (String.sub s 0 i)
+      | None ->
+        let now = Unix.gettimeofday () in
+        if now >= deadline then Error "shard response timeout"
+        else (
+          match Unix.select [ fd ] [] [] (Float.min 0.25 (deadline -. now)) with
+          | [], _, _ -> go ()
+          | _ -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> Error "shard closed the connection"
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              go ()
+            | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err))
+          | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err))
+    in
+    go ()
+  in
+  let send ~shard lines =
+    match connect shard with
+    | Error e -> Error e
+    | Ok (fd, buf) -> (
+      let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+      match write_all fd payload with
+      | Error e ->
+        close_conn shard;
+        Error e
+      | Ok () -> (
+        let deadline = Unix.gettimeofday () +. timeout in
+        let rec read_n acc k =
+          if k = 0 then Ok (List.rev acc)
+          else
+            match read_line fd buf ~deadline with
+            | Ok line -> read_n (line :: acc) (k - 1)
+            | Error e -> Error e
+        in
+        match read_n [] (List.length lines) with
+        | Ok resp -> Ok resp
+        | Error e ->
+          close_conn shard;
+          Error e))
+  in
+  { send }

@@ -1,0 +1,82 @@
+(** Fleet front door (DESIGN.md §14): routes compile requests to
+    shards over a consistent-hash {!Ring}, fails over around dead
+    shards with typed, bounded retry, and aggregates fan-out ops.
+
+    Failover per shard: [Live] (breaker closed) → [Degraded] (a
+    connect/ack failure trips the threshold-1 breaker; requests
+    short-circuit to the key's ring successor until a cooloff probe
+    succeeds) → back to [Live].  A shard marked rebuilding (via
+    {!set_rebuilding}, while it replays its peer replica) is taken off
+    the ring entirely so a warming cache never serves.
+
+    A routed compile gets the primary attempt on its owner plus at
+    most one hedged retry on its ring successor, behind a jittered
+    backoff bounded by the request deadline (or the config budget);
+    exhaustion answers the typed [unavailable], never a hang.  The
+    aggregated [health]/[stats] ops probe every shard and feed the
+    outcomes into the breakers — monitoring doubles as the active
+    health check that closes breakers of recovered shards. *)
+
+type transport = { send : shard:int -> string list -> (string list, string) result }
+(** [send ~shard lines] must return exactly one response line per
+    request line, or [Error] — which counts as a shard failure. *)
+
+type config = {
+  vnodes : int;
+  retry_backoff : float;  (** base of the jittered pre-retry sleep, seconds *)
+  jitter_seed : int;
+  default_budget : float;  (** retry budget for requests with no deadline *)
+  breaker : Breaker.config;
+}
+
+val default_config : config
+(** vnodes 64, backoff 20 ms, budget 5 s, breaker threshold 1 /
+    cooloff 0.5 s. *)
+
+type shard_state = Live | Degraded | Rebuilding
+
+val state_name : shard_state -> string
+
+type t
+
+val create :
+  ?config:config ->
+  ?clock:(unit -> float) ->
+  ?width:(string -> int option) ->
+  nshards:int ->
+  transport:transport ->
+  unit ->
+  t
+(** [width device] is the device's qubit count, used to canonicalize
+    circuits for the routing key (unknown devices still route, just
+    without width normalization). *)
+
+val nshards : t -> int
+val ring : t -> Ring.t
+val breaker : t -> int -> Breaker.t
+val shard_state : t -> int -> shard_state
+val routable : t -> int -> bool
+
+val set_rebuilding : t -> int -> bool -> unit
+(** While true the shard is off the ring (not routable). *)
+
+val reset_breaker : t -> int -> unit
+(** Fresh closed breaker — call when a rebuilt shard rejoins. *)
+
+val routing_key : t -> device:string -> params:Wire.params -> Qcx_circuit.Circuit.t -> string
+(** Pure function of (device, knobs, canonical circuit) — excludes the
+    epoch and the deadline, so equal cache keys always route alike. *)
+
+val handle_frames : ?max_frame:int -> t -> Server.frame list -> string list * bool
+(** The router's batch handler — same contract as
+    {!Server.handle_frames} (one response line per non-blank frame,
+    flag true on shutdown), pluggable into {!Server.serve_socket_with}. *)
+
+val handle_lines : ?max_frame:int -> t -> string list -> string list * bool
+
+val socket_transport : ?timeout:float -> socket_for:(int -> string) -> unit -> transport
+(** Unix-domain transport: one lazily-(re)connected connection per
+    shard at [socket_for shard].  Missing socket / refused connect
+    fails fast; a response exceeding [timeout] (default 10 s) abandons
+    the connection.  Every error closes the connection so the next
+    attempt starts clean. *)

@@ -205,7 +205,7 @@ let write_all ?timeout fd s =
   in
   try go 0 with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
 
-let serve_connection service fd ~max_batch ~max_frame ~write_timeout ~stop =
+let serve_connection_with ~handle fd ~max_batch ~max_frame ~write_timeout ~stop =
   (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
   let r = make_reader ~max_frame fd in
   let rec loop () =
@@ -213,55 +213,108 @@ let serve_connection service fd ~max_batch ~max_frame ~write_timeout ~stop =
     | None -> false
     | Some first ->
       let batch = first :: drain_available r ~max:(max_batch - 1) [] in
-      let responses, shutdown = handle_frames ~max_frame service batch in
+      let responses, shutdown = handle batch in
       write_all ?timeout:write_timeout fd (String.concat "" (List.map (fun l -> l ^ "\n") responses));
       if shutdown then true else loop ()
   in
   try loop () with Slow_client -> false
 
-let serve_socket ?max_batch ?(max_frame = Wire.default_max_frame) ?write_timeout
-    ?(stop = fun () -> false) service ~path =
-  let max_batch =
-    match max_batch with
-    | Some m -> max 1 m
-    | None -> 2 * (Service.config service).Service.queue_bound
-  in
+let overloaded_line =
+  Json.to_string ~indent:false (Wire.overloaded_response ~id:None) ^ "\n"
+
+(* Shed one accepted-but-over-bound connection: a typed [overloaded]
+   line (best effort, short timeout — the client may already be gone)
+   and the close.  A refused connection still gets a parseable answer,
+   never a silent RST. *)
+let shed_connection fd =
+  (try write_all ~timeout:0.05 fd overloaded_line with Slow_client -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_socket_with ?(max_batch = 128) ?(max_frame = Wire.default_max_frame) ?write_timeout
+    ?(stop = fun () -> false) ?(backlog = 16) ?max_pending ?(note_panic = fun () -> ())
+    ~handle ~path () =
+  let max_batch = max 1 max_batch in
   (match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
   | () -> ()
   | exception Invalid_argument _ -> ());
   if Sys.file_exists path then Sys.remove path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let pending : Unix.file_descr Queue.t = Queue.create () in
   Fun.protect
     ~finally:(fun () ->
+      Queue.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) pending;
+      Queue.clear pending;
       (try Unix.close sock with Unix.Unix_error _ -> ());
       try Sys.remove path with Sys_error _ -> ())
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 16;
+      Unix.listen sock (max 1 backlog);
       (try Unix.set_nonblock sock with Unix.Unix_error _ -> ());
+      let accept_burst () =
+        (* With an admission bound, drain every connection already in
+           the kernel queue so the excess is shed with a typed answer
+           NOW, instead of waiting its turn just to time out. *)
+        match max_pending with
+        | None -> ()
+        | Some bound ->
+          let budget = ref (bound + 8) in
+          let continue = ref true in
+          while !continue && !budget > 0 && readable sock 0.0 do
+            (match Unix.accept sock with
+            | client, _ ->
+              decr budget;
+              if Queue.length pending > bound then shed_connection client
+              else Queue.add client pending
+            | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+              ->
+              continue := false)
+          done;
+          while Queue.length pending > bound + 1 do
+            (* Newest beyond the bound are shed; the queue keeps FIFO
+               fairness for the ones admitted. *)
+            shed_connection (Queue.pop pending)
+          done
+      in
+      let serve_one client =
+        Fun.protect
+          ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+          (fun () ->
+            (* Crash-recovery wrapper: a handler panic closes this
+               connection but the daemon keeps accepting. *)
+            try serve_connection_with ~handle client ~max_batch ~max_frame ~write_timeout ~stop
+            with
+            | Slow_client -> false
+            | Unix.Unix_error _ -> false
+            | Stack_overflow | Failure _ | Invalid_argument _ | Not_found ->
+              note_panic ();
+              false)
+      in
       let rec accept_loop () =
         if stop () then ()
-        else if not (readable sock tick) then accept_loop ()
-        else
-          match Unix.accept sock with
-          | client, _ ->
-            let shutdown =
-              Fun.protect
-                ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
-                (fun () ->
-                  (* Crash-recovery wrapper: a handler panic closes
-                     this connection but the daemon keeps accepting. *)
-                  try serve_connection service client ~max_batch ~max_frame ~write_timeout ~stop
-                  with
-                  | Slow_client -> false
-                  | Unix.Unix_error _ -> false
-                  | Stack_overflow | Failure _ | Invalid_argument _ | Not_found ->
-                    Service.note_panic service;
-                    false)
-            in
-            if not shutdown then accept_loop ()
-          | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-            ->
-            accept_loop ()
+        else begin
+          accept_burst ();
+          match Queue.take_opt pending with
+          | Some client -> if serve_one client then () else accept_loop ()
+          | None ->
+            if not (readable sock tick) then accept_loop ()
+            else (
+              match Unix.accept sock with
+              | client, _ -> if serve_one client then () else accept_loop ()
+              | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                ->
+                accept_loop ())
+        end
       in
       accept_loop ())
+
+let serve_socket ?max_batch ?(max_frame = Wire.default_max_frame) ?write_timeout ?stop ?backlog
+    ?max_pending service ~path =
+  let max_batch =
+    match max_batch with
+    | Some m -> max 1 m
+    | None -> 2 * (Service.config service).Service.queue_bound
+  in
+  serve_socket_with ~max_batch ~max_frame ?write_timeout ?stop ?backlog ?max_pending
+    ~note_panic:(fun () -> Service.note_panic service)
+    ~handle:(fun frames -> handle_frames ~max_frame service frames)
+    ~path ()

@@ -40,11 +40,37 @@ val serve_channels : Service.t -> in_channel -> out_channel -> unit
     single batch (so admission control applies to the whole input),
     write response lines, flush.  Stops early at a [shutdown]. *)
 
+val serve_socket_with :
+  ?max_batch:int ->
+  ?max_frame:int ->
+  ?write_timeout:float ->
+  ?stop:(unit -> bool) ->
+  ?backlog:int ->
+  ?max_pending:int ->
+  ?note_panic:(unit -> unit) ->
+  handle:(frame list -> string list * bool) ->
+  path:string ->
+  unit ->
+  unit
+(** The accept loop with a pluggable batch handler — the fleet router
+    serves through this with {!Router.handle_frames} in place of the
+    single-service {!handle_frames}.  [backlog] (default 16) is the
+    kernel listen queue.  [max_pending] (default: none) bounds
+    admitted-but-unserved connections: when set, every connection
+    already in the kernel queue is accepted eagerly and the excess
+    beyond the bound is shed immediately with a typed [overloaded]
+    response line and a close — a refused client always gets a
+    parseable answer, never a silent reset or an unbounded wait.
+    [note_panic] is called when a connection handler dies (the daemon
+    keeps accepting). *)
+
 val serve_socket :
   ?max_batch:int ->
   ?max_frame:int ->
   ?write_timeout:float ->
   ?stop:(unit -> bool) ->
+  ?backlog:int ->
+  ?max_pending:int ->
   Service.t ->
   path:string ->
   unit
@@ -56,4 +82,5 @@ val serve_socket :
     [stop ()] turns true (graceful drain: in-flight batches finish
     and their responses are written first).  [write_timeout] bounds
     each response write; a stalled client is disconnected, the server
-    lives on.  The socket file is removed on return. *)
+    lives on.  [backlog]/[max_pending] as in {!serve_socket_with}.
+    The socket file is removed on return. *)

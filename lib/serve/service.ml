@@ -58,6 +58,12 @@ type t = {
   mutable compile_fault : (nth:int -> compile_fault option) option;
   mutable calibrator : Calibrator.t option;
   mutable day : int;  (** logical calibration day, advanced by calibrate ops *)
+  mutable on_insert : (string -> Cache.entry -> unit) option;
+      (** tee on every cache insertion — the fleet shard hangs its
+          replication sender here *)
+  mutable extra_health : (unit -> (string * Json.t) list) option;
+      (** extra fields appended to the [health] payload (per-shard
+          identity and replication lag in fleet mode) *)
 }
 
 type outcome = {
@@ -101,12 +107,16 @@ let create ?(config = default_config) ?(clock = Unix.gettimeofday) registry =
     compile_fault = None;
     calibrator = None;
     day = 0;
+    on_insert = None;
+    extra_health = None;
   }
 
 let registry t = t.registry
 let cache t = t.cache
 let config t = t.config
 let set_compile_fault t fault = t.compile_fault <- fault
+let set_on_insert t f = t.on_insert <- f
+let set_extra_health t f = t.extra_health <- f
 let set_calibrator t c = t.calibrator <- c
 let calibrator t = t.calibrator
 let day t = t.day
@@ -252,6 +262,10 @@ let checkpoint t =
    degrades durability to the last checkpoint but never blocks
    serving. *)
 let cache_insert t key entry =
+  (* The replication tee runs on every insert, persistence or not: the
+     peer's replica is an independent durability channel, so a failing
+     local journal must not silence it (and vice versa). *)
+  (match t.on_insert with Some f -> f key entry | None -> ());
   match t.persistence with
   | None -> Cache.add t.cache key entry
   | Some p ->
@@ -459,19 +473,21 @@ let devices_status_json t ids =
 
 let health_json t =
   let c = Cache.counters t.cache in
+  let extra = match t.extra_health with Some f -> f () | None -> [] in
   Json.Object
-    [
-      ("ready", Json.Bool (not t.draining));
-      ("draining", Json.Bool t.draining);
-      ("cache_size", Json.Number (float_of_int c.Cache.size));
-      ("cache_purged", Json.Number (float_of_int c.Cache.purged));
-      ("panics", Json.Number (float_of_int t.panics));
-      ("idle_ns", Json.Number t.idle_ns);
-      ("day", Json.Number (float_of_int t.day));
-      ("devices", devices_status_json t (Registry.ids t.registry));
-      ("breakers", breakers_json t);
-      ("journal", journal_json t);
-    ]
+    ([
+       ("ready", Json.Bool (not t.draining));
+       ("draining", Json.Bool t.draining);
+       ("cache_size", Json.Number (float_of_int c.Cache.size));
+       ("cache_purged", Json.Number (float_of_int c.Cache.purged));
+       ("panics", Json.Number (float_of_int t.panics));
+       ("idle_ns", Json.Number t.idle_ns);
+       ("day", Json.Number (float_of_int t.day));
+       ("devices", devices_status_json t (Registry.ids t.registry));
+       ("breakers", breakers_json t);
+       ("journal", journal_json t);
+     ]
+    @ extra)
 
 let handle_other t req =
   match req with

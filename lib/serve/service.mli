@@ -128,6 +128,16 @@ val set_compile_fault : t -> (nth:int -> compile_fault option) option -> unit
 (** Chaos hook: consulted once per cold-compile attempt with a
     monotone attempt index ([nth]), independent of [jobs]. *)
 
+val set_on_insert : t -> (string -> Cache.entry -> unit) option -> unit
+(** Tee called on every cache insertion (before the journal append) —
+    the fleet {!Shard} hangs its {!Replica} sender here so the peer
+    sees the same append stream the local journal sees.  The hook must
+    never raise. *)
+
+val set_extra_health : t -> (unit -> (string * Qcx_persist.Json.t) list) option -> unit
+(** Extra fields appended to the {!health_json} payload — fleet shards
+    report their shard index, peer, and replication lag through it. *)
+
 (* ---- calibration data plane ---- *)
 
 val set_calibrator : t -> Calibrator.t option -> unit

@@ -438,4 +438,10 @@ let frame_too_large_response ~id ~limit =
 
 let internal_error_response ~id msg = typed_error ~id ~status:"internal_error" msg
 
+let unavailable_response ~id ~attempts =
+  typed_error ~id ~status:"unavailable"
+    (Printf.sprintf "no live shard could serve the request (%d attempt%s)" attempts
+       (if attempts = 1 then "" else "s"))
+    ~extra:[ ("attempts", Json.Number (float_of_int attempts)) ]
+
 let default_max_frame = 1 lsl 20

@@ -129,5 +129,10 @@ val internal_error_response : id:string option -> string -> Json.t
 (** Last-resort typed wrapper for handler panics (status
     ["internal_error"]). *)
 
+val unavailable_response : id:string option -> attempts:int -> Json.t
+(** The fleet router exhausted its failover attempts — no live shard
+    could serve the request (status ["unavailable"], carries how many
+    shards were tried). *)
+
 val default_max_frame : int
 (** Default input frame bound, 1 MiB. *)

@@ -19,6 +19,7 @@ let () =
     @ Test_faults.suite
     @ Test_serve.suite
     @ Test_chaos.suite
+    @ Test_fleet.suite
     @ Test_calibration.suite
     @ Test_mitigation.suite
     @ Test_integration.suite
