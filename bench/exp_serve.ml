@@ -70,7 +70,7 @@ let summary_json xs =
       ("mean_ms", Json.Number (1000.0 *. Core.Stats.mean xs));
     ]
 
-let run ~seed ~requests ~jobs ~out =
+let run ~seed ~requests ~jobs ~smoke ~out =
   let rng = Core.Rng.create seed in
   let devices = [ Core.Presets.example_6q (); Core.Presets.poughkeepsie (); Core.Presets.johannesburg () ] in
   let registry = Registry.create () in
@@ -193,6 +193,149 @@ let run ~seed ~requests ~jobs ~out =
          responses)
   in
 
+  (* Phase 4: cached-path throughput through the rendered batch path —
+     what the socket reactor serves (DESIGN.md §15).  The phase-1
+     cache is warm; replay the popular templates in admission-sized
+     batches of Wire requests and count rendered responses/second. *)
+  let hot = Hashtbl.fold (fun _ (tpl, _) acc -> tpl :: acc) served [] in
+  let hot = Array.of_list hot in
+  let batch_size = config.Service.queue_bound in
+  let hot_batch =
+    List.init batch_size (fun i ->
+        let tpl = hot.(i mod Array.length hot) in
+        Wire.Compile
+          {
+            id = Printf.sprintf "h%d" i;
+            device = tpl.device;
+            circuit = tpl.circuit;
+            params = Wire.default_params;
+          })
+  in
+  let cached_total = if smoke then 20_000 else 200_000 in
+  let iters = max 1 (cached_total / batch_size) in
+  let t3 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (Service.handle_batch_rendered service hot_batch)
+  done;
+  let cached_rps = float_of_int (iters * batch_size) /. (Unix.gettimeofday () -. t3) in
+  Printf.printf "cached-path (rendered): %.0f req/s over %d requests\n%!" cached_rps
+    (iters * batch_size);
+
+  (* Phase 5: the reactor over a live socket — 4 pipelined client
+     connections replaying cached requests concurrently, so frames
+     coalesce across connections into shared batches. *)
+  let sock_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qcx_serve_bench_%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists sock_path then Sys.remove sock_path;
+  let metrics = Core.Server.create_metrics () in
+  let server =
+    Domain.spawn (fun () ->
+        try Core.Server.serve_socket service ~path:sock_path ~batch_window:0.0005 ~metrics
+        with _ -> ())
+  in
+  let nclients = 4 in
+  let per_client = if smoke then 1_000 else 10_000 in
+  let connect () =
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let rec go tries =
+      match Unix.connect sock (Unix.ADDR_UNIX sock_path) with
+      | () -> ()
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when tries > 0 ->
+        Unix.sleepf 0.05;
+        go (tries - 1)
+    in
+    go 100;
+    sock
+  in
+  let hot_lines =
+    Array.init 100 (fun i ->
+        let tpl = hot.(i mod Array.length hot) in
+        Json.to_string ~indent:false
+          (Wire.request_to_json
+             (Wire.Compile
+                {
+                  id = Printf.sprintf "s%d" i;
+                  device = tpl.device;
+                  circuit = tpl.circuit;
+                  params = Wire.default_params;
+                }))
+        ^ "\n")
+  in
+  let clients = Array.init nclients (fun _ -> connect ()) in
+  let t4 = Unix.gettimeofday () in
+  let window = 100 in
+  let rounds = per_client / window in
+  let buf = Bytes.create 262144 in
+  for _ = 1 to rounds do
+    (* one pipelined window per client, then drain all responses *)
+    Array.iter
+      (fun sock ->
+        Array.iter (fun l -> ignore (Unix.write_substring sock l 0 (String.length l))) hot_lines)
+      clients;
+    Array.iter
+      (fun sock ->
+        let got = ref 0 in
+        while !got < window do
+          match Unix.read sock buf 0 (Bytes.length buf) with
+          | 0 -> got := window
+          | k ->
+            for j = 0 to k - 1 do
+              if Bytes.get buf j = '\n' then incr got
+            done
+        done)
+      clients
+  done;
+  let socket_rps =
+    float_of_int (nclients * rounds * window) /. (Unix.gettimeofday () -. t4)
+  in
+  let stopper = connect () in
+  let stop_line = {|{"op":"shutdown","id":"bye"}|} ^ "\n" in
+  ignore (Unix.write_substring stopper stop_line 0 (String.length stop_line));
+  Domain.join server;
+  (try Unix.close stopper with Unix.Unix_error _ -> ());
+  Array.iter (fun s -> try Unix.close s with Unix.Unix_error _ -> ()) clients;
+  if Sys.file_exists sock_path then Sys.remove sock_path;
+  Printf.printf "reactor socket: %.0f req/s over %d connections\n%!" socket_rps nclients;
+
+  (* Phase 6: seeded chaos campaign — stalled cold compiles must not
+     move the cached-path tail.  Per seed: fresh service, every 5th
+     cold compile stalls, skewed replay; p99 per op class across all
+     seeds must stay bounded. *)
+  let nseeds = if smoke then 5 else 20 in
+  let chaos_requests = if smoke then 60 else 200 in
+  let chaos_cached = ref [] and chaos_cold = ref [] in
+  for cseed = 0 to nseeds - 1 do
+    let crng = Core.Rng.create (seed + (1000 * cseed)) in
+    let cservice = Service.create ~config:{ config with Service.jobs } registry in
+    Service.set_compile_fault cservice
+      (Some (fun ~nth -> if nth mod 5 = 4 then Some (Service.Stall_compile 0.02) else None));
+    for i = 0 to chaos_requests - 1 do
+      let tpl = Core.Rng.weighted_choice crng weighted in
+      let t = Unix.gettimeofday () in
+      let doc =
+        Service.handle cservice
+          (Wire.Compile
+             {
+               id = Printf.sprintf "z%d" i;
+               device = tpl.device;
+               circuit = tpl.circuit;
+               params = Wire.default_params;
+             })
+      in
+      let dt = Unix.gettimeofday () -. t in
+      match Json.member "cached" doc with
+      | Some (Json.Bool true) -> chaos_cached := dt :: !chaos_cached
+      | _ -> chaos_cold := dt :: !chaos_cold
+    done
+  done;
+  let chaos_cached_p99 = percentile_ms 99.0 !chaos_cached in
+  let chaos_cold_p99 = percentile_ms 99.0 !chaos_cold in
+  Printf.printf
+    "chaos campaign (%d seeds, stalls injected): cached p99 %.3f ms, cold p99 %.1f ms\n%!"
+    nseeds chaos_cached_p99 chaos_cold_p99;
+
   let c = Cache.counters (Service.cache service) in
   let cold_p50 = percentile_ms 50.0 !cold and cached_p50 = percentile_ms 50.0 !cached in
   let speedup = cold_p50 /. Float.max 1e-9 cached_p50 in
@@ -214,6 +357,17 @@ let run ~seed ~requests ~jobs ~out =
             [
               ("sequential", Json.Number (float_of_int requests /. sequential_seconds));
               ("batched", Json.Number (float_of_int requests /. batched_seconds));
+              ("cached_rendered", Json.Number cached_rps);
+              ("reactor_socket", Json.Number socket_rps);
+            ] );
+        ("serving", Core.Server.metrics_json metrics);
+        ( "chaos",
+          Json.Object
+            [
+              ("seeds", Json.Number (float_of_int nseeds));
+              ("requests_per_seed", Json.Number (float_of_int chaos_requests));
+              ("cached_p99_ms", Json.Number chaos_cached_p99);
+              ("cold_p99_ms", Json.Number chaos_cold_p99);
             ] );
         ( "rungs",
           Json.Object
@@ -256,5 +410,29 @@ let run ~seed ~requests ~jobs ~out =
   Printf.printf "wrote %s\n" out;
   if hit_rate <= 0.5 || speedup < 10.0 || !mismatches > 0 then begin
     Printf.eprintf "serve bench FAILED: hit rate, speedup, or hit fidelity below target\n";
+    exit 1
+  end;
+  (* Cached-path floor (full runs only — smoke batches are too small
+     to amortize warmup): the rendered batch path must clear 1e5 req/s,
+     and the reactor socket must not collapse below the sequential
+     replay rate.  The chaos tail gate holds in both modes: injected
+     20 ms cold stalls must leave the cached p99 in microsecond
+     territory (hits never wait on the compile pool) and the cold p99
+     bounded by stall + compile time. *)
+  let rps_floor = if smoke then 0.0 else 1.0e5 in
+  if cached_rps < rps_floor then begin
+    Printf.eprintf "serve bench FAILED: cached-path %.0f req/s below %.0f floor\n" cached_rps
+      rps_floor;
+    exit 1
+  end;
+  if socket_rps < 1000.0 then begin
+    Printf.eprintf "serve bench FAILED: reactor socket path %.0f req/s below 1000 floor\n"
+      socket_rps;
+    exit 1
+  end;
+  if chaos_cached_p99 > 10.0 || chaos_cold_p99 > 2000.0 then begin
+    Printf.eprintf
+      "serve bench FAILED: chaos tail unbounded (cached p99 %.3f ms, cold p99 %.1f ms)\n"
+      chaos_cached_p99 chaos_cold_p99;
     exit 1
   end

@@ -175,6 +175,7 @@ let () =
         ~seed:(int_flag "--seed" 7)
         ~requests:(int_flag "--requests" 160)
         ~jobs:(int_flag "--jobs" 4)
+        ~smoke:(List.mem "--smoke" args)
         ~out:(str_flag "--out" "BENCH_serve.json")
     else
       Exp_soak.run

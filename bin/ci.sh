@@ -14,7 +14,10 @@
 # against the exact solver on small control slices), and an
 # error-mitigation smoke benchmark (DD must beat no-DD on the
 # idle-heavy XtalkSched slice, ZNE must beat the unmitigated
-# aggregate, the cell table must be jobs-identical).
+# aggregate, the cell table must be jobs-identical), and a serve-tier
+# smoke benchmark (rendered cached-path throughput, the event-driven
+# reactor over a live socket, and a seeded stall-injection campaign
+# with a bounded cached-path tail).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,6 +31,7 @@ dune build @drift
 dune build @sched
 dune build @scale
 dune build @mitig
+dune build @serveperf
 
 SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/qcx-ci.XXXXXX")"
 DAEMON=""
@@ -184,5 +188,9 @@ dune exec bench/main.exe -- --mitig-bench --smoke --jobs 2 \
 echo "ci: fleet smoke (shard-count determinism matrix + seeded kill drills)"
 dune exec bench/main.exe -- --fleet-bench --smoke \
   --fleet-dir "$SCRATCH/fleet-bench" --out "$SCRATCH/BENCH_fleet.json"
+
+echo "ci: serve smoke (rendered cached path, reactor socket, chaos tail)"
+dune exec bench/main.exe -- --serve-bench --smoke \
+  --out "$SCRATCH/BENCH_serve.json"
 
 echo "ci: OK"

@@ -144,6 +144,21 @@ let forward_timeout_term =
   let doc = "Router-to-shard response timeout, seconds; a slow shard counts as failed." in
   Arg.(value & opt float 10.0 & info [ "forward-timeout" ] ~docv:"SECONDS" ~doc)
 
+let batch_window_term =
+  let doc =
+    "Seconds the reactor holds the shared batch open so cold compiles from different \
+     connections coalesce into one Pool-parallel dispatch (0 = dispatch as soon as \
+     frames are available)."
+  in
+  Arg.(value & opt float 0.001 & info [ "batch-window" ] ~docv:"SECONDS" ~doc)
+
+let max_inflight_term =
+  let doc =
+    "Router-to-shard pipelining depth: chunks outstanding per shard connection before \
+     the next waits for a response."
+  in
+  Arg.(value & opt int 4 & info [ "max-inflight" ] ~docv:"N" ~doc)
+
 let lookup_device name =
   match String.lowercase_ascii name with
   | "example6q" | "example" -> Some (Core.Presets.example_6q ())
@@ -166,7 +181,7 @@ let persist service cache_file =
 let run devices_csv socket once snapshot_dir oracle calibration_dir calibration_seed jobs
     queue_bound cache_capacity cache_file max_frame max_compile breaker_threshold
     breaker_cooloff breaker_min_rung checkpoint_every write_timeout shards shard_index
-    router_only fleet_dir backlog forward_timeout =
+    router_only fleet_dir backlog forward_timeout batch_window max_inflight =
   let names =
     String.split_on_char ',' devices_csv
     |> List.map String.trim
@@ -191,6 +206,10 @@ let run devices_csv socket once snapshot_dir oracle calibration_dir calibration_
   end;
   if shards < 1 then begin
     Printf.eprintf "--shards must be at least 1\n";
+    exit 2
+  end;
+  if batch_window < 0.0 || max_inflight < 1 then begin
+    Printf.eprintf "--batch-window must be >= 0 and --max-inflight >= 1\n";
     exit 2
   end;
   (match shard_index with
@@ -302,7 +321,7 @@ let run devices_csv socket once snapshot_dir oracle calibration_dir calibration_
       Printf.eprintf "shard %d serving on %s (jobs %d)\n%!" k path jobs;
       match
         Core.Server.serve_socket service ~path ~max_frame ?write_timeout
-          ~backlog:backlog_n ?max_pending ~stop:(fun () -> !draining)
+          ~backlog:backlog_n ?max_pending ~batch_window ~stop:(fun () -> !draining)
       with
       | () ->
         Core.Shard.close sh;
@@ -323,14 +342,17 @@ let run devices_csv socket once snapshot_dir oracle calibration_dir calibration_
         (Core.Registry.find probe d)
     in
     let transport =
-      Core.Router.socket_transport ~timeout:forward_timeout ~socket_for:shard_socket ()
+      Core.Router.socket_transport ~timeout:forward_timeout ~max_inflight
+        ~socket_for:shard_socket ()
     in
     let router = Core.Router.create ~width ~nshards:shards ~transport () in
+    let metrics = Core.Server.create_metrics () in
+    Core.Router.set_serving router (Some (fun () -> Core.Server.metrics_json metrics));
     let draining = install_drain (fun () -> ()) in
     Printf.eprintf "router serving on %s over %d shard(s)\n%!" socket shards;
     match
       Core.Server.serve_socket_with ~max_frame ?write_timeout ~backlog:backlog_n
-        ?max_pending
+        ?max_pending ~batch_window ~metrics
         ~handle:(Core.Router.handle_frames ~max_frame router)
         ~path:socket
         ~stop:(fun () -> !draining)
@@ -428,7 +450,7 @@ let run devices_csv socket once snapshot_dir oracle calibration_dir calibration_
           socket jobs queue_bound cache_capacity max_frame;
         match
           Core.Server.serve_socket service ~path:socket ~max_frame ?write_timeout
-            ~backlog:backlog_n ?max_pending
+            ~backlog:backlog_n ?max_pending ~batch_window
             ~stop:(fun () -> !draining)
         with
         | () ->
@@ -456,6 +478,6 @@ let cmd =
       $ max_frame_term $ max_compile_term $ breaker_threshold_term $ breaker_cooloff_term
       $ breaker_min_rung_term $ checkpoint_every_term $ write_timeout_term $ shards_term
       $ shard_index_term $ router_only_term $ fleet_dir_term $ backlog_term
-      $ forward_timeout_term)
+      $ forward_timeout_term $ batch_window_term $ max_inflight_term)
 
 let () = exit (Cmd.eval' cmd)

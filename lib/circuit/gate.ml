@@ -92,17 +92,29 @@ let to_string g =
 let pp fmt g = Format.pp_print_string fmt (to_string g)
 
 let validate ~nqubits g =
+  (* On the serve tier this runs once per gate per request (key
+     derivation), so the common arities avoid list traversals and the
+     polymorphic compare. *)
   let arity_ok =
-    match g.kind with
-    | Cnot | Swap -> List.length g.qubits = 2
-    | Barrier -> g.qubits <> []
-    | Measure -> List.length g.qubits = 1
-    | H | X | Y | Z | S | Sdg | T | Tdg | Rx _ | Ry _ | Rz _ | U2 _ -> List.length g.qubits = 1
+    match (g.kind, g.qubits) with
+    | (Cnot | Swap), [ _; _ ] -> true
+    | (Cnot | Swap), _ -> false
+    | Barrier, qs -> qs <> []
+    | ( (Measure | H | X | Y | Z | S | Sdg | T | Tdg | Rx _ | Ry _ | Rz _ | U2 _),
+        [ _ ] ) ->
+      true
+    | (Measure | H | X | Y | Z | S | Sdg | T | Tdg | Rx _ | Ry _ | Rz _ | U2 _), _ -> false
   in
   if not arity_ok then Error (Printf.sprintf "bad operand count for %s" (kind_name g.kind))
   else if List.exists (fun q -> q < 0 || q >= nqubits) g.qubits then
     Error (Printf.sprintf "qubit out of range in %s" (to_string g))
   else
-    let sorted = List.sort_uniq compare g.qubits in
-    if List.length sorted <> List.length g.qubits then Error "duplicate operand qubits"
-    else Ok ()
+    let distinct =
+      match g.qubits with
+      | [] | [ _ ] -> true
+      | [ a; b ] -> a <> b
+      | qs ->
+        let sorted = List.sort_uniq Int.compare qs in
+        List.length sorted = List.length qs
+    in
+    if not distinct then Error "duplicate operand qubits" else Ok ()

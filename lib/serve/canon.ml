@@ -43,4 +43,103 @@ let serialize circuit =
     (Circuit.gates circuit);
   Buffer.contents b
 
+(* Fused canonical serialization for the cache-key hot path: one pass
+   over the raw gate list, emitting the exact bytes of
+   [serialize (normalize ?nqubits circuit)] without constructing the
+   two intermediate circuits (the rebuild + swap decomposition are the
+   bulk of a cache hit's cost).  Gate validation against the widened
+   register is preserved — the same [Invalid_argument]s as
+   [Circuit.add] raises inside [normalize]. *)
+(* " <q>" for the register sizes that actually occur, so qubit
+   emission is a table load instead of a fresh string_of_int
+   allocation per operand.  Read-only after module init — safe to
+   share across domains. *)
+let operand_strings = Array.init 512 (fun i -> " " ^ string_of_int i)
+
+let key_serialize ?nqubits circuit =
+  let nq = match nqubits with Some n -> n | None -> Circuit.nqubits circuit in
+  if nq <= 0 then invalid_arg "Circuit.create: nqubits must be positive";
+  let b = Buffer.create 512 in
+  Buffer.add_string b "q ";
+  Buffer.add_string b (string_of_int nq);
+  Buffer.add_char b '\n';
+  (* One-slot %h memo, local to this call (domain-safe): rotation
+     layers repeat one angle across a run of gates, so the format
+     call amortizes to a bit-compare.  Bit-level equality, not (=):
+     -0.0 and 0.0 render differently under %h. *)
+  let memo_full = ref false and last_bits = ref 0L and last_hex = ref "" in
+  let hex f =
+    let bits = Int64.bits_of_float f in
+    if !memo_full && Int64.equal bits !last_bits then !last_hex
+    else begin
+      let s = Printf.sprintf "%h" f in
+      memo_full := true;
+      last_bits := bits;
+      last_hex := s;
+      s
+    end
+  in
+  let emit kind qubits =
+    Buffer.add_string b (Gate.kind_name kind);
+    (match kind with
+    | Gate.Rx t | Gate.Ry t | Gate.Rz t ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b (hex t)
+    | Gate.U2 (p, l) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b (hex p);
+      Buffer.add_char b ' ';
+      Buffer.add_string b (hex l)
+    | _ -> ());
+    List.iter
+      (fun q ->
+        if q >= 0 && q < Array.length operand_strings then
+          Buffer.add_string b operand_strings.(q)
+        else begin
+          Buffer.add_char b ' ';
+          Buffer.add_string b (string_of_int q)
+        end)
+      qubits;
+    Buffer.add_char b '\n'
+  in
+  let flush pending =
+    List.iter (fun q -> emit Gate.Measure [ q ]) (List.sort Int.compare (List.rev pending))
+  in
+  (* Every gate was validated against the circuit's own width by
+     Circuit.add, so widening to [nq] cannot invalidate it; only a
+     narrowing register needs the bounds re-checked. *)
+  let prevalidated = nq >= Circuit.nqubits circuit in
+  let pending =
+    List.fold_left
+      (fun pending (g : Gate.t) ->
+        if not prevalidated then
+          (match Gate.validate ~nqubits:nq g with
+          | Error msg -> invalid_arg ("Circuit.add: " ^ msg)
+          | Ok () -> ());
+        match (g.kind, g.qubits) with
+        | Gate.Measure, qs -> List.hd qs :: pending
+        | Gate.Swap, qs ->
+          flush pending;
+          (* Operand order pinned by sorting before decomposition,
+             exactly as normalize does. *)
+          (match List.sort Int.compare qs with
+          | [ p; q ] ->
+            emit Gate.Cnot [ p; q ];
+            emit Gate.Cnot [ q; p ];
+            emit Gate.Cnot [ p; q ]
+          | qs -> emit Gate.Swap qs);
+          []
+        | Gate.Barrier, qs ->
+          flush pending;
+          emit Gate.Barrier (List.sort Int.compare qs);
+          []
+        | kind, qs ->
+          flush pending;
+          emit kind qs;
+          [])
+      [] (Circuit.gates circuit)
+  in
+  flush pending;
+  Buffer.contents b
+
 let digest ?nqubits circuit = Digest.to_hex (Digest.string (serialize (normalize ?nqubits circuit)))

@@ -31,5 +31,11 @@ val serialize : Qcx_circuit.Circuit.t -> string
     floats in lossless [%h] form).  Apply {!normalize} first when the
     string feeds a cache key. *)
 
+val key_serialize : ?nqubits:int -> Qcx_circuit.Circuit.t -> string
+(** Byte-identical to [serialize (normalize ?nqubits circuit)], fused
+    into one pass with no intermediate circuits — the cache-key hot
+    path (a cache hit's cost is dominated by key derivation).  Raises
+    the same [Invalid_argument]s as {!normalize}. *)
+
 val digest : ?nqubits:int -> Qcx_circuit.Circuit.t -> string
 (** Hex MD5 of [serialize (normalize ?nqubits circuit)]. *)

@@ -45,15 +45,12 @@ let create ?(service_config = Service.default_config) ?(router_config = Router.d
       Option.map (fun e -> Device.nqubits e.Registry.device) (Registry.find probe device)
     in
     let transport =
-      {
-        Router.send =
-          (fun ~shard lines ->
-            match shards.(shard) with
-            | None -> Error "shard is down"
-            | Some sh ->
-              let resp, _stop = Server.handle_lines (Shard.service sh) lines in
-              Ok resp);
-      }
+      Router.transport_of_send (fun ~shard lines ->
+          match shards.(shard) with
+          | None -> Error "shard is down"
+          | Some sh ->
+            let resp, _stop = Server.handle_lines (Shard.service sh) lines in
+            Ok resp)
     in
     let router = Router.create ~config:router_config ?clock ~width ~nshards ~transport () in
     Ok

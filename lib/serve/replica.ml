@@ -133,6 +133,8 @@ type sender = {
   mutable acked_bytes : int;
   mutable flushes : int;
   mutable failed_flushes : int;
+  mutable peak_lag_entries : int;  (* high-water marks of the pending lag — under *)
+  mutable peak_lag_bytes : int;  (* pipelined load, instantaneous lag hides bursts *)
   mutable fault : (nth:int -> fault option) option;
 }
 
@@ -171,6 +173,8 @@ let open_sender ~path ~shard ?(fsync = true) ?(batch = 1) () =
         acked_bytes = 0;
         flushes = 0;
         failed_flushes = 0;
+        peak_lag_entries = 0;
+        peak_lag_bytes = 0;
         fault = None;
       }
   with Unix.Unix_error (err, _, _) ->
@@ -178,6 +182,7 @@ let open_sender ~path ~shard ?(fsync = true) ?(batch = 1) () =
 
 let path s = s.path
 let lag s = (List.length s.pending, s.pending_bytes)
+let peak_lag s = (s.peak_lag_entries, s.peak_lag_bytes)
 let appended s = s.appended
 let acked s = s.acked
 let failed_flushes s = s.failed_flushes
@@ -224,6 +229,8 @@ let append s record =
   s.pending <- line :: s.pending;
   s.pending_bytes <- s.pending_bytes + String.length line + 1;
   s.appended <- s.appended + 1;
+  s.peak_lag_entries <- max s.peak_lag_entries (List.length s.pending);
+  s.peak_lag_bytes <- max s.peak_lag_bytes s.pending_bytes;
   (* Auto-flush at the batch bound.  During a partition the pending
      list grows past the bound, so every subsequent append retries —
      a healed link drains the backlog without outside help. *)
@@ -247,6 +254,8 @@ let to_json s =
       ("acked_bytes", Json.Number (float_of_int s.acked_bytes));
       ("lag_entries", Json.Number (float_of_int lag_entries));
       ("lag_bytes", Json.Number (float_of_int lag_bytes));
+      ("peak_lag_entries", Json.Number (float_of_int s.peak_lag_entries));
+      ("peak_lag_bytes", Json.Number (float_of_int s.peak_lag_bytes));
       ("flushes", Json.Number (float_of_int s.flushes));
       ("failed_flushes", Json.Number (float_of_int s.failed_flushes));
     ]

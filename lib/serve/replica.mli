@@ -40,6 +40,13 @@ val lag : sender -> int * int
 (** Replication lag as [(entries, bytes)] — appended but not yet
     acknowledged. *)
 
+val peak_lag : sender -> int * int
+(** High-water marks of {!lag} over the sender's lifetime — under
+    pipelined load the instantaneous lag is usually 0 by the time
+    [health] samples it, while the peak shows how deep the bursts ran
+    (also surfaced as [peak_lag_entries]/[peak_lag_bytes] in
+    {!to_json}). *)
+
 val path : sender -> string
 val appended : sender -> int
 val acked : sender -> int

@@ -19,7 +19,23 @@ module Xtalk_sched = Qcx_scheduler.Xtalk_sched
    is what bounds tail latency during an outage.  Rebuilding shards
    are taken off the ring entirely so a warming cache never serves. *)
 
-type transport = { send : shard:int -> string list -> (string list, string) result }
+type transport = {
+  send : shard:int -> string list -> (string list, string) result;
+      (** one batch, one shard: write the lines, read one response per
+          line (in order) *)
+  send_many : (int * string list) list -> (string list, string) result list;
+      (** pipelined fan-out: every chunk is written before any response
+          is awaited, so distinct shards proceed concurrently and one
+          shard can hold several chunks in flight.  Results come back
+          positionally.  A partial (short) [Ok] is allowed — the caller
+          salvages by response id. *)
+}
+
+(* Lift a plain send function into a transport; the sequential
+   [send_many] is exact for in-process transports (Fleet), where a
+   send never blocks on a peer. *)
+let transport_of_send send =
+  { send; send_many = List.map (fun (shard, lines) -> send ~shard lines) }
 
 type config = {
   vnodes : int;
@@ -60,6 +76,8 @@ type t = {
   mutable retries : int;
   mutable unavailable : int;
   mutable last_failover_at : float option;
+  mutable serving : (unit -> Json.t) option;
+      (** reactor metrics hook, embedded in aggregated health/stats *)
 }
 
 let create ?(config = default_config) ?(clock = Unix.gettimeofday) ?(width = fun _ -> None)
@@ -80,7 +98,10 @@ let create ?(config = default_config) ?(clock = Unix.gettimeofday) ?(width = fun
     retries = 0;
     unavailable = 0;
     last_failover_at = None;
+    serving = None;
   }
+
+let set_serving t f = t.serving <- f
 
 let nshards t = t.nshards
 let ring t = t.ring
@@ -130,7 +151,7 @@ let render doc = Json.to_string ~indent:false doc
 
 let router_json t =
   Json.Object
-    [
+    ([
       ("nshards", Json.Number (float_of_int t.nshards));
       ("routed", Json.Number (float_of_int t.routed));
       ("failovers", Json.Number (float_of_int t.failovers));
@@ -140,6 +161,7 @@ let router_json t =
         match t.last_failover_at with None -> Json.Null | Some x -> Json.Number x );
       ("ring_points", Json.Number (float_of_int (Array.length (Ring.points t.ring))));
     ]
+    @ (match t.serving with Some f -> [ ("serving", f ()) ] | None -> []))
 
 (* One guarded attempt against one shard.  The breaker is both the
    gate (Reject short-circuits without touching the socket) and the
@@ -160,6 +182,46 @@ let attempt t ~shard lines =
     | Error e ->
       Breaker.record_failure b ~now:(t.clock ());
       Error e)
+
+(* Pipelined variant: (shard, lines) chunks — several may target the
+   same shard — gated per chunk by the shard's breaker, dispatched
+   through one [send_many] so every admitted pipe stays full, and
+   recorded per chunk so failures feed the failover detector.  A short
+   [Ok] counts as a failure for the breaker, but the partial lines are
+   returned so the caller can salvage resolved requests by id. *)
+let attempt_many t chunks =
+  let gated =
+    List.map
+      (fun (shard, lines) ->
+        match Breaker.check t.breakers.(shard) ~now:(t.clock ()) with
+        | Breaker.Reject _ -> (shard, lines, false)
+        | Breaker.Admit | Breaker.Probe -> (shard, lines, true))
+      chunks
+  in
+  let admitted = List.filter_map (fun (s, l, adm) -> if adm then Some (s, l) else None) gated in
+  let outcomes = if admitted = [] then [] else t.transport.send_many admitted in
+  let rec zip gated outcomes acc =
+    match gated with
+    | [] -> List.rev acc
+    | (_, _, false) :: rest -> zip rest outcomes (Error "breaker open" :: acc)
+    | (shard, lines, true) :: rest ->
+      let r, outcomes =
+        match outcomes with
+        | r :: tl -> (r, tl)
+        | [] -> ((Error "transport returned too few results" : (string list, string) result), [])
+      in
+      let out =
+        match r with
+        | Ok resp when List.length resp = List.length lines ->
+          Breaker.record_success t.breakers.(shard) ~now:(t.clock ());
+          r
+        | Ok _ | Error _ ->
+          Breaker.record_failure t.breakers.(shard) ~now:(t.clock ());
+          r
+      in
+      zip rest outcomes (out :: acc)
+  in
+  zip gated outcomes []
 
 let note_failover t =
   t.failovers <- t.failovers + 1;
@@ -183,57 +245,106 @@ let group_by_shard pick items =
   let groups = Hashtbl.fold (fun s v acc -> (s, List.rev v) :: acc) tbl [] in
   (List.sort compare groups, List.rev !missing)
 
-(* items: (idx, id, line, key, deadline).  Primary attempt on the ring
-   owner, then — after a jittered backoff bounded by the remaining
-   deadline budget — at most one hedged retry on each key's ring
-   successor.  Exhaustion is the typed [unavailable], never a hang. *)
+(* Per-owner groups are cut into chunks of at most [max_chunk] lines,
+   so one giant batch becomes several chunks a shard can interleave
+   with other connections' work, and the transport can keep
+   [max_inflight] of them outstanding per pipe. *)
+let max_chunk = 64
+
+let chunk_list n xs =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = n then go (List.rev cur :: acc) [ x ] 1 rest else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 xs
+
+(* items: (idx, id, line, key, deadline).  Each forwarded compile is
+   retagged with a router-unique id ([qr-<k>]) so responses can be
+   demultiplexed by id even when distinct client connections reuse the
+   same request id.  ALL primary chunks go out through one pipelined
+   {!attempt_many} — multiple chunks stay in flight per shard, and a
+   straggler shard no longer serializes the others.  Matched responses
+   are retagged back to the client id (a byte-exact round trip, see
+   {!Wire.retag_line}).  Requests left unresolved — failed chunk, or
+   missing from a short response — fail over: one jittered backoff
+   bounded by the tightest remaining deadline budget, then one hedged
+   retry on each key's ring successor, then the typed [unavailable]. *)
 let route_compiles t results items =
   if items <> [] then begin
     let t0 = t.clock () in
-    let budget group =
-      List.fold_left
-        (fun acc (_, _, _, _, deadline) ->
-          match deadline with Some d -> Float.min acc (Float.max d 0.1) | None -> acc)
-        t.config.default_budget group
+    let counter = ref 0 in
+    let items =
+      List.map
+        (fun (idx, id, line, key, deadline) ->
+          let tag = Printf.sprintf "qr-%d" !counter in
+          incr counter;
+          (idx, id, tag, Wire.retag_line line ~id:tag, key, deadline))
+        items
     in
-    let fill group resp =
-      List.iter2 (fun (idx, _, _, _, _) line -> results.(idx) <- Some line) group resp
-    in
-    let owner_of (_, _, _, key, _) = Ring.lookup t.ring ~live:(routable t) key in
+    t.routed <- t.routed + List.length items;
+    let owner_of (_, _, _, _, key, _) = Ring.lookup t.ring ~live:(routable t) key in
     let groups, orphans = group_by_shard owner_of items in
-    List.iter
-      (fun (idx, id, _, _, _) -> mark_unavailable t results idx ~id ~attempts:0)
-      orphans;
-    List.iter
-      (fun (owner, group) ->
-        t.routed <- t.routed + List.length group;
-        match attempt t ~shard:owner (List.map (fun (_, _, line, _, _) -> line) group) with
-        | Ok resp -> fill group resp
-        | Error _ ->
-          note_failover t;
-          let remaining = budget group -. (t.clock () -. t0) in
-          let backoff =
-            Float.min (t.config.retry_backoff *. (0.5 +. Rng.unit_float t.rng)) remaining
-          in
-          if backoff > 0.0 then Unix.sleepf backoff;
-          let successor_of (_, _, _, key, _) =
-            Ring.lookup t.ring ~live:(fun s -> routable t s && s <> owner) key
-          in
-          let retry_groups, dead = group_by_shard successor_of group in
-          List.iter
-            (fun (idx, id, _, _, _) -> mark_unavailable t results idx ~id ~attempts:1)
-            dead;
-          List.iter
-            (fun (shard, g) ->
-              t.retries <- t.retries + 1;
-              match attempt t ~shard (List.map (fun (_, _, line, _, _) -> line) g) with
-              | Ok resp -> fill g resp
-              | Error _ ->
-                List.iter
-                  (fun (idx, id, _, _, _) -> mark_unavailable t results idx ~id ~attempts:2)
-                  g)
-            retry_groups)
-      groups
+    List.iter (fun (idx, id, _, _, _, _) -> mark_unavailable t results idx ~id ~attempts:0) orphans;
+    let chunks_of groups =
+      List.concat_map
+        (fun (shard, g) -> List.map (fun c -> (shard, c)) (chunk_list max_chunk g))
+        groups
+    in
+    (* Dispatch chunks, resolve every response that matches an
+       outstanding tag, and return each chunk's unresolved items. *)
+    let dispatch chunks =
+      let outcomes =
+        attempt_many t
+          (List.map (fun (s, g) -> (s, List.map (fun (_, _, _, line, _, _) -> line) g)) chunks)
+      in
+      List.map2
+        (fun (_, g) outcome ->
+          match outcome with
+          | Error _ -> g
+          | Ok resp ->
+            let by_tag = Hashtbl.create 16 in
+            List.iter
+              (fun r ->
+                match Wire.line_id r with Some tag -> Hashtbl.replace by_tag tag r | None -> ())
+              resp;
+            List.filter
+              (fun (idx, id, tag, _, _, _) ->
+                match Hashtbl.find_opt by_tag tag with
+                | Some r ->
+                  results.(idx) <- Some (Wire.retag_line r ~id);
+                  false
+                | None -> true)
+              g)
+        chunks outcomes
+    in
+    let per_chunk = dispatch (chunks_of groups) in
+    List.iter (fun u -> if u <> [] then note_failover t) per_chunk;
+    let unresolved = List.concat per_chunk in
+    if unresolved <> [] then begin
+      let budget =
+        List.fold_left
+          (fun acc (_, _, _, _, _, deadline) ->
+            match deadline with Some d -> Float.min acc (Float.max d 0.1) | None -> acc)
+          t.config.default_budget unresolved
+      in
+      let remaining = budget -. (t.clock () -. t0) in
+      let backoff =
+        Float.min (t.config.retry_backoff *. (0.5 +. Rng.unit_float t.rng)) remaining
+      in
+      if backoff > 0.0 then Unix.sleepf backoff;
+      let successor_of ((_, _, _, _, key, _) as item) =
+        match owner_of item with
+        | None -> None
+        | Some owner -> Ring.lookup t.ring ~live:(fun s -> routable t s && s <> owner) key
+      in
+      let retry_groups, dead = group_by_shard successor_of unresolved in
+      List.iter (fun (idx, id, _, _, _, _) -> mark_unavailable t results idx ~id ~attempts:1) dead;
+      let retry_chunks = chunks_of retry_groups in
+      t.retries <- t.retries + List.length retry_chunks;
+      let still = List.concat (dispatch retry_chunks) in
+      List.iter (fun (idx, id, _, _, _, _) -> mark_unavailable t results idx ~id ~attempts:2) still
+    end
   end
 
 (* ---- fan-out ops ---- *)
@@ -244,15 +355,16 @@ let probe_line req = render (Wire.request_to_json req)
    drift apart; applied best-effort to each routable shard, first
    answer wins, the fan-out count rides along as [fleet_applied]. *)
 let broadcast_apply t ~id line =
+  let targets = List.filter (routable t) (List.init t.nshards Fun.id) in
+  let outcomes = attempt_many t (List.map (fun s -> (s, [ line ])) targets) in
   let applied = ref 0 and first = ref None in
-  for s = 0 to t.nshards - 1 do
-    if routable t s then
-      match attempt t ~shard:s [ line ] with
+  List.iter
+    (function
       | Ok [ resp ] ->
         incr applied;
         if !first = None then first := Some resp
-      | Ok _ | Error _ -> ()
-  done;
+      | Ok _ | Error _ -> ())
+    outcomes;
   match !first with
   | Some resp -> (
     match Json.of_string resp with
@@ -275,7 +387,9 @@ let anycast t ~id line =
   go 0
 
 (* The aggregated health/stats op doubles as the active health check:
-   every shard is probed and the probe outcome feeds its breaker, so a
+   every shard is probed — concurrently, through one [send_many], so a
+   dead shard's connect timeout never adds itself to every other
+   shard's probe — and the probe outcome feeds its breaker, so a
    monitoring loop hitting [health] keeps the failure detector warm
    and closes breakers of recovered shards. *)
 let aggregate t ~id ~field =
@@ -284,9 +398,12 @@ let aggregate t ~id ~field =
       (if field = "health" then Wire.Health { id = "router-probe" }
        else Wire.Stats { id = "router-probe" })
   in
+  let outcomes =
+    attempt_many t (List.init t.nshards (fun s -> (s, [ probe ]))) |> Array.of_list
+  in
   let shard_json s =
     let payload, reachable =
-      match attempt t ~shard:s [ probe ] with
+      match outcomes.(s) with
       | Ok [ resp ] -> (
         match Json.of_string resp with
         | Ok doc -> (Option.value (Json.member field doc) ~default:Json.Null, true)
@@ -386,9 +503,7 @@ let handle_frames ?(max_frame = Wire.default_max_frame) t frames =
           | Wire.Devices _ | Wire.Epoch_status _ -> anycast t ~id line
           | Wire.Shutdown _ ->
             stop := true;
-            for s = 0 to t.nshards - 1 do
-              ignore (t.transport.send ~shard:s [ line ])
-            done;
+            ignore (t.transport.send_many (List.init t.nshards (fun s -> (s, [ line ]))));
             render
               (Json.Object
                  [
@@ -415,14 +530,34 @@ let handle_lines ?max_frame t lines =
 
 (* ---- socket transport ----
 
-   One lazily-connected Unix-domain connection per shard, reconnected
-   on demand.  Failures are fast and typed: a missing socket file or a
-   refused connect returns [Error] immediately (the shard is down —
-   that's the router's cue to fail over), and a read that exceeds
-   [timeout] abandons the connection.  Any error closes the
-   connection so the next attempt starts clean. *)
+   One lazily-connected persistent Unix-domain connection per shard,
+   reconnected on demand, driven non-blocking through one select loop
+   per [send_many] call.  Chunks for distinct shards proceed
+   concurrently; chunks for the same shard pipeline, at most
+   [max_inflight] outstanding on the wire at once (the rest queue
+   locally), with responses matched positionally per connection — the
+   reactor on the far side answers a connection's frames in order.
 
-let socket_transport ?(timeout = 10.0) ~socket_for () =
+   Failures are fast and typed: a missing socket file or a refused
+   connect fails that shard's chunks immediately (the shard is down —
+   that's the router's cue to fail over); a read/write error or a
+   [timeout] overrun fails every unresolved chunk on that shard and
+   closes the connection so the next attempt starts clean.  A chunk
+   interrupted mid-response salvages the lines it got (short [Ok]). *)
+
+type pipe = {
+  p_shard : int;
+  p_fd : Unix.file_descr;
+  p_rbuf : Buffer.t;  (* unconsumed response bytes, persistent per conn *)
+  p_pending : (int * string list) Queue.t;  (* (slot, lines) not yet on the wire *)
+  p_inflight : (int * int * string list ref) Queue.t;  (* slot, expected, acc (rev) *)
+  mutable p_wbuf : string;
+  mutable p_woff : int;
+  mutable p_done : bool;
+}
+
+let socket_transport ?(timeout = 10.0) ?(max_inflight = 4) ~socket_for () =
+  let max_inflight = max 1 max_inflight in
   let conns : (int, Unix.file_descr * Buffer.t) Hashtbl.t = Hashtbl.create 8 in
   let close_conn shard =
     match Hashtbl.find_opt conns shard with
@@ -441,6 +576,7 @@ let socket_transport ?(timeout = 10.0) ~socket_for () =
       | fd -> (
         match Unix.connect fd (Unix.ADDR_UNIX path) with
         | () ->
+          Unix.set_nonblock fd;
           let c = (fd, Buffer.create 4096) in
           Hashtbl.replace conns shard c;
           Ok c
@@ -448,66 +584,148 @@ let socket_transport ?(timeout = 10.0) ~socket_for () =
           (try Unix.close fd with Unix.Unix_error _ -> ());
           Error (Unix.error_message err)))
   in
-  let write_all fd s =
-    let b = Bytes.of_string s in
-    let n = Bytes.length b in
-    let rec go off =
-      if off < n then
-        match Unix.write fd b off (n - off) with
-        | w -> go (off + w)
-        | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
-      else Ok ()
-    in
-    go 0
-  in
-  let read_line fd buf ~deadline =
-    let chunk = Bytes.create 4096 in
-    let rec go () =
-      let s = Buffer.contents buf in
-      match String.index_opt s '\n' with
-      | Some i ->
-        Buffer.clear buf;
-        Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
-        Ok (String.sub s 0 i)
-      | None ->
-        let now = Unix.gettimeofday () in
-        if now >= deadline then Error "shard response timeout"
-        else (
-          match Unix.select [ fd ] [] [] (Float.min 0.25 (deadline -. now)) with
-          | [], _, _ -> go ()
-          | _ -> (
-            match Unix.read fd chunk 0 (Bytes.length chunk) with
-            | 0 -> Error "shard closed the connection"
-            | n ->
-              Buffer.add_subbytes buf chunk 0 n;
-              go ()
-            | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err))
-          | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err))
-    in
-    go ()
+  let send_many chunks =
+    match chunks with
+    | [] -> []
+    | chunks ->
+      let deadline = Unix.gettimeofday () +. timeout in
+      let n = List.length chunks in
+      let results = Array.make n (Error "unresolved") in
+      (* group the chunks onto per-shard pipes, connecting on demand *)
+      let by_shard : (int, pipe) Hashtbl.t = Hashtbl.create 8 in
+      List.iteri
+        (fun slot (shard, lines) ->
+          match Hashtbl.find_opt by_shard shard with
+          | Some p -> Queue.add (slot, lines) p.p_pending
+          | None -> (
+            match connect shard with
+            | Error e -> results.(slot) <- Error e
+            | Ok (fd, rbuf) ->
+              let p =
+                {
+                  p_shard = shard;
+                  p_fd = fd;
+                  p_rbuf = rbuf;
+                  p_pending = Queue.create ();
+                  p_inflight = Queue.create ();
+                  p_wbuf = "";
+                  p_woff = 0;
+                  p_done = false;
+                }
+              in
+              Queue.add (slot, lines) p.p_pending;
+              Hashtbl.replace by_shard shard p))
+        chunks;
+      let pipes = Hashtbl.fold (fun _ p acc -> p :: acc) by_shard [] in
+      let fail_pipe p msg =
+        Queue.iter
+          (fun (slot, _expected, acc) ->
+            results.(slot) <-
+              (match !acc with [] -> Error msg | partial -> Ok (List.rev partial)))
+          p.p_inflight;
+        Queue.clear p.p_inflight;
+        Queue.iter (fun (slot, _) -> results.(slot) <- Error msg) p.p_pending;
+        Queue.clear p.p_pending;
+        p.p_wbuf <- "";
+        p.p_woff <- 0;
+        p.p_done <- true;
+        close_conn p.p_shard
+      in
+      (* move queued chunks onto the wire while the pipe has room *)
+      let arm p =
+        if p.p_woff >= String.length p.p_wbuf then begin
+          let buf = Buffer.create 1024 in
+          while Queue.length p.p_inflight < max_inflight && not (Queue.is_empty p.p_pending) do
+            let slot, lines = Queue.pop p.p_pending in
+            List.iter
+              (fun l ->
+                Buffer.add_string buf l;
+                Buffer.add_char buf '\n')
+              lines;
+            Queue.add (slot, List.length lines, ref []) p.p_inflight
+          done;
+          if Buffer.length buf > 0 then begin
+            p.p_wbuf <- Buffer.contents buf;
+            p.p_woff <- 0
+          end
+        end
+      in
+      (* consume complete response lines; a pipe's responses resolve
+         its inflight chunks strictly in order *)
+      let rec drain p =
+        let s = Buffer.contents p.p_rbuf in
+        match String.index_opt s '\n' with
+        | None -> ()
+        | Some i ->
+          let line = String.sub s 0 i in
+          Buffer.clear p.p_rbuf;
+          Buffer.add_substring p.p_rbuf s (i + 1) (String.length s - i - 1);
+          (match Queue.peek_opt p.p_inflight with
+          | None -> ()  (* stale bytes from an abandoned exchange; drop *)
+          | Some (slot, expected, acc) ->
+            acc := line :: !acc;
+            if List.length !acc = expected then begin
+              ignore (Queue.pop p.p_inflight);
+              results.(slot) <- Ok (List.rev !acc)
+            end);
+          drain p
+      in
+      let chunk = Bytes.create 65536 in
+      let finished p =
+        Queue.is_empty p.p_pending && Queue.is_empty p.p_inflight
+        && p.p_woff >= String.length p.p_wbuf
+      in
+      let rec loop () =
+        let live = List.filter (fun p -> not (p.p_done || finished p)) pipes in
+        if live <> [] then begin
+          List.iter arm live;
+          let rds = List.filter_map (fun p -> if Queue.is_empty p.p_inflight then None else Some p.p_fd) live in
+          let wrs =
+            List.filter_map
+              (fun p -> if p.p_woff < String.length p.p_wbuf then Some p.p_fd else None)
+              live
+          in
+          let now = Unix.gettimeofday () in
+          if now >= deadline then
+            List.iter (fun p -> fail_pipe p "shard response timeout") live
+          else begin
+            let pipe_of fd = List.find (fun p -> p.p_fd = fd) live in
+            (match Unix.select rds wrs [] (Float.min 0.25 (deadline -. now)) with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | r, w, _ ->
+              List.iter
+                (fun fd ->
+                  let p = pipe_of fd in
+                  match
+                    Unix.write_substring p.p_fd p.p_wbuf p.p_woff
+                      (String.length p.p_wbuf - p.p_woff)
+                  with
+                  | k -> p.p_woff <- p.p_woff + k
+                  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+                  | exception Unix.Unix_error (err, _, _) ->
+                    fail_pipe p (Unix.error_message err))
+                w;
+              List.iter
+                (fun fd ->
+                  let p = pipe_of fd in
+                  if not p.p_done then
+                    match Unix.read p.p_fd chunk 0 (Bytes.length chunk) with
+                    | 0 -> fail_pipe p "shard closed the connection"
+                    | k ->
+                      Buffer.add_subbytes p.p_rbuf chunk 0 k;
+                      drain p
+                    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+                    | exception Unix.Unix_error (err, _, _) ->
+                      fail_pipe p (Unix.error_message err))
+                r);
+            loop ()
+          end
+        end
+      in
+      loop ();
+      Array.to_list results
   in
   let send ~shard lines =
-    match connect shard with
-    | Error e -> Error e
-    | Ok (fd, buf) -> (
-      let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
-      match write_all fd payload with
-      | Error e ->
-        close_conn shard;
-        Error e
-      | Ok () -> (
-        let deadline = Unix.gettimeofday () +. timeout in
-        let rec read_n acc k =
-          if k = 0 then Ok (List.rev acc)
-          else
-            match read_line fd buf ~deadline with
-            | Ok line -> read_n (line :: acc) (k - 1)
-            | Error e -> Error e
-        in
-        match read_n [] (List.length lines) with
-        | Ok resp -> Ok resp
-        | Error e ->
-          close_conn shard;
-          Error e))
+    match send_many [ (shard, lines) ] with [ r ] -> r | _ -> Error "transport error"
   in
-  { send }
+  { send; send_many }

@@ -3,19 +3,33 @@
     Newline-delimited JSON over a Unix-domain socket (stdlib [Unix]
     only), plus a channel mode used for [--once] testing and the CI
     smoke test.  Both modes funnel into {!Service.handle_batch}:
-    pipelined requests that arrive together are served as one batch
+    requests that arrive together are served as one batch
     (Pool-parallel cold compiles, admission control on the batch), and
     responses come back one JSON object per line, in request order.
+
+    The socket mode is an event-driven reactor (DESIGN.md §15): one
+    [Unix.select] loop multiplexes the listener and every open
+    connection over non-blocking fds, each connection framing NDJSON
+    incrementally through one reusable read buffer.  Frames from
+    different connections accumulate — round-robin, one frame per
+    connection per pass, so a deep pipeline never starves its
+    neighbours — into a shared batch dispatched when it is full or
+    when the [batch_window] collection window closes, and responses
+    are demultiplexed back through bounded per-connection write
+    queues.  A connection whose write queue is over the bound is
+    neither read from nor dispatched until the client drains it
+    (backpressure), and a slow reader never head-of-line-blocks other
+    connections.
 
     Hardened against hostile input and bad clients (DESIGN.md §9):
     frames beyond [max_frame] are discarded while buffering at most
     the bound and answered with a typed [frame_too_large]; arbitrary
     bytes never raise (every frame gets exactly one typed response); a
-    handler panic closes the offending connection, is counted via
-    {!Service.note_panic}, and the accept loop keeps going; a client
-    that stops reading its responses trips [write_timeout] and is
-    dropped; and a [stop] callback polled on a short tick lets SIGTERM
-    drain the loop between batches.
+    handler panic closes the connections whose frames were in the
+    dying batch, is counted via {!Service.note_panic}, and the reactor
+    keeps accepting; a client that stops reading its responses trips
+    [write_timeout] and is dropped; and a [stop] callback polled on a
+    short tick lets SIGTERM drain the loop between batches.
 
     A [shutdown] request stops the loop after its batch is answered.
     Malformed lines get an [error] response and never kill the
@@ -40,6 +54,16 @@ val serve_channels : Service.t -> in_channel -> out_channel -> unit
     single batch (so admission control applies to the whole input),
     write response lines, flush.  Stops early at a [shutdown]. *)
 
+(** Reactor counters, surfaced through [stats]/[health] as the
+    [serving] payload: accepted/shed connections, open-connection
+    gauge and peak, accept-queue depth (admitted connections with
+    nothing dispatched yet), batch count and occupancy histogram
+    (log2 buckets), slow-client drops, and backpressure stalls. *)
+type metrics
+
+val create_metrics : unit -> metrics
+val metrics_json : metrics -> Qcx_persist.Json.t
+
 val serve_socket_with :
   ?max_batch:int ->
   ?max_frame:int ->
@@ -48,21 +72,26 @@ val serve_socket_with :
   ?backlog:int ->
   ?max_pending:int ->
   ?note_panic:(unit -> unit) ->
+  ?batch_window:float ->
+  ?metrics:metrics ->
   handle:(frame list -> string list * bool) ->
   path:string ->
   unit ->
   unit
-(** The accept loop with a pluggable batch handler — the fleet router
+(** The reactor with a pluggable batch handler — the fleet router
     serves through this with {!Router.handle_frames} in place of the
     single-service {!handle_frames}.  [backlog] (default 16) is the
     kernel listen queue.  [max_pending] (default: none) bounds
-    admitted-but-unserved connections: when set, every connection
-    already in the kernel queue is accepted eagerly and the excess
-    beyond the bound is shed immediately with a typed [overloaded]
-    response line and a close — a refused client always gets a
-    parseable answer, never a silent reset or an unbounded wait.
-    [note_panic] is called when a connection handler dies (the daemon
-    keeps accepting). *)
+    admitted connections that have not yet had a frame dispatched:
+    every connection in the kernel queue is accepted eagerly and the
+    excess beyond the bound is shed immediately with a typed
+    [overloaded] response line and a close — a refused client always
+    gets a parseable answer, never a silent reset or an unbounded
+    wait.  [batch_window] (default 0: no added latency) holds the
+    shared batch open so cold compiles from different connections can
+    coalesce into one Pool-parallel dispatch.  [note_panic] is called
+    when a batch handler dies (the reactor keeps accepting).
+    [metrics] shares the reactor's counters with the caller. *)
 
 val serve_socket :
   ?max_batch:int ->
@@ -71,16 +100,20 @@ val serve_socket :
   ?stop:(unit -> bool) ->
   ?backlog:int ->
   ?max_pending:int ->
+  ?batch_window:float ->
+  ?metrics:metrics ->
   Service.t ->
   path:string ->
   unit
-(** Bind [path] (any stale socket file is replaced), accept clients
-    one at a time, and serve each connection: the first request line
-    blocks, then all immediately available pipelined lines (up to
-    [max_batch], default [2 * queue_bound]) join the same batch.
-    Returns after a [shutdown] request, or — between batches — once
-    [stop ()] turns true (graceful drain: in-flight batches finish
-    and their responses are written first).  [write_timeout] bounds
-    each response write; a stalled client is disconnected, the server
-    lives on.  [backlog]/[max_pending] as in {!serve_socket_with}.
-    The socket file is removed on return. *)
+(** Bind [path] (any stale socket file is replaced) and run the
+    reactor over {!Service.handle_batch}: frames available across all
+    connections (up to [max_batch], default [2 * queue_bound]) are
+    served as one batch and responses demultiplexed back in request
+    order per connection.  Returns after a [shutdown] request, or —
+    between batches — once [stop ()] turns true (graceful drain:
+    frames already read are served and their responses written
+    first).  [write_timeout] bounds how long a non-draining client
+    may stall its write queue before being disconnected; the server
+    lives on.  Registers the reactor metrics with the service, so
+    [stats]/[health] expose the [serving] payload.  The socket file
+    is removed on return. *)

@@ -64,7 +64,49 @@ type t = {
   mutable extra_health : (unit -> (string * Json.t) list) option;
       (** extra fields appended to the [health] payload (per-shard
           identity and replication lag in fleet mode) *)
+  mutable serving : (unit -> Json.t) option;
+      (** reactor counters (accept queue, open connections, batch
+          occupancy) — the socket server hangs its metrics here *)
+  hit_render : (string, string) Hashtbl.t;
+      (** cache key -> pre-rendered response tail for the hit fast
+          path; invalidated on insert, cleared under size pressure *)
+  mutable knob_memo : (Wire.params * string) option;
+      (** one-slot memo of the cache-key knob string — nearly every
+          request carries [Wire.default_params], so the five [%h]
+          renderings amortize to a record comparison *)
+  lat_cached : reservoir;
+  lat_cold : reservoir;
+  lat_other : reservoir;
 }
+
+(* Bounded reservoir of recent service latencies, one per op class.
+   A plain ring: percentiles over the last [reservoir_size] samples,
+   which is what an operator wants from [stats] anyway. *)
+and reservoir = { samples : float array; mutable count : int }
+
+let reservoir_size = 8192
+let make_reservoir () = { samples = Array.make reservoir_size 0.0; count = 0 }
+
+let reservoir_record r v =
+  r.samples.(r.count mod reservoir_size) <- v;
+  r.count <- r.count + 1
+
+let reservoir_json r =
+  let n = min r.count reservoir_size in
+  if n = 0 then Json.Object [ ("count", Json.Number 0.0) ]
+  else begin
+    let sorted = Array.sub r.samples 0 n in
+    Array.sort compare sorted;
+    let pct q = sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5))) in
+    Json.Object
+      [
+        ("count", Json.Number (float_of_int r.count));
+        ("p50_ms", Json.Number (1000.0 *. pct 0.50));
+        ("p99_ms", Json.Number (1000.0 *. pct 0.99));
+        ("p999_ms", Json.Number (1000.0 *. pct 0.999));
+        ("max_ms", Json.Number (1000.0 *. sorted.(n - 1)));
+      ]
+  end
 
 type outcome = {
   device : string;
@@ -109,6 +151,12 @@ let create ?(config = default_config) ?(clock = Unix.gettimeofday) registry =
     day = 0;
     on_insert = None;
     extra_health = None;
+    serving = None;
+    hit_render = Hashtbl.create 64;
+    knob_memo = None;
+    lat_cached = make_reservoir ();
+    lat_cold = make_reservoir ();
+    lat_other = make_reservoir ();
   }
 
 let registry t = t.registry
@@ -117,6 +165,7 @@ let config t = t.config
 let set_compile_fault t fault = t.compile_fault <- fault
 let set_on_insert t f = t.on_insert <- f
 let set_extra_health t f = t.extra_health <- f
+let set_serving t f = t.serving <- f
 let set_calibrator t c = t.calibrator <- c
 let calibrator t = t.calibrator
 let day t = t.day
@@ -153,7 +202,7 @@ let rung_index rung =
   in
   scan 0 Xtalk_sched.all_rungs
 
-let cache_key ~device_id ~epoch ~params canon =
+let knob_string (params : Wire.params) =
   let knob =
     Printf.sprintf "omega=%h threshold=%h deadline=%s ladder=%s window=%s" params.Wire.omega
       params.Wire.threshold
@@ -163,15 +212,33 @@ let cache_key ~device_id ~epoch ~params canon =
   in
   (* Appended only when set, so every pre-knob key — including cache
      snapshots persisted by older builds — stays byte-identical. *)
-  let knob =
-    match params.Wire.mitigation with
-    | None -> knob
-    | Some _ -> knob ^ " mitig=" ^ Wire.mitigation_name params.Wire.mitigation
-  in
-  Digest.to_hex
-    (Digest.string
-       (String.concat "\n"
-          [ "qcx-schedule-key-v1"; device_id; epoch; knob; Canon.serialize canon ]))
+  match params.Wire.mitigation with
+  | None -> knob
+  | Some _ -> knob ^ " mitig=" ^ Wire.mitigation_name params.Wire.mitigation
+
+let knob_of_params t (params : Wire.params) =
+  match t.knob_memo with
+  | Some (p, k) when p == params || p = params -> k
+  | _ ->
+    let k = knob_string params in
+    t.knob_memo <- Some (params, k);
+    k
+
+let cache_key_of_text ~device_id ~epoch ~knob ~canon_text =
+  let b = Buffer.create (128 + String.length canon_text) in
+  Buffer.add_string b "qcx-schedule-key-v1\n";
+  Buffer.add_string b device_id;
+  Buffer.add_char b '\n';
+  Buffer.add_string b epoch;
+  Buffer.add_char b '\n';
+  Buffer.add_string b knob;
+  Buffer.add_char b '\n';
+  Buffer.add_string b canon_text;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let cache_key ~device_id ~epoch ~params canon =
+  cache_key_of_text ~device_id ~epoch ~knob:(knob_string params)
+    ~canon_text:(Canon.serialize canon)
 
 (* The request's own deadline, capped by the service-wide compile
    budget so one request cannot monopolize a worker. *)
@@ -262,6 +329,9 @@ let checkpoint t =
    degrades durability to the last checkpoint but never blocks
    serving. *)
 let cache_insert t key entry =
+  (* A re-inserted key (eviction + recompile) may carry fresh timing
+     stats; the pre-rendered hit line must not serve the stale ones. *)
+  Hashtbl.remove t.hit_render key;
   (* The replication tee runs on every insert, persistence or not: the
      peer's replica is an independent durability channel, so a failing
      local journal must not silence it (and vice versa). *)
@@ -326,14 +396,21 @@ let recover t ~cache_file ?(fsync = true) () =
 
 (* ---- single synchronous compile (CLI path) ---- *)
 
+(* The key is derived by the fused serializer without materializing
+   the canonical circuit; hits never need it, so [canon] is forced
+   only when a cold compile actually runs.  (The lazy cannot raise:
+   key_serialize already validated every gate against the widened
+   register.) *)
 let resolve t ~device ~params circuit =
   match Registry.find t.registry device with
   | None -> Error ("unknown device " ^ device)
   | Some entry -> (
     try
-      let canon = Canon.normalize ~nqubits:(Device.nqubits entry.Registry.device) circuit in
-      let key = cache_key ~device_id:device ~epoch:entry.Registry.epoch ~params canon in
-      Ok (entry, canon, key)
+      let nqubits = Device.nqubits entry.Registry.device in
+      let canon_text = Canon.key_serialize ~nqubits circuit in
+      let knob = knob_of_params t params in
+      let key = cache_key_of_text ~device_id:device ~epoch:entry.Registry.epoch ~knob ~canon_text in
+      Ok (entry, lazy (Canon.normalize ~nqubits circuit), key)
     with Invalid_argument m -> Error m)
 
 let compile t ~device ?(params = Wire.default_params) circuit =
@@ -356,7 +433,9 @@ let compile t ~device ?(params = Wire.default_params) circuit =
           stats = centry.Cache.stats;
         }
     | None ->
-      let schedule, stats = cold_compile ?deadline:(effective_deadline t params) entry params canon in
+      let schedule, stats =
+        cold_compile ?deadline:(effective_deadline t params) entry params (Lazy.force canon)
+      in
       cache_insert t key { Cache.schedule; stats; epoch };
       tally_cold t stats;
       Ok { device; epoch; key; cached = false; schedule; stats })
@@ -378,6 +457,45 @@ let compile_response ~id (o : outcome) =
         ("stats", Wire.stats_to_json o.stats);
         ("schedule", Wire.schedule_to_json o.schedule);
       ])
+
+(* ---- the cached-path fast render ----
+
+   Everything in a hit response after the [id] field is a pure
+   function of the cache key (the entry is deterministic per key, and
+   [cached] is always true), so the tail is rendered once per key and
+   spliced after the per-request id.  Derived from
+   {!compile_response} itself — byte-identical to rendering the full
+   document, which the unit tests pin. *)
+
+let hit_render_bound t = max 64 (4 * t.config.cache_capacity)
+
+let render_hit t ~id ~device ~epoch ~key (entry : Cache.entry) =
+  let suffix =
+    match Hashtbl.find_opt t.hit_render key with
+    | Some s -> s
+    | None ->
+      let o =
+        {
+          device;
+          epoch;
+          key;
+          cached = true;
+          schedule = entry.Cache.schedule;
+          stats = entry.Cache.stats;
+        }
+      in
+      let tail =
+        match compile_response ~id:"" o with
+        | Json.Object (_ :: rest) -> Json.to_string ~indent:false (Json.Object rest)
+        | other -> Json.to_string ~indent:false other
+      in
+      (* compact printer: "{\"status\": ...}" -> ",\"status\": ...}" *)
+      let s = "," ^ String.sub tail 1 (String.length tail - 1) in
+      if Hashtbl.length t.hit_render >= hit_render_bound t then Hashtbl.reset t.hit_render;
+      Hashtbl.add t.hit_render key s;
+      s
+  in
+  "{\"id\": " ^ Json.to_string ~indent:false (Json.String id) ^ suffix
 
 let breakers_json t =
   Json.Object
@@ -403,7 +521,7 @@ let journal_json t =
 let stats_json t =
   let c = Cache.counters t.cache in
   Json.Object
-    [
+    ([
       ( "cache",
         Json.Object
           [
@@ -437,9 +555,17 @@ let stats_json t =
              (fun i r ->
                (Xtalk_sched.rung_name r, Json.Number (float_of_int t.rung_hist.(i))))
              Xtalk_sched.all_rungs) );
+      ( "latency",
+        Json.Object
+          [
+            ("cached", reservoir_json t.lat_cached);
+            ("cold", reservoir_json t.lat_cold);
+            ("other", reservoir_json t.lat_other);
+          ] );
       ("breakers", breakers_json t);
       ("journal", journal_json t);
     ]
+    @ (match t.serving with Some f -> [ ("serving", f ()) ] | None -> []))
 
 (* Per-device calibration state for the health and epoch_status ops:
    the epoch being served, how stale it is (days since promotion on
@@ -484,9 +610,17 @@ let health_json t =
        ("idle_ns", Json.Number t.idle_ns);
        ("day", Json.Number (float_of_int t.day));
        ("devices", devices_status_json t (Registry.ids t.registry));
+       ( "latency",
+         Json.Object
+           [
+             ("cached", reservoir_json t.lat_cached);
+             ("cold", reservoir_json t.lat_cold);
+             ("other", reservoir_json t.lat_other);
+           ] );
        ("breakers", breakers_json t);
        ("journal", journal_json t);
      ]
+    @ (match t.serving with Some f -> [ ("serving", f ()) ] | None -> [])
     @ extra)
 
 let handle_other t req =
@@ -617,8 +751,16 @@ let handle_other t req =
    compiles in one batch observes the batch's effects. *)
 type staged =
   | Done of Json.t
+  | Hit of { id : string; device : string; epoch : string; key : string; entry : Cache.entry }
   | Miss of { id : string; device : string; epoch : string; key : string; slot : int }
   | Other of Wire.request
+
+(* One finished response, either as a document or as a hit that can
+   take the pre-rendered fast path.  Both finalizers below produce
+   byte-identical wire lines. *)
+type rendered =
+  | R_doc of Json.t
+  | R_hit of { id : string; device : string; epoch : string; key : string; entry : Cache.entry }
 
 (* What the insertion phase decided about one compile slot. *)
 type slot_outcome =
@@ -626,7 +768,7 @@ type slot_outcome =
   | Overrun of { deadline : float; elapsed : float }
   | Failed of string
 
-let handle_batch t requests =
+let handle_batch_staged t requests =
   let budget = ref t.config.queue_bound in
   let nslots = ref 0 in
   let slot_of_key = Hashtbl.create 16 in
@@ -642,6 +784,7 @@ let handle_batch t requests =
           end
           else begin
             decr budget;
+            let started = t.clock () in
             match resolve t ~device ~params circuit with
             | Error e ->
               t.errors <- t.errors + 1;
@@ -653,16 +796,8 @@ let handle_batch t requests =
                 (* A hit never exercises the compile path, so it is
                    served even through an open breaker. *)
                 t.ok <- t.ok + 1;
-                Done
-                  (compile_response ~id
-                     {
-                       device;
-                       epoch;
-                       key;
-                       cached = true;
-                       schedule = centry.Cache.schedule;
-                       stats = centry.Cache.stats;
-                     })
+                reservoir_record t.lat_cached (t.clock () -. started);
+                Hit { id; device; epoch; key; entry = centry }
               | None -> (
                 match Breaker.check (breaker_for t device) ~now:(t.clock ()) with
                 | Breaker.Reject retry_after ->
@@ -696,7 +831,7 @@ let handle_batch t requests =
           List.init (hi - lo) (fun k ->
               let slot = lo + k in
               let _, entry, params, canon, _ = Hashtbl.find work slot in
-              run_slot t ~nth:(base + slot) entry params canon))
+              run_slot t ~nth:(base + slot) entry params (Lazy.force canon)))
       |> List.concat |> Array.of_list
   in
   (* Insert in slot (first-appearance) order so cache recency is
@@ -708,6 +843,7 @@ let handle_batch t requests =
         let device, rentry, params, _, key = Hashtbl.find work slot in
         let breaker = breaker_for t device in
         let now = t.clock () in
+        reservoir_record t.lat_cold elapsed;
         match result with
         | Error msg ->
           Breaker.record_failure breaker ~now;
@@ -738,20 +874,48 @@ let handle_batch t requests =
   in
   List.map
     (function
-      | Done response -> response
-      | Other req -> handle_other t req
-      | Miss { id; device; epoch; key; slot } -> (
-        match outcomes.(slot) with
-        | Served { Cache.schedule; stats; epoch = _ } ->
-          t.ok <- t.ok + 1;
-          compile_response ~id { device; epoch; key; cached = false; schedule; stats }
-        | Overrun { deadline; elapsed } ->
-          t.deadline_exceeded <- t.deadline_exceeded + 1;
-          Wire.deadline_exceeded_response ~id:(Some id) ~deadline ~elapsed
-        | Failed msg ->
-          t.errors <- t.errors + 1;
-          Wire.internal_error_response ~id:(Some id) msg))
+      | Done response -> R_doc response
+      | Hit { id; device; epoch; key; entry } -> R_hit { id; device; epoch; key; entry }
+      | Other req ->
+        let started = t.clock () in
+        let resp = handle_other t req in
+        reservoir_record t.lat_other (t.clock () -. started);
+        R_doc resp
+      | Miss { id; device; epoch; key; slot } ->
+        R_doc
+          (match outcomes.(slot) with
+          | Served { Cache.schedule; stats; epoch = _ } ->
+            t.ok <- t.ok + 1;
+            compile_response ~id { device; epoch; key; cached = false; schedule; stats }
+          | Overrun { deadline; elapsed } ->
+            t.deadline_exceeded <- t.deadline_exceeded + 1;
+            Wire.deadline_exceeded_response ~id:(Some id) ~deadline ~elapsed
+          | Failed msg ->
+            t.errors <- t.errors + 1;
+            Wire.internal_error_response ~id:(Some id) msg))
     staged
+
+let finalize_doc = function
+  | R_doc d -> d
+  | R_hit { id; device; epoch; key; entry } ->
+    compile_response ~id
+      {
+        device;
+        epoch;
+        key;
+        cached = true;
+        schedule = entry.Cache.schedule;
+        stats = entry.Cache.stats;
+      }
+
+let finalize_line t = function
+  | R_doc d -> Json.to_string ~indent:false d
+  | R_hit { id; device; epoch; key; entry } -> render_hit t ~id ~device ~epoch ~key entry
+
+let handle_batch t requests = List.map finalize_doc (handle_batch_staged t requests)
+
+let handle_batch_rendered t requests =
+  List.map (finalize_line t) (handle_batch_staged t requests)
 
 let handle t req =
   match handle_batch t [ req ] with

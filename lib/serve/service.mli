@@ -95,10 +95,21 @@ val handle_batch : t -> Wire.request list -> Qcx_persist.Json.t list
     Pool-parallel cold compiles of distinct keys, responses in request
     order.  Total: every fault class maps to a typed response. *)
 
+val handle_batch_rendered : t -> Wire.request list -> string list
+(** {!handle_batch} rendered straight to compact wire lines.  Cache
+    hits take a fast path — the response tail after the [id] field is
+    pre-rendered once per cache key and spliced per request — but the
+    bytes are identical to rendering {!handle_batch}'s documents with
+    [Json.to_string ~indent:false] (pinned by the unit tests).  The
+    socket reactor serves through this. *)
+
 val stats_json : t -> Qcx_persist.Json.t
 (** The payload of the [stats] op: cache counters, registry listing,
     served/overloaded/error tallies, the degradation-rung histogram,
-    breaker states, and journal counters. *)
+    per-op-class service-latency percentiles (p50/p99/p999 over a
+    bounded reservoir of recent requests: [cached] hits, [cold]
+    compiles, [other] ops), breaker states, journal counters, and —
+    when a socket reactor is attached — its [serving] counters. *)
 
 val health_json : t -> Qcx_persist.Json.t
 (** The payload of the [health] op: readiness (drain flag), panic
@@ -137,6 +148,11 @@ val set_on_insert : t -> (string -> Cache.entry -> unit) option -> unit
 val set_extra_health : t -> (unit -> (string * Qcx_persist.Json.t) list) option -> unit
 (** Extra fields appended to the {!health_json} payload — fleet shards
     report their shard index, peer, and replication lag through it. *)
+
+val set_serving : t -> (unit -> Qcx_persist.Json.t) option -> unit
+(** Reactor observability hook: when set, the payload is embedded as
+    the [serving] field of both {!stats_json} and {!health_json}.
+    {!Server.serve_socket} registers its metrics here. *)
 
 (* ---- calibration data plane ---- *)
 

@@ -444,4 +444,37 @@ let unavailable_response ~id ~attempts =
        (if attempts = 1 then "" else "s"))
     ~extra:[ ("attempts", Json.Number (float_of_int attempts)) ]
 
+(* ---- id-tag demultiplexing (router pipelining) ----
+
+   The router keeps several batches in flight per shard connection and
+   matches responses back to requests by id.  Client ids are not
+   unique across connections, so each forwarded compile is retagged
+   with a router-unique id on the way out and the response is retagged
+   back on the way in.  [retag_line] re-renders through the compact
+   printer, which is an identity on printer output — so a retag
+   round-trip (out and back to the original id) is byte-exact. *)
+
+let line_id line =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok doc -> (
+    match Json.member "id" doc with Some (Json.String id) -> Some id | _ -> None)
+
+let with_id doc ~id =
+  match doc with
+  | Json.Object fields ->
+    let replaced = ref false in
+    let fields =
+      List.map
+        (fun (k, v) -> if k = "id" && not !replaced then (replaced := true; (k, Json.String id)) else (k, v))
+        fields
+    in
+    Json.Object (if !replaced then fields else ("id", Json.String id) :: fields)
+  | _ -> doc
+
+let retag_line line ~id =
+  match Json.of_string line with
+  | Error _ -> line
+  | Ok doc -> Json.to_string ~indent:false (with_id doc ~id)
+
 let default_max_frame = 1 lsl 20

@@ -134,5 +134,19 @@ val unavailable_response : id:string option -> attempts:int -> Json.t
     could serve the request (status ["unavailable"], carries how many
     shards were tried). *)
 
+val line_id : string -> string option
+(** The [id] field of a wire line, when it parses to an object with a
+    string id — the router's demux key for pipelined forwarding. *)
+
+val with_id : Json.t -> id:string -> Json.t
+(** Replace the document's [id] field in place (field order is
+    preserved; an absent id is prepended). *)
+
+val retag_line : string -> id:string -> string
+(** Re-render [line] with its [id] replaced — total: a line that does
+    not parse is returned unchanged.  Retagging out to a fresh id and
+    back to the original is byte-exact, because the compact printer is
+    an identity on its own output. *)
+
 val default_max_frame : int
 (** Default input frame bound, 1 MiB. *)

@@ -67,6 +67,49 @@ let canon_width_and_difference () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* The fused key serializer must produce the exact bytes of the
+   two-pass normalize+serialize pipeline — it IS the cache key on the
+   hot path, so any divergence silently splits or aliases keys. *)
+let canon_key_serialize_fused () =
+  let check ?nqubits label circuit =
+    Alcotest.(check string) label
+      (Canon.serialize (Canon.normalize ?nqubits circuit))
+      (Canon.key_serialize ?nqubits circuit)
+  in
+  check "bell with measures" (bell_with_measures ~order:[ 2; 0; 1 ] 6);
+  check ~nqubits:9 "widened register" (bell_with_measures ~order:[ 0; 1 ] 4);
+  let c = Circuit.create 5 in
+  let c = Circuit.swap c 3 1 in
+  let c = Circuit.measure (Circuit.measure c 4) 2 in
+  let c = Circuit.barrier c [ 4; 0; 2 ] in
+  let c = Circuit.rz (Circuit.rz (Circuit.rx c 0.5 0) 0.25 1) 0.25 2 in
+  let c = Circuit.rz c (-0.0) 3 in
+  let c = Circuit.u2 c 1.5 (-2.5) 4 in
+  check "swaps, split measures, rotations" (Circuit.measure_all c);
+  let rng = Core.Rng.create 11 in
+  for i = 0 to 19 do
+    let nq = 3 + Core.Rng.int rng 8 in
+    let c = ref (Circuit.create nq) in
+    for _ = 0 to 20 + Core.Rng.int rng 30 do
+      let q = Core.Rng.int rng nq in
+      let p = (q + 1 + Core.Rng.int rng (nq - 1)) mod nq in
+      match Core.Rng.int rng 8 with
+      | 0 -> c := Circuit.h !c q
+      | 1 -> c := Circuit.cnot !c ~control:q ~target:p
+      | 2 -> c := Circuit.swap !c q p
+      | 3 -> c := Circuit.measure !c q
+      | 4 -> c := Circuit.barrier !c (if q < p then [ q; p ] else [ p; q ])
+      | 5 -> c := Circuit.rz !c (Core.Rng.unit_float rng) q
+      | 6 -> c := Circuit.rx !c (Core.Rng.unit_float rng) q
+      | _ -> c := Circuit.x !c q
+    done;
+    check (Printf.sprintf "random circuit %d" i) ~nqubits:(nq + 2) !c
+  done;
+  Alcotest.(check bool) "narrowing still rejected" true
+    (match Canon.key_serialize ~nqubits:2 (bell_with_measures ~order:[ 0; 1 ] 4) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* ---- cache ---- *)
 
 let dummy_entry device label =
@@ -428,6 +471,190 @@ let server_socket_roundtrip () =
             | Error e -> Alcotest.fail e)
           lines)
 
+(* ---- reactor concurrency semantics ---- *)
+
+let connect_client path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec go tries =
+    match Unix.connect sock (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when tries > 0 ->
+      Unix.sleepf 0.05;
+      go (tries - 1)
+  in
+  go 100;
+  Unix.setsockopt_float sock Unix.SO_RCVTIMEO 15.0;
+  sock
+
+let send_str sock s = ignore (Unix.write_substring sock s 0 (String.length s))
+
+let read_lines sock n =
+  let buf = Bytes.create 65536 in
+  let rec go acc =
+    let complete =
+      List.length (List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' acc))
+    in
+    if complete >= n then acc
+    else
+      match Unix.read sock buf 0 (Bytes.length buf) with
+      | 0 -> acc
+      | k -> go (acc ^ Bytes.sub_string buf 0 k)
+  in
+  List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' (go ""))
+
+(* A connection that stalls mid-frame must not delay other clients:
+   under the old serial accept loop, B would wait behind A's open
+   connection forever; the reactor serves B while A's partial frame
+   sits in its read buffer. *)
+let server_stalled_reader_no_hol () =
+  let path = tmp (Printf.sprintf "qcx_test_hol_%d.sock" (Unix.getpid ())) in
+  if Sys.file_exists path then Sys.remove path;
+  let service = example_service () in
+  let server = Domain.spawn (fun () -> try Server.serve_socket service ~path with _ -> ()) in
+  let a = connect_client path in
+  let b = connect_client path in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      (try Unix.close b with Unix.Unix_error _ -> ());
+      Domain.join server;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      (* A opens a frame and stalls — no terminating newline. *)
+      send_str a {|{"op":"ping","id":"a1"|};
+      Unix.sleepf 0.1;
+      (* B must be served while A is still stalled. *)
+      send_str b ({|{"op":"ping","id":"b1"}|} ^ "\n");
+      (match read_lines b 1 with
+      | [ line ] ->
+        let doc = match Json.of_string line with Ok d -> d | Error e -> Alcotest.fail e in
+        Alcotest.(check bool) "b served while a stalls" true
+          (Json.find_str "id" doc = Ok "b1" && Json.find_str "status" doc = Ok "ok")
+      | other -> Alcotest.fail (Printf.sprintf "expected 1 line, got %d" (List.length other)));
+      (* A completes its frame and is served normally. *)
+      send_str a ("}\n" ^ {|{"op":"shutdown","id":"a2"}|} ^ "\n");
+      match read_lines a 2 with
+      | [ l1; _ ] ->
+        let doc = match Json.of_string l1 with Ok d -> d | Error e -> Alcotest.fail e in
+        Alcotest.(check bool) "a's late frame served" true (Json.find_str "id" doc = Ok "a1")
+      | other -> Alcotest.fail (Printf.sprintf "expected 2 lines, got %d" (List.length other)))
+
+(* Cold compiles from different connections coalesce into one shared
+   batch — and the responses must be bit-identical (modulo measured
+   timing) to each client talking to its own serial server, at every
+   [jobs]. *)
+let server_cross_connection_batching () =
+  let distinct_circuit i =
+    Circuit.measure_all (Circuit.x (Circuit.h (Circuit.create 6) 0) (1 + (i mod 5)))
+  in
+  let client_lines c =
+    List.map
+      (fun j ->
+        let i = (2 * c) + j in
+        let req = compile_req (Printf.sprintf "c%d-%d" c j) (distinct_circuit i) in
+        Json.to_string ~indent:false (Wire.request_to_json req))
+      [ 0; 1 ]
+  in
+  let strip line =
+    match Json.of_string line with
+    | Ok doc -> Json.to_string (strip_timing doc)
+    | Error e -> Alcotest.fail e
+  in
+  List.iter
+    (fun jobs ->
+      let config = { Service.default_config with Service.jobs } in
+      let path = tmp (Printf.sprintf "qcx_test_xconn_%d_%d.sock" (Unix.getpid ()) jobs) in
+      if Sys.file_exists path then Sys.remove path;
+      let service = example_service ~config () in
+      let metrics = Server.create_metrics () in
+      let server =
+        Domain.spawn (fun () ->
+            try Server.serve_socket service ~path ~batch_window:0.25 ~metrics with _ -> ())
+      in
+      let clients = List.init 3 (fun _ -> connect_client path) in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun s -> try Unix.close s with Unix.Unix_error _ -> ()) clients;
+          Domain.join server;
+          if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          (* all three clients write before the collection window closes *)
+          List.iteri
+            (fun c sock ->
+              List.iter (fun l -> send_str sock (l ^ "\n")) (client_lines c))
+            clients;
+          let got =
+            List.map (fun sock -> List.map strip (read_lines sock 2)) clients
+          in
+          let want =
+            List.map
+              (fun c ->
+                let serial = example_service ~config () in
+                let responses, _ = Server.handle_lines serial (client_lines c) in
+                List.map strip responses)
+              (List.init 3 Fun.id)
+          in
+          List.iteri
+            (fun c (g, w) ->
+              Alcotest.(check (list string))
+                (Printf.sprintf "client %d identical to serial at jobs %d" c jobs)
+                w g)
+            (List.combine got want);
+          (* stop the reactor; the shutdown rides its own connection *)
+          let s = connect_client path in
+          send_str s ({|{"op":"shutdown","id":"x"}|} ^ "\n");
+          ignore (read_lines s 1);
+          Unix.close s);
+      match Server.metrics_json metrics with
+      | Json.Object fields ->
+        Alcotest.(check bool) "reactor saw all 7 frames" true
+          (List.assoc_opt "frames" fields = Some (Json.Number 7.0));
+        Alcotest.(check bool) "frames were batched" true
+          (match List.assoc_opt "batches" fields with
+          | Some (Json.Number b) -> b >= 1.0 && b <= 7.0
+          | _ -> false)
+      | _ -> Alcotest.fail "metrics_json not an object")
+    [ 1; 2; 4 ]
+
+(* The rendered hit fast path (pre-rendered response tail spliced
+   after the id) must be byte-identical to rendering the document —
+   including ids that need JSON escaping. *)
+let service_hit_render_identity () =
+  let service = example_service () in
+  let circuit = bell_with_measures ~order:[ 0; 1 ] 6 in
+  let warm = compile_req "warm" circuit in
+  ignore (Service.handle_batch_rendered service [ warm ]);
+  List.iter
+    (fun id ->
+      let req =
+        Wire.Compile { id; device = "example6q"; circuit; params = Wire.default_params }
+      in
+      let doc = match Service.handle_batch service [ req ] with [ d ] -> d | _ -> Alcotest.fail "one response" in
+      Alcotest.(check bool) "request hit the cache" true
+        (Json.member "cached" doc = Some (Json.Bool true));
+      let line =
+        match Service.handle_batch_rendered service [ req ] with
+        | [ l ] -> l
+        | _ -> Alcotest.fail "one rendered response"
+      in
+      Alcotest.(check string) "fast-rendered hit is byte-identical"
+        (Json.to_string ~indent:false doc) line)
+    [ "plain"; "needs \"escaping\"\\"; "tab\there"; "" ]
+
+let wire_retag_roundtrip () =
+  let circuit = bell_with_measures ~order:[ 0; 1 ] 6 in
+  let line =
+    Json.to_string ~indent:false (Wire.request_to_json (compile_req "orig \"id\"" circuit))
+  in
+  Alcotest.(check (option string)) "line_id reads the id" (Some "orig \"id\"")
+    (Wire.line_id line);
+  let tagged = Wire.retag_line line ~id:"qr-7" in
+  Alcotest.(check (option string)) "retag replaces the id" (Some "qr-7") (Wire.line_id tagged);
+  Alcotest.(check string) "retag out and back is byte-exact" line
+    (Wire.retag_line tagged ~id:"orig \"id\"");
+  Alcotest.(check string) "non-JSON passes through" "not json"
+    (Wire.retag_line "not json" ~id:"x")
+
 let suite =
   [
     ( "serve.canon",
@@ -436,6 +663,7 @@ let suite =
         Alcotest.test_case "symmetric operands" `Quick canon_symmetric_operands;
         Alcotest.test_case "swap expansion" `Quick canon_swap_expansion;
         Alcotest.test_case "width and difference" `Quick canon_width_and_difference;
+        Alcotest.test_case "fused key serializer" `Quick canon_key_serialize_fused;
       ] );
     ( "serve.cache",
       [
@@ -461,5 +689,9 @@ let suite =
         Alcotest.test_case "handle_lines" `Quick server_handle_lines;
         Alcotest.test_case "once roundtrip" `Quick server_once_roundtrip;
         Alcotest.test_case "socket roundtrip" `Quick server_socket_roundtrip;
+        Alcotest.test_case "stalled reader no HOL" `Quick server_stalled_reader_no_hol;
+        Alcotest.test_case "cross-connection batching" `Quick server_cross_connection_batching;
+        Alcotest.test_case "hit render identity" `Quick service_hit_render_identity;
+        Alcotest.test_case "wire retag roundtrip" `Quick wire_retag_roundtrip;
       ] );
   ]
